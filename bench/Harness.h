@@ -1,0 +1,195 @@
+//===- bench/Harness.h - Shared benchmark harness ----------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the table/figure reproduction binaries: detector
+/// construction, timed runs (smallest of N in-process repetitions, the
+/// paper's Section 6 policy), environment-variable configuration, and
+/// aligned table printing.
+///
+/// Environment knobs:
+///   SPD3_BENCH_THREADS  comma list of worker counts   (default 1,2,4,8,16)
+///   SPD3_BENCH_SIZE     test | small | default        (default: default)
+///   SPD3_BENCH_REPS     repetitions per data point    (default 3)
+///
+/// NOTE on the substrate: the paper ran on a 16-core Xeon; this repository
+/// is routinely exercised on a single-core container, where worker counts
+/// beyond 1 are oversubscribed. Relative slowdowns (instrumented vs
+/// uninstrumented at the same worker count) remain meaningful; absolute
+/// scaling curves do not. Each binary prints the machine's core count so
+/// readers can interpret the output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_BENCH_HARNESS_H
+#define SPD3_BENCH_HARNESS_H
+
+#include "baselines/EspBags.h"
+#include "baselines/Eraser.h"
+#include "baselines/FastTrack.h"
+#include "detector/Spd3Tool.h"
+#include "kernels/Kernel.h"
+#include "runtime/Runtime.h"
+#include "support/Env.h"
+#include "support/StopWatch.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spd3::bench {
+
+enum class Detector {
+  None,      ///< uninstrumented baseline (the paper's HJ-Base)
+  Spd3,      ///< SPD3, lock-free protocol
+  Spd3Mutex, ///< SPD3, striped-lock protocol (Section 5.4 ablation)
+  Spd3NoCache, ///< SPD3 without the check-elimination cache (Section 5.5)
+  Spd3NoMemo,  ///< SPD3 without the DMHP memo (future-work ablation)
+  EspBags,   ///< sequential ESP-bags baseline
+  FastTrack, ///< FastTrack baseline
+  Eraser,    ///< Eraser baseline
+};
+
+inline const char *detectorName(Detector D) {
+  switch (D) {
+  case Detector::None:
+    return "base";
+  case Detector::Spd3:
+    return "spd3";
+  case Detector::Spd3Mutex:
+    return "spd3-mutex";
+  case Detector::Spd3NoCache:
+    return "spd3-nocache";
+  case Detector::Spd3NoMemo:
+    return "spd3-nomemo";
+  case Detector::EspBags:
+    return "espbags";
+  case Detector::FastTrack:
+    return "fasttrack";
+  case Detector::Eraser:
+    return "eraser";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<detector::Tool> makeTool(Detector D,
+                                                detector::RaceSink &Sink) {
+  using detector::Spd3Options;
+  switch (D) {
+  case Detector::None:
+    return nullptr;
+  case Detector::Spd3:
+    return std::make_unique<detector::Spd3Tool>(Sink);
+  case Detector::Spd3Mutex:
+    return std::make_unique<detector::Spd3Tool>(
+        Sink, Spd3Options{Spd3Options::Protocol::Mutex, true});
+  case Detector::Spd3NoCache:
+    return std::make_unique<detector::Spd3Tool>(
+        Sink, Spd3Options{Spd3Options::Protocol::LockFree, false});
+  case Detector::Spd3NoMemo:
+    return std::make_unique<detector::Spd3Tool>(
+        Sink, Spd3Options{Spd3Options::Protocol::LockFree, true, false});
+  case Detector::EspBags:
+    return std::make_unique<baselines::EspBagsTool>(Sink);
+  case Detector::FastTrack:
+    return std::make_unique<baselines::FastTrackTool>(Sink);
+  case Detector::Eraser:
+    return std::make_unique<baselines::EraserTool>(Sink);
+  }
+  return nullptr;
+}
+
+struct BenchEnv {
+  std::vector<int> Threads;
+  kernels::SizeClass Size;
+  int Reps;
+};
+
+inline BenchEnv benchEnv() {
+  BenchEnv E;
+  E.Threads = envIntList("SPD3_BENCH_THREADS", {1, 2, 4, 8, 16});
+  std::string S = envString("SPD3_BENCH_SIZE", "default");
+  E.Size = S == "test"    ? kernels::SizeClass::Test
+           : S == "small" ? kernels::SizeClass::Small
+                          : kernels::SizeClass::Default;
+  E.Reps = static_cast<int>(envInt("SPD3_BENCH_REPS", 3));
+  return E;
+}
+
+struct TimedRun {
+  double Seconds = 0.0;
+  double Checksum = 0.0;
+  size_t PeakToolBytes = 0;
+  size_t Races = 0;
+};
+
+/// One measured execution of \p K under detector \p D on \p Threads
+/// workers; best (smallest) wall time of \p Reps repetitions, as in the
+/// paper's methodology. ESP-bags forces the sequential scheduler.
+inline TimedRun timedRun(Detector D, kernels::Kernel &K,
+                         kernels::KernelConfig Cfg, unsigned Threads,
+                         int Reps) {
+  Cfg.Verify = false;
+  TimedRun Best;
+  Best.Seconds = 1e100;
+  for (int R = 0; R < Reps; ++R) {
+    detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+    std::unique_ptr<detector::Tool> Tool = makeTool(D, Sink);
+    rt::SchedulerKind Kind = (Tool && Tool->requiresSequential())
+                                 ? rt::SchedulerKind::SequentialDepthFirst
+                                 : rt::SchedulerKind::Parallel;
+    rt::Runtime RT({Kind == rt::SchedulerKind::Parallel ? Threads : 1u,
+                    Kind, Tool.get()});
+    StopWatch W;
+    kernels::KernelResult Res = K.execute(RT, Cfg);
+    double Sec = W.seconds();
+    if (Sec < Best.Seconds) {
+      Best.Seconds = Sec;
+      Best.Checksum = Res.Checksum;
+      Best.PeakToolBytes = Tool ? Tool->peakMemoryBytes() : 0;
+      Best.Races = Sink.raceCount();
+    }
+  }
+  return Best;
+}
+
+/// Geometric mean of positive values.
+inline double geoMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+inline void printHeader(const char *Title, const BenchEnv &E) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", Title);
+  std::printf("hardware threads: %u | size class: %s | reps: %d\n",
+              std::thread::hardware_concurrency(),
+              E.Size == kernels::SizeClass::Test      ? "test"
+              : E.Size == kernels::SizeClass::Default ? "default"
+                                                      : "small",
+              E.Reps);
+  std::printf("(relative slowdowns compare equal worker counts on this "
+              "machine;\n absolute scaling requires the paper's 16-core "
+              "SMP)\n");
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+inline double mb(size_t Bytes) {
+  return static_cast<double>(Bytes) / (1024.0 * 1024.0);
+}
+
+} // namespace spd3::bench
+
+#endif // SPD3_BENCH_HARNESS_H

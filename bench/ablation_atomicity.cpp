@@ -1,0 +1,91 @@
+//===- bench/ablation_atomicity.cpp - Section 5.4 protocol ablation -----------===//
+//
+// Section 6.1 of the paper compares the compareAndSet (lock-free,
+// Section 5.4) shadow-memory protocol against a lock-based one: "the lock
+// based implementation is 1.8x slower (on average) ... when running on
+// 16-threads ... up to 7x for some benchmarks. The compareAndSet
+// implementation is always faster ... for larger numbers of threads",
+// while locks win in the uncontended 1-thread case. This binary measures
+// both protocols across the kernel suite and worker counts, plus a
+// maximally read-shared microworkload where the no-update fast path
+// matters most.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "detector/Tracked.h"
+
+using namespace spd3;
+using namespace spd3::bench;
+
+/// Pure read-sharing microworkload: N tasks sum over one small shared
+/// array. Every access is a no-update memory action once r1/r2 stabilize.
+static double readSharedMicro(Detector D, unsigned Threads, int Tasks) {
+  detector::RaceSink Sink;
+  std::unique_ptr<detector::Tool> Tool = makeTool(D, Sink);
+  rt::Runtime RT({Threads, rt::SchedulerKind::Parallel, Tool.get()});
+  StopWatch W;
+  RT.run([&] {
+    detector::TrackedArray<double> Shared(16, 1.0);
+    rt::parallelFor(0, static_cast<size_t>(Tasks), [&](size_t) {
+      double Sum = 0;
+      for (int Round = 0; Round < 32; ++Round)
+        for (size_t I = 0; I < Shared.size(); ++I)
+          Sum += Shared.get(I);
+      (void)Sum;
+    });
+  });
+  return W.seconds();
+}
+
+int main() {
+  BenchEnv E = benchEnv();
+  printHeader("Ablation (Section 5.4): lock-free (CAS) vs striped-lock "
+              "shadow-memory protocol",
+              E);
+
+  std::printf("-- read-shared microworkload (lock-based time / lock-free "
+              "time; >1 means CAS wins) --\n");
+  std::printf("%-10s %12s %12s %8s\n", "threads", "lockfree(s)",
+              "mutex(s)", "ratio");
+  for (int T : E.Threads) {
+    double LockFree = 1e100, Mutex = 1e100;
+    for (int R = 0; R < E.Reps; ++R) {
+      LockFree = std::min(LockFree,
+                          readSharedMicro(Detector::Spd3,
+                                          static_cast<unsigned>(T), 600));
+      Mutex = std::min(Mutex, readSharedMicro(Detector::Spd3Mutex,
+                                              static_cast<unsigned>(T),
+                                              600));
+    }
+    std::printf("%-10d %12.4f %12.4f %7.2fx\n", T, LockFree, Mutex,
+                Mutex / LockFree);
+    std::fflush(stdout);
+  }
+
+  unsigned T = static_cast<unsigned>(E.Threads.back());
+  std::printf("\n-- full kernels at %u workers --\n", T);
+  std::printf("%-12s %12s %12s %8s\n", "benchmark", "lockfree(s)",
+              "mutex(s)", "ratio");
+  std::vector<double> Ratios;
+  for (kernels::Kernel *K : kernels::allKernels()) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    TimedRun LockFree = timedRun(Detector::Spd3, *K, Cfg, T, E.Reps);
+    TimedRun Mutex = timedRun(Detector::Spd3Mutex, *K, Cfg, T, E.Reps);
+    double Ratio = Mutex.Seconds / LockFree.Seconds;
+    Ratios.push_back(Ratio);
+    std::printf("%-12s %12.4f %12.4f %7.2fx\n", K->name(),
+                LockFree.Seconds, Mutex.Seconds, Ratio);
+    std::fflush(stdout);
+  }
+  std::printf("%-12s %12s %12s %7.2fx\n", "GeoMean", "-", "-",
+              geoMean(Ratios));
+  std::printf("\npaper: mutex/CAS ratio ~1.8x average at 16 threads (up to "
+              "7x); at 1 thread\nthe lock variant wins (uncontended locks "
+              "are cheaper than fences+CAS).\nContention requires real "
+              "cores; on 1 core expect ratios near 1.\n");
+  return 0;
+}

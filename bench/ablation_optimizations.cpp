@@ -1,0 +1,87 @@
+//===- bench/ablation_optimizations.cpp - Section 5.5 ablation ----------------===//
+//
+// Section 5.5 of the paper applies static redundant-check elimination
+// (read/write-check elimination, loop-invariant checks, ...). This
+// repository implements the dynamic equivalent: a per-step duplicate-
+// check cache. This binary measures its effect across the suite — the
+// benefit concentrates in kernels that re-touch the same locations inside
+// one step (LUFact's pivot row, MolDyn's position reads, MatMul's
+// operands), and it is exactly zero by construction on kernels whose
+// steps touch each location once.
+//
+// A second section quantifies FastTrack's fine-grained collapse: the
+// paper ran FastTrack only on chunked loops because per-task vector
+// clocks explode with one-async-per-iteration parallelism (Section 6.3's
+// OutOfMemoryError remark). We run it on both decompositions of a few
+// kernels and report metadata bytes and issued task ids.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "baselines/FastTrack.h"
+
+using namespace spd3;
+using namespace spd3::bench;
+
+int main() {
+  BenchEnv E = benchEnv();
+  unsigned T = static_cast<unsigned>(E.Threads.back());
+  printHeader("Ablation (Section 5.5): per-step check-elimination cache; "
+              "FastTrack fine-grained blowup",
+              E);
+
+  std::printf("-- SPD3 (all optimizations) vs no check cache vs no DMHP "
+              "memo, %u workers --\n",
+              T);
+  std::printf("%-12s %10s %10s %10s %9s %9s\n", "benchmark", "full(s)",
+              "nocache(s)", "nomemo(s)", "cache-gain", "memo-gain");
+  std::vector<double> CacheGain, MemoGain;
+  for (kernels::Kernel *K : kernels::allKernels()) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    TimedRun Full = timedRun(Detector::Spd3, *K, Cfg, T, E.Reps);
+    TimedRun NoCache = timedRun(Detector::Spd3NoCache, *K, Cfg, T, E.Reps);
+    TimedRun NoMemo = timedRun(Detector::Spd3NoMemo, *K, Cfg, T, E.Reps);
+    CacheGain.push_back(NoCache.Seconds / Full.Seconds);
+    MemoGain.push_back(NoMemo.Seconds / Full.Seconds);
+    std::printf("%-12s %10.4f %10.4f %10.4f %8.2fx %8.2fx\n", K->name(),
+                Full.Seconds, NoCache.Seconds, NoMemo.Seconds,
+                CacheGain.back(), MemoGain.back());
+    std::fflush(stdout);
+  }
+  std::printf("%-12s %10s %10s %10s %8.2fx %8.2fx\n", "GeoMean", "-", "-",
+              "-", geoMean(CacheGain), geoMean(MemoGain));
+
+  std::printf("\n-- FastTrack metadata: chunked vs fine-grained decomposition "
+              "--\n");
+  std::printf("%-12s %10s %12s %10s %12s\n", "benchmark", "chunk-ids",
+              "chunk-bytes", "fine-ids", "fine-bytes");
+  for (const char *Name : {"series", "sparse", "moldyn", "matmul"}) {
+    kernels::Kernel *K = kernels::findKernel(Name);
+    auto Measure = [&](kernels::Variant V) {
+      detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+      baselines::FastTrackTool Tool(Sink);
+      rt::Runtime RT({T, rt::SchedulerKind::Parallel, &Tool});
+      kernels::KernelConfig Cfg;
+      Cfg.Size = E.Size;
+      Cfg.Var = V;
+      Cfg.Chunks = T;
+      Cfg.Verify = false;
+      K->execute(RT, Cfg);
+      return std::make_pair(Tool.tasksSeen(), Tool.peakMemoryBytes());
+    };
+    auto [ChunkIds, ChunkBytes] = Measure(kernels::Variant::Chunked);
+    auto [FineIds, FineBytes] = Measure(kernels::Variant::FineGrained);
+    std::printf("%-12s %10u %10.3fMB %10u %10.3fMB\n", Name, ChunkIds,
+                mb(ChunkBytes), FineIds, mb(FineBytes));
+    std::fflush(stdout);
+  }
+  std::printf("\nshape to check: fine-grained task ids (and bytes) exceed "
+              "chunked by orders\nof magnitude — the reason the paper's "
+              "FastTrack comparison uses chunked\nloops and why vector-"
+              "clock detectors cannot monitor task-per-iteration\n"
+              "parallelism.\n");
+  return 0;
+}

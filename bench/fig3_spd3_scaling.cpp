@@ -1,0 +1,53 @@
+//===- bench/fig3_spd3_scaling.cpp - Figure 3 reproduction ------------------===//
+//
+// Figure 3 of the paper: relative slowdown of SPD3 for all 15 benchmarks
+// on 1, 2, 4, 8 and 16 worker threads. "Relative slowdown on n threads"
+// is (SPD3 time on n threads) / (uninstrumented time on n threads); the
+// paper reports a 2.78x geometric mean at 16 threads, with four
+// benchmarks (Crypt, LUFact, RayTracer, FFT) around 10x, and — the
+// scalability claim — slowdowns roughly flat in the worker count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace spd3;
+using namespace spd3::bench;
+
+int main() {
+  BenchEnv E = benchEnv();
+  printHeader("Figure 3: SPD3 relative slowdown per benchmark and worker "
+              "count",
+              E);
+
+  std::printf("%-12s", "benchmark");
+  for (int T : E.Threads)
+    std::printf("  %4d-thr", T);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> PerThreadSlowdowns(E.Threads.size());
+  for (kernels::Kernel *K : kernels::allKernels()) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    std::printf("%-12s", K->name());
+    for (size_t TI = 0; TI < E.Threads.size(); ++TI) {
+      unsigned T = static_cast<unsigned>(E.Threads[TI]);
+      TimedRun Base = timedRun(Detector::None, *K, Cfg, T, E.Reps);
+      TimedRun Spd3 = timedRun(Detector::Spd3, *K, Cfg, T, E.Reps);
+      double Slowdown = Spd3.Seconds / Base.Seconds;
+      PerThreadSlowdowns[TI].push_back(Slowdown);
+      std::printf("  %7.2fx", Slowdown);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-12s", "GeoMean");
+  for (auto &Column : PerThreadSlowdowns)
+    std::printf("  %7.2fx", geoMean(Column));
+  std::printf("\n\npaper: geomean 2.78x at 16 threads; Crypt/LUFact/"
+              "RayTracer/FFT ~10x;\nslowdown approximately flat from 1 to "
+              "16 threads (scalability).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- bench/fig4_espbags_vs_spd3.cpp - Figure 4 reproduction ----------------===//
+//
+// Figure 4 of the paper: slowdown of ESP-bags and SPD3 relative to the
+// 16-thread uninstrumented baseline, for all 15 benchmarks. ESP-bags is a
+// sequential algorithm so its numbers come from a 1-thread run; SPD3 runs
+// on the full worker count. The paper's headline: SPD3 is 3.2x faster
+// than ESP-bags on average on the 16-way machine, with >15x gaps on
+// Series and MatMul and near-parity on Crypt (whose uninstrumented
+// version does not scale).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace spd3;
+using namespace spd3::bench;
+
+int main() {
+  BenchEnv E = benchEnv();
+  unsigned MaxThreads = static_cast<unsigned>(E.Threads.back());
+  printHeader("Figure 4: ESP-bags (1 thread) vs SPD3 (max threads), both "
+              "relative to the max-thread uninstrumented baseline",
+              E);
+
+  std::printf("%-12s %12s %12s %10s\n", "benchmark", "espbags", "spd3",
+              "esp/spd3");
+  std::vector<double> Esp, Spd, Ratio;
+  for (kernels::Kernel *K : kernels::allKernels()) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    TimedRun Base = timedRun(Detector::None, *K, Cfg, MaxThreads, E.Reps);
+    TimedRun EspRun = timedRun(Detector::EspBags, *K, Cfg, 1, E.Reps);
+    TimedRun SpdRun = timedRun(Detector::Spd3, *K, Cfg, MaxThreads, E.Reps);
+    double EspSlow = EspRun.Seconds / Base.Seconds;
+    double SpdSlow = SpdRun.Seconds / Base.Seconds;
+    Esp.push_back(EspSlow);
+    Spd.push_back(SpdSlow);
+    Ratio.push_back(EspSlow / SpdSlow);
+    std::printf("%-12s %11.2fx %11.2fx %9.2fx\n", K->name(), EspSlow,
+                SpdSlow, EspSlow / SpdSlow);
+    std::fflush(stdout);
+  }
+  std::printf("%-12s %11.2fx %11.2fx %9.2fx\n", "GeoMean", geoMean(Esp),
+              geoMean(Spd), geoMean(Ratio));
+  std::printf("\npaper: SPD3 3.2x faster than ESP-bags on average at 16 "
+              "cores; the gap\nrequires real parallel hardware — on one "
+              "core the two run neck-and-neck\n(ESP-bags even wins "
+              "slightly: no atomics, no scheduler), which is exactly\nthe "
+              "paper's point about sequential detectors forfeiting the "
+              "machine.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench/fig6_lufact_memory.cpp - Figure 6 reproduction -------------------===//
+//
+// Figure 6 of the paper: estimated memory of each detector on the chunked
+// LUFact benchmark as a function of worker count. Paper shape: Eraser
+// grows ~2.1x and FastTrack ~3x from 1 to 16 threads (locksets and vector
+// clocks scale with thread count); SPD3's footprint is flat.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace spd3;
+using namespace spd3::bench;
+
+int main() {
+  BenchEnv E = benchEnv();
+  printHeader("Figure 6: LUFact (chunked) peak detector metadata (MB) per "
+              "worker count",
+              E);
+
+  kernels::Kernel *K = kernels::findKernel("lufact");
+  const Detector Configs[] = {Detector::Eraser, Detector::FastTrack,
+                              Detector::Spd3};
+  std::printf("%-10s", "threads");
+  for (Detector D : Configs)
+    std::printf(" %12s", detectorName(D));
+  std::printf("\n");
+
+  for (int T : E.Threads) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::Chunked;
+    Cfg.Chunks = static_cast<unsigned>(T);
+    std::printf("%-10d", T);
+    for (Detector D : Configs) {
+      TimedRun R = timedRun(D, *K, Cfg, static_cast<unsigned>(T), 1);
+      std::printf(" %10.3fMB", mb(R.PeakToolBytes));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: Eraser 833MB->1790MB, FastTrack 825MB->2455MB from "
+              "1 to 16 threads;\nSPD3 flat at ~200MB. Shape to check: the "
+              "baselines' columns grow with the\nworker count, SPD3's does "
+              "not (its shadow is O(1) per location and its DPST\ndepends "
+              "on the task structure, not the worker count).\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+//===- bench/micro_dpst.cpp - Section 5.3 microbenchmarks ---------------------===//
+//
+// google-benchmark microbenchmarks for the complexity claims of Sections
+// 5.1-5.3:
+//   * DPST node insertion is O(1): per-op time flat in tree size.
+//   * LCA / DMHP cost is linear in the path length to the LCA and
+//     independent of tree width and task count.
+//   * One full SPD3 memory action (read check) on warm shadow state, both
+//     protocols — the per-access cost the paper's slowdowns are built of.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+#include "dpst/Dpst.h"
+#include "runtime/Runtime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spd3;
+using dpst::Dpst;
+using dpst::Node;
+
+/// Insertion cost as the tree grows: time per onAsync is O(1) regardless
+/// of existing size (Range = preexisting sibling count).
+static void BM_DpstAsyncInsertion(benchmark::State &State) {
+  Dpst T;
+  // Pre-grow to the requested width.
+  for (int64_t I = 0; I < State.range(0); ++I)
+    T.onAsync(T.root());
+  for (auto _ : State) {
+    Dpst::AsyncInsertion Ins = T.onAsync(T.root());
+    benchmark::DoNotOptimize(Ins.AsyncNode);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DpstAsyncInsertion)->Arg(0)->Arg(1 << 10)->Arg(1 << 16);
+
+/// Build a chain of nested asyncs of the given depth and return the two
+/// leaves whose LCA is the root.
+static std::pair<Node *, Node *> chainLeaves(Dpst &T, int64_t Depth) {
+  Node *Scope = T.root();
+  Node *Leaf = T.initialStep();
+  for (int64_t I = 0; I < Depth; ++I) {
+    Dpst::AsyncInsertion Ins = T.onAsync(Scope);
+    Scope = Ins.AsyncNode;
+    Leaf = Ins.ChildStep;
+  }
+  // Second branch of the same depth.
+  Node *Scope2 = T.root();
+  Node *Leaf2 = T.initialStep();
+  for (int64_t I = 0; I < Depth; ++I) {
+    Dpst::AsyncInsertion Ins = T.onAsync(Scope2);
+    Scope2 = Ins.AsyncNode;
+    Leaf2 = Ins.ChildStep;
+  }
+  return {Leaf, Leaf2};
+}
+
+/// LCA cost scales with the depth of the two nodes (Section 5.2).
+static void BM_DpstLca(benchmark::State &State) {
+  Dpst T;
+  auto [A, B] = chainLeaves(T, State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dpst::lca(A, B));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DpstLca)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// DMHP = LCA + O(1) (Algorithm 3).
+static void BM_DpstDmhp(benchmark::State &State) {
+  Dpst T;
+  auto [A, B] = chainLeaves(T, State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dpst::dmhp(A, B));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DpstDmhp)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// DMHP between *shallow* steps is O(1) even in a huge, wide tree: cost
+/// tracks path length, not task count — the scalability core of the
+/// paper.
+static void BM_DpstDmhpWideTree(benchmark::State &State) {
+  Dpst T;
+  Node *First = nullptr, *Last = nullptr;
+  for (int64_t I = 0; I < State.range(0); ++I) {
+    Dpst::AsyncInsertion Ins = T.onAsync(T.root());
+    if (!First)
+      First = Ins.ChildStep;
+    Last = Ins.ChildStep;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dpst::dmhp(First, Last));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DpstDmhpWideTree)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 18);
+
+/// One warm SPD3 read action (hash-free dense shadow, no update needed):
+/// the steady-state per-access detector cost.
+template <detector::Spd3Options::Protocol Proto>
+static void BM_Spd3ReadAction(benchmark::State &State) {
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink, detector::Spd3Options{Proto, false});
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    detector::TrackedArray<double> A(64, 1.0);
+    // Warm the shadow: one prior reader.
+    rt::finish([&] {
+      rt::async([&] {
+        for (size_t I = 0; I < 64; ++I)
+          (void)A.get(I);
+      });
+    });
+    for (auto _ : State)
+      for (size_t I = 0; I < 64; ++I)
+        benchmark::DoNotOptimize(A.get(I));
+    State.SetItemsProcessed(State.iterations() * 64);
+  });
+}
+BENCHMARK(BM_Spd3ReadAction<detector::Spd3Options::Protocol::LockFree>)
+    ->Name("BM_Spd3ReadAction_LockFree");
+BENCHMARK(BM_Spd3ReadAction<detector::Spd3Options::Protocol::Mutex>)
+    ->Name("BM_Spd3ReadAction_Mutex");
+
+/// Uninstrumented accessor cost for reference (the branch-only fast path).
+static void BM_UninstrumentedAccess(benchmark::State &State) {
+  rt::Runtime RT({1, rt::SchedulerKind::Parallel, nullptr});
+  RT.run([&] {
+    detector::TrackedArray<double> A(64, 1.0);
+    for (auto _ : State)
+      for (size_t I = 0; I < 64; ++I)
+        benchmark::DoNotOptimize(A.get(I));
+    State.SetItemsProcessed(State.iterations() * 64);
+  });
+}
+BENCHMARK(BM_UninstrumentedAccess);
+
+BENCHMARK_MAIN();

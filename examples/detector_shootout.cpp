@@ -1,0 +1,115 @@
+//===- examples/detector_shootout.cpp - Four detectors, one bug ---------------===//
+//
+// Runs a small wavefront stencil with a subtle synchronization bug — the
+// programmer "optimized away" one finish scope, letting row i+1 start
+// before row i is complete — under all four detectors, and then the fixed
+// version. Demonstrates the paper's comparison qualitatively:
+//
+//   * SPD3 / ESP-bags / FastTrack: report the bug, silent after the fix.
+//   * Eraser: reports the bug too, but ALSO reports the fixed version
+//     (fork/join ordering is invisible to locksets): the Section 6.3
+//     false positives.
+//
+// Build & run:   ninja -C build && ./build/examples/detector_shootout
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EspBags.h"
+#include "baselines/Eraser.h"
+#include "baselines/FastTrack.h"
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace spd3;
+
+namespace {
+
+constexpr size_t N = 24;
+
+/// Two-sweep wavefront stencil: row r depends on row r-1. The buggy
+/// variant launches all rows of a sweep under ONE finish (rows race with
+/// their predecessors); the fixed variant closes a finish per row. The
+/// second sweep rewrites every cell from a fresh task — strictly ordered
+/// by the finishes, but a different "thread" in lockset eyes.
+void wavefront(bool Buggy) {
+  detector::TrackedArray<double> Grid(N * N, 1.0);
+  auto Row = [&](size_t R) {
+    for (size_t C = 0; C < N; ++C) {
+      double Up = R > 0 ? Grid.get((R - 1) * N + C) : 0.0;
+      Grid.set(R * N + C, Grid.get(R * N + C) * 0.5 + Up * 0.5);
+    }
+  };
+  for (int Sweep = 0; Sweep < 2; ++Sweep) {
+    if (Buggy) {
+      rt::finish([&] {
+        for (size_t R = 0; R < N; ++R)
+          rt::async([&, R] { Row(R); });
+      });
+    } else {
+      for (size_t R = 0; R < N; ++R)
+        rt::finish([&, R] { rt::async([&, R] { Row(R); }); });
+    }
+  }
+}
+
+struct Config {
+  const char *Name;
+  bool Sequential;
+};
+
+size_t racesUnder(detector::Tool *Tool, detector::RaceSink &Sink,
+                  bool Sequential, bool Buggy) {
+  rt::Runtime RT({Sequential ? 1u : 4u,
+                  Sequential ? rt::SchedulerKind::SequentialDepthFirst
+                             : rt::SchedulerKind::Parallel,
+                  Tool});
+  RT.run([&] { wavefront(Buggy); });
+  return Sink.raceCount();
+}
+
+} // namespace
+
+int main() {
+  std::printf("%-10s %14s %14s\n", "detector", "buggy-version",
+              "fixed-version");
+  for (int D = 0; D < 4; ++D) {
+    const char *Name = nullptr;
+    size_t BuggyRaces = 0, FixedRaces = 0;
+    for (bool Buggy : {true, false}) {
+      detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+      std::unique_ptr<detector::Tool> Tool;
+      bool Sequential = false;
+      switch (D) {
+      case 0:
+        Tool = std::make_unique<detector::Spd3Tool>(Sink);
+        break;
+      case 1:
+        Tool = std::make_unique<baselines::EspBagsTool>(Sink);
+        Sequential = true;
+        break;
+      case 2:
+        Tool = std::make_unique<baselines::FastTrackTool>(Sink);
+        break;
+      case 3:
+        Tool = std::make_unique<baselines::EraserTool>(Sink);
+        break;
+      }
+      Name = Tool->name();
+      size_t Races = racesUnder(Tool.get(), Sink, Sequential, Buggy);
+      (Buggy ? BuggyRaces : FixedRaces) = Races;
+    }
+    std::printf("%-10s %10zu loc %10zu loc%s\n", Name, BuggyRaces,
+                FixedRaces,
+                FixedRaces > 0 ? "   <- false positives (lockset "
+                                 "heuristic)"
+                               : "");
+  }
+  std::printf("\nprecise detectors separate the buggy from the fixed "
+              "program; Eraser\ncannot, because end-finish ordering is not "
+              "a lock.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- examples/quickstart.cpp - SPD3 in five minutes -------------------------===//
+//
+// Minimal end-to-end use of the library:
+//   1. write an async/finish program against spd3::rt,
+//   2. store shared data in TrackedArray / TrackedVar,
+//   3. attach an Spd3Tool and run — races (if any) land in the RaceSink.
+//
+// The program below computes a parallel prefix-sum-style reduction twice:
+// once correctly (race-free) and once with a classic bug (a shared
+// accumulator updated by every task). SPD3 stays silent on the first and
+// pinpoints the second.
+//
+// Build & run:   ninja -C build && ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+
+#include <cstdio>
+
+using namespace spd3;
+
+namespace {
+
+/// Race-free: every task writes its own slot; the owner sums after the
+/// finish joins them.
+double sumRaceFree(rt::Runtime &RT, int N) {
+  double Total = 0.0;
+  RT.run([&] {
+    detector::TrackedArray<double> Partial(N, 0.0);
+    rt::parallelFor(0, static_cast<size_t>(N), [&](size_t I) {
+      double V = 0;
+      for (int K = 0; K <= static_cast<int>(I); ++K)
+        V += K;
+      Partial.set(I, V);
+    });
+    for (int I = 0; I < N; ++I)
+      Total += Partial.get(I);
+  });
+  return Total;
+}
+
+/// Buggy: all tasks read-modify-write one shared accumulator with no
+/// synchronization.
+double sumBuggy(rt::Runtime &RT, int N) {
+  double Total = 0.0;
+  RT.run([&] {
+    detector::TrackedVar<double> Acc(0.0);
+    rt::parallelFor(0, static_cast<size_t>(N), [&](size_t I) {
+      double V = 0;
+      for (int K = 0; K <= static_cast<int>(I); ++K)
+        V += K;
+      Acc.set(Acc.get() + V); // data race: unordered RMW
+    });
+    Total = Acc.get();
+  });
+  return Total;
+}
+
+void report(const char *What, const detector::RaceSink &Sink) {
+  if (!Sink.anyRace()) {
+    std::printf("%-10s no races detected\n", What);
+    return;
+  }
+  std::printf("%-10s %zu racy location(s); first:\n%s\n", What,
+              Sink.raceCount(),
+              detector::Spd3Tool::describeRace(Sink.races()[0]).c_str());
+}
+
+} // namespace
+
+int main() {
+  constexpr int N = 64;
+
+  // Uninstrumented run: zero-overhead mode, the tool is simply absent.
+  {
+    rt::Runtime RT({4});
+    std::printf("plain      sum = %.0f (no detector attached)\n",
+                sumRaceFree(RT, N));
+  }
+
+  // Monitored race-free run.
+  {
+    detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+    detector::Spd3Tool Tool(Sink);
+    rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
+    sumRaceFree(RT, N);
+    report("race-free", Sink);
+  }
+
+  // Monitored buggy run.
+  {
+    detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+    detector::Spd3Tool Tool(Sink);
+    rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
+    sumBuggy(RT, N);
+    report("buggy", Sink);
+  }
+
+  std::printf("\nSPD3 is precise for a given input: a silent run means no "
+              "schedule of this\ninput has a race; a report means some "
+              "schedule really does.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+//===- baselines/Eraser.cpp - Eraser lockset detector baseline ------------===//
+
+#include "baselines/Eraser.h"
+
+#include "runtime/Task.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+namespace spd3::baselines {
+
+using detector::RaceKind;
+
+bool LockSet::contains(const void *L) const {
+  return std::binary_search(Locks.begin(), Locks.end(), L);
+}
+
+LockSetTable::LockSetTable() { Empty = intern({}); }
+
+const LockSet *LockSetTable::intern(std::vector<const void *> Locks) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Table.find(Locks);
+  if (It != Table.end())
+    return It->second;
+  auto *LS = new LockSet{Locks};
+  Table.emplace(std::move(Locks), LS);
+  return LS;
+}
+
+const LockSet *LockSetTable::intersect(const LockSet *A, const LockSet *B) {
+  if (A == B)
+    return A;
+  std::vector<const void *> Out;
+  std::set_intersection(A->Locks.begin(), A->Locks.end(), B->Locks.begin(),
+                        B->Locks.end(), std::back_inserter(Out));
+  return intern(std::move(Out));
+}
+
+size_t LockSetTable::memoryBytes() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const auto &[Key, LS] : Table)
+    N += LS->memoryBytes() + Key.capacity() * sizeof(const void *) + 48;
+  return N;
+}
+
+struct EraserTool::TaskState {
+  uint32_t Tid;
+  std::vector<const void *> Held; // sorted
+};
+
+EraserTool::EraserTool(detector::RaceSink &Sink) : Sink(Sink) {
+  Locks = new std::mutex[NumLocks];
+}
+
+EraserTool::~EraserTool() { delete[] Locks; }
+
+EraserTool::TaskState *EraserTool::state(rt::Task &T) const {
+  return static_cast<TaskState *>(T.ToolData);
+}
+
+std::mutex &EraserTool::lockFor(const Cell &C) {
+  return Locks[(reinterpret_cast<uintptr_t>(&C) >> 4) & (NumLocks - 1)];
+}
+
+void EraserTool::onRunStart(rt::Task &Root) {
+  auto *TS = new TaskState();
+  TS->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  Root.ToolData = TS;
+  Bytes.add(sizeof(TaskState));
+}
+
+void EraserTool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
+  auto *TS = new TaskState();
+  TS->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  Child.ToolData = TS;
+  Bytes.add(sizeof(TaskState));
+}
+
+void EraserTool::onTaskEnd(rt::Task &T) {
+  Bytes.sub(sizeof(TaskState));
+  delete state(T);
+  T.ToolData = nullptr;
+}
+
+void EraserTool::onLockAcquire(rt::Task &T, const void *Lock) {
+  TaskState *TS = state(T);
+  auto It = std::lower_bound(TS->Held.begin(), TS->Held.end(), Lock);
+  if (It == TS->Held.end() || *It != Lock)
+    TS->Held.insert(It, Lock);
+}
+
+void EraserTool::onLockRelease(rt::Task &T, const void *Lock) {
+  TaskState *TS = state(T);
+  auto It = std::lower_bound(TS->Held.begin(), TS->Held.end(), Lock);
+  if (It != TS->Held.end() && *It == Lock)
+    TS->Held.erase(It);
+}
+
+void EraserTool::onRegisterRange(const void *Base, size_t Count,
+                                 uint32_t ElemSize) {
+  Shadow.registerRange(Base, Count, ElemSize);
+}
+
+void EraserTool::onUnregisterRange(const void *Base) {
+  Shadow.unregisterRange(Base);
+}
+
+size_t EraserTool::memoryBytes() const {
+  return Shadow.memoryBytes() + Sets.memoryBytes() + Bytes.current();
+}
+
+void EraserTool::access(rt::Task &T, const void *Addr, bool IsWrite) {
+  if (!Sink.shouldCheck())
+    return;
+  TaskState *TS = state(T);
+  Cell &C = *Shadow.cell(Addr);
+  std::lock_guard<std::mutex> Lock(lockFor(C));
+  switch (C.St) {
+  case State::Virgin:
+    C.St = State::Exclusive;
+    C.Owner = TS->Tid;
+    return;
+  case State::Exclusive:
+    if (C.Owner == TS->Tid)
+      return; // Still single-task; no lockset refinement yet.
+    C.CS = Sets.intern(TS->Held);
+    C.St = IsWrite ? State::SharedModified : State::Shared;
+    break;
+  case State::Shared:
+    C.CS = Sets.intersect(C.CS, Sets.intern(TS->Held));
+    if (IsWrite)
+      C.St = State::SharedModified;
+    break;
+  case State::SharedModified:
+    C.CS = Sets.intersect(C.CS, Sets.intern(TS->Held));
+    break;
+  }
+  // Warning condition: write-shared with an empty candidate lockset. This
+  // is a locking-discipline heuristic, so on lock-free fork/join code it
+  // fires even for well-ordered accesses (Eraser's false positives in
+  // Section 6.3).
+  if (C.St == State::SharedModified && C.CS->Locks.empty())
+    Sink.report(detector::Race{IsWrite ? RaceKind::WriteWrite
+                                       : RaceKind::WriteRead,
+                               Addr, C.Owner, TS->Tid, name()});
+}
+
+void EraserTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
+  access(T, Addr, /*IsWrite=*/false);
+}
+
+void EraserTool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
+  access(T, Addr, /*IsWrite=*/true);
+}
+
+} // namespace spd3::baselines

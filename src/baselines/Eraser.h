@@ -1,0 +1,121 @@
+//===- baselines/Eraser.h - Eraser lockset detector baseline ----*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eraser (Savage et al., TOCS'97): the classic lockset algorithm, the
+/// paper's second head-to-head baseline (Section 6.3).
+///
+/// Eraser checks a locking-discipline *heuristic*, not happens-before: each
+/// location carries a candidate lockset C(v), refined by intersection with
+/// the accessor's held locks; a warning fires once the location is
+/// write-shared with an empty candidate set. Eraser is therefore imprecise
+/// on fork/join programs — accesses ordered by task creation or finish
+/// joins but protected by no common lock are reported as races. The paper
+/// leans on exactly this: Eraser "reported false data races for many
+/// benchmarks", and our integration tests reproduce that behaviour on the
+/// chunked kernels.
+///
+/// Per-location state transitions Virgin -> Exclusive(t) -> Shared ->
+/// SharedModified; locksets are interned so repeated sets share storage
+/// (as in the original implementation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_BASELINES_ERASER_H
+#define SPD3_BASELINES_ERASER_H
+
+#include "detector/MemoryAccounting.h"
+#include "detector/RaceReport.h"
+#include "detector/ShadowSpace.h"
+#include "detector/Tool.h"
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace spd3::baselines {
+
+/// An immutable, interned set of lock identities.
+struct LockSet {
+  std::vector<const void *> Locks; // sorted, unique
+
+  bool contains(const void *L) const;
+  size_t memoryBytes() const {
+    return sizeof(LockSet) + Locks.capacity() * sizeof(const void *);
+  }
+};
+
+/// Intern table mapping lock vectors to canonical LockSet instances.
+class LockSetTable {
+public:
+  LockSetTable();
+
+  /// The canonical empty set.
+  const LockSet *empty() const { return Empty; }
+
+  /// Canonical instance for \p Locks (sorted, unique).
+  const LockSet *intern(std::vector<const void *> Locks);
+
+  /// Canonical intersection of \p A and \p B.
+  const LockSet *intersect(const LockSet *A, const LockSet *B);
+
+  size_t memoryBytes() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::vector<const void *>, LockSet *> Table;
+  const LockSet *Empty;
+};
+
+class EraserTool : public detector::Tool {
+public:
+  enum class State : uint8_t { Virgin, Exclusive, Shared, SharedModified };
+
+  struct Cell {
+    State St = State::Virgin;
+    uint32_t Owner = 0;
+    const LockSet *CS = nullptr; // null until the location leaves Exclusive
+  };
+
+  explicit EraserTool(detector::RaceSink &Sink);
+  ~EraserTool() override;
+
+  const char *name() const override { return "eraser"; }
+
+  void onRunStart(rt::Task &Root) override;
+  void onTaskCreate(rt::Task &Parent, rt::Task &Child) override;
+  void onTaskEnd(rt::Task &T) override;
+  void onRead(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onWrite(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onLockAcquire(rt::Task &T, const void *Lock) override;
+  void onLockRelease(rt::Task &T, const void *Lock) override;
+  void onRegisterRange(const void *Base, size_t Count,
+                       uint32_t ElemSize) override;
+  void onUnregisterRange(const void *Base) override;
+  size_t memoryBytes() const override;
+  size_t peakMemoryBytes() const override {
+    return Shadow.memoryBytes() + Sets.memoryBytes() + Bytes.peak();
+  }
+
+private:
+  struct TaskState;
+
+  TaskState *state(rt::Task &T) const;
+  std::mutex &lockFor(const Cell &C);
+  void access(rt::Task &T, const void *Addr, bool IsWrite);
+
+  detector::RaceSink &Sink;
+  detector::ShadowSpace<Cell> Shadow;
+  LockSetTable Sets;
+  detector::ByteCounter Bytes;
+  std::atomic<uint32_t> NextTid{0};
+  static constexpr size_t NumLocks = 4096;
+  std::mutex *Locks;
+};
+
+} // namespace spd3::baselines
+
+#endif // SPD3_BASELINES_ERASER_H

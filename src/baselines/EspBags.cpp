@@ -1,0 +1,93 @@
+//===- baselines/EspBags.cpp - ESP-bags sequential detector ---------------===//
+
+#include "baselines/EspBags.h"
+
+#include "runtime/Task.h"
+#include "support/Compiler.h"
+
+namespace spd3::baselines {
+
+using detector::RaceKind;
+
+// Task ids are stored directly in the Task/FinishRecord ToolData slots
+// (they are small integers, not pointers).
+static void *encode(uint32_t Id) {
+  return reinterpret_cast<void *>(static_cast<uintptr_t>(Id));
+}
+static uint32_t decode(void *P) {
+  return static_cast<uint32_t>(reinterpret_cast<uintptr_t>(P));
+}
+
+void EspBagsTool::onRunStart(rt::Task &Root) {
+  Root.ToolData = encode(Bags.makeSet(DisjointSet::Tag::SBag));
+}
+
+void EspBagsTool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
+  Child.ToolData = encode(Bags.makeSet(DisjointSet::Tag::SBag));
+}
+
+void EspBagsTool::onTaskEnd(rt::Task &T) {
+  // The ended task's bag (its S-bag plus everything previously merged into
+  // it) becomes part of the P-bag of its immediately enclosing finish: its
+  // accesses may run in parallel with the rest of that finish scope.
+  uint32_t FinishAnchor = decode(T.Ief->ToolData);
+  Bags.unionInto(FinishAnchor, decode(T.ToolData));
+}
+
+void EspBagsTool::onFinishStart(rt::Task &T, rt::FinishRecord &F) {
+  // Anchor element for the finish's P-bag (sets cannot be empty).
+  F.ToolData = encode(Bags.makeSet(DisjointSet::Tag::PBag));
+}
+
+void EspBagsTool::onFinishEnd(rt::Task &T, rt::FinishRecord &F) {
+  // Everything joined at this finish is serialized before the owning
+  // task's continuation: fold the P-bag into the task's S-bag.
+  Bags.unionInto(decode(T.ToolData), decode(F.ToolData));
+}
+
+void EspBagsTool::onRegisterRange(const void *Base, size_t Count,
+                                  uint32_t ElemSize) {
+  Shadow.registerRange(Base, Count, ElemSize);
+}
+
+void EspBagsTool::onUnregisterRange(const void *Base) {
+  Shadow.unregisterRange(Base);
+}
+
+size_t EspBagsTool::memoryBytes() const {
+  return Bags.memoryBytes() + Shadow.memoryBytes();
+}
+
+void EspBagsTool::report(RaceKind K, const void *Addr, uint32_t Prior,
+                         uint32_t Cur) {
+  Sink.report(detector::Race{K, Addr, Prior, Cur, name()});
+}
+
+void EspBagsTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return;
+  Cell &C = *Shadow.cell(Addr);
+  uint32_t Me = decode(T.ToolData);
+  // SP-bags read rule: a recorded writer whose bag is a P-bag may run in
+  // parallel with the current access.
+  if (inPBag(C.Writer))
+    report(RaceKind::WriteRead, Addr, C.Writer, Me);
+  // Keep a parallel reader as the witness: only replace the recorded
+  // reader when it is serialized (S-bag) or absent.
+  if (C.Reader == None || !inPBag(C.Reader))
+    C.Reader = Me;
+}
+
+void EspBagsTool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return;
+  Cell &C = *Shadow.cell(Addr);
+  uint32_t Me = decode(T.ToolData);
+  if (inPBag(C.Reader))
+    report(RaceKind::ReadWrite, Addr, C.Reader, Me);
+  if (inPBag(C.Writer))
+    report(RaceKind::WriteWrite, Addr, C.Writer, Me);
+  C.Writer = Me;
+}
+
+} // namespace spd3::baselines

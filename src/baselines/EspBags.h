@@ -1,0 +1,78 @@
+//===- baselines/EspBags.h - ESP-bags sequential detector -------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ESP-bags baseline (Raman et al., RV'10), the async/finish extension
+/// of SP-bags (Feng & Leiserson, SPAA'97), compared against SPD3 in
+/// Section 6.2 of the paper.
+///
+/// ESP-bags requires the program to execute in *depth-first sequential*
+/// order (an async body runs to completion at its spawn point). Each task
+/// owns an S-bag; each finish instance owns a P-bag; bags are sets in a
+/// fast union-find:
+///   - task created        : fresh singleton S-bag for it;
+///   - task t ends         : S(t) (with everything merged into it) moves
+///                           into P(IEF(t)) — t's accesses may now run in
+///                           parallel with whatever follows in this finish;
+///   - finish f ends in t  : P(f) moves into S(t) — everything joined at f
+///                           is now serialized before t's continuation.
+/// Shadow state per location is one writer and one reader task id (O(1)
+/// space). An access races with a recorded one iff the recorded task's bag
+/// is currently a P-bag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_BASELINES_ESPBAGS_H
+#define SPD3_BASELINES_ESPBAGS_H
+
+#include "detector/RaceReport.h"
+#include "detector/ShadowSpace.h"
+#include "detector/Tool.h"
+#include "support/DisjointSet.h"
+
+namespace spd3::baselines {
+
+class EspBagsTool : public detector::Tool {
+public:
+  /// Shadow state: last writer task and one reader task (sentinel None).
+  struct Cell {
+    uint32_t Writer = None;
+    uint32_t Reader = None;
+  };
+  static constexpr uint32_t None = 0xffffffffu;
+
+  explicit EspBagsTool(detector::RaceSink &Sink) : Sink(Sink) {}
+
+  const char *name() const override { return "espbags"; }
+  bool requiresSequential() const override { return true; }
+
+  void onRunStart(rt::Task &Root) override;
+  void onTaskCreate(rt::Task &Parent, rt::Task &Child) override;
+  void onTaskEnd(rt::Task &T) override;
+  void onFinishStart(rt::Task &T, rt::FinishRecord &F) override;
+  void onFinishEnd(rt::Task &T, rt::FinishRecord &F) override;
+  void onRead(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onWrite(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onRegisterRange(const void *Base, size_t Count,
+                       uint32_t ElemSize) override;
+  void onUnregisterRange(const void *Base) override;
+  size_t memoryBytes() const override;
+
+private:
+  bool inPBag(uint32_t Elem) {
+    return Elem != None && Bags.tag(Elem) == DisjointSet::Tag::PBag;
+  }
+  void report(detector::RaceKind K, const void *Addr, uint32_t Prior,
+              uint32_t Cur);
+
+  detector::RaceSink &Sink;
+  DisjointSet Bags;
+  detector::ShadowSpace<Cell> Shadow;
+};
+
+} // namespace spd3::baselines
+
+#endif // SPD3_BASELINES_ESPBAGS_H

@@ -1,0 +1,194 @@
+//===- baselines/FastTrack.cpp - FastTrack detector baseline --------------===//
+
+#include "baselines/FastTrack.h"
+
+#include "runtime/Task.h"
+#include "support/Compiler.h"
+#include "support/Stats.h"
+
+namespace spd3::baselines {
+
+using detector::RaceKind;
+
+namespace {
+Statistic NumReadsChecked("fasttrack", "readsChecked");
+Statistic NumWritesChecked("fasttrack", "writesChecked");
+Statistic NumReadVcPromotions("fasttrack", "readVcPromotions");
+} // namespace
+
+struct FastTrackTool::TaskState {
+  uint32_t Tid;
+  VectorClock VC;
+
+  Epoch epoch() const { return Epoch{Tid, VC.get(Tid)}; }
+};
+
+/// Per-finish join accumulator: ended tasks fold their clocks in; the
+/// owner joins the accumulator at end-finish.
+struct FastTrackTool::FinishState {
+  std::mutex Mutex;
+  VectorClock Acc;
+};
+
+FastTrackTool::FastTrackTool(detector::RaceSink &Sink) : Sink(Sink) {
+  Locks = new std::mutex[NumLocks];
+}
+
+FastTrackTool::~FastTrackTool() { delete[] Locks; }
+
+FastTrackTool::TaskState *FastTrackTool::state(rt::Task &T) const {
+  return static_cast<TaskState *>(T.ToolData);
+}
+
+std::mutex &FastTrackTool::lockFor(const Cell &C) {
+  return Locks[(reinterpret_cast<uintptr_t>(&C) >> 4) & (NumLocks - 1)];
+}
+
+void FastTrackTool::report(RaceKind K, const void *Addr, uint64_t Prior,
+                           uint64_t Cur) {
+  Sink.report(detector::Race{K, Addr, Prior, Cur, name()});
+}
+
+static uint64_t epochWord(const Epoch &E) {
+  return (static_cast<uint64_t>(E.Tid) << 32) | E.Clock;
+}
+
+void FastTrackTool::onRunStart(rt::Task &Root) {
+  auto *TS = new TaskState();
+  TS->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  TS->VC.set(TS->Tid, 1);
+  Root.ToolData = TS;
+  Bytes.add(sizeof(TaskState) + TS->VC.memoryBytes());
+}
+
+void FastTrackTool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
+  TaskState *PS = state(Parent);
+  auto *CS = new TaskState();
+  CS->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  // Fork: the child inherits everything the parent has seen so far, plus a
+  // fresh component of its own; the parent then advances so post-fork
+  // parent events are not ordered before the child.
+  CS->VC = PS->VC;
+  CS->VC.set(CS->Tid, 1);
+  size_t ParentBefore = PS->VC.memoryBytes();
+  PS->VC.increment(PS->Tid);
+  Bytes.add(PS->VC.memoryBytes() - ParentBefore);
+  Child.ToolData = CS;
+  Bytes.add(sizeof(TaskState) + CS->VC.memoryBytes());
+}
+
+void FastTrackTool::onTaskEnd(rt::Task &T) {
+  TaskState *TS = state(T);
+  // Join half 1: fold the ended task's clock into its IEF's accumulator.
+  // The implicit root finish has no accumulator (nobody joins the root).
+  if (auto *FS = static_cast<FinishState *>(T.Ief->ToolData)) {
+    std::lock_guard<std::mutex> Lock(FS->Mutex);
+    size_t Before = FS->Acc.memoryBytes();
+    FS->Acc.joinWith(TS->VC);
+    Bytes.add(FS->Acc.memoryBytes() - Before);
+  }
+  Bytes.sub(sizeof(TaskState) + TS->VC.memoryBytes());
+  delete TS;
+  T.ToolData = nullptr;
+}
+
+void FastTrackTool::onFinishStart(rt::Task &T, rt::FinishRecord &F) {
+  auto *FS = new FinishState();
+  F.ToolData = FS;
+  Bytes.add(sizeof(FinishState));
+}
+
+void FastTrackTool::onFinishEnd(rt::Task &T, rt::FinishRecord &F) {
+  auto *FS = static_cast<FinishState *>(F.ToolData);
+  TaskState *TS = state(T);
+  // Join half 2: every task that ended inside the scope happens-before the
+  // owner's continuation.
+  size_t Before = TS->VC.memoryBytes();
+  TS->VC.joinWith(FS->Acc);
+  Bytes.add(TS->VC.memoryBytes() - Before);
+  Bytes.sub(sizeof(FinishState) + FS->Acc.memoryBytes() -
+            sizeof(VectorClock));
+  delete FS;
+  F.ToolData = nullptr;
+}
+
+void FastTrackTool::onRegisterRange(const void *Base, size_t Count,
+                                    uint32_t ElemSize) {
+  Shadow.registerRange(Base, Count, ElemSize);
+}
+
+void FastTrackTool::onUnregisterRange(const void *Base) {
+  Shadow.unregisterRange(Base);
+}
+
+size_t FastTrackTool::memoryBytes() const {
+  return Shadow.memoryBytes() + Bytes.current();
+}
+
+void FastTrackTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return;
+  ++NumReadsChecked;
+  TaskState *TS = state(T);
+  Cell &C = *Shadow.cell(Addr);
+  std::lock_guard<std::mutex> Lock(lockFor(C));
+  Epoch E = TS->epoch();
+  // Same-epoch fast paths.
+  if (C.R == E)
+    return;
+  if (C.RVc && C.RVc->get(TS->Tid) == E.Clock)
+    return;
+  // write-read check.
+  if (!C.W.empty() && !TS->VC.covers(C.W))
+    report(RaceKind::WriteRead, Addr, epochWord(C.W), epochWord(E));
+  // Read update (adaptive representation).
+  if (C.RVc) {
+    size_t Before = C.RVc->memoryBytes();
+    C.RVc->set(TS->Tid, E.Clock);
+    Bytes.add(C.RVc->memoryBytes() - Before);
+    return;
+  }
+  if (C.R.empty() || TS->VC.covers(C.R)) {
+    C.R = E; // Reads stay totally ordered: epoch representation suffices.
+    return;
+  }
+  // Concurrent reads: promote to a read vector clock — this is the O(n)
+  // growth the paper measures against FastTrack.
+  ++NumReadVcPromotions;
+  C.RVc = new VectorClock();
+  C.RVc->set(C.R.Tid, C.R.Clock);
+  C.RVc->set(TS->Tid, E.Clock);
+  C.R = Epoch{};
+  Bytes.add(C.RVc->memoryBytes());
+}
+
+void FastTrackTool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return;
+  ++NumWritesChecked;
+  TaskState *TS = state(T);
+  Cell &C = *Shadow.cell(Addr);
+  std::lock_guard<std::mutex> Lock(lockFor(C));
+  Epoch E = TS->epoch();
+  if (C.W == E)
+    return; // Same-epoch fast path.
+  if (!C.W.empty() && !TS->VC.covers(C.W))
+    report(RaceKind::WriteWrite, Addr, epochWord(C.W), epochWord(E));
+  if (C.RVc) {
+    if (int64_t Tid = C.RVc->firstExceeding(TS->VC); Tid >= 0)
+      report(RaceKind::ReadWrite, Addr,
+             epochWord(Epoch{static_cast<uint32_t>(Tid),
+                             C.RVc->get(static_cast<uint32_t>(Tid))}),
+             epochWord(E));
+    // The write subsumes the read set; reclaim the vector clock.
+    Bytes.sub(C.RVc->memoryBytes());
+    delete C.RVc;
+    C.RVc = nullptr;
+    C.R = Epoch{};
+  } else if (!C.R.empty() && !TS->VC.covers(C.R)) {
+    report(RaceKind::ReadWrite, Addr, epochWord(C.R), epochWord(E));
+  }
+  C.W = E;
+}
+
+} // namespace spd3::baselines

@@ -1,0 +1,98 @@
+//===- baselines/FastTrack.h - FastTrack detector baseline ------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FastTrack (Flanagan & Freund, PLDI'09) adapted to the structured
+/// fork/join happens-before of async/finish programs, as the paper's main
+/// head-to-head comparison (Sections 6.3–6.4).
+///
+/// Happens-before edges: task creation is a fork (the child inherits the
+/// parent's clock; the parent's own component then advances); end-finish is
+/// a join with every task that terminated inside the scope (each ended task
+/// folds its clock into the finish accumulator, which the owner joins at
+/// end-finish).
+///
+/// Per-location state is a write epoch plus an adaptive read side: a single
+/// read epoch while reads are totally ordered, promoted to a full read
+/// vector clock on the first concurrent read — the O(n) growth the paper's
+/// Table 3 and Figure 6 measure. The paper runs FastTrack on coarse-grained
+/// one-chunk-per-thread versions of the benchmarks because fine-grained
+/// task counts make the clocks prohibitively large; the benches here do the
+/// same (and an ablation shows the blowup).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_BASELINES_FASTTRACK_H
+#define SPD3_BASELINES_FASTTRACK_H
+
+#include "baselines/VectorClock.h"
+#include "detector/MemoryAccounting.h"
+#include "detector/RaceReport.h"
+#include "detector/ShadowSpace.h"
+#include "detector/Tool.h"
+
+#include <mutex>
+
+namespace spd3::baselines {
+
+class FastTrackTool : public detector::Tool {
+public:
+  /// Per-location state, guarded by a striped lock.
+  struct Cell {
+    Epoch W;
+    Epoch R;
+    VectorClock *RVc = nullptr; // non-null once reads are concurrent
+
+    ~Cell() { delete RVc; }
+  };
+
+  explicit FastTrackTool(detector::RaceSink &Sink);
+  ~FastTrackTool() override;
+
+  const char *name() const override { return "fasttrack"; }
+
+  void onRunStart(rt::Task &Root) override;
+  void onTaskCreate(rt::Task &Parent, rt::Task &Child) override;
+  void onTaskEnd(rt::Task &T) override;
+  void onFinishStart(rt::Task &T, rt::FinishRecord &F) override;
+  void onFinishEnd(rt::Task &T, rt::FinishRecord &F) override;
+  void onRead(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onWrite(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onRegisterRange(const void *Base, size_t Count,
+                       uint32_t ElemSize) override;
+  void onUnregisterRange(const void *Base) override;
+  size_t memoryBytes() const override;
+
+  /// Peak metadata footprint over the run (clocks are freed as tasks end,
+  /// so peak is the Table 3 quantity). Shadow cells only grow, so adding
+  /// their final size to the counter peak is exact up to interleaving.
+  size_t peakMemoryBytes() const override {
+    return Shadow.memoryBytes() + Bytes.peak();
+  }
+
+  /// Number of task ids issued (the n in the O(n) space bound).
+  uint32_t tasksSeen() const { return NextTid.load(); }
+
+private:
+  struct TaskState;
+  struct FinishState;
+
+  TaskState *state(rt::Task &T) const;
+  std::mutex &lockFor(const Cell &C);
+  void report(detector::RaceKind K, const void *Addr, uint64_t Prior,
+              uint64_t Cur);
+
+  detector::RaceSink &Sink;
+  detector::ShadowSpace<Cell> Shadow;
+  detector::ByteCounter Bytes;
+  std::atomic<uint32_t> NextTid{0};
+  static constexpr size_t NumLocks = 4096;
+  std::mutex *Locks;
+};
+
+} // namespace spd3::baselines
+
+#endif // SPD3_BASELINES_FASTTRACK_H

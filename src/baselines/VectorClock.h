@@ -1,0 +1,95 @@
+//===- baselines/VectorClock.h - Vector clocks and epochs -------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks and epochs for the FastTrack baseline (Flanagan & Freund,
+/// PLDI'09). A vector clock maps task ids to logical clocks; an epoch is
+/// the (tid, clock) pair of a single access. FastTrack's O(n)-per-location
+/// worst case — the paper's central space argument against it — comes from
+/// read vector clocks allocated when reads are concurrent; this class
+/// tracks its own footprint so Table 3 / Figure 6 can measure that growth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_BASELINES_VECTORCLOCK_H
+#define SPD3_BASELINES_VECTORCLOCK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spd3::baselines {
+
+/// An access epoch c@t. Clock 0 is the "no access" sentinel (task clocks
+/// start at 1).
+struct Epoch {
+  uint32_t Tid = 0;
+  uint32_t Clock = 0;
+
+  bool empty() const { return Clock == 0; }
+  bool operator==(const Epoch &O) const {
+    return Tid == O.Tid && Clock == O.Clock;
+  }
+};
+
+/// A growable vector clock over dense task ids.
+class VectorClock {
+public:
+  uint32_t get(uint32_t Tid) const {
+    return Tid < C.size() ? C[Tid] : 0;
+  }
+
+  void set(uint32_t Tid, uint32_t V) {
+    if (Tid >= C.size())
+      C.resize(Tid + 1, 0);
+    C[Tid] = V;
+  }
+
+  void increment(uint32_t Tid) { set(Tid, get(Tid) + 1); }
+
+  /// Pointwise maximum with \p O.
+  void joinWith(const VectorClock &O) {
+    if (O.C.size() > C.size())
+      C.resize(O.C.size(), 0);
+    for (size_t I = 0; I < O.C.size(); ++I)
+      if (O.C[I] > C[I])
+        C[I] = O.C[I];
+  }
+
+  /// Epoch e happens-before this clock: e.Clock <= this[e.Tid].
+  bool covers(const Epoch &E) const { return E.Clock <= get(E.Tid); }
+
+  /// True if every component of this clock is <= the matching component of
+  /// \p O (i.e. this ⊑ O). Used for read-VC vs writer checks.
+  bool leq(const VectorClock &O) const {
+    for (size_t I = 0; I < C.size(); ++I)
+      if (C[I] > O.get(static_cast<uint32_t>(I)))
+        return false;
+    return true;
+  }
+
+  /// First component with this[i] > O[i], or -1 when this ⊑ O. Used to name
+  /// the racing reader in diagnostics.
+  int64_t firstExceeding(const VectorClock &O) const {
+    for (size_t I = 0; I < C.size(); ++I)
+      if (C[I] > O.get(static_cast<uint32_t>(I)))
+        return static_cast<int64_t>(I);
+    return -1;
+  }
+
+  size_t components() const { return C.size(); }
+
+  size_t memoryBytes() const {
+    return sizeof(VectorClock) + C.capacity() * sizeof(uint32_t);
+  }
+
+private:
+  std::vector<uint32_t> C;
+};
+
+} // namespace spd3::baselines
+
+#endif // SPD3_BASELINES_VECTORCLOCK_H

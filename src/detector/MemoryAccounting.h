@@ -1,0 +1,52 @@
+//===- detector/MemoryAccounting.h - Detector footprint tracking -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte counters with peak tracking, used by the Table 3 / Figure 6 memory
+/// experiments. The paper estimated peak heap via the JVM's -verbose:gc;
+/// here each detector accounts its metadata (shadow cells, DPST nodes,
+/// vector clocks, locksets, bags) exactly as it allocates and frees it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_MEMORYACCOUNTING_H
+#define SPD3_DETECTOR_MEMORYACCOUNTING_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace spd3::detector {
+
+/// Current/peak byte counter. Thread-safe; peak is maintained with a CAS
+/// loop so it never under-reports.
+class ByteCounter {
+public:
+  void add(size_t N) {
+    size_t Now = Cur.fetch_add(N, std::memory_order_relaxed) + N;
+    size_t P = Peak.load(std::memory_order_relaxed);
+    while (Now > P &&
+           !Peak.compare_exchange_weak(P, Now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void sub(size_t N) { Cur.fetch_sub(N, std::memory_order_relaxed); }
+
+  size_t current() const { return Cur.load(std::memory_order_relaxed); }
+  size_t peak() const { return Peak.load(std::memory_order_relaxed); }
+
+  void reset() {
+    Cur.store(0, std::memory_order_relaxed);
+    Peak.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<size_t> Cur{0};
+  std::atomic<size_t> Peak{0};
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_MEMORYACCOUNTING_H

@@ -1,0 +1,63 @@
+//===- detector/RaceReport.cpp - Race records and reporting sink ----------===//
+
+#include "detector/RaceReport.h"
+
+#include <sstream>
+
+namespace spd3::detector {
+
+const char *raceKindName(RaceKind K) {
+  switch (K) {
+  case RaceKind::WriteWrite:
+    return "write-write";
+  case RaceKind::ReadWrite:
+    return "read-write";
+  case RaceKind::WriteRead:
+    return "write-read";
+  }
+  return "unknown";
+}
+
+std::string Race::str() const {
+  std::ostringstream OS;
+  OS << Detector << ": " << raceKindName(Kind) << " race on " << Addr
+     << " (prior=0x" << std::hex << Prior << ", current=0x" << Current << ")";
+  return OS.str();
+}
+
+void RaceSink::report(const Race &R) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (M == Mode::FirstRace) {
+    if (Flag.load(std::memory_order_relaxed))
+      return;
+    Races.push_back(R);
+    Flag.store(true, std::memory_order_release);
+    return;
+  }
+  // CollectPerLocation: first race per distinct address, bounded.
+  if (Races.size() >= MaxRaces)
+    return;
+  if (!SeenAddrs.insert(R.Addr).second)
+    return;
+  Races.push_back(R);
+  Flag.store(true, std::memory_order_release);
+}
+
+size_t RaceSink::raceCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Races.size();
+}
+
+std::vector<Race> RaceSink::races() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Races;
+}
+
+void RaceSink::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Races.clear();
+  SeenAddrs.clear();
+  Flag.store(false, std::memory_order_release);
+}
+
+} // namespace spd3::detector

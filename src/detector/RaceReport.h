@@ -1,0 +1,94 @@
+//===- detector/RaceReport.h - Race records and reporting sink --*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Race records and the thread-safe sink detectors report into.
+///
+/// The paper's algorithm "reports a race and halts" (Section 4); the sink's
+/// FirstRace mode reproduces that semantics (detectors stop checking after
+/// the first report, and the soundness/precision theorems hold up to that
+/// point). CollectPerLocation mode keeps going and records the first race
+/// per distinct address — useful for tests and for debugging sessions that
+/// want more than one diagnostic per run; the guarantees then apply to the
+/// first report only, which tests account for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_RACEREPORT_H
+#define SPD3_DETECTOR_RACEREPORT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace spd3::detector {
+
+enum class RaceKind : uint8_t {
+  WriteWrite, ///< prior write vs current write
+  ReadWrite,  ///< prior read vs current write
+  WriteRead,  ///< prior write vs current read
+};
+
+const char *raceKindName(RaceKind K);
+
+/// One detected race. Prior/Current identify the conflicting accesses in a
+/// detector-specific way (SPD3: DPST step addresses; ESP-bags: task ids;
+/// FastTrack: epoch words; Eraser: task ids).
+struct Race {
+  RaceKind Kind;
+  const void *Addr;
+  uint64_t Prior;
+  uint64_t Current;
+  const char *Detector;
+
+  std::string str() const;
+};
+
+/// Thread-safe race sink shared by a detector's memory actions.
+class RaceSink {
+public:
+  enum class Mode {
+    /// Paper semantics: record the first race; detectors stop checking.
+    FirstRace,
+    /// Record the first race per distinct address and keep checking.
+    CollectPerLocation,
+  };
+
+  explicit RaceSink(Mode M = Mode::FirstRace, size_t MaxRaces = 1024)
+      : M(M), MaxRaces(MaxRaces) {}
+
+  /// Record \p R (subject to mode/dedup). Thread-safe.
+  void report(const Race &R);
+
+  /// Cheap hot-path query: should the detector still run checks?
+  bool shouldCheck() const {
+    return M != Mode::FirstRace || !Flag.load(std::memory_order_relaxed);
+  }
+
+  /// Has any race been recorded?
+  bool anyRace() const { return Flag.load(std::memory_order_acquire); }
+
+  size_t raceCount() const;
+  std::vector<Race> races() const;
+
+  /// Forget everything (between test cases / bench repetitions).
+  void clear();
+
+private:
+  Mode M;
+  size_t MaxRaces;
+  std::atomic<bool> Flag{false};
+  mutable std::mutex Mutex;
+  std::vector<Race> Races;
+  std::unordered_set<const void *> SeenAddrs;
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_RACEREPORT_H

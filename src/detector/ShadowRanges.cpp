@@ -1,0 +1,86 @@
+//===- detector/ShadowRanges.cpp - Registered shadow address ranges -------===//
+
+#include "detector/ShadowRanges.h"
+
+#include "support/Compiler.h"
+
+namespace spd3::detector {
+
+thread_local RangeTable::HitCache RangeTable::LastHit;
+
+static uint64_t nextTableId() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+RangeTable::RangeTable(size_t MaxRanges)
+    : Ranges(MaxRanges), Id(nextTableId()) {}
+
+RangeTable::Range *RangeTable::claimSlot() {
+  uint32_t Idx = NumRanges.fetch_add(1, std::memory_order_acq_rel);
+  SPD3_CHECK(Idx < Ranges.size(), "shadow range table exhausted");
+  return &Ranges[Idx];
+}
+
+void RangeTable::publish(Range *Slot, const void *Base, size_t Count,
+                         uint32_t ElemSize, void *Cells) {
+  SPD3_CHECK(Count > 0 && ElemSize > 0, "empty shadow range");
+  uintptr_t B = reinterpret_cast<uintptr_t>(Base);
+  Slot->End = B + Count * ElemSize;
+  Slot->ElemSize = ElemSize;
+  Slot->ElemShift = 0xff;
+  if ((ElemSize & (ElemSize - 1)) == 0) {
+    uint8_t Shift = 0;
+    while ((1u << Shift) != ElemSize)
+      ++Shift;
+    Slot->ElemShift = Shift;
+  }
+  Slot->Cells = Cells;
+  Slot->Count = Count;
+  // Release: the fields above become visible to any reader that acquires a
+  // nonzero Base.
+  Slot->Base.store(B, std::memory_order_release);
+}
+
+RangeTable::Range *RangeTable::findSlow(uintptr_t A) {
+  uint32_t N = NumRanges.load(std::memory_order_acquire);
+  if (N > Ranges.size())
+    N = Ranges.size();
+  for (uint32_t I = 0; I < N; ++I) {
+    Range &R = Ranges[I];
+    uintptr_t B = R.Base.load(std::memory_order_acquire);
+    if (!B || A < B || A >= R.End)
+      continue;
+    if (R.Dead.load(std::memory_order_relaxed))
+      continue;
+    LastHit = HitCache{Id, &R};
+    return &R;
+  }
+  return nullptr;
+}
+
+void RangeTable::unregister(const void *Base) {
+  uintptr_t B = reinterpret_cast<uintptr_t>(Base);
+  uint32_t N = NumRanges.load(std::memory_order_acquire);
+  if (N > Ranges.size())
+    N = Ranges.size();
+  for (uint32_t I = 0; I < N; ++I) {
+    Range &R = Ranges[I];
+    if (R.Base.load(std::memory_order_acquire) == B &&
+        !R.Dead.load(std::memory_order_relaxed)) {
+      R.Dead.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void RangeTable::forEach(const std::function<void(Range &)> &Fn) {
+  uint32_t N = NumRanges.load(std::memory_order_acquire);
+  if (N > Ranges.size())
+    N = Ranges.size();
+  for (uint32_t I = 0; I < N; ++I)
+    if (Ranges[I].Base.load(std::memory_order_acquire))
+      Fn(Ranges[I]);
+}
+
+} // namespace spd3::detector

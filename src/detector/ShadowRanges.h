@@ -1,0 +1,116 @@
+//===- detector/ShadowRanges.h - Registered shadow address ranges -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free lookup table of registered dense address ranges.
+///
+/// The paper anchors shadow arrays on HJ array views so that an array
+/// element's shadow location is found by direct indexing rather than
+/// hashing (Section 6). RangeTable is our equivalent: TrackedArray
+/// registers [Base, Base+Count*ElemSize) once, after which every element
+/// access resolves its shadow cell with one bounds comparison and a divide.
+/// Registration is append-only into a fixed-capacity table published with
+/// release/acquire, so lookups never take a lock; unregistration tombstones
+/// the slot (the cells stay allocated — completed steps recorded in other
+/// shadow state never dangle, and the bytes stay visible to the memory
+/// accounting of Table 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_SHADOWRANGES_H
+#define SPD3_DETECTOR_SHADOWRANGES_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spd3::detector {
+
+/// Fixed-capacity, append-only table of address ranges with attached
+/// untyped cell storage (ShadowSpace supplies the typed cells).
+class RangeTable {
+public:
+  struct Range {
+    /// Published last, with release; 0 means "slot not yet visible".
+    std::atomic<uintptr_t> Base{0};
+    uintptr_t End = 0;
+    uint32_t ElemSize = 0;
+    /// log2(ElemSize) when ElemSize is a power of two (the common case:
+    /// 1/2/4/8-byte elements), else 0xff — lets cell indexing use a shift
+    /// instead of an integer division on the access fast path.
+    uint8_t ElemShift = 0xff;
+    std::atomic<bool> Dead{false};
+    void *Cells = nullptr;
+    size_t Count = 0;
+
+    size_t indexOf(uintptr_t Addr) const {
+      uintptr_t Off = Addr - Base.load(std::memory_order_relaxed);
+      if (ElemShift != 0xff)
+        return Off >> ElemShift;
+      return Off / ElemSize;
+    }
+  };
+
+  explicit RangeTable(size_t MaxRanges = 4096);
+
+  RangeTable(const RangeTable &) = delete;
+  RangeTable &operator=(const RangeTable &) = delete;
+
+  /// Claim the next slot. Aborts if the table is full.
+  Range *claimSlot();
+
+  /// Fill and publish \p Slot. \p Cells must outlive the table entry.
+  void publish(Range *Slot, const void *Base, size_t Count, uint32_t ElemSize,
+               void *Cells);
+
+  /// The live range containing \p Addr, or null.
+  Range *find(const void *Addr) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    // Fast path: the last range this thread hit in *this* table. The cache
+    // is keyed by a never-reused table id so a stale entry from a destroyed
+    // table can never alias.
+    if (LastHit.TableId == Id) {
+      Range *Cached = LastHit.Hit;
+      if (!Cached->Dead.load(std::memory_order_relaxed)) {
+        uintptr_t B = Cached->Base.load(std::memory_order_relaxed);
+        if (B && A >= B && A < Cached->End)
+          return Cached;
+      }
+    }
+    return findSlow(A);
+  }
+
+  /// Tombstone the live range registered at \p Base (no-op if absent).
+  void unregister(const void *Base);
+
+  /// Visit every published range (live and dead). Not concurrency-safe
+  /// against registration; used for destruction and accounting.
+  void forEach(const std::function<void(Range &)> &Fn);
+
+  size_t published() const {
+    return NumRanges.load(std::memory_order_acquire);
+  }
+
+private:
+  Range *findSlow(uintptr_t A);
+
+  struct HitCache {
+    uint64_t TableId = 0;
+    Range *Hit = nullptr;
+  };
+
+  std::vector<Range> Ranges;
+  std::atomic<uint32_t> NumRanges{0};
+  /// Unique per-table id (never reused across table lifetimes).
+  const uint64_t Id;
+  static thread_local HitCache LastHit;
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_SHADOWRANGES_H

@@ -1,0 +1,110 @@
+//===- detector/ShadowSpace.h - Typed shadow memory container ---*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ShadowSpace<Cell> maps monitored addresses to detector-specific shadow
+/// cells. Registered dense ranges (TrackedArray) resolve by direct
+/// indexing; everything else (TrackedVar scalars) falls back to a sharded
+/// hash map whose nodes are stable, so a cell pointer stays valid for the
+/// lifetime of the space.
+///
+/// Every detector in this repository keeps *per-location* state in one of
+/// these — what differs is the Cell type, which is the heart of the paper's
+/// space comparison: SPD3's cell is three step references plus two version
+/// words (O(1)); FastTrack's holds a vector clock pointer that can grow
+/// with the number of tasks; Eraser's holds a lockset reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_SHADOWSPACE_H
+#define SPD3_DETECTOR_SHADOWSPACE_H
+
+#include "detector/ShadowRanges.h"
+#include "support/Compiler.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace spd3::detector {
+
+template <typename Cell> class ShadowSpace {
+public:
+  ShadowSpace() = default;
+
+  ~ShadowSpace() {
+    Ranges.forEach([](RangeTable::Range &R) {
+      delete[] static_cast<Cell *>(R.Cells);
+    });
+  }
+
+  ShadowSpace(const ShadowSpace &) = delete;
+  ShadowSpace &operator=(const ShadowSpace &) = delete;
+
+  /// The shadow cell for \p Addr, creating fallback cells on demand.
+  /// The returned pointer is stable for the space's lifetime.
+  Cell *cell(const void *Addr) {
+    if (RangeTable::Range *R = Ranges.find(Addr))
+      return static_cast<Cell *>(R->Cells) +
+             R->indexOf(reinterpret_cast<uintptr_t>(Addr));
+    return fallbackCell(Addr);
+  }
+
+  /// Pre-size shadow storage for a dense array of \p Count elements of
+  /// \p ElemSize bytes starting at \p Base.
+  void registerRange(const void *Base, size_t Count, uint32_t ElemSize) {
+    RangeTable::Range *Slot = Ranges.claimSlot();
+    Ranges.publish(Slot, Base, Count, ElemSize, new Cell[Count]());
+  }
+
+  /// Tombstone the range at \p Base. Cells remain allocated (stale step
+  /// references elsewhere stay safe; accounted bytes persist, matching the
+  /// paper's peak-memory methodology).
+  void unregisterRange(const void *Base) { Ranges.unregister(Base); }
+
+  /// Total shadow cells allocated (dense + fallback).
+  size_t cellCount() const {
+    size_t N = NumFallbackCells.load(std::memory_order_relaxed);
+    const_cast<RangeTable &>(Ranges).forEach(
+        [&](RangeTable::Range &R) { N += R.Count; });
+    return N;
+  }
+
+  /// Shadow storage footprint in bytes (cells only; hash-map node overhead
+  /// is charged at a flat estimate per fallback cell).
+  size_t memoryBytes() const {
+    constexpr size_t MapNodeOverhead = 32;
+    size_t Fallback = NumFallbackCells.load(std::memory_order_relaxed);
+    return cellCount() * sizeof(Cell) + Fallback * MapNodeOverhead;
+  }
+
+private:
+  Cell *fallbackCell(const void *Addr) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    Shard &S = Shards[(A >> 4) & (NumShards - 1)];
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    std::unique_ptr<Cell> &Slot = S.Map[A];
+    if (!Slot) {
+      Slot = std::make_unique<Cell>();
+      NumFallbackCells.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Slot.get();
+  }
+
+  static constexpr size_t NumShards = 64;
+  struct Shard {
+    std::mutex Mutex;
+    std::unordered_map<uintptr_t, std::unique_ptr<Cell>> Map;
+  };
+
+  RangeTable Ranges;
+  Shard Shards[NumShards];
+  std::atomic<size_t> NumFallbackCells{0};
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_SHADOWSPACE_H

@@ -1,0 +1,411 @@
+//===- detector/Spd3Tool.cpp - The SPD3 race detector ----------------------===//
+
+#include "detector/Spd3Tool.h"
+
+#include "runtime/Task.h"
+#include "support/Stats.h"
+
+namespace spd3::detector {
+
+using dpst::Dpst;
+using dpst::Node;
+
+namespace {
+Statistic NumMemActions("spd3", "memActions");
+Statistic NumSnapshotRetries("spd3", "snapshotRetries");
+Statistic NumCasRetries("spd3", "casRetries");
+Statistic NumCacheHits("spd3", "checkCacheHits");
+Statistic NumUpdatesSkipped("spd3", "noUpdateActions");
+Statistic NumDmhpMemoHits("spd3", "dmhpMemoHits");
+} // namespace
+
+/// Cache-entry validity tag: entries are only trusted when they were
+/// written for the same tool instance (by generation, never reused across
+/// tool lifetimes), the same task state, and the same step epoch. Caches
+/// live per WORKER THREAD, not per task: a worker executes one step at a
+/// time, and keying by (generation, task, epoch) keeps entries from other
+/// tasks or earlier steps from validating. This bounds cache memory by
+/// the worker count — crucial for the Table 3 / Figure 6 claim that
+/// SPD3's footprint does not grow with tasks or threads.
+struct CacheKey {
+  uint64_t Gen = 0;
+  const void *Task = nullptr;
+  uint32_t Epoch = 0;
+
+  bool operator==(const CacheKey &O) const {
+    return Gen == O.Gen && Task == O.Task && Epoch == O.Epoch;
+  }
+};
+
+/// Per-step duplicate-check elimination (Section 5.5 analogue). A direct-
+/// mapped table of recently checked addresses.
+///
+/// Soundness: a repeated READ of x in the same step is redundant (the first
+/// read already checked DMHP against the writer and installed a reader; a
+/// conflicting write by a parallel step performs its own check against the
+/// installed readers). A repeated WRITE after a write is redundant for the
+/// same reason. A READ after a WRITE by the same step is redundant (the
+/// step is already the recorded writer and DMHP(S,S) = false). A WRITE
+/// after only a READ is *not* redundant and must be checked (mode
+/// upgrade). These are exactly the elimination rules the paper's static
+/// pass applies to accesses within a single step.
+struct CheckCache {
+  static constexpr size_t Size = 128; // power of two
+  struct Entry {
+    const void *Addr = nullptr;
+    CacheKey Key;
+    uint8_t Mode = 0; // 1 = read checked, 2 = write checked
+  };
+  Entry Entries[Size];
+
+  static size_t slot(const void *Addr) {
+    auto A = reinterpret_cast<uintptr_t>(Addr);
+    return (A >> 3) & (Size - 1);
+  }
+
+  /// True if a check of \p Mode on \p Addr is subsumed by an earlier check
+  /// in the same step.
+  bool covers(const void *Addr, const CacheKey &Key, uint8_t Mode) const {
+    const Entry &E = Entries[slot(Addr)];
+    return E.Addr == Addr && E.Key == Key && E.Mode >= Mode;
+  }
+
+  void insert(const void *Addr, const CacheKey &Key, uint8_t Mode) {
+    Entry &E = Entries[slot(Addr)];
+    if (E.Addr == Addr && E.Key == Key && E.Mode > Mode)
+      return; // Keep the stronger (write) mode.
+    E = Entry{Addr, Key, Mode};
+  }
+};
+
+/// DMHP memo: DMHP(Other, CurStep) keyed by Other, valid for the current
+/// (tool, task, step) identified by the cache key.
+struct DmhpMemo {
+  static constexpr size_t Size = 64; // power of two
+  struct Entry {
+    const Node *Other = nullptr;
+    CacheKey Key;
+    uint8_t Result = 0;
+  };
+  Entry Entries[Size];
+
+  static size_t slot(const Node *Other) {
+    return (reinterpret_cast<uintptr_t>(Other) >> 4) & (Size - 1);
+  }
+
+  bool lookup(const Node *Other, const CacheKey &Key, bool *Result) const {
+    const Entry &E = Entries[slot(Other)];
+    if (E.Other != Other || !(E.Key == Key))
+      return false;
+    *Result = E.Result != 0;
+    return true;
+  }
+
+  void insert(const Node *Other, const CacheKey &Key, bool Result) {
+    Entries[slot(Other)] =
+        Entry{Other, Key, Result ? uint8_t(1) : uint8_t(0)};
+  }
+};
+
+/// The worker thread's caches (shared across tool instances; entries are
+/// generation-tagged so a new tool never trusts stale contents).
+struct WorkerCaches {
+  CheckCache Cache;
+  DmhpMemo Memo;
+};
+thread_local WorkerCaches TheWorkerCaches;
+
+static uint64_t nextToolGeneration() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct Spd3Tool::TaskState {
+  /// The step the task is currently executing (a DPST leaf).
+  Node *CurStep;
+  /// Innermost DPST scope owned by this task: its own async node, or the
+  /// finish node of the innermost finish it has started and not ended.
+  /// This is where new children are inserted (Section 3.1's IEF case
+  /// split).
+  Node *ScopeTop;
+  /// Bumped whenever CurStep changes; versions the worker-cache entries
+  /// written on this task's behalf.
+  uint32_t StepEpoch = 1;
+
+  void moveToStep(Node *S) {
+    CurStep = S;
+    ++StepEpoch;
+  }
+};
+
+struct Spd3Tool::FinishState {
+  Node *FinishNode;
+  Node *PrevScopeTop;
+};
+
+Spd3Tool::Spd3Tool(RaceSink &Sink, Spd3Options Opts)
+    : Sink(Sink), Opts(Opts), Generation(nextToolGeneration()) {
+  if (Opts.Proto == Spd3Options::Protocol::Mutex)
+    Locks = new std::mutex[NumLocks];
+}
+
+Spd3Tool::~Spd3Tool() { delete[] Locks; }
+
+Spd3Tool::TaskState *Spd3Tool::state(rt::Task &T) const {
+  return static_cast<TaskState *>(T.ToolData);
+}
+
+Spd3Tool::TaskState *Spd3Tool::newTaskState(Node *Step, Node *Scope) {
+  static_assert(std::is_trivially_destructible_v<TaskState>,
+                "task states live in an arena");
+  auto *TS = StateArena.create<TaskState>();
+  TS->CurStep = Step;
+  TS->ScopeTop = Scope;
+  return TS;
+}
+
+dpst::Node *Spd3Tool::currentStep(rt::Task &T) {
+  return static_cast<TaskState *>(T.ToolData)->CurStep;
+}
+
+std::string Spd3Tool::describeRace(const Race &R) {
+  std::string Out = R.str();
+  Out += "\n  earlier access step: ";
+  Out += Dpst::pathString(reinterpret_cast<const Node *>(R.Prior));
+  Out += "\n  current access step: ";
+  Out += Dpst::pathString(reinterpret_cast<const Node *>(R.Current));
+  return Out;
+}
+
+void Spd3Tool::onRunStart(rt::Task &Root) {
+  // The implicit finish around main() is the DPST root; the main task has
+  // no async node of its own (Section 3.1).
+  Root.ToolData = newTaskState(Tree.initialStep(), Tree.root());
+}
+
+void Spd3Tool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
+  TaskState *PS = state(Parent);
+  Dpst::AsyncInsertion Ins = Tree.onAsync(PS->ScopeTop);
+  Child.ToolData = newTaskState(Ins.ChildStep, Ins.AsyncNode);
+  PS->moveToStep(Ins.ContinuationStep);
+}
+
+void Spd3Tool::onFinishStart(rt::Task &T, rt::FinishRecord &F) {
+  TaskState *TS = state(T);
+  Dpst::FinishInsertion Ins = Tree.onFinishStart(TS->ScopeTop);
+  auto *FS = StateArena.create<FinishState>();
+  FS->FinishNode = Ins.FinishNode;
+  FS->PrevScopeTop = TS->ScopeTop;
+  F.ToolData = FS;
+  TS->ScopeTop = Ins.FinishNode;
+  TS->moveToStep(Ins.BodyStep);
+}
+
+void Spd3Tool::onFinishEnd(rt::Task &T, rt::FinishRecord &F) {
+  TaskState *TS = state(T);
+  auto *FS = static_cast<FinishState *>(F.ToolData);
+  TS->ScopeTop = FS->PrevScopeTop;
+  TS->moveToStep(Tree.onFinishEnd(FS->FinishNode));
+}
+
+void Spd3Tool::onRegisterRange(const void *Base, size_t Count,
+                               uint32_t ElemSize) {
+  Shadow.registerRange(Base, Count, ElemSize);
+}
+
+void Spd3Tool::onUnregisterRange(const void *Base) {
+  Shadow.unregisterRange(Base);
+}
+
+size_t Spd3Tool::memoryBytes() const {
+  return Tree.memoryBytes() + Shadow.memoryBytes() +
+         StateArena.bytesAllocated();
+}
+
+bool Spd3Tool::dmhpFromCurrentStep(TaskState *TS, const Node *Other) {
+  if (!Opts.DmhpMemo || !Other)
+    return Dpst::dmhp(Other, TS->CurStep);
+  CacheKey Key{Generation, TS, TS->StepEpoch};
+  DmhpMemo &Memo = TheWorkerCaches.Memo;
+  bool Result;
+  if (Memo.lookup(Other, Key, &Result)) {
+    ++NumDmhpMemoHits;
+    return Result;
+  }
+  Result = Dpst::dmhp(Other, TS->CurStep);
+  Memo.insert(Other, Key, Result);
+  return Result;
+}
+
+void Spd3Tool::report(RaceKind K, const void *Addr, const Node *Prior,
+                      const Node *Cur) {
+  Sink.report(Race{K, Addr, reinterpret_cast<uint64_t>(Prior),
+                   reinterpret_cast<uint64_t>(Cur), name()});
+}
+
+bool Spd3Tool::computeWrite(TaskState *TS, Node *W, Node *R1, Node *R2,
+                            Node *S, const void *Addr, Node **NewW) {
+  // Algorithm 1: Write Check.
+  if (dmhpFromCurrentStep(TS, R1))
+    report(RaceKind::ReadWrite, Addr, R1, S);
+  if (dmhpFromCurrentStep(TS, R2))
+    report(RaceKind::ReadWrite, Addr, R2, S);
+  if (dmhpFromCurrentStep(TS, W)) {
+    report(RaceKind::WriteWrite, Addr, W, S);
+    return false; // No update when a write-write race is found.
+  }
+  if (W == S)
+    return false; // Already the recorded writer.
+  *NewW = S;
+  return true;
+}
+
+bool Spd3Tool::computeRead(TaskState *TS, Node *W, Node *R1, Node *R2,
+                           Node *S, const void *Addr, Node **NewR1,
+                           Node **NewR2) {
+  // Algorithm 2: Read Check.
+  if (dmhpFromCurrentStep(TS, W))
+    report(RaceKind::WriteRead, Addr, W, S);
+  if (R1 == S || R2 == S)
+    return false; // This step is already a recorded reader.
+  bool D1 = dmhpFromCurrentStep(TS, R1);
+  bool D2 = dmhpFromCurrentStep(TS, R2);
+  if (!D1 && !D2) {
+    // S is ordered after every reader recorded so far (or there are none):
+    // it supersedes them.
+    *NewR1 = S;
+    *NewR2 = nullptr;
+    return true;
+  }
+  if (D1 && !R2) {
+    // One recorded reader, parallel with S: keep both.
+    *NewR1 = R1;
+    *NewR2 = S;
+    return true;
+  }
+  if (D1 && D2) {
+    // Keep the two of {r1, r2, S} whose LCA is highest in the DPST. S lies
+    // outside the LCA(r1,r2) subtree iff LCA(r1,S) (== LCA(r2,S)) is a
+    // proper ancestor of LCA(r1,r2); ancestry between two ancestors of r1
+    // reduces to a depth comparison.
+    Node *Lca12 = Dpst::lca(R1, R2);
+    Node *Lca1s = Dpst::lca(R1, S);
+    Node *Lca2s = Dpst::lca(R2, S);
+    if (Lca1s->Depth < Lca12->Depth || Lca2s->Depth < Lca12->Depth) {
+      *NewR1 = S;
+      *NewR2 = R2;
+      return true;
+    }
+    return false; // S is inside the LCA(r1,r2) subtree: already covered.
+  }
+  // S parallel with exactly one of two live readers: S is inside the
+  // LCA(r1,r2) subtree; no update needed (Section 4.2).
+  return false;
+}
+
+void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
+                            bool IsWrite) {
+  ++NumMemActions;
+  Node *Step = TS->CurStep;
+  if (Opts.Proto == Spd3Options::Protocol::Mutex) {
+    // Striped-lock protocol: the whole action under one lock.
+    size_t Idx = (reinterpret_cast<uintptr_t>(&C) >> 4) & (NumLocks - 1);
+    std::lock_guard<std::mutex> Lock(Locks[Idx]);
+    Node *W = C.W.load(std::memory_order_relaxed);
+    Node *R1 = C.R1.load(std::memory_order_relaxed);
+    Node *R2 = C.R2.load(std::memory_order_relaxed);
+    Node *NewW = nullptr, *NewR1 = nullptr, *NewR2 = nullptr;
+    if (IsWrite) {
+      if (computeWrite(TS, W, R1, R2, Step, Addr, &NewW))
+        C.W.store(NewW, std::memory_order_relaxed);
+    } else {
+      if (computeRead(TS, W, R1, R2, Step, Addr, &NewR1, &NewR2)) {
+        C.R1.store(NewR1, std::memory_order_relaxed);
+        C.R2.store(NewR2, std::memory_order_relaxed);
+      }
+    }
+    return;
+  }
+
+  // Lock-free protocol (Section 5.4).
+  while (true) {
+    // Read stage: loop until a consistent snapshot (start == end version).
+    uint32_t X = C.StartVersion.load(std::memory_order_acquire);
+    Node *W = C.W.load(std::memory_order_relaxed);
+    Node *R1 = C.R1.load(std::memory_order_relaxed);
+    Node *R2 = C.R2.load(std::memory_order_relaxed);
+    // Acquire fence (free on x86): orders the field loads before the
+    // endVersion validation load — the reader side of Lamport's protocol
+    // as analyzed for C++ seqlocks by Boehm (MSPC'12).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint32_t Y = C.EndVersion.load(std::memory_order_relaxed);
+    if (X != Y) {
+      ++NumSnapshotRetries;
+      continue;
+    }
+
+    // Compute stage: on local (snapshot) values only.
+    Node *NewW = nullptr, *NewR1 = nullptr, *NewR2 = nullptr;
+    bool Update = IsWrite
+                      ? computeWrite(TS, W, R1, R2, Step, Addr, &NewW)
+                      : computeRead(TS, W, R1, R2, Step, Addr, &NewR1, &NewR2);
+    if (!Update) {
+      // The common case (e.g. reads inside the LCA(r1,r2) subtree)
+      // completes with no serialization whatsoever.
+      ++NumUpdatesSkipped;
+      return;
+    }
+
+    // Update stage: claim the version with a CAS on endVersion; republish
+    // startVersion last.
+    uint32_t Expected = X;
+    if (!C.EndVersion.compare_exchange_strong(Expected, X + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+      ++NumCasRetries;
+      continue; // Someone updated since our snapshot; restart the action.
+    }
+    if (IsWrite) {
+      C.W.store(NewW, std::memory_order_release);
+    } else {
+      C.R1.store(NewR1, std::memory_order_release);
+      C.R2.store(NewR2, std::memory_order_release);
+    }
+    C.StartVersion.store(X + 1, std::memory_order_release);
+    return;
+  }
+}
+
+void Spd3Tool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return; // Paper semantics: halt checking after the first race.
+  TaskState *TS = state(T);
+  if (Opts.CheckCache) {
+    CacheKey Key{Generation, TS, TS->StepEpoch};
+    CheckCache &Cache = TheWorkerCaches.Cache;
+    if (Cache.covers(Addr, Key, /*Mode=*/1)) {
+      ++NumCacheHits;
+      return;
+    }
+    Cache.insert(Addr, Key, /*Mode=*/1);
+  }
+  memoryAction(TS, *Shadow.cell(Addr), Addr, /*IsWrite=*/false);
+}
+
+void Spd3Tool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return;
+  TaskState *TS = state(T);
+  if (Opts.CheckCache) {
+    CacheKey Key{Generation, TS, TS->StepEpoch};
+    CheckCache &Cache = TheWorkerCaches.Cache;
+    if (Cache.covers(Addr, Key, /*Mode=*/2)) {
+      ++NumCacheHits;
+      return;
+    }
+    Cache.insert(Addr, Key, /*Mode=*/2);
+  }
+  memoryAction(TS, *Shadow.cell(Addr), Addr, /*IsWrite=*/true);
+}
+
+} // namespace spd3::detector

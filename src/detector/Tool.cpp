@@ -1,0 +1,11 @@
+//===- detector/Tool.cpp - Dynamic-analysis tool interface ----------------===//
+
+#include "detector/Tool.h"
+
+namespace spd3::detector {
+
+// Out-of-line virtual destructor anchors the vtable (LLVM "virtual method
+// anchor" rule).
+Tool::~Tool() = default;
+
+} // namespace spd3::detector

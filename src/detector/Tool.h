@@ -1,0 +1,109 @@
+//===- detector/Tool.h - Dynamic-analysis tool interface --------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event interface between the async/finish runtime and a dynamic race
+/// detector.  This plays the role of the paper's bytecode instrumentation
+/// pass on HJ's Parallel Intermediate Representation (Section 5): the
+/// runtime emits task events at async/finish boundaries and the
+/// instrumentation API (TrackedArray / TrackedVar) emits memory events for
+/// every monitored shared read and write.  SPD3, ESP-bags, FastTrack and
+/// Eraser are all implemented as Tools over this one event stream, which is
+/// what makes the paper's cross-detector comparisons apples-to-apples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_TOOL_H
+#define SPD3_DETECTOR_TOOL_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spd3::rt {
+class Task;
+class FinishRecord;
+} // namespace spd3::rt
+
+namespace spd3::detector {
+
+/// Base class for dynamic-analysis tools driven by runtime events.
+///
+/// Threading contract: onTaskCreate runs in the *parent* task's thread
+/// before the child is made stealable; onTaskStart/onTaskEnd run in the
+/// thread executing the child; onFinishEnd runs after every task spawned in
+/// the scope has ended (Pending == 0) and thus observes their onTaskEnd
+/// effects; onRead/onWrite run in the accessing task's thread and may be
+/// invoked concurrently for different tasks.
+class Tool {
+public:
+  virtual ~Tool();
+
+  /// Human-readable tool name ("spd3", "espbags", ...).
+  virtual const char *name() const = 0;
+
+  /// \name Run lifecycle
+  /// @{
+  /// Called once before the root task body runs. \p Root is the main task;
+  /// the implicit finish enclosing main() (the future DPST root) is in
+  /// effect when this is called.
+  virtual void onRunStart(rt::Task &Root) {}
+  /// Called once after the implicit root finish has completed.
+  virtual void onRunEnd(rt::Task &Root) {}
+  /// @}
+
+  /// \name Task events
+  /// @{
+  virtual void onTaskCreate(rt::Task &Parent, rt::Task &Child) {}
+  virtual void onTaskStart(rt::Task &T) {}
+  virtual void onTaskEnd(rt::Task &T) {}
+  virtual void onFinishStart(rt::Task &T, rt::FinishRecord &F) {}
+  virtual void onFinishEnd(rt::Task &T, rt::FinishRecord &F) {}
+  /// @}
+
+  /// \name Memory events
+  /// @{
+  virtual void onRead(rt::Task &T, const void *Addr, uint32_t Size) {}
+  virtual void onWrite(rt::Task &T, const void *Addr, uint32_t Size) {}
+  /// @}
+
+  /// \name Shadow-range registration
+  /// TrackedArray announces dense address ranges so shadow lookups can use
+  /// direct indexing instead of a hash map (the analogue of the paper's
+  /// "array views as anchors for shadow arrays").
+  /// @{
+  virtual void onRegisterRange(const void *Base, size_t Count,
+                               uint32_t ElemSize) {}
+  virtual void onUnregisterRange(const void *Base) {}
+  /// @}
+
+  /// \name Lock events
+  /// Structured async/finish kernels use no locks; these exist for the
+  /// Eraser baseline, whose analysis is lockset-based.
+  /// @{
+  virtual void onLockAcquire(rt::Task &T, const void *Lock) {}
+  virtual void onLockRelease(rt::Task &T, const void *Lock) {}
+  /// @}
+
+  /// Current detector-metadata footprint in bytes (shadow cells, DPST
+  /// nodes, vector clocks, bags, ...). Used by the Table 3 / Figure 6
+  /// memory-overhead experiments.
+  virtual size_t memoryBytes() const { return 0; }
+
+  /// Peak footprint over the run. Defaults to the current footprint,
+  /// which is exact for detectors whose metadata only grows (SPD3,
+  /// ESP-bags); detectors that free metadata (FastTrack's clocks, Eraser's
+  /// task states) override this with a true high-watermark.
+  virtual size_t peakMemoryBytes() const { return memoryBytes(); }
+
+  /// True for detectors that only support depth-first sequential execution
+  /// (ESP-bags). The runtime refuses to pair such a tool with the parallel
+  /// scheduler.
+  virtual bool requiresSequential() const { return false; }
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_TOOL_H

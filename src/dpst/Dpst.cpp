@@ -1,0 +1,219 @@
+//===- dpst/Dpst.cpp - Dynamic Program Structure Tree ----------------------===//
+
+#include "dpst/Dpst.h"
+
+#include "support/Compiler.h"
+#include "support/Stats.h"
+
+#include <sstream>
+#include <vector>
+
+namespace spd3::dpst {
+
+namespace {
+Statistic NumDmhpQueries("dpst", "dmhpQueries");
+Statistic NumLcaHops("dpst", "lcaHops");
+} // namespace
+
+bool Node::isAncestorOf(const Node *N) const {
+  if (!N || N == this)
+    return false;
+  const Node *P = N->Parent;
+  while (P && P->Depth > Depth)
+    P = P->Parent;
+  return P == this;
+}
+
+Dpst::Dpst() {
+  // "When the main task begins, the DPST will contain a root finish node F
+  // and a step node S that is the child of F." (Section 3.1)
+  Root = newNode(nullptr, NodeKind::Finish);
+  InitialStep = newNode(Root, NodeKind::Step);
+}
+
+Node *Dpst::newNode(Node *Parent, NodeKind Kind) {
+  uint32_t Depth = Parent ? Parent->Depth + 1 : 0;
+  uint32_t SeqNo = Parent ? Parent->NumChildren + 1 : 0;
+  Node *N = NodeArena.create<Node>(Parent, Kind, Depth, SeqNo);
+  NumNodes.fetch_add(1, std::memory_order_relaxed);
+  if (Parent)
+    appendChild(Parent, N);
+  return N;
+}
+
+void Dpst::appendChild(Node *Parent, Node *Child) {
+  // Single-writer: only the task owning Parent's scope appends children, so
+  // no synchronization is needed (Section 5.1).
+  ++Parent->NumChildren;
+  if (!Parent->FirstChild)
+    Parent->FirstChild = Child;
+  else
+    Parent->LastChild->NextSibling = Child;
+  Parent->LastChild = Child;
+}
+
+Dpst::AsyncInsertion Dpst::onAsync(Node *Scope) {
+  SPD3_CHECK(Scope && !Scope->isStep(), "async scope must be an interior node");
+  AsyncInsertion R;
+  R.AsyncNode = newNode(Scope, NodeKind::Async);
+  R.ChildStep = newNode(R.AsyncNode, NodeKind::Step);
+  R.ContinuationStep = newNode(Scope, NodeKind::Step);
+  return R;
+}
+
+Dpst::FinishInsertion Dpst::onFinishStart(Node *Scope) {
+  SPD3_CHECK(Scope && !Scope->isStep(),
+             "finish scope must be an interior node");
+  FinishInsertion R;
+  R.FinishNode = newNode(Scope, NodeKind::Finish);
+  R.BodyStep = newNode(R.FinishNode, NodeKind::Step);
+  return R;
+}
+
+Node *Dpst::onFinishEnd(Node *FinishNode) {
+  SPD3_CHECK(FinishNode && FinishNode->isFinish(),
+             "onFinishEnd expects a finish node");
+  SPD3_CHECK(FinishNode->Parent, "cannot end the implicit root finish");
+  return newNode(FinishNode->Parent, NodeKind::Step);
+}
+
+Node *Dpst::lca(Node *A, Node *B) {
+  SPD3_CHECK(A && B, "lca requires two nodes");
+  uint64_t Hops = 0;
+  while (A->Depth > B->Depth) {
+    A = A->Parent;
+    ++Hops;
+  }
+  while (B->Depth > A->Depth) {
+    B = B->Parent;
+    ++Hops;
+  }
+  while (A != B) {
+    SPD3_CHECK(A->Parent && B->Parent, "nodes are in different trees");
+    A = A->Parent;
+    B = B->Parent;
+    Hops += 2;
+  }
+  NumLcaHops += Hops;
+  return A;
+}
+
+/// Walk \p N up to the child-of-\p Lca ancestor of \p N. If N == Lca the
+/// result is Lca itself (caller handles the ancestor case).
+static const Node *childOfLcaAncestor(const Node *N, const Node *Lca) {
+  while (N->Parent != Lca && N != Lca)
+    N = N->Parent;
+  return N;
+}
+
+bool Dpst::leftOf(const Node *A, const Node *B) {
+  SPD3_CHECK(A && B && A != B, "leftOf requires two distinct nodes");
+  const Node *L = lca(A, B);
+  const Node *CA = childOfLcaAncestor(A, L);
+  const Node *CB = childOfLcaAncestor(B, L);
+  SPD3_CHECK(CA != L && CB != L,
+             "leftOf is undefined between a node and its ancestor");
+  return CA->SeqNo < CB->SeqNo;
+}
+
+bool Dpst::dmhp(const Node *S1, const Node *S2) {
+  // Shadow-memory fields start out null; DMHP against "no access yet" is
+  // false. A step never runs in parallel with itself.
+  if (!S1 || !S2 || S1 == S2)
+    return false;
+  ++NumDmhpQueries;
+  const Node *L = lca(S1, S2);
+  const Node *A1 = childOfLcaAncestor(S1, L);
+  const Node *A2 = childOfLcaAncestor(S2, L);
+  SPD3_CHECK(A1 != L && A2 != L, "steps are leaves; neither can be the LCA");
+  // Theorem 1: with S_left left of S_right, they may run in parallel iff
+  // the child-of-LCA ancestor of S_left is an async node.
+  const Node *Left = A1->SeqNo < A2->SeqNo ? A1 : A2;
+  return Left->isAsync();
+}
+
+bool Dpst::validate(std::string *Err) const {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (!Root || Root->Parent || !Root->isFinish() || Root->Depth != 0)
+    return Fail("malformed root");
+  uint64_t Seen = 0;
+  std::vector<const Node *> Stack{Root};
+  while (!Stack.empty()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    ++Seen;
+    if (N->isStep() && N->FirstChild)
+      return Fail("step node has children");
+    uint32_t Count = 0;
+    const Node *PrevChild = nullptr;
+    for (const Node *C = N->FirstChild; C; C = C->NextSibling) {
+      ++Count;
+      if (C->Parent != N)
+        return Fail("child's Parent pointer does not match");
+      if (C->Depth != N->Depth + 1)
+        return Fail("child depth is not parent depth + 1");
+      if (C->SeqNo != Count)
+        return Fail("sequence numbers are not 1..NumChildren left-to-right");
+      if (PrevChild && PrevChild->SeqNo >= C->SeqNo)
+        return Fail("sibling order violates left-to-right sequencing");
+      PrevChild = C;
+      Stack.push_back(C);
+    }
+    if (Count != N->NumChildren)
+      return Fail("NumChildren does not match linked children");
+    if (N->NumChildren && N->LastChild != PrevChild)
+      return Fail("LastChild does not match final sibling");
+  }
+  if (Seen != nodeCount())
+    return Fail("reachable node count does not match nodeCount()");
+  return true;
+}
+
+std::string Dpst::pathString(const Node *N) {
+  if (!N)
+    return "<none>";
+  // Collect root-to-node order.
+  std::vector<const Node *> Path;
+  for (; N; N = N->Parent)
+    Path.push_back(N);
+  std::ostringstream OS;
+  for (size_t I = Path.size(); I-- > 0;) {
+    const Node *P = Path[I];
+    const char *Kind = P->isStep() ? "step" : P->isAsync() ? "async" : "finish";
+    OS << Kind << '#' << P->SeqNo;
+    if (I)
+      OS << '/';
+  }
+  return OS.str();
+}
+
+std::string Dpst::toDot() const {
+  std::ostringstream OS;
+  OS << "digraph dpst {\n  node [fontname=\"monospace\"];\n";
+  std::vector<const Node *> Stack{Root};
+  auto Id = [](const Node *N) { return reinterpret_cast<uintptr_t>(N); };
+  while (!Stack.empty()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    const char *Shape = N->isStep()    ? "ellipse"
+                        : N->isAsync() ? "box"
+                                       : "diamond";
+    const char *Label = N->isStep()    ? "step"
+                        : N->isAsync() ? "async"
+                                       : "finish";
+    OS << "  n" << Id(N) << " [shape=" << Shape << ", label=\"" << Label
+       << "\\nd=" << N->Depth << " s=" << N->SeqNo << "\"];\n";
+    for (const Node *C = N->FirstChild; C; C = C->NextSibling) {
+      OS << "  n" << Id(N) << " -> n" << Id(C) << ";\n";
+      Stack.push_back(C);
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace spd3::dpst

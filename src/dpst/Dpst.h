@@ -1,0 +1,177 @@
+//===- dpst/Dpst.h - Dynamic Program Structure Tree -------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Dynamic Program Structure Tree (Section 3 of the paper).
+///
+/// The DPST is an ordered rooted tree built at runtime. Interior nodes are
+/// async and finish instances; leaves are *steps* (maximal statement
+/// sequences containing no task operation). The parent relation follows the
+/// paper's Definition 2, and there is a left-to-right ordering of siblings
+/// mirroring the sequencing inside their common parent task.
+///
+/// Construction (Section 3.1) is O(1) per operation and synchronization
+/// free: a node's children are only ever appended by the single task that
+/// owns the corresponding scope, so `NumChildren`/sibling links have one
+/// writer. `Parent`, `Depth` and `SeqNo` are immutable after creation.
+///
+/// `dmhp(S1,S2)` implements Theorem 1 / Algorithm 3: S1 and S2 may execute
+/// in parallel iff the child-of-LCA ancestor of the *left* step is an async
+/// node. LCA is computed by the depth-equalizing upward walk of Section
+/// 5.2, so a query costs O(longer path to the LCA) and — crucially for the
+/// paper's scalability claim — is independent of how many tasks or worker
+/// threads exist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DPST_DPST_H
+#define SPD3_DPST_DPST_H
+
+#include "support/Arena.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spd3::dpst {
+
+enum class NodeKind : uint8_t { Finish, Async, Step };
+
+/// One DPST node. 'Owner-written' fields (NumChildren and the child/sibling
+/// links) are written only by the task owning the enclosing scope; all
+/// other fields are immutable after the node is published.
+class Node {
+public:
+  Node(Node *Parent, NodeKind Kind, uint32_t Depth, uint32_t SeqNo)
+      : Parent(Parent), Depth(Depth), SeqNo(SeqNo), Kind(Kind) {}
+
+  /// Parent node; null only for the root finish.
+  Node *const Parent;
+  /// Distance from the root (root has depth 0). Immutable.
+  const uint32_t Depth;
+  /// 1-based position among this node's siblings (left-to-right). Immutable.
+  const uint32_t SeqNo;
+  const NodeKind Kind;
+
+  /// Number of children appended so far. Owner-written.
+  uint32_t NumChildren = 0;
+
+  /// First/last child and next right sibling. Owner-written; used by
+  /// validation, DOT dumping and tests (downward traversal). The race
+  /// detection algorithms themselves only ever walk Parent pointers.
+  Node *FirstChild = nullptr;
+  Node *LastChild = nullptr;
+  Node *NextSibling = nullptr;
+
+  bool isStep() const { return Kind == NodeKind::Step; }
+  bool isAsync() const { return Kind == NodeKind::Async; }
+  bool isFinish() const { return Kind == NodeKind::Finish; }
+
+  /// True if this node is a proper ancestor of \p N (the paper's
+  /// ">_dpst" relation, Definition 5).
+  bool isAncestorOf(const Node *N) const;
+};
+
+/// The tree. Construction entry points mirror the three events of Section
+/// 3.1 (task creation, start-finish, end-finish); the caller (the SPD3
+/// tool) supplies the *insertion scope*: the innermost DPST node owned by
+/// the acting task — its own async node, or the finish node of the
+/// innermost finish statement it has started and not yet ended. That is
+/// exactly the paper's "IEF exists within task T" case split.
+class Dpst {
+public:
+  Dpst();
+
+  Dpst(const Dpst &) = delete;
+  Dpst &operator=(const Dpst &) = delete;
+
+  /// Root finish node (the implicit finish around main()).
+  Node *root() { return Root; }
+  const Node *root() const { return Root; }
+  /// The step representing the starting computation of the main task.
+  Node *initialStep() { return InitialStep; }
+
+  /// Result of recording an async creation.
+  struct AsyncInsertion {
+    Node *AsyncNode;        ///< New async node.
+    Node *ChildStep;        ///< First step of the child task.
+    Node *ContinuationStep; ///< New current step of the parent task.
+  };
+
+  /// Task creation: insert the async node as the rightmost child of
+  /// \p Scope, give the child its starting step, and give the parent task
+  /// its continuation step (right sibling of the async node).
+  AsyncInsertion onAsync(Node *Scope);
+
+  /// Result of recording a start-finish.
+  struct FinishInsertion {
+    Node *FinishNode; ///< New finish node (push as the task's scope).
+    Node *BodyStep;   ///< Step for the computation starting the finish body.
+  };
+
+  /// Start-finish: insert the finish node as the rightmost child of
+  /// \p Scope with its initial body step.
+  FinishInsertion onFinishStart(Node *Scope);
+
+  /// End-finish: append the continuation step as the right sibling of
+  /// \p FinishNode (i.e. a new child of the re-exposed outer scope).
+  Node *onFinishEnd(Node *FinishNode);
+
+  /// \name Queries (Section 3.2, Section 5.2)
+  /// @{
+
+  /// Lowest common ancestor via the depth-equalizing upward walk.
+  static Node *lca(Node *A, Node *B);
+  static const Node *lca(const Node *A, const Node *B) {
+    return lca(const_cast<Node *>(A), const_cast<Node *>(B));
+  }
+
+  /// Definition 3: A is left of B iff A precedes B in depth-first
+  /// traversal. Well-defined for any two distinct nodes where neither is an
+  /// ancestor of the other.
+  static bool leftOf(const Node *A, const Node *B);
+
+  /// Theorem 1 / Algorithm 3: may the two *steps* execute in parallel in
+  /// some schedule? Null arguments and S1 == S2 yield false.
+  static bool dmhp(const Node *S1, const Node *S2);
+  /// @}
+
+  /// Total number of nodes (the paper's 3*(a+f)-1 size bound is checked
+  /// against this in tests).
+  uint64_t nodeCount() const {
+    return NumNodes.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of node storage handed out (detector-metadata accounting).
+  size_t memoryBytes() const { return NodeArena.bytesAllocated(); }
+
+  /// Structural self-check (run after quiescence): parent/child link
+  /// consistency, depths, sequence numbers, leaf/interior kinds. Returns
+  /// true when valid; otherwise fills \p Err.
+  bool validate(std::string *Err) const;
+
+  /// GraphViz rendering (debugging / examples).
+  std::string toDot() const;
+
+  /// Human-readable root-to-node path, e.g. "finish#1/async#2/step#1"
+  /// (each component is kind#seqNo). Stable across schedules by the
+  /// path-invariance property of Section 3.2.
+  static std::string pathString(const Node *N);
+
+private:
+  Node *newNode(Node *Parent, NodeKind Kind);
+  /// Append \p Child under \p Parent. Owner-task-only.
+  void appendChild(Node *Parent, Node *Child);
+
+  ConcurrentArena NodeArena;
+  std::atomic<uint64_t> NumNodes{0};
+  Node *Root = nullptr;
+  Node *InitialStep = nullptr;
+};
+
+} // namespace spd3::dpst
+
+#endif // SPD3_DPST_DPST_H

@@ -1,0 +1,107 @@
+//===- kernels/Crypt.cpp - JGF Crypt: IDEA encryption ----------------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 2 "Crypt": IDEA (International Data Encryption Algorithm)
+// encryption followed by decryption of a byte array, verified by the
+// round trip. Parallel over independent 8-byte blocks. Every data byte is
+// a monitored access, so this is one of the ~10x-slowdown benchmarks in
+// the paper's Figure 3 — and the benchmark with the largest Eraser /
+// FastTrack gap (Figure 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "kernels/Idea.h"
+#include "support/Prng.h"
+
+namespace spd3::kernels {
+namespace {
+
+size_t bytesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return 2048;
+  case SizeClass::Small:
+    return 32 * 1024;
+  case SizeClass::Default:
+    return 192 * 1024;
+  }
+  return 192 * 1024;
+}
+
+class CryptKernel : public Kernel {
+public:
+  const char *name() const override { return "crypt"; }
+  const char *description() const override {
+    return "IDEA encryption / decryption round trip";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    size_t Bytes = bytesFor(Cfg.Size);
+    size_t Blocks = Bytes / 8;
+    Prng Rng(Cfg.Seed);
+    std::vector<uint8_t> Plain(Bytes);
+    for (uint8_t &V : Plain)
+      V = static_cast<uint8_t>(Rng.next() & 0xff);
+    uint16_t UserKey[8];
+    for (uint16_t &V : UserKey)
+      V = static_cast<uint16_t>(Rng.next() & 0xffff);
+    uint16_t EK[idea::KeyLen], DK[idea::KeyLen];
+    idea::expandKey(UserKey, EK);
+    idea::invertKey(EK, DK);
+
+    std::vector<uint8_t> RoundTrip(Bytes);
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<uint8_t> Text(Bytes);
+      detector::TrackedArray<uint8_t> Crypt1(Bytes);
+      detector::TrackedArray<uint8_t> Crypt2(Bytes);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < Bytes; ++I)
+        Text.set(I, Plain[I]);
+
+      auto Pass = [&](detector::TrackedArray<uint8_t> &Src,
+                      detector::TrackedArray<uint8_t> &Dst,
+                      const uint16_t *Key) {
+        detail::forAll(Cfg, Blocks, [&](size_t Blk) {
+          size_t Off = Blk * 8;
+          uint16_t In[4], Out[4];
+          for (int W = 0; W < 4; ++W)
+            In[W] = static_cast<uint16_t>(
+                (Src.get(Off + 2 * W) << 8) | Src.get(Off + 2 * W + 1));
+          idea::cipherBlock(In, Out, Key);
+          for (int W = 0; W < 4; ++W) {
+            Dst.set(Off + 2 * W, static_cast<uint8_t>(Out[W] >> 8));
+            Dst.set(Off + 2 * W + 1, static_cast<uint8_t>(Out[W] & 0xff));
+          }
+          if (Cfg.SeedRace && (Blk == 0 || Blk == Blocks - 1))
+            detail::seedRaceWrite(RaceCell, Blk);
+        });
+      };
+      Pass(Text, Crypt1, EK);   // encrypt
+      Pass(Crypt1, Crypt2, DK); // decrypt
+
+      for (size_t I = 0; I < Bytes; ++I) {
+        RoundTrip[I] = Crypt2.get(I);
+        Checksum += RoundTrip[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t I = 0; I < Bytes; ++I)
+      if (RoundTrip[I] != Plain[I])
+        return KernelResult::fail("crypt: round trip mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeCrypt() { return new CryptKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,141 @@
+//===- kernels/Fft.cpp - BOTS FFT: fast Fourier transform ------------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// BOTS "FFT": radix-2 Cooley-Tukey FFT. Bit-reversal permutation and each
+// butterfly stage are parallel phases separated by finish scopes; each
+// butterfly writes a disjoint pair of elements. Every element access is
+// monitored, making this one of the paper's ~10x-slowdown benchmarks.
+//
+// Verified by round trip (forward transform, inverse transform, compare to
+// the input) plus Parseval's identity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+#include <cmath>
+
+namespace spd3::kernels {
+namespace {
+
+size_t pointsFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return 256;
+  case SizeClass::Small:
+    return 2048;
+  case SizeClass::Default:
+    return 16384;
+  }
+  return 16384;
+}
+
+size_t bitReverse(size_t X, unsigned Bits) {
+  size_t R = 0;
+  for (unsigned B = 0; B < Bits; ++B)
+    if (X & (size_t(1) << B))
+      R |= size_t(1) << (Bits - 1 - B);
+  return R;
+}
+
+class FftKernel : public Kernel {
+public:
+  const char *name() const override { return "fft"; }
+  const char *description() const override {
+    return "radix-2 Cooley-Tukey fast Fourier transform";
+  }
+  const char *source() const override { return "BOTS"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    size_t N = pointsFor(Cfg.Size);
+    unsigned Bits = 0;
+    while ((size_t(1) << Bits) < N)
+      ++Bits;
+    Prng Rng(Cfg.Seed);
+    std::vector<double> InRe(N), InIm(N);
+    for (size_t I = 0; I < N; ++I) {
+      InRe[I] = Rng.nextDouble(-1.0, 1.0);
+      InIm[I] = Rng.nextDouble(-1.0, 1.0);
+    }
+
+    std::vector<double> OutRe(N), OutIm(N);
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> Re(N), Im(N);
+      detector::TrackedArray<double> TmpRe(N), TmpIm(N);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < N; ++I) {
+        Re.set(I, InRe[I]);
+        Im.set(I, InIm[I]);
+      }
+
+      auto Transform = [&](double Sign) {
+        // Bit-reversal permutation into the temp arrays, then back.
+        detail::forAll(Cfg, N, [&](size_t I) {
+          size_t J = bitReverse(I, Bits);
+          TmpRe.set(I, Re.get(J));
+          TmpIm.set(I, Im.get(J));
+        });
+        detail::forAll(Cfg, N, [&](size_t I) {
+          Re.set(I, TmpRe.get(I));
+          Im.set(I, TmpIm.get(I));
+        });
+        // log2(N) butterfly stages; each stage's butterflies touch
+        // disjoint index pairs, so one finish per stage is race-free.
+        for (size_t Len = 2; Len <= N; Len <<= 1) {
+          size_t Half = Len / 2;
+          double Ang = Sign * 2.0 * M_PI / static_cast<double>(Len);
+          size_t Butterflies = N / 2;
+          detail::forAll(Cfg, Butterflies, [&](size_t B) {
+            size_t Block = B / Half;
+            size_t K = B % Half;
+            size_t I0 = Block * Len + K;
+            size_t I1 = I0 + Half;
+            double Wr = std::cos(Ang * static_cast<double>(K));
+            double Wi = std::sin(Ang * static_cast<double>(K));
+            double Ar = Re.get(I0), Ai = Im.get(I0);
+            double Br = Re.get(I1), Bi = Im.get(I1);
+            double Tr = Br * Wr - Bi * Wi;
+            double Ti = Br * Wi + Bi * Wr;
+            Re.set(I0, Ar + Tr);
+            Im.set(I0, Ai + Ti);
+            Re.set(I1, Ar - Tr);
+            Im.set(I1, Ai - Ti);
+          });
+        }
+      };
+
+      Transform(-1.0); // forward
+      if (Cfg.SeedRace)
+        rt::finish([&] {
+          rt::async([&] { detail::seedRaceWrite(RaceCell, 0); });
+          rt::async([&] { detail::seedRaceWrite(RaceCell, 1); });
+        });
+      Transform(+1.0); // inverse (unnormalized)
+
+      for (size_t I = 0; I < N; ++I) {
+        OutRe[I] = Re.get(I) / static_cast<double>(N);
+        OutIm[I] = Im.get(I) / static_cast<double>(N);
+        Checksum += OutRe[I] + OutIm[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t I = 0; I < N; ++I)
+      if (!detail::closeEnough(OutRe[I], InRe[I], 1e-9) ||
+          !detail::closeEnough(OutIm[I], InIm[I], 1e-9))
+        return KernelResult::fail("fft: round trip mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeFft() { return new FftKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,193 @@
+//===- kernels/Health.cpp - BOTS Health: hierarchical simulation -----------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// BOTS "Health": simulates a country's hierarchical health system. A tree
+// of villages (branching 4) each generates patients from a deterministic
+// per-village stream; a village treats what its capacity allows and
+// forwards the rest to its parent hospital. Each timestep descends the
+// tree with one task per village; a village task writes only its own
+// state slots, and parents collect children's forwarded patients after
+// the child finish — the structured, race-free formulation of BOTS's
+// pointer-chasing original.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  unsigned Depth; // tree depth (root = level 0)
+  int Steps;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {2, 4};
+  case SizeClass::Small:
+    return {3, 8};
+  case SizeClass::Default:
+    return {4, 20};
+  }
+  return {4, 20};
+}
+
+constexpr unsigned Branch = 4;
+
+/// Static shape of the village tree (ids are breadth-first).
+struct Tree {
+  size_t Count = 0;
+  std::vector<size_t> FirstChild; // Count entries; Count == leaf sentinel
+  std::vector<unsigned> Level;
+
+  explicit Tree(unsigned Depth) {
+    // Levels 0..Depth; level L has Branch^L villages.
+    size_t PerLevel = 1;
+    std::vector<size_t> LevelStart;
+    for (unsigned L = 0; L <= Depth; ++L) {
+      LevelStart.push_back(Count);
+      for (size_t I = 0; I < PerLevel; ++I)
+        Level.push_back(L);
+      Count += PerLevel;
+      PerLevel *= Branch;
+    }
+    FirstChild.assign(Count, Count);
+    for (size_t Id = 0; Id < Count; ++Id) {
+      unsigned L = Level[Id];
+      if (L == Depth)
+        continue;
+      size_t IdxInLevel = Id - LevelStart[L];
+      FirstChild[Id] = LevelStart[L + 1] + IdxInLevel * Branch;
+    }
+  }
+
+  bool isLeaf(size_t Id) const { return FirstChild[Id] == Count; }
+};
+
+/// Deterministic per-(village, step) patient arrivals.
+uint32_t arrivals(uint64_t Seed, size_t Village, int Step) {
+  SplitMix64 SM(Seed ^ (Village * 0x9e3779b97f4a7c15ULL) ^
+                (static_cast<uint64_t>(Step) << 32));
+  // 0..2 new patients per step, biased toward leaves elsewhere.
+  return static_cast<uint32_t>(SM.next() % 3);
+}
+
+constexpr uint32_t Capacity = 2; // treated per village per step
+
+class HealthKernel : public Kernel {
+public:
+  const char *name() const override { return "health"; }
+  const char *description() const override {
+    return "hierarchical health-system simulation";
+  }
+  const char *source() const override { return "BOTS"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    Tree T(Sz.Depth);
+
+    int64_t TreatedTotal = 0, WaitingTotal = 0;
+    RT.run([&] {
+      // Per-village state, indexed by id: each village task writes only
+      // its own slots.
+      detector::TrackedArray<int64_t> Waiting(T.Count, 0);
+      detector::TrackedArray<int64_t> Treated(T.Count, 0);
+      detector::TrackedArray<int64_t> Forwarded(T.Count, 0);
+      detector::TrackedVar<double> RaceCell(0.0);
+
+      // One timestep for the subtree rooted at Id (run as a task).
+      auto StepVillage = [&](auto &&Self, size_t Id, int Step) -> void {
+        if (!T.isLeaf(Id)) {
+          rt::finish([&] {
+            for (unsigned C = 0; C < Branch; ++C) {
+              size_t Child = T.FirstChild[Id] + C;
+              rt::async([&, Child] { Self(Self, Child, Step); });
+            }
+          });
+          // Collect patients the children could not treat (ordered after
+          // the finish above).
+          for (unsigned C = 0; C < Branch; ++C) {
+            size_t Child = T.FirstChild[Id] + C;
+            Waiting.set(Id, Waiting.get(Id) + Forwarded.get(Child));
+            Forwarded.set(Child, 0);
+          }
+        }
+        int64_t Queue =
+            Waiting.get(Id) + arrivals(Cfg.Seed, Id, Step);
+        int64_t Cured = Queue < Capacity ? Queue : Capacity;
+        Treated.set(Id, Treated.get(Id) + Cured);
+        Queue -= Cured;
+        if (T.Level[Id] == 0) {
+          Waiting.set(Id, Queue); // the root hospital keeps its backlog
+        } else {
+          Waiting.set(Id, 0);
+          Forwarded.set(Id, Queue);
+        }
+        if (Cfg.SeedRace && Step == 0 && T.isLeaf(Id) &&
+            (Id == T.Count - 1 || Id == T.Count - Branch))
+          detail::seedRaceWrite(RaceCell, Id);
+      };
+
+      for (int Step = 0; Step < Sz.Steps; ++Step)
+        StepVillage(StepVillage, 0, Step);
+
+      for (size_t Id = 0; Id < T.Count; ++Id) {
+        TreatedTotal += Treated.get(Id);
+        WaitingTotal += Waiting.get(Id) + Forwarded.get(Id);
+      }
+    });
+
+    double Checksum =
+        static_cast<double>(TreatedTotal) + 1e-3 * WaitingTotal;
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+
+    // Sequential reference: same recursion without tasks.
+    std::vector<int64_t> Waiting(T.Count, 0), Treated(T.Count, 0),
+        Forwarded(T.Count, 0);
+    auto RefStep = [&](auto &&Self, size_t Id, int Step) -> void {
+      if (!T.isLeaf(Id)) {
+        for (unsigned C = 0; C < Branch; ++C)
+          Self(Self, T.FirstChild[Id] + C, Step);
+        for (unsigned C = 0; C < Branch; ++C) {
+          size_t Child = T.FirstChild[Id] + C;
+          Waiting[Id] += Forwarded[Child];
+          Forwarded[Child] = 0;
+        }
+      }
+      int64_t Queue = Waiting[Id] + arrivals(Cfg.Seed, Id, Step);
+      int64_t Cured = Queue < Capacity ? Queue : Capacity;
+      Treated[Id] += Cured;
+      Queue -= Cured;
+      if (T.Level[Id] == 0) {
+        Waiting[Id] = Queue;
+      } else {
+        Waiting[Id] = 0;
+        Forwarded[Id] = Queue;
+      }
+    };
+    for (int Step = 0; Step < Sz.Steps; ++Step)
+      RefStep(RefStep, 0, Step);
+    int64_t RefTreated = 0, RefWaiting = 0;
+    for (size_t Id = 0; Id < T.Count; ++Id) {
+      RefTreated += Treated[Id];
+      RefWaiting += Waiting[Id] + Forwarded[Id];
+    }
+    if (RefTreated != TreatedTotal || RefWaiting != WaitingTotal)
+      return KernelResult::fail("health: simulation totals mismatch",
+                                Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeHealth() { return new HealthKernel(); }
+
+} // namespace spd3::kernels

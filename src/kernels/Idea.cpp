@@ -1,0 +1,119 @@
+//===- kernels/Idea.cpp - IDEA block cipher primitives ----------------------===//
+
+#include "kernels/Idea.h"
+
+namespace spd3::kernels::idea {
+
+uint16_t mul(uint16_t A, uint16_t B) {
+  if (A == 0)
+    return static_cast<uint16_t>(1 - B);
+  if (B == 0)
+    return static_cast<uint16_t>(1 - A);
+  uint32_t P = static_cast<uint32_t>(A) * B;
+  uint16_t Lo = static_cast<uint16_t>(P & 0xffff);
+  uint16_t Hi = static_cast<uint16_t>(P >> 16);
+  return static_cast<uint16_t>(Lo - Hi + (Lo < Hi ? 1 : 0));
+}
+
+uint16_t mulInv(uint16_t X) {
+  if (X <= 1)
+    return X; // 0 and 1 are self-inverse.
+  int64_t T0 = 0, T1 = 1;
+  int64_t R0 = 0x10001, R1 = X;
+  while (R1 > 1) {
+    int64_t Q = R0 / R1;
+    int64_t R2 = R0 - Q * R1;
+    int64_t T2 = T0 - Q * T1;
+    R0 = R1;
+    R1 = R2;
+    T0 = T1;
+    T1 = T2;
+  }
+  return static_cast<uint16_t>(T1 < 0 ? T1 + 0x10001 : T1);
+}
+
+void expandKey(const uint16_t UserKey[8], uint16_t EK[KeyLen]) {
+  uint16_t K[8];
+  for (int I = 0; I < 8; ++I)
+    K[I] = UserKey[I];
+  int Out = 0;
+  while (Out < KeyLen) {
+    for (int I = 0; I < 8 && Out < KeyLen; ++I)
+      EK[Out++] = K[I];
+    // Rotate the 128-bit key left by 25 bits: each word takes the low 7
+    // bits of word i+1 and the high 9 bits of word i+2.
+    uint16_t Rot[8];
+    for (int I = 0; I < 8; ++I)
+      Rot[I] = static_cast<uint16_t>((K[(I + 1) & 7] << 9) |
+                                     (K[(I + 2) & 7] >> 7));
+    for (int I = 0; I < 8; ++I)
+      K[I] = Rot[I];
+  }
+}
+
+void invertKey(const uint16_t EK[KeyLen], uint16_t DK[KeyLen]) {
+  // PGP idea.c ideaInvertKey structure: output transform inverts into the
+  // first decryption round; middle rounds swap the two addition keys.
+  const uint16_t *Key = EK;
+  uint16_t Temp[KeyLen];
+  uint16_t *P = Temp + KeyLen;
+  uint16_t T1 = mulInv(*Key++);
+  uint16_t T2 = static_cast<uint16_t>(-*Key++);
+  uint16_t T3 = static_cast<uint16_t>(-*Key++);
+  *--P = mulInv(*Key++);
+  *--P = T3;
+  *--P = T2;
+  *--P = T1;
+  for (int I = 0; I < Rounds - 1; ++I) {
+    T1 = *Key++;
+    *--P = *Key++;
+    *--P = T1;
+    T1 = mulInv(*Key++);
+    T2 = static_cast<uint16_t>(-*Key++);
+    T3 = static_cast<uint16_t>(-*Key++);
+    *--P = mulInv(*Key++);
+    *--P = T2;
+    *--P = T3;
+    *--P = T1;
+  }
+  T1 = *Key++;
+  *--P = *Key++;
+  *--P = T1;
+  T1 = mulInv(*Key++);
+  T2 = static_cast<uint16_t>(-*Key++);
+  T3 = static_cast<uint16_t>(-*Key++);
+  *--P = mulInv(*Key++);
+  *--P = T3;
+  *--P = T2;
+  *--P = T1;
+  for (int I = 0; I < KeyLen; ++I)
+    DK[I] = Temp[I];
+}
+
+void cipherBlock(const uint16_t In[4], uint16_t Out[4],
+                 const uint16_t Key[KeyLen]) {
+  uint16_t X1 = In[0], X2 = In[1], X3 = In[2], X4 = In[3];
+  const uint16_t *K = Key;
+  for (int R = 0; R < Rounds; ++R) {
+    X1 = mul(X1, *K++);
+    X2 = static_cast<uint16_t>(X2 + *K++);
+    X3 = static_cast<uint16_t>(X3 + *K++);
+    X4 = mul(X4, *K++);
+    uint16_t S3 = X3;
+    X3 = mul(static_cast<uint16_t>(X3 ^ X1), *K++);
+    uint16_t S2 = X2;
+    X2 = mul(static_cast<uint16_t>((X2 ^ X4) + X3), *K++);
+    X3 = static_cast<uint16_t>(X3 + X2);
+    X1 = static_cast<uint16_t>(X1 ^ X2);
+    X4 = static_cast<uint16_t>(X4 ^ X3);
+    X2 = static_cast<uint16_t>(X2 ^ S3);
+    X3 = static_cast<uint16_t>(X3 ^ S2);
+  }
+  // Output transform (note the X2/X3 swap).
+  Out[0] = mul(X1, *K++);
+  Out[1] = static_cast<uint16_t>(X3 + *K++);
+  Out[2] = static_cast<uint16_t>(X2 + *K++);
+  Out[3] = mul(X4, *K);
+}
+
+} // namespace spd3::kernels::idea

@@ -1,0 +1,46 @@
+//===- kernels/Idea.h - IDEA block cipher primitives ------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IDEA (International Data Encryption Algorithm) primitives behind
+/// the JGF Crypt benchmark: arithmetic in GF(2^16+1), the 25-bit-rotation
+/// key schedule, decryption-key inversion, and the 8.5-round block
+/// cipher. Exposed as a small public API so the cipher can be validated
+/// against the published test vectors independently of the benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_KERNELS_IDEA_H
+#define SPD3_KERNELS_IDEA_H
+
+#include <cstdint>
+
+namespace spd3::kernels::idea {
+
+constexpr int Rounds = 8;
+constexpr int KeyLen = 52; // 6 subkeys per round + 4 output-transform keys
+
+/// Multiplication in GF(2^16 + 1) with 0 representing 2^16.
+uint16_t mul(uint16_t A, uint16_t B);
+
+/// Multiplicative inverse in GF(2^16 + 1); 0 and 1 are self-inverse.
+uint16_t mulInv(uint16_t X);
+
+/// Expand a 128-bit user key (eight big-endian 16-bit words) into the 52
+/// encryption subkeys.
+void expandKey(const uint16_t UserKey[8], uint16_t EK[KeyLen]);
+
+/// Derive the decryption subkeys from the encryption subkeys.
+void invertKey(const uint16_t EK[KeyLen], uint16_t DK[KeyLen]);
+
+/// Encrypt (with encryption subkeys) or decrypt (with inverted subkeys)
+/// one 64-bit block of four 16-bit words.
+void cipherBlock(const uint16_t In[4], uint16_t Out[4],
+                 const uint16_t Key[KeyLen]);
+
+} // namespace spd3::kernels::idea
+
+#endif // SPD3_KERNELS_IDEA_H

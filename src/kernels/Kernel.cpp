@@ -1,0 +1,63 @@
+//===- kernels/Kernel.cpp - Benchmark kernel framework ---------------------===//
+
+#include "kernels/Kernel.h"
+
+#include "kernels/Kernels.h"
+
+#include <cstring>
+
+namespace spd3::kernels {
+
+Kernel::~Kernel() = default;
+
+const std::vector<Kernel *> &allKernels() {
+  static std::vector<Kernel *> Kernels = {
+      // JGF (Table 1 order).
+      makeSeries(),
+      makeLuFact(),
+      makeSor(),
+      makeCrypt(),
+      makeSparseMatMult(),
+      makeMolDyn(),
+      makeMonteCarlo(),
+      makeRayTracer(),
+      // BOTS.
+      makeFft(),
+      makeHealth(),
+      makeNQueens(),
+      makeStrassen(),
+      // Shootout.
+      makeFannkuch(),
+      makeMandelbrot(),
+      // EC2.
+      makeMatMul(),
+  };
+  return Kernels;
+}
+
+Kernel *findKernel(const std::string &Name) {
+  for (Kernel *K : allKernels())
+    if (Name == K->name())
+      return K;
+  return nullptr;
+}
+
+std::vector<Kernel *> jgfKernels() {
+  std::vector<Kernel *> Out;
+  for (Kernel *K : allKernels())
+    if (std::strcmp(K->source(), "JGF") == 0)
+      Out.push_back(K);
+  return Out;
+}
+
+namespace detail {
+
+void seedRaceWrite(detector::TrackedVar<double> &Cell, size_t I) {
+  // Two parallel steps write (and the later readers read) the same
+  // monitored location: a textbook write-write race.
+  Cell.set(static_cast<double>(I));
+}
+
+} // namespace detail
+
+} // namespace spd3::kernels

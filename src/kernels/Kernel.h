@@ -1,0 +1,139 @@
+//===- kernels/Kernel.h - Benchmark kernel framework ------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 15-benchmark suite of Table 1, re-implemented in C++ against the
+/// async/finish runtime and the TrackedArray instrumentation API:
+///
+///   JGF      : Series, LUFact, SOR, Crypt, SparseMatMult, MolDyn,
+///              MonteCarlo, RayTracer
+///   BOTS     : FFT, Health, NQueens, Strassen
+///   Shootout : Fannkuch, Mandelbrot
+///   EC2      : MatMul
+///
+/// Every kernel supports the paper's two loop decompositions: FineGrained
+/// (one async per iteration — the Section 6.1 configuration) and Chunked
+/// (one chunk per worker — the Section 6.3 "apples-to-apples" configuration
+/// used for the Eraser/FastTrack comparisons).  All kernels are data-race
+/// free by construction (finish scopes instead of the original JGF's buggy
+/// hand-rolled barriers); a SeedRace flag injects a deliberate conflicting
+/// access pair for detector soundness tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_KERNELS_KERNEL_H
+#define SPD3_KERNELS_KERNEL_H
+
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spd3::kernels {
+
+/// Workload size classes. Test sizes keep unit tests fast (and small
+/// enough for brute-force verification); Default sizes drive the benches.
+enum class SizeClass { Test, Small, Default };
+
+/// Loop decomposition (Section 6 methodology).
+enum class Variant { FineGrained, Chunked };
+
+struct KernelConfig {
+  SizeClass Size = SizeClass::Default;
+  Variant Var = Variant::FineGrained;
+  /// Chunk count for the Chunked variant (the paper uses one chunk per
+  /// worker thread).
+  unsigned Chunks = 16;
+  uint64_t Seed = 42;
+  /// Verify the parallel result against a sequential reference
+  /// (tests on; benches off).
+  bool Verify = true;
+  /// Inject one deliberate data race into the main parallel phase.
+  bool SeedRace = false;
+  /// MonteCarlo only: reproduce the *benign* race the paper found in the
+  /// original benchmark (repeated parallel assignments of the same value to
+  /// the same location, Section 6.1). A precise detector still reports it.
+  bool BenignRace = false;
+};
+
+struct KernelResult {
+  bool Verified = false;
+  double Checksum = 0.0;
+  std::string Error;
+
+  static KernelResult ok(double Checksum) {
+    return KernelResult{true, Checksum, {}};
+  }
+  static KernelResult fail(std::string Error, double Checksum = 0.0) {
+    return KernelResult{false, Checksum, std::move(Error)};
+  }
+};
+
+/// A benchmark kernel. execute() owns the whole lifecycle: it calls
+/// Runtime::run (allocating TrackedArrays inside the monitored region so
+/// they register with the active tool) and then verifies outside it.
+class Kernel {
+public:
+  virtual ~Kernel();
+
+  virtual const char *name() const = 0;
+  virtual const char *description() const = 0;
+  /// Benchmark suite of origin ("JGF", "BOTS", "Shootout", "EC2").
+  virtual const char *source() const = 0;
+
+  virtual KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) = 0;
+};
+
+/// All 15 kernels, in Table 1 order. Instances are created on first use
+/// (no static constructors) and live for the process lifetime.
+const std::vector<Kernel *> &allKernels();
+
+/// Lookup by name(); null if unknown.
+Kernel *findKernel(const std::string &Name);
+
+/// The JGF subset used by the Table 2 / Table 3 / Figure 5 / Figure 6
+/// comparisons against Eraser and FastTrack.
+std::vector<Kernel *> jgfKernels();
+
+namespace detail {
+
+/// Relative-error comparison for floating-point verification.
+inline bool closeEnough(double A, double B, double Tol = 1e-6) {
+  double Mag = (A < 0 ? -A : A) + (B < 0 ? -B : B);
+  double Diff = A - B;
+  if (Diff < 0)
+    Diff = -Diff;
+  return Diff <= Tol * (Mag > 1.0 ? Mag : 1.0);
+}
+
+/// Helper shared by all kernels: perform the two conflicting writes of the
+/// seeded race. Called from parallel iterations \p I == 0 and \p I == Last
+/// so that two parallel steps write the same monitored location with no
+/// intervening synchronization.
+void seedRaceWrite(detector::TrackedVar<double> &Cell, size_t I);
+
+/// Dispatch a parallel loop under the configured decomposition:
+/// FineGrained = one async per iteration, Chunked = Cfg.Chunks asyncs over
+/// contiguous ranges.
+inline void forAll(const KernelConfig &Cfg, size_t N,
+                   const std::function<void(size_t)> &Body) {
+  if (Cfg.Var == Variant::FineGrained) {
+    rt::parallelFor(0, N, Body);
+    return;
+  }
+  rt::parallelForChunked(0, N, Cfg.Chunks, [&](size_t Lo, size_t Hi) {
+    for (size_t I = Lo; I < Hi; ++I)
+      Body(I);
+  });
+}
+
+} // namespace detail
+
+} // namespace spd3::kernels
+
+#endif // SPD3_KERNELS_KERNEL_H

@@ -1,0 +1,39 @@
+//===- kernels/Kernels.h - Kernel factory declarations ----------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One factory per benchmark (defined in the per-kernel .cpp files). The
+/// registry in Kernel.cpp assembles them in Table 1 order. Factories are
+/// plain functions so the library has no static constructors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_KERNELS_KERNELS_H
+#define SPD3_KERNELS_KERNELS_H
+
+namespace spd3::kernels {
+
+class Kernel;
+
+Kernel *makeSeries();
+Kernel *makeLuFact();
+Kernel *makeSor();
+Kernel *makeCrypt();
+Kernel *makeSparseMatMult();
+Kernel *makeMolDyn();
+Kernel *makeMonteCarlo();
+Kernel *makeRayTracer();
+Kernel *makeFft();
+Kernel *makeHealth();
+Kernel *makeNQueens();
+Kernel *makeStrassen();
+Kernel *makeFannkuch();
+Kernel *makeMandelbrot();
+Kernel *makeMatMul();
+
+} // namespace spd3::kernels
+
+#endif // SPD3_KERNELS_KERNELS_H

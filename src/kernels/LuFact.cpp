@@ -1,0 +1,142 @@
+//===- kernels/LuFact.cpp - JGF LUFact: LU factorization -------------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 2 "LUFact": LU factorization with partial pivoting followed
+// by a triangular solve, verified by the residual against a known solution.
+// The elimination step for column k updates every row i > k in parallel;
+// each row task reads the shared pivot row (exercising SPD3's two-reader
+// shadow slots heavily) and writes only its own row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+#include <cmath>
+
+namespace spd3::kernels {
+namespace {
+
+size_t sideFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return 24;
+  case SizeClass::Small:
+    return 64;
+  case SizeClass::Default:
+    return 160;
+  }
+  return 160;
+}
+
+class LuFactKernel : public Kernel {
+public:
+  const char *name() const override { return "lufact"; }
+  const char *description() const override {
+    return "LU factorization with partial pivoting";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    size_t N = sideFor(Cfg.Size);
+    Prng Rng(Cfg.Seed);
+    // Well-conditioned test system: random A, b = A * [1, 2, ..., N].
+    std::vector<double> RefA(N * N);
+    for (size_t I = 0; I < N * N; ++I)
+      RefA[I] = Rng.nextDouble(-1.0, 1.0);
+    for (size_t I = 0; I < N; ++I)
+      RefA[I * N + I] += static_cast<double>(N); // diagonal dominance
+    std::vector<double> RefB(N, 0.0);
+    for (size_t R = 0; R < N; ++R)
+      for (size_t C = 0; C < N; ++C)
+        RefB[R] += RefA[R * N + C] * static_cast<double>(C + 1);
+
+    std::vector<double> X(N);
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> A(N * N);
+      detector::TrackedArray<double> B(N);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < N * N; ++I)
+        A.set(I, RefA[I]);
+      for (size_t I = 0; I < N; ++I)
+        B.set(I, RefB[I]);
+      std::vector<size_t> Pivot(N);
+
+      for (size_t K = 0; K < N; ++K) {
+        // Pivot search and row swap happen in the owning task's step,
+        // ordered before the parallel elimination below.
+        size_t P = K;
+        double Best = std::fabs(A.get(K * N + K));
+        for (size_t R = K + 1; R < N; ++R) {
+          double V = std::fabs(A.get(R * N + K));
+          if (V > Best) {
+            Best = V;
+            P = R;
+          }
+        }
+        Pivot[K] = P;
+        if (P != K)
+          for (size_t C = 0; C < N; ++C) {
+            double T = A.get(K * N + C);
+            A.set(K * N + C, A.get(P * N + C));
+            A.set(P * N + C, T);
+          }
+
+        if (K + 1 >= N)
+          continue;
+        detail::forAll(Cfg, N - K - 1, [&](size_t RI) {
+          size_t Row = K + 1 + RI;
+          double Factor = A.get(Row * N + K) / A.get(K * N + K);
+          A.set(Row * N + K, Factor);
+          for (size_t C = K + 1; C < N; ++C)
+            A.set(Row * N + C,
+                  A.get(Row * N + C) - Factor * A.get(K * N + C));
+          if (Cfg.SeedRace && K == 0 && (RI == 0 || RI == N - K - 2))
+            detail::seedRaceWrite(RaceCell, RI);
+        });
+      }
+
+      // Forward/backward substitution in the main task (ordered after all
+      // elimination finishes).
+      for (size_t K = 0; K < N; ++K)
+        if (Pivot[K] != K) {
+          double T = B.get(K);
+          B.set(K, B.get(Pivot[K]));
+          B.set(Pivot[K], T);
+        }
+      for (size_t R = 1; R < N; ++R) {
+        double S = B.get(R);
+        for (size_t C = 0; C < R; ++C)
+          S -= A.get(R * N + C) * B.get(C);
+        B.set(R, S);
+      }
+      for (size_t RI = N; RI-- > 0;) {
+        double S = B.get(RI);
+        for (size_t C = RI + 1; C < N; ++C)
+          S -= A.get(RI * N + C) * B.get(C);
+        B.set(RI, S / A.get(RI * N + RI));
+      }
+      for (size_t I = 0; I < N; ++I) {
+        X[I] = B.get(I);
+        Checksum += X[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t I = 0; I < N; ++I)
+      if (!detail::closeEnough(X[I], static_cast<double>(I + 1), 1e-8))
+        return KernelResult::fail("lufact: solution mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeLuFact() { return new LuFactKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,95 @@
+//===- kernels/Mandelbrot.cpp - Shootout Mandelbrot bitmap -----------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// Shootout "mandelbrot": generate the escape-time bitmap of the Mandelbrot
+// set over [-1.5,0.5] x [-1,1], parallel over image rows. Each pixel is
+// pure local arithmetic followed by a single monitored byte write.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Side;
+  int MaxIter;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {48, 50};
+  case SizeClass::Small:
+    return {128, 100};
+  case SizeClass::Default:
+    return {400, 150};
+  }
+  return {400, 150};
+}
+
+uint8_t escapeTime(size_t Px, size_t Py, size_t Side, int MaxIter) {
+  double Cr = -1.5 + 2.0 * static_cast<double>(Px) / static_cast<double>(Side);
+  double Ci = -1.0 + 2.0 * static_cast<double>(Py) / static_cast<double>(Side);
+  double Zr = 0.0, Zi = 0.0;
+  for (int It = 0; It < MaxIter; ++It) {
+    double Zr2 = Zr * Zr, Zi2 = Zi * Zi;
+    if (Zr2 + Zi2 > 4.0)
+      return static_cast<uint8_t>(It & 0xff);
+  double T = Zr2 - Zi2 + Cr;
+    Zi = 2.0 * Zr * Zi + Ci;
+    Zr = T;
+  }
+  return 0xff;
+}
+
+class MandelbrotKernel : public Kernel {
+public:
+  const char *name() const override { return "mandelbrot"; }
+  const char *description() const override {
+    return "Mandelbrot set escape-time bitmap";
+  }
+  const char *source() const override { return "Shootout"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    size_t Side = Sz.Side;
+    std::vector<uint8_t> Out(Side * Side);
+
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<uint8_t> Image(Side * Side);
+      detector::TrackedVar<double> RaceCell(0.0);
+
+      detail::forAll(Cfg, Side, [&](size_t Row) {
+        for (size_t Col = 0; Col < Side; ++Col)
+          Image.set(Row * Side + Col,
+                    escapeTime(Col, Row, Side, Sz.MaxIter));
+        if (Cfg.SeedRace && (Row == 0 || Row == Side - 1))
+          detail::seedRaceWrite(RaceCell, Row);
+      });
+
+      for (size_t I = 0; I < Side * Side; ++I) {
+        Out[I] = Image.get(I);
+        Checksum += Out[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t Row = 0; Row < Side; ++Row)
+      for (size_t Col = 0; Col < Side; ++Col)
+        if (Out[Row * Side + Col] != escapeTime(Col, Row, Side, Sz.MaxIter))
+          return KernelResult::fail("mandelbrot: pixel mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeMandelbrot() { return new MandelbrotKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,96 @@
+//===- kernels/MatMul.cpp - EC2 Matmul: iterative matrix multiply ----------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// EC2 challenge "Matmul": dense C = A * B with a triply-nested loop,
+// parallel over rows of C. Every inner-loop iteration performs two
+// monitored reads and the row task performs one monitored write per output
+// element, so instrumentation overhead is near the suite's maximum — the
+// opposite anchor to Series.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+namespace spd3::kernels {
+namespace {
+
+size_t sideFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return 24;
+  case SizeClass::Small:
+    return 48;
+  case SizeClass::Default:
+    return 96;
+  }
+  return 96;
+}
+
+class MatMulKernel : public Kernel {
+public:
+  const char *name() const override { return "matmul"; }
+  const char *description() const override {
+    return "iterative dense matrix multiplication";
+  }
+  const char *source() const override { return "EC2"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    size_t N = sideFor(Cfg.Size);
+    std::vector<double> RefA(N * N), RefB(N * N), Out(N * N);
+    Prng Rng(Cfg.Seed);
+    for (double &V : RefA)
+      V = Rng.nextDouble(-1.0, 1.0);
+    for (double &V : RefB)
+      V = Rng.nextDouble(-1.0, 1.0);
+
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> A(N * N), B(N * N), C(N * N);
+      detector::TrackedVar<double> RaceCell(0.0);
+      // Initialization happens in the main task's first step; the parallel
+      // readers below are ordered after it by the spawn tree, so no races.
+      for (size_t I = 0; I < N * N; ++I) {
+        A.set(I, RefA[I]);
+        B.set(I, RefB[I]);
+      }
+
+      detail::forAll(Cfg, N, [&](size_t Row) {
+        for (size_t Col = 0; Col < N; ++Col) {
+          double Sum = 0.0;
+          for (size_t K = 0; K < N; ++K)
+            Sum += A.get(Row * N + K) * B.get(K * N + Col);
+          C.set(Row * N + Col, Sum);
+        }
+        if (Cfg.SeedRace && (Row == 0 || Row == N - 1))
+          detail::seedRaceWrite(RaceCell, Row);
+      });
+
+      for (size_t I = 0; I < N * N; ++I) {
+        Out[I] = C.get(I);
+        Checksum += Out[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t Row = 0; Row < N; ++Row)
+      for (size_t Col = 0; Col < N; ++Col) {
+        double Sum = 0.0;
+        for (size_t K = 0; K < N; ++K)
+          Sum += RefA[Row * N + K] * RefB[K * N + Col];
+        if (!detail::closeEnough(Out[Row * N + Col], Sum))
+          return KernelResult::fail("matmul: element mismatch", Checksum);
+      }
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeMatMul() { return new MatMulKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,165 @@
+//===- kernels/MolDyn.cpp - JGF MolDyn: molecular dynamics -----------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 3 "MolDyn": Lennard-Jones N-body molecular dynamics. Each
+// timestep computes pairwise forces (parallel over particles: every task
+// reads all positions — heavy read sharing — and writes only its own force
+// row) and then integrates velocities/positions in a second parallel phase.
+// Finish scopes replace the original barriers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+#include <cmath>
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Particles;
+  int Steps;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {24, 2};
+  case SizeClass::Small:
+    return {96, 3};
+  case SizeClass::Default:
+    return {256, 4};
+  }
+  return {256, 4};
+}
+
+constexpr double Dt = 1e-3;
+constexpr double CutoffSq = 6.25;
+
+/// Sequential reference of the same update scheme.
+void referenceStep(std::vector<double> &Pos, std::vector<double> &Vel,
+                   size_t N) {
+  std::vector<double> F(3 * N, 0.0);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J) {
+      if (I == J)
+        continue;
+      double Dx = Pos[3 * I] - Pos[3 * J];
+      double Dy = Pos[3 * I + 1] - Pos[3 * J + 1];
+      double Dz = Pos[3 * I + 2] - Pos[3 * J + 2];
+      double R2 = Dx * Dx + Dy * Dy + Dz * Dz;
+      if (R2 > CutoffSq || R2 == 0.0)
+        continue;
+      double Inv2 = 1.0 / R2;
+      double Inv6 = Inv2 * Inv2 * Inv2;
+      double Mag = 24.0 * Inv2 * Inv6 * (2.0 * Inv6 - 1.0);
+      F[3 * I] += Mag * Dx;
+      F[3 * I + 1] += Mag * Dy;
+      F[3 * I + 2] += Mag * Dz;
+    }
+  for (size_t I = 0; I < 3 * N; ++I) {
+    Vel[I] += F[I] * Dt;
+    Pos[I] += Vel[I] * Dt;
+  }
+}
+
+class MolDynKernel : public Kernel {
+public:
+  const char *name() const override { return "moldyn"; }
+  const char *description() const override {
+    return "Lennard-Jones molecular dynamics";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    size_t N = Sz.Particles;
+    Prng Rng(Cfg.Seed);
+    std::vector<double> PosInit(3 * N), VelInit(3 * N);
+    // Lattice-ish positions with jitter, small random velocities.
+    for (size_t I = 0; I < N; ++I) {
+      PosInit[3 * I] = static_cast<double>(I % 8) + 0.1 * Rng.nextDouble();
+      PosInit[3 * I + 1] =
+          static_cast<double>((I / 8) % 8) + 0.1 * Rng.nextDouble();
+      PosInit[3 * I + 2] =
+          static_cast<double>(I / 64) + 0.1 * Rng.nextDouble();
+    }
+    for (double &V : VelInit)
+      V = Rng.nextDouble(-0.1, 0.1);
+
+    std::vector<double> OutPos(3 * N);
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> Pos(3 * N), Vel(3 * N), F(3 * N);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < 3 * N; ++I) {
+        Pos.set(I, PosInit[I]);
+        Vel.set(I, VelInit[I]);
+      }
+
+      for (int Step = 0; Step < Sz.Steps; ++Step) {
+        // Force phase: task i reads every position, writes force row i.
+        detail::forAll(Cfg, N, [&](size_t I) {
+          double Fx = 0.0, Fy = 0.0, Fz = 0.0;
+          double Xi = Pos.get(3 * I), Yi = Pos.get(3 * I + 1),
+                 Zi = Pos.get(3 * I + 2);
+          for (size_t J = 0; J < N; ++J) {
+            if (I == J)
+              continue;
+            double Dx = Xi - Pos.get(3 * J);
+            double Dy = Yi - Pos.get(3 * J + 1);
+            double Dz = Zi - Pos.get(3 * J + 2);
+            double R2 = Dx * Dx + Dy * Dy + Dz * Dz;
+            if (R2 > CutoffSq || R2 == 0.0)
+              continue;
+            double Inv2 = 1.0 / R2;
+            double Inv6 = Inv2 * Inv2 * Inv2;
+            double Mag = 24.0 * Inv2 * Inv6 * (2.0 * Inv6 - 1.0);
+            Fx += Mag * Dx;
+            Fy += Mag * Dy;
+            Fz += Mag * Dz;
+          }
+          F.set(3 * I, Fx);
+          F.set(3 * I + 1, Fy);
+          F.set(3 * I + 2, Fz);
+          if (Cfg.SeedRace && Step == 0 && (I == 0 || I == N - 1))
+            detail::seedRaceWrite(RaceCell, I);
+        });
+        // Integration phase: task i updates only its own components.
+        detail::forAll(Cfg, N, [&](size_t I) {
+          for (size_t D = 0; D < 3; ++D) {
+            size_t Idx = 3 * I + D;
+            double V = Vel.get(Idx) + F.get(Idx) * Dt;
+            Vel.set(Idx, V);
+            Pos.set(Idx, Pos.get(Idx) + V * Dt);
+          }
+        });
+      }
+
+      for (size_t I = 0; I < 3 * N; ++I) {
+        OutPos[I] = Pos.get(I);
+        Checksum += OutPos[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    std::vector<double> Pos = PosInit, Vel = VelInit;
+    for (int Step = 0; Step < Sz.Steps; ++Step)
+      referenceStep(Pos, Vel, N);
+    for (size_t I = 0; I < 3 * N; ++I)
+      if (!detail::closeEnough(OutPos[I], Pos[I], 1e-9))
+        return KernelResult::fail("moldyn: trajectory mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeMolDyn() { return new MolDynKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,113 @@
+//===- kernels/MonteCarlo.cpp - JGF MonteCarlo simulation ------------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 3 "MonteCarlo": financial Monte Carlo — simulate many
+// geometric-Brownian price paths with per-path deterministic seeds, then
+// aggregate. Each task writes its own result slot; aggregation happens in
+// the main task after the finish.
+//
+// Historical note reproduced here: the paper's one race finding across the
+// suite was a *benign* race in MonteCarlo — repeated parallel assignments
+// of the same value to the same location (Section 6.1). The BenignRace
+// config recreates it: every path task stores the same constant into a
+// shared cell. The program is still deterministic, but a precise detector
+// must (and does) report the race.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+#include <cmath>
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Paths;
+  int Steps;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {64, 16};
+  case SizeClass::Small:
+    return {512, 32};
+  case SizeClass::Default:
+    return {2048, 64};
+  }
+  return {2048, 64};
+}
+
+/// One geometric-Brownian path; deterministic in (Seed, PathId).
+double simulatePath(uint64_t Seed, size_t PathId, int Steps) {
+  Prng Rng(Seed ^ (0x9e3779b97f4a7c15ULL * (PathId + 1)));
+  double S = 100.0;
+  const double Mu = 0.05, Sigma = 0.2, Dt = 1.0 / Steps;
+  for (int T = 0; T < Steps; ++T) {
+    // Box-Muller normal variate.
+    double U1 = Rng.nextDouble();
+    double U2 = Rng.nextDouble();
+    if (U1 < 1e-12)
+      U1 = 1e-12;
+    double Z = std::sqrt(-2.0 * std::log(U1)) * std::cos(2.0 * M_PI * U2);
+    S *= std::exp((Mu - 0.5 * Sigma * Sigma) * Dt +
+                  Sigma * std::sqrt(Dt) * Z);
+  }
+  return S;
+}
+
+class MonteCarloKernel : public Kernel {
+public:
+  const char *name() const override { return "montecarlo"; }
+  const char *description() const override {
+    return "Monte Carlo price-path simulation";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    std::vector<double> Out(Sz.Paths);
+
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> Results(Sz.Paths);
+      detector::TrackedVar<double> Status(0.0);
+      detector::TrackedVar<double> RaceCell(0.0);
+
+      detail::forAll(Cfg, Sz.Paths, [&](size_t P) {
+        Results.set(P, simulatePath(Cfg.Seed, P, Sz.Steps));
+        if (Cfg.BenignRace) {
+          // The paper's benign race: every task assigns the *same* value,
+          // so the outcome is schedule-independent — but it is still a
+          // write-write race and precise detectors report it.
+          Status.set(1.0);
+        }
+        if (Cfg.SeedRace && (P == 0 || P == Sz.Paths - 1))
+          detail::seedRaceWrite(RaceCell, P);
+      });
+
+      for (size_t P = 0; P < Sz.Paths; ++P) {
+        Out[P] = Results.get(P);
+        Checksum += Out[P];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t P = 0; P < Sz.Paths; ++P)
+      if (!detail::closeEnough(Out[P], simulatePath(Cfg.Seed, P, Sz.Steps)))
+        return KernelResult::fail("montecarlo: path mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeMonteCarlo() { return new MonteCarloKernel(); }
+
+} // namespace spd3::kernels

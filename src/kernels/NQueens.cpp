@@ -1,0 +1,132 @@
+//===- kernels/NQueens.cpp - BOTS NQueens ----------------------------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// BOTS "NQueens": count the placements of N non-attacking queens by
+// task-parallel backtracking. Spawns one task per viable placement down to
+// a cutoff depth, then counts sequentially. Each task writes its own slot
+// of a results array and parents sum after their finish — the structured
+// (reduction-free) formulation, which gives the detectors a deep,
+// irregular DPST rather than a flat parallel loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  int N;
+  int Cutoff; // spawn depth
+};
+
+Sizes sizesFor(SizeClass S, Variant V) {
+  // The chunked variant uses a shallower cutoff: ~N top-level tasks, the
+  // "one chunk per worker"-style decomposition.
+  switch (S) {
+  case SizeClass::Test:
+    return {8, V == Variant::FineGrained ? 2 : 1};
+  case SizeClass::Small:
+    return {9, V == Variant::FineGrained ? 3 : 1};
+  case SizeClass::Default:
+    return {10, V == Variant::FineGrained ? 3 : 1};
+  }
+  return {10, 3};
+}
+
+int64_t knownSolutions(int N) {
+  static const int64_t Counts[] = {0, 1,  0,  0,   2,    10,
+                                   4, 40, 92, 352, 724,  2680};
+  return N >= 0 && N < 12 ? Counts[N] : -1;
+}
+
+bool safe(const uint8_t *Rows, int Depth, int Col) {
+  for (int R = 0; R < Depth; ++R) {
+    int C = Rows[R];
+    if (C == Col || C - Col == Depth - R || Col - C == Depth - R)
+      return false;
+  }
+  return true;
+}
+
+int64_t countSequential(uint8_t *Rows, int Depth, int N) {
+  if (Depth == N)
+    return 1;
+  int64_t Count = 0;
+  for (int Col = 0; Col < N; ++Col) {
+    if (!safe(Rows, Depth, Col))
+      continue;
+    Rows[Depth] = static_cast<uint8_t>(Col);
+    Count += countSequential(Rows, Depth + 1, N);
+  }
+  return Count;
+}
+
+/// Parallel recursion: below Cutoff spawn a task per viable column; each
+/// child writes Counts[Slot + Col] and the parent sums after the finish.
+int64_t countParallel(const uint8_t *Rows, int Depth, int N, int Cutoff) {
+  if (Depth >= Cutoff) {
+    uint8_t Local[16];
+    for (int I = 0; I < Depth; ++I)
+      Local[I] = Rows[I];
+    return countSequential(Local, Depth, N);
+  }
+  detector::TrackedArray<int64_t> Counts(static_cast<size_t>(N), 0);
+  rt::finish([&] {
+    for (int Col = 0; Col < N; ++Col) {
+      if (!safe(Rows, Depth, Col))
+        continue;
+      rt::async([&, Col] {
+        uint8_t Child[16];
+        for (int I = 0; I < Depth; ++I)
+          Child[I] = Rows[I];
+        Child[Depth] = static_cast<uint8_t>(Col);
+        Counts.set(static_cast<size_t>(Col),
+                   countParallel(Child, Depth + 1, N, Cutoff));
+      });
+    }
+  });
+  int64_t Total = 0;
+  for (int Col = 0; Col < N; ++Col)
+    Total += Counts.get(static_cast<size_t>(Col));
+  return Total;
+}
+
+class NQueensKernel : public Kernel {
+public:
+  const char *name() const override { return "nqueens"; }
+  const char *description() const override {
+    return "N-queens solution counting by task-parallel backtracking";
+  }
+  const char *source() const override { return "BOTS"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size, Cfg.Var);
+    int64_t Solutions = 0;
+    RT.run([&] {
+      detector::TrackedVar<double> RaceCell(0.0);
+      if (Cfg.SeedRace)
+        rt::finish([&] {
+          rt::async([&] { detail::seedRaceWrite(RaceCell, 0); });
+          rt::async([&] { detail::seedRaceWrite(RaceCell, 1); });
+        });
+      uint8_t Rows[16];
+      Solutions = countParallel(Rows, 0, Sz.N, Sz.Cutoff);
+    });
+
+    double Checksum = static_cast<double>(Solutions);
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    if (Solutions != knownSolutions(Sz.N))
+      return KernelResult::fail("nqueens: wrong solution count", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeNQueens() { return new NQueensKernel(); }
+
+} // namespace spd3::kernels

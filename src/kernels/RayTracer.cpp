@@ -1,0 +1,172 @@
+//===- kernels/RayTracer.cpp - JGF RayTracer -------------------------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 3 "RayTracer": renders a sphere scene with Lambertian
+// shading and hard shadows, parallel over image rows. The scene geometry
+// is stored in a monitored array and read by every pixel task — the kind
+// of massive read sharing for which the paper's constant-space two-reader
+// shadow slots were designed (and for which FastTrack pays O(n) per
+// location).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+#include <cmath>
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Side;
+  size_t Spheres;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {16, 4};
+  case SizeClass::Small:
+    return {48, 6};
+  case SizeClass::Default:
+    return {96, 8};
+  }
+  return {96, 8};
+}
+
+/// Sphere record layout inside the monitored scene array.
+constexpr size_t SphereStride = 5; // cx, cy, cz, radius, albedo
+
+struct Vec {
+  double X, Y, Z;
+};
+
+Vec sub(Vec A, Vec B) { return {A.X - B.X, A.Y - B.Y, A.Z - B.Z}; }
+double dot(Vec A, Vec B) { return A.X * B.X + A.Y * B.Y + A.Z * B.Z; }
+Vec scale(Vec A, double S) { return {A.X * S, A.Y * S, A.Z * S}; }
+Vec add(Vec A, Vec B) { return {A.X + B.X, A.Y + B.Y, A.Z + B.Z}; }
+Vec normalize(Vec A) {
+  double L = std::sqrt(dot(A, A));
+  return L > 0 ? scale(A, 1.0 / L) : A;
+}
+
+/// Shared ray-tracing core over an abstract scene reader so the parallel
+/// (monitored) and reference (plain) paths share one implementation.
+template <typename SceneReader>
+double shadePixel(const SceneReader &Scene, size_t NumSpheres, size_t Px,
+                  size_t Py, size_t Side) {
+  const Vec Eye{0.0, 0.0, -4.0};
+  const Vec Light = normalize(Vec{0.4, 0.7, -0.6});
+  double U = -1.0 + 2.0 * (static_cast<double>(Px) + 0.5) / Side;
+  double V = -1.0 + 2.0 * (static_cast<double>(Py) + 0.5) / Side;
+  Vec Dir = normalize(Vec{U, V, 2.0});
+
+  auto Intersect = [&](Vec Org, Vec D, size_t SkipId, size_t *HitId) {
+    double Best = 1e30;
+    for (size_t S = 0; S < NumSpheres; ++S) {
+      if (S == SkipId)
+        continue;
+      Vec C{Scene(S * SphereStride), Scene(S * SphereStride + 1),
+            Scene(S * SphereStride + 2)};
+      double R = Scene(S * SphereStride + 3);
+      Vec Oc = sub(Org, C);
+      double B = dot(Oc, D);
+      double Disc = B * B - (dot(Oc, Oc) - R * R);
+      if (Disc < 0)
+        continue;
+      double T = -B - std::sqrt(Disc);
+      if (T > 1e-6 && T < Best) {
+        Best = T;
+        *HitId = S;
+      }
+    }
+    return Best;
+  };
+
+  size_t HitId = static_cast<size_t>(-1);
+  double T = Intersect(Eye, Dir, static_cast<size_t>(-1), &HitId);
+  if (T >= 1e30)
+    return 0.05; // background
+  Vec P = add(Eye, scale(Dir, T));
+  Vec C{Scene(HitId * SphereStride), Scene(HitId * SphereStride + 1),
+        Scene(HitId * SphereStride + 2)};
+  Vec N = normalize(sub(P, C));
+  double Albedo = Scene(HitId * SphereStride + 4);
+  double Diffuse = dot(N, Light);
+  if (Diffuse < 0)
+    Diffuse = 0;
+  // Hard shadow: probe toward the light.
+  size_t ShadowId = static_cast<size_t>(-1);
+  double TS = Intersect(P, Light, HitId, &ShadowId);
+  if (TS < 1e30)
+    Diffuse *= 0.2;
+  return 0.05 + Albedo * Diffuse;
+}
+
+class RayTracerKernel : public Kernel {
+public:
+  const char *name() const override { return "raytracer"; }
+  const char *description() const override {
+    return "3D sphere-scene ray tracer";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    size_t Side = Sz.Side;
+    Prng Rng(Cfg.Seed);
+    std::vector<double> SceneInit(Sz.Spheres * SphereStride);
+    for (size_t S = 0; S < Sz.Spheres; ++S) {
+      SceneInit[S * SphereStride] = Rng.nextDouble(-1.2, 1.2);
+      SceneInit[S * SphereStride + 1] = Rng.nextDouble(-1.2, 1.2);
+      SceneInit[S * SphereStride + 2] = Rng.nextDouble(0.0, 2.0);
+      SceneInit[S * SphereStride + 3] = Rng.nextDouble(0.2, 0.6);
+      SceneInit[S * SphereStride + 4] = Rng.nextDouble(0.4, 1.0);
+    }
+
+    std::vector<double> Image(Side * Side);
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> Scene(SceneInit.size());
+      detector::TrackedArray<double> Pixels(Side * Side);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < SceneInit.size(); ++I)
+        Scene.set(I, SceneInit[I]);
+
+      auto Reader = [&](size_t I) { return Scene.get(I); };
+      detail::forAll(Cfg, Side, [&](size_t Row) {
+        for (size_t Col = 0; Col < Side; ++Col)
+          Pixels.set(Row * Side + Col,
+                     shadePixel(Reader, Sz.Spheres, Col, Row, Side));
+        if (Cfg.SeedRace && (Row == 0 || Row == Side - 1))
+          detail::seedRaceWrite(RaceCell, Row);
+      });
+
+      for (size_t I = 0; I < Side * Side; ++I) {
+        Image[I] = Pixels.get(I);
+        Checksum += Image[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    auto RefReader = [&](size_t I) { return SceneInit[I]; };
+    for (size_t Row = 0; Row < Side; ++Row)
+      for (size_t Col = 0; Col < Side; ++Col)
+        if (!detail::closeEnough(
+                Image[Row * Side + Col],
+                shadePixel(RefReader, Sz.Spheres, Col, Row, Side)))
+          return KernelResult::fail("raytracer: pixel mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeRayTracer() { return new RayTracerKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,110 @@
+//===- kernels/Series.cpp - JGF Series: Fourier coefficients ---------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 2 "Series": computes the first N Fourier coefficient pairs of
+// f(x) = (x+1)^x on [0,2] by trapezoid integration. Embarrassingly parallel
+// with heavy per-iteration arithmetic and only two monitored writes per
+// coefficient, so its race-detection slowdown is ~1x in the paper — the
+// suite's low-overhead anchor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include <cmath>
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Coefficients;
+  size_t IntegrationPoints;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {24, 100};
+  case SizeClass::Small:
+    return {128, 400};
+  case SizeClass::Default:
+    return {512, 1000};
+  }
+  return {512, 1000};
+}
+
+double f(double X) { return std::pow(X + 1.0, X); }
+
+/// Trapezoid integral of f(x)*w(n*pi*x) over [0,2] with P points, where w
+/// is cos for Kind 0 and sin for Kind 1 (n == 0 integrates f alone).
+double trapezoid(size_t N, int Kind, size_t P) {
+  double Dx = 2.0 / static_cast<double>(P);
+  double X = 0.0;
+  double Omega = static_cast<double>(N) * M_PI;
+  auto Term = [&](double Xi) {
+    if (N == 0)
+      return f(Xi);
+    return Kind == 0 ? f(Xi) * std::cos(Omega * Xi) : f(Xi) * std::sin(Omega * Xi);
+  };
+  double Sum = 0.5 * (Term(0.0) + Term(2.0));
+  for (size_t I = 1; I < P; ++I) {
+    X += Dx;
+    Sum += Term(X);
+  }
+  return Sum * Dx * 0.5; // *(2/period) with period 2 -> * 1/2 * Dx? kept 1:1 with JGF scaling below.
+}
+
+class SeriesKernel : public Kernel {
+public:
+  const char *name() const override { return "series"; }
+  const char *description() const override {
+    return "Fourier coefficient analysis of (x+1)^x on [0,2]";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    double Checksum = 0.0;
+    std::vector<double> ParA(Sz.Coefficients), ParB(Sz.Coefficients);
+
+    RT.run([&] {
+      detector::TrackedArray<double> A(Sz.Coefficients);
+      detector::TrackedArray<double> B(Sz.Coefficients);
+      detector::TrackedVar<double> RaceCell(0.0);
+
+      detail::forAll(Cfg, Sz.Coefficients, [&](size_t N) {
+        A.set(N, trapezoid(N, 0, Sz.IntegrationPoints));
+        B.set(N, N == 0 ? 0.0 : trapezoid(N, 1, Sz.IntegrationPoints));
+        if (Cfg.SeedRace && (N == 0 || N == Sz.Coefficients - 1))
+          detail::seedRaceWrite(RaceCell, N);
+      });
+
+      // The main task's continuation step is ordered after the finish, so
+      // these monitored reads are race-free.
+      for (size_t N = 0; N < Sz.Coefficients; ++N) {
+        ParA[N] = A.get(N);
+        ParB[N] = B.get(N);
+        Checksum += ParA[N] + ParB[N];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t N = 0; N < Sz.Coefficients; ++N) {
+      double RefA = trapezoid(N, 0, Sz.IntegrationPoints);
+      double RefB = N == 0 ? 0.0 : trapezoid(N, 1, Sz.IntegrationPoints);
+      if (!detail::closeEnough(ParA[N], RefA) ||
+          !detail::closeEnough(ParB[N], RefB))
+        return KernelResult::fail("series: coefficient mismatch", Checksum);
+    }
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeSeries() { return new SeriesKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,121 @@
+//===- kernels/Sor.cpp - JGF SOR: successive over-relaxation ---------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 2 "SOR": red-black successive over-relaxation on an N x N
+// grid. Each sweep updates one color in parallel over rows; a cell of one
+// color reads only neighbors of the other color, so each colored sweep is
+// race-free under its own finish — this is the structured replacement for
+// the original benchmark's buggy hand-rolled barrier (Section 6.3 of the
+// paper found that barrier to be racy).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Side;
+  int Iterations;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {24, 4};
+  case SizeClass::Small:
+    return {64, 6};
+  case SizeClass::Default:
+    return {192, 10};
+  }
+  return {192, 10};
+}
+
+constexpr double Omega = 1.25;
+
+/// Sequential reference: identical sweep order on a plain array.
+void referenceSor(std::vector<double> &G, size_t N, int Iterations) {
+  for (int It = 0; It < Iterations; ++It)
+    for (int Color = 0; Color < 2; ++Color)
+      for (size_t Row = 1; Row + 1 < N; ++Row)
+        for (size_t Col = 1 + ((Row + Color) & 1); Col + 1 < N; Col += 2) {
+          size_t I = Row * N + Col;
+          G[I] = Omega * 0.25 *
+                     (G[I - N] + G[I + N] + G[I - 1] + G[I + 1]) +
+                 (1.0 - Omega) * G[I];
+        }
+}
+
+class SorKernel : public Kernel {
+public:
+  const char *name() const override { return "sor"; }
+  const char *description() const override {
+    return "red-black successive over-relaxation";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    size_t N = Sz.Side;
+    Prng Rng(Cfg.Seed);
+    std::vector<double> Init(N * N);
+    for (double &V : Init)
+      V = Rng.nextDouble();
+    std::vector<double> Out(N * N);
+
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> G(N * N);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < N * N; ++I)
+        G.set(I, Init[I]);
+
+      for (int It = 0; It < Sz.Iterations; ++It) {
+        for (int Color = 0; Color < 2; ++Color) {
+          // One finish per colored sweep: the paper's replacement for the
+          // original JGF barrier.
+          detail::forAll(Cfg, N - 2, [&](size_t R) {
+            size_t Row = R + 1;
+            for (size_t Col = 1 + ((Row + Color) & 1); Col + 1 < N;
+                 Col += 2) {
+              size_t I = Row * N + Col;
+              double V = Omega * 0.25 *
+                             (G.get(I - N) + G.get(I + N) + G.get(I - 1) +
+                              G.get(I + 1)) +
+                         (1.0 - Omega) * G.get(I);
+              G.set(I, V);
+            }
+            if (Cfg.SeedRace && It == 0 && Color == 0 &&
+                (R == 0 || R == N - 3))
+              detail::seedRaceWrite(RaceCell, R);
+          });
+        }
+      }
+
+      for (size_t I = 0; I < N * N; ++I) {
+        Out[I] = G.get(I);
+        Checksum += Out[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    std::vector<double> Ref = Init;
+    referenceSor(Ref, N, Sz.Iterations);
+    for (size_t I = 0; I < N * N; ++I)
+      if (!detail::closeEnough(Out[I], Ref[I], 1e-12))
+        return KernelResult::fail("sor: grid mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeSor() { return new SorKernel(); }
+
+} // namespace spd3::kernels

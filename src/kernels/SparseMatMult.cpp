@@ -1,0 +1,123 @@
+//===- kernels/SparseMatMult.cpp - JGF Sparse matrix multiply --------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// JGF Section 2 "SparseMatmult": repeated y = A*x with A a random sparse
+// matrix in CSR form, parallel over rows. The vector x is read-shared by
+// every row task (the access pattern FastTrack's read vector clocks pay
+// for and SPD3's two-reader slots absorb in constant space).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Rows;
+  size_t NnzPerRow;
+  int Iterations;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {64, 4, 2};
+  case SizeClass::Small:
+    return {512, 5, 4};
+  case SizeClass::Default:
+    return {4096, 5, 8};
+  }
+  return {4096, 5, 8};
+}
+
+class SparseMatMultKernel : public Kernel {
+public:
+  const char *name() const override { return "sparse"; }
+  const char *description() const override {
+    return "sparse matrix-vector multiplication (CSR)";
+  }
+  const char *source() const override { return "JGF"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    size_t N = Sz.Rows;
+    Prng Rng(Cfg.Seed);
+    // CSR structure (indices are analysis-invisible control data; values
+    // and vectors are the monitored shared state, as in the JGF original
+    // where only the double arrays carry the races of interest).
+    std::vector<size_t> RowPtr(N + 1, 0);
+    std::vector<size_t> ColIdx;
+    std::vector<double> ValInit;
+    for (size_t R = 0; R < N; ++R) {
+      for (size_t K = 0; K < Sz.NnzPerRow; ++K) {
+        ColIdx.push_back(Rng.nextBelow(N));
+        ValInit.push_back(Rng.nextDouble(-1.0, 1.0));
+      }
+      RowPtr[R + 1] = ColIdx.size();
+    }
+    std::vector<double> XInit(N);
+    for (double &V : XInit)
+      V = Rng.nextDouble();
+
+    std::vector<double> Out(N);
+    double Checksum = 0.0;
+    RT.run([&] {
+      detector::TrackedArray<double> Val(ValInit.size());
+      detector::TrackedArray<double> X(N);
+      detector::TrackedArray<double> Y(N);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < ValInit.size(); ++I)
+        Val.set(I, ValInit[I]);
+      for (size_t I = 0; I < N; ++I)
+        X.set(I, XInit[I]);
+
+      for (int It = 0; It < Sz.Iterations; ++It) {
+        detail::forAll(Cfg, N, [&](size_t Row) {
+          double Sum = 0.0;
+          for (size_t K = RowPtr[Row]; K < RowPtr[Row + 1]; ++K)
+            Sum += Val.get(K) * X.get(ColIdx[K]);
+          Y.set(Row, Sum);
+          if (Cfg.SeedRace && It == 0 && (Row == 0 || Row == N - 1))
+            detail::seedRaceWrite(RaceCell, Row);
+        });
+        // Feed the result back (x <- normalized y) so iterations depend on
+        // one another, all in the main task between finishes.
+        for (size_t I = 0; I < N; ++I)
+          X.set(I, 0.5 * Y.get(I));
+      }
+      for (size_t I = 0; I < N; ++I) {
+        Out[I] = Y.get(I);
+        Checksum += Out[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    std::vector<double> X = XInit, Y(N, 0.0);
+    for (int It = 0; It < Sz.Iterations; ++It) {
+      for (size_t Row = 0; Row < N; ++Row) {
+        double Sum = 0.0;
+        for (size_t K = RowPtr[Row]; K < RowPtr[Row + 1]; ++K)
+          Sum += ValInit[K] * X[ColIdx[K]];
+        Y[Row] = Sum;
+      }
+      for (size_t I = 0; I < N; ++I)
+        X[I] = 0.5 * Y[I];
+    }
+    for (size_t I = 0; I < N; ++I)
+      if (!detail::closeEnough(Out[I], Y[I], 1e-12))
+        return KernelResult::fail("sparse: result mismatch", Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeSparseMatMult() { return new SparseMatMultKernel(); }
+
+} // namespace spd3::kernels

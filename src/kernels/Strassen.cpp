@@ -1,0 +1,228 @@
+//===- kernels/Strassen.cpp - BOTS Strassen matrix multiply ----------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// BOTS "Strassen": matrix multiplication by Strassen's seven-product
+// recursion with task-parallel subproducts above a cutoff, naive multiply
+// below it. Temporaries are TrackedArrays allocated inside the owning
+// task, so shadow ranges are registered and retired concurrently —
+// exercising the detector's range table under parallel churn.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+#include "support/Prng.h"
+
+#include <memory>
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Side;
+  size_t Cutoff;
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {32, 16};
+  case SizeClass::Small:
+    return {64, 32};
+  case SizeClass::Default:
+    return {128, 32};
+  }
+  return {128, 32};
+}
+
+using Mat = detector::TrackedArray<double>;
+
+/// Dense views are passed as (array, row offset, col offset, leading dim).
+struct View {
+  Mat *M;
+  size_t R0, C0, Ld;
+
+  double get(size_t R, size_t C) const {
+    return M->get((R0 + R) * Ld + (C0 + C));
+  }
+  void set(size_t R, size_t C, double V) const {
+    M->set((R0 + R) * Ld + (C0 + C), V);
+  }
+  View quad(size_t QR, size_t QC, size_t Half) const {
+    return View{M, R0 + QR * Half, C0 + QC * Half, Ld};
+  }
+};
+
+void addInto(View Out, View A, View B, size_t N) {
+  for (size_t R = 0; R < N; ++R)
+    for (size_t C = 0; C < N; ++C)
+      Out.set(R, C, A.get(R, C) + B.get(R, C));
+}
+
+void subInto(View Out, View A, View B, size_t N) {
+  for (size_t R = 0; R < N; ++R)
+    for (size_t C = 0; C < N; ++C)
+      Out.set(R, C, A.get(R, C) - B.get(R, C));
+}
+
+void naiveMul(View Out, View A, View B, size_t N) {
+  for (size_t R = 0; R < N; ++R)
+    for (size_t C = 0; C < N; ++C) {
+      double Sum = 0.0;
+      for (size_t K = 0; K < N; ++K)
+        Sum += A.get(R, K) * B.get(K, C);
+      Out.set(R, C, Sum);
+    }
+}
+
+void strassen(View Out, View A, View B, size_t N, size_t Cutoff) {
+  if (N <= Cutoff) {
+    naiveMul(Out, A, B, N);
+    return;
+  }
+  size_t H = N / 2;
+  // Seven products, each computed by its own task into its own temporary.
+  auto M1 = std::make_unique<Mat>(H * H);
+  auto M2 = std::make_unique<Mat>(H * H);
+  auto M3 = std::make_unique<Mat>(H * H);
+  auto M4 = std::make_unique<Mat>(H * H);
+  auto M5 = std::make_unique<Mat>(H * H);
+  auto M6 = std::make_unique<Mat>(H * H);
+  auto M7 = std::make_unique<Mat>(H * H);
+  View VM1{M1.get(), 0, 0, H}, VM2{M2.get(), 0, 0, H};
+  View VM3{M3.get(), 0, 0, H}, VM4{M4.get(), 0, 0, H};
+  View VM5{M5.get(), 0, 0, H}, VM6{M6.get(), 0, 0, H};
+  View VM7{M7.get(), 0, 0, H};
+  View A11 = A.quad(0, 0, H), A12 = A.quad(0, 1, H);
+  View A21 = A.quad(1, 0, H), A22 = A.quad(1, 1, H);
+  View B11 = B.quad(0, 0, H), B12 = B.quad(0, 1, H);
+  View B21 = B.quad(1, 0, H), B22 = B.quad(1, 1, H);
+
+  rt::finish([&] {
+    rt::async([&] { // M1 = (A11 + A22)(B11 + B22)
+      Mat TA(H * H), TB(H * H);
+      View VA{&TA, 0, 0, H}, VB{&TB, 0, 0, H};
+      addInto(VA, A11, A22, H);
+      addInto(VB, B11, B22, H);
+      strassen(VM1, VA, VB, H, Cutoff);
+    });
+    rt::async([&] { // M2 = (A21 + A22) B11
+      Mat TA(H * H);
+      View VA{&TA, 0, 0, H};
+      addInto(VA, A21, A22, H);
+      strassen(VM2, VA, B11, H, Cutoff);
+    });
+    rt::async([&] { // M3 = A11 (B12 - B22)
+      Mat TB(H * H);
+      View VB{&TB, 0, 0, H};
+      subInto(VB, B12, B22, H);
+      strassen(VM3, A11, VB, H, Cutoff);
+    });
+    rt::async([&] { // M4 = A22 (B21 - B11)
+      Mat TB(H * H);
+      View VB{&TB, 0, 0, H};
+      subInto(VB, B21, B11, H);
+      strassen(VM4, A22, VB, H, Cutoff);
+    });
+    rt::async([&] { // M5 = (A11 + A12) B22
+      Mat TA(H * H);
+      View VA{&TA, 0, 0, H};
+      addInto(VA, A11, A12, H);
+      strassen(VM5, VA, B22, H, Cutoff);
+    });
+    rt::async([&] { // M6 = (A21 - A11)(B11 + B12)
+      Mat TA(H * H), TB(H * H);
+      View VA{&TA, 0, 0, H}, VB{&TB, 0, 0, H};
+      subInto(VA, A21, A11, H);
+      addInto(VB, B11, B12, H);
+      strassen(VM6, VA, VB, H, Cutoff);
+    });
+    rt::async([&] { // M7 = (A12 - A22)(B21 + B22)
+      Mat TA(H * H), TB(H * H);
+      View VA{&TA, 0, 0, H}, VB{&TB, 0, 0, H};
+      subInto(VA, A12, A22, H);
+      addInto(VB, B21, B22, H);
+      strassen(VM7, VA, VB, H, Cutoff);
+    });
+  });
+
+  // Combine in the owning task (ordered after the finish).
+  View C11 = Out.quad(0, 0, H), C12 = Out.quad(0, 1, H);
+  View C21 = Out.quad(1, 0, H), C22 = Out.quad(1, 1, H);
+  for (size_t R = 0; R < H; ++R)
+    for (size_t C = 0; C < H; ++C) {
+      double P1 = VM1.get(R, C), P2 = VM2.get(R, C), P3 = VM3.get(R, C);
+      double P4 = VM4.get(R, C), P5 = VM5.get(R, C), P6 = VM6.get(R, C);
+      double P7 = VM7.get(R, C);
+      C11.set(R, C, P1 + P4 - P5 + P7);
+      C12.set(R, C, P3 + P5);
+      C21.set(R, C, P2 + P4);
+      C22.set(R, C, P1 - P2 + P3 + P6);
+    }
+}
+
+class StrassenKernel : public Kernel {
+public:
+  const char *name() const override { return "strassen"; }
+  const char *description() const override {
+    return "Strassen recursive matrix multiplication";
+  }
+  const char *source() const override { return "BOTS"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    size_t N = Sz.Side;
+    // The chunked variant stops recursion one level earlier (fewer, larger
+    // tasks).
+    size_t Cutoff = Cfg.Var == Variant::Chunked ? Sz.Cutoff * 2 : Sz.Cutoff;
+    if (Cutoff > N)
+      Cutoff = N;
+    Prng Rng(Cfg.Seed);
+    std::vector<double> RefA(N * N), RefB(N * N), Out(N * N);
+    for (double &V : RefA)
+      V = Rng.nextDouble(-1.0, 1.0);
+    for (double &V : RefB)
+      V = Rng.nextDouble(-1.0, 1.0);
+
+    double Checksum = 0.0;
+    RT.run([&] {
+      Mat A(N * N), B(N * N), C(N * N);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t I = 0; I < N * N; ++I) {
+        A.set(I, RefA[I]);
+        B.set(I, RefB[I]);
+      }
+      if (Cfg.SeedRace)
+        rt::finish([&] {
+          rt::async([&] { detail::seedRaceWrite(RaceCell, 0); });
+          rt::async([&] { detail::seedRaceWrite(RaceCell, 1); });
+        });
+      strassen(View{&C, 0, 0, N}, View{&A, 0, 0, N}, View{&B, 0, 0, N}, N,
+               Cutoff);
+      for (size_t I = 0; I < N * N; ++I) {
+        Out[I] = C.get(I);
+        Checksum += Out[I];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    for (size_t R = 0; R < N; ++R)
+      for (size_t C = 0; C < N; ++C) {
+        double Sum = 0.0;
+        for (size_t K = 0; K < N; ++K)
+          Sum += RefA[R * N + K] * RefB[K * N + C];
+        if (!detail::closeEnough(Out[R * N + C], Sum, 1e-8))
+          return KernelResult::fail("strassen: element mismatch", Checksum);
+      }
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeStrassen() { return new StrassenKernel(); }
+
+} // namespace spd3::kernels

@@ -1,0 +1,96 @@
+//===- runtime/CilkCompat.h - spawn/sync on top of async/finish --*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cilk-style spawn/sync, expressed with async/finish scopes.
+///
+/// Section 2 of the paper: "The async/finish constructs generalize the
+/// traditional spawn/sync constructs used in the Cilk programming system
+/// ... The algorithm presented in this paper is applicable to
+/// async/finish constructs (which means it also handles spawn/sync
+/// constructs)." This header makes that statement executable: `spawn`
+/// opens (lazily) a per-task scope that collects every child spawned
+/// since the last `sync`; `sync` joins them; a task returning with an
+/// open scope syncs implicitly, exactly Cilk's rule that a procedure
+/// cannot outlive its children. Because the adapter lowers onto ordinary
+/// finish scopes, every detector in the library monitors spawn/sync
+/// programs unchanged.
+///
+/// \code
+///   uint64_t fib(int N) {
+///     if (N < 2) return N;
+///     uint64_t A, B;
+///     rt::cilk::spawn([&, N] { A = fib(N - 1); });
+///     B = fib(N - 2);
+///     rt::cilk::sync();
+///     return A + B;
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RUNTIME_CILKCOMPAT_H
+#define SPD3_RUNTIME_CILKCOMPAT_H
+
+#include "runtime/Runtime.h"
+#include "runtime/Task.h"
+#include "support/Compiler.h"
+
+namespace spd3::rt::cilk {
+
+/// Spawn \p Fn under the current task's sync scope (opening one if
+/// needed). The child may run in parallel with the remainder of the task
+/// until the next sync().
+void spawn(TaskFn Fn);
+
+/// Join every task spawn()ed by the current task since the previous
+/// sync() (or task start), including their transitively created
+/// descendants whose IEF is this scope. No-op when nothing was spawned.
+void sync();
+
+/// Cilk scopes spawns per *task* by default; a sync inside a nested
+/// function call would also join the caller's outstanding spawns —
+/// conservative (more joining, never less), but it costs parallelism in
+/// recursive spawn code. SyncScope restores real Cilk's per-procedure
+/// framing: declare one at the top of a function that spawns, and its
+/// syncs are confined to that frame (with the implicit sync at frame
+/// exit).
+///
+/// \code
+///   uint64_t fib(int N) {
+///     if (N < 2) return N;
+///     cilk::SyncScope Frame;
+///     uint64_t A, B;
+///     cilk::spawn([&, N] { A = fib(N - 1); });
+///     B = fib(N - 2);
+///     cilk::sync(); // joins only this frame's spawn
+///     return A + B;
+///   }
+/// \endcode
+class SyncScope {
+public:
+  SyncScope() : T(Runtime::currentTask()) {
+    SPD3_CHECK(T, "SyncScope constructed outside Runtime::run");
+    Saved = T->CilkScope;
+    T->CilkScope = nullptr;
+  }
+
+  ~SyncScope() {
+    sync(); // implicit sync at procedure return
+    T->CilkScope = Saved;
+  }
+
+  SyncScope(const SyncScope &) = delete;
+  SyncScope &operator=(const SyncScope &) = delete;
+
+private:
+  Task *T;
+  FinishRecord *Saved;
+};
+
+} // namespace spd3::rt::cilk
+
+#endif // SPD3_RUNTIME_CILKCOMPAT_H

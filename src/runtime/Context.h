@@ -1,0 +1,44 @@
+//===- runtime/Context.h - Per-thread execution context ---------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread-local execution context shared between the runtime and the
+/// inline instrumentation fast path (Instrument.h). Internal header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RUNTIME_CONTEXT_H
+#define SPD3_RUNTIME_CONTEXT_H
+
+namespace spd3::detector {
+class Tool;
+} // namespace spd3::detector
+
+namespace spd3::rt {
+
+class Runtime;
+class Task;
+
+namespace detail {
+
+struct WorkerState;
+
+/// Per-OS-thread execution state. Tool is cached here so the memory-access
+/// fast path is a single thread-local load plus a null test when running
+/// uninstrumented (HJ-Base).
+struct ExecContext {
+  Runtime *RT = nullptr;
+  WorkerState *Worker = nullptr;
+  Task *Cur = nullptr;
+  detector::Tool *Tool = nullptr;
+};
+
+extern thread_local ExecContext Ctx;
+
+} // namespace detail
+} // namespace spd3::rt
+
+#endif // SPD3_RUNTIME_CONTEXT_H

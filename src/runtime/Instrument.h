@@ -1,0 +1,66 @@
+//===- runtime/Instrument.h - Memory-access instrumentation -----*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inline memory-access hooks. In the paper these calls are inserted by a
+/// bytecode-level pass over HJ's Parallel Intermediate Representation; here
+/// the kernels (or the TrackedArray / TrackedVar wrappers) invoke them
+/// directly, producing the identical event stream the detectors consume.
+/// With no tool installed the hooks compile to a thread-local load and a
+/// predicted-not-taken branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RUNTIME_INSTRUMENT_H
+#define SPD3_RUNTIME_INSTRUMENT_H
+
+#include "detector/Tool.h"
+#include "runtime/Context.h"
+#include "support/Compiler.h"
+
+#include <cstdint>
+
+namespace spd3::mem {
+
+/// Report a read of \p Size bytes at \p Addr by the current task.
+inline void read(const void *Addr, uint32_t Size) {
+  auto &C = rt::detail::Ctx;
+  if (SPD3_LIKELY(!C.Tool))
+    return;
+  C.Tool->onRead(*C.Cur, Addr, Size);
+}
+
+/// Report a write of \p Size bytes at \p Addr by the current task.
+inline void write(const void *Addr, uint32_t Size) {
+  auto &C = rt::detail::Ctx;
+  if (SPD3_LIKELY(!C.Tool))
+    return;
+  C.Tool->onWrite(*C.Cur, Addr, Size);
+}
+
+/// Report acquisition of the lock identified by \p Lock (Eraser baseline).
+inline void lockAcquire(const void *Lock) {
+  auto &C = rt::detail::Ctx;
+  if (SPD3_LIKELY(!C.Tool))
+    return;
+  C.Tool->onLockAcquire(*C.Cur, Lock);
+}
+
+/// Report release of the lock identified by \p Lock (Eraser baseline).
+inline void lockRelease(const void *Lock) {
+  auto &C = rt::detail::Ctx;
+  if (SPD3_LIKELY(!C.Tool))
+    return;
+  C.Tool->onLockRelease(*C.Cur, Lock);
+}
+
+/// The tool active on this thread, or null (used by TrackedArray for range
+/// registration).
+inline detector::Tool *activeTool() { return rt::detail::Ctx.Tool; }
+
+} // namespace spd3::mem
+
+#endif // SPD3_RUNTIME_INSTRUMENT_H

@@ -1,0 +1,275 @@
+//===- runtime/Runtime.cpp - async/finish structured runtime --------------===//
+
+#include "runtime/Runtime.h"
+
+#include "detector/Tool.h"
+#include "runtime/Context.h"
+#include "runtime/WsDeque.h"
+#include "support/Compiler.h"
+#include "support/Prng.h"
+#include "support/Stats.h"
+
+#include <thread>
+#include <vector>
+
+namespace spd3::rt {
+
+namespace detail {
+thread_local ExecContext Ctx;
+
+struct WorkerState {
+  WsDeque Deque;
+  unsigned Index = 0;
+};
+} // namespace detail
+
+using detail::Ctx;
+using detail::WorkerState;
+
+namespace {
+Statistic NumTasksSpawned("runtime", "tasksSpawned");
+Statistic NumSteals("runtime", "steals");
+Statistic NumFinishScopes("runtime", "finishScopes");
+} // namespace
+
+struct Runtime::Impl {
+  std::vector<WorkerState *> Workers;
+  std::atomic<bool> Done{false};
+
+  explicit Impl(unsigned N) {
+    for (unsigned I = 0; I < N; ++I) {
+      auto *W = new WorkerState();
+      W->Index = I;
+      Workers.push_back(W);
+    }
+  }
+
+  ~Impl() {
+    for (WorkerState *W : Workers)
+      delete W;
+  }
+
+  /// Execute \p T on the calling thread, making it the current task for the
+  /// duration. Emits onTaskStart/onTaskEnd and retires the task from its
+  /// finish scope.
+  void execute(Runtime *RT, Task *T) {
+    Task *Saved = Ctx.Cur;
+    Ctx.Cur = T;
+    if (detector::Tool *Tool = Ctx.Tool)
+      Tool->onTaskStart(*T);
+    T->Fn();
+    // Cilk rule: a procedure cannot outlive its spawned children.
+    if (T->CilkScope)
+      cilk::sync();
+    if (detector::Tool *Tool = Ctx.Tool)
+      Tool->onTaskEnd(*T);
+    Ctx.Cur = Saved;
+    // Release ordering publishes the task's effects to whoever observes
+    // Pending reach zero at end-finish.
+    T->Ief->Pending.fetch_sub(1, std::memory_order_acq_rel);
+    delete T;
+  }
+
+  /// Try to obtain a ready task: local pop first, then random-start steal
+  /// sweep over the other workers.
+  Task *findWork(Prng &Rng) {
+    if (Ctx.Worker)
+      if (Task *T = Ctx.Worker->Deque.pop())
+        return T;
+    unsigned N = Workers.size();
+    if (N <= 1)
+      return nullptr;
+    unsigned Start = static_cast<unsigned>(Rng.nextBelow(N));
+    for (unsigned K = 0; K < N; ++K) {
+      WorkerState *Victim = Workers[(Start + K) % N];
+      if (Victim == Ctx.Worker)
+        continue;
+      if (Task *T = Victim->Deque.steal()) {
+        ++NumSteals;
+        return T;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Help-first blocking join: execute other ready tasks until \p F drains.
+  void helpUntil(Runtime *RT, FinishRecord &F) {
+    Prng Rng(0x9e3779b9u ^ (Ctx.Worker ? Ctx.Worker->Index : 0));
+    while (F.Pending.load(std::memory_order_acquire) != 0) {
+      if (Task *T = findWork(Rng)) {
+        execute(RT, T);
+        continue;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Body for the auxiliary worker threads (workers 1..N-1).
+  void workerLoop(Runtime *RT, unsigned Index) {
+    Ctx = detail::ExecContext{RT, Workers[Index], nullptr, RT->tool()};
+    Prng Rng(0x51ed270bu + Index);
+    while (true) {
+      if (Task *T = findWork(Rng)) {
+        execute(RT, T);
+        continue;
+      }
+      if (Done.load(std::memory_order_acquire))
+        break;
+      std::this_thread::yield();
+    }
+    Ctx = detail::ExecContext{};
+  }
+};
+
+Runtime::Runtime(RuntimeOptions Opts) : Opts(Opts) {
+  SPD3_CHECK(Opts.Workers >= 1, "runtime needs at least one worker");
+  if (Opts.Tool && Opts.Tool->requiresSequential())
+    SPD3_CHECK(Opts.Kind == SchedulerKind::SequentialDepthFirst,
+               "this tool requires the sequential depth-first scheduler");
+  if (Opts.Kind == SchedulerKind::SequentialDepthFirst)
+    this->Opts.Workers = 1;
+  I = new Impl(this->Opts.Workers);
+}
+
+Runtime::~Runtime() { delete I; }
+
+Task *Runtime::currentTask() { return Ctx.Cur; }
+
+Runtime *Runtime::current() { return Ctx.RT; }
+
+void Runtime::run(TaskFn Main) {
+  SPD3_CHECK(!Ctx.RT, "nested Runtime::run on the same thread");
+  I->Done.store(false, std::memory_order_relaxed);
+
+  // The calling thread is worker 0.
+  Ctx = detail::ExecContext{this, I->Workers[0], nullptr, Opts.Tool};
+
+  // Implicit finish enclosing main() (the future DPST root). The root task
+  // itself is not counted in Pending; it runs synchronously here.
+  FinishRecord RootFinish;
+  Task *Root = new Task(std::move(Main));
+  Root->Ief = &RootFinish;
+
+  if (Opts.Tool)
+    Opts.Tool->onRunStart(*Root);
+
+  std::vector<std::thread> Threads;
+  if (Opts.Kind == SchedulerKind::Parallel)
+    for (unsigned W = 1; W < Opts.Workers; ++W)
+      Threads.emplace_back([this, W] { I->workerLoop(this, W); });
+
+  Ctx.Cur = Root;
+  if (Opts.Tool)
+    Opts.Tool->onTaskStart(*Root);
+  Root->Fn();
+  if (Root->CilkScope)
+    cilk::sync(); // implicit sync of the main "procedure"
+  I->helpUntil(this, RootFinish);
+  if (Opts.Tool) {
+    Opts.Tool->onTaskEnd(*Root);
+    Opts.Tool->onRunEnd(*Root);
+  }
+  Ctx.Cur = nullptr;
+
+  I->Done.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+
+  delete Root;
+  Ctx = detail::ExecContext{};
+}
+
+void async(TaskFn Fn) {
+  Runtime *RT = Ctx.RT;
+  SPD3_CHECK(RT && Ctx.Cur, "async() called outside Runtime::run");
+  ++NumTasksSpawned;
+  Task *Child = new Task(std::move(Fn));
+  Child->Ief = Ctx.Cur->Ief;
+  Child->Ief->Pending.fetch_add(1, std::memory_order_acq_rel);
+  if (detector::Tool *Tool = Ctx.Tool)
+    Tool->onTaskCreate(*Ctx.Cur, *Child);
+  if (RT->kind() == SchedulerKind::SequentialDepthFirst) {
+    // Depth-first serial elision: run the child to completion now.
+    RT->I->execute(RT, Child);
+    return;
+  }
+  Ctx.Worker->Deque.push(Child);
+}
+
+void finish(TaskFn Body) {
+  Runtime *RT = Ctx.RT;
+  SPD3_CHECK(RT && Ctx.Cur, "finish() called outside Runtime::run");
+  ++NumFinishScopes;
+  Task *T = Ctx.Cur;
+  FinishRecord F;
+  F.Parent = T->Ief;
+  T->Ief = &F;
+  if (detector::Tool *Tool = Ctx.Tool)
+    Tool->onFinishStart(*T, F);
+  Body();
+  RT->I->helpUntil(RT, F);
+  if (detector::Tool *Tool = Ctx.Tool)
+    Tool->onFinishEnd(*T, F);
+  T->Ief = F.Parent;
+}
+
+bool inTask() { return Ctx.Cur != nullptr; }
+
+namespace cilk {
+
+void spawn(TaskFn Fn) {
+  Runtime *RT = Ctx.RT;
+  SPD3_CHECK(RT && Ctx.Cur, "cilk::spawn() called outside Runtime::run");
+  Task *T = Ctx.Cur;
+  if (!T->CilkScope) {
+    // Lazily open the sync scope: a finish that will close at the next
+    // sync() (or implicitly when the task returns).
+    auto *F = new FinishRecord();
+    F->Parent = T->Ief;
+    if (detector::Tool *Tool = Ctx.Tool)
+      Tool->onFinishStart(*T, *F);
+    T->Ief = F;
+    T->CilkScope = F;
+  }
+  async(std::move(Fn));
+}
+
+void sync() {
+  Runtime *RT = Ctx.RT;
+  SPD3_CHECK(RT && Ctx.Cur, "cilk::sync() called outside Runtime::run");
+  Task *T = Ctx.Cur;
+  FinishRecord *F = T->CilkScope;
+  if (!F)
+    return; // Nothing spawned since the last sync.
+  RT->I->helpUntil(RT, *F);
+  if (detector::Tool *Tool = Ctx.Tool)
+    Tool->onFinishEnd(*T, *F);
+  T->Ief = F->Parent;
+  T->CilkScope = nullptr;
+  delete F;
+}
+
+} // namespace cilk
+
+void parallelFor(size_t Begin, size_t End,
+                 const std::function<void(size_t)> &Body) {
+  finish([&] {
+    for (size_t It = Begin; It < End; ++It)
+      async([&Body, It] { Body(It); });
+  });
+}
+
+void parallelForChunked(size_t Begin, size_t End, unsigned NumChunks,
+                        const std::function<void(size_t, size_t)> &Body) {
+  SPD3_CHECK(NumChunks >= 1, "parallelForChunked needs at least one chunk");
+  size_t Total = End - Begin;
+  size_t Chunk = (Total + NumChunks - 1) / NumChunks;
+  finish([&] {
+    for (size_t Lo = Begin; Lo < End; Lo += Chunk) {
+      size_t Hi = Lo + Chunk < End ? Lo + Chunk : End;
+      async([&Body, Lo, Hi] { Body(Lo, Hi); });
+    }
+  });
+}
+
+} // namespace spd3::rt

@@ -1,0 +1,127 @@
+//===- runtime/Runtime.h - async/finish structured runtime ------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The async/finish structured-parallel runtime substrate.
+///
+/// This stands in for the Habanero-Java runtime the paper runs on: tasks
+/// are scheduled onto a fixed number of worker threads by a work-stealing
+/// scheduler (help-first policy: async bodies are pushed to the local deque
+/// and the parent continues; a task reaching end-finish helps by executing
+/// other ready tasks until its scope drains).  A sequential depth-first
+/// mode executes async bodies inline at the spawn point, which is the
+/// execution order required by the ESP-bags baseline (Section 6.2).
+///
+/// Usage:
+/// \code
+///   spd3::rt::Runtime RT({.Workers = 16});
+///   RT.run([] {
+///     spd3::rt::finish([] {
+///       for (int I = 0; I < N; ++I)
+///         spd3::rt::async([=] { work(I); });
+///     });
+///   });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RUNTIME_RUNTIME_H
+#define SPD3_RUNTIME_RUNTIME_H
+
+#include "runtime/Task.h"
+
+#include <cstddef>
+#include <functional>
+
+namespace spd3::detector {
+class Tool;
+} // namespace spd3::detector
+
+namespace spd3::rt {
+
+namespace cilk {
+void spawn(TaskFn Fn);
+void sync();
+} // namespace cilk
+
+/// How async bodies are executed.
+enum class SchedulerKind {
+  /// Work-stealing over Options.Workers worker threads.
+  Parallel,
+  /// Execute each async inline at the spawn point (Cilk-style depth-first
+  /// serial elision). Required by ESP-bags.
+  SequentialDepthFirst,
+};
+
+struct RuntimeOptions {
+  /// Number of worker threads (including the thread that calls run()).
+  unsigned Workers = 1;
+  SchedulerKind Kind = SchedulerKind::Parallel;
+  /// Active dynamic-analysis tool, or null for an uninstrumented run
+  /// (the paper's HJ-Base configuration).
+  detector::Tool *Tool = nullptr;
+};
+
+/// A structured-parallel runtime instance. One run() may be active at a
+/// time per Runtime; the calling thread participates as worker 0.
+class Runtime {
+public:
+  explicit Runtime(RuntimeOptions Opts);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// Execute \p Main as the root task inside the implicit top-level finish;
+  /// returns once every transitively spawned task has completed.
+  void run(TaskFn Main);
+
+  detector::Tool *tool() const { return Opts.Tool; }
+  unsigned workers() const { return Opts.Workers; }
+  SchedulerKind kind() const { return Opts.Kind; }
+
+  /// The task the calling thread is currently executing (null outside
+  /// run()).
+  static Task *currentTask();
+  /// The runtime the calling thread is currently participating in.
+  static Runtime *current();
+
+private:
+  friend void async(TaskFn);
+  friend void finish(TaskFn);
+  friend void cilk::spawn(TaskFn);
+  friend void cilk::sync();
+
+  struct Impl;
+  RuntimeOptions Opts;
+  Impl *I;
+};
+
+/// Spawn \p Fn as a child task of the current task (paper's `async { s }`).
+/// Must be called from inside Runtime::run.
+void async(TaskFn Fn);
+
+/// Run \p Body and wait for all tasks transitively spawned inside it
+/// (paper's `finish { s }`).
+void finish(TaskFn Body);
+
+/// True when called from inside a task (i.e. inside Runtime::run).
+bool inTask();
+
+/// finish { for I in [Begin,End): async Body(I) } — the paper's
+/// fine-grained one-async-per-iteration parallel loop.
+void parallelFor(size_t Begin, size_t End,
+                 const std::function<void(size_t)> &Body);
+
+/// finish { for each of NumChunks contiguous chunks: async Body(Lo, Hi) } —
+/// the paper's coarse-grained one-chunk-per-thread loop used for the
+/// Eraser/FastTrack comparisons.
+void parallelForChunked(size_t Begin, size_t End, unsigned NumChunks,
+                        const std::function<void(size_t, size_t)> &Body);
+
+} // namespace spd3::rt
+
+#endif // SPD3_RUNTIME_RUNTIME_H

@@ -1,0 +1,69 @@
+//===- runtime/Task.h - Task and finish-scope records -----------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime representation of async task instances and dynamic finish scopes.
+///
+/// The async/finish model (Section 2 of the paper): `async { s }` creates a
+/// child task that runs s in parallel with the rest of the parent;
+/// `finish { s }` waits for every task (transitively) created inside s.
+/// Each dynamic async instance has a unique Immediately Enclosing Finish
+/// (IEF).  Tasks and finish scopes each carry an opaque ToolData slot that
+/// the active race detector uses for its per-task / per-finish state (e.g.
+/// the current DPST step for SPD3, S/P-bags for ESP-bags, vector clocks for
+/// FastTrack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RUNTIME_TASK_H
+#define SPD3_RUNTIME_TASK_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace spd3::rt {
+
+using TaskFn = std::function<void()>;
+
+/// A dynamic finish scope. Lives on the stack of the task executing the
+/// finish statement; pointed to (as IEF) by every task spawned inside it.
+class FinishRecord {
+public:
+  /// Number of not-yet-terminated tasks whose IEF is this scope.
+  std::atomic<uint64_t> Pending{0};
+  /// The finish scope that was current in the owning task when this one
+  /// started; restored at end-finish.
+  FinishRecord *Parent = nullptr;
+  /// Detector-owned per-finish state (e.g. the DPST finish node, or the
+  /// vector clock accumulated from joined children).
+  void *ToolData = nullptr;
+};
+
+/// A dynamic async task instance.
+class Task {
+public:
+  explicit Task(TaskFn Fn) : Fn(std::move(Fn)) {}
+
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+
+  /// The task body.
+  TaskFn Fn;
+  /// Immediately enclosing finish at creation time; for the task executing
+  /// a finish statement this is temporarily retargeted to the new scope.
+  FinishRecord *Ief = nullptr;
+  /// Detector-owned per-task state.
+  void *ToolData = nullptr;
+  /// Open Cilk-style sync scope (see runtime/CilkCompat.h), or null. The
+  /// runtime performs the implicit sync of a returning Cilk procedure if
+  /// the task body leaves one open.
+  FinishRecord *CilkScope = nullptr;
+};
+
+} // namespace spd3::rt
+
+#endif // SPD3_RUNTIME_TASK_H

@@ -1,0 +1,143 @@
+//===- runtime/WsDeque.h - Chase-Lev work-stealing deque --------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A growable Chase–Lev work-stealing deque (Chase & Lev SPAA'05, with the
+/// C11 memory orderings of Lê et al. PPoPP'13).  The owner pushes and pops
+/// at the bottom; thieves steal from the top.  This is the queue behind the
+/// paper's "work-stealing scheduler with a fixed number of worker threads"
+/// substrate (Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RUNTIME_WSDEQUE_H
+#define SPD3_RUNTIME_WSDEQUE_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace spd3::rt {
+
+class Task;
+
+class WsDeque {
+  struct Buffer {
+    int64_t Cap;
+    Buffer *Prev;
+    std::atomic<Task *> Slots[]; // flexible array
+
+    Task *get(int64_t I) const {
+      return Slots[I & (Cap - 1)].load(std::memory_order_relaxed);
+    }
+    void put(int64_t I, Task *T) {
+      Slots[I & (Cap - 1)].store(T, std::memory_order_relaxed);
+    }
+  };
+
+public:
+  explicit WsDeque(int64_t InitialCap = 256) {
+    Buf.store(makeBuffer(InitialCap, nullptr), std::memory_order_relaxed);
+  }
+
+  ~WsDeque() {
+    Buffer *B = Buf.load(std::memory_order_relaxed);
+    while (B) {
+      Buffer *Prev = B->Prev;
+      ::operator delete(B);
+      B = Prev;
+    }
+  }
+
+  WsDeque(const WsDeque &) = delete;
+  WsDeque &operator=(const WsDeque &) = delete;
+
+  /// Owner-only: push a task at the bottom.
+  void push(Task *T) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t T0 = Top.load(std::memory_order_acquire);
+    Buffer *Buffer_ = Buf.load(std::memory_order_relaxed);
+    if (B - T0 > Buffer_->Cap - 1)
+      Buffer_ = grow(Buffer_, T0, B);
+    Buffer_->put(B, T);
+    std::atomic_thread_fence(std::memory_order_release);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop a task from the bottom; null if empty.
+  Task *pop() {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Buffer *Buffer_ = Buf.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t T0 = Top.load(std::memory_order_relaxed);
+    if (T0 > B) {
+      // Deque was already empty; restore.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task *Item = Buffer_->get(B);
+    if (T0 != B)
+      return Item; // More than one element; no race with thieves.
+    // Single element: race with a thief for it.
+    if (!Top.compare_exchange_strong(T0, T0 + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      Item = nullptr; // Lost the race.
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return Item;
+  }
+
+  /// Thief: steal a task from the top; null if empty or lost a race.
+  Task *steal() {
+    int64_t T0 = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    if (T0 >= B)
+      return nullptr;
+    Buffer *Buffer_ = Buf.load(std::memory_order_acquire);
+    Task *Item = Buffer_->get(T0);
+    if (!Top.compare_exchange_strong(T0, T0 + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return nullptr;
+    return Item;
+  }
+
+  /// Approximate size (for diagnostics only).
+  int64_t sizeHint() const {
+    return Bottom.load(std::memory_order_relaxed) -
+           Top.load(std::memory_order_relaxed);
+  }
+
+private:
+  static Buffer *makeBuffer(int64_t Cap, Buffer *Prev) {
+    SPD3_CHECK((Cap & (Cap - 1)) == 0, "deque capacity must be a power of 2");
+    void *Mem = ::operator new(sizeof(Buffer) +
+                               Cap * sizeof(std::atomic<Task *>));
+    auto *B = static_cast<Buffer *>(Mem);
+    B->Cap = Cap;
+    B->Prev = Prev;
+    return B;
+  }
+
+  Buffer *grow(Buffer *Old, int64_t T0, int64_t B) {
+    // Old buffers are kept on a chain and freed in the destructor because
+    // in-flight thieves may still be reading them.
+    Buffer *New = makeBuffer(Old->Cap * 2, Old);
+    for (int64_t I = T0; I < B; ++I)
+      New->put(I, Old->get(I));
+    Buf.store(New, std::memory_order_release);
+    return New;
+  }
+
+  alignas(SPD3_CACHELINE) std::atomic<int64_t> Top{0};
+  alignas(SPD3_CACHELINE) std::atomic<int64_t> Bottom{0};
+  alignas(SPD3_CACHELINE) std::atomic<Buffer *> Buf{nullptr};
+};
+
+} // namespace spd3::rt
+
+#endif // SPD3_RUNTIME_WSDEQUE_H

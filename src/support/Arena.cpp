@@ -1,0 +1,93 @@
+//===- support/Arena.cpp - Chunked bump allocators ------------------------===//
+
+#include "support/Arena.h"
+
+#include <cstdlib>
+
+namespace spd3 {
+
+void Arena::newChunk(size_t MinBytes) {
+  size_t Size = MinBytes > ChunkBytes ? MinBytes : ChunkBytes;
+  void *Mem = std::malloc(Size);
+  SPD3_CHECK(Mem, "arena chunk allocation failed");
+  Chunks.push_back(Mem);
+  BytesReserved += Size;
+  Cur = reinterpret_cast<uintptr_t>(Mem);
+  End = Cur + Size;
+}
+
+void Arena::reset() {
+  for (void *C : Chunks)
+    std::free(C);
+  Chunks.clear();
+  Cur = End = 0;
+  BytesUsed = 0;
+  BytesReserved = 0;
+}
+
+namespace {
+uint64_t nextArenaGeneration() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
+
+ConcurrentArena::ConcurrentArena(size_t ChunkBytes)
+    : ChunkBytes(ChunkBytes), Generation(nextArenaGeneration()) {}
+
+ConcurrentArena::~ConcurrentArena() { reset(); }
+
+Arena &ConcurrentArena::localShard() {
+  // Small per-thread cache over (arena -> shard); several arenas can be
+  // live at once (DPST nodes, detector task states, ...), so entries are
+  // keyed by owner and slotted by the owner's address.
+  struct Cached {
+    ConcurrentArena *Owner = nullptr;
+    uint64_t Epoch = 0;
+    Arena *Shard = nullptr;
+  };
+  thread_local Cached Cache[8];
+  uint64_t E = Generation.load(std::memory_order_acquire);
+  Cached &C = Cache[(reinterpret_cast<uintptr_t>(this) >> 6) & 7];
+  if (SPD3_LIKELY(C.Owner == this && C.Epoch == E))
+    return *C.Shard;
+  // Slow path: find this thread's existing shard (never create a second
+  // one for the same thread) or register a new one.
+  std::thread::id Me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
+  for (auto &[Tid, Shard] : Shards)
+    if (Tid == Me) {
+      C = {this, E, Shard};
+      return *Shard;
+    }
+  auto *Shard = new Arena(ChunkBytes);
+  Shards.push_back({Me, Shard});
+  C = {this, E, Shard};
+  return *Shard;
+}
+
+size_t ConcurrentArena::bytesAllocated() const {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
+  size_t N = 0;
+  for (const auto &[Tid, S] : Shards)
+    N += S->bytesAllocated();
+  return N;
+}
+
+size_t ConcurrentArena::bytesReserved() const {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
+  size_t N = 0;
+  for (const auto &[Tid, S] : Shards)
+    N += S->bytesReserved();
+  return N;
+}
+
+void ConcurrentArena::reset() {
+  std::lock_guard<std::mutex> Lock(ShardsMutex);
+  for (auto &[Tid, S] : Shards)
+    delete S;
+  Shards.clear();
+  Generation.store(nextArenaGeneration(), std::memory_order_release);
+}
+
+} // namespace spd3

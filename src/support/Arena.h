@@ -1,0 +1,128 @@
+//===- support/Arena.h - Chunked bump allocators ----------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bump-pointer arenas used for DPST nodes and other detector metadata.
+///
+/// The DPST grows monotonically for the lifetime of a monitored run and is
+/// never mutated structurally (Section 3.1 of the paper), so nodes are
+/// allocated from arenas and freed all at once.  ConcurrentArena gives each
+/// OS thread a private chunk so that parallel tasks can allocate DPST nodes
+/// without synchronization, matching the paper's claim that nodes "can be
+/// added to the DPST in parallel without any synchronization in O(1) time".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_ARENA_H
+#define SPD3_SUPPORT_ARENA_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+namespace spd3 {
+
+/// A single-threaded chunked bump allocator.
+///
+/// Allocations are O(1); memory is released only when the arena is
+/// destroyed or reset. Objects allocated here must be trivially
+/// destructible (destructors are never run).
+class Arena {
+public:
+  explicit Arena(size_t ChunkBytes = 1 << 16) : ChunkBytes(ChunkBytes) {}
+  ~Arena() { reset(); }
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocate \p Bytes with \p Align alignment.
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t)) {
+    uintptr_t P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    if (SPD3_UNLIKELY(P + Bytes > End)) {
+      newChunk(Bytes + Align);
+      P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    }
+    Cur = P + Bytes;
+    BytesUsed += Bytes;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Allocate and default-construct a T.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(As)...);
+  }
+
+  /// Free all chunks.
+  void reset();
+
+  /// Total payload bytes handed out (for memory accounting).
+  size_t bytesAllocated() const { return BytesUsed; }
+  /// Total bytes reserved from the system.
+  size_t bytesReserved() const { return BytesReserved; }
+
+private:
+  void newChunk(size_t MinBytes);
+
+  size_t ChunkBytes;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t BytesUsed = 0;
+  size_t BytesReserved = 0;
+  std::vector<void *> Chunks;
+};
+
+/// A thread-safe arena built from per-thread Arena shards.
+///
+/// Each OS thread lazily acquires a private shard on first use; all
+/// allocation fast paths are then synchronization-free. The shard table is
+/// guarded by a mutex that is only taken when a new thread first allocates.
+class ConcurrentArena {
+public:
+  explicit ConcurrentArena(size_t ChunkBytes = 1 << 16);
+  ~ConcurrentArena();
+
+  ConcurrentArena(const ConcurrentArena &) = delete;
+  ConcurrentArena &operator=(const ConcurrentArena &) = delete;
+
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t)) {
+    return localShard().allocate(Bytes, Align);
+  }
+
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    return localShard().create<T>(std::forward<Args>(As)...);
+  }
+
+  /// Sum of payload bytes over all shards. Approximate while threads are
+  /// still allocating; exact once the run has quiesced.
+  size_t bytesAllocated() const;
+  size_t bytesReserved() const;
+
+  /// Free all shards. Must not race with allocation.
+  void reset();
+
+private:
+  Arena &localShard();
+
+  size_t ChunkBytes;
+  mutable std::mutex ShardsMutex;
+  std::vector<std::pair<std::thread::id, Arena *>> Shards;
+  /// Process-unique generation id, reassigned by reset(); never reused
+  /// across instances, so a stale thread-local cache entry can never
+  /// validate against a different arena that reuses this address.
+  std::atomic<uint64_t> Generation;
+};
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_ARENA_H

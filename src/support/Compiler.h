@@ -1,0 +1,47 @@
+//===- support/Compiler.h - Compiler abstraction macros ---------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction of "Scalable and Precise Dynamic Datarace
+// Detection for Structured Parallelism" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability and checking macros used across the library.
+/// The library is built without exceptions or RTTI (LLVM style); fatal
+/// conditions abort with a message instead of throwing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_COMPILER_H
+#define SPD3_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SPD3_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SPD3_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/// Size used to pad concurrently-written fields onto distinct cache lines.
+/// Two lines on x86 to defeat adjacent-line prefetching.
+#define SPD3_CACHELINE 128
+
+namespace spd3 {
+
+/// Print a message to stderr and abort. Used for unrecoverable conditions
+/// (the library is exception-free).
+[[noreturn]] inline void fatal(const char *Msg) {
+  std::fprintf(stderr, "spd3 fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace spd3
+
+/// Checked condition that is active in all build modes (unlike assert).
+/// Use for invariants whose violation would corrupt detector state.
+#define SPD3_CHECK(cond, msg)                                                  \
+  do {                                                                         \
+    if (SPD3_UNLIKELY(!(cond)))                                                \
+      ::spd3::fatal(msg);                                                      \
+  } while (false)
+
+#endif // SPD3_SUPPORT_COMPILER_H

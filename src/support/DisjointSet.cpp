@@ -1,0 +1,53 @@
+//===- support/DisjointSet.cpp - Union-find for ESP-bags ------------------===//
+
+#include "support/DisjointSet.h"
+
+#include "support/Compiler.h"
+
+namespace spd3 {
+
+uint32_t DisjointSet::makeSet(Tag T) {
+  uint32_t Id = static_cast<uint32_t>(Parent.size());
+  Parent.push_back(Id);
+  Rank.push_back(0);
+  Tags.push_back(T);
+  return Id;
+}
+
+uint32_t DisjointSet::find(uint32_t X) {
+  SPD3_CHECK(X < Parent.size(), "union-find element out of range");
+  uint32_t Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[X] != Root) {
+    uint32_t Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+uint32_t DisjointSet::unionInto(uint32_t Into, uint32_t From) {
+  uint32_t RI = find(Into), RF = find(From);
+  if (RI == RF)
+    return RI;
+  Tag Kept = Tags[RI];
+  // Union by rank, but make sure the surviving representative carries the
+  // tag of Into's set.
+  uint32_t Root, Child;
+  if (Rank[RI] < Rank[RF]) {
+    Root = RF;
+    Child = RI;
+  } else {
+    Root = RI;
+    Child = RF;
+    if (Rank[RI] == Rank[RF])
+      ++Rank[RI];
+  }
+  Parent[Child] = Root;
+  Tags[Root] = Kept;
+  return Root;
+}
+
+} // namespace spd3

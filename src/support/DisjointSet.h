@@ -1,0 +1,67 @@
+//===- support/DisjointSet.h - Union-find for ESP-bags ----------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find with union-by-rank and path compression, plus a per-set tag.
+///
+/// This is the "fast disjoint-set" structure underlying the SP-bags family
+/// of detectors (Feng & Leiserson SPAA'97) and the ESP-bags baseline
+/// (Raman et al. RV'10) that the paper compares against in Section 6.2.
+/// Sets model S-bags and P-bags: the tag on a set's representative records
+/// whether the set currently acts as an S-bag or a P-bag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_DISJOINTSET_H
+#define SPD3_SUPPORT_DISJOINTSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spd3 {
+
+/// Growable union-find over dense uint32_t element ids.
+class DisjointSet {
+public:
+  /// Tag carried by each set (stored at the representative).
+  enum class Tag : uint8_t { SBag, PBag };
+
+  /// Create a fresh singleton set and return its element id.
+  uint32_t makeSet(Tag T);
+
+  /// Representative of \p X's set (with path compression).
+  uint32_t find(uint32_t X);
+
+  /// Merge the set of \p From into the set of \p Into. The resulting set
+  /// keeps the tag of \p Into's set. Returns the new representative.
+  uint32_t unionInto(uint32_t Into, uint32_t From);
+
+  /// Tag of the set containing \p X.
+  Tag tag(uint32_t X) { return Tags[find(X)]; }
+
+  /// Change the tag of the set containing \p X.
+  void setTag(uint32_t X, Tag T) { Tags[find(X)] = T; }
+
+  bool sameSet(uint32_t A, uint32_t B) { return find(A) == find(B); }
+
+  size_t size() const { return Parent.size(); }
+
+  /// Detector-metadata bytes held by this structure.
+  size_t memoryBytes() const {
+    return Parent.capacity() * sizeof(uint32_t) +
+           Rank.capacity() * sizeof(uint8_t) + Tags.capacity() * sizeof(Tag);
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+  std::vector<Tag> Tags;
+};
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_DISJOINTSET_H

@@ -1,0 +1,51 @@
+//===- support/Env.cpp - Environment-variable configuration ---------------===//
+
+#include "support/Env.h"
+
+#include <cstdlib>
+
+namespace spd3 {
+
+int64_t envInt(const char *Name, int64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  long long R = std::strtoll(V, &End, 10);
+  return (End && *End == '\0') ? R : Default;
+}
+
+double envDouble(const char *Name, double Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  double R = std::strtod(V, &End);
+  return (End && *End == '\0') ? R : Default;
+}
+
+std::vector<int> envIntList(const char *Name, const std::vector<int> &Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  std::vector<int> Out;
+  const char *P = V;
+  while (*P) {
+    char *End = nullptr;
+    long R = std::strtol(P, &End, 10);
+    if (End == P)
+      return Default;
+    Out.push_back(static_cast<int>(R));
+    P = End;
+    if (*P == ',')
+      ++P;
+  }
+  return Out.empty() ? Default : Out;
+}
+
+std::string envString(const char *Name, const std::string &Default) {
+  const char *V = std::getenv(Name);
+  return (V && *V) ? std::string(V) : Default;
+}
+
+} // namespace spd3

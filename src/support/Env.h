@@ -1,0 +1,36 @@
+//===- support/Env.h - Environment-variable configuration ------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers to read benchmark/test configuration from environment variables
+/// (e.g. SPD3_BENCH_THREADS, SPD3_BENCH_SCALE) with defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_ENV_H
+#define SPD3_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spd3 {
+
+/// Integer env var \p Name, or \p Default if unset/unparsable.
+int64_t envInt(const char *Name, int64_t Default);
+
+/// Floating env var \p Name, or \p Default if unset/unparsable.
+double envDouble(const char *Name, double Default);
+
+/// Comma-separated integer list env var, or \p Default if unset.
+std::vector<int> envIntList(const char *Name, const std::vector<int> &Default);
+
+/// String env var, or \p Default if unset.
+std::string envString(const char *Name, const std::string &Default);
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_ENV_H

@@ -1,0 +1,80 @@
+//===- support/Prng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable PRNGs (SplitMix64 and xoshiro256**).  Benchmarks
+/// and property tests must be reproducible across runs, so all randomness in
+/// the repository flows through these generators with explicit seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_PRNG_H
+#define SPD3_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+namespace spd3 {
+
+/// SplitMix64: tiny, fast generator; also used to seed Xoshiro.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: the workhorse generator for kernels and tests.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &W : S)
+      W = SM.next();
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+  uint64_t S[4];
+};
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_PRNG_H

@@ -1,0 +1,50 @@
+//===- support/SpinBarrier.h - Sense-reversing spin barrier -----*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sense-reversing spin barrier.  Used by concurrency stress tests (e.g.
+/// the Section 5.4 shadow-memory protocol tests) to line threads up at a
+/// common start point.  The original JGF benchmarks used hand-rolled (and
+/// buggy, per Section 6.3 of the paper) array-based barriers; the kernels in
+/// this repository use finish scopes instead, exactly as the paper's
+/// race-free rewrites do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_SPINBARRIER_H
+#define SPD3_SUPPORT_SPINBARRIER_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace spd3 {
+
+class SpinBarrier {
+public:
+  explicit SpinBarrier(unsigned Parties) : Parties(Parties) {}
+
+  /// Block (spinning) until all parties have arrived.
+  void arriveAndWait() {
+    uint32_t MySense = Sense.load(std::memory_order_relaxed);
+    if (Arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == Parties) {
+      Arrived.store(0, std::memory_order_relaxed);
+      Sense.store(MySense + 1, std::memory_order_release);
+      return;
+    }
+    while (Sense.load(std::memory_order_acquire) == MySense) {
+      // Spin; yields nothing on purpose — stress tests want contention.
+    }
+  }
+
+private:
+  const unsigned Parties;
+  std::atomic<uint32_t> Arrived{0};
+  std::atomic<uint32_t> Sense{0};
+};
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_SPINBARRIER_H

@@ -1,0 +1,64 @@
+//===- support/Stats.cpp - Lightweight statistics counters ----------------===//
+
+#include "support/Stats.h"
+
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+namespace spd3 {
+
+namespace {
+
+struct Registry {
+  std::mutex Mutex;
+  std::vector<Statistic *> Stats;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+Statistic::Statistic(const char *Group, const char *Name)
+    : Group(Group), Name(Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Stats.push_back(this);
+}
+
+namespace stats {
+
+const std::vector<Statistic *> &all() { return registry().Stats; }
+
+void resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (Statistic *S : R.Stats)
+    S->reset();
+}
+
+std::string dump() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::ostringstream OS;
+  for (const Statistic *S : R.Stats)
+    if (S->value() != 0)
+      OS << S->group() << '.' << S->name() << " = " << S->value() << '\n';
+  return OS.str();
+}
+
+Statistic *lookup(const std::string &Group, const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (Statistic *S : R.Stats)
+    if (Group == S->group() && Name == S->name())
+      return S;
+  return nullptr;
+}
+
+} // namespace stats
+
+} // namespace spd3

@@ -1,0 +1,65 @@
+//===- support/Stats.h - Lightweight statistics counters --------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named atomic counters in the spirit of LLVM's Statistic class.  Detectors
+/// use them to report event volumes (memory actions checked, CAS retries,
+/// DMHP queries, LCA path lengths) that back the ablation benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_STATS_H
+#define SPD3_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spd3 {
+
+/// A named, process-wide atomic counter. Instances should have static
+/// storage duration; they register themselves with the global registry.
+class Statistic {
+public:
+  Statistic(const char *Group, const char *Name);
+
+  void operator+=(uint64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  void operator++() { *this += 1; }
+  void operator++(int) { *this += 1; }
+
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+
+private:
+  const char *Group;
+  const char *Name;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Registry of all statistics (for dumping and for test resets).
+namespace stats {
+
+/// All registered statistics, in registration order.
+const std::vector<Statistic *> &all();
+
+/// Reset every registered counter to zero.
+void resetAll();
+
+/// Render "group.name = value" lines for all nonzero counters.
+std::string dump();
+
+/// Find a counter by group and name; null if absent.
+Statistic *lookup(const std::string &Group, const std::string &Name);
+
+} // namespace stats
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_STATS_H

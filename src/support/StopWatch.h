@@ -1,0 +1,42 @@
+//===- support/StopWatch.h - Monotonic timing -------------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic-clock stopwatch used by the benchmark harness. The paper
+/// reports the smallest of three in-process repetitions per data point
+/// (Section 6); bench/Harness.h implements that policy on top of this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_STOPWATCH_H
+#define SPD3_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace spd3 {
+
+class StopWatch {
+public:
+  StopWatch() : Start(Clock::now()) {}
+
+  /// Restart the watch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_STOPWATCH_H

@@ -1,0 +1,243 @@
+//===- trace/Trace.cpp - Event-stream recording and replay -----------------===//
+
+#include "trace/Trace.h"
+
+#include "runtime/Task.h"
+#include "support/Compiler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace spd3::trace {
+
+//===----------------------------------------------------------------------===//
+// Trace
+//===----------------------------------------------------------------------===//
+
+void Trace::clear() {
+  Events.clear();
+  NumTasks = 0;
+  NumFinishes = 0;
+}
+
+namespace {
+constexpr char Magic[8] = {'S', 'P', 'D', '3', 'T', 'R', 'C', '1'};
+}
+
+bool Trace::save(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Magic, sizeof(Magic), 1, F) == 1;
+  uint64_t Header[3] = {Events.size(), NumTasks, NumFinishes};
+  Ok = Ok && std::fwrite(Header, sizeof(Header), 1, F) == 1;
+  if (!Events.empty())
+    Ok = Ok &&
+         std::fwrite(Events.data(), sizeof(Event), Events.size(), F) ==
+             Events.size();
+  std::fclose(F);
+  return Ok;
+}
+
+bool Trace::load(const std::string &Path, Trace *Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Seen[8];
+  uint64_t Header[3];
+  bool Ok = std::fread(Seen, sizeof(Seen), 1, F) == 1 &&
+            std::memcmp(Seen, Magic, sizeof(Magic)) == 0 &&
+            std::fread(Header, sizeof(Header), 1, F) == 1;
+  if (Ok) {
+    Out->Events.resize(Header[0]);
+    Out->NumTasks = static_cast<uint32_t>(Header[1]);
+    Out->NumFinishes = static_cast<uint32_t>(Header[2]);
+    if (Header[0])
+      Ok = std::fread(Out->Events.data(), sizeof(Event), Header[0], F) ==
+           Header[0];
+  }
+  std::fclose(F);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// RecorderTool
+//===----------------------------------------------------------------------===//
+
+static void *encodeId(uint32_t Id) {
+  return reinterpret_cast<void *>(static_cast<uintptr_t>(Id) + 1);
+}
+static uint32_t decodeId(void *P) {
+  return static_cast<uint32_t>(reinterpret_cast<uintptr_t>(P) - 1);
+}
+
+uint32_t RecorderTool::id(rt::Task &T) { return decodeId(T.ToolData); }
+
+void RecorderTool::append(Event E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Out.Events.push_back(E);
+}
+
+void RecorderTool::onRunStart(rt::Task &Root) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Out.clear();
+  NextTask = 0;
+  NextFinish = 0;
+  Root.ToolData = encodeId(NextTask++);
+  // Reserve finish id 0 for the implicit root finish.
+  Root.Ief->ToolData = encodeId(NextFinish++);
+}
+
+void RecorderTool::onRunEnd(rt::Task &Root) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Out.NumTasks = NextTask;
+  Out.NumFinishes = NextFinish;
+}
+
+void RecorderTool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint32_t ChildId = NextTask++;
+  Child.ToolData = encodeId(ChildId);
+  Out.Events.push_back(Event{Event::Kind::TaskCreate, decodeId(Parent.ToolData),
+                             ChildId, decodeId(Child.Ief->ToolData), 0});
+}
+
+void RecorderTool::onTaskStart(rt::Task &T) {
+  append(Event{Event::Kind::TaskStart, id(T), 0, 0, 0});
+}
+
+void RecorderTool::onTaskEnd(rt::Task &T) {
+  append(Event{Event::Kind::TaskEnd, id(T), decodeId(T.Ief->ToolData), 0, 0});
+}
+
+void RecorderTool::onFinishStart(rt::Task &T, rt::FinishRecord &F) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint32_t FinishId = NextFinish++;
+  F.ToolData = encodeId(FinishId);
+  Out.Events.push_back(Event{Event::Kind::FinishStart, id(T), FinishId, 0, 0});
+}
+
+void RecorderTool::onFinishEnd(rt::Task &T, rt::FinishRecord &F) {
+  append(Event{Event::Kind::FinishEnd, id(T), decodeId(F.ToolData), 0, 0});
+}
+
+void RecorderTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
+  append(Event{Event::Kind::Read, id(T),
+               reinterpret_cast<uintptr_t>(Addr), Size, 0});
+}
+
+void RecorderTool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
+  append(Event{Event::Kind::Write, id(T),
+               reinterpret_cast<uintptr_t>(Addr), Size, 0});
+}
+
+void RecorderTool::onRegisterRange(const void *Base, size_t Count,
+                                   uint32_t ElemSize) {
+  append(Event{Event::Kind::RegisterRange, 0,
+               reinterpret_cast<uintptr_t>(Base), Count, ElemSize});
+}
+
+void RecorderTool::onUnregisterRange(const void *Base) {
+  append(Event{Event::Kind::UnregisterRange, 0,
+               reinterpret_cast<uintptr_t>(Base), 0, 0});
+}
+
+void RecorderTool::onLockAcquire(rt::Task &T, const void *Lock) {
+  append(Event{Event::Kind::LockAcquire, id(T),
+               reinterpret_cast<uintptr_t>(Lock), 0, 0});
+}
+
+void RecorderTool::onLockRelease(rt::Task &T, const void *Lock) {
+  append(Event{Event::Kind::LockRelease, id(T),
+               reinterpret_cast<uintptr_t>(Lock), 0, 0});
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+bool replay(const Trace &T, detector::Tool &Tool) {
+  if (Tool.requiresSequential())
+    return false; // An arbitrary parallel linearization will not do.
+
+  // Reconstruct task and finish-scope skeletons.
+  std::vector<std::unique_ptr<rt::Task>> Tasks(T.taskCount());
+  std::vector<std::unique_ptr<rt::FinishRecord>> Finishes(
+      T.finishCount() ? T.finishCount() : 1);
+  auto TaskOf = [&](uint32_t Id) -> rt::Task & {
+    SPD3_CHECK(Id < Tasks.size(), "trace refers to an unknown task");
+    if (!Tasks[Id])
+      Tasks[Id] = std::make_unique<rt::Task>(rt::TaskFn{});
+    return *Tasks[Id];
+  };
+  auto FinishOf = [&](uint64_t Id) -> rt::FinishRecord & {
+    SPD3_CHECK(Id < Finishes.size(), "trace refers to an unknown finish");
+    if (!Finishes[Id])
+      Finishes[Id] = std::make_unique<rt::FinishRecord>();
+    return *Finishes[Id];
+  };
+
+  rt::Task &Root = TaskOf(0);
+  Root.Ief = &FinishOf(0);
+  Tool.onRunStart(Root);
+
+  for (const Event &E : T.events()) {
+    switch (E.K) {
+    case Event::Kind::TaskCreate: {
+      rt::Task &Child = TaskOf(static_cast<uint32_t>(E.A));
+      Child.Ief = &FinishOf(E.B);
+      Tool.onTaskCreate(TaskOf(E.Task), Child);
+      break;
+    }
+    case Event::Kind::TaskStart:
+      // The recorded stream includes the root's start/end (the runtime
+      // emits them like any task's).
+      Tool.onTaskStart(TaskOf(E.Task));
+      break;
+    case Event::Kind::TaskEnd: {
+      rt::Task &Task = TaskOf(E.Task);
+      Task.Ief = &FinishOf(E.A);
+      Tool.onTaskEnd(Task);
+      break;
+    }
+    case Event::Kind::FinishStart: {
+      rt::Task &Owner = TaskOf(E.Task);
+      rt::FinishRecord &F = FinishOf(E.A);
+      Owner.Ief = &F;
+      Tool.onFinishStart(Owner, F);
+      break;
+    }
+    case Event::Kind::FinishEnd:
+      Tool.onFinishEnd(TaskOf(E.Task), FinishOf(E.A));
+      break;
+    case Event::Kind::Read:
+      Tool.onRead(TaskOf(E.Task), reinterpret_cast<const void *>(E.A),
+                  static_cast<uint32_t>(E.B));
+      break;
+    case Event::Kind::Write:
+      Tool.onWrite(TaskOf(E.Task), reinterpret_cast<const void *>(E.A),
+                   static_cast<uint32_t>(E.B));
+      break;
+    case Event::Kind::RegisterRange:
+      Tool.onRegisterRange(reinterpret_cast<const void *>(E.A), E.B, E.C);
+      break;
+    case Event::Kind::UnregisterRange:
+      Tool.onUnregisterRange(reinterpret_cast<const void *>(E.A));
+      break;
+    case Event::Kind::LockAcquire:
+      Tool.onLockAcquire(TaskOf(E.Task),
+                         reinterpret_cast<const void *>(E.A));
+      break;
+    case Event::Kind::LockRelease:
+      Tool.onLockRelease(TaskOf(E.Task),
+                         reinterpret_cast<const void *>(E.A));
+      break;
+    }
+  }
+
+  Tool.onRunEnd(Root);
+  return true;
+}
+
+} // namespace spd3::trace

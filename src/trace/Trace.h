@@ -1,0 +1,136 @@
+//===- trace/Trace.h - Event-stream recording and replay --------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline analysis support: record the runtime/instrumentation event
+/// stream of one monitored execution and replay it later through any
+/// detector — no re-execution, repeatable verdicts, and the ability to run
+/// several detectors over one production run.
+///
+/// Soundness of replay rests on the same observation the paper's
+/// determinism property rests on (Section 3.2): the async/finish structure
+/// and the per-task access sequences determine the DPST and the
+/// happens-before relation; any recorded linearization of the events that
+/// respects real-time order is a valid schedule of the program, so a
+/// precise detector replayed over it reaches the same race verdict as the
+/// live run. Events are stamped with a global sequence number at the
+/// moment they occur, which yields exactly such a linearization.
+///
+/// Limitations: detectors that require depth-first execution order
+/// (ESP-bags) cannot consume an arbitrary parallel linearization; replay()
+/// rejects them. Addresses in a trace are opaque keys — valid for shadow
+/// lookup, never dereferenced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_TRACE_TRACE_H
+#define SPD3_TRACE_TRACE_H
+
+#include "detector/Tool.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spd3::trace {
+
+/// One recorded event. Tasks and finish scopes are identified by dense
+/// ids assigned at record time (task 0 = the root task; finish 0 = the
+/// implicit root finish).
+struct Event {
+  enum class Kind : uint8_t {
+    TaskCreate, ///< Task = parent, A = child id, B = child's IEF finish id
+    TaskStart,  ///< Task = started task
+    TaskEnd,    ///< Task = ended task, A = its IEF finish id
+    FinishStart, ///< Task = owner, A = new finish id
+    FinishEnd,   ///< Task = owner, A = finish id
+    Read,        ///< Task = reader, A = address, B = size
+    Write,       ///< Task = writer, A = address, B = size
+    RegisterRange,   ///< A = base, B = count, C = elem size
+    UnregisterRange, ///< A = base
+    LockAcquire,     ///< Task = holder, A = lock id
+    LockRelease,     ///< Task = holder, A = lock id
+  };
+
+  Kind K;
+  uint32_t Task = 0;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  uint32_t C = 0;
+};
+
+/// A recorded execution: events in a happens-before-consistent order.
+class Trace {
+public:
+  const std::vector<Event> &events() const { return Events; }
+  size_t size() const { return Events.size(); }
+  uint32_t taskCount() const { return NumTasks; }
+  uint32_t finishCount() const { return NumFinishes; }
+  void clear();
+
+  /// Serialize to / deserialize from a simple length-prefixed binary
+  /// format. load() returns false on I/O or format errors.
+  bool save(const std::string &Path) const;
+  static bool load(const std::string &Path, Trace *Out);
+
+private:
+  friend class RecorderTool;
+
+  std::vector<Event> Events;
+  uint32_t NumTasks = 0;
+  uint32_t NumFinishes = 0;
+};
+
+/// A Tool that records the event stream into a Trace. Attach it to a
+/// Runtime like any detector; afterwards the trace is complete and
+/// immutable. Recording works under the parallel scheduler: events are
+/// appended under a lock, which linearizes them consistently with real
+/// time (and therefore with happens-before).
+class RecorderTool : public detector::Tool {
+public:
+  explicit RecorderTool(Trace &Out) : Out(Out) {}
+
+  const char *name() const override { return "recorder"; }
+
+  void onRunStart(rt::Task &Root) override;
+  void onRunEnd(rt::Task &Root) override;
+  void onTaskCreate(rt::Task &Parent, rt::Task &Child) override;
+  void onTaskStart(rt::Task &T) override;
+  void onTaskEnd(rt::Task &T) override;
+  void onFinishStart(rt::Task &T, rt::FinishRecord &F) override;
+  void onFinishEnd(rt::Task &T, rt::FinishRecord &F) override;
+  void onRead(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onWrite(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onRegisterRange(const void *Base, size_t Count,
+                       uint32_t ElemSize) override;
+  void onUnregisterRange(const void *Base) override;
+  void onLockAcquire(rt::Task &T, const void *Lock) override;
+  void onLockRelease(rt::Task &T, const void *Lock) override;
+
+  size_t memoryBytes() const override {
+    return Out.Events.capacity() * sizeof(Event);
+  }
+
+private:
+  static uint32_t id(rt::Task &T);
+  void append(Event E);
+
+  Trace &Out;
+  std::mutex Mutex;
+  uint32_t NextTask = 0;
+  uint32_t NextFinish = 0;
+};
+
+/// Feed a recorded trace through \p Tool as if the program were executing
+/// again (single-threaded). Returns false (without running anything) if
+/// the tool requires depth-first sequential order, which an arbitrary
+/// recorded linearization does not provide.
+bool replay(const Trace &T, detector::Tool &Tool);
+
+} // namespace spd3::trace
+
+#endif // SPD3_TRACE_TRACE_H

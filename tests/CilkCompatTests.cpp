@@ -1,0 +1,220 @@
+//===- tests/CilkCompatTests.cpp - spawn/sync adapter tests -------------------===//
+//
+// Section 2 of the paper claims async/finish subsumes Cilk's spawn/sync;
+// these tests exercise the adapter that proves it, including detector
+// behaviour on spawn/sync programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CilkCompat.h"
+
+#include "baselines/EspBags.h"
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace {
+
+using namespace spd3;
+using namespace spd3::rt;
+
+struct CilkParam {
+  unsigned Workers;
+  SchedulerKind Kind;
+};
+
+class CilkCompat : public ::testing::TestWithParam<CilkParam> {
+protected:
+  Runtime makeRuntime(detector::Tool *Tool = nullptr) {
+    CilkParam P = GetParam();
+    return Runtime({P.Workers, P.Kind, Tool});
+  }
+};
+
+uint64_t fibSpawn(int N) {
+  if (N < 2)
+    return static_cast<uint64_t>(N);
+  cilk::SyncScope Frame; // per-procedure framing, as in real Cilk
+  uint64_t A = 0, B = 0;
+  cilk::spawn([&A, N] { A = fibSpawn(N - 1); });
+  B = fibSpawn(N - 2);
+  cilk::sync();
+  return A + B;
+}
+
+TEST_P(CilkCompat, FibComputesCorrectly) {
+  Runtime RT = makeRuntime();
+  uint64_t Result = 0;
+  RT.run([&] { Result = fibSpawn(15); });
+  EXPECT_EQ(Result, 610u);
+}
+
+TEST_P(CilkCompat, SyncJoinsAllSpawnsSinceLastSync) {
+  Runtime RT = makeRuntime();
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    for (int Round = 0; Round < 5; ++Round) {
+      for (int I = 0; I < 10; ++I)
+        cilk::spawn([&] { Count.fetch_add(1); });
+      cilk::sync();
+      EXPECT_EQ(Count.load(), (Round + 1) * 10);
+    }
+  });
+}
+
+TEST_P(CilkCompat, SyncWithoutSpawnIsNoOp) {
+  Runtime RT = makeRuntime();
+  RT.run([&] {
+    cilk::sync();
+    cilk::sync();
+  });
+  SUCCEED();
+}
+
+TEST_P(CilkCompat, ImplicitSyncAtTaskReturn) {
+  Runtime RT = makeRuntime();
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    finish([&] {
+      async([&] {
+        // This task spawns and "forgets" to sync; the runtime must sync
+        // for it before the task is considered terminated.
+        for (int I = 0; I < 8; ++I)
+          cilk::spawn([&] { Count.fetch_add(1); });
+      });
+    });
+    // The finish above may only complete after the implicit sync.
+    EXPECT_EQ(Count.load(), 8);
+  });
+}
+
+TEST_P(CilkCompat, ImplicitSyncOfMainProcedure) {
+  Runtime RT = makeRuntime();
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    for (int I = 0; I < 12; ++I)
+      cilk::spawn([&] { Count.fetch_add(1); });
+    // No sync: run() must perform it.
+  });
+  EXPECT_EQ(Count.load(), 12);
+}
+
+TEST_P(CilkCompat, Spd3MonitorsSpawnSyncPrograms) {
+  // Race-free spawn/sync program: disjoint slots.
+  {
+    detector::RaceSink Sink;
+    detector::Spd3Tool Tool(Sink);
+    CilkParam P = GetParam();
+    Runtime RT({P.Workers, P.Kind, &Tool});
+    RT.run([&] {
+      detector::TrackedArray<int> A(16, 0);
+      for (int I = 0; I < 16; ++I)
+        cilk::spawn([&A, I] { A.set(I, I); });
+      cilk::sync();
+      int Sum = 0;
+      for (int I = 0; I < 16; ++I)
+        Sum += A.get(I);
+      EXPECT_EQ(Sum, 120);
+    });
+    EXPECT_FALSE(Sink.anyRace());
+  }
+  // Racy: spawned child vs continuation before sync.
+  {
+    detector::RaceSink Sink;
+    detector::Spd3Tool Tool(Sink);
+    CilkParam P = GetParam();
+    Runtime RT({P.Workers, P.Kind, &Tool});
+    RT.run([&] {
+      detector::TrackedVar<int> X(0);
+      cilk::spawn([&X] { X.set(1); });
+      X.set(2); // races with the spawned child
+      cilk::sync();
+    });
+    EXPECT_TRUE(Sink.anyRace());
+  }
+  // After sync: ordered again.
+  {
+    detector::RaceSink Sink;
+    detector::Spd3Tool Tool(Sink);
+    CilkParam P = GetParam();
+    Runtime RT({P.Workers, P.Kind, &Tool});
+    RT.run([&] {
+      detector::TrackedVar<int> X(0);
+      cilk::spawn([&X] { X.set(1); });
+      cilk::sync();
+      X.set(2);
+    });
+    EXPECT_FALSE(Sink.anyRace());
+  }
+}
+
+TEST_P(CilkCompat, EspBagsMonitorsSpawnSyncPrograms) {
+  if (GetParam().Kind != SchedulerKind::SequentialDepthFirst)
+    GTEST_SKIP() << "ESP-bags requires depth-first execution";
+  detector::RaceSink Sink;
+  baselines::EspBagsTool Tool(Sink);
+  Runtime RT({1, SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    detector::TrackedVar<int> X(0);
+    cilk::spawn([&X] { X.set(1); });
+    X.set(2);
+    cilk::sync();
+  });
+  EXPECT_TRUE(Sink.anyRace());
+}
+
+TEST_P(CilkCompat, DpstShapeOfSpawnSync) {
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  CilkParam P = GetParam();
+  Runtime RT({P.Workers, P.Kind, &Tool});
+  RT.run([&] {
+    cilk::spawn([] {});
+    cilk::spawn([] {});
+    cilk::sync();
+  });
+  // One lazily-opened finish + two asyncs: 3*(2 + 2) - 1 = 11 nodes.
+  EXPECT_EQ(Tool.tree().nodeCount(), 11u);
+  std::string Err;
+  EXPECT_TRUE(Tool.tree().validate(&Err)) << Err;
+}
+
+TEST_P(CilkCompat, SyncScopeConfinesSyncToTheFrame) {
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  CilkParam P = GetParam();
+  Runtime RT({P.Workers, P.Kind, &Tool});
+  RT.run([&] {
+    cilk::spawn([] {}); // outer frame spawn
+    {
+      cilk::SyncScope Inner;
+      cilk::spawn([] {});
+      cilk::sync(); // joins only the inner spawn
+    }
+    cilk::spawn([] {});
+    cilk::sync();
+  });
+  // Two distinct finish scopes: the outer lazy scope (2 spawns... the
+  // second outer spawn reuses the still-open outer scope) and the inner
+  // one. a = 3 asyncs, f = 1 root + 2 scopes -> 3*(3+3)-1 = 17 nodes.
+  EXPECT_EQ(Tool.tree().nodeCount(), 17u);
+  std::string Err;
+  EXPECT_TRUE(Tool.tree().validate(&Err)) << Err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, CilkCompat,
+    ::testing::Values(CilkParam{1, SchedulerKind::Parallel},
+                      CilkParam{4, SchedulerKind::Parallel},
+                      CilkParam{1, SchedulerKind::SequentialDepthFirst}),
+    [](const ::testing::TestParamInfo<CilkParam> &Info) {
+      return (Info.param.Kind == SchedulerKind::SequentialDepthFirst
+                  ? std::string("Sequential")
+                  : std::string("Parallel")) +
+             std::to_string(Info.param.Workers);
+    });
+
+} // namespace

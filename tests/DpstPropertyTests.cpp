@@ -1,0 +1,125 @@
+//===- tests/DpstPropertyTests.cpp - Theorem 1 property tests ---------------===//
+//
+// Property-based validation of the DPST against the independent
+// happens-before oracle of TestPrograms.h:
+//
+//   * Theorem 1: for every pair of step events of a random structured
+//     program, Dpst::dmhp over the observed DPST leaves equals
+//     may-happen-in-parallel computed by graph reachability over the
+//     computation DAG (which never looks at the DPST).
+//   * Determinism (Section 3.2): the path from any step to the root is
+//     identical across schedules — sequential, 2-worker and 4-worker
+//     executions observe the same (depth, seqNo) paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace spd3;
+using namespace spd3::tests;
+
+class DpstTheorem1 : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpstTheorem1, DmhpEqualsReachabilityOracle) {
+  Program P = generateProgram(GetParam());
+  Oracle O(P);
+
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  ExecutionTrace Trace = runProgram(RT, P, &Tool);
+
+  int N = static_cast<int>(Trace.StepOf.size());
+  for (int A = 0; A < N; ++A) {
+    if (!Trace.StepOf[A])
+      continue;
+    for (int B = A + 1; B < N; ++B) {
+      if (!Trace.StepOf[B])
+        continue;
+      bool FromDpst = dpst::Dpst::dmhp(Trace.StepOf[A], Trace.StepOf[B]);
+      bool FromOracle = O.mhp(A, B);
+      EXPECT_EQ(FromDpst, FromOracle)
+          << "events " << A << " and " << B << " (seed " << GetParam() << ")";
+    }
+  }
+}
+
+std::string pathToRoot(const dpst::Node *N) {
+  std::ostringstream OS;
+  for (; N; N = N->Parent)
+    OS << N->SeqNo << '/' << N->Depth << ';';
+  return OS.str();
+}
+
+TEST_P(DpstTheorem1, StepPathsAreScheduleInvariant) {
+  Program P = generateProgram(GetParam());
+  Oracle O(P); // assigns event ids
+
+  auto Collect = [&](rt::SchedulerKind Kind, unsigned Workers) {
+    detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+    detector::Spd3Tool Tool(Sink);
+    rt::Runtime RT({Workers, Kind, &Tool});
+    ExecutionTrace Trace = runProgram(RT, P, &Tool);
+    std::vector<std::string> Paths;
+    for (const dpst::Node *S : Trace.StepOf)
+      Paths.push_back(S ? pathToRoot(S) : std::string());
+    return Paths;
+  };
+
+  auto Seq = Collect(rt::SchedulerKind::SequentialDepthFirst, 1);
+  auto Par2 = Collect(rt::SchedulerKind::Parallel, 2);
+  auto Par4 = Collect(rt::SchedulerKind::Parallel, 4);
+  EXPECT_EQ(Seq, Par2);
+  EXPECT_EQ(Seq, Par4);
+}
+
+TEST_P(DpstTheorem1, TreeValidatesAfterParallelConstruction) {
+  Program P = generateProgram(GetParam());
+  Oracle O(P);
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
+  runProgram(RT, P, &Tool);
+  std::string Err;
+  EXPECT_TRUE(Tool.tree().validate(&Err)) << Err;
+}
+
+TEST_P(DpstTheorem1, NodeCountMatchesSizeFormula) {
+  Program P = generateProgram(GetParam());
+  Oracle O(P); // assigns event ids
+
+  // Count asyncs and finishes in the program tree.
+  uint64_t Asyncs = 0, Finishes = 0;
+  auto Walk = [&](auto &&Self, const ProgramBody &Body) -> void {
+    for (const ProgramItem &Item : Body) {
+      if (Item.K == ProgramItem::Kind::Async) {
+        ++Asyncs;
+        Self(Self, Item.Body);
+      } else if (Item.K == ProgramItem::Kind::Finish) {
+        ++Finishes;
+        Self(Self, Item.Body);
+      }
+    }
+  };
+  Walk(Walk, P.Body);
+
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Tool});
+  runProgram(RT, P, &Tool);
+  // +1 for the implicit root finish, +1 for runProgram's wrapping finish
+  // (Section 5.3: total nodes = 3*(a+f) - 1).
+  EXPECT_EQ(Tool.tree().nodeCount(), 3 * (Asyncs + Finishes + 2) - 1)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpstTheorem1,
+                         ::testing::Range(uint64_t(1), uint64_t(41)));
+
+} // namespace

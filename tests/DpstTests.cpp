@@ -1,0 +1,246 @@
+//===- tests/DpstTests.cpp - DPST unit tests --------------------------------===//
+//
+// Direct unit tests for Section 3: construction rules, the Figure 1
+// example, the size formula of Section 5.3, LCA, left-of, and Theorem 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dpst/Dpst.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spd3::dpst;
+
+TEST(Dpst, InitialShapeIsRootFinishPlusStep) {
+  Dpst T;
+  ASSERT_NE(T.root(), nullptr);
+  EXPECT_TRUE(T.root()->isFinish());
+  EXPECT_EQ(T.root()->Parent, nullptr);
+  EXPECT_EQ(T.root()->Depth, 0u);
+  ASSERT_NE(T.initialStep(), nullptr);
+  EXPECT_TRUE(T.initialStep()->isStep());
+  EXPECT_EQ(T.initialStep()->Parent, T.root());
+  EXPECT_EQ(T.initialStep()->Depth, 1u);
+  EXPECT_EQ(T.initialStep()->SeqNo, 1u);
+  EXPECT_EQ(T.nodeCount(), 2u);
+  std::string Err;
+  EXPECT_TRUE(T.validate(&Err)) << Err;
+}
+
+TEST(Dpst, OnAsyncInsertsThreeNodes) {
+  Dpst T;
+  Dpst::AsyncInsertion Ins = T.onAsync(T.root());
+  EXPECT_TRUE(Ins.AsyncNode->isAsync());
+  EXPECT_EQ(Ins.AsyncNode->Parent, T.root());
+  EXPECT_EQ(Ins.AsyncNode->SeqNo, 2u); // after the initial step
+  EXPECT_TRUE(Ins.ChildStep->isStep());
+  EXPECT_EQ(Ins.ChildStep->Parent, Ins.AsyncNode);
+  EXPECT_TRUE(Ins.ContinuationStep->isStep());
+  EXPECT_EQ(Ins.ContinuationStep->Parent, T.root());
+  EXPECT_EQ(Ins.ContinuationStep->SeqNo, 3u);
+  EXPECT_EQ(T.nodeCount(), 5u);
+  std::string Err;
+  EXPECT_TRUE(T.validate(&Err)) << Err;
+}
+
+TEST(Dpst, OnFinishInsertsAndContinues) {
+  Dpst T;
+  Dpst::FinishInsertion F = T.onFinishStart(T.root());
+  EXPECT_TRUE(F.FinishNode->isFinish());
+  EXPECT_EQ(F.FinishNode->Parent, T.root());
+  EXPECT_TRUE(F.BodyStep->isStep());
+  EXPECT_EQ(F.BodyStep->Parent, F.FinishNode);
+  Node *Cont = T.onFinishEnd(F.FinishNode);
+  EXPECT_TRUE(Cont->isStep());
+  EXPECT_EQ(Cont->Parent, T.root());
+  EXPECT_GT(Cont->SeqNo, F.FinishNode->SeqNo);
+  std::string Err;
+  EXPECT_TRUE(T.validate(&Err)) << Err;
+}
+
+/// Build the exact DPST of the paper's Figure 1 program:
+///   finish F1 { S1; S2;                       -> step1
+///     async A1 { S3; S4; S5;                  -> step2
+///       async A2 { S6; }                      -> step3
+///       S7; S8; }                             -> step4
+///     S9; S10; S11;                           -> step5
+///     async A3 { S12; S13; } }                -> step6
+struct Figure1 {
+  Dpst T;
+  Node *Step1, *A1, *Step2, *A2, *Step3, *Step4, *Step5, *A3, *Step6, *Cont;
+
+  Figure1() {
+    Step1 = T.initialStep();
+    // Main forks A1 (IEF F1 owned by main -> scope is the root).
+    Dpst::AsyncInsertion I1 = T.onAsync(T.root());
+    A1 = I1.AsyncNode;
+    Step2 = I1.ChildStep;
+    Step5 = I1.ContinuationStep;
+    // A1 forks A2 (IEF F1 started by main, not A1 -> scope is A1's node).
+    Dpst::AsyncInsertion I2 = T.onAsync(A1);
+    A2 = I2.AsyncNode;
+    Step3 = I2.ChildStep;
+    Step4 = I2.ContinuationStep;
+    // Main forks A3 after step5.
+    Dpst::AsyncInsertion I3 = T.onAsync(T.root());
+    A3 = I3.AsyncNode;
+    Step6 = I3.ChildStep;
+    Cont = I3.ContinuationStep;
+  }
+};
+
+TEST(Dpst, Figure1Shape) {
+  Figure1 F;
+  std::string Err;
+  EXPECT_TRUE(F.T.validate(&Err)) << Err;
+  // F1's children, left to right: step1, A1, step5, A3, cont.
+  EXPECT_EQ(F.Step1->SeqNo, 1u);
+  EXPECT_EQ(F.A1->SeqNo, 2u);
+  EXPECT_EQ(F.Step5->SeqNo, 3u);
+  EXPECT_EQ(F.A3->SeqNo, 4u);
+  // A1's children: step2, A2, step4.
+  EXPECT_EQ(F.Step2->Parent, F.A1);
+  EXPECT_EQ(F.A2->Parent, F.A1);
+  EXPECT_EQ(F.Step4->Parent, F.A1);
+  EXPECT_EQ(F.Step2->SeqNo, 1u);
+  EXPECT_EQ(F.A2->SeqNo, 2u);
+  EXPECT_EQ(F.Step4->SeqNo, 3u);
+  // Size formula (Section 5.3): 3*(a+f) - 1 with a=3 asyncs, f=1 finish.
+  EXPECT_EQ(F.T.nodeCount(), 3u * (3 + 1) - 1);
+}
+
+TEST(Dpst, Figure1LcaAndLeftOf) {
+  Figure1 F;
+  EXPECT_EQ(Dpst::lca(F.Step2, F.Step5), F.T.root());
+  EXPECT_EQ(Dpst::lca(F.Step3, F.Step4), F.A1);
+  EXPECT_EQ(Dpst::lca(F.Step3, F.Step6), F.T.root());
+  EXPECT_EQ(Dpst::lca(F.Step2, F.Step2), F.Step2);
+  EXPECT_TRUE(Dpst::leftOf(F.Step2, F.Step5));
+  EXPECT_FALSE(Dpst::leftOf(F.Step5, F.Step2));
+  EXPECT_TRUE(Dpst::leftOf(F.Step3, F.Step4));
+  EXPECT_TRUE(Dpst::leftOf(F.Step1, F.Step6));
+}
+
+TEST(Dpst, Figure1DmhpMatchesPaperExamples) {
+  Figure1 F;
+  // Worked examples from Section 3.2:
+  EXPECT_TRUE(Dpst::dmhp(F.Step2, F.Step5));  // A1 body vs continuation
+  EXPECT_FALSE(Dpst::dmhp(F.Step6, F.Step5)); // A3 forked after step5
+  // More pairs implied by the program:
+  EXPECT_FALSE(Dpst::dmhp(F.Step1, F.Step2)); // before the fork
+  EXPECT_TRUE(Dpst::dmhp(F.Step3, F.Step4));  // A2 vs A1 continuation
+  EXPECT_TRUE(Dpst::dmhp(F.Step3, F.Step5));  // A2 vs main continuation
+  EXPECT_TRUE(Dpst::dmhp(F.Step2, F.Step6));  // A1 vs A3
+  EXPECT_TRUE(Dpst::dmhp(F.Step3, F.Step6));  // A2 vs A3
+  EXPECT_FALSE(Dpst::dmhp(F.Step2, F.Step3)); // A1 before its child A2
+  EXPECT_FALSE(Dpst::dmhp(F.Step2, F.Step4)); // sequence within A1
+  EXPECT_FALSE(Dpst::dmhp(F.Step1, F.Step6));
+}
+
+TEST(Dpst, DmhpIsSymmetricAndIrreflexive) {
+  Figure1 F;
+  Node *Steps[] = {F.Step1, F.Step2, F.Step3, F.Step4, F.Step5, F.Step6};
+  for (Node *A : Steps) {
+    EXPECT_FALSE(Dpst::dmhp(A, A));
+    for (Node *B : Steps)
+      EXPECT_EQ(Dpst::dmhp(A, B), Dpst::dmhp(B, A));
+  }
+}
+
+TEST(Dpst, DmhpWithNullIsFalse) {
+  Figure1 F;
+  EXPECT_FALSE(Dpst::dmhp(nullptr, F.Step1));
+  EXPECT_FALSE(Dpst::dmhp(F.Step1, nullptr));
+  EXPECT_FALSE(Dpst::dmhp(nullptr, nullptr));
+}
+
+TEST(Dpst, IsAncestorOf) {
+  Figure1 F;
+  EXPECT_TRUE(F.T.root()->isAncestorOf(F.Step3));
+  EXPECT_TRUE(F.A1->isAncestorOf(F.Step3));
+  EXPECT_TRUE(F.A2->isAncestorOf(F.Step3));
+  EXPECT_FALSE(F.Step3->isAncestorOf(F.A2));
+  EXPECT_FALSE(F.A3->isAncestorOf(F.Step3));
+  EXPECT_FALSE(F.Step3->isAncestorOf(F.Step3));
+}
+
+TEST(Dpst, NodeCountFormulaHoldsForFinishes) {
+  // a asyncs + f finishes -> 3*(a+f)-1 nodes, counting the root finish.
+  Dpst T;
+  unsigned A = 0, F = 1; // implicit root finish
+  Dpst::FinishInsertion Fin = T.onFinishStart(T.root());
+  ++F;
+  Dpst::AsyncInsertion As = T.onAsync(Fin.FinishNode);
+  ++A;
+  T.onFinishEnd(Fin.FinishNode);
+  Dpst::AsyncInsertion As2 = T.onAsync(As.AsyncNode);
+  ++A;
+  (void)As2;
+  EXPECT_EQ(T.nodeCount(), 3u * (A + F) - 1);
+}
+
+TEST(Dpst, DeepChainLcaTerminates) {
+  Dpst T;
+  Node *Scope = T.root();
+  Node *LastStep = T.initialStep();
+  for (int I = 0; I < 1000; ++I) {
+    Dpst::AsyncInsertion Ins = T.onAsync(Scope);
+    Scope = Ins.AsyncNode;
+    LastStep = Ins.ChildStep;
+  }
+  EXPECT_EQ(Dpst::lca(LastStep, T.initialStep()), T.root());
+  // The initial step runs before the first async is spawned, so it is
+  // ordered before the whole chain: the left node's child-of-LCA ancestor
+  // is the initial step itself (not an async), hence not parallel.
+  EXPECT_FALSE(Dpst::dmhp(LastStep, T.initialStep()));
+  // Two nested chains' leaves vs the continuation at the top ARE parallel.
+  EXPECT_TRUE(Dpst::dmhp(LastStep, T.root()->LastChild));
+}
+
+TEST(Dpst, ChainStepBeforeAsyncIsOrdered) {
+  // Disambiguate the previous test: the initial step happens before the
+  // async spawned after it, so DMHP(initialStep, asyncStep) depends on the
+  // left node being the step (ordered) — Theorem 1 says NOT parallel.
+  Dpst T;
+  Dpst::AsyncInsertion Ins = T.onAsync(T.root());
+  // initialStep is left of Ins.ChildStep; its LCA-child ancestor is itself,
+  // a step node => not parallel.
+  EXPECT_FALSE(Dpst::dmhp(T.initialStep(), Ins.ChildStep));
+  // The continuation step is to the RIGHT of the async; the async is the
+  // left node's ancestor => parallel.
+  EXPECT_TRUE(Dpst::dmhp(Ins.ChildStep, Ins.ContinuationStep));
+}
+
+TEST(Dpst, PathStringsAreUniqueAndStable) {
+  Figure1 F;
+  EXPECT_EQ(Dpst::pathString(nullptr), "<none>");
+  EXPECT_EQ(Dpst::pathString(F.T.root()), "finish#0");
+  EXPECT_EQ(Dpst::pathString(F.Step1), "finish#0/step#1");
+  EXPECT_EQ(Dpst::pathString(F.Step3), "finish#0/async#2/async#2/step#1");
+  EXPECT_EQ(Dpst::pathString(F.Step6), "finish#0/async#4/step#1");
+  // Distinct steps -> distinct paths.
+  const Node *Steps[] = {F.Step1, F.Step2, F.Step3, F.Step4, F.Step5,
+                         F.Step6};
+  for (const Node *A : Steps)
+    for (const Node *B : Steps) {
+      if (A != B)
+        EXPECT_NE(Dpst::pathString(A), Dpst::pathString(B));
+    }
+}
+
+TEST(Dpst, ToDotContainsAllNodes) {
+  Figure1 F;
+  std::string Dot = F.T.toDot();
+  EXPECT_NE(Dot.find("digraph dpst"), std::string::npos);
+  // 11 nodes -> 11 "shape=" attributes.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Dot.find("shape=", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 6;
+  }
+  EXPECT_EQ(Count, F.T.nodeCount());
+}
+
+} // namespace

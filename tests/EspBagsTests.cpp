@@ -1,0 +1,175 @@
+//===- tests/EspBagsTests.cpp - ESP-bags baseline tests ----------------------===//
+
+#include "baselines/EspBags.h"
+
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spd3;
+using baselines::EspBagsTool;
+using detector::RaceKind;
+using detector::RaceSink;
+
+template <typename Fn> void runEspBags(Fn &&Body, RaceSink &Sink) {
+  EspBagsTool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] { rt::finish([&] { Body(); }); });
+}
+
+TEST(EspBags, RequiresSequentialScheduler) {
+  RaceSink Sink;
+  EspBagsTool Tool(Sink);
+  EXPECT_TRUE(Tool.requiresSequential());
+}
+
+TEST(EspBags, NoRaceSequential) {
+  RaceSink Sink;
+  runEspBags(
+      [] {
+        detector::TrackedVar<int> X(0);
+        X.set(1);
+        (void)X.get();
+        X.set(2);
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(EspBags, SiblingWriteWriteRace) {
+  RaceSink Sink;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] {
+          rt::async([] { X.set(1); });
+          rt::async([] { X.set(2); });
+        });
+      },
+      Sink);
+  ASSERT_TRUE(Sink.anyRace());
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::WriteWrite);
+}
+
+TEST(EspBags, ChildVsContinuationRace) {
+  RaceSink Sink;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] {
+          rt::async([] { X.set(1); });
+          (void)X.get(); // continuation: parallel with the async
+        });
+      },
+      Sink);
+  ASSERT_TRUE(Sink.anyRace());
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::WriteRead);
+}
+
+TEST(EspBags, FinishOrdersChildBeforeContinuation) {
+  RaceSink Sink;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] { rt::async([] { X.set(1); }); });
+        (void)X.get();
+        X.set(2); // both ordered after the write via end-finish
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(EspBags, ParentWriteBeforeSpawnIsOrdered) {
+  RaceSink Sink;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        X.set(3);
+        rt::finish([] { rt::async([] { (void)X.get(); }); });
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(EspBags, GrandchildJoinsAtIefNotParent) {
+  // The grandchild's IEF is the outer finish: its effects are NOT ordered
+  // before the parent async's continuation, but ARE ordered before code
+  // after the outer finish.
+  RaceSink RaceCase;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] {
+          rt::async([] {
+            rt::async([] { X.set(1); }); // grandchild
+          });
+          (void)X.get(); // continuation races with grandchild
+        });
+      },
+      RaceCase);
+  EXPECT_TRUE(RaceCase.anyRace());
+
+  RaceSink NoRaceCase;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> Y(0);
+        rt::finish([] {
+          rt::async([] { rt::async([] { Y.set(1); }); });
+        });
+        (void)Y.get(); // after end-finish: ordered
+      },
+      NoRaceCase);
+  EXPECT_FALSE(NoRaceCase.anyRace());
+}
+
+TEST(EspBags, NestedFinishInsideAsyncSerializesLocally) {
+  RaceSink Sink;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] {
+          rt::async([] {
+            rt::finish([] { rt::async([] { X.set(1); }); });
+            (void)X.get(); // ordered by the inner finish
+            X.set(2);
+          });
+        });
+        (void)X.get(); // ordered by the outer finish
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(EspBags, ReadersKeptAsWitnesses) {
+  // A parallel reader must survive in the shadow word long enough to catch
+  // a later conflicting write (SP-bags reader-update rule).
+  RaceSink Sink;
+  runEspBags(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] {
+          rt::async([] { (void)X.get(); });
+          rt::async([] { (void)X.get(); });
+          rt::async([] { X.set(1); });
+        });
+      },
+      Sink);
+  ASSERT_TRUE(Sink.anyRace());
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::ReadWrite);
+}
+
+TEST(EspBags, MemoryBytesAccounted) {
+  RaceSink Sink;
+  EspBagsTool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    detector::TrackedArray<int> A(512, 0);
+    rt::parallelFor(0, 512, [&](size_t I) { A.set(I, 1); });
+  });
+  EXPECT_GE(Tool.memoryBytes(), 512 * sizeof(EspBagsTool::Cell));
+}
+
+} // namespace

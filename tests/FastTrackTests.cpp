@@ -1,0 +1,229 @@
+//===- tests/FastTrackTests.cpp - FastTrack baseline tests --------------------===//
+
+#include "baselines/FastTrack.h"
+
+#include "baselines/VectorClock.h"
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spd3;
+using baselines::Epoch;
+using baselines::FastTrackTool;
+using baselines::VectorClock;
+using detector::RaceKind;
+using detector::RaceSink;
+
+TEST(VectorClockUnit, GetSetAndGrowth) {
+  VectorClock C;
+  EXPECT_EQ(C.get(5), 0u);
+  C.set(5, 7);
+  EXPECT_EQ(C.get(5), 7u);
+  EXPECT_EQ(C.get(2), 0u);
+  EXPECT_EQ(C.components(), 6u);
+}
+
+TEST(VectorClockUnit, JoinTakesPointwiseMax) {
+  VectorClock A, B;
+  A.set(0, 3);
+  A.set(1, 1);
+  B.set(1, 5);
+  B.set(2, 2);
+  A.joinWith(B);
+  EXPECT_EQ(A.get(0), 3u);
+  EXPECT_EQ(A.get(1), 5u);
+  EXPECT_EQ(A.get(2), 2u);
+}
+
+TEST(VectorClockUnit, CoversEpoch) {
+  VectorClock C;
+  C.set(3, 10);
+  EXPECT_TRUE(C.covers(Epoch{3, 10}));
+  EXPECT_TRUE(C.covers(Epoch{3, 9}));
+  EXPECT_FALSE(C.covers(Epoch{3, 11}));
+  EXPECT_FALSE(C.covers(Epoch{4, 1}));
+}
+
+TEST(VectorClockUnit, LeqAndFirstExceeding) {
+  VectorClock A, B;
+  A.set(0, 2);
+  B.set(0, 3);
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_EQ(A.firstExceeding(B), -1);
+  A.set(1, 4);
+  EXPECT_FALSE(A.leq(B));
+  EXPECT_EQ(A.firstExceeding(B), 1);
+}
+
+TEST(VectorClockUnit, IncrementAdvancesOwnComponent) {
+  VectorClock C;
+  C.increment(2);
+  C.increment(2);
+  EXPECT_EQ(C.get(2), 2u);
+}
+
+template <typename Fn>
+void runFastTrack(Fn &&Body, RaceSink &Sink, unsigned Workers = 1,
+                  rt::SchedulerKind Kind =
+                      rt::SchedulerKind::SequentialDepthFirst) {
+  FastTrackTool Tool(Sink);
+  rt::Runtime RT({Workers, Kind, &Tool});
+  RT.run([&] { rt::finish([&] { Body(); }); });
+}
+
+TEST(FastTrack, NoRaceSequential) {
+  RaceSink Sink;
+  runFastTrack(
+      [] {
+        detector::TrackedVar<int> X(0);
+        X.set(1);
+        (void)X.get();
+        X.set(2);
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(FastTrack, SiblingWriteWriteRace) {
+  RaceSink Sink;
+  runFastTrack(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] {
+          rt::async([] { X.set(1); });
+          rt::async([] { X.set(2); });
+        });
+      },
+      Sink);
+  ASSERT_TRUE(Sink.anyRace());
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::WriteWrite);
+}
+
+TEST(FastTrack, ForkOrdersParentPrefixBeforeChild) {
+  RaceSink Sink;
+  runFastTrack(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        X.set(1); // before spawn
+        rt::finish([] { rt::async([] { (void)X.get(); }); });
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(FastTrack, JoinAtFinishOrdersChildBeforeContinuation) {
+  RaceSink Sink;
+  runFastTrack(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] { rt::async([] { X.set(1); }); });
+        (void)X.get();
+        X.set(2);
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(FastTrack, ContinuationVsChildRaces) {
+  RaceSink Sink;
+  runFastTrack(
+      [] {
+        static detector::TrackedVar<int> X(0);
+        rt::finish([] {
+          rt::async([] { X.set(1); });
+          (void)X.get();
+        });
+      },
+      Sink);
+  EXPECT_TRUE(Sink.anyRace());
+}
+
+TEST(FastTrack, ReadSharedPromotionAndWriteCheck) {
+  RaceSink Sink;
+  FastTrackTool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    detector::TrackedVar<int> X(0);
+    rt::finish([&] {
+      for (int I = 0; I < 8; ++I)
+        rt::async([&] { (void)X.get(); }); // concurrent readers: promote
+      rt::async([&] { X.set(1); });        // must race with a reader
+    });
+  });
+  EXPECT_TRUE(Sink.anyRace());
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::ReadWrite);
+}
+
+TEST(FastTrack, TaskIdsGrowWithTasks) {
+  RaceSink Sink;
+  FastTrackTool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    rt::parallelFor(0, 100, [](size_t) {});
+  });
+  EXPECT_GE(Tool.tasksSeen(), 101u); // 100 children + root
+}
+
+TEST(FastTrack, ReadVcMemoryGrowsWithConcurrentReaders) {
+  // The paper's space argument: a read-shared location costs FastTrack
+  // O(#concurrent readers); SPD3 stores two steps regardless.
+  auto PeakFor = [](int Readers) {
+    RaceSink Sink;
+    FastTrackTool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      detector::TrackedVar<int> X(1);
+      rt::finish([&] {
+        for (int I = 0; I < Readers; ++I)
+          rt::async([&] { (void)X.get(); });
+      });
+    });
+    return Tool.peakMemoryBytes();
+  };
+  size_t Small = PeakFor(4);
+  size_t Large = PeakFor(512);
+  EXPECT_GT(Large, Small + 512); // grows with reader count
+}
+
+TEST(FastTrack, SameEpochFastPathDoesNotReRecord) {
+  RaceSink Sink;
+  runFastTrack(
+      [] {
+        detector::TrackedVar<int> X(0);
+        X.set(1);
+        for (int I = 0; I < 100; ++I) {
+          (void)X.get();
+          X.set(I);
+        }
+      },
+      Sink);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(FastTrack, ParallelSchedulerAgrees) {
+  for (bool Race : {false, true}) {
+    RaceSink Sink;
+    runFastTrack(
+        [Race] {
+          static detector::TrackedVar<int> *X;
+          detector::TrackedVar<int> Local(0);
+          X = &Local;
+          rt::finish([Race] {
+            rt::async([] { (void)X->get(); });
+            rt::async([Race] {
+              if (Race)
+                X->set(1);
+              else
+                (void)X->get();
+            });
+          });
+        },
+        Sink, 4, rt::SchedulerKind::Parallel);
+    EXPECT_EQ(Sink.anyRace(), Race);
+  }
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- tests/MemoryTests.cpp - space-bound tests ------------------------------===//
+//
+// Executable versions of the paper's space claims:
+//
+//   * SPD3 shadow state is O(1) per monitored location: sizeof(Cell) is a
+//     compile-time constant and does not grow however many tasks access
+//     the location (Section 4.1).
+//   * FastTrack's per-location state grows with the number of concurrent
+//     readers (the O(n) bound of Section 1).
+//   * The DPST has exactly 3*(a+f)-1 nodes (Section 5.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EspBags.h"
+#include "baselines/FastTrack.h"
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spd3;
+
+TEST(SpaceBounds, Spd3CellIsConstantSize) {
+  // Three step references plus two version words; the whole point of the
+  // algorithm. Keep a hard ceiling so nobody quietly grows it.
+  static_assert(sizeof(detector::Spd3Tool::Cell) <= 48,
+                "SPD3 shadow cells must stay O(1)");
+  SUCCEED();
+}
+
+TEST(SpaceBounds, Spd3PerLocationStateDoesNotGrowWithReaders) {
+  // Total tool bytes grow with tasks (the DPST is O(tasks)), but the
+  // *shadow* bytes per location are fixed. Measure the per-reader byte
+  // slope and check it matches the DPST-node cost alone: the same program
+  // with reads and with NO reads must grow by the same amount.
+  auto BytesFor = [](int Readers, bool DoRead) {
+    detector::RaceSink Sink;
+    detector::Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    size_t Bytes = 0;
+    RT.run([&] {
+      detector::TrackedArray<int> X(1, 7);
+      rt::finish([&] {
+        for (int I = 0; I < Readers; ++I)
+          rt::async([&, DoRead] {
+            if (DoRead)
+              (void)X.get(0);
+          });
+      });
+      Bytes = Tool.memoryBytes();
+    });
+    return Bytes;
+  };
+  size_t WithReads = BytesFor(600, true);
+  size_t WithoutReads = BytesFor(600, false);
+  // Identical task structure; the 600 reads may add at most O(1) shadow
+  // state (one cell), not O(readers).
+  EXPECT_LE(WithReads, WithoutReads + 256);
+}
+
+TEST(SpaceBounds, FastTrackPerLocationStateGrowsWithReaders) {
+  auto PeakFor = [](int Readers) {
+    detector::RaceSink Sink;
+    baselines::FastTrackTool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    size_t Bytes = 0;
+    RT.run([&] {
+      detector::TrackedArray<int> X(1, 7);
+      rt::finish([&] {
+        for (int I = 0; I < Readers; ++I)
+          rt::async([&] { (void)X.get(0); });
+      });
+      Bytes = Tool.memoryBytes();
+    });
+    return Bytes;
+  };
+  size_t Few = PeakFor(8);
+  size_t Many = PeakFor(800);
+  // The read vector clock alone grows by ~4 bytes per reader tid.
+  EXPECT_GT(Many, Few + 800);
+}
+
+TEST(SpaceBounds, DpstSizeFormulaOnGeneratedPrograms) {
+  // Run structured programs of known (a, f) counts and check 3*(a+f)-1.
+  struct Shape {
+    unsigned Asyncs, Finishes;
+  };
+  for (Shape S : {Shape{5, 2}, Shape{16, 1}, Shape{3, 3}}) {
+    detector::RaceSink Sink;
+    detector::Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      for (unsigned F = 1; F < S.Finishes; ++F)
+        rt::finish([] {});
+      rt::finish([&] {
+        for (unsigned A = 0; A < S.Asyncs; ++A)
+          rt::async([] {});
+      });
+    });
+    // +1 finish: the implicit root. The explicit loop above creates
+    // Finishes-1 empty ones plus the one holding the asyncs.
+    unsigned TotalFinishes = S.Finishes + 1;
+    EXPECT_EQ(Tool.tree().nodeCount(),
+              3u * (S.Asyncs + TotalFinishes) - 1);
+  }
+}
+
+TEST(SpaceBounds, EspBagsShadowIsTwoWordsPerLocation) {
+  static_assert(sizeof(baselines::EspBagsTool::Cell) == 8,
+                "ESP-bags shadow is one writer + one reader id");
+  SUCCEED();
+}
+
+TEST(SpaceBounds, ToolMemoryReportsAreMonotoneDuringRun) {
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  size_t Last = 0;
+  bool Monotone = true;
+  RT.run([&] {
+    detector::TrackedArray<int> A(64, 0);
+    for (int Round = 0; Round < 5; ++Round) {
+      rt::parallelFor(0, 64, [&](size_t I) { A.set(I, Round); });
+      size_t Now = Tool.memoryBytes();
+      if (Now < Last)
+        Monotone = false;
+      Last = Now;
+    }
+  });
+  EXPECT_TRUE(Monotone);
+}
+
+} // namespace

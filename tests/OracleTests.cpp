@@ -1,0 +1,191 @@
+//===- tests/OracleTests.cpp - tests for the test oracle itself ---------------===//
+//
+// The reachability oracle of TestPrograms.h is the ground truth every
+// property test compares against, so it gets its own hand-computed
+// checks: small programs whose MHP relations and race verdicts are
+// derived on paper from the informal semantics of Section 2 (not from
+// the DPST, and not from the oracle's own rules).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spd3::tests;
+
+ProgramItem step(std::vector<Access> Accs) {
+  ProgramItem I;
+  I.K = ProgramItem::Kind::Step;
+  I.Accesses = std::move(Accs);
+  return I;
+}
+
+ProgramItem asyncItem(ProgramBody Body) {
+  ProgramItem I;
+  I.K = ProgramItem::Kind::Async;
+  I.Body = std::move(Body);
+  return I;
+}
+
+ProgramItem finishItem(ProgramBody Body) {
+  ProgramItem I;
+  I.K = ProgramItem::Kind::Finish;
+  I.Body = std::move(Body);
+  return I;
+}
+
+Access rd(uint32_t V) { return Access{V, false}; }
+Access wr(uint32_t V) { return Access{V, true}; }
+
+TEST(Oracle, StraightLineHasNoParallelism) {
+  Program P;
+  P.NumVars = 1;
+  P.Body.push_back(step({wr(0)}));
+  P.Body.push_back(step({rd(0)}));
+  P.Body.push_back(step({wr(0)}));
+  Oracle O(P);
+  int A = P.Body[0].EventId, B = P.Body[1].EventId, C = P.Body[2].EventId;
+  EXPECT_FALSE(O.mhp(A, B));
+  EXPECT_FALSE(O.mhp(B, C));
+  EXPECT_FALSE(O.mhp(A, C));
+  EXPECT_FALSE(O.hasRace());
+}
+
+TEST(Oracle, AsyncRunsParallelWithContinuation) {
+  // s0; async { s1 }; s2   — s1 || s2, s0 before both.
+  Program P;
+  P.NumVars = 2;
+  P.Body.push_back(step({wr(0)}));
+  P.Body.push_back(asyncItem({step({wr(1)})}));
+  P.Body.push_back(step({rd(0)}));
+  Oracle O(P);
+  int S0 = P.Body[0].EventId;
+  int S1 = P.Body[1].Body[0].EventId;
+  int S2 = P.Body[2].EventId;
+  EXPECT_FALSE(O.mhp(S0, S1));
+  EXPECT_FALSE(O.mhp(S0, S2));
+  EXPECT_TRUE(O.mhp(S1, S2));
+  EXPECT_FALSE(O.hasRace()); // conflicting pair (w0, r0) is ordered
+}
+
+TEST(Oracle, RaceWhenParallelStepsConflict) {
+  // async { w(0) }; w(0)  — unordered write-write on var 0.
+  Program P;
+  P.NumVars = 1;
+  P.Body.push_back(asyncItem({step({wr(0)})}));
+  P.Body.push_back(step({wr(0)}));
+  Oracle O(P);
+  EXPECT_TRUE(O.hasRace());
+  EXPECT_EQ(O.racyVars(), std::vector<uint32_t>{0});
+}
+
+TEST(Oracle, ReadReadIsNeverARace) {
+  Program P;
+  P.NumVars = 1;
+  P.Body.push_back(asyncItem({step({rd(0)})}));
+  P.Body.push_back(step({rd(0)}));
+  Oracle O(P);
+  EXPECT_TRUE(O.mhp(P.Body[0].Body[0].EventId, P.Body[1].EventId));
+  EXPECT_FALSE(O.hasRace());
+}
+
+TEST(Oracle, FinishJoinsItsAsyncs) {
+  // finish { async { w(0) } }; r(0)  — ordered by end-finish.
+  Program P;
+  P.NumVars = 1;
+  P.Body.push_back(finishItem({asyncItem({step({wr(0)})})}));
+  P.Body.push_back(step({rd(0)}));
+  Oracle O(P);
+  int W = P.Body[0].Body[0].Body[0].EventId;
+  int R = P.Body[1].EventId;
+  EXPECT_FALSE(O.mhp(W, R));
+  EXPECT_FALSE(O.hasRace());
+}
+
+TEST(Oracle, GrandchildJoinsAtItsIefNotItsParent) {
+  // finish { async { async { w(0) } }; r(0) } — the grandchild's IEF is
+  // the outer finish, so it is parallel with the continuation read inside
+  // the finish...
+  Program P;
+  P.NumVars = 1;
+  P.Body.push_back(finishItem({
+      asyncItem({asyncItem({step({wr(0)})})}),
+      step({rd(0)}),
+  }));
+  // ...but ordered before a read after the finish.
+  P.Body.push_back(step({rd(0)}));
+  Oracle O(P);
+  int W = P.Body[0].Body[0].Body[0].Body[0].EventId;
+  int RInside = P.Body[0].Body[1].EventId;
+  int RAfter = P.Body[1].EventId;
+  EXPECT_TRUE(O.mhp(W, RInside));
+  EXPECT_FALSE(O.mhp(W, RAfter));
+  EXPECT_TRUE(O.hasRace()); // W vs RInside
+}
+
+TEST(Oracle, SiblingAsyncsAreParallel) {
+  Program P;
+  P.NumVars = 2;
+  P.Body.push_back(finishItem({
+      asyncItem({step({wr(0)})}),
+      asyncItem({step({rd(1)})}),
+  }));
+  Oracle O(P);
+  int A = P.Body[0].Body[0].Body[0].EventId;
+  int B = P.Body[0].Body[1].Body[0].EventId;
+  EXPECT_TRUE(O.mhp(A, B));
+  EXPECT_FALSE(O.hasRace()); // different variables
+}
+
+TEST(Oracle, Figure1MhpMatrix) {
+  // The paper's Figure 1 program, step events 1..6 as in the figure.
+  // finish F1 { s1; async A1 { s2; async A2 { s3 }; s4 }; s5; async A3
+  // { s6 } } — with the implicit root finish modeled by the top level.
+  Program P;
+  P.NumVars = 1;
+  P.Body.push_back(finishItem({
+      step({}),                                    // step1
+      asyncItem({
+          step({}),                                // step2
+          asyncItem({step({})}),                   // step3 (A2)
+          step({}),                                // step4
+      }),
+      step({}),                                    // step5
+      asyncItem({step({})}),                       // step6 (A3)
+  }));
+  Oracle O(P);
+  const ProgramBody &F1 = P.Body[0].Body;
+  int S1 = F1[0].EventId;
+  int S2 = F1[1].Body[0].EventId;
+  int S3 = F1[1].Body[1].Body[0].EventId;
+  int S4 = F1[1].Body[2].EventId;
+  int S5 = F1[2].EventId;
+  int S6 = F1[3].Body[0].EventId;
+  // Worked examples of Section 3.2 plus the implied pairs (the same
+  // matrix DpstTests checks against the DPST — here from pure
+  // reachability).
+  EXPECT_TRUE(O.mhp(S2, S5));
+  EXPECT_FALSE(O.mhp(S6, S5));
+  EXPECT_FALSE(O.mhp(S1, S2));
+  EXPECT_TRUE(O.mhp(S3, S4));
+  EXPECT_TRUE(O.mhp(S3, S5));
+  EXPECT_TRUE(O.mhp(S2, S6));
+  EXPECT_TRUE(O.mhp(S3, S6));
+  EXPECT_FALSE(O.mhp(S2, S3));
+  EXPECT_FALSE(O.mhp(S2, S4));
+}
+
+TEST(Oracle, MhpIsIrreflexiveAndSymmetric) {
+  Program P = generateProgram(4242);
+  Oracle O(P);
+  for (int A = 0; A < O.numEvents(); ++A) {
+    EXPECT_FALSE(O.mhp(A, A));
+    for (int B = 0; B < O.numEvents(); ++B)
+      EXPECT_EQ(O.mhp(A, B), O.mhp(B, A));
+  }
+}
+
+} // namespace

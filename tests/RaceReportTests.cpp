@@ -1,0 +1,85 @@
+//===- tests/RaceReportTests.cpp - RaceSink tests ----------------------------===//
+
+#include "detector/RaceReport.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using namespace spd3::detector;
+
+Race makeRace(const void *Addr, RaceKind K = RaceKind::WriteWrite) {
+  return Race{K, Addr, 1, 2, "test"};
+}
+
+TEST(RaceSink, FirstRaceModeRecordsOnlyOne) {
+  RaceSink Sink(RaceSink::Mode::FirstRace);
+  EXPECT_TRUE(Sink.shouldCheck());
+  EXPECT_FALSE(Sink.anyRace());
+  int A, B;
+  Sink.report(makeRace(&A));
+  Sink.report(makeRace(&B));
+  EXPECT_TRUE(Sink.anyRace());
+  EXPECT_FALSE(Sink.shouldCheck()); // detectors halt (paper semantics)
+  EXPECT_EQ(Sink.raceCount(), 1u);
+  EXPECT_EQ(Sink.races()[0].Addr, &A);
+}
+
+TEST(RaceSink, CollectModeDedupesPerAddress) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  int A, B;
+  Sink.report(makeRace(&A));
+  Sink.report(makeRace(&A, RaceKind::ReadWrite));
+  Sink.report(makeRace(&B));
+  EXPECT_TRUE(Sink.shouldCheck()); // keeps checking
+  EXPECT_EQ(Sink.raceCount(), 2u);
+}
+
+TEST(RaceSink, CollectModeIsBounded) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation, /*MaxRaces=*/4);
+  std::vector<int> Cells(100);
+  for (int &C : Cells)
+    Sink.report(makeRace(&C));
+  EXPECT_EQ(Sink.raceCount(), 4u);
+}
+
+TEST(RaceSink, ClearResets) {
+  RaceSink Sink(RaceSink::Mode::FirstRace);
+  int A;
+  Sink.report(makeRace(&A));
+  Sink.clear();
+  EXPECT_FALSE(Sink.anyRace());
+  EXPECT_TRUE(Sink.shouldCheck());
+  EXPECT_EQ(Sink.raceCount(), 0u);
+}
+
+TEST(RaceSink, ConcurrentReportsAreSafe) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation, 100000);
+  std::vector<int> Cells(1000);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int &C : Cells)
+        Sink.report(makeRace(&C));
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Sink.raceCount(), 1000u); // deduped across threads
+}
+
+TEST(Race, DescriptionMentionsKindAndDetector) {
+  int A;
+  std::string S = makeRace(&A, RaceKind::WriteRead).str();
+  EXPECT_NE(S.find("write-read"), std::string::npos);
+  EXPECT_NE(S.find("test"), std::string::npos);
+}
+
+TEST(RaceKindNames, AllNamed) {
+  EXPECT_STREQ(raceKindName(RaceKind::WriteWrite), "write-write");
+  EXPECT_STREQ(raceKindName(RaceKind::ReadWrite), "read-write");
+  EXPECT_STREQ(raceKindName(RaceKind::WriteRead), "write-read");
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+//===- tests/RuntimeTests.cpp - async/finish runtime tests ------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "detector/Tool.h"
+#include "runtime/Task.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using namespace spd3;
+using namespace spd3::rt;
+
+struct RuntimeParam {
+  unsigned Workers;
+  SchedulerKind Kind;
+};
+
+class RuntimeSemantics : public ::testing::TestWithParam<RuntimeParam> {
+protected:
+  Runtime makeRuntime(detector::Tool *Tool = nullptr) {
+    RuntimeParam P = GetParam();
+    return Runtime({P.Workers, P.Kind, Tool});
+  }
+};
+
+TEST_P(RuntimeSemantics, RunsMainTask) {
+  Runtime RT = makeRuntime();
+  bool Ran = false;
+  RT.run([&] { Ran = true; });
+  EXPECT_TRUE(Ran);
+}
+
+TEST_P(RuntimeSemantics, FinishWaitsForAllAsyncs) {
+  Runtime RT = makeRuntime();
+  constexpr int N = 200;
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    finish([&] {
+      for (int I = 0; I < N; ++I)
+        async([&] { Count.fetch_add(1); });
+    });
+    // Everything joined before the finish returns.
+    EXPECT_EQ(Count.load(), N);
+  });
+  EXPECT_EQ(Count.load(), N);
+}
+
+TEST_P(RuntimeSemantics, ImplicitRootFinishJoinsStragglers) {
+  Runtime RT = makeRuntime();
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    // No explicit finish: the implicit finish around main must join these.
+    for (int I = 0; I < 50; ++I)
+      async([&] { Count.fetch_add(1); });
+  });
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST_P(RuntimeSemantics, NestedFinishScopesNestCorrectly) {
+  Runtime RT = makeRuntime();
+  std::atomic<int> Inner{0};
+  std::atomic<bool> InnerDoneFirst{false};
+  RT.run([&] {
+    finish([&] {
+      async([&] {
+        finish([&] {
+          for (int I = 0; I < 20; ++I)
+            async([&] { Inner.fetch_add(1); });
+        });
+        // Inner finish completed inside this task.
+        if (Inner.load() == 20)
+          InnerDoneFirst.store(true);
+      });
+    });
+  });
+  EXPECT_EQ(Inner.load(), 20);
+  EXPECT_TRUE(InnerDoneFirst.load());
+}
+
+TEST_P(RuntimeSemantics, TransitiveSpawnsJoinAtEnclosingFinish) {
+  Runtime RT = makeRuntime();
+  std::atomic<int> Count{0};
+  RT.run([&] {
+    finish([&] {
+      async([&] {
+        // Grandchildren whose IEF is the outer finish.
+        for (int I = 0; I < 10; ++I)
+          async([&] { Count.fetch_add(1); });
+      });
+    });
+    EXPECT_EQ(Count.load(), 10);
+  });
+}
+
+TEST_P(RuntimeSemantics, ParallelForCoversRangeExactlyOnce) {
+  Runtime RT = makeRuntime();
+  constexpr size_t N = 500;
+  std::vector<std::atomic<int>> Hits(N);
+  RT.run([&] {
+    parallelFor(0, N, [&](size_t I) { Hits[I].fetch_add(1); });
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST_P(RuntimeSemantics, ParallelForChunkedCoversRangeExactlyOnce) {
+  Runtime RT = makeRuntime();
+  constexpr size_t N = 503; // deliberately not divisible
+  std::vector<std::atomic<int>> Hits(N);
+  RT.run([&] {
+    parallelForChunked(0, N, 7,
+                       [&](size_t Lo, size_t Hi) {
+                         for (size_t I = Lo; I < Hi; ++I)
+                           Hits[I].fetch_add(1);
+                       });
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST_P(RuntimeSemantics, CurrentTaskIsSetInsideTasks) {
+  Runtime RT = makeRuntime();
+  EXPECT_EQ(Runtime::currentTask(), nullptr);
+  EXPECT_FALSE(inTask());
+  RT.run([&] {
+    EXPECT_TRUE(inTask());
+    EXPECT_NE(Runtime::currentTask(), nullptr);
+    Task *Root = Runtime::currentTask();
+    finish([&] {
+      async([&] {
+        EXPECT_NE(Runtime::currentTask(), nullptr);
+        EXPECT_NE(Runtime::currentTask(), Root);
+      });
+    });
+    EXPECT_EQ(Runtime::currentTask(), Root);
+  });
+  EXPECT_FALSE(inTask());
+}
+
+TEST_P(RuntimeSemantics, DeepRecursiveSpawning) {
+  Runtime RT = makeRuntime();
+  std::atomic<int64_t> Sum{0};
+  // Binary spawn tree of depth 10 -> 2^10 leaves.
+  RT.run([&] {
+    auto Go = [&](auto &&Self, int Depth) -> void {
+      if (Depth == 0) {
+        Sum.fetch_add(1);
+        return;
+      }
+      finish([&] {
+        async([&Self, Depth] { Self(Self, Depth - 1); });
+        async([&Self, Depth] { Self(Self, Depth - 1); });
+      });
+    };
+    Go(Go, 10);
+  });
+  EXPECT_EQ(Sum.load(), 1024);
+}
+
+TEST_P(RuntimeSemantics, RuntimeIsReusableAcrossRuns) {
+  Runtime RT = makeRuntime();
+  for (int Round = 0; Round < 3; ++Round) {
+    std::atomic<int> Count{0};
+    RT.run([&] {
+      parallelFor(0, 50, [&](size_t) { Count.fetch_add(1); });
+    });
+    EXPECT_EQ(Count.load(), 50);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, RuntimeSemantics,
+    ::testing::Values(RuntimeParam{1, SchedulerKind::Parallel},
+                      RuntimeParam{2, SchedulerKind::Parallel},
+                      RuntimeParam{4, SchedulerKind::Parallel},
+                      RuntimeParam{1, SchedulerKind::SequentialDepthFirst}),
+    [](const ::testing::TestParamInfo<RuntimeParam> &Info) {
+      return (Info.param.Kind == SchedulerKind::SequentialDepthFirst
+                  ? std::string("Sequential")
+                  : std::string("Parallel")) +
+             std::to_string(Info.param.Workers);
+    });
+
+TEST(RuntimeSequential, AsyncRunsInlineDepthFirst) {
+  Runtime RT({1, SchedulerKind::SequentialDepthFirst, nullptr});
+  std::vector<int> Order;
+  RT.run([&] {
+    Order.push_back(1);
+    finish([&] {
+      async([&] { Order.push_back(2); });
+      Order.push_back(3); // after the child completes (depth-first)
+      async([&] { Order.push_back(4); });
+      Order.push_back(5);
+    });
+    Order.push_back(6);
+  });
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+/// Records the order and threading of tool callbacks.
+struct RecordingTool : detector::Tool {
+  const char *name() const override { return "recorder"; }
+  std::mutex M;
+  std::vector<std::string> Events;
+  std::atomic<int> Creates{0}, Starts{0}, Ends{0}, FinStarts{0}, FinEnds{0};
+
+  void onRunStart(Task &Root) override { log("runStart"); }
+  void onRunEnd(Task &Root) override { log("runEnd"); }
+  void onTaskCreate(Task &P, Task &C) override {
+    ++Creates;
+    log("create");
+  }
+  void onTaskStart(Task &T) override {
+    ++Starts;
+    log("start");
+  }
+  void onTaskEnd(Task &T) override {
+    ++Ends;
+    log("end");
+  }
+  void onFinishStart(Task &T, FinishRecord &F) override {
+    ++FinStarts;
+    log("finishStart");
+  }
+  void onFinishEnd(Task &T, FinishRecord &F) override {
+    ++FinEnds;
+    log("finishEnd");
+  }
+  void log(const char *E) {
+    std::lock_guard<std::mutex> Lock(M);
+    Events.push_back(E);
+  }
+};
+
+TEST_P(RuntimeSemantics, ToolSeesBalancedEvents) {
+  RecordingTool Tool;
+  if (Tool.requiresSequential() &&
+      GetParam().Kind != SchedulerKind::SequentialDepthFirst)
+    GTEST_SKIP();
+  Runtime RT = makeRuntime(&Tool);
+  RT.run([&] {
+    finish([&] {
+      for (int I = 0; I < 10; ++I)
+        async([] {});
+    });
+  });
+  EXPECT_EQ(Tool.Creates.load(), 10);
+  // Starts/Ends include the 10 children plus the root task.
+  EXPECT_EQ(Tool.Starts.load(), 11);
+  EXPECT_EQ(Tool.Ends.load(), 11);
+  EXPECT_EQ(Tool.FinStarts.load(), 1);
+  EXPECT_EQ(Tool.FinEnds.load(), 1);
+  ASSERT_GE(Tool.Events.size(), 2u);
+  EXPECT_EQ(Tool.Events.front(), "runStart");
+  EXPECT_EQ(Tool.Events.back(), "runEnd");
+}
+
+TEST(RuntimeTool, FinishEndRunsAfterAllChildEnds) {
+  struct OrderTool : detector::Tool {
+    const char *name() const override { return "order"; }
+    std::atomic<int> LiveChildren{0};
+    std::atomic<bool> Violation{false};
+    void onTaskStart(Task &T) override { LiveChildren.fetch_add(1); }
+    void onTaskEnd(Task &T) override { LiveChildren.fetch_sub(1); }
+    void onFinishEnd(Task &T, FinishRecord &F) override {
+      // Only the enclosing task itself may still be live.
+      if (LiveChildren.load() > 1)
+        Violation.store(true);
+    }
+  };
+  OrderTool Tool;
+  Runtime RT({4, SchedulerKind::Parallel, &Tool});
+  RT.run([&] {
+    finish([&] {
+      for (int I = 0; I < 50; ++I)
+        async([] {
+          volatile int X = 0;
+          for (int J = 0; J < 1000; ++J)
+            X = X + J;
+        });
+    });
+  });
+  EXPECT_FALSE(Tool.Violation.load());
+}
+
+} // namespace

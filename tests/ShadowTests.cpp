@@ -1,0 +1,142 @@
+//===- tests/ShadowTests.cpp - RangeTable and ShadowSpace tests --------------===//
+
+#include "detector/ShadowRanges.h"
+#include "detector/ShadowSpace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace {
+
+using namespace spd3::detector;
+
+struct TestCell {
+  std::atomic<uint64_t> Value{0};
+};
+
+TEST(RangeTable, FindsRegisteredRange) {
+  RangeTable T;
+  double Data[100];
+  int Cells = 0;
+  RangeTable::Range *Slot = T.claimSlot();
+  T.publish(Slot, Data, 100, sizeof(double), &Cells);
+  RangeTable::Range *Found = T.find(&Data[50]);
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Cells, &Cells);
+  EXPECT_EQ(Found->ElemSize, sizeof(double));
+  EXPECT_EQ(T.find(&Data[99]), Found);
+  EXPECT_EQ(T.find(Data + 100), nullptr); // one past the end
+  int Other;
+  EXPECT_EQ(T.find(&Other), nullptr);
+}
+
+TEST(RangeTable, UnregisterTombstones) {
+  RangeTable T;
+  double Data[10];
+  int Cells = 0;
+  RangeTable::Range *Slot = T.claimSlot();
+  T.publish(Slot, Data, 10, sizeof(double), &Cells);
+  ASSERT_NE(T.find(&Data[0]), nullptr);
+  T.unregister(Data);
+  EXPECT_EQ(T.find(&Data[0]), nullptr);
+}
+
+TEST(RangeTable, ReusedBaseAfterUnregisterResolvesToLiveRange) {
+  RangeTable T;
+  double Data[10];
+  int CellsA = 0, CellsB = 0;
+  RangeTable::Range *A = T.claimSlot();
+  T.publish(A, Data, 10, sizeof(double), &CellsA);
+  T.unregister(Data);
+  RangeTable::Range *B = T.claimSlot();
+  T.publish(B, Data, 10, sizeof(double), &CellsB);
+  RangeTable::Range *Found = T.find(&Data[3]);
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Cells, &CellsB);
+}
+
+TEST(RangeTable, ConcurrentRegistrationAndLookup) {
+  RangeTable T;
+  constexpr int PerThread = 64, Threads = 4;
+  std::vector<std::vector<double>> Arrays(Threads * PerThread,
+                                          std::vector<double>(16));
+  std::vector<int> CellStubs(Threads * PerThread);
+  std::atomic<int> Errors{0};
+  std::vector<std::thread> Ts;
+  for (int W = 0; W < Threads; ++W)
+    Ts.emplace_back([&, W] {
+      for (int I = 0; I < PerThread; ++I) {
+        int Idx = W * PerThread + I;
+        RangeTable::Range *Slot = T.claimSlot();
+        T.publish(Slot, Arrays[Idx].data(), 16, sizeof(double),
+                  &CellStubs[Idx]);
+        // Everything this thread registered so far must be findable.
+        for (int J = W * PerThread; J <= Idx; ++J) {
+          RangeTable::Range *F = T.find(&Arrays[J][8]);
+          if (!F || F->Cells != &CellStubs[J])
+            Errors.fetch_add(1);
+        }
+      }
+    });
+  for (auto &Th : Ts)
+    Th.join();
+  EXPECT_EQ(Errors.load(), 0);
+  EXPECT_EQ(T.published(), size_t(Threads) * PerThread);
+}
+
+TEST(ShadowSpace, DenseRangeCellsAreStableAndIndexed) {
+  ShadowSpace<TestCell> S;
+  double Data[32];
+  S.registerRange(Data, 32, sizeof(double));
+  TestCell *C0 = S.cell(&Data[0]);
+  TestCell *C31 = S.cell(&Data[31]);
+  EXPECT_EQ(C31 - C0, 31);
+  EXPECT_EQ(S.cell(&Data[0]), C0); // stable
+  EXPECT_EQ(S.cellCount(), 32u);
+}
+
+TEST(ShadowSpace, FallbackCellsForUnregisteredAddresses) {
+  ShadowSpace<TestCell> S;
+  int A, B;
+  TestCell *CA = S.cell(&A);
+  TestCell *CB = S.cell(&B);
+  EXPECT_NE(CA, CB);
+  EXPECT_EQ(S.cell(&A), CA);
+  EXPECT_EQ(S.cellCount(), 2u);
+  EXPECT_GT(S.memoryBytes(), 2 * sizeof(TestCell));
+}
+
+TEST(ShadowSpace, InteriorAddressesOfElementsShareCells) {
+  ShadowSpace<TestCell> S;
+  double Data[4];
+  S.registerRange(Data, 4, sizeof(double));
+  // Byte 3 of element 0 still maps to cell 0 (sub-element granularity).
+  auto *P = reinterpret_cast<const char *>(&Data[0]) + 3;
+  EXPECT_EQ(S.cell(P), S.cell(&Data[0]));
+}
+
+TEST(ShadowSpace, ConcurrentFallbackCreation) {
+  ShadowSpace<TestCell> S;
+  std::vector<int> Vars(256);
+  std::vector<std::thread> Ts;
+  std::atomic<int> Errors{0};
+  for (int W = 0; W < 4; ++W)
+    Ts.emplace_back([&] {
+      for (int &V : Vars) {
+        TestCell *C = S.cell(&V);
+        if (!C)
+          Errors.fetch_add(1);
+        C->Value.fetch_add(1);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Errors.load(), 0);
+  EXPECT_EQ(S.cellCount(), 256u);
+  for (int &V : Vars)
+    EXPECT_EQ(S.cell(&V)->Value.load(), 4u);
+}
+
+} // namespace

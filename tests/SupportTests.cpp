@@ -1,0 +1,246 @@
+//===- tests/SupportTests.cpp - support/ unit tests -------------------------===//
+
+#include "support/Arena.h"
+#include "support/DisjointSet.h"
+#include "support/Env.h"
+#include "support/Prng.h"
+#include "support/SpinBarrier.h"
+#include "support/Stats.h"
+#include "support/StopWatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <thread>
+
+namespace {
+
+using namespace spd3;
+
+TEST(Arena, AllocatesAlignedDistinctMemory) {
+  Arena A(128);
+  std::set<void *> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    void *P = A.allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u);
+    EXPECT_TRUE(Seen.insert(P).second) << "allocation reused";
+  }
+  EXPECT_GE(A.bytesAllocated(), 24000u);
+  EXPECT_GE(A.bytesReserved(), A.bytesAllocated());
+}
+
+TEST(Arena, LargeAllocationsGetDedicatedChunks) {
+  Arena A(64);
+  void *P = A.allocate(10000);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xab, 10000); // must be fully usable
+  EXPECT_GE(A.bytesReserved(), 10000u);
+}
+
+TEST(Arena, ResetReleasesEverything) {
+  Arena A;
+  A.allocate(1000);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.bytesReserved(), 0u);
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  struct Pod {
+    int X;
+    double Y;
+  };
+  Arena A;
+  Pod *P = A.create<Pod>(Pod{7, 2.5});
+  EXPECT_EQ(P->X, 7);
+  EXPECT_DOUBLE_EQ(P->Y, 2.5);
+}
+
+TEST(ConcurrentArena, ThreadsGetPrivateShards) {
+  ConcurrentArena A(1 << 12);
+  constexpr int NumThreads = 4, PerThread = 5000;
+  std::vector<std::thread> Threads;
+  std::vector<std::vector<void *>> Ptrs(NumThreads);
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I)
+        Ptrs[T].push_back(A.allocate(16));
+    });
+  for (auto &T : Threads)
+    T.join();
+  std::set<void *> All;
+  for (auto &V : Ptrs)
+    for (void *P : V)
+      EXPECT_TRUE(All.insert(P).second);
+  EXPECT_EQ(All.size(), size_t(NumThreads) * PerThread);
+  EXPECT_GE(A.bytesAllocated(), size_t(NumThreads) * PerThread * 16);
+}
+
+TEST(ConcurrentArena, TwoArenasOnOneThreadDoNotLeakShards) {
+  // Regression test for the shard-thrash bug: alternating allocations
+  // between two live arenas must reuse each arena's per-thread shard.
+  ConcurrentArena A(1 << 12), B(1 << 12);
+  for (int I = 0; I < 10000; ++I) {
+    A.allocate(8);
+    B.allocate(8);
+  }
+  // 10000 * 8 payload fits in a handful of 4K chunks; the buggy version
+  // reserved a fresh chunk per allocation (~40 MB each).
+  EXPECT_LT(A.bytesReserved(), 1u << 20);
+  EXPECT_LT(B.bytesReserved(), 1u << 20);
+}
+
+TEST(ConcurrentArena, GenerationPreventsStaleShardReuse) {
+  // Regression test for the ABA bug: a new arena constructed at the same
+  // address as a destroyed one must not validate stale cache entries.
+  for (int Round = 0; Round < 50; ++Round) {
+    auto *A = new ConcurrentArena(1 << 12);
+    A->allocate(32);
+    delete A;
+  }
+  SUCCEED();
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Prng, SeedsProduceDistinctStreams) {
+  Prng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Prng, DoubleRangeIsHalfOpenUnit) {
+  Prng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Prng R(9);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(DisjointSet, SingletonsStartSeparate) {
+  DisjointSet DS;
+  uint32_t A = DS.makeSet(DisjointSet::Tag::SBag);
+  uint32_t B = DS.makeSet(DisjointSet::Tag::PBag);
+  EXPECT_FALSE(DS.sameSet(A, B));
+  EXPECT_EQ(DS.tag(A), DisjointSet::Tag::SBag);
+  EXPECT_EQ(DS.tag(B), DisjointSet::Tag::PBag);
+}
+
+TEST(DisjointSet, UnionIntoKeepsTargetTag) {
+  DisjointSet DS;
+  uint32_t S = DS.makeSet(DisjointSet::Tag::SBag);
+  uint32_t P = DS.makeSet(DisjointSet::Tag::PBag);
+  DS.unionInto(P, S); // S-bag contents move into the P-bag
+  EXPECT_TRUE(DS.sameSet(S, P));
+  EXPECT_EQ(DS.tag(S), DisjointSet::Tag::PBag);
+
+  uint32_t S2 = DS.makeSet(DisjointSet::Tag::SBag);
+  DS.unionInto(S2, P); // and back into an S-bag
+  EXPECT_EQ(DS.tag(S), DisjointSet::Tag::SBag);
+  EXPECT_EQ(DS.tag(P), DisjointSet::Tag::SBag);
+}
+
+TEST(DisjointSet, ChainedUnionsCompress) {
+  DisjointSet DS;
+  std::vector<uint32_t> Ids;
+  for (int I = 0; I < 200; ++I)
+    Ids.push_back(DS.makeSet(DisjointSet::Tag::SBag));
+  for (int I = 1; I < 200; ++I)
+    DS.unionInto(Ids[0], Ids[I]);
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(DS.find(Ids[I]), DS.find(Ids[0]));
+}
+
+TEST(DisjointSet, TagChangeAppliesToWholeSet) {
+  DisjointSet DS;
+  uint32_t A = DS.makeSet(DisjointSet::Tag::SBag);
+  uint32_t B = DS.makeSet(DisjointSet::Tag::SBag);
+  DS.unionInto(A, B);
+  DS.setTag(B, DisjointSet::Tag::PBag);
+  EXPECT_EQ(DS.tag(A), DisjointSet::Tag::PBag);
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr unsigned N = 4;
+  constexpr int Phases = 25;
+  SpinBarrier Barrier(N);
+  // Each thread bumps its own counter, then waits. After every barrier all
+  // counters must be equal; any thread racing ahead would be visible as a
+  // lagging counter.
+  std::atomic<int> Counters[N];
+  for (auto &C : Counters)
+    C.store(0);
+  std::atomic<int> Errors{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < N; ++T)
+    Threads.emplace_back([&, T] {
+      for (int P = 0; P < Phases; ++P) {
+        Counters[T].fetch_add(1);
+        Barrier.arriveAndWait();
+        for (unsigned U = 0; U < N; ++U)
+          if (Counters[U].load() != P + 1)
+            Errors.fetch_add(1);
+        Barrier.arriveAndWait();
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Errors.load(), 0);
+}
+
+TEST(Env, IntParsingAndDefaults) {
+  ::setenv("SPD3_TEST_INT", "42", 1);
+  EXPECT_EQ(envInt("SPD3_TEST_INT", 7), 42);
+  EXPECT_EQ(envInt("SPD3_TEST_UNSET_XYZ", 7), 7);
+  ::setenv("SPD3_TEST_INT", "nonsense", 1);
+  EXPECT_EQ(envInt("SPD3_TEST_INT", 7), 7);
+  ::unsetenv("SPD3_TEST_INT");
+}
+
+TEST(Env, IntListParsing) {
+  ::setenv("SPD3_TEST_LIST", "1,2,4,8,16", 1);
+  std::vector<int> V = envIntList("SPD3_TEST_LIST", {3});
+  ASSERT_EQ(V.size(), 5u);
+  EXPECT_EQ(V[4], 16);
+  ::unsetenv("SPD3_TEST_LIST");
+  EXPECT_EQ(envIntList("SPD3_TEST_LIST", {3}).size(), 1u);
+}
+
+TEST(Stats, CountersRegisterAndReset) {
+  static Statistic S("test", "counter");
+  S.reset();
+  ++S;
+  S += 5;
+  EXPECT_EQ(S.value(), 6u);
+  Statistic *Found = stats::lookup("test", "counter");
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found, &S);
+  EXPECT_NE(stats::dump().find("test.counter = 6"), std::string::npos);
+  S.reset();
+  EXPECT_EQ(S.value(), 0u);
+}
+
+TEST(StopWatch, MeasuresElapsedTime) {
+  StopWatch W;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(W.millis(), 5.0);
+  W.reset();
+  EXPECT_LT(W.millis(), 5.0);
+}
+
+} // namespace

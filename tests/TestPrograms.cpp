@@ -1,0 +1,217 @@
+//===- tests/TestPrograms.cpp - Random structured programs + oracle --------===//
+
+#include "TestPrograms.h"
+
+#include "support/Compiler.h"
+
+namespace spd3::tests {
+
+//===----------------------------------------------------------------------===//
+// Program generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ProgramBody genBody(Prng &Rng, const GenOptions &Opts, int Depth) {
+  ProgramBody Body;
+  int Items = 1 + static_cast<int>(Rng.nextBelow(Opts.MaxItemsPerBody));
+  for (int I = 0; I < Items; ++I) {
+    double Roll = Rng.nextDouble();
+    ProgramItem Item;
+    if (Depth < Opts.MaxDepth && Roll < Opts.AsyncProb) {
+      Item.K = ProgramItem::Kind::Async;
+      Item.Body = genBody(Rng, Opts, Depth + 1);
+    } else if (Depth < Opts.MaxDepth &&
+               Roll < Opts.AsyncProb + Opts.FinishProb) {
+      Item.K = ProgramItem::Kind::Finish;
+      Item.Body = genBody(Rng, Opts, Depth + 1);
+    } else {
+      Item.K = ProgramItem::Kind::Step;
+      int Accs = static_cast<int>(Rng.nextBelow(Opts.MaxAccessesPerStep + 1));
+      for (int A = 0; A < Accs; ++A)
+        Item.Accesses.push_back(
+            Access{static_cast<uint32_t>(Rng.nextBelow(Opts.NumVars)),
+                   Rng.nextBool(Opts.WriteProb)});
+    }
+    Body.push_back(std::move(Item));
+  }
+  return Body;
+}
+
+} // namespace
+
+Program generateProgram(uint64_t Seed, const GenOptions &Opts) {
+  Prng Rng(Seed);
+  Program P;
+  P.NumVars = Opts.NumVars;
+  P.Body = genBody(Rng, Opts, 0);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle
+//===----------------------------------------------------------------------===//
+
+int Oracle::newEvent() {
+  Events.push_back(Event{});
+  Succ.emplace_back();
+  return static_cast<int>(Events.size()) - 1;
+}
+
+void Oracle::addEdge(int From, int To) { Succ[From].push_back(To); }
+
+Oracle::Oracle(const Program &P) {
+  // Tasks spawned while a finish scope is innermost register their final
+  // event here; all of them join at the scope's continuation event.
+  struct Scope {
+    std::vector<int> TaskFinalEvents;
+  };
+
+  // Depth-first walk mirroring the informal semantics of Section 2: the
+  // structure (not the DPST) dictates the edges.
+  auto WalkBody = [&](auto &&Self, const ProgramBody &Body, int Cur,
+                      Scope *Ief) -> int {
+    for (const ProgramItem &Item : Body) {
+      switch (Item.K) {
+      case ProgramItem::Kind::Step: {
+        int E = newEvent();
+        Events[E].Accesses = Item.Accesses;
+        Item.EventId = E;
+        addEdge(Cur, E);
+        Cur = E;
+        break;
+      }
+      case ProgramItem::Kind::Async: {
+        int ChildEntry = newEvent();
+        addEdge(Cur, ChildEntry); // spawn edge; Cur does not advance
+        int ChildFinal = Self(Self, Item.Body, ChildEntry, Ief);
+        Ief->TaskFinalEvents.push_back(ChildFinal);
+        break;
+      }
+      case ProgramItem::Kind::Finish: {
+        Scope S;
+        int BodyFinal = Self(Self, Item.Body, Cur, &S);
+        int Cont = newEvent();
+        addEdge(BodyFinal, Cont);
+        for (int TF : S.TaskFinalEvents)
+          addEdge(TF, Cont); // join edges
+        Cur = Cont;
+        break;
+      }
+      }
+    }
+    return Cur;
+  };
+
+  Scope Root;
+  int Entry = newEvent();
+  WalkBody(WalkBody, P.Body, Entry, &Root);
+
+  // Transitive reachability (reflexive) by DFS from every event.
+  size_t N = Events.size();
+  Reach.assign(N, std::vector<bool>(N, false));
+  std::vector<int> Stack;
+  for (size_t A = 0; A < N; ++A) {
+    Stack.assign(1, static_cast<int>(A));
+    while (!Stack.empty()) {
+      int E = Stack.back();
+      Stack.pop_back();
+      if (Reach[A][E])
+        continue;
+      Reach[A][E] = true;
+      for (int S : Succ[E])
+        Stack.push_back(S);
+    }
+  }
+}
+
+bool Oracle::mhp(int EventA, int EventB) const {
+  if (EventA == EventB)
+    return false;
+  return !Reach[EventA][EventB] && !Reach[EventB][EventA];
+}
+
+bool Oracle::hasRace() const { return !racyVars().empty(); }
+
+std::vector<uint32_t> Oracle::racyVars() const {
+  std::vector<uint32_t> Out;
+  size_t N = Events.size();
+  for (size_t A = 0; A < N; ++A)
+    for (size_t B = A + 1; B < N; ++B) {
+      if (!mhp(static_cast<int>(A), static_cast<int>(B)))
+        continue;
+      for (const Access &X : Events[A].Accesses)
+        for (const Access &Y : Events[B].Accesses)
+          if (X.Var == Y.Var && (X.IsWrite || Y.IsWrite)) {
+            bool Seen = false;
+            for (uint32_t V : Out)
+              Seen |= (V == X.Var);
+            if (!Seen)
+              Out.push_back(X.Var);
+          }
+    }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution on the real runtime
+//===----------------------------------------------------------------------===//
+
+ExecutionTrace runProgram(rt::Runtime &RT, const Program &P,
+                          detector::Spd3Tool *Spd3) {
+  // Find the largest assigned event id (Oracle must have run first).
+  int MaxId = -1;
+  auto Scan = [&](auto &&Self, const ProgramBody &Body) -> void {
+    for (const ProgramItem &Item : Body) {
+      if (Item.K == ProgramItem::Kind::Step) {
+        SPD3_CHECK(Item.EventId >= 0,
+                   "runProgram requires Oracle-assigned event ids");
+        if (Item.EventId > MaxId)
+          MaxId = Item.EventId;
+      } else {
+        Self(Self, Item.Body);
+      }
+    }
+  };
+  Scan(Scan, P.Body);
+
+  ExecutionTrace Trace;
+  Trace.StepOf.assign(MaxId + 1, nullptr);
+
+  RT.run([&] {
+    detector::TrackedArray<int> Vars(P.NumVars > 0 ? P.NumVars : 1, 0);
+    Trace.VarsBase = Vars.raw();
+    Trace.VarElemSize = sizeof(int);
+    auto Exec = [&](auto &&Self, const ProgramBody &Body) -> void {
+      for (const ProgramItem &Item : Body) {
+        switch (Item.K) {
+        case ProgramItem::Kind::Step:
+          if (Spd3)
+            Trace.StepOf[Item.EventId] = detector::Spd3Tool::currentStep(
+                *rt::Runtime::currentTask());
+          for (const Access &A : Item.Accesses) {
+            if (A.IsWrite)
+              Vars.set(A.Var, static_cast<int>(A.Var) + 1);
+            else
+              (void)Vars.get(A.Var);
+          }
+          break;
+        case ProgramItem::Kind::Async:
+          rt::async([&Self, &Item] { Self(Self, Item.Body); });
+          break;
+        case ProgramItem::Kind::Finish:
+          rt::finish([&Self, &Item] { Self(Self, Item.Body); });
+          break;
+        }
+      }
+    };
+    // Wrap the whole program in an explicit finish so every spawned task
+    // joins before Vars (and these lambdas) go out of scope. The extra
+    // enclosing finish does not change any MHP relation among the
+    // program's own events.
+    rt::finish([&] { Exec(Exec, P.Body); });
+  });
+  return Trace;
+}
+
+} // namespace spd3::tests

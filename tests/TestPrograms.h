@@ -1,0 +1,127 @@
+//===- tests/TestPrograms.h - Random structured programs + oracle -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Infrastructure for the property-based detector tests.
+///
+/// A *program* is a static tree of items: steps (each with a list of
+/// variable accesses), asyncs, and finishes. Programs are executed on the
+/// real runtime under any detector; independently, an *oracle* computes the
+/// happens-before DAG directly from async/finish semantics (sequence edges
+/// within a task, a spawn edge into each task, and one join edge from every
+/// task's last event to its IEF's continuation event) — with no reference
+/// to the DPST. Reachability over that DAG gives ground-truth
+/// may-happen-in-parallel and race-existence, against which Theorem 1 and
+/// the soundness/precision theorems (Theorems 2-4) are checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_TESTS_TESTPROGRAMS_H
+#define SPD3_TESTS_TESTPROGRAMS_H
+
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+#include "dpst/Dpst.h"
+#include "runtime/Runtime.h"
+#include "support/Prng.h"
+
+#include <memory>
+#include <vector>
+
+namespace spd3::tests {
+
+struct Access {
+  uint32_t Var;
+  bool IsWrite;
+};
+
+struct ProgramItem;
+using ProgramBody = std::vector<ProgramItem>;
+
+struct ProgramItem {
+  enum class Kind { Step, Async, Finish };
+  Kind K = Kind::Step;
+  std::vector<Access> Accesses; // Step only
+  ProgramBody Body;             // Async / Finish only
+
+  /// Index into the trace/oracle event table; assigned by Oracle::build and
+  /// reused by the executor when recording observed DPST steps. Step items
+  /// only.
+  mutable int EventId = -1;
+};
+
+struct Program {
+  ProgramBody Body;
+  uint32_t NumVars = 0;
+};
+
+/// Generation parameters for random programs.
+struct GenOptions {
+  int MaxDepth = 4;
+  int MaxItemsPerBody = 5;
+  int MaxAccessesPerStep = 3;
+  uint32_t NumVars = 4;
+  double WriteProb = 0.45;
+  double AsyncProb = 0.30;
+  double FinishProb = 0.20;
+};
+
+/// Deterministic random program from \p Seed.
+Program generateProgram(uint64_t Seed, const GenOptions &Opts = {});
+
+/// The ground-truth happens-before oracle over a program.
+class Oracle {
+public:
+  explicit Oracle(const Program &P);
+
+  int numEvents() const { return static_cast<int>(Reach.size()); }
+
+  /// May the two *step events* execute in parallel? (Neither reaches the
+  /// other in the happens-before DAG.)
+  bool mhp(int EventA, int EventB) const;
+
+  /// Does any pair of conflicting accesses (same variable, at least one
+  /// write) satisfy mhp()?
+  bool hasRace() const;
+
+  /// Variables involved in at least one racing pair.
+  std::vector<uint32_t> racyVars() const;
+
+private:
+  struct Event {
+    std::vector<Access> Accesses;
+  };
+
+  void addEdge(int From, int To);
+  int newEvent();
+
+  std::vector<Event> Events;
+  std::vector<std::vector<int>> Succ;
+  /// Reach[A] is the bitset (as vector<bool>) of events reachable from A.
+  std::vector<std::vector<bool>> Reach;
+};
+
+/// Result of running a program on the runtime under a detector.
+struct ExecutionTrace {
+  /// Observed DPST step (leaf) per step-event id; only filled when the
+  /// active tool is SPD3. Entries may repeat (consecutive steps with no
+  /// intervening task operation share a DPST leaf).
+  std::vector<const dpst::Node *> StepOf;
+  /// Base address and element size of the variables array during the run,
+  /// for mapping reported race addresses back to variable indices.
+  const void *VarsBase = nullptr;
+  uint32_t VarElemSize = 0;
+};
+
+/// Execute \p P on \p RT. All accesses go through a TrackedArray cell per
+/// variable. If \p Spd3 is non-null, records the current DPST step of each
+/// step event into the trace.
+ExecutionTrace runProgram(rt::Runtime &RT, const Program &P,
+                          detector::Spd3Tool *Spd3 = nullptr);
+
+} // namespace spd3::tests
+
+#endif // SPD3_TESTS_TESTPROGRAMS_H

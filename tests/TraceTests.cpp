@@ -1,0 +1,194 @@
+//===- tests/TraceTests.cpp - record/replay subsystem tests -------------------===//
+//
+// The trace subsystem must (a) capture a complete, happens-before-
+// consistent event stream from a parallel run, (b) round-trip through the
+// binary format, and (c) replay into any non-sequential detector with the
+// *same verdict* as the live run — which is also an end-to-end check of
+// the paper's determinism property (the DPST and the race verdict depend
+// only on the program, not the schedule the events were captured under).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include "TestPrograms.h"
+#include "baselines/EspBags.h"
+#include "baselines/FastTrack.h"
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace {
+
+using namespace spd3;
+using trace::RecorderTool;
+using trace::Trace;
+
+/// A small program with a knob: race-free or racy.
+void runSample(rt::Runtime &RT, bool Racy) {
+  RT.run([&] {
+    detector::TrackedArray<int> A(32, 0);
+    detector::TrackedVar<int> Hot(0);
+    rt::finish([&] {
+      for (int I = 0; I < 32; ++I)
+        rt::async([&, I] {
+          A.set(I, I);
+          if (Racy)
+            Hot.set(I);
+          else
+            (void)Hot.get();
+        });
+    });
+    int Sum = 0;
+    for (int I = 0; I < 32; ++I)
+      Sum += A.get(I);
+    EXPECT_EQ(Sum, 496);
+  });
+}
+
+TEST(Trace, RecordsACompleteStream) {
+  Trace T;
+  RecorderTool Rec(T);
+  rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Rec});
+  runSample(RT, false);
+  EXPECT_EQ(T.taskCount(), 33u);  // root + 32 children
+  EXPECT_EQ(T.finishCount(), 2u); // implicit root + explicit finish
+  size_t Creates = 0, Starts = 0, Ends = 0, Reads = 0, Writes = 0;
+  for (const trace::Event &E : T.events()) {
+    using K = trace::Event::Kind;
+    Creates += (E.K == K::TaskCreate);
+    Starts += (E.K == K::TaskStart);
+    Ends += (E.K == K::TaskEnd);
+    Reads += (E.K == K::Read);
+    Writes += (E.K == K::Write);
+  }
+  EXPECT_EQ(Creates, 32u);
+  EXPECT_EQ(Starts, 33u);
+  EXPECT_EQ(Ends, 33u);
+  EXPECT_EQ(Writes, 32u);          // one A.set per task
+  EXPECT_EQ(Reads, 32u + 32u);     // Hot.get per task + final sum
+}
+
+TEST(Trace, ReplayVerdictMatchesLiveRun) {
+  for (bool Racy : {false, true}) {
+    Trace T;
+    {
+      RecorderTool Rec(T);
+      rt::Runtime RT({3, rt::SchedulerKind::Parallel, &Rec});
+      runSample(RT, Racy);
+    }
+    // Live verdict for reference.
+    detector::RaceSink LiveSink;
+    {
+      detector::Spd3Tool Live(LiveSink);
+      rt::Runtime RT({3, rt::SchedulerKind::Parallel, &Live});
+      runSample(RT, Racy);
+    }
+    // Replay into SPD3 and FastTrack.
+    detector::RaceSink Spd3Sink;
+    detector::Spd3Tool Spd3(Spd3Sink);
+    EXPECT_TRUE(trace::replay(T, Spd3));
+    EXPECT_EQ(Spd3Sink.anyRace(), Racy);
+    EXPECT_EQ(Spd3Sink.anyRace(), LiveSink.anyRace());
+
+    detector::RaceSink FtSink;
+    baselines::FastTrackTool Ft(FtSink);
+    EXPECT_TRUE(trace::replay(T, Ft));
+    EXPECT_EQ(FtSink.anyRace(), Racy);
+  }
+}
+
+TEST(Trace, ReplayRejectsSequentialOnlyDetectors) {
+  Trace T;
+  {
+    RecorderTool Rec(T);
+    rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Rec});
+    runSample(RT, false);
+  }
+  detector::RaceSink Sink;
+  baselines::EspBagsTool Esp(Sink);
+  EXPECT_FALSE(trace::replay(T, Esp));
+  EXPECT_FALSE(Sink.anyRace()); // nothing ran
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace T;
+  {
+    RecorderTool Rec(T);
+    rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Rec});
+    runSample(RT, true);
+  }
+  std::string Path = ::testing::TempDir() + "/spd3_trace_roundtrip.bin";
+  ASSERT_TRUE(T.save(Path));
+  Trace Loaded;
+  ASSERT_TRUE(Trace::load(Path, &Loaded));
+  EXPECT_EQ(Loaded.size(), T.size());
+  EXPECT_EQ(Loaded.taskCount(), T.taskCount());
+  EXPECT_EQ(Loaded.finishCount(), T.finishCount());
+  // Replaying the loaded trace still finds the race.
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  EXPECT_TRUE(trace::replay(Loaded, Tool));
+  EXPECT_TRUE(Sink.anyRace());
+  std::remove(Path.c_str());
+}
+
+TEST(Trace, RecorderIsReusableAcrossRuns) {
+  Trace T;
+  RecorderTool Rec(T);
+  rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Rec});
+  runSample(RT, false);
+  uint32_t FirstTasks = T.taskCount();
+  runSample(RT, false); // second recording replaces the first
+  EXPECT_EQ(T.taskCount(), FirstTasks);
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  EXPECT_TRUE(trace::replay(T, Tool));
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::string Path = ::testing::TempDir() + "/spd3_trace_garbage.bin";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("not a trace", F);
+  std::fclose(F);
+  Trace T;
+  EXPECT_FALSE(Trace::load(Path, &T));
+  EXPECT_FALSE(Trace::load("/nonexistent/dir/x.bin", &T));
+  std::remove(Path.c_str());
+}
+
+/// Property: for random structured programs, live SPD3 verdict == replayed
+/// SPD3 verdict == oracle verdict.
+class TraceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceProperty, ReplayAgreesWithOracleAndLiveRun) {
+  tests::Program P = tests::generateProgram(GetParam());
+  tests::Oracle O(P);
+
+  Trace T;
+  {
+    RecorderTool Rec(T);
+    rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Rec});
+    tests::runProgram(RT, P);
+  }
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  ASSERT_TRUE(trace::replay(T, Tool));
+  EXPECT_EQ(Sink.anyRace(), O.hasRace()) << "seed " << GetParam();
+
+  detector::RaceSink FtSink;
+  baselines::FastTrackTool Ft(FtSink);
+  ASSERT_TRUE(trace::replay(T, Ft));
+  EXPECT_EQ(FtSink.anyRace(), O.hasRace()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceProperty,
+                         ::testing::Range(uint64_t(900), uint64_t(940)));
+
+} // namespace

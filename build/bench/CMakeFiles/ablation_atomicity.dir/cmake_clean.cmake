@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_atomicity.dir/ablation_atomicity.cpp.o"
+  "CMakeFiles/ablation_atomicity.dir/ablation_atomicity.cpp.o.d"
+  "ablation_atomicity"
+  "ablation_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

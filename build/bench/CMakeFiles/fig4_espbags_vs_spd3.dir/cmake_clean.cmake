@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_espbags_vs_spd3.dir/fig4_espbags_vs_spd3.cpp.o"
+  "CMakeFiles/fig4_espbags_vs_spd3.dir/fig4_espbags_vs_spd3.cpp.o.d"
+  "fig4_espbags_vs_spd3"
+  "fig4_espbags_vs_spd3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_espbags_vs_spd3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_espbags_vs_spd3.
+# This may be replaced when dependencies are built.

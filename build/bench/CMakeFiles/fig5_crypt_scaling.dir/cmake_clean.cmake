@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_crypt_scaling.dir/fig5_crypt_scaling.cpp.o"
+  "CMakeFiles/fig5_crypt_scaling.dir/fig5_crypt_scaling.cpp.o.d"
+  "fig5_crypt_scaling"
+  "fig5_crypt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_crypt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lufact_memory.dir/fig6_lufact_memory.cpp.o"
+  "CMakeFiles/fig6_lufact_memory.dir/fig6_lufact_memory.cpp.o.d"
+  "fig6_lufact_memory"
+  "fig6_lufact_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lufact_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

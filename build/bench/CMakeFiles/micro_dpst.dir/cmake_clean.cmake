@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dpst.dir/micro_dpst.cpp.o"
+  "CMakeFiles/micro_dpst.dir/micro_dpst.cpp.o.d"
+  "micro_dpst"
+  "micro_dpst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dpst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_shootout.dir/detector_shootout.cpp.o"
+  "CMakeFiles/detector_shootout.dir/detector_shootout.cpp.o.d"
+  "detector_shootout"
+  "detector_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

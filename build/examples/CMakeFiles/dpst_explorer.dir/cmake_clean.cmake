@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpst_explorer.dir/dpst_explorer.cpp.o"
+  "CMakeFiles/dpst_explorer.dir/dpst_explorer.cpp.o.d"
+  "dpst_explorer"
+  "dpst_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpst_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

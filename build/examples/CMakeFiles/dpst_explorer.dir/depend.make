@@ -1,0 +1,2 @@
+# Empty dependencies file for dpst_explorer.
+# This may be replaced when dependencies are built.

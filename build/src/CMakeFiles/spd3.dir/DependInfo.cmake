@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/Eraser.cpp" "src/CMakeFiles/spd3.dir/baselines/Eraser.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/baselines/Eraser.cpp.o.d"
+  "/root/repo/src/baselines/EspBags.cpp" "src/CMakeFiles/spd3.dir/baselines/EspBags.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/baselines/EspBags.cpp.o.d"
+  "/root/repo/src/baselines/FastTrack.cpp" "src/CMakeFiles/spd3.dir/baselines/FastTrack.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/baselines/FastTrack.cpp.o.d"
+  "/root/repo/src/detector/RaceReport.cpp" "src/CMakeFiles/spd3.dir/detector/RaceReport.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/detector/RaceReport.cpp.o.d"
+  "/root/repo/src/detector/ShadowRanges.cpp" "src/CMakeFiles/spd3.dir/detector/ShadowRanges.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/detector/ShadowRanges.cpp.o.d"
+  "/root/repo/src/detector/Spd3Tool.cpp" "src/CMakeFiles/spd3.dir/detector/Spd3Tool.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/detector/Spd3Tool.cpp.o.d"
+  "/root/repo/src/detector/Tool.cpp" "src/CMakeFiles/spd3.dir/detector/Tool.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/detector/Tool.cpp.o.d"
+  "/root/repo/src/dpst/Dpst.cpp" "src/CMakeFiles/spd3.dir/dpst/Dpst.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/dpst/Dpst.cpp.o.d"
+  "/root/repo/src/kernels/Crypt.cpp" "src/CMakeFiles/spd3.dir/kernels/Crypt.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Crypt.cpp.o.d"
+  "/root/repo/src/kernels/Fannkuch.cpp" "src/CMakeFiles/spd3.dir/kernels/Fannkuch.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Fannkuch.cpp.o.d"
+  "/root/repo/src/kernels/Fft.cpp" "src/CMakeFiles/spd3.dir/kernels/Fft.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Fft.cpp.o.d"
+  "/root/repo/src/kernels/Health.cpp" "src/CMakeFiles/spd3.dir/kernels/Health.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Health.cpp.o.d"
+  "/root/repo/src/kernels/Idea.cpp" "src/CMakeFiles/spd3.dir/kernels/Idea.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Idea.cpp.o.d"
+  "/root/repo/src/kernels/Kernel.cpp" "src/CMakeFiles/spd3.dir/kernels/Kernel.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Kernel.cpp.o.d"
+  "/root/repo/src/kernels/LuFact.cpp" "src/CMakeFiles/spd3.dir/kernels/LuFact.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/LuFact.cpp.o.d"
+  "/root/repo/src/kernels/Mandelbrot.cpp" "src/CMakeFiles/spd3.dir/kernels/Mandelbrot.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Mandelbrot.cpp.o.d"
+  "/root/repo/src/kernels/MatMul.cpp" "src/CMakeFiles/spd3.dir/kernels/MatMul.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/MatMul.cpp.o.d"
+  "/root/repo/src/kernels/MolDyn.cpp" "src/CMakeFiles/spd3.dir/kernels/MolDyn.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/MolDyn.cpp.o.d"
+  "/root/repo/src/kernels/MonteCarlo.cpp" "src/CMakeFiles/spd3.dir/kernels/MonteCarlo.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/MonteCarlo.cpp.o.d"
+  "/root/repo/src/kernels/NQueens.cpp" "src/CMakeFiles/spd3.dir/kernels/NQueens.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/NQueens.cpp.o.d"
+  "/root/repo/src/kernels/RayTracer.cpp" "src/CMakeFiles/spd3.dir/kernels/RayTracer.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/RayTracer.cpp.o.d"
+  "/root/repo/src/kernels/Series.cpp" "src/CMakeFiles/spd3.dir/kernels/Series.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Series.cpp.o.d"
+  "/root/repo/src/kernels/Sor.cpp" "src/CMakeFiles/spd3.dir/kernels/Sor.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Sor.cpp.o.d"
+  "/root/repo/src/kernels/SparseMatMult.cpp" "src/CMakeFiles/spd3.dir/kernels/SparseMatMult.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/SparseMatMult.cpp.o.d"
+  "/root/repo/src/kernels/Strassen.cpp" "src/CMakeFiles/spd3.dir/kernels/Strassen.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/kernels/Strassen.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/spd3.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/runtime/Runtime.cpp.o.d"
+  "/root/repo/src/support/Arena.cpp" "src/CMakeFiles/spd3.dir/support/Arena.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/support/Arena.cpp.o.d"
+  "/root/repo/src/support/DisjointSet.cpp" "src/CMakeFiles/spd3.dir/support/DisjointSet.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/support/DisjointSet.cpp.o.d"
+  "/root/repo/src/support/Env.cpp" "src/CMakeFiles/spd3.dir/support/Env.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/support/Env.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/spd3.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/trace/Trace.cpp" "src/CMakeFiles/spd3.dir/trace/Trace.cpp.o" "gcc" "src/CMakeFiles/spd3.dir/trace/Trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

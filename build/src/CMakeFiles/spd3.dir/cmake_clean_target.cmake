@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspd3.a"
+)

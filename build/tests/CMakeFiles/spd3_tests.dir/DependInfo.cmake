@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CilkCompatTests.cpp" "tests/CMakeFiles/spd3_tests.dir/CilkCompatTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/CilkCompatTests.cpp.o.d"
+  "/root/repo/tests/DetectorPropertyTests.cpp" "tests/CMakeFiles/spd3_tests.dir/DetectorPropertyTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/DetectorPropertyTests.cpp.o.d"
+  "/root/repo/tests/DpstPropertyTests.cpp" "tests/CMakeFiles/spd3_tests.dir/DpstPropertyTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/DpstPropertyTests.cpp.o.d"
+  "/root/repo/tests/DpstTests.cpp" "tests/CMakeFiles/spd3_tests.dir/DpstTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/DpstTests.cpp.o.d"
+  "/root/repo/tests/EraserTests.cpp" "tests/CMakeFiles/spd3_tests.dir/EraserTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/EraserTests.cpp.o.d"
+  "/root/repo/tests/EspBagsTests.cpp" "tests/CMakeFiles/spd3_tests.dir/EspBagsTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/EspBagsTests.cpp.o.d"
+  "/root/repo/tests/FastTrackTests.cpp" "tests/CMakeFiles/spd3_tests.dir/FastTrackTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/FastTrackTests.cpp.o.d"
+  "/root/repo/tests/IdeaTests.cpp" "tests/CMakeFiles/spd3_tests.dir/IdeaTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/IdeaTests.cpp.o.d"
+  "/root/repo/tests/InstrumentTests.cpp" "tests/CMakeFiles/spd3_tests.dir/InstrumentTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/InstrumentTests.cpp.o.d"
+  "/root/repo/tests/KernelTests.cpp" "tests/CMakeFiles/spd3_tests.dir/KernelTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/KernelTests.cpp.o.d"
+  "/root/repo/tests/MemoryTests.cpp" "tests/CMakeFiles/spd3_tests.dir/MemoryTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/MemoryTests.cpp.o.d"
+  "/root/repo/tests/OracleTests.cpp" "tests/CMakeFiles/spd3_tests.dir/OracleTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/OracleTests.cpp.o.d"
+  "/root/repo/tests/RaceReportTests.cpp" "tests/CMakeFiles/spd3_tests.dir/RaceReportTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/RaceReportTests.cpp.o.d"
+  "/root/repo/tests/RuntimeTests.cpp" "tests/CMakeFiles/spd3_tests.dir/RuntimeTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/RuntimeTests.cpp.o.d"
+  "/root/repo/tests/ShadowTests.cpp" "tests/CMakeFiles/spd3_tests.dir/ShadowTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/ShadowTests.cpp.o.d"
+  "/root/repo/tests/Spd3ProtocolTests.cpp" "tests/CMakeFiles/spd3_tests.dir/Spd3ProtocolTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/Spd3ProtocolTests.cpp.o.d"
+  "/root/repo/tests/Spd3ToolTests.cpp" "tests/CMakeFiles/spd3_tests.dir/Spd3ToolTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/Spd3ToolTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/spd3_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/TestPrograms.cpp" "tests/CMakeFiles/spd3_tests.dir/TestPrograms.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/TestPrograms.cpp.o.d"
+  "/root/repo/tests/TraceTests.cpp" "tests/CMakeFiles/spd3_tests.dir/TraceTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/TraceTests.cpp.o.d"
+  "/root/repo/tests/WsDequeTests.cpp" "tests/CMakeFiles/spd3_tests.dir/WsDequeTests.cpp.o" "gcc" "tests/CMakeFiles/spd3_tests.dir/WsDequeTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spd3.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

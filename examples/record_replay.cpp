@@ -7,10 +7,20 @@
 // async/finish structure determines the DPST and the happens-before
 // relation, regardless of the schedule the trace was captured under.
 //
+// Modes:
+//   record_replay                    demo: record the pipeline sample and
+//                                    replay it through SPD3 and FastTrack
+//   record_replay --record <trace>   record the sample to a trace file
+//   record_replay --audit  <trace>   cross-check SPD3 against the
+//                                    vector-clock oracle over the trace
+//                                    (spd3::audit::ShadowAuditor); exits
+//                                    non-zero on any divergence
+//
 // Build & run:   ninja -C build && ./build/examples/record_replay
 //
 //===----------------------------------------------------------------------===//
 
+#include "audit/ShadowAuditor.h"
 #include "baselines/FastTrack.h"
 #include "detector/Spd3Tool.h"
 #include "detector/Tracked.h"
@@ -18,6 +28,7 @@
 #include "trace/Trace.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace spd3;
 
@@ -53,19 +64,63 @@ void pipeline(bool Buggy) {
   Consume();
 }
 
-} // namespace
+trace::Trace recordPipeline(bool Buggy) {
+  trace::Trace T;
+  trace::RecorderTool Rec(T);
+  rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Rec});
+  RT.run([&] { pipeline(Buggy); });
+  return T;
+}
 
-int main() {
+/// --audit <trace>: replay the trace through SPD3 and the vector-clock
+/// oracle in lockstep and report every divergence / invariant violation.
+int auditMode(const char *Path) {
+  trace::Trace T;
+  if (!trace::Trace::load(Path, &T)) {
+    std::fprintf(stderr, "error: cannot load trace '%s'\n", Path);
+    return 2;
+  }
+  std::printf("auditing %s: %zu events, %u tasks, %u finish scopes\n", Path,
+              T.size(), T.taskCount(), T.finishCount());
+
+  audit::ShadowAuditor Auditor;
+  audit::AuditReport Report = Auditor.audit(T);
+  const audit::ShadowAuditor::Summary &S = Auditor.summary();
+  std::printf("replayed %zu events (%zu memory accesses); "
+              "spd3 %s, oracle %s, %zu agreed racy location(s)\n",
+              S.Events, S.MemoryEvents, S.Spd3Raced ? "raced" : "clean",
+              S.OracleRaced ? "raced" : "clean", S.AgreedRaces);
+
+  if (Report.findings().empty()) {
+    std::printf("audit clean: no divergence, all invariants hold\n");
+    return 0;
+  }
+  std::printf("%s", Report.str().c_str());
+  if (Report.ok()) {
+    std::printf("audit passed with warnings\n");
+    return 0;
+  }
+  std::printf("audit FAILED: %zu invariant violation(s)\n",
+              Report.errorCount());
+  return 1;
+}
+
+int recordMode(const char *Path) {
+  trace::Trace T = recordPipeline(/*Buggy=*/true);
+  if (!T.save(Path)) {
+    std::fprintf(stderr, "error: cannot write trace '%s'\n", Path);
+    return 2;
+  }
+  std::printf("recorded %zu events to %s\n", T.size(), Path);
+  return 0;
+}
+
+int demoMode() {
   for (bool Buggy : {false, true}) {
     std::printf("== %s pipeline ==\n", Buggy ? "buggy" : "correct");
 
     // 1. Record once (any scheduler, any worker count).
-    trace::Trace T;
-    {
-      trace::RecorderTool Rec(T);
-      rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Rec});
-      RT.run([&] { pipeline(Buggy); });
-    }
+    trace::Trace T = recordPipeline(Buggy);
     std::printf("recorded %zu events, %u tasks, %u finish scopes "
                 "(%.1f KB as a file)\n",
                 T.size(), T.taskCount(), T.finishCount(),
@@ -104,4 +159,19 @@ int main() {
     std::remove("/tmp/spd3_pipeline.trace");
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc == 3 && std::strcmp(Argv[1], "--audit") == 0)
+    return auditMode(Argv[2]);
+  if (Argc == 3 && std::strcmp(Argv[1], "--record") == 0)
+    return recordMode(Argv[2]);
+  if (Argc != 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--record <trace> | --audit <trace>]\n", Argv[0]);
+    return 2;
+  }
+  return demoMode();
 }

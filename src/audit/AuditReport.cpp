@@ -1,0 +1,132 @@
+//===- audit/AuditReport.cpp - Audit rules, findings, reports --------------===//
+
+#include "audit/AuditReport.h"
+
+#include <sstream>
+
+namespace spd3::audit {
+
+const char *ruleId(Rule R) {
+  switch (R) {
+  case Rule::DpstRootShape:
+    return "AUD-DPST-ROOT";
+  case Rule::DpstParentLink:
+    return "AUD-DPST-PARENT";
+  case Rule::DpstDepth:
+    return "AUD-DPST-DEPTH";
+  case Rule::DpstSeqNo:
+    return "AUD-DPST-SEQNO";
+  case Rule::DpstSiblingOrder:
+    return "AUD-DPST-ORDER";
+  case Rule::DpstChildCount:
+    return "AUD-DPST-COUNT";
+  case Rule::DpstStepLeaf:
+    return "AUD-DPST-LEAF";
+  case Rule::DpstInteriorShape:
+    return "AUD-DPST-INTERIOR";
+  case Rule::DpstSizeBound:
+    return "AUD-DPST-SIZE";
+  case Rule::DpstNodeCount:
+    return "AUD-DPST-NODES";
+  case Rule::ShadowFalseRace:
+    return "AUD-SHDW-FALSEPOS";
+  case Rule::ShadowMissedRace:
+    return "AUD-SHDW-MISSED";
+  case Rule::ShadowTripleSubtree:
+    return "AUD-SHDW-TRIPLE";
+  case Rule::ShadowStaleWriter:
+    return "AUD-SHDW-WRITER";
+  case Rule::ShadowLocksIgnored:
+    return "AUD-SHDW-LOCKS";
+  }
+  return "AUD-UNKNOWN";
+}
+
+const char *ruleDescription(Rule R) {
+  switch (R) {
+  case Rule::DpstRootShape:
+    return "the root is a parentless finish node with depth 0 and seqNo 0";
+  case Rule::DpstParentLink:
+    return "every child's Parent pointer names the node linking it, and no "
+           "node is reachable through two parents or a sibling cycle";
+  case Rule::DpstDepth:
+    return "every child's depth is its parent's depth plus one";
+  case Rule::DpstSeqNo:
+    return "sibling seqNos are exactly 1..NumChildren, left to right";
+  case Rule::DpstSiblingOrder:
+    return "the sibling list is strictly increasing left to right";
+  case Rule::DpstChildCount:
+    return "NumChildren and LastChild match the linked child list";
+  case Rule::DpstStepLeaf:
+    return "step nodes are leaves";
+  case Rule::DpstInteriorShape:
+    return "async/finish nodes have at least one child and the first child "
+           "is a step";
+  case Rule::DpstSizeBound:
+    return "the node count respects the paper's 3*(asyncs+finishes)-1 bound";
+  case Rule::DpstNodeCount:
+    return "the reachable node count equals Dpst::nodeCount()";
+  case Rule::ShadowFalseRace:
+    return "SPD3 reported a race the vector-clock oracle refutes (precision)";
+  case Rule::ShadowMissedRace:
+    return "the vector-clock oracle found a race SPD3 missed (soundness)";
+  case Rule::ShadowTripleSubtree:
+    return "every reader still concurrent with the current access lies in "
+           "the DPST subtree rooted at LCA(r1, r2) (Section 4.1)";
+  case Rule::ShadowStaleWriter:
+    return "after a race-free write, the shadow writer w is the writing step";
+  case Rule::ShadowLocksIgnored:
+    return "the trace contains lock events; SPD3 and the oracle both ignore "
+           "lock-induced ordering, so verdicts may over-report";
+  }
+  return "unknown rule";
+}
+
+std::string Finding::str() const {
+  std::ostringstream OS;
+  OS << (S == Severity::Error ? "error" : "warning") << " [" << ruleId(R)
+     << "] " << Message;
+  if (!NodePath.empty())
+    OS << "\n  node: " << NodePath;
+  if (EventIndex >= 0)
+    OS << "\n  at trace event #" << EventIndex;
+  OS << "\n  rule: " << ruleDescription(R);
+  return OS.str();
+}
+
+void AuditReport::add(Finding F) {
+  if (F.S == Severity::Error)
+    ++NumErrors;
+  Findings.push_back(std::move(F));
+}
+
+void AuditReport::merge(const AuditReport &Other) {
+  for (const Finding &F : Other.Findings)
+    add(F);
+}
+
+bool AuditReport::hasRule(Rule R) const {
+  for (const Finding &F : Findings)
+    if (F.R == R)
+      return true;
+  return false;
+}
+
+size_t AuditReport::countRule(Rule R) const {
+  size_t N = 0;
+  for (const Finding &F : Findings)
+    N += F.R == R;
+  return N;
+}
+
+std::string AuditReport::str() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Findings.size(); ++I) {
+    if (I)
+      OS << '\n';
+    OS << Findings[I].str();
+  }
+  return OS.str();
+}
+
+} // namespace spd3::audit

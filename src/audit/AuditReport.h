@@ -1,0 +1,110 @@
+//===- audit/AuditReport.h - Audit rules, findings, reports -----*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured diagnostics for the `spd3::audit` subsystem — the analysis
+/// pass that analyzes the analyzer.
+///
+/// Every invariant the auditors check has a stable *rule id* (e.g.
+/// "AUD-DPST-LEAF"). A violation produces a Finding carrying the rule, a
+/// severity, a human-readable message, and — where applicable — the DPST
+/// path of the offending node and the index of the trace event that
+/// produced the state. Findings accumulate in an AuditReport; a report
+/// with no Error-severity findings is "ok". Negative tests assert the
+/// exact rule id, so the mapping below is part of the subsystem's API and
+/// must stay stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_AUDIT_AUDITREPORT_H
+#define SPD3_AUDIT_AUDITREPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spd3::audit {
+
+/// Every invariant checked by the audit passes. Grouped by auditor:
+/// DpstVerifier rules cover DPST well-formedness (the Definition 2 /
+/// Theorem 1 preconditions); ShadowAuditor rules cover the Section 4.1
+/// shadow-triple invariants and SPD3-vs-vector-clock verdict agreement.
+enum class Rule : uint8_t {
+  // --- DpstVerifier (structural, post-quiescence) ---
+  DpstRootShape,     ///< Root is a parentless finish with depth 0, seqNo 0.
+  DpstParentLink,    ///< Child's Parent points back; each node has one parent.
+  DpstDepth,         ///< Child depth == parent depth + 1.
+  DpstSeqNo,         ///< Sibling seqNos are exactly 1..NumChildren in order.
+  DpstSiblingOrder,  ///< Sibling list is strictly left-to-right.
+  DpstChildCount,    ///< NumChildren / LastChild match the linked children.
+  DpstStepLeaf,      ///< Steps are leaves.
+  DpstInteriorShape, ///< Async/finish nodes have >= 1 child; first is a step.
+  DpstSizeBound,     ///< Node count respects the paper's 3*(a+f)-1 bound.
+  DpstNodeCount,     ///< Reachable nodes == Dpst::nodeCount().
+
+  // --- ShadowAuditor (trace replay cross-check) ---
+  ShadowFalseRace,     ///< SPD3 flagged a race the vector-clock oracle refutes.
+  ShadowMissedRace,    ///< The oracle flagged a race SPD3 missed.
+  ShadowTripleSubtree, ///< A live reader escapes the LCA(r1,r2) subtree (§4.1).
+  ShadowStaleWriter,   ///< After a race-free write, w is not the writing step.
+  ShadowLocksIgnored,  ///< Trace has lock events; both detectors ignore them.
+};
+
+/// Stable machine-readable rule id, e.g. "AUD-DPST-LEAF".
+const char *ruleId(Rule R);
+
+/// One-line English statement of the invariant the rule checks.
+const char *ruleDescription(Rule R);
+
+enum class Severity : uint8_t {
+  Error,   ///< An audited invariant is violated.
+  Warning, ///< Audit coverage is degraded but no invariant is violated.
+};
+
+/// One audit diagnostic.
+struct Finding {
+  Rule R;
+  Severity S = Severity::Error;
+  /// Human-readable detail (what was expected vs what was found).
+  std::string Message;
+  /// DPST path of the offending node ("" when not applicable).
+  std::string NodePath;
+  /// Index of the trace event after which the violation was observed, or
+  /// -1 for structural (non-trace) findings.
+  int64_t EventIndex = -1;
+
+  std::string str() const;
+};
+
+/// An accumulating audit result. Auditors append findings (capped by the
+/// auditor's own options); callers test ok() or look for specific rules.
+class AuditReport {
+public:
+  /// True when no Error-severity finding was recorded.
+  bool ok() const { return NumErrors == 0; }
+
+  void add(Finding F);
+  /// Merge all findings of \p Other into this report.
+  void merge(const AuditReport &Other);
+
+  const std::vector<Finding> &findings() const { return Findings; }
+  size_t errorCount() const { return NumErrors; }
+
+  bool hasRule(Rule R) const;
+  /// Findings recorded for \p R.
+  size_t countRule(Rule R) const;
+
+  /// Multi-line rendering of every finding (empty string when clean).
+  std::string str() const;
+
+private:
+  std::vector<Finding> Findings;
+  size_t NumErrors = 0;
+};
+
+} // namespace spd3::audit
+
+#endif // SPD3_AUDIT_AUDITREPORT_H

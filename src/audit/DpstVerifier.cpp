@@ -1,0 +1,177 @@
+//===- audit/DpstVerifier.cpp - DPST well-formedness auditor ---------------===//
+
+#include "audit/DpstVerifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace spd3::audit {
+
+using dpst::Dpst;
+using dpst::Node;
+
+namespace {
+
+const char *kindName(const Node *N) {
+  return N->isStep() ? "step" : N->isAsync() ? "async" : "finish";
+}
+
+/// Walk state shared by the rule checks.
+struct Walk {
+  const DpstVerifierOptions &Opts;
+  AuditReport Report;
+  uint64_t Steps = 0;
+  uint64_t Asyncs = 0;
+  uint64_t Finishes = 0;
+  uint64_t Reachable = 0;
+
+  bool full() const { return Report.findings().size() >= Opts.MaxFindings; }
+
+  void fail(Rule R, const Node *N, const std::string &Msg) {
+    if (full())
+      return;
+    Finding F;
+    F.R = R;
+    F.Message = Msg;
+    if (N)
+      F.NodePath = Dpst::pathString(N);
+    Report.add(std::move(F));
+  }
+};
+
+void checkChildren(Walk &W, const Node *N,
+                   std::unordered_set<const Node *> &Visited,
+                   std::vector<const Node *> &Stack) {
+  uint32_t Count = 0;
+  const Node *Prev = nullptr;
+  for (const Node *C = N->FirstChild; C; C = C->NextSibling) {
+    if (!Visited.insert(C).second) {
+      // Re-reaching a node means two parents link it or the sibling list
+      // cycles; either way stop before the walk diverges.
+      W.fail(Rule::DpstParentLink, C,
+             "node is reachable twice (two parents or a sibling cycle)");
+      return;
+    }
+    ++Count;
+    if (C->Parent != N)
+      W.fail(Rule::DpstParentLink, C,
+             std::string("child's Parent does not point to the ") +
+                 kindName(N) + " node linking it");
+    if (C->Depth != N->Depth + 1) {
+      std::ostringstream OS;
+      OS << "child depth " << C->Depth << " != parent depth + 1 ("
+         << N->Depth + 1 << ")";
+      W.fail(Rule::DpstDepth, C, OS.str());
+    }
+    if (C->SeqNo != Count) {
+      std::ostringstream OS;
+      OS << "child #" << Count << " has seqNo " << C->SeqNo
+         << " (expected seqNos 1..NumChildren left to right)";
+      W.fail(Rule::DpstSeqNo, C, OS.str());
+    }
+    if (Prev && Prev->SeqNo >= C->SeqNo) {
+      std::ostringstream OS;
+      OS << "sibling seqNo " << C->SeqNo << " does not increase after "
+         << Prev->SeqNo;
+      W.fail(Rule::DpstSiblingOrder, C, OS.str());
+    }
+    Prev = C;
+    Stack.push_back(C);
+  }
+  if (Count != N->NumChildren) {
+    std::ostringstream OS;
+    OS << "NumChildren is " << N->NumChildren << " but " << Count
+       << " children are linked";
+    W.fail(Rule::DpstChildCount, N, OS.str());
+  }
+  if (N->NumChildren && N->LastChild != Prev)
+    W.fail(Rule::DpstChildCount, N,
+           "LastChild does not match the final linked sibling");
+}
+
+void walkTree(Walk &W, const Node *Root) {
+  std::unordered_set<const Node *> Visited{Root};
+  std::vector<const Node *> Stack{Root};
+  while (!Stack.empty() && !W.full()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    ++W.Reachable;
+    switch (N->Kind) {
+    case dpst::NodeKind::Step:
+      ++W.Steps;
+      if (N->FirstChild || N->NumChildren)
+        W.fail(Rule::DpstStepLeaf, N, "step node has children");
+      continue; // Leaves have nothing further to check.
+    case dpst::NodeKind::Async:
+      ++W.Asyncs;
+      break;
+    case dpst::NodeKind::Finish:
+      ++W.Finishes;
+      break;
+    }
+    // Section 3.1: every interior insertion comes with an initial step
+    // child (an async's child-task step, a finish's body step).
+    if (!N->FirstChild)
+      W.fail(Rule::DpstInteriorShape, N,
+             std::string(kindName(N)) + " node has no children");
+    else if (!N->FirstChild->isStep())
+      W.fail(Rule::DpstInteriorShape, N,
+             std::string(kindName(N)) + " node's first child is a " +
+                 kindName(N->FirstChild) + ", not a step");
+    checkChildren(W, N, Visited, Stack);
+  }
+}
+
+AuditReport run(const DpstVerifierOptions &Opts, const Node *Root,
+                int64_t ExpectedNodeCount) {
+  Walk W{Opts, {}, 0, 0, 0, 0};
+  if (!Root) {
+    W.fail(Rule::DpstRootShape, nullptr, "tree has no root");
+    return std::move(W.Report);
+  }
+  if (Root->Parent || !Root->isFinish() || Root->Depth != 0 ||
+      Root->SeqNo != 0)
+    W.fail(Rule::DpstRootShape, Root,
+           "root must be a parentless finish with depth 0 and seqNo 0");
+
+  walkTree(W, Root);
+  if (W.full())
+    return std::move(W.Report);
+
+  // Size bound (Section 5.3): every async contributes at most 3 nodes
+  // (async, child step, continuation step) and every finish at most 3
+  // (finish, body step, continuation step), while the root finish
+  // contributes 2 (itself and the initial step) — so
+  // nodes <= 3*(asyncs + finishes) - 1.
+  uint64_t Interior = W.Asyncs + W.Finishes;
+  uint64_t Total = Interior + W.Steps;
+  if (Interior == 0 || Total > 3 * Interior - 1) {
+    std::ostringstream OS;
+    OS << Total << " nodes (" << W.Asyncs << " async, " << W.Finishes
+       << " finish, " << W.Steps << " step) exceed the 3*(a+f)-1 bound of "
+       << (Interior ? 3 * Interior - 1 : 0);
+    W.fail(Rule::DpstSizeBound, Root, OS.str());
+  }
+
+  if (ExpectedNodeCount >= 0 &&
+      W.Reachable != static_cast<uint64_t>(ExpectedNodeCount)) {
+    std::ostringstream OS;
+    OS << W.Reachable << " reachable nodes but the tree allocated "
+       << ExpectedNodeCount;
+    W.fail(Rule::DpstNodeCount, Root, OS.str());
+  }
+  return std::move(W.Report);
+}
+
+} // namespace
+
+AuditReport DpstVerifier::verify(const Dpst &Tree) const {
+  return run(Opts, Tree.root(), static_cast<int64_t>(Tree.nodeCount()));
+}
+
+AuditReport DpstVerifier::verifyTree(const Node *Root,
+                                     int64_t ExpectedNodeCount) const {
+  return run(Opts, Root, ExpectedNodeCount);
+}
+
+} // namespace spd3::audit

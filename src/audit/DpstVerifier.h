@@ -1,0 +1,60 @@
+//===- audit/DpstVerifier.h - DPST well-formedness auditor ------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A post-quiescence structural pass over the DPST.
+///
+/// Theorem 1 (and therefore every SPD3 verdict) is only meaningful on a
+/// well-formed tree: correct parent/child/sibling links, depths that grow
+/// by exactly one per level, seqNos that are 1..NumChildren left to right,
+/// steps that are leaves, interior nodes whose first child is a step (the
+/// Section 3.1 construction always inserts one), and a total node count
+/// within the paper's 3*(a+f)-1 bound. This pass checks all of it and
+/// reports violations as structured findings with stable rule ids — the
+/// promotion of the old ad-hoc `Dpst::validate` self-check into a
+/// reusable, exhaustively tested auditor (Dpst::validate now delegates
+/// here).
+///
+/// The pass must only run after quiescence (no task is mutating the tree):
+/// the owner-written link fields it walks have no synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_AUDIT_DPSTVERIFIER_H
+#define SPD3_AUDIT_DPSTVERIFIER_H
+
+#include "audit/AuditReport.h"
+#include "dpst/Dpst.h"
+
+namespace spd3::audit {
+
+struct DpstVerifierOptions {
+  /// Stop after this many findings (a corrupt tree can violate one rule at
+  /// thousands of nodes; the first few localize the bug).
+  size_t MaxFindings = 64;
+};
+
+class DpstVerifier {
+public:
+  explicit DpstVerifier(DpstVerifierOptions Opts = {}) : Opts(Opts) {}
+
+  /// Audit a quiescent tree: every structural rule plus the node-count and
+  /// size-bound rules (which need the Dpst's own counter).
+  AuditReport verify(const dpst::Dpst &Tree) const;
+
+  /// Audit a hand-linked node graph rooted at \p Root. Negative tests use
+  /// this to check that deliberately corrupted trees are flagged.
+  /// \p ExpectedNodeCount enables the DpstNodeCount rule when >= 0.
+  AuditReport verifyTree(const dpst::Node *Root,
+                         int64_t ExpectedNodeCount = -1) const;
+
+private:
+  DpstVerifierOptions Opts;
+};
+
+} // namespace spd3::audit
+
+#endif // SPD3_AUDIT_DPSTVERIFIER_H

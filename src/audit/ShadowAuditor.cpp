@@ -1,0 +1,260 @@
+//===- audit/ShadowAuditor.cpp - SPD3 vs vector-clock cross-check ----------===//
+
+#include "audit/ShadowAuditor.h"
+
+#include "support/Compiler.h"
+
+#include <unordered_map>
+
+namespace spd3::audit {
+
+using baselines::Epoch;
+using baselines::VectorClock;
+using detector::RaceSink;
+using detector::Spd3Tool;
+using dpst::Dpst;
+using dpst::Node;
+
+namespace {
+
+/// Render the replayed prefix up to and including event \p I, keeping at
+/// most \p Max of the most recent events.
+std::string prefixString(const trace::Trace &T, size_t I, size_t Max) {
+  size_t N = I + 1;
+  size_t Start = (Max < N) ? N - Max : 0;
+  std::string S;
+  S += "event prefix:\n";
+  if (Start > 0)
+    S += "    ... " + std::to_string(Start) + " earlier events omitted\n";
+  for (size_t J = Start; J < N; ++J)
+    S += "    [" + std::to_string(J) + "] " + toString(T.events()[J]) + "\n";
+  return S;
+}
+
+} // namespace
+
+/// Everything that lives for one audit() call: the two detectors, their
+/// sinks, their replay skeletons, and the auditor's own per-address
+/// bookkeeping (which is independent of both detectors' metadata).
+struct ShadowAuditor::Run {
+  /// CollectPerLocation with an effectively unbounded cap: per event the
+  /// race-count delta attributes a verdict to that event's address, so the
+  /// sink must never saturate.
+  RaceSink Spd3Sink{RaceSink::Mode::CollectPerLocation, size_t(1) << 30};
+  RaceSink OracleSink{RaceSink::Mode::CollectPerLocation, size_t(1) << 30};
+  Spd3Tool Spd3;
+  VcOracleTool Oracle;
+  trace::Replayer Spd3Rep;
+  trace::Replayer OracleRep;
+
+  /// Auditor-side per-location state. Readers dedup by step: a step never
+  /// spans a fork or finish boundary, so each reading step has exactly one
+  /// oracle epoch.
+  struct AddrState {
+    /// Set once either detector flags this address; the paper's guarantees
+    /// are "up to the first race per location", so after that the
+    /// metadata — and therefore agreement — is unspecified.
+    bool Poisoned = false;
+    std::unordered_map<const Node *, Epoch> Readers;
+  };
+  std::unordered_map<uintptr_t, AddrState> Addrs;
+  /// Registered array extents (base -> byte span) so unregistration can
+  /// retire stale per-address state before the range is reused.
+  std::unordered_map<uintptr_t, uint64_t> Ranges;
+
+  bool SawLockEvent = false;
+
+  Run(const ShadowAuditorOptions &Opts, const trace::Trace &T)
+      : Spd3(Spd3Sink, Opts.Spd3Opts), Oracle(OracleSink), Spd3Rep(T, Spd3),
+        OracleRep(T, Oracle) {}
+};
+
+ShadowAuditor::ShadowAuditor(ShadowAuditorOptions Opts)
+    : Opts(std::move(Opts)) {}
+
+ShadowAuditor::~ShadowAuditor() = default;
+
+detector::Spd3Tool &ShadowAuditor::spd3() {
+  SPD3_CHECK(R, "only valid during audit()");
+  return R->Spd3;
+}
+
+VcOracleTool &ShadowAuditor::oracle() {
+  SPD3_CHECK(R, "only valid during audit()");
+  return R->Oracle;
+}
+
+trace::Replayer &ShadowAuditor::spd3Replayer() {
+  SPD3_CHECK(R, "only valid during audit()");
+  return R->Spd3Rep;
+}
+
+AuditReport ShadowAuditor::audit(const trace::Trace &T) {
+  AuditReport Report;
+  Sum = Summary{};
+  R = std::make_unique<Run>(Opts, T);
+
+  auto AddFinding = [&](Finding F) {
+    if (Report.findings().size() < Opts.MaxFindings)
+      Report.add(std::move(F));
+  };
+  auto Diverge = [&](Rule Ru, size_t I, std::string Detail,
+                     std::string NodePath = {}) {
+    AddFinding(Finding{Ru, Severity::Error,
+                       std::move(Detail) + "\n  " +
+                           prefixString(T, I, Opts.MaxPrefixEvents),
+                       std::move(NodePath), static_cast<int64_t>(I)});
+  };
+
+  bool Began = R->Spd3Rep.begin() && R->OracleRep.begin();
+  SPD3_CHECK(Began, "neither audited tool requires sequential order");
+
+  for (size_t I = 0; I < T.size(); ++I) {
+    const trace::Event &E = T.events()[I];
+    ++Sum.Events;
+
+    size_t Spd3Before = R->Spd3Sink.raceCount();
+    size_t OracleBefore = R->OracleSink.raceCount();
+    R->Spd3Rep.step(I);
+    R->OracleRep.step(I);
+
+    if (Opts.OnEvent)
+      Opts.OnEvent(I, *this);
+
+    switch (E.K) {
+    case trace::Event::Kind::RegisterRange:
+      R->Ranges[E.A] = E.B * E.C;
+      continue;
+    case trace::Event::Kind::UnregisterRange: {
+      // The program may reuse these addresses for an unrelated array;
+      // retire the auditor's state along with the detectors'.
+      auto It = R->Ranges.find(E.A);
+      uint64_t Span = It == R->Ranges.end() ? 0 : It->second;
+      for (auto AIt = R->Addrs.begin(); AIt != R->Addrs.end();)
+        if (AIt->first >= E.A && AIt->first < E.A + Span)
+          AIt = R->Addrs.erase(AIt);
+        else
+          ++AIt;
+      if (It != R->Ranges.end())
+        R->Ranges.erase(It);
+      continue;
+    }
+    case trace::Event::Kind::LockAcquire:
+    case trace::Event::Kind::LockRelease:
+      if (!R->SawLockEvent) {
+        R->SawLockEvent = true;
+        AddFinding(Finding{Rule::ShadowLocksIgnored, Severity::Warning,
+                           "trace contains lock events; neither SPD3 nor "
+                           "the oracle models locks, so verdicts assume "
+                           "pure async/finish synchronization",
+                           "", static_cast<int64_t>(I)});
+      }
+      continue;
+    default:
+      break;
+    }
+
+    bool IsRead = E.K == trace::Event::Kind::Read;
+    bool IsWrite = E.K == trace::Event::Kind::Write;
+    if (!IsRead && !IsWrite)
+      continue;
+    ++Sum.MemoryEvents;
+
+    Run::AddrState &AS = R->Addrs[E.A];
+    if (AS.Poisoned)
+      continue;
+
+    // 1. Verdict agreement. One event touches one address, so each sink's
+    // count delta (0 or 1 under per-location dedup) is this address's
+    // first-race verdict at this event.
+    bool Spd3Raced = R->Spd3Sink.raceCount() > Spd3Before;
+    bool OracleRaced = R->OracleSink.raceCount() > OracleBefore;
+    Sum.Spd3Raced |= Spd3Raced;
+    Sum.OracleRaced |= OracleRaced;
+    if (Spd3Raced || OracleRaced) {
+      if (Spd3Raced && !OracleRaced)
+        Diverge(Rule::ShadowFalseRace, I,
+                std::string("SPD3 reported a race at `") + toString(E) +
+                    "` that the vector-clock oracle refutes");
+      else if (OracleRaced && !Spd3Raced)
+        Diverge(Rule::ShadowMissedRace, I,
+                std::string("the vector-clock oracle reported a race at `") +
+                    toString(E) + "` that SPD3 missed");
+      else
+        ++Sum.AgreedRaces;
+      AS.Poisoned = true;
+      continue;
+    }
+
+    // 2. Section 4.1 invariants after a race-free access.
+    rt::Task &Spd3Task = R->Spd3Rep.task(E.Task);
+    rt::Task &OracleTask = R->OracleRep.task(E.Task);
+    const Node *CurStep = Spd3Tool::currentStep(Spd3Task);
+    Spd3Tool::TripleSnapshot Snap =
+        R->Spd3.shadowTriple(reinterpret_cast<const void *>(E.A));
+
+    if (IsWrite) {
+      // Race-free write: every prior reader happened-before it (the oracle
+      // just certified that), so the "since the last synchronization"
+      // reader set restarts empty...
+      AS.Readers.clear();
+      // ...and w must now be the writing step itself.
+      if (Snap.W != CurStep)
+        Diverge(Rule::ShadowStaleWriter, I,
+                std::string("after race-free `") + toString(E) +
+                    "` the shadow writer is " +
+                    (Snap.W ? Dpst::pathString(Snap.W) : "<null>") +
+                    ", expected the writing step " + Dpst::pathString(CurStep),
+                Dpst::pathString(CurStep));
+      continue;
+    }
+
+    // Race-free read: record the reader with its oracle epoch, then demand
+    // that every reader still concurrent with the current event (by the
+    // oracle's clocks, deliberately not by the DPST) sits inside the
+    // subtree rooted at LCA(r1, r2).
+    AS.Readers.emplace(CurStep, R->Oracle.epochOf(OracleTask));
+    const VectorClock &Now = R->Oracle.clockOf(OracleTask);
+    const Node *SubtreeRoot =
+        Snap.R2 ? Dpst::lca(Snap.R1, Snap.R2) : Snap.R1;
+    for (const auto &[Step, Ep] : AS.Readers) {
+      // The current step is always a live reader (it reads right now);
+      // everything else is live iff it has not happened-before this event.
+      bool Live = Step == CurStep || !Now.covers(Ep);
+      if (!Live)
+        continue;
+      // A reader that is the recorded writer's own step is subsumed by w:
+      // any future access parallel to it is parallel to w and races via
+      // the write check. This is precisely the read the Section 5.5
+      // check-elimination cache drops (read-after-write by one step), so
+      // the triple may legitimately omit it.
+      if (Step == Snap.W)
+        continue;
+      bool Covered = SubtreeRoot &&
+                     (SubtreeRoot == Step || SubtreeRoot->isAncestorOf(Step));
+      if (!Covered) {
+        Diverge(Rule::ShadowTripleSubtree, I,
+                std::string("after race-free `") + toString(E) +
+                    "` live reader " + Dpst::pathString(Step) +
+                    " is outside the subtree of LCA(r1, r2) = " +
+                    (SubtreeRoot ? Dpst::pathString(SubtreeRoot) : "<null>"),
+                Dpst::pathString(Step));
+        break; // One escape per event localizes the bug.
+      }
+    }
+  }
+
+  R->Spd3Rep.end();
+  R->OracleRep.end();
+
+  Sum.Spd3Raced = R->Spd3Sink.anyRace();
+  Sum.OracleRaced = R->OracleSink.anyRace();
+
+  if (Opts.VerifyDpst)
+    Report.merge(DpstVerifier().verify(R->Spd3.tree()));
+
+  R.reset();
+  return Report;
+}
+
+} // namespace spd3::audit

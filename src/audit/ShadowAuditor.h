@@ -1,0 +1,112 @@
+//===- audit/ShadowAuditor.h - SPD3 vs vector-clock cross-check -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shadow auditor replays one recorded trace through two detectors in
+/// lockstep — the SPD3 tool under audit and the independent vector-clock
+/// oracle (VcOracle.h) — and cross-checks, after every event:
+///
+///   1. **Verdict agreement.** Up to the first race at each location, a
+///      precise detector must flag a race at exactly the event where the
+///      access completing the first racing pair replays. SPD3 flagging
+///      where the oracle does not is a precision bug (AUD-SHDW-FALSEPOS);
+///      the oracle flagging where SPD3 does not is a soundness bug
+///      (AUD-SHDW-MISSED). Divergences are reported with the event prefix
+///      that produced them. Once a location races, its metadata is no
+///      longer specified (the paper's guarantees are "up to the first
+///      race"), so that location is retired from further comparison.
+///
+///   2. **The Section 4.1 reader-triple invariant.** The auditor tracks
+///      every reader step of every location itself; after each access it
+///      requires each recorded reader that is still concurrent with the
+///      current event (by the oracle's clocks — deliberately not by the
+///      DPST) to lie inside the DPST subtree rooted at LCA(r1, r2)
+///      (AUD-SHDW-TRIPLE). It also requires w to be the writing step
+///      after every race-free write (AUD-SHDW-WRITER).
+///
+///   3. **DPST well-formedness**, via DpstVerifier over the tree SPD3
+///      built during the replay (after the final event).
+///
+/// The two detectors share no metadata, no DPST, and no shadow cells, so
+/// agreement over a trace corpus is an end-to-end check of Theorems 1-4
+/// as implemented — this is the standing correctness gate performance
+/// work must keep green.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_AUDIT_SHADOWAUDITOR_H
+#define SPD3_AUDIT_SHADOWAUDITOR_H
+
+#include "audit/AuditReport.h"
+#include "audit/DpstVerifier.h"
+#include "audit/VcOracle.h"
+#include "detector/Spd3Tool.h"
+#include "trace/Trace.h"
+
+#include <functional>
+#include <memory>
+
+namespace spd3::audit {
+
+class ShadowAuditor;
+
+struct ShadowAuditorOptions {
+  /// Configuration of the SPD3 instance under audit (protocol, caches).
+  detector::Spd3Options Spd3Opts;
+  /// Run DpstVerifier over SPD3's tree after the last event.
+  bool VerifyDpst = true;
+  /// Stop recording findings past this cap.
+  size_t MaxFindings = 32;
+  /// Cap on the number of prefix events printed per divergence finding
+  /// (the most recent ones are kept; older ones are summarized).
+  size_t MaxPrefixEvents = 64;
+  /// Test hook: invoked after each event has been fed to both detectors
+  /// and before the cross-checks. Negative tests corrupt SPD3's state
+  /// here to prove the auditor catches it. Null in normal use.
+  std::function<void(size_t EventIdx, ShadowAuditor &A)> OnEvent;
+};
+
+class ShadowAuditor {
+public:
+  explicit ShadowAuditor(ShadowAuditorOptions Opts = {});
+  ~ShadowAuditor();
+
+  ShadowAuditor(const ShadowAuditor &) = delete;
+  ShadowAuditor &operator=(const ShadowAuditor &) = delete;
+
+  /// Replay \p T through SPD3 and the oracle in lockstep and return every
+  /// finding. May be called repeatedly (fresh detectors per call).
+  AuditReport audit(const trace::Trace &T);
+
+  /// Aggregate facts about the last audit() call.
+  struct Summary {
+    size_t Events = 0;       ///< Events replayed.
+    size_t MemoryEvents = 0; ///< Read/write events cross-checked.
+    size_t AgreedRaces = 0;  ///< Locations where both detectors flagged.
+    bool Spd3Raced = false;
+    bool OracleRaced = false;
+  };
+  const Summary &summary() const { return Sum; }
+
+  /// \name Live state during audit() — valid only from Options.OnEvent.
+  /// @{
+  detector::Spd3Tool &spd3();
+  VcOracleTool &oracle();
+  /// The SPD3-side replay skeletons (to fetch a task's current step).
+  trace::Replayer &spd3Replayer();
+  /// @}
+
+private:
+  struct Run; // Per-audit() state.
+
+  ShadowAuditorOptions Opts;
+  Summary Sum;
+  std::unique_ptr<Run> R;
+};
+
+} // namespace spd3::audit
+
+#endif // SPD3_AUDIT_SHADOWAUDITOR_H

@@ -1,0 +1,163 @@
+//===- audit/VcOracle.cpp - Vector-clock happens-before oracle -------------===//
+
+#include "audit/VcOracle.h"
+
+#include "runtime/Task.h"
+#include "support/Compiler.h"
+
+#include <memory>
+#include <vector>
+
+namespace spd3::audit {
+
+using baselines::Epoch;
+using baselines::VectorClock;
+
+struct VcOracleTool::TaskState {
+  uint32_t Tid = 0;
+  VectorClock C;
+};
+
+struct VcOracleTool::FinishState {
+  /// Pointwise max of the clocks of every task (with this IEF) that has
+  /// ended; joined by the owner at end-finish.
+  VectorClock Joined;
+};
+
+VcOracleTool::VcOracleTool(detector::RaceSink &Sink)
+    : Sink(Sink), Locks(new std::mutex[NumLocks]) {}
+
+VcOracleTool::~VcOracleTool() { delete[] Locks; }
+
+VcOracleTool::TaskState *VcOracleTool::state(rt::Task &T) const {
+  return static_cast<TaskState *>(T.ToolData);
+}
+
+std::mutex &VcOracleTool::lockFor(const void *Addr) {
+  return Locks[(reinterpret_cast<uintptr_t>(Addr) >> 3) & (NumLocks - 1)];
+}
+
+// Callers of newTaskState/newFinishState hold ClockMutex (or run before
+// any parallelism exists, as onRunStart does).
+VcOracleTool::TaskState *VcOracleTool::newTaskState(rt::Task &T) {
+  TaskStates.push_back(std::make_unique<TaskState>());
+  TaskState *TS = TaskStates.back().get();
+  TS->Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  TS->C.set(TS->Tid, 1);
+  StateBytes.fetch_add(sizeof(TaskState), std::memory_order_relaxed);
+  T.ToolData = TS;
+  return TS;
+}
+
+VcOracleTool::FinishState *VcOracleTool::newFinishState() {
+  FinishStates.push_back(std::make_unique<FinishState>());
+  StateBytes.fetch_add(sizeof(FinishState), std::memory_order_relaxed);
+  return FinishStates.back().get();
+}
+
+void VcOracleTool::onRunStart(rt::Task &Root) { newTaskState(Root); }
+
+void VcOracleTool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
+  std::lock_guard<std::mutex> Lock(ClockMutex);
+  TaskState *PS = state(Parent);
+  TaskState *CS = newTaskState(Child);
+  // Fork edge: the child starts after everything the parent has done; the
+  // parent's own component then advances so post-spawn parent work is not
+  // ordered before the child's reads of the clock.
+  CS->C.joinWith(PS->C);
+  PS->C.increment(PS->Tid);
+}
+
+void VcOracleTool::onTaskEnd(rt::Task &T) {
+  std::lock_guard<std::mutex> Lock(ClockMutex);
+  TaskState *TS = state(T);
+  SPD3_CHECK(T.Ief, "ended task has no IEF");
+  // The implicit root finish never sees onFinishStart; allocate its
+  // accumulator lazily.
+  if (!T.Ief->ToolData)
+    T.Ief->ToolData = newFinishState();
+  static_cast<FinishState *>(T.Ief->ToolData)->Joined.joinWith(TS->C);
+}
+
+void VcOracleTool::onFinishStart(rt::Task &T, rt::FinishRecord &F) {
+  std::lock_guard<std::mutex> Lock(ClockMutex);
+  F.ToolData = newFinishState();
+}
+
+void VcOracleTool::onFinishEnd(rt::Task &T, rt::FinishRecord &F) {
+  std::lock_guard<std::mutex> Lock(ClockMutex);
+  TaskState *TS = state(T);
+  auto *FS = static_cast<FinishState *>(F.ToolData);
+  SPD3_CHECK(FS, "end-finish for a scope the oracle never started");
+  // Join edge: everything that ended inside the scope happens-before the
+  // continuation.
+  TS->C.joinWith(FS->Joined);
+  TS->C.increment(TS->Tid);
+}
+
+void VcOracleTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return;
+  TaskState *TS = state(T);
+  Cell &C = *Shadow.cell(Addr);
+  std::lock_guard<std::mutex> Lock(lockFor(Addr));
+  int64_t Racing = C.Writes.firstExceeding(TS->C);
+  if (Racing >= 0) {
+    uint32_t Tid = static_cast<uint32_t>(Racing);
+    Sink.report(detector::Race{
+        detector::RaceKind::WriteRead, Addr,
+        (static_cast<uint64_t>(Tid) << 32) | C.Writes.get(Tid),
+        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name()});
+  }
+  C.Reads.set(TS->Tid, TS->C.get(TS->Tid));
+}
+
+void VcOracleTool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
+  if (!Sink.shouldCheck())
+    return;
+  TaskState *TS = state(T);
+  Cell &C = *Shadow.cell(Addr);
+  std::lock_guard<std::mutex> Lock(lockFor(Addr));
+  int64_t RacingRead = C.Reads.firstExceeding(TS->C);
+  if (RacingRead >= 0) {
+    uint32_t Tid = static_cast<uint32_t>(RacingRead);
+    Sink.report(detector::Race{
+        detector::RaceKind::ReadWrite, Addr,
+        (static_cast<uint64_t>(Tid) << 32) | C.Reads.get(Tid),
+        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name()});
+  }
+  int64_t RacingWrite = C.Writes.firstExceeding(TS->C);
+  if (RacingWrite >= 0) {
+    uint32_t Tid = static_cast<uint32_t>(RacingWrite);
+    Sink.report(detector::Race{
+        detector::RaceKind::WriteWrite, Addr,
+        (static_cast<uint64_t>(Tid) << 32) | C.Writes.get(Tid),
+        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name()});
+  }
+  C.Writes.set(TS->Tid, TS->C.get(TS->Tid));
+}
+
+void VcOracleTool::onRegisterRange(const void *Base, size_t Count,
+                                   uint32_t ElemSize) {
+  Shadow.registerRange(Base, Count, ElemSize);
+}
+
+void VcOracleTool::onUnregisterRange(const void *Base) {
+  Shadow.unregisterRange(Base);
+}
+
+size_t VcOracleTool::memoryBytes() const {
+  return Shadow.memoryBytes() +
+         StateBytes.load(std::memory_order_relaxed);
+}
+
+const VectorClock &VcOracleTool::clockOf(rt::Task &T) const {
+  return state(T)->C;
+}
+
+Epoch VcOracleTool::epochOf(rt::Task &T) const {
+  TaskState *TS = state(T);
+  return Epoch{TS->Tid, TS->C.get(TS->Tid)};
+}
+
+} // namespace spd3::audit

@@ -1,0 +1,106 @@
+//===- audit/VcOracle.h - Vector-clock happens-before oracle ----*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent, precise happens-before race detector for async/finish
+/// programs built on plain vector clocks (after Kumar & Agrawal's
+/// vector-clock detector for async-finish programs; see PAPERS.md). It
+/// exists to *audit SPD3*: it shares no code with the DPST or the shadow
+/// triple, so agreement between the two detectors on every trace is strong
+/// evidence for Theorems 2-4 as implemented.
+///
+/// Happens-before edges are the fork/join edges of the model: task
+/// creation copies the parent's clock into the child (fork); a task ending
+/// folds its clock into its IEF's accumulator, which the owner joins at
+/// end-finish (join). Unlike FastTrack there is no epoch adaptivity or
+/// ownership transition — per location the oracle keeps one full "all
+/// prior reads" clock and one full "all prior writes" clock, making every
+/// verdict a direct pointwise comparison. O(tasks) per location is exactly
+/// the cost the paper's Table 3 argues against for production detectors;
+/// for an offline auditor it buys obviousness.
+///
+/// Verdicts: an access by task t with clock C races iff some component of
+/// the location's prior-writes clock (for reads and writes) or prior-reads
+/// clock (for writes) exceeds C — i.e. a prior conflicting access did not
+/// happen-before this one. With no locks in the model this is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_AUDIT_VCORACLE_H
+#define SPD3_AUDIT_VCORACLE_H
+
+#include "baselines/VectorClock.h"
+#include "detector/RaceReport.h"
+#include "detector/ShadowSpace.h"
+#include "detector/Tool.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace spd3::audit {
+
+class VcOracleTool : public detector::Tool {
+public:
+  /// Per-location state: the pointwise max clock of all prior reads and of
+  /// all prior writes.
+  struct Cell {
+    baselines::VectorClock Reads;
+    baselines::VectorClock Writes;
+  };
+
+  explicit VcOracleTool(detector::RaceSink &Sink);
+  ~VcOracleTool() override;
+
+  const char *name() const override { return "vc-oracle"; }
+
+  void onRunStart(rt::Task &Root) override;
+  void onTaskCreate(rt::Task &Parent, rt::Task &Child) override;
+  void onTaskEnd(rt::Task &T) override;
+  void onFinishStart(rt::Task &T, rt::FinishRecord &F) override;
+  void onFinishEnd(rt::Task &T, rt::FinishRecord &F) override;
+  void onRead(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onWrite(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onRegisterRange(const void *Base, size_t Count,
+                       uint32_t ElemSize) override;
+  void onUnregisterRange(const void *Base) override;
+  size_t memoryBytes() const override;
+
+  /// Auditor access: the current clock of \p T (valid between this tool's
+  /// events for \p T; single-threaded use only).
+  const baselines::VectorClock &clockOf(rt::Task &T) const;
+  /// Auditor access: the (tid, clock) epoch stamping \p T's next access.
+  baselines::Epoch epochOf(rt::Task &T) const;
+
+  /// Number of task ids issued.
+  uint32_t tasksSeen() const { return NextTid.load(); }
+
+private:
+  struct TaskState;
+  struct FinishState;
+
+  TaskState *state(rt::Task &T) const;
+  TaskState *newTaskState(rt::Task &T);
+  FinishState *newFinishState();
+  std::mutex &lockFor(const void *Addr);
+
+  detector::RaceSink &Sink;
+  detector::ShadowSpace<Cell> Shadow;
+  std::atomic<uint32_t> NextTid{0};
+  std::atomic<size_t> StateBytes{0};
+  /// Serializes fork/join clock manipulation under parallel execution.
+  std::mutex ClockMutex;
+  /// Owns every per-task / per-finish state for the tool's lifetime (the
+  /// runtime's ToolData slots point into these).
+  std::vector<std::unique_ptr<TaskState>> TaskStates;
+  std::vector<std::unique_ptr<FinishState>> FinishStates;
+  static constexpr size_t NumLocks = 1024;
+  std::mutex *Locks;
+};
+
+} // namespace spd3::audit
+
+#endif // SPD3_AUDIT_VCORACLE_H

@@ -208,6 +208,17 @@ void Spd3Tool::onFinishEnd(rt::Task &T, rt::FinishRecord &F) {
   TS->moveToStep(Tree.onFinishEnd(FS->FinishNode));
 }
 
+Spd3Tool::TripleSnapshot Spd3Tool::shadowTriple(const void *Addr) {
+  Cell &C = *Shadow.cell(Addr);
+  return TripleSnapshot{C.W.load(std::memory_order_relaxed),
+                        C.R1.load(std::memory_order_relaxed),
+                        C.R2.load(std::memory_order_relaxed)};
+}
+
+Spd3Tool::Cell &Spd3Tool::shadowCell(const void *Addr) {
+  return *Shadow.cell(Addr);
+}
+
 void Spd3Tool::onRegisterRange(const void *Base, size_t Count,
                                uint32_t ElemSize) {
   Shadow.registerRange(Base, Count, ElemSize);

@@ -105,6 +105,21 @@ public:
   /// structure (Section 3.2's path-invariance property).
   static std::string describeRace(const Race &R);
 
+  /// Relaxed snapshot of the Section 4.1 triple for \p Addr. For the
+  /// audit subsystem and tests only: loads are unversioned, so callers
+  /// must be single-threaded (an auditor replaying a trace is).
+  struct TripleSnapshot {
+    dpst::Node *W;
+    dpst::Node *R1;
+    dpst::Node *R2;
+  };
+  TripleSnapshot shadowTriple(const void *Addr);
+
+  /// Mutable shadow cell for \p Addr. Exists so audit negative tests can
+  /// inject corruption and prove the auditor catches it; nothing else may
+  /// touch detector state from outside.
+  Cell &shadowCell(const void *Addr);
+
 private:
   struct TaskState;
   struct FinishState;

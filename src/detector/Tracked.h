@@ -27,6 +27,7 @@
 
 #include "runtime/Instrument.h"
 #include "support/Compiler.h"
+#include "support/TsanAnnotations.h"
 
 #include <cstring>
 #include <mutex>
@@ -60,21 +61,22 @@ public:
 
   size_t size() const { return N; }
 
-  /// Monitored element read.
-  T get(size_t I) const {
+  /// Monitored element read. The raw load is exempt from TSan: racy
+  /// monitored accesses are the detector's subject, not harness bugs.
+  SPD3_NO_SANITIZE_THREAD T get(size_t I) const {
     mem::read(&Data[I], sizeof(T));
     return Data[I];
   }
 
-  /// Monitored element write.
-  void set(size_t I, const T &V) {
+  /// Monitored element write (raw store TSan-exempt, as above).
+  SPD3_NO_SANITIZE_THREAD void set(size_t I, const T &V) {
     mem::write(&Data[I], sizeof(T));
     Data[I] = V;
   }
 
   /// Monitored read-modify-write (counts as a read then a write, the same
   /// event sequence the paper's instrumentation emits for x[i] += v).
-  void add(size_t I, const T &V) {
+  SPD3_NO_SANITIZE_THREAD void add(size_t I, const T &V) {
     mem::read(&Data[I], sizeof(T));
     mem::write(&Data[I], sizeof(T));
     Data[I] += V;
@@ -103,12 +105,12 @@ public:
   TrackedVar(const TrackedVar &) = delete;
   TrackedVar &operator=(const TrackedVar &) = delete;
 
-  T get() const {
+  SPD3_NO_SANITIZE_THREAD T get() const {
     mem::read(&Value, sizeof(T));
     return Value;
   }
 
-  void set(const T &V) {
+  SPD3_NO_SANITIZE_THREAD void set(const T &V) {
     mem::write(&Value, sizeof(T));
     Value = V;
   }

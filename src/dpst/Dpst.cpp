@@ -2,6 +2,7 @@
 
 #include "dpst/Dpst.h"
 
+#include "audit/DpstVerifier.h"
 #include "support/Compiler.h"
 #include "support/Stats.h"
 
@@ -133,44 +134,15 @@ bool Dpst::dmhp(const Node *S1, const Node *S2) {
 }
 
 bool Dpst::validate(std::string *Err) const {
-  auto Fail = [&](const std::string &Msg) {
-    if (Err)
-      *Err = Msg;
-    return false;
-  };
-  if (!Root || Root->Parent || !Root->isFinish() || Root->Depth != 0)
-    return Fail("malformed root");
-  uint64_t Seen = 0;
-  std::vector<const Node *> Stack{Root};
-  while (!Stack.empty()) {
-    const Node *N = Stack.back();
-    Stack.pop_back();
-    ++Seen;
-    if (N->isStep() && N->FirstChild)
-      return Fail("step node has children");
-    uint32_t Count = 0;
-    const Node *PrevChild = nullptr;
-    for (const Node *C = N->FirstChild; C; C = C->NextSibling) {
-      ++Count;
-      if (C->Parent != N)
-        return Fail("child's Parent pointer does not match");
-      if (C->Depth != N->Depth + 1)
-        return Fail("child depth is not parent depth + 1");
-      if (C->SeqNo != Count)
-        return Fail("sequence numbers are not 1..NumChildren left-to-right");
-      if (PrevChild && PrevChild->SeqNo >= C->SeqNo)
-        return Fail("sibling order violates left-to-right sequencing");
-      PrevChild = C;
-      Stack.push_back(C);
-    }
-    if (Count != N->NumChildren)
-      return Fail("NumChildren does not match linked children");
-    if (N->NumChildren && N->LastChild != PrevChild)
-      return Fail("LastChild does not match final sibling");
-  }
-  if (Seen != nodeCount())
-    return Fail("reachable node count does not match nodeCount()");
-  return true;
+  // Delegates to the audit subsystem's exhaustive structural pass; this
+  // entry point keeps the historical bool-plus-message interface for
+  // callers that only need pass/fail.
+  audit::AuditReport Report = audit::DpstVerifier().verify(*this);
+  if (Report.ok())
+    return true;
+  if (Err)
+    *Err = Report.findings().front().str();
+  return false;
 }
 
 std::string Dpst::pathString(const Node *N) {

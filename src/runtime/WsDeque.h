@@ -17,6 +17,7 @@
 #define SPD3_RUNTIME_WSDEQUE_H
 
 #include "support/Compiler.h"
+#include "support/TsanAnnotations.h"
 
 #include <atomic>
 #include <cstdint>
@@ -25,6 +26,19 @@ namespace spd3::rt {
 
 class Task;
 
+// The owner->thief publication edge is a release fence in push() paired with
+// the thief's acquire loads.  ThreadSanitizer does not model
+// std::atomic_thread_fence, so under TSan the edge is carried on the slot
+// atomics instead (release put / acquire get) -- strictly stronger, never
+// weaker, and only in sanitized builds.
+#if SPD3_TSAN_ENABLED
+inline constexpr std::memory_order SlotStoreOrder = std::memory_order_release;
+inline constexpr std::memory_order SlotLoadOrder = std::memory_order_acquire;
+#else
+inline constexpr std::memory_order SlotStoreOrder = std::memory_order_relaxed;
+inline constexpr std::memory_order SlotLoadOrder = std::memory_order_relaxed;
+#endif
+
 class WsDeque {
   struct Buffer {
     int64_t Cap;
@@ -32,10 +46,10 @@ class WsDeque {
     std::atomic<Task *> Slots[]; // flexible array
 
     Task *get(int64_t I) const {
-      return Slots[I & (Cap - 1)].load(std::memory_order_relaxed);
+      return Slots[I & (Cap - 1)].load(SlotLoadOrder);
     }
     void put(int64_t I, Task *T) {
-      Slots[I & (Cap - 1)].store(T, std::memory_order_relaxed);
+      Slots[I & (Cap - 1)].store(T, SlotStoreOrder);
     }
   };
 

@@ -25,6 +25,60 @@ namespace {
 constexpr char Magic[8] = {'S', 'P', 'D', '3', 'T', 'R', 'C', '1'};
 }
 
+std::string toString(const Event &E) {
+  char Buf[96];
+  switch (E.K) {
+  case Event::Kind::TaskCreate:
+    std::snprintf(Buf, sizeof(Buf), "t%u spawns t%llu (ief f%llu)", E.Task,
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+    break;
+  case Event::Kind::TaskStart:
+    std::snprintf(Buf, sizeof(Buf), "t%u starts", E.Task);
+    break;
+  case Event::Kind::TaskEnd:
+    std::snprintf(Buf, sizeof(Buf), "t%u ends (ief f%llu)", E.Task,
+                  static_cast<unsigned long long>(E.A));
+    break;
+  case Event::Kind::FinishStart:
+    std::snprintf(Buf, sizeof(Buf), "t%u begins finish f%llu", E.Task,
+                  static_cast<unsigned long long>(E.A));
+    break;
+  case Event::Kind::FinishEnd:
+    std::snprintf(Buf, sizeof(Buf), "t%u ends finish f%llu", E.Task,
+                  static_cast<unsigned long long>(E.A));
+    break;
+  case Event::Kind::Read:
+    std::snprintf(Buf, sizeof(Buf), "t%u read  0x%llx+%llu", E.Task,
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+    break;
+  case Event::Kind::Write:
+    std::snprintf(Buf, sizeof(Buf), "t%u write 0x%llx+%llu", E.Task,
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+    break;
+  case Event::Kind::RegisterRange:
+    std::snprintf(Buf, sizeof(Buf), "register 0x%llx x%llu elem %u",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B), E.C);
+    break;
+  case Event::Kind::UnregisterRange:
+    std::snprintf(Buf, sizeof(Buf), "unregister 0x%llx",
+                  static_cast<unsigned long long>(E.A));
+    break;
+  case Event::Kind::LockAcquire:
+    std::snprintf(Buf, sizeof(Buf), "t%u acquires lock 0x%llx", E.Task,
+                  static_cast<unsigned long long>(E.A));
+    break;
+  case Event::Kind::LockRelease:
+    std::snprintf(Buf, sizeof(Buf), "t%u releases lock 0x%llx", E.Task,
+                  static_cast<unsigned long long>(E.A));
+    break;
+  }
+  return Buf;
+}
+
 bool Trace::save(const std::string &Path) const {
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
@@ -157,86 +211,97 @@ void RecorderTool::onLockRelease(rt::Task &T, const void *Lock) {
 // Replay
 //===----------------------------------------------------------------------===//
 
-bool replay(const Trace &T, detector::Tool &Tool) {
+Replayer::Replayer(const Trace &T, detector::Tool &Tool)
+    : T(T), Tool(Tool), Tasks(T.taskCount() ? T.taskCount() : 1),
+      Finishes(T.finishCount() ? T.finishCount() : 1) {}
+
+Replayer::~Replayer() = default;
+
+rt::Task &Replayer::task(uint32_t Id) {
+  SPD3_CHECK(Id < Tasks.size(), "trace refers to an unknown task");
+  if (!Tasks[Id])
+    Tasks[Id] = std::make_unique<rt::Task>(rt::TaskFn{});
+  return *Tasks[Id];
+}
+
+rt::FinishRecord &Replayer::finish(uint64_t Id) {
+  SPD3_CHECK(Id < Finishes.size(), "trace refers to an unknown finish");
+  if (!Finishes[Id])
+    Finishes[Id] = std::make_unique<rt::FinishRecord>();
+  return *Finishes[Id];
+}
+
+bool Replayer::begin() {
   if (Tool.requiresSequential())
     return false; // An arbitrary parallel linearization will not do.
-
-  // Reconstruct task and finish-scope skeletons.
-  std::vector<std::unique_ptr<rt::Task>> Tasks(T.taskCount());
-  std::vector<std::unique_ptr<rt::FinishRecord>> Finishes(
-      T.finishCount() ? T.finishCount() : 1);
-  auto TaskOf = [&](uint32_t Id) -> rt::Task & {
-    SPD3_CHECK(Id < Tasks.size(), "trace refers to an unknown task");
-    if (!Tasks[Id])
-      Tasks[Id] = std::make_unique<rt::Task>(rt::TaskFn{});
-    return *Tasks[Id];
-  };
-  auto FinishOf = [&](uint64_t Id) -> rt::FinishRecord & {
-    SPD3_CHECK(Id < Finishes.size(), "trace refers to an unknown finish");
-    if (!Finishes[Id])
-      Finishes[Id] = std::make_unique<rt::FinishRecord>();
-    return *Finishes[Id];
-  };
-
-  rt::Task &Root = TaskOf(0);
-  Root.Ief = &FinishOf(0);
+  rt::Task &Root = task(0);
+  Root.Ief = &finish(0);
   Tool.onRunStart(Root);
+  return true;
+}
 
-  for (const Event &E : T.events()) {
-    switch (E.K) {
-    case Event::Kind::TaskCreate: {
-      rt::Task &Child = TaskOf(static_cast<uint32_t>(E.A));
-      Child.Ief = &FinishOf(E.B);
-      Tool.onTaskCreate(TaskOf(E.Task), Child);
-      break;
-    }
-    case Event::Kind::TaskStart:
-      // The recorded stream includes the root's start/end (the runtime
-      // emits them like any task's).
-      Tool.onTaskStart(TaskOf(E.Task));
-      break;
-    case Event::Kind::TaskEnd: {
-      rt::Task &Task = TaskOf(E.Task);
-      Task.Ief = &FinishOf(E.A);
-      Tool.onTaskEnd(Task);
-      break;
-    }
-    case Event::Kind::FinishStart: {
-      rt::Task &Owner = TaskOf(E.Task);
-      rt::FinishRecord &F = FinishOf(E.A);
-      Owner.Ief = &F;
-      Tool.onFinishStart(Owner, F);
-      break;
-    }
-    case Event::Kind::FinishEnd:
-      Tool.onFinishEnd(TaskOf(E.Task), FinishOf(E.A));
-      break;
-    case Event::Kind::Read:
-      Tool.onRead(TaskOf(E.Task), reinterpret_cast<const void *>(E.A),
-                  static_cast<uint32_t>(E.B));
-      break;
-    case Event::Kind::Write:
-      Tool.onWrite(TaskOf(E.Task), reinterpret_cast<const void *>(E.A),
-                   static_cast<uint32_t>(E.B));
-      break;
-    case Event::Kind::RegisterRange:
-      Tool.onRegisterRange(reinterpret_cast<const void *>(E.A), E.B, E.C);
-      break;
-    case Event::Kind::UnregisterRange:
-      Tool.onUnregisterRange(reinterpret_cast<const void *>(E.A));
-      break;
-    case Event::Kind::LockAcquire:
-      Tool.onLockAcquire(TaskOf(E.Task),
-                         reinterpret_cast<const void *>(E.A));
-      break;
-    case Event::Kind::LockRelease:
-      Tool.onLockRelease(TaskOf(E.Task),
-                         reinterpret_cast<const void *>(E.A));
-      break;
-    }
+void Replayer::step(size_t I) {
+  const Event &E = T.events()[I];
+  switch (E.K) {
+  case Event::Kind::TaskCreate: {
+    rt::Task &Child = task(static_cast<uint32_t>(E.A));
+    Child.Ief = &finish(E.B);
+    Tool.onTaskCreate(task(E.Task), Child);
+    break;
   }
+  case Event::Kind::TaskStart:
+    // The recorded stream includes the root's start/end (the runtime
+    // emits them like any task's).
+    Tool.onTaskStart(task(E.Task));
+    break;
+  case Event::Kind::TaskEnd: {
+    rt::Task &Task = task(E.Task);
+    Task.Ief = &finish(E.A);
+    Tool.onTaskEnd(Task);
+    break;
+  }
+  case Event::Kind::FinishStart: {
+    rt::Task &Owner = task(E.Task);
+    rt::FinishRecord &F = finish(E.A);
+    Owner.Ief = &F;
+    Tool.onFinishStart(Owner, F);
+    break;
+  }
+  case Event::Kind::FinishEnd:
+    Tool.onFinishEnd(task(E.Task), finish(E.A));
+    break;
+  case Event::Kind::Read:
+    Tool.onRead(task(E.Task), reinterpret_cast<const void *>(E.A),
+                static_cast<uint32_t>(E.B));
+    break;
+  case Event::Kind::Write:
+    Tool.onWrite(task(E.Task), reinterpret_cast<const void *>(E.A),
+                 static_cast<uint32_t>(E.B));
+    break;
+  case Event::Kind::RegisterRange:
+    Tool.onRegisterRange(reinterpret_cast<const void *>(E.A), E.B, E.C);
+    break;
+  case Event::Kind::UnregisterRange:
+    Tool.onUnregisterRange(reinterpret_cast<const void *>(E.A));
+    break;
+  case Event::Kind::LockAcquire:
+    Tool.onLockAcquire(task(E.Task), reinterpret_cast<const void *>(E.A));
+    break;
+  case Event::Kind::LockRelease:
+    Tool.onLockRelease(task(E.Task), reinterpret_cast<const void *>(E.A));
+    break;
+  }
+}
 
-  Tool.onRunEnd(Root);
+void Replayer::end() { Tool.onRunEnd(task(0)); }
+
+bool replay(const Trace &T, detector::Tool &Tool) {
+  Replayer R(T, Tool);
+  if (!R.begin())
+    return false;
+  for (size_t I = 0; I < T.size(); ++I)
+    R.step(I);
+  R.end();
   return true;
 }
 

@@ -32,6 +32,7 @@
 #include "detector/Tool.h"
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -62,6 +63,10 @@ struct Event {
   uint64_t B = 0;
   uint32_t C = 0;
 };
+
+/// One-line human rendering of an event, e.g. "t3 write 0x7f..+8" —
+/// used by the auditor's divergence reports and the audit CLI.
+std::string toString(const Event &E);
 
 /// A recorded execution: events in a happens-before-consistent order.
 class Trace {
@@ -123,6 +128,50 @@ private:
   std::mutex Mutex;
   uint32_t NextTask = 0;
   uint32_t NextFinish = 0;
+};
+
+/// Stepwise replay driver. Owns the reconstructed task / finish-scope
+/// skeletons for one tool and feeds it one recorded event at a time —
+/// the building block for replay() and for auditors that interleave
+/// per-event checks (or drive several tools in lockstep, one Replayer
+/// each, since every tool needs exclusive use of the skeletons' ToolData
+/// slots).
+///
+/// Usage: begin() once (emits onRunStart), then step(I) for I in
+/// 0..trace.size()-1 in order, then end() (emits onRunEnd).
+class Replayer {
+public:
+  /// \p T must outlive the Replayer. \p Tool is the tool every event is
+  /// fed to.
+  Replayer(const Trace &T, detector::Tool &Tool);
+  ~Replayer();
+
+  Replayer(const Replayer &) = delete;
+  Replayer &operator=(const Replayer &) = delete;
+
+  /// Emit onRunStart. Returns false (and disables step/end) if the tool
+  /// requires depth-first sequential order, which an arbitrary recorded
+  /// linearization does not provide.
+  bool begin();
+
+  /// Feed event \p I to the tool. Events must be fed in increasing order.
+  void step(size_t I);
+
+  /// Emit onRunEnd.
+  void end();
+
+  /// The skeleton task for recorded task id \p Id (created on demand).
+  /// Auditors use this to query the tool's per-task state, e.g. the
+  /// current DPST step after an access event.
+  rt::Task &task(uint32_t Id);
+
+private:
+  rt::FinishRecord &finish(uint64_t Id);
+
+  const Trace &T;
+  detector::Tool &Tool;
+  std::vector<std::unique_ptr<rt::Task>> Tasks;
+  std::vector<std::unique_ptr<rt::FinishRecord>> Finishes;
 };
 
 /// Feed a recorded trace through \p Tool as if the program were executing

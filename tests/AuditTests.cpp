@@ -1,0 +1,508 @@
+//===- tests/AuditTests.cpp - audit subsystem unit + negative tests --------===//
+//
+// The auditor audits the detector, so these tests must answer "who audits
+// the auditor": positives check that clean runs produce clean reports, and
+// the negative tests inject specific corruption — hand-linked malformed
+// DPSTs, shadow cells clobbered mid-replay — and assert the exact rule id
+// the auditor must raise. An auditor that cannot see planted bugs is
+// worthless as evidence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "audit/ShadowAuditor.h"
+
+#include "detector/Tracked.h"
+#include "runtime/Runtime.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace {
+
+using namespace spd3;
+using audit::AuditReport;
+using audit::DpstVerifier;
+using audit::Rule;
+using audit::ShadowAuditor;
+using audit::ShadowAuditorOptions;
+using dpst::Node;
+using dpst::NodeKind;
+using trace::RecorderTool;
+using trace::Trace;
+
+//===----------------------------------------------------------------------===//
+// Rule ids are API: negative tests (and downstream triage tooling) match on
+// the exact strings, so lock them down.
+//===----------------------------------------------------------------------===//
+
+TEST(AuditRules, IdsAreStable) {
+  EXPECT_STREQ(audit::ruleId(Rule::DpstRootShape), "AUD-DPST-ROOT");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstParentLink), "AUD-DPST-PARENT");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstDepth), "AUD-DPST-DEPTH");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstSeqNo), "AUD-DPST-SEQNO");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstSiblingOrder), "AUD-DPST-ORDER");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstChildCount), "AUD-DPST-COUNT");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstStepLeaf), "AUD-DPST-LEAF");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstInteriorShape), "AUD-DPST-INTERIOR");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstSizeBound), "AUD-DPST-SIZE");
+  EXPECT_STREQ(audit::ruleId(Rule::DpstNodeCount), "AUD-DPST-NODES");
+  EXPECT_STREQ(audit::ruleId(Rule::ShadowFalseRace), "AUD-SHDW-FALSEPOS");
+  EXPECT_STREQ(audit::ruleId(Rule::ShadowMissedRace), "AUD-SHDW-MISSED");
+  EXPECT_STREQ(audit::ruleId(Rule::ShadowTripleSubtree), "AUD-SHDW-TRIPLE");
+  EXPECT_STREQ(audit::ruleId(Rule::ShadowStaleWriter), "AUD-SHDW-WRITER");
+  EXPECT_STREQ(audit::ruleId(Rule::ShadowLocksIgnored), "AUD-SHDW-LOCKS");
+  // Every rule renders a non-empty description.
+  for (int R = 0; R <= static_cast<int>(Rule::ShadowLocksIgnored); ++R)
+    EXPECT_STRNE(audit::ruleDescription(static_cast<Rule>(R)), "");
+}
+
+//===----------------------------------------------------------------------===//
+// DpstVerifier: positives over real trees, negatives over hand-linked ones.
+//===----------------------------------------------------------------------===//
+
+TEST(AuditDpstVerifier, AcceptsTreeBuiltByRealRun) {
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Tool});
+  RT.run([&] {
+    rt::finish([&] {
+      for (int I = 0; I < 8; ++I)
+        rt::async([] {});
+      rt::finish([&] { rt::async([] {}); });
+    });
+  });
+  AuditReport R = DpstVerifier().verify(Tool.tree());
+  EXPECT_TRUE(R.ok()) << R.str();
+  EXPECT_TRUE(R.findings().empty());
+}
+
+/// A minimal well-formed hand tree: a root finish over one step. The
+/// negative tests below each break exactly one rule of this shape.
+struct HandTree {
+  Node Root{nullptr, NodeKind::Finish, 0, 0};
+  Node Step1{&Root, NodeKind::Step, 1, 1};
+
+  HandTree() {
+    Root.FirstChild = Root.LastChild = &Step1;
+    Root.NumChildren = 1;
+  }
+};
+
+TEST(AuditDpstVerifier, AcceptsMinimalHandTree) {
+  HandTree H;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root, 2);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsBadRootShape) {
+  // A step cannot be a DPST root.
+  Node Root(nullptr, NodeKind::Step, 0, 0);
+  AuditReport R = DpstVerifier().verifyTree(&Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstRootShape)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsDepthViolation) {
+  HandTree H;
+  Node Deep(&H.Root, NodeKind::Step, 7, 2); // Depth must be 1.
+  H.Step1.NextSibling = &Deep;
+  H.Root.LastChild = &Deep;
+  H.Root.NumChildren = 2;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstDepth)) << R.str();
+  EXPECT_FALSE(R.findings().front().NodePath.empty());
+}
+
+TEST(AuditDpstVerifier, FlagsParentLinkViolation) {
+  HandTree H;
+  Node Stranger(nullptr, NodeKind::Finish, 0, 0);
+  Node Orphan(&Stranger, NodeKind::Step, 1, 2); // Linked under Root but
+  H.Step1.NextSibling = &Orphan;                // claims another parent.
+  H.Root.LastChild = &Orphan;
+  H.Root.NumChildren = 2;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstParentLink)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsSeqNoGap) {
+  HandTree H;
+  Node Skipped(&H.Root, NodeKind::Step, 1, 3); // SeqNo 2 is skipped.
+  H.Step1.NextSibling = &Skipped;
+  H.Root.LastChild = &Skipped;
+  H.Root.NumChildren = 2;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstSeqNo)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsSiblingOrderInversion) {
+  HandTree H;
+  // Three children with seqNos 1, 3, 2: position 2 raises SEQNO (3 != 2)
+  // and position 3 additionally raises ORDER (2 after 3).
+  Node B(&H.Root, NodeKind::Step, 1, 3);
+  Node C(&H.Root, NodeKind::Step, 1, 2);
+  H.Step1.NextSibling = &B;
+  B.NextSibling = &C;
+  H.Root.LastChild = &C;
+  H.Root.NumChildren = 3;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstSiblingOrder)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsStepWithChildren) {
+  HandTree H;
+  Node Child(&H.Step1, NodeKind::Step, 2, 1);
+  H.Step1.FirstChild = H.Step1.LastChild = &Child;
+  H.Step1.NumChildren = 1;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstStepLeaf)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsChildCountMismatch) {
+  HandTree H;
+  H.Root.NumChildren = 5; // One child is linked.
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstChildCount)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsInteriorWithoutStepChild) {
+  HandTree H;
+  // An async whose first (and only) child is a finish: Section 3.1 always
+  // gives interior nodes an initial step child.
+  Node A(&H.Root, NodeKind::Async, 1, 2);
+  Node F(&A, NodeKind::Finish, 2, 1);
+  Node FStep(&F, NodeKind::Step, 3, 1);
+  H.Step1.NextSibling = &A;
+  H.Root.LastChild = &A;
+  H.Root.NumChildren = 2;
+  A.FirstChild = A.LastChild = &F;
+  A.NumChildren = 1;
+  F.FirstChild = F.LastChild = &FStep;
+  F.NumChildren = 1;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstInteriorShape)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsSizeBoundViolation) {
+  HandTree H;
+  // Four step children under one finish: 5 nodes > 3*(0+1)-1 = 2. The
+  // builder can never produce this (each interior insertion adds at most
+  // three nodes).
+  Node S2(&H.Root, NodeKind::Step, 1, 2);
+  Node S3(&H.Root, NodeKind::Step, 1, 3);
+  Node S4(&H.Root, NodeKind::Step, 1, 4);
+  H.Step1.NextSibling = &S2;
+  S2.NextSibling = &S3;
+  S3.NextSibling = &S4;
+  H.Root.LastChild = &S4;
+  H.Root.NumChildren = 4;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstSizeBound)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FlagsNodeCountMismatch) {
+  HandTree H;
+  AuditReport R = DpstVerifier().verifyTree(&H.Root, 7); // Tree has 2.
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.hasRule(Rule::DpstNodeCount)) << R.str();
+}
+
+TEST(AuditDpstVerifier, FindingCapBoundsReportSize) {
+  HandTree H;
+  // 12 children all claiming seqNo 9: a violation at nearly every child.
+  std::vector<std::unique_ptr<Node>> Kids;
+  Node *Prev = &H.Step1;
+  for (int I = 0; I < 12; ++I) {
+    Kids.push_back(std::make_unique<Node>(&H.Root, NodeKind::Step, 1, 9));
+    Prev->NextSibling = Kids.back().get();
+    Prev = Kids.back().get();
+  }
+  H.Root.LastChild = Prev;
+  H.Root.NumChildren = 13;
+  audit::DpstVerifierOptions Opts;
+  Opts.MaxFindings = 3;
+  AuditReport R = DpstVerifier(Opts).verifyTree(&H.Root);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.findings().size(), 3u);
+}
+
+TEST(AuditDpstVerifier, ValidateDelegatesToVerifier) {
+  // The legacy bool interface must agree with the structured pass.
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::Parallel, &Tool});
+  RT.run([&] { rt::finish([&] { rt::async([] {}); }); });
+  std::string Err;
+  EXPECT_TRUE(Tool.tree().validate(&Err)) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// ShadowAuditor: lockstep SPD3-vs-oracle replay.
+//===----------------------------------------------------------------------===//
+
+/// Record a small program: a finish over NTasks asyncs that each write
+/// their own array slot, plus (optionally) a genuine write-write race on
+/// one shared variable.
+Trace recordSample(bool Racy, unsigned Workers = 2) {
+  Trace T;
+  RecorderTool Rec(T);
+  rt::Runtime RT({Workers, rt::SchedulerKind::Parallel, &Rec});
+  RT.run([&] {
+    detector::TrackedArray<int> A(16, 0);
+    detector::TrackedVar<int> Hot(0);
+    rt::finish([&] {
+      for (int I = 0; I < 16; ++I)
+        rt::async([&, I] {
+          A.set(I, I);
+          if (Racy)
+            Hot.set(I);
+          else
+            (void)Hot.get();
+        });
+    });
+    int Sum = 0;
+    for (int I = 0; I < 16; ++I)
+      Sum += A.get(I);
+    (void)Sum;
+  });
+  return T;
+}
+
+TEST(AuditShadow, CleanOnRaceFreeProgram) {
+  Trace T = recordSample(/*Racy=*/false);
+  ShadowAuditor A;
+  AuditReport R = A.audit(T);
+  EXPECT_TRUE(R.ok()) << R.str();
+  EXPECT_TRUE(R.findings().empty()) << R.str();
+  EXPECT_FALSE(A.summary().Spd3Raced);
+  EXPECT_FALSE(A.summary().OracleRaced);
+  EXPECT_GT(A.summary().MemoryEvents, 16u);
+  size_t Events = A.summary().Events;
+  // audit() builds fresh detectors per call, so it is repeatable.
+  AuditReport R2 = A.audit(T);
+  EXPECT_TRUE(R2.ok()) << R2.str();
+  EXPECT_EQ(A.summary().Events, Events);
+}
+
+TEST(AuditShadow, DetectorsAgreeOnRacyProgram) {
+  ShadowAuditor A;
+  AuditReport R = A.audit(recordSample(/*Racy=*/true));
+  // Both detectors must flag the race — at the same event, which is what
+  // makes this a pass rather than a FALSEPOS/MISSED finding.
+  EXPECT_TRUE(R.ok()) << R.str();
+  EXPECT_TRUE(A.summary().Spd3Raced);
+  EXPECT_TRUE(A.summary().OracleRaced);
+  EXPECT_GE(A.summary().AgreedRaces, 1u);
+}
+
+TEST(AuditShadow, AuditsBothProtocolsAndCacheConfigs) {
+  Trace T = recordSample(/*Racy=*/true);
+  for (auto Proto : {detector::Spd3Options::Protocol::LockFree,
+                     detector::Spd3Options::Protocol::Mutex})
+    for (bool Caches : {true, false}) {
+      ShadowAuditorOptions Opts;
+      Opts.Spd3Opts.Proto = Proto;
+      Opts.Spd3Opts.CheckCache = Caches;
+      Opts.Spd3Opts.DmhpMemo = Caches;
+      ShadowAuditor A(Opts);
+      AuditReport R = A.audit(T);
+      EXPECT_TRUE(R.ok()) << R.str();
+      EXPECT_GE(A.summary().AgreedRaces, 1u);
+    }
+}
+
+TEST(AuditShadow, WarnsOnceOnLockEvents) {
+  Trace T;
+  {
+    RecorderTool Rec(T);
+    rt::Runtime RT({1, rt::SchedulerKind::Parallel, &Rec});
+    RT.run([&] {
+      detector::TrackedVar<int> X(0);
+      detector::TrackedLock L;
+      rt::finish([&] {
+        L.acquire();
+        X.set(1);
+        L.release();
+        L.acquire();
+        X.set(2);
+        L.release();
+      });
+    });
+  }
+  ShadowAuditor A;
+  AuditReport R = A.audit(T);
+  EXPECT_TRUE(R.ok()) << R.str(); // A warning, not an invariant violation.
+  EXPECT_EQ(R.countRule(Rule::ShadowLocksIgnored), 1u);
+  EXPECT_EQ(R.findings().front().S, audit::Severity::Warning);
+}
+
+/// Deterministic single-task recording for injection tests: record under
+/// the depth-first scheduler so event indices are stable.
+Trace recordDeterministic(const std::function<void()> &Body) {
+  Trace T;
+  RecorderTool Rec(T);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Rec});
+  RT.run([&] { rt::finish(Body); });
+  return T;
+}
+
+/// Index of the \p Nth (1-based) event of kind \p K at address \p Addr.
+size_t eventIndex(const Trace &T, trace::Event::Kind K, const void *Addr,
+                  size_t Nth) {
+  size_t Seen = 0;
+  for (size_t I = 0; I < T.size(); ++I) {
+    const trace::Event &E = T.events()[I];
+    if (E.K == K && E.A == reinterpret_cast<uintptr_t>(Addr) && ++Seen == Nth)
+      return I;
+  }
+  ADD_FAILURE() << "event not found in trace";
+  return size_t(-1);
+}
+
+TEST(AuditShadow, CatchesInjectedStaleWriter) {
+  detector::TrackedVar<int> X(0);
+  Trace T = recordDeterministic([&] {
+    X.set(1);
+    X.set(2);
+  });
+  size_t WriteIdx = eventIndex(T, trace::Event::Kind::Write, X.raw(), 2);
+
+  ShadowAuditorOptions Opts;
+  Opts.OnEvent = [&](size_t I, ShadowAuditor &A) {
+    if (I != WriteIdx)
+      return;
+    // Clobber w right after SPD3 processed the write: the auditor's
+    // post-event check must notice w is not the writing step.
+    A.spd3().shadowCell(X.raw()).W.store(nullptr);
+  };
+  ShadowAuditor A(Opts);
+  AuditReport R = A.audit(T);
+  EXPECT_FALSE(R.ok());
+  ASSERT_TRUE(R.hasRule(Rule::ShadowStaleWriter)) << R.str();
+  // The finding pinpoints the event and carries the replayed prefix.
+  const audit::Finding &F = R.findings().front();
+  EXPECT_EQ(F.EventIndex, static_cast<int64_t>(WriteIdx));
+  EXPECT_NE(F.Message.find("event prefix"), std::string::npos);
+}
+
+TEST(AuditShadow, CatchesInjectedMissedRace) {
+  detector::TrackedVar<int> Hot(0);
+  Trace T = recordDeterministic([&] {
+    rt::async([&] { Hot.set(1); });
+    rt::async([&] { Hot.set(2); });
+  });
+  size_t RaceIdx = eventIndex(T, trace::Event::Kind::Write, Hot.raw(), 2);
+
+  ShadowAuditorOptions Opts;
+  Opts.OnEvent = [&](size_t I, ShadowAuditor &A) {
+    if (I != RaceIdx - 1)
+      return;
+    // Erase the shadow triple just before the second parallel write
+    // replays: SPD3 now sees a never-accessed location and stays silent
+    // while the oracle still reports the write-write race.
+    detector::Spd3Tool::Cell &C = A.spd3().shadowCell(Hot.raw());
+    C.W.store(nullptr);
+    C.R1.store(nullptr);
+    C.R2.store(nullptr);
+  };
+  ShadowAuditor A(Opts);
+  AuditReport R = A.audit(T);
+  EXPECT_FALSE(R.ok());
+  ASSERT_TRUE(R.hasRule(Rule::ShadowMissedRace)) << R.str();
+  EXPECT_EQ(R.findings().front().EventIndex, static_cast<int64_t>(RaceIdx));
+}
+
+TEST(AuditShadow, CatchesInjectedFalseRace) {
+  detector::TrackedVar<int> X(0), Y(0);
+  Trace T = recordDeterministic([&] {
+    rt::async([&] { Y.set(1); }); // Replays first under depth-first order.
+    rt::async([&] { X.set(1); });
+  });
+  size_t XWrite = eventIndex(T, trace::Event::Kind::Write, X.raw(), 1);
+
+  ShadowAuditorOptions Opts;
+  Opts.OnEvent = [&](size_t I, ShadowAuditor &A) {
+    // Corrupt at the task-start event just before X's only write: plant
+    // Y's writer (a step parallel to X's writer in the DPST) as X's
+    // shadow writer. SPD3 will report a write-write race on the
+    // never-before-accessed X that the oracle refutes.
+    if (I != XWrite - 1)
+      return;
+    Node *Planted = A.spd3().shadowTriple(Y.raw()).W;
+    ASSERT_NE(Planted, nullptr);
+    A.spd3().shadowCell(X.raw()).W.store(Planted);
+  };
+  ShadowAuditor A(Opts);
+  AuditReport R = A.audit(T);
+  EXPECT_FALSE(R.ok());
+  ASSERT_TRUE(R.hasRule(Rule::ShadowFalseRace)) << R.str();
+  EXPECT_EQ(R.findings().front().EventIndex, static_cast<int64_t>(XWrite));
+}
+
+TEST(AuditShadow, CatchesInjectedTripleSubtreeEscape) {
+  detector::TrackedVar<int> X(0);
+  Trace T = recordDeterministic([&] {
+    rt::async([&] { (void)X.get(); });
+    rt::async([&] { (void)X.get(); });
+  });
+  size_t SecondRead = eventIndex(T, trace::Event::Kind::Read, X.raw(), 2);
+  uint32_t SecondReader = T.events()[SecondRead].Task;
+
+  ShadowAuditorOptions Opts;
+  Opts.OnEvent = [&](size_t I, ShadowAuditor &A) {
+    if (I != SecondRead)
+      return;
+    // Shrink the reader triple to just the second reader's step: the first
+    // reader is still concurrent with this event but now lies outside the
+    // subtree rooted at LCA(r1, r2) — exactly the Section 4.1 violation.
+    Node *Mine =
+        detector::Spd3Tool::currentStep(A.spd3Replayer().task(SecondReader));
+    detector::Spd3Tool::Cell &C = A.spd3().shadowCell(X.raw());
+    C.R1.store(Mine);
+    C.R2.store(Mine);
+  };
+  ShadowAuditor A(Opts);
+  AuditReport R = A.audit(T);
+  EXPECT_FALSE(R.ok());
+  ASSERT_TRUE(R.hasRule(Rule::ShadowTripleSubtree)) << R.str();
+  EXPECT_FALSE(R.findings().front().NodePath.empty());
+}
+
+TEST(AuditShadow, RetiresStateOnRangeReuse) {
+  // Two arrays whose lifetimes do not overlap may reuse addresses; the
+  // auditor must drop per-address reader/poison state at unregistration
+  // rather than carry it into the next array's accesses.
+  Trace T;
+  {
+    RecorderTool Rec(T);
+    rt::Runtime RT({1, rt::SchedulerKind::Parallel, &Rec});
+    RT.run([&] {
+      rt::finish([&] {
+        detector::TrackedArray<int> A(8, 0);
+        for (int I = 0; I < 8; ++I)
+          A.set(I, I);
+      });
+      rt::finish([&] {
+        detector::TrackedArray<int> B(8, 0);
+        for (int I = 0; I < 8; ++I)
+          B.add(I, 1);
+      });
+    });
+  }
+  ShadowAuditor A;
+  AuditReport R = A.audit(T);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+} // namespace

@@ -51,6 +51,8 @@ enum class Detector {
   Spd3Mutex, ///< SPD3, striped-lock protocol (Section 5.4 ablation)
   Spd3NoCache, ///< SPD3 without the check-elimination cache (Section 5.5)
   Spd3NoMemo,  ///< SPD3 without the DMHP memo (future-work ablation)
+  Spd3NoLabel, ///< SPD3 without the path-label DMHP fast path
+  Spd3NoBatch, ///< SPD3 with range events expanded element-wise
   EspBags,   ///< sequential ESP-bags baseline
   FastTrack, ///< FastTrack baseline
   Eraser,    ///< Eraser baseline
@@ -68,6 +70,10 @@ inline const char *detectorName(Detector D) {
     return "spd3-nocache";
   case Detector::Spd3NoMemo:
     return "spd3-nomemo";
+  case Detector::Spd3NoLabel:
+    return "spd3-nolabel";
+  case Detector::Spd3NoBatch:
+    return "spd3-nobatch";
   case Detector::EspBags:
     return "espbags";
   case Detector::FastTrack:
@@ -95,6 +101,16 @@ inline std::unique_ptr<detector::Tool> makeTool(Detector D,
   case Detector::Spd3NoMemo:
     return std::make_unique<detector::Spd3Tool>(
         Sink, Spd3Options{Spd3Options::Protocol::LockFree, true, false});
+  case Detector::Spd3NoLabel: {
+    Spd3Options O;
+    O.LabelDmhp = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3NoBatch: {
+    Spd3Options O;
+    O.BatchedRanges = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
   case Detector::EspBags:
     return std::make_unique<baselines::EspBagsTool>(Sink);
   case Detector::FastTrack:
@@ -123,7 +139,9 @@ inline BenchEnv benchEnv() {
 }
 
 struct TimedRun {
-  double Seconds = 0.0;
+  double Seconds = 0.0; ///< best (smallest) repetition
+  double Mean = 0.0;    ///< mean over repetitions
+  double Stddev = 0.0;  ///< population stddev over repetitions
   double Checksum = 0.0;
   size_t PeakToolBytes = 0;
   size_t Races = 0;
@@ -131,13 +149,15 @@ struct TimedRun {
 
 /// One measured execution of \p K under detector \p D on \p Threads
 /// workers; best (smallest) wall time of \p Reps repetitions, as in the
-/// paper's methodology. ESP-bags forces the sequential scheduler.
+/// paper's methodology, plus mean and stddev across the repetitions for
+/// the machine-readable reports. ESP-bags forces the sequential scheduler.
 inline TimedRun timedRun(Detector D, kernels::Kernel &K,
                          kernels::KernelConfig Cfg, unsigned Threads,
                          int Reps) {
   Cfg.Verify = false;
   TimedRun Best;
   Best.Seconds = 1e100;
+  std::vector<double> Times;
   for (int R = 0; R < Reps; ++R) {
     detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
     std::unique_ptr<detector::Tool> Tool = makeTool(D, Sink);
@@ -149,6 +169,7 @@ inline TimedRun timedRun(Detector D, kernels::Kernel &K,
     StopWatch W;
     kernels::KernelResult Res = K.execute(RT, Cfg);
     double Sec = W.seconds();
+    Times.push_back(Sec);
     if (Sec < Best.Seconds) {
       Best.Seconds = Sec;
       Best.Checksum = Res.Checksum;
@@ -156,8 +177,78 @@ inline TimedRun timedRun(Detector D, kernels::Kernel &K,
       Best.Races = Sink.raceCount();
     }
   }
+  double Sum = 0.0;
+  for (double T : Times)
+    Sum += T;
+  Best.Mean = Sum / static_cast<double>(Times.size());
+  double Var = 0.0;
+  for (double T : Times)
+    Var += (T - Best.Mean) * (T - Best.Mean);
+  Best.Stddev = std::sqrt(Var / static_cast<double>(Times.size()));
   return Best;
 }
+
+/// Machine-readable benchmark report: `--json <path>` (or `--json=<path>`)
+/// on any table/figure binary writes every recorded data point as a JSON
+/// array of {name, threads, mean, stddev} objects — the format the CI
+/// perf-smoke job archives.
+class JsonReport {
+public:
+  void parseArgs(int Argc, char **Argv) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string A = Argv[I];
+      if (A == "--json" && I + 1 < Argc)
+        Path = Argv[I + 1];
+      else if (A.rfind("--json=", 0) == 0)
+        Path = A.substr(7);
+    }
+  }
+
+  bool active() const { return !Path.empty(); }
+
+  void add(const std::string &Name, int Threads, double Mean,
+           double Stddev) {
+    Entries.push_back(Entry{Name, Threads, Mean, Stddev});
+  }
+
+  void add(const std::string &Name, int Threads, const TimedRun &R) {
+    add(Name, Threads, R.Mean, R.Stddev);
+  }
+
+  /// Write the report; no-op when --json was not given.
+  void write() const {
+    if (Path.empty())
+      return;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot open %s for writing\n", Path.c_str());
+      return;
+    }
+    std::fprintf(F, "[\n");
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      const Entry &E = Entries[I];
+      std::fprintf(F,
+                   "  {\"name\": \"%s\", \"threads\": %d, \"mean\": %.9f, "
+                   "\"stddev\": %.9f}%s\n",
+                   E.Name.c_str(), E.Threads, E.Mean, E.Stddev,
+                   I + 1 < Entries.size() ? "," : "");
+    }
+    std::fprintf(F, "]\n");
+    std::fclose(F);
+    std::printf("wrote %zu data points to %s\n", Entries.size(),
+                Path.c_str());
+  }
+
+private:
+  struct Entry {
+    std::string Name;
+    int Threads;
+    double Mean;
+    double Stddev;
+  };
+  std::string Path;
+  std::vector<Entry> Entries;
+};
 
 /// Geometric mean of positive values.
 inline double geoMean(const std::vector<double> &Values) {

@@ -20,15 +20,39 @@
 #include "Harness.h"
 
 #include "baselines/FastTrack.h"
+#include "support/Stats.h"
 
 using namespace spd3;
 using namespace spd3::bench;
 
-int main() {
+namespace {
+
+/// One instrumented execution under explicit SPD3 options; returns the
+/// value of the dpst/lcaHops counter the run generated.
+uint64_t lcaHopsFor(kernels::Kernel &K, const BenchEnv &E, unsigned T,
+                    detector::Spd3Options O) {
+  stats::resetAll();
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Tool(Sink, O);
+  rt::Runtime RT({T, rt::SchedulerKind::Parallel, &Tool});
+  kernels::KernelConfig Cfg;
+  Cfg.Size = E.Size;
+  Cfg.Var = kernels::Variant::FineGrained;
+  Cfg.Verify = false;
+  K.execute(RT, Cfg);
+  Statistic *S = stats::lookup("dpst", "lcaHops");
+  return S ? S->value() : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  JsonReport Json;
+  Json.parseArgs(Argc, Argv);
   BenchEnv E = benchEnv();
   unsigned T = static_cast<unsigned>(E.Threads.back());
   printHeader("Ablation (Section 5.5): per-step check-elimination cache; "
-              "FastTrack fine-grained blowup",
+              "hot-path optimizations; FastTrack fine-grained blowup",
               E);
 
   std::printf("-- SPD3 (all optimizations) vs no check cache vs no DMHP "
@@ -50,9 +74,68 @@ int main() {
                 Full.Seconds, NoCache.Seconds, NoMemo.Seconds,
                 CacheGain.back(), MemoGain.back());
     std::fflush(stdout);
+    Json.add(std::string("ablation/") + K->name() + "/spd3",
+             static_cast<int>(T), Full);
+    Json.add(std::string("ablation/") + K->name() + "/spd3-nocache",
+             static_cast<int>(T), NoCache);
+    Json.add(std::string("ablation/") + K->name() + "/spd3-nomemo",
+             static_cast<int>(T), NoMemo);
   }
   std::printf("%-12s %10s %10s %10s %8.2fx %8.2fx\n", "GeoMean", "-", "-",
               "-", geoMean(CacheGain), geoMean(MemoGain));
+
+  std::printf("\n-- Hot path: path-label DMHP and batched range events, %u "
+              "workers --\n",
+              T);
+  std::printf("%-12s %10s %11s %11s %10s %10s\n", "benchmark", "full(s)",
+              "nolabel(s)", "nobatch(s)", "label-gain", "batch-gain");
+  std::vector<double> LabelGain, BatchGain;
+  for (kernels::Kernel *K : kernels::allKernels()) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    TimedRun Full = timedRun(Detector::Spd3, *K, Cfg, T, E.Reps);
+    TimedRun NoLabel = timedRun(Detector::Spd3NoLabel, *K, Cfg, T, E.Reps);
+    TimedRun NoBatch = timedRun(Detector::Spd3NoBatch, *K, Cfg, T, E.Reps);
+    LabelGain.push_back(NoLabel.Seconds / Full.Seconds);
+    BatchGain.push_back(NoBatch.Seconds / Full.Seconds);
+    std::printf("%-12s %10.4f %11.4f %11.4f %9.2fx %9.2fx\n", K->name(),
+                Full.Seconds, NoLabel.Seconds, NoBatch.Seconds,
+                LabelGain.back(), BatchGain.back());
+    std::fflush(stdout);
+    Json.add(std::string("ablation/") + K->name() + "/spd3-nolabel",
+             static_cast<int>(T), NoLabel);
+    Json.add(std::string("ablation/") + K->name() + "/spd3-nobatch",
+             static_cast<int>(T), NoBatch);
+  }
+  std::printf("%-12s %10s %11s %11s %9.2fx %9.2fx\n", "GeoMean", "-", "-",
+              "-", geoMean(LabelGain), geoMean(BatchGain));
+
+  std::printf("\n-- DPST walk volume (dpst/lcaHops) with and without the "
+              "hot path --\n");
+  std::printf("%-12s %14s %14s %10s\n", "benchmark", "hops-optimized",
+              "hops-walked", "reduction");
+  for (const char *Name : {"crypt", "matmul", "series", "lufact"}) {
+    kernels::Kernel *K = kernels::findKernel(Name);
+    if (!K)
+      continue;
+    detector::Spd3Options On; // labels + batching (defaults)
+    detector::Spd3Options Off;
+    Off.LabelDmhp = false;
+    Off.BatchedRanges = false;
+    uint64_t HopsOn = lcaHopsFor(*K, E, T, On);
+    uint64_t HopsOff = lcaHopsFor(*K, E, T, Off);
+    double Reduction = HopsOn ? static_cast<double>(HopsOff) /
+                                    static_cast<double>(HopsOn)
+                              : static_cast<double>(HopsOff);
+    std::printf("%-12s %14llu %14llu %9.1fx\n", Name,
+                static_cast<unsigned long long>(HopsOn),
+                static_cast<unsigned long long>(HopsOff), Reduction);
+    std::fflush(stdout);
+  }
+  std::printf("(\"hops\" counts parent-pointer dereferences in LCA walks; "
+              "labels answer most\nDMHP queries without walking, and "
+              "batching asks one question per run.)\n");
 
   std::printf("\n-- FastTrack metadata: chunked vs fine-grained decomposition "
               "--\n");
@@ -83,5 +166,6 @@ int main() {
               "FastTrack comparison uses chunked\nloops and why vector-"
               "clock detectors cannot monitor task-per-iteration\n"
               "parallelism.\n");
+  Json.write();
   return 0;
 }

@@ -14,7 +14,9 @@
 using namespace spd3;
 using namespace spd3::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  JsonReport Json;
+  Json.parseArgs(Argc, Argv);
   BenchEnv E = benchEnv();
   printHeader("Figure 3: SPD3 relative slowdown per benchmark and worker "
               "count",
@@ -39,6 +41,10 @@ int main() {
       PerThreadSlowdowns[TI].push_back(Slowdown);
       std::printf("  %7.2fx", Slowdown);
       std::fflush(stdout);
+      Json.add(std::string("fig3/") + K->name() + "/base",
+               static_cast<int>(T), Base);
+      Json.add(std::string("fig3/") + K->name() + "/spd3",
+               static_cast<int>(T), Spd3);
     }
     std::printf("\n");
   }
@@ -49,5 +55,6 @@ int main() {
   std::printf("\n\npaper: geomean 2.78x at 16 threads; Crypt/LUFact/"
               "RayTracer/FFT ~10x;\nslowdown approximately flat from 1 to "
               "16 threads (scalability).\n");
+  Json.write();
   return 0;
 }

@@ -75,7 +75,20 @@ static void BM_DpstDmhp(benchmark::State &State) {
     benchmark::DoNotOptimize(Dpst::dmhp(A, B));
   State.SetItemsProcessed(State.iterations());
 }
-BENCHMARK(BM_DpstDmhp)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_DpstDmhp)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+/// DMHP through the path-label fast path (dmhpFast). The two chains
+/// diverge at the root, so the label comparison is decisive at every
+/// depth: cost should be flat while BM_DpstDmhp grows linearly — the
+/// constant-factor win of the label encoding.
+static void BM_DpstDmhpLabeled(benchmark::State &State) {
+  Dpst T;
+  auto [A, B] = chainLeaves(T, State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dpst::dmhpFast(A, B));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DpstDmhpLabeled)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
 
 /// DMHP between *shallow* steps is O(1) even in a huge, wide tree: cost
 /// tracks path length, not task count — the scalability core of the
@@ -94,6 +107,23 @@ static void BM_DpstDmhpWideTree(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_DpstDmhpWideTree)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 18);
+
+/// Wide-tree DMHP through the label fast path: shallow siblings always
+/// resolve from the first label word.
+static void BM_DpstDmhpWideTreeLabeled(benchmark::State &State) {
+  Dpst T;
+  Node *First = nullptr, *Last = nullptr;
+  for (int64_t I = 0; I < State.range(0); ++I) {
+    Dpst::AsyncInsertion Ins = T.onAsync(T.root());
+    if (!First)
+      First = Ins.ChildStep;
+    Last = Ins.ChildStep;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dpst::dmhpFast(First, Last));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DpstDmhpWideTreeLabeled)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 18);
 
 /// One warm SPD3 read action (hash-free dense shadow, no update needed):
 /// the steady-state per-access detector cost.
@@ -121,6 +151,27 @@ BENCHMARK(BM_Spd3ReadAction<detector::Spd3Options::Protocol::LockFree>)
     ->Name("BM_Spd3ReadAction_LockFree");
 BENCHMARK(BM_Spd3ReadAction<detector::Spd3Options::Protocol::Mutex>)
     ->Name("BM_Spd3ReadAction_Mutex");
+
+/// The same 64 warm reads delivered as one batched range event: one
+/// shadow-range lookup and one compute stage for the whole run instead of
+/// 64 memory actions.
+static void BM_Spd3ReadRangeAction(benchmark::State &State) {
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    detector::TrackedArray<double> A(64, 1.0);
+    rt::finish([&] {
+      rt::async([&] { (void)A.readRun(0, 64); });
+    });
+    for (auto _ : State) {
+      const double *P = A.readRun(0, 64);
+      benchmark::DoNotOptimize(P);
+    }
+    State.SetItemsProcessed(State.iterations() * 64);
+  });
+}
+BENCHMARK(BM_Spd3ReadRangeAction);
 
 /// Uninstrumented accessor cost for reference (the branch-only fast path).
 static void BM_UninstrumentedAccess(benchmark::State &State) {

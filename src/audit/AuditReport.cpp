@@ -28,6 +28,10 @@ const char *ruleId(Rule R) {
     return "AUD-DPST-SIZE";
   case Rule::DpstNodeCount:
     return "AUD-DPST-NODES";
+  case Rule::DpstLabelPath:
+    return "AUD-DPST-LABEL-PATH";
+  case Rule::DpstLabelDmhp:
+    return "AUD-DPST-LABEL-DMHP";
   case Rule::ShadowFalseRace:
     return "AUD-SHDW-FALSEPOS";
   case Rule::ShadowMissedRace:
@@ -66,6 +70,12 @@ const char *ruleDescription(Rule R) {
     return "the node count respects the paper's 3*(asyncs+finishes)-1 bound";
   case Rule::DpstNodeCount:
     return "the reachable node count equals Dpst::nodeCount()";
+  case Rule::DpstLabelPath:
+    return "every node's path label is its parent's label extended by the "
+           "node's own (seqNo, kind) component";
+  case Rule::DpstLabelDmhp:
+    return "on sampled step pairs, a decisive label-based DMHP verdict "
+           "equals the Theorem-1 tree walk";
   case Rule::ShadowFalseRace:
     return "SPD3 reported a race the vector-clock oracle refutes (precision)";
   case Rule::ShadowMissedRace:

@@ -44,6 +44,8 @@ enum class Rule : uint8_t {
   DpstInteriorShape, ///< Async/finish nodes have >= 1 child; first is a step.
   DpstSizeBound,     ///< Node count respects the paper's 3*(a+f)-1 bound.
   DpstNodeCount,     ///< Reachable nodes == Dpst::nodeCount().
+  DpstLabelPath,     ///< Every node's PathLabel extends its parent's label.
+  DpstLabelDmhp,     ///< Decisive label DMHP agrees with the Theorem-1 walk.
 
   // --- ShadowAuditor (trace replay cross-check) ---
   ShadowFalseRace,     ///< SPD3 flagged a race the vector-clock oracle refutes.

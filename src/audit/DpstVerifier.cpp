@@ -16,6 +16,11 @@ const char *kindName(const Node *N) {
   return N->isStep() ? "step" : N->isAsync() ? "async" : "finish";
 }
 
+/// Cap on steps collected for the AUD-DPST-LABEL-DMHP sample.
+constexpr size_t kMaxSampledSteps = 64;
+/// Cap on label-vs-walk pairs checked per audit.
+constexpr size_t kMaxSampledPairs = 1024;
+
 /// Walk state shared by the rule checks.
 struct Walk {
   const DpstVerifierOptions &Opts;
@@ -24,6 +29,8 @@ struct Walk {
   uint64_t Asyncs = 0;
   uint64_t Finishes = 0;
   uint64_t Reachable = 0;
+  /// Steps collected for the AUD-DPST-LABEL-DMHP sampled cross-check.
+  std::vector<const Node *> SampledSteps;
 
   bool full() const { return Report.findings().size() >= Opts.MaxFindings; }
 
@@ -75,6 +82,11 @@ void checkChildren(Walk &W, const Node *N,
          << Prev->SeqNo;
       W.fail(Rule::DpstSiblingOrder, C, OS.str());
     }
+    if (!(C->Label == dpst::PathLabel::extend(N->Label, C->Depth, C->SeqNo,
+                                              C->isAsync())))
+      W.fail(Rule::DpstLabelPath, C,
+             "path label is not the parent's label extended by this node's "
+             "(seqNo, kind) component");
     Prev = C;
     Stack.push_back(C);
   }
@@ -101,6 +113,10 @@ void walkTree(Walk &W, const Node *Root) {
       ++W.Steps;
       if (N->FirstChild || N->NumChildren)
         W.fail(Rule::DpstStepLeaf, N, "step node has children");
+      // Reservoir-free deterministic sample: keep the first kMaxSampledSteps
+      // steps in DFS order for the label/walk DMHP agreement check.
+      if (W.SampledSteps.size() < kMaxSampledSteps)
+        W.SampledSteps.push_back(N);
       continue; // Leaves have nothing further to check.
     case dpst::NodeKind::Async:
       ++W.Asyncs;
@@ -124,7 +140,7 @@ void walkTree(Walk &W, const Node *Root) {
 
 AuditReport run(const DpstVerifierOptions &Opts, const Node *Root,
                 int64_t ExpectedNodeCount) {
-  Walk W{Opts, {}, 0, 0, 0, 0};
+  Walk W{Opts, {}, 0, 0, 0, 0, {}};
   if (!Root) {
     W.fail(Rule::DpstRootShape, nullptr, "tree has no root");
     return std::move(W.Report);
@@ -137,6 +153,39 @@ AuditReport run(const DpstVerifierOptions &Opts, const Node *Root,
   walkTree(W, Root);
   if (W.full())
     return std::move(W.Report);
+
+  // Label/walk DMHP agreement on sampled step pairs. The Theorem-1 walk is
+  // only trustworthy on a structurally sound tree (corrupt parent links can
+  // cycle), so skip the sample when any non-label structural rule fired.
+  bool StructurallySound = true;
+  for (const Finding &F : W.Report.findings())
+    if (F.R != Rule::DpstLabelPath)
+      StructurallySound = false;
+  if (StructurallySound) {
+    size_t Pairs = 0;
+    for (size_t I = 0; I < W.SampledSteps.size() && Pairs < kMaxSampledPairs;
+         ++I) {
+      for (size_t J = I + 1;
+           J < W.SampledSteps.size() && Pairs < kMaxSampledPairs; ++J) {
+        const Node *A = W.SampledSteps[I];
+        const Node *B = W.SampledSteps[J];
+        dpst::LabelVerdict V = Dpst::labelDmhp(A, B);
+        if (V == dpst::LabelVerdict::Unknown)
+          continue;
+        ++Pairs;
+        bool Walk = Dpst::dmhp(A, B);
+        if ((V == dpst::LabelVerdict::Parallel) != Walk) {
+          std::ostringstream OS;
+          OS << "label DMHP says " << (Walk ? "serial" : "parallel")
+             << " but the Theorem-1 walk says " << (Walk ? "parallel" : "serial")
+             << " against step " << Dpst::pathString(B);
+          W.fail(Rule::DpstLabelDmhp, A, OS.str());
+          if (W.full())
+            break;
+        }
+      }
+    }
+  }
 
   // Size bound (Section 5.3): every async contributes at most 3 nodes
   // (async, child step, continuation step) and every finish at most 3

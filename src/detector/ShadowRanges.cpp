@@ -83,4 +83,14 @@ void RangeTable::forEach(const std::function<void(Range &)> &Fn) {
       Fn(Ranges[I]);
 }
 
+void RangeTable::forEach(
+    const std::function<void(const Range &)> &Fn) const {
+  uint32_t N = NumRanges.load(std::memory_order_acquire);
+  if (N > Ranges.size())
+    N = Ranges.size();
+  for (uint32_t I = 0; I < N; ++I)
+    if (Ranges[I].Base.load(std::memory_order_acquire))
+      Fn(Ranges[I]);
+}
+
 } // namespace spd3::detector

@@ -91,6 +91,7 @@ public:
   /// Visit every published range (live and dead). Not concurrency-safe
   /// against registration; used for destruction and accounting.
   void forEach(const std::function<void(Range &)> &Fn);
+  void forEach(const std::function<void(const Range &)> &Fn) const;
 
   size_t published() const {
     return NumRanges.load(std::memory_order_acquire);

@@ -7,9 +7,9 @@
 /// \file
 /// ShadowSpace<Cell> maps monitored addresses to detector-specific shadow
 /// cells. Registered dense ranges (TrackedArray) resolve by direct
-/// indexing; everything else (TrackedVar scalars) falls back to a sharded
-/// hash map whose nodes are stable, so a cell pointer stays valid for the
-/// lifetime of the space.
+/// indexing; everything else (TrackedVar scalars) falls back to a lock-free
+/// open-addressed table (ShadowTable) whose cells are stable, so a cell
+/// pointer stays valid for the lifetime of the space.
 ///
 /// Every detector in this repository keeps *per-location* state in one of
 /// these — what differs is the Cell type, which is the heart of the paper's
@@ -23,11 +23,8 @@
 #define SPD3_DETECTOR_SHADOWSPACE_H
 
 #include "detector/ShadowRanges.h"
+#include "detector/ShadowTable.h"
 #include "support/Compiler.h"
-
-#include <memory>
-#include <mutex>
-#include <unordered_map>
 
 namespace spd3::detector {
 
@@ -50,7 +47,25 @@ public:
     if (RangeTable::Range *R = Ranges.find(Addr))
       return static_cast<Cell *>(R->Cells) +
              R->indexOf(reinterpret_cast<uintptr_t>(Addr));
-    return fallbackCell(Addr);
+    return Fallback.cell(Addr);
+  }
+
+  /// The cells for \p Count contiguous elements of \p ElemSize bytes
+  /// starting at \p Addr, as one dense run: &run[i] shadows element i. Null
+  /// unless the whole run lies inside a single registered range whose
+  /// element size matches and \p Addr is element-aligned within it —
+  /// callers fall back to per-element cell() lookups otherwise.
+  Cell *runCells(const void *Addr, size_t Count, uint32_t ElemSize) {
+    RangeTable::Range *R = Ranges.find(Addr);
+    if (!R || R->ElemSize != ElemSize)
+      return nullptr;
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    uintptr_t B = R->Base.load(std::memory_order_relaxed);
+    if ((A - B) % ElemSize != 0)
+      return nullptr;
+    if (A + Count * ElemSize > R->End)
+      return nullptr;
+    return static_cast<Cell *>(R->Cells) + R->indexOf(A);
   }
 
   /// Pre-size shadow storage for a dense array of \p Count elements of
@@ -67,42 +82,22 @@ public:
 
   /// Total shadow cells allocated (dense + fallback).
   size_t cellCount() const {
-    size_t N = NumFallbackCells.load(std::memory_order_relaxed);
-    const_cast<RangeTable &>(Ranges).forEach(
-        [&](RangeTable::Range &R) { N += R.Count; });
+    size_t N = Fallback.cellCount();
+    Ranges.forEach([&](const RangeTable::Range &R) { N += R.Count; });
     return N;
   }
 
-  /// Shadow storage footprint in bytes (cells only; hash-map node overhead
-  /// is charged at a flat estimate per fallback cell).
+  /// Shadow storage footprint in bytes: dense range cells plus the
+  /// fallback table's resident chunks and directory.
   size_t memoryBytes() const {
-    constexpr size_t MapNodeOverhead = 32;
-    size_t Fallback = NumFallbackCells.load(std::memory_order_relaxed);
-    return cellCount() * sizeof(Cell) + Fallback * MapNodeOverhead;
+    size_t RangeCells = 0;
+    Ranges.forEach([&](const RangeTable::Range &R) { RangeCells += R.Count; });
+    return RangeCells * sizeof(Cell) + Fallback.memoryBytes();
   }
 
 private:
-  Cell *fallbackCell(const void *Addr) {
-    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
-    Shard &S = Shards[(A >> 4) & (NumShards - 1)];
-    std::lock_guard<std::mutex> Lock(S.Mutex);
-    std::unique_ptr<Cell> &Slot = S.Map[A];
-    if (!Slot) {
-      Slot = std::make_unique<Cell>();
-      NumFallbackCells.fetch_add(1, std::memory_order_relaxed);
-    }
-    return Slot.get();
-  }
-
-  static constexpr size_t NumShards = 64;
-  struct Shard {
-    std::mutex Mutex;
-    std::unordered_map<uintptr_t, std::unique_ptr<Cell>> Map;
-  };
-
   RangeTable Ranges;
-  Shard Shards[NumShards];
-  std::atomic<size_t> NumFallbackCells{0};
+  ShadowTable<Cell> Fallback;
 };
 
 } // namespace spd3::detector

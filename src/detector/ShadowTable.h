@@ -1,0 +1,148 @@
+//===- detector/ShadowTable.h - Lock-free fallback shadow table -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free, grow-only hash table mapping addresses to shadow cells — the
+/// fallback store behind ShadowSpace for locations with no registered dense
+/// range (TrackedVar scalars).
+///
+/// The previous implementation sharded a std::unordered_map behind 64
+/// mutexes; every scalar access paid a lock round-trip even though the
+/// workload is insert-once / read-mostly. This table exploits that shape:
+///
+///  - Open addressing with linear probing over a fixed virtual capacity.
+///    A slot is claimed by CAS-ing its key from 0 to the address; losers
+///    re-inspect the published key and either adopt the slot (same address
+///    raced twice) or keep probing. Lookups and inserts are wait-free
+///    except for the one-CAS claim.
+///  - Slots live in lazily allocated chunks published by CAS into a fixed
+///    pointer directory, so cell addresses are stable for the table's
+///    lifetime (ShadowSpace's pointer-stability contract) and memory grows
+///    with use, not capacity.
+///  - Grow-only: keys are never removed. Shadow cells conceptually live
+///    forever (the paper's shadow memory is never reclaimed mid-run), so
+///    deletion support would buy nothing and cost hazard tracking.
+///  - Slots are cache-line aligned so two threads touching neighboring
+///    scalars do not false-share, mirroring the striped-lock padding in
+///    the detector.
+///
+/// The table aborts if the virtual capacity (1M cells) fills — far beyond
+/// any scalar population in this repository; dense data belongs in
+/// registered ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_SHADOWTABLE_H
+#define SPD3_DETECTOR_SHADOWTABLE_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace spd3::detector {
+
+template <typename Cell> class ShadowTable {
+public:
+  ShadowTable() = default;
+
+  ~ShadowTable() {
+    for (auto &Entry : Dir)
+      delete Entry.load(std::memory_order_relaxed);
+  }
+
+  ShadowTable(const ShadowTable &) = delete;
+  ShadowTable &operator=(const ShadowTable &) = delete;
+
+  /// The cell for \p Addr, claiming a slot on first touch. Stable pointer;
+  /// safe to call concurrently with any mix of operations.
+  Cell *cell(const void *Addr) {
+    uintptr_t Key = reinterpret_cast<uintptr_t>(Addr);
+    size_t H = hash(Key);
+    for (size_t P = 0; P < Capacity; ++P) {
+      Slot &S = slot((H + P) & (Capacity - 1));
+      uintptr_t K = S.Key.load(std::memory_order_acquire);
+      if (K == Key)
+        return &S.Value;
+      if (K == 0) {
+        uintptr_t Expected = 0;
+        if (S.Key.compare_exchange_strong(Expected, Key,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          NumCells.fetch_add(1, std::memory_order_relaxed);
+          return &S.Value;
+        }
+        if (Expected == Key)
+          return &S.Value; // Lost the claim race to ourselves-by-address.
+        // Lost to a different address: keep probing.
+      }
+    }
+    fatal("shadow fallback table exhausted");
+  }
+
+  /// Number of claimed cells.
+  size_t cellCount() const {
+    return NumCells.load(std::memory_order_relaxed);
+  }
+
+  /// Honest footprint: the directory plus every allocated chunk (claimed
+  /// and not-yet-claimed slots alike — the memory is really resident).
+  size_t memoryBytes() const {
+    return sizeof(Dir) +
+           NumChunks.load(std::memory_order_relaxed) * sizeof(Chunk);
+  }
+
+private:
+  static constexpr size_t ChunkBits = 8;
+  static constexpr size_t ChunkSize = size_t(1) << ChunkBits; // slots
+  static constexpr size_t MaxChunks = 4096;
+  static constexpr size_t Capacity = MaxChunks * ChunkSize;
+
+  /// Key 0 means "free" (the null address is never monitored).
+  struct alignas(64) Slot {
+    std::atomic<uintptr_t> Key{0};
+    Cell Value{};
+  };
+
+  struct Chunk {
+    Slot Slots[ChunkSize];
+  };
+
+  static size_t hash(uintptr_t A) {
+    // Fibonacci hashing on the address's cell-relevant bits; the high half
+    // of the product is well mixed.
+    return static_cast<size_t>(((A >> 3) * 0x9e3779b97f4a7c15ull) >> 32);
+  }
+
+  Slot &slot(size_t I) {
+    std::atomic<Chunk *> &Entry = Dir[I >> ChunkBits];
+    Chunk *Ch = Entry.load(std::memory_order_acquire);
+    if (SPD3_LIKELY(Ch != nullptr))
+      return Ch->Slots[I & (ChunkSize - 1)];
+    // Allocate and race to publish; the loser frees its copy. new Chunk()
+    // value-initializes every slot, and the release CAS publishes that
+    // initialization to every thread that acquires the pointer.
+    auto *Fresh = new Chunk();
+    Chunk *Expected = nullptr;
+    if (Entry.compare_exchange_strong(Expected, Fresh,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      NumChunks.fetch_add(1, std::memory_order_relaxed);
+      return Fresh->Slots[I & (ChunkSize - 1)];
+    }
+    delete Fresh;
+    return Expected->Slots[I & (ChunkSize - 1)];
+  }
+
+  std::atomic<Chunk *> Dir[MaxChunks] = {};
+  std::atomic<size_t> NumCells{0};
+  std::atomic<size_t> NumChunks{0};
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_SHADOWTABLE_H

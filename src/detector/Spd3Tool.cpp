@@ -17,6 +17,10 @@ Statistic NumCasRetries("spd3", "casRetries");
 Statistic NumCacheHits("spd3", "checkCacheHits");
 Statistic NumUpdatesSkipped("spd3", "noUpdateActions");
 Statistic NumDmhpMemoHits("spd3", "dmhpMemoHits");
+Statistic NumRangeEvents("spd3", "rangeEvents");
+Statistic NumRangeElems("spd3", "rangeElems");
+Statistic NumRangeComputeReuse("spd3", "rangeComputeReuse");
+Statistic NumRangeCacheHits("spd3", "rangeCacheHits");
 } // namespace
 
 /// Cache-entry validity tag: entries are only trusted when they were
@@ -107,11 +111,47 @@ struct DmhpMemo {
   }
 };
 
+/// Range-level duplicate-check elimination: a repeated bulk access of the
+/// same run (same base, same-or-shorter length, same-or-weaker mode) by the
+/// same step is redundant for the same reasons the per-element rules hold —
+/// it subsumes element-wise reasoning over every element of the run.
+struct RangeCheckCache {
+  static constexpr size_t Size = 16; // power of two
+  struct Entry {
+    const void *Base = nullptr;
+    size_t Bytes = 0;
+    CacheKey Key;
+    uint8_t Mode = 0;
+  };
+  Entry Entries[Size];
+
+  static size_t slot(const void *Base) {
+    auto A = reinterpret_cast<uintptr_t>(Base);
+    return (A >> 6) & (Size - 1);
+  }
+
+  bool covers(const void *Base, size_t Bytes, const CacheKey &Key,
+              uint8_t Mode) const {
+    const Entry &E = Entries[slot(Base)];
+    return E.Base == Base && E.Bytes >= Bytes && E.Key == Key &&
+           E.Mode >= Mode;
+  }
+
+  void insert(const void *Base, size_t Bytes, const CacheKey &Key,
+              uint8_t Mode) {
+    Entry &E = Entries[slot(Base)];
+    if (E.Base == Base && E.Key == Key && E.Mode > Mode && E.Bytes >= Bytes)
+      return; // Keep the stronger (write) mode.
+    E = Entry{Base, Bytes, Key, Mode};
+  }
+};
+
 /// The worker thread's caches (shared across tool instances; entries are
 /// generation-tagged so a new tool never trusts stale contents).
 struct WorkerCaches {
   CheckCache Cache;
   DmhpMemo Memo;
+  RangeCheckCache Ranges;
 };
 thread_local WorkerCaches TheWorkerCaches;
 
@@ -146,7 +186,7 @@ struct Spd3Tool::FinishState {
 Spd3Tool::Spd3Tool(RaceSink &Sink, Spd3Options Opts)
     : Sink(Sink), Opts(Opts), Generation(nextToolGeneration()) {
   if (Opts.Proto == Spd3Options::Protocol::Mutex)
-    Locks = new std::mutex[NumLocks];
+    Locks = new PaddedMutex[NumLocks];
 }
 
 Spd3Tool::~Spd3Tool() { delete[] Locks; }
@@ -234,7 +274,15 @@ size_t Spd3Tool::memoryBytes() const {
 }
 
 bool Spd3Tool::dmhpFromCurrentStep(TaskState *TS, const Node *Other) {
-  if (!Opts.DmhpMemo || !Other)
+  if (!Other)
+    return false;
+  // Label fast path: a decisive verdict needs no walk and no memo slot.
+  if (Opts.LabelDmhp) {
+    dpst::LabelVerdict V = Dpst::labelDmhp(Other, TS->CurStep);
+    if (V != dpst::LabelVerdict::Unknown)
+      return V == dpst::LabelVerdict::Parallel;
+  }
+  if (!Opts.DmhpMemo)
     return Dpst::dmhp(Other, TS->CurStep);
   CacheKey Key{Generation, TS, TS->StepEpoch};
   DmhpMemo &Memo = TheWorkerCaches.Memo;
@@ -248,70 +296,103 @@ bool Spd3Tool::dmhpFromCurrentStep(TaskState *TS, const Node *Other) {
   return Result;
 }
 
+uint32_t Spd3Tool::lcaDepth(Node *A, Node *B) const {
+  if (Opts.LabelDmhp) {
+    int32_t D = Dpst::labelLcaDepth(A, B);
+    if (D >= 0)
+      return static_cast<uint32_t>(D);
+  }
+  return Dpst::lca(A, B)->Depth;
+}
+
 void Spd3Tool::report(RaceKind K, const void *Addr, const Node *Prior,
                       const Node *Cur) {
   Sink.report(Race{K, Addr, reinterpret_cast<uint64_t>(Prior),
                    reinterpret_cast<uint64_t>(Cur), name()});
 }
 
-bool Spd3Tool::computeWrite(TaskState *TS, Node *W, Node *R1, Node *R2,
-                            Node *S, const void *Addr, Node **NewW) {
+void Spd3Tool::computeWrite(TaskState *TS, Node *W, Node *R1, Node *R2,
+                            Node *S, ActionOutcome &Out) {
   // Algorithm 1: Write Check.
   if (dmhpFromCurrentStep(TS, R1))
-    report(RaceKind::ReadWrite, Addr, R1, S);
+    Out.Races[Out.NumRaces++] = {RaceKind::ReadWrite, R1};
   if (dmhpFromCurrentStep(TS, R2))
-    report(RaceKind::ReadWrite, Addr, R2, S);
+    Out.Races[Out.NumRaces++] = {RaceKind::ReadWrite, R2};
   if (dmhpFromCurrentStep(TS, W)) {
-    report(RaceKind::WriteWrite, Addr, W, S);
-    return false; // No update when a write-write race is found.
+    Out.Races[Out.NumRaces++] = {RaceKind::WriteWrite, W};
+    return; // No update when a write-write race is found.
   }
   if (W == S)
-    return false; // Already the recorded writer.
-  *NewW = S;
-  return true;
+    return; // Already the recorded writer.
+  Out.Update = true;
+  Out.NewW = S;
 }
 
-bool Spd3Tool::computeRead(TaskState *TS, Node *W, Node *R1, Node *R2,
-                           Node *S, const void *Addr, Node **NewR1,
-                           Node **NewR2) {
+void Spd3Tool::computeRead(TaskState *TS, Node *W, Node *R1, Node *R2,
+                           Node *S, ActionOutcome &Out) {
   // Algorithm 2: Read Check.
   if (dmhpFromCurrentStep(TS, W))
-    report(RaceKind::WriteRead, Addr, W, S);
+    Out.Races[Out.NumRaces++] = {RaceKind::WriteRead, W};
   if (R1 == S || R2 == S)
-    return false; // This step is already a recorded reader.
+    return; // This step is already a recorded reader.
   bool D1 = dmhpFromCurrentStep(TS, R1);
   bool D2 = dmhpFromCurrentStep(TS, R2);
   if (!D1 && !D2) {
     // S is ordered after every reader recorded so far (or there are none):
     // it supersedes them.
-    *NewR1 = S;
-    *NewR2 = nullptr;
-    return true;
+    Out.Update = true;
+    Out.NewR1 = S;
+    Out.NewR2 = nullptr;
+    return;
   }
   if (D1 && !R2) {
     // One recorded reader, parallel with S: keep both.
-    *NewR1 = R1;
-    *NewR2 = S;
-    return true;
+    Out.Update = true;
+    Out.NewR1 = R1;
+    Out.NewR2 = S;
+    return;
   }
   if (D1 && D2) {
     // Keep the two of {r1, r2, S} whose LCA is highest in the DPST. S lies
     // outside the LCA(r1,r2) subtree iff LCA(r1,S) (== LCA(r2,S)) is a
     // proper ancestor of LCA(r1,r2); ancestry between two ancestors of r1
     // reduces to a depth comparison.
-    Node *Lca12 = Dpst::lca(R1, R2);
-    Node *Lca1s = Dpst::lca(R1, S);
-    Node *Lca2s = Dpst::lca(R2, S);
-    if (Lca1s->Depth < Lca12->Depth || Lca2s->Depth < Lca12->Depth) {
-      *NewR1 = S;
-      *NewR2 = R2;
-      return true;
+    uint32_t Depth12 = lcaDepth(R1, R2);
+    if (lcaDepth(R1, S) < Depth12 || lcaDepth(R2, S) < Depth12) {
+      Out.Update = true;
+      Out.NewR1 = S;
+      Out.NewR2 = R2;
+      return;
     }
-    return false; // S is inside the LCA(r1,r2) subtree: already covered.
+    return; // S is inside the LCA(r1,r2) subtree: already covered.
   }
   // S parallel with exactly one of two live readers: S is inside the
   // LCA(r1,r2) subtree; no update needed (Section 4.2).
-  return false;
+}
+
+void Spd3Tool::flushRaces(const ActionOutcome &Out, const void *Addr,
+                          const Node *S) {
+  for (uint8_t I = 0; I < Out.NumRaces; ++I)
+    report(Out.Races[I].K, Addr, Out.Races[I].Prior, S);
+}
+
+bool Spd3Tool::applyUpdate(Cell &C, uint32_t X, bool IsWrite,
+                           const ActionOutcome &Out) {
+  uint32_t Expected = X;
+  if (!C.EndVersion.compare_exchange_strong(Expected, X + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+    ++NumCasRetries;
+    return false; // Someone updated since the snapshot; retry the action.
+  }
+  if (IsWrite) {
+    C.W.store(Out.NewW, std::memory_order_release);
+  } else {
+    C.R1.store(Out.NewR1, std::memory_order_release);
+    C.R2.store(Out.NewR2, std::memory_order_release);
+  }
+  C.StartVersion.store(X + 1, std::memory_order_release);
+  return true;
 }
 
 void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
@@ -321,18 +402,22 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
   if (Opts.Proto == Spd3Options::Protocol::Mutex) {
     // Striped-lock protocol: the whole action under one lock.
     size_t Idx = (reinterpret_cast<uintptr_t>(&C) >> 4) & (NumLocks - 1);
-    std::lock_guard<std::mutex> Lock(Locks[Idx]);
+    std::lock_guard<std::mutex> Lock(Locks[Idx].M);
     Node *W = C.W.load(std::memory_order_relaxed);
     Node *R1 = C.R1.load(std::memory_order_relaxed);
     Node *R2 = C.R2.load(std::memory_order_relaxed);
-    Node *NewW = nullptr, *NewR1 = nullptr, *NewR2 = nullptr;
-    if (IsWrite) {
-      if (computeWrite(TS, W, R1, R2, Step, Addr, &NewW))
-        C.W.store(NewW, std::memory_order_relaxed);
-    } else {
-      if (computeRead(TS, W, R1, R2, Step, Addr, &NewR1, &NewR2)) {
-        C.R1.store(NewR1, std::memory_order_relaxed);
-        C.R2.store(NewR2, std::memory_order_relaxed);
+    ActionOutcome Out;
+    if (IsWrite)
+      computeWrite(TS, W, R1, R2, Step, Out);
+    else
+      computeRead(TS, W, R1, R2, Step, Out);
+    flushRaces(Out, Addr, Step);
+    if (Out.Update) {
+      if (IsWrite) {
+        C.W.store(Out.NewW, std::memory_order_relaxed);
+      } else {
+        C.R1.store(Out.NewR1, std::memory_order_relaxed);
+        C.R2.store(Out.NewR2, std::memory_order_relaxed);
       }
     }
     return;
@@ -356,34 +441,122 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
     }
 
     // Compute stage: on local (snapshot) values only.
-    Node *NewW = nullptr, *NewR1 = nullptr, *NewR2 = nullptr;
-    bool Update = IsWrite
-                      ? computeWrite(TS, W, R1, R2, Step, Addr, &NewW)
-                      : computeRead(TS, W, R1, R2, Step, Addr, &NewR1, &NewR2);
-    if (!Update) {
+    ActionOutcome Out;
+    if (IsWrite)
+      computeWrite(TS, W, R1, R2, Step, Out);
+    else
+      computeRead(TS, W, R1, R2, Step, Out);
+    if (!Out.Update) {
       // The common case (e.g. reads inside the LCA(r1,r2) subtree)
       // completes with no serialization whatsoever.
       ++NumUpdatesSkipped;
+      flushRaces(Out, Addr, Step);
       return;
     }
 
     // Update stage: claim the version with a CAS on endVersion; republish
     // startVersion last.
-    uint32_t Expected = X;
-    if (!C.EndVersion.compare_exchange_strong(Expected, X + 1,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_relaxed)) {
-      ++NumCasRetries;
+    if (!applyUpdate(C, X, IsWrite, Out))
       continue; // Someone updated since our snapshot; restart the action.
-    }
-    if (IsWrite) {
-      C.W.store(NewW, std::memory_order_release);
-    } else {
-      C.R1.store(NewR1, std::memory_order_release);
-      C.R2.store(NewR2, std::memory_order_release);
-    }
-    C.StartVersion.store(X + 1, std::memory_order_release);
+    flushRaces(Out, Addr, Step);
     return;
+  }
+}
+
+void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
+                           size_t Count, uint32_t ElemSize, bool IsWrite) {
+  Node *Step = TS->CurStep;
+  const char *Base = static_cast<const char *>(Addr);
+
+  // Memoized compute stage: Algorithm 1/2 outcomes are pure functions of
+  // the (validated) snapshot triple and the acting step, so across a run of
+  // cells — typically all initialized by the same earlier step — one
+  // compute serves every cell whose snapshot matches. Races must still be
+  // flushed per element (reports carry the element address); updates must
+  // still be applied per cell under the protocol.
+  Node *MemoW = nullptr, *MemoR1 = nullptr, *MemoR2 = nullptr;
+  bool MemoValid = false;
+  ActionOutcome Memo;
+
+  if (Opts.Proto == Spd3Options::Protocol::Mutex) {
+    for (size_t I = 0; I < Count; ++I) {
+      Cell &C = Cells[I];
+      const void *EA = Base + I * ElemSize;
+      size_t Idx = (reinterpret_cast<uintptr_t>(&C) >> 4) & (NumLocks - 1);
+      std::lock_guard<std::mutex> Lock(Locks[Idx].M);
+      Node *W = C.W.load(std::memory_order_relaxed);
+      Node *R1 = C.R1.load(std::memory_order_relaxed);
+      Node *R2 = C.R2.load(std::memory_order_relaxed);
+      if (!MemoValid || W != MemoW || R1 != MemoR1 || R2 != MemoR2) {
+        Memo = ActionOutcome{};
+        if (IsWrite)
+          computeWrite(TS, W, R1, R2, Step, Memo);
+        else
+          computeRead(TS, W, R1, R2, Step, Memo);
+        MemoW = W;
+        MemoR1 = R1;
+        MemoR2 = R2;
+        MemoValid = true;
+        ++NumMemActions;
+      } else {
+        ++NumRangeComputeReuse;
+      }
+      flushRaces(Memo, EA, Step);
+      if (Memo.Update) {
+        if (IsWrite) {
+          C.W.store(Memo.NewW, std::memory_order_relaxed);
+        } else {
+          C.R1.store(Memo.NewR1, std::memory_order_relaxed);
+          C.R2.store(Memo.NewR2, std::memory_order_relaxed);
+        }
+      }
+    }
+    return;
+  }
+
+  // Lock-free protocol: per element, read a validated snapshot; reuse the
+  // memoized outcome only when the validated triple matches it exactly
+  // (reusing across a torn read would be unsound). Contention on any one
+  // element falls back to the full per-element action.
+  for (size_t I = 0; I < Count; ++I) {
+    Cell &C = Cells[I];
+    const void *EA = Base + I * ElemSize;
+    uint32_t X = C.StartVersion.load(std::memory_order_acquire);
+    Node *W = C.W.load(std::memory_order_relaxed);
+    Node *R1 = C.R1.load(std::memory_order_relaxed);
+    Node *R2 = C.R2.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint32_t Y = C.EndVersion.load(std::memory_order_relaxed);
+    if (X != Y) {
+      ++NumSnapshotRetries;
+      memoryAction(TS, C, EA, IsWrite);
+      continue;
+    }
+    if (!MemoValid || W != MemoW || R1 != MemoR1 || R2 != MemoR2) {
+      Memo = ActionOutcome{};
+      if (IsWrite)
+        computeWrite(TS, W, R1, R2, Step, Memo);
+      else
+        computeRead(TS, W, R1, R2, Step, Memo);
+      MemoW = W;
+      MemoR1 = R1;
+      MemoR2 = R2;
+      MemoValid = true;
+      ++NumMemActions;
+    } else {
+      ++NumRangeComputeReuse;
+    }
+    if (!Memo.Update) {
+      ++NumUpdatesSkipped;
+      flushRaces(Memo, EA, Step);
+      continue;
+    }
+    if (!applyUpdate(C, X, IsWrite, Memo)) {
+      // Lost the CAS: another updater intervened; run the full action.
+      memoryAction(TS, C, EA, IsWrite);
+      continue;
+    }
+    flushRaces(Memo, EA, Step);
   }
 }
 
@@ -417,6 +590,65 @@ void Spd3Tool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
     Cache.insert(Addr, Key, /*Mode=*/2);
   }
   memoryAction(TS, *Shadow.cell(Addr), Addr, /*IsWrite=*/true);
+}
+
+void Spd3Tool::onReadRange(rt::Task &T, const void *Addr, size_t Count,
+                           uint32_t ElemSize) {
+  if (!Sink.shouldCheck())
+    return;
+  if (!Opts.BatchedRanges || Count == 0) {
+    Tool::onReadRange(T, Addr, Count, ElemSize);
+    return;
+  }
+  TaskState *TS = state(T);
+  CacheKey Key{Generation, TS, TS->StepEpoch};
+  size_t Bytes = Count * ElemSize;
+  if (Opts.CheckCache) {
+    RangeCheckCache &Cache = TheWorkerCaches.Ranges;
+    if (Cache.covers(Addr, Bytes, Key, /*Mode=*/1)) {
+      ++NumRangeCacheHits;
+      return;
+    }
+    Cache.insert(Addr, Bytes, Key, /*Mode=*/1);
+  }
+  Cell *Cells = Shadow.runCells(Addr, Count, ElemSize);
+  if (!Cells) {
+    // Not a registered contiguous run (hash-fallback territory): expand.
+    Tool::onReadRange(T, Addr, Count, ElemSize);
+    return;
+  }
+  ++NumRangeEvents;
+  NumRangeElems += Count;
+  rangeAction(TS, Cells, Addr, Count, ElemSize, /*IsWrite=*/false);
+}
+
+void Spd3Tool::onWriteRange(rt::Task &T, const void *Addr, size_t Count,
+                            uint32_t ElemSize) {
+  if (!Sink.shouldCheck())
+    return;
+  if (!Opts.BatchedRanges || Count == 0) {
+    Tool::onWriteRange(T, Addr, Count, ElemSize);
+    return;
+  }
+  TaskState *TS = state(T);
+  CacheKey Key{Generation, TS, TS->StepEpoch};
+  size_t Bytes = Count * ElemSize;
+  if (Opts.CheckCache) {
+    RangeCheckCache &Cache = TheWorkerCaches.Ranges;
+    if (Cache.covers(Addr, Bytes, Key, /*Mode=*/2)) {
+      ++NumRangeCacheHits;
+      return;
+    }
+    Cache.insert(Addr, Bytes, Key, /*Mode=*/2);
+  }
+  Cell *Cells = Shadow.runCells(Addr, Count, ElemSize);
+  if (!Cells) {
+    Tool::onWriteRange(T, Addr, Count, ElemSize);
+    return;
+  }
+  ++NumRangeEvents;
+  NumRangeElems += Count;
+  rangeAction(TS, Cells, Addr, Count, ElemSize, /*IsWrite=*/true);
 }
 
 } // namespace spd3::detector

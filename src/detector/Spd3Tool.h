@@ -42,6 +42,7 @@
 #include "detector/Tool.h"
 #include "dpst/Dpst.h"
 #include "support/Arena.h"
+#include "support/Compiler.h"
 
 #include <mutex>
 
@@ -63,6 +64,16 @@ struct Spd3Options {
   /// shadow step (typically the step that initialized an array) can be
   /// answered from a small direct-mapped cache instead of an LCA walk.
   bool DmhpMemo = true;
+  /// Answer DMHP (and the Algorithm-2 LCA-depth comparisons) from the
+  /// constant-size per-node path labels, falling back to the Theorem-1
+  /// tree walk only when a label comparison is inconclusive (see
+  /// dpst::PathLabel). Off = every query walks, as in the paper.
+  bool LabelDmhp = true;
+  /// Process onReadRange/onWriteRange as batched memory actions: one
+  /// shadow-range lookup per run and one compute stage per distinct shadow
+  /// triple, entering the per-element protocol only where an update is
+  /// required. Off = range events are expanded element-wise.
+  bool BatchedRanges = true;
 };
 
 class Spd3Tool : public Tool {
@@ -88,6 +99,10 @@ public:
   void onFinishEnd(rt::Task &T, rt::FinishRecord &F) override;
   void onRead(rt::Task &T, const void *Addr, uint32_t Size) override;
   void onWrite(rt::Task &T, const void *Addr, uint32_t Size) override;
+  void onReadRange(rt::Task &T, const void *Addr, size_t Count,
+                   uint32_t ElemSize) override;
+  void onWriteRange(rt::Task &T, const void *Addr, size_t Count,
+                    uint32_t ElemSize) override;
   void onRegisterRange(const void *Base, size_t Count,
                        uint32_t ElemSize) override;
   void onUnregisterRange(const void *Base) override;
@@ -124,6 +139,23 @@ private:
   struct TaskState;
   struct FinishState;
 
+  /// Result of one Algorithm 1/2 compute stage: the update to apply (if
+  /// any) and the races to report. Compute stages are pure functions of the
+  /// snapshot triple and the acting step, which is what lets the batched
+  /// range path reuse one outcome across every cell holding the same
+  /// triple.
+  struct ActionOutcome {
+    bool Update = false;
+    dpst::Node *NewW = nullptr;
+    dpst::Node *NewR1 = nullptr;
+    dpst::Node *NewR2 = nullptr;
+    uint8_t NumRaces = 0;
+    struct {
+      RaceKind K;
+      dpst::Node *Prior;
+    } Races[3];
+  };
+
   TaskState *state(rt::Task &T) const;
   TaskState *newTaskState(dpst::Node *Step, dpst::Node *Scope);
 
@@ -131,20 +163,35 @@ private:
   /// Algorithm 1 vs Algorithm 2.
   void memoryAction(TaskState *TS, Cell &C, const void *Addr, bool IsWrite);
 
-  /// Algorithm 1 compute stage on a consistent snapshot. Returns true when
-  /// the update stage must run and fills \p NewW.
-  bool computeWrite(TaskState *TS, dpst::Node *W, dpst::Node *R1,
-                    dpst::Node *R2, dpst::Node *S, const void *Addr,
-                    dpst::Node **NewW);
-  /// Algorithm 2 compute stage. Returns true when the update stage must run
-  /// and fills \p NewR1 / \p NewR2.
-  bool computeRead(TaskState *TS, dpst::Node *W, dpst::Node *R1,
-                   dpst::Node *R2, dpst::Node *S, const void *Addr,
-                   dpst::Node **NewR1, dpst::Node **NewR2);
+  /// Batched memory action over \p Count contiguous cells: one compute
+  /// stage per distinct shadow triple, per-element protocol entry only for
+  /// updates (and full per-element retry on contention).
+  void rangeAction(TaskState *TS, Cell *Cells, const void *Addr, size_t Count,
+                   uint32_t ElemSize, bool IsWrite);
 
-  /// DMHP(Other, TS->CurStep) through the per-task memo (or straight
-  /// through when the memo is disabled).
+  /// Algorithm 1 compute stage on a consistent snapshot.
+  void computeWrite(TaskState *TS, dpst::Node *W, dpst::Node *R1,
+                    dpst::Node *R2, dpst::Node *S, ActionOutcome &Out);
+  /// Algorithm 2 compute stage.
+  void computeRead(TaskState *TS, dpst::Node *W, dpst::Node *R1,
+                   dpst::Node *R2, dpst::Node *S, ActionOutcome &Out);
+
+  /// Report the races recorded in \p Out against \p Addr.
+  void flushRaces(const ActionOutcome &Out, const void *Addr,
+                  const dpst::Node *S);
+
+  /// Publish \p Out's update to \p C, whose snapshot version was \p X.
+  /// False when another updater won the CAS (caller retries the action).
+  bool applyUpdate(Cell &C, uint32_t X, bool IsWrite,
+                   const ActionOutcome &Out);
+
+  /// DMHP(Other, TS->CurStep) through the label fast path and the per-task
+  /// memo (or straight through when both are disabled).
   bool dmhpFromCurrentStep(TaskState *TS, const dpst::Node *Other);
+
+  /// Depth of LCA(A, B): label fast path when enabled and decisive,
+  /// Section 5.2 walk otherwise.
+  uint32_t lcaDepth(dpst::Node *A, dpst::Node *B) const;
 
   void report(RaceKind K, const void *Addr, const dpst::Node *Prior,
               const dpst::Node *Cur);
@@ -158,9 +205,13 @@ private:
   ShadowSpace<Cell> Shadow;
   /// Arena for TaskState/FinishState records (trivially destructible).
   ConcurrentArena StateArena;
-  /// Striped locks for the Mutex protocol.
-  static constexpr size_t NumLocks = 4096;
-  std::mutex *Locks = nullptr;
+  /// Striped locks for the Mutex protocol, padded so adjacent stripes never
+  /// share a cache line (uncontended stripes used to false-share).
+  struct alignas(SPD3_CACHELINE) PaddedMutex {
+    std::mutex M;
+  };
+  static constexpr size_t NumLocks = 1024;
+  PaddedMutex *Locks = nullptr;
 };
 
 } // namespace spd3::detector

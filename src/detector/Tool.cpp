@@ -8,4 +8,18 @@ namespace spd3::detector {
 // anchor" rule).
 Tool::~Tool() = default;
 
+void Tool::onReadRange(rt::Task &T, const void *Addr, size_t Count,
+                       uint32_t ElemSize) {
+  const char *P = static_cast<const char *>(Addr);
+  for (size_t I = 0; I < Count; ++I)
+    onRead(T, P + I * ElemSize, ElemSize);
+}
+
+void Tool::onWriteRange(rt::Task &T, const void *Addr, size_t Count,
+                        uint32_t ElemSize) {
+  const char *P = static_cast<const char *>(Addr);
+  for (size_t I = 0; I < Count; ++I)
+    onWrite(T, P + I * ElemSize, ElemSize);
+}
+
 } // namespace spd3::detector

@@ -67,6 +67,18 @@ public:
   /// @{
   virtual void onRead(rt::Task &T, const void *Addr, uint32_t Size) {}
   virtual void onWrite(rt::Task &T, const void *Addr, uint32_t Size) {}
+
+  /// Batched range events: one event for \p Count contiguous elements of
+  /// \p ElemSize bytes starting at \p Addr, all accessed by the current
+  /// step. Semantically identical to Count element events — the default
+  /// implementations forward element-wise, so every tool (and every
+  /// baseline detector) observes the same access stream whether or not it
+  /// implements a batched fast path. SPD3 overrides these to amortize the
+  /// shadow-range lookup and the DMHP decision across each run.
+  virtual void onReadRange(rt::Task &T, const void *Addr, size_t Count,
+                           uint32_t ElemSize);
+  virtual void onWriteRange(rt::Task &T, const void *Addr, size_t Count,
+                            uint32_t ElemSize);
   /// @}
 
   /// \name Shadow-range registration

@@ -82,6 +82,25 @@ public:
     Data[I] += V;
   }
 
+  /// Monitored bulk read of \p Count contiguous elements starting at
+  /// \p First: emits ONE range event (semantically Count element reads) and
+  /// returns a pointer into the underlying storage. The caller may load
+  /// each of the Count elements through the pointer within the current
+  /// step; the paper's per-element instrumentation cost is amortized across
+  /// the whole run.
+  const T *readRun(size_t First, size_t Count) const {
+    mem::readRange(&Data[First], Count, sizeof(T));
+    return &Data[First];
+  }
+
+  /// Monitored bulk write of \p Count contiguous elements starting at
+  /// \p First (one range event; see readRun). The caller stores each of the
+  /// Count elements through the returned pointer within the current step.
+  T *writeRun(size_t First, size_t Count) {
+    mem::writeRange(&Data[First], Count, sizeof(T));
+    return &Data[First];
+  }
+
   /// Unmonitored access for deliberate opt-outs (initialization outside the
   /// monitored run, verification against references, benign-by-design
   /// demos).

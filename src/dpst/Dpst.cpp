@@ -14,6 +14,8 @@ namespace spd3::dpst {
 namespace {
 Statistic NumDmhpQueries("dpst", "dmhpQueries");
 Statistic NumLcaHops("dpst", "lcaHops");
+Statistic NumLabelDmhpHits("dpst", "labelDmhpHits");
+Statistic NumLabelDmhpFallbacks("dpst", "labelDmhpFallbacks");
 } // namespace
 
 bool Node::isAncestorOf(const Node *N) const {
@@ -131,6 +133,69 @@ bool Dpst::dmhp(const Node *S1, const Node *S2) {
   // the child-of-LCA ancestor of S_left is an async node.
   const Node *Left = A1->SeqNo < A2->SeqNo ? A1 : A2;
   return Left->isAsync();
+}
+
+LabelVerdict Dpst::labelDmhp(const Node *S1, const Node *S2) {
+  const PathLabel &A = S1->Label;
+  const PathLabel &B = S2->Label;
+  if (A.Inexact || B.Inexact)
+    return LabelVerdict::Unknown;
+  for (unsigned I = 0; I < PathLabel::kWords; ++I) {
+    uint64_t X = A.Words[I] ^ B.Words[I];
+    if (!X)
+      continue;
+    unsigned Level = 2 * I + (std::countl_zero(X) >= 32 ? 1 : 0);
+    uint32_t C1 = A.component(Level);
+    uint32_t C2 = B.component(Level);
+    if (!C1 || !C2)
+      return LabelVerdict::Unknown; // One path ends above the divergence:
+                                    // an ancestor relation, not a Theorem-1
+                                    // left/right pair.
+    // Theorem 1 on the divergence components: the smaller SeqNo is the
+    // left child-of-LCA ancestor; its async bit decides.
+    uint32_t Left = C1 < C2 ? C1 : C2;
+    return (Left & 1) ? LabelVerdict::Parallel : LabelVerdict::Serial;
+  }
+  return LabelVerdict::Unknown; // Identical prefixes: same node, ancestor,
+                                // or twins truncated at the window edge.
+}
+
+int32_t Dpst::labelLcaDepth(const Node *A, const Node *B) {
+  const PathLabel &LA = A->Label;
+  const PathLabel &LB = B->Label;
+  if (LA.Inexact || LB.Inexact)
+    return -1;
+  for (unsigned I = 0; I < PathLabel::kWords; ++I) {
+    uint64_t X = LA.Words[I] ^ LB.Words[I];
+    if (!X)
+      continue;
+    unsigned Level = 2 * I + (std::countl_zero(X) >= 32 ? 1 : 0);
+    uint32_t C1 = LA.component(Level);
+    uint32_t C2 = LB.component(Level);
+    if (C1 && C2)
+      return static_cast<int32_t>(Level); // Common prefix of Level levels.
+    // One path ended inside the window before diverging: the shallower
+    // node is an ancestor of the other and therefore the LCA itself.
+    return static_cast<int32_t>(!C1 ? A->Depth : B->Depth);
+  }
+  if (LA.Truncated || LB.Truncated)
+    return -1;
+  // Identical exact labels: same node or (for non-steps) ancestor chains of
+  // equal encoding cannot occur, so this is A == B.
+  return static_cast<int32_t>(A->Depth < B->Depth ? A->Depth : B->Depth);
+}
+
+bool Dpst::dmhpFast(const Node *S1, const Node *S2) {
+  if (!S1 || !S2 || S1 == S2)
+    return false;
+  LabelVerdict V = labelDmhp(S1, S2);
+  if (V != LabelVerdict::Unknown) {
+    ++NumDmhpQueries;
+    ++NumLabelDmhpHits;
+    return V == LabelVerdict::Parallel;
+  }
+  ++NumLabelDmhpFallbacks;
+  return dmhp(S1, S2);
 }
 
 bool Dpst::validate(std::string *Err) const {

@@ -33,6 +33,7 @@
 #include "support/Arena.h"
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -40,13 +41,94 @@ namespace spd3::dpst {
 
 enum class NodeKind : uint8_t { Finish, Async, Step };
 
+/// Constant-size per-node path label (DePa-style fork-join coordinates).
+///
+/// The label packs the node's root-to-node path — one 32-bit component per
+/// tree level, `(min(SeqNo, kSeqSat) << 1) | isAsync` — into a fixed window
+/// of kWords 64-bit words, most significant level first, so two labels
+/// compare word-lexicographically in path order. One XOR + countl_zero
+/// finds the first level where two paths diverge: that level is the LCA
+/// depth, the smaller component is the *left* child-of-LCA ancestor, and
+/// its low bit says whether that node is an async — everything Theorem 1
+/// needs, without walking the tree.
+///
+/// Labels are built in O(1) at node creation (copy the parent's window, OR
+/// in one component), preserving the Section 3.1 O(1)-insertion property.
+/// Paths deeper than kMaxLevels are truncated — divergence *inside* the
+/// window is still exact; equality through the window is inconclusive —
+/// and components saturate at kSeqSat (such labels are marked inexact).
+/// Inconclusive comparisons fall back to the Theorem-1 upward walk, which
+/// remains the ground truth and the audit cross-check.
+struct PathLabel {
+  static constexpr unsigned kWords = 6;
+  static constexpr unsigned kMaxLevels = 2 * kWords;
+  static constexpr uint32_t kSeqSat = 0x7fffffffu;
+
+  uint64_t Words[kWords] = {};
+  /// Levels actually encoded: min(Depth, kMaxLevels).
+  uint8_t Len = 0;
+  /// Deeper than the window; the encoded prefix is exact, the suffix lost.
+  bool Truncated = false;
+  /// A component saturated somewhere in the prefix: equal prefixes may hide
+  /// distinct nodes, so no comparison against this label can be trusted.
+  bool Inexact = false;
+
+  /// Component for 0-based \p Level (the node at depth Level + 1); 0 when
+  /// the path ends above that level.
+  uint32_t component(unsigned Level) const {
+    uint64_t W = Words[Level / 2];
+    return static_cast<uint32_t>(Level % 2 == 0 ? W >> 32 : W & 0xffffffffu);
+  }
+
+  /// The label of a child at \p Depth with \p SeqNo under a parent labelled
+  /// \p Parent. Shared by Node construction and the AUD-DPST-LABEL-PATH
+  /// audit rule so both always agree on the encoding.
+  static PathLabel extend(const PathLabel &Parent, uint32_t Depth,
+                          uint32_t SeqNo, bool IsAsync) {
+    PathLabel L = Parent;
+    if (Parent.Truncated || Depth == 0 || Depth > kMaxLevels) {
+      // Depth 0 only arises for corrupt hand-built trees fed to the
+      // auditor; treat the label as truncated rather than indexing a
+      // negative level.
+      L.Truncated = true;
+      return L;
+    }
+    unsigned Level = Depth - 1;
+    uint32_t Seq = SeqNo < kSeqSat ? SeqNo : kSeqSat;
+    if (Seq == kSeqSat)
+      L.Inexact = true;
+    uint64_t C = (static_cast<uint64_t>(Seq) << 1) | (IsAsync ? 1 : 0);
+    L.Words[Level / 2] |= Level % 2 == 0 ? C << 32 : C;
+    L.Len = static_cast<uint8_t>(Level + 1);
+    return L;
+  }
+
+  bool operator==(const PathLabel &O) const {
+    for (unsigned I = 0; I < kWords; ++I)
+      if (Words[I] != O.Words[I])
+        return false;
+    return Len == O.Len && Truncated == O.Truncated && Inexact == O.Inexact;
+  }
+};
+
+/// Verdict of a label-only DMHP comparison.
+enum class LabelVerdict : uint8_t {
+  Serial,   ///< The steps cannot execute in parallel.
+  Parallel, ///< The steps may execute in parallel.
+  Unknown,  ///< Labels are inconclusive; use the tree walk.
+};
+
 /// One DPST node. 'Owner-written' fields (NumChildren and the child/sibling
 /// links) are written only by the task owning the enclosing scope; all
 /// other fields are immutable after the node is published.
 class Node {
 public:
   Node(Node *Parent, NodeKind Kind, uint32_t Depth, uint32_t SeqNo)
-      : Parent(Parent), Depth(Depth), SeqNo(SeqNo), Kind(Kind) {}
+      : Parent(Parent), Depth(Depth), SeqNo(SeqNo), Kind(Kind) {
+    if (Parent)
+      Label = PathLabel::extend(Parent->Label, Depth, SeqNo,
+                                Kind == NodeKind::Async);
+  }
 
   /// Parent node; null only for the root finish.
   Node *const Parent;
@@ -55,6 +137,11 @@ public:
   /// 1-based position among this node's siblings (left-to-right). Immutable.
   const uint32_t SeqNo;
   const NodeKind Kind;
+
+  /// Packed path label (see PathLabel). Written at construction, immutable
+  /// once the node is published; non-const only so audit negative tests can
+  /// inject corruption and prove the label rules catch it.
+  PathLabel Label;
 
   /// Number of children appended so far. Owner-written.
   uint32_t NumChildren = 0;
@@ -137,6 +224,20 @@ public:
   /// Theorem 1 / Algorithm 3: may the two *steps* execute in parallel in
   /// some schedule? Null arguments and S1 == S2 yield false.
   static bool dmhp(const Node *S1, const Node *S2);
+
+  /// Label-only DMHP: decides Theorem 1 from the two nodes' PathLabels in
+  /// O(1) when the paths diverge inside the label window, Unknown
+  /// otherwise. Pure — no statistics, no tree access.
+  static LabelVerdict labelDmhp(const Node *S1, const Node *S2);
+
+  /// Depth of LCA(A, B) from labels alone, or -1 when inconclusive
+  /// (divergence outside the window, or inexact labels).
+  static int32_t labelLcaDepth(const Node *A, const Node *B);
+
+  /// dmhp() with the label fast path: answers from labelDmhp when it is
+  /// decisive and falls back to the Theorem-1 tree walk otherwise. Same
+  /// contract as dmhp (null / identical arguments yield false).
+  static bool dmhpFast(const Node *S1, const Node *S2);
   /// @}
 
   /// Total number of nodes (the paper's 3*(a+f)-1 size bound is checked

@@ -61,22 +61,25 @@ public:
       detector::TrackedArray<uint8_t> Crypt1(Bytes);
       detector::TrackedArray<uint8_t> Crypt2(Bytes);
       detector::TrackedVar<double> RaceCell(0.0);
+      uint8_t *Init = Text.writeRun(0, Bytes);
       for (size_t I = 0; I < Bytes; ++I)
-        Text.set(I, Plain[I]);
+        Init[I] = Plain[I];
 
       auto Pass = [&](detector::TrackedArray<uint8_t> &Src,
                       detector::TrackedArray<uint8_t> &Dst,
                       const uint16_t *Key) {
         detail::forAll(Cfg, Blocks, [&](size_t Blk) {
           size_t Off = Blk * 8;
+          const uint8_t *SrcBlk = Src.readRun(Off, 8);
+          uint8_t *DstBlk = Dst.writeRun(Off, 8);
           uint16_t In[4], Out[4];
           for (int W = 0; W < 4; ++W)
-            In[W] = static_cast<uint16_t>(
-                (Src.get(Off + 2 * W) << 8) | Src.get(Off + 2 * W + 1));
+            In[W] = static_cast<uint16_t>((SrcBlk[2 * W] << 8) |
+                                          SrcBlk[2 * W + 1]);
           idea::cipherBlock(In, Out, Key);
           for (int W = 0; W < 4; ++W) {
-            Dst.set(Off + 2 * W, static_cast<uint8_t>(Out[W] >> 8));
-            Dst.set(Off + 2 * W + 1, static_cast<uint8_t>(Out[W] & 0xff));
+            DstBlk[2 * W] = static_cast<uint8_t>(Out[W] >> 8);
+            DstBlk[2 * W + 1] = static_cast<uint8_t>(Out[W] & 0xff);
           }
           if (Cfg.SeedRace && (Blk == 0 || Blk == Blocks - 1))
             detail::seedRaceWrite(RaceCell, Blk);
@@ -85,8 +88,9 @@ public:
       Pass(Text, Crypt1, EK);   // encrypt
       Pass(Crypt1, Crypt2, DK); // decrypt
 
+      const uint8_t *Result = Crypt2.readRun(0, Bytes);
       for (size_t I = 0; I < Bytes; ++I) {
-        RoundTrip[I] = Crypt2.get(I);
+        RoundTrip[I] = Result[I];
         Checksum += RoundTrip[I];
       }
     });

@@ -53,24 +53,32 @@ public:
       detector::TrackedVar<double> RaceCell(0.0);
       // Initialization happens in the main task's first step; the parallel
       // readers below are ordered after it by the spawn tree, so no races.
+      double *InitA = A.writeRun(0, N * N);
+      double *InitB = B.writeRun(0, N * N);
       for (size_t I = 0; I < N * N; ++I) {
-        A.set(I, RefA[I]);
-        B.set(I, RefB[I]);
+        InitA[I] = RefA[I];
+        InitB[I] = RefB[I];
       }
 
       detail::forAll(Cfg, N, [&](size_t Row) {
+        // The row task reads its row of A and (over the column loop) every
+        // element of B, and writes its row of C.
+        const double *Ap = A.readRun(Row * N, N);
+        const double *Bp = B.readRun(0, N * N);
+        double *Cp = C.writeRun(Row * N, N);
         for (size_t Col = 0; Col < N; ++Col) {
           double Sum = 0.0;
           for (size_t K = 0; K < N; ++K)
-            Sum += A.get(Row * N + K) * B.get(K * N + Col);
-          C.set(Row * N + Col, Sum);
+            Sum += Ap[K] * Bp[K * N + Col];
+          Cp[Col] = Sum;
         }
         if (Cfg.SeedRace && (Row == 0 || Row == N - 1))
           detail::seedRaceWrite(RaceCell, Row);
       });
 
+      const double *Cres = C.readRun(0, N * N);
       for (size_t I = 0; I < N * N; ++I) {
-        Out[I] = C.get(I);
+        Out[I] = Cres[I];
         Checksum += Out[I];
       }
     });

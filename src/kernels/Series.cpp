@@ -83,9 +83,11 @@ public:
 
       // The main task's continuation step is ordered after the finish, so
       // these monitored reads are race-free.
+      const double *Ap = A.readRun(0, Sz.Coefficients);
+      const double *Bp = B.readRun(0, Sz.Coefficients);
       for (size_t N = 0; N < Sz.Coefficients; ++N) {
-        ParA[N] = A.get(N);
-        ParB[N] = B.get(N);
+        ParA[N] = Ap[N];
+        ParB[N] = Bp[N];
         Checksum += ParA[N] + ParB[N];
       }
     });

@@ -41,6 +41,25 @@ inline void write(const void *Addr, uint32_t Size) {
   C.Tool->onWrite(*C.Cur, Addr, Size);
 }
 
+/// Report a read of \p Count contiguous elements of \p ElemSize bytes
+/// starting at \p Addr — semantically Count element reads, delivered as one
+/// event so tools can amortize per-access work across the run.
+inline void readRange(const void *Addr, size_t Count, uint32_t ElemSize) {
+  auto &C = rt::detail::Ctx;
+  if (SPD3_LIKELY(!C.Tool))
+    return;
+  C.Tool->onReadRange(*C.Cur, Addr, Count, ElemSize);
+}
+
+/// Report a write of \p Count contiguous elements of \p ElemSize bytes
+/// starting at \p Addr (one batched event; see readRange).
+inline void writeRange(const void *Addr, size_t Count, uint32_t ElemSize) {
+  auto &C = rt::detail::Ctx;
+  if (SPD3_LIKELY(!C.Tool))
+    return;
+  C.Tool->onWriteRange(*C.Cur, Addr, Count, ElemSize);
+}
+
 /// Report acquisition of the lock identified by \p Lock (Eraser baseline).
 inline void lockAcquire(const void *Lock) {
   auto &C = rt::detail::Ctx;

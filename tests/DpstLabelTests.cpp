@@ -1,0 +1,182 @@
+//===- tests/DpstLabelTests.cpp - Path-label DMHP tests ----------------------===//
+//
+// Unit and property tests for the constant-size PathLabel fast path:
+//
+//   * PathLabel encoding: extension rules, window truncation, sequence-
+//     number saturation.
+//   * Figure 1: every label verdict is decisive and matches the Theorem-1
+//     walk exactly.
+//   * Deep trees: labels past the 12-level window truncate, in-subtree
+//     comparisons go Unknown, and dmhpFast still equals dmhp everywhere.
+//   * Property (random structured programs): for every observed step pair,
+//     dmhpFast == dmhp; a decisive labelDmhp matches dmhp; a non-negative
+//     labelLcaDepth matches the walked LCA's depth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "dpst/Dpst.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spd3;
+using namespace spd3::dpst;
+using spd3::tests::generateProgram;
+using spd3::tests::Program;
+using spd3::tests::runProgram;
+
+TEST(PathLabel, ExtendEncodesSeqNoAndAsyncBit) {
+  PathLabel Root;
+  PathLabel L1 = PathLabel::extend(Root, /*Depth=*/1, /*SeqNo=*/3,
+                                   /*IsAsync=*/true);
+  EXPECT_EQ(L1.Len, 1u);
+  EXPECT_EQ(L1.component(0), (3u << 1) | 1u);
+  EXPECT_FALSE(L1.Truncated);
+  EXPECT_FALSE(L1.Inexact);
+
+  PathLabel L2 = PathLabel::extend(L1, /*Depth=*/2, /*SeqNo=*/1,
+                                   /*IsAsync=*/false);
+  EXPECT_EQ(L2.Len, 2u);
+  EXPECT_EQ(L2.component(0), (3u << 1) | 1u); // prefix preserved
+  EXPECT_EQ(L2.component(1), 1u << 1);
+}
+
+TEST(PathLabel, ExtendBeyondWindowTruncates) {
+  PathLabel L;
+  for (uint32_t D = 1; D <= PathLabel::kMaxLevels; ++D)
+    L = PathLabel::extend(L, D, 1, false);
+  EXPECT_FALSE(L.Truncated);
+  EXPECT_EQ(L.Len, PathLabel::kMaxLevels);
+  PathLabel Deep = PathLabel::extend(L, PathLabel::kMaxLevels + 1, 1, false);
+  EXPECT_TRUE(Deep.Truncated);
+  // A truncated parent taints every descendant.
+  PathLabel Deeper =
+      PathLabel::extend(Deep, PathLabel::kMaxLevels + 2, 1, false);
+  EXPECT_TRUE(Deeper.Truncated);
+}
+
+TEST(PathLabel, SaturatedSeqNoSetsInexact) {
+  PathLabel Root;
+  PathLabel L = PathLabel::extend(Root, 1, PathLabel::kSeqSat, false);
+  EXPECT_TRUE(L.Inexact);
+  // Saturation propagates: any extension of an inexact label is inexact.
+  PathLabel L2 = PathLabel::extend(L, 2, 1, false);
+  EXPECT_TRUE(L2.Inexact);
+}
+
+/// Figure 1 tree (same construction as DpstTests.cpp).
+struct Figure1 {
+  Dpst T;
+  Node *Step1, *A1, *Step2, *A2, *Step3, *Step4, *Step5, *A3, *Step6, *Cont;
+
+  Figure1() {
+    Step1 = T.initialStep();
+    Dpst::AsyncInsertion I1 = T.onAsync(T.root());
+    A1 = I1.AsyncNode;
+    Step2 = I1.ChildStep;
+    Step5 = I1.ContinuationStep;
+    Dpst::AsyncInsertion I2 = T.onAsync(A1);
+    A2 = I2.AsyncNode;
+    Step3 = I2.ChildStep;
+    Step4 = I2.ContinuationStep;
+    Dpst::AsyncInsertion I3 = T.onAsync(T.root());
+    A3 = I3.AsyncNode;
+    Step6 = I3.ChildStep;
+    Cont = I3.ContinuationStep;
+  }
+};
+
+TEST(PathLabel, Figure1VerdictsAreDecisiveAndMatchWalk) {
+  Figure1 F;
+  const Node *Steps[] = {F.Step1, F.Step2, F.Step3, F.Step4,
+                         F.Step5, F.Step6, F.Cont};
+  for (const Node *A : Steps)
+    for (const Node *B : Steps) {
+      if (A == B)
+        continue;
+      LabelVerdict V = Dpst::labelDmhp(A, B);
+      ASSERT_NE(V, LabelVerdict::Unknown)
+          << "shallow exact labels must always be decisive";
+      EXPECT_EQ(V == LabelVerdict::Parallel, Dpst::dmhp(A, B));
+      EXPECT_EQ(Dpst::dmhpFast(A, B), Dpst::dmhp(A, B));
+      int32_t D = Dpst::labelLcaDepth(A, B);
+      ASSERT_GE(D, 0);
+      EXPECT_EQ(static_cast<uint32_t>(D), Dpst::lca(A, B)->Depth);
+    }
+}
+
+TEST(PathLabel, DeepChainFallsBackToWalk) {
+  Dpst T;
+  // Nest asyncs far past the label window.
+  Node *Scope = T.root();
+  std::vector<Node *> ChildSteps;
+  for (int I = 0; I < 24; ++I) {
+    Dpst::AsyncInsertion Ins = T.onAsync(Scope);
+    ChildSteps.push_back(Ins.ChildStep);
+    Scope = Ins.AsyncNode;
+  }
+  // Steps beyond the window carry truncated labels.
+  EXPECT_FALSE(ChildSteps[2]->Label.Truncated);
+  EXPECT_TRUE(ChildSteps.back()->Label.Truncated);
+
+  // Two deep steps in the same truncated subtree: label is inconclusive,
+  // dmhpFast must agree with the walk anyway.
+  const Node *DeepA = ChildSteps[20], *DeepB = ChildSteps[23];
+  EXPECT_EQ(Dpst::labelDmhp(DeepA, DeepB), LabelVerdict::Unknown);
+  EXPECT_EQ(Dpst::dmhpFast(DeepA, DeepB), Dpst::dmhp(DeepA, DeepB));
+
+  // A deep step against a shallow one diverges inside the window, so the
+  // label stays decisive even though one label is truncated.
+  const Node *Shallow = T.initialStep();
+  LabelVerdict V = Dpst::labelDmhp(Shallow, DeepB);
+  ASSERT_NE(V, LabelVerdict::Unknown);
+  EXPECT_EQ(V == LabelVerdict::Parallel, Dpst::dmhp(Shallow, DeepB));
+
+  // Exhaustive agreement across all pairs, deep and shallow.
+  for (const Node *A : ChildSteps)
+    for (const Node *B : ChildSteps)
+      EXPECT_EQ(Dpst::dmhpFast(A, B), Dpst::dmhp(A, B));
+}
+
+class LabelDmhpProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LabelDmhpProperty, LabelVerdictsAgreeWithTreeWalk) {
+  Program P = generateProgram(GetParam());
+  tests::Oracle O(P); // assigns step-event ids consumed by runProgram
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  tests::ExecutionTrace Trace = runProgram(RT, P, &Tool);
+
+  int N = static_cast<int>(Trace.StepOf.size());
+  for (int A = 0; A < N; ++A) {
+    if (!Trace.StepOf[A])
+      continue;
+    for (int B = A + 1; B < N; ++B) {
+      if (!Trace.StepOf[B])
+        continue;
+      const Node *SA = Trace.StepOf[A], *SB = Trace.StepOf[B];
+      bool Walk = Dpst::dmhp(SA, SB);
+      EXPECT_EQ(Dpst::dmhpFast(SA, SB), Walk)
+          << "events " << A << " and " << B << " (seed " << GetParam() << ")";
+      LabelVerdict V = Dpst::labelDmhp(SA, SB);
+      if (V != LabelVerdict::Unknown)
+        EXPECT_EQ(V == LabelVerdict::Parallel, Walk)
+            << "events " << A << " and " << B << " (seed " << GetParam()
+            << ")";
+      int32_t D = Dpst::labelLcaDepth(SA, SB);
+      if (D >= 0)
+        EXPECT_EQ(static_cast<uint32_t>(D), Dpst::lca(SA, SB)->Depth)
+            << "events " << A << " and " << B << " (seed " << GetParam()
+            << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelDmhpProperty,
+                         ::testing::Range(uint64_t(1), uint64_t(41)));
+
+} // namespace

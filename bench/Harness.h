@@ -32,6 +32,7 @@
 #include "baselines/FastTrack.h"
 #include "detector/Spd3Tool.h"
 #include "kernels/Kernel.h"
+#include "obs/Obs.h"
 #include "runtime/Runtime.h"
 #include "support/Env.h"
 #include "support/StopWatch.h"
@@ -155,6 +156,8 @@ inline TimedRun timedRun(Detector D, kernels::Kernel &K,
                          kernels::KernelConfig Cfg, unsigned Threads,
                          int Reps) {
   Cfg.Verify = false;
+  // Tag race reports (and the exported trace) with the originating kernel.
+  obs::ScopedSiteTag Site(K.name());
   TimedRun Best;
   Best.Seconds = 1e100;
   std::vector<double> Times;

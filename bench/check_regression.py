@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the benchmark JSON reports.
+
+Compares freshly measured benchmark JSON against committed baselines and
+fails (exit 1) when any section's geometric-mean slowdown exceeds the
+threshold. Two input formats are auto-detected:
+
+  - the harness format written by `--json` on the table/figure binaries
+    (bench/Harness.h): a JSON array of {name, threads, mean, stddev},
+    keyed by (name, threads), sectioned by the name's last '/' component
+    (the detector variant, e.g. "spd3", "spd3-nocache");
+  - google-benchmark's `--benchmark_out` format: {"benchmarks": [...]},
+    keyed by full name, sectioned by the name before the first '/'
+    (the benchmark family, e.g. "BM_DpstLca").
+
+CI runners and developer machines differ in absolute speed, so by default
+every per-entry ratio is normalized by the global median ratio across all
+pairs: a uniform machine-speed shift cancels out, while a genuine
+regression concentrated in one section survives normalization. The
+normalization factor is clamped to [1/3, 3] so a code change that slows
+*everything* down by more than the plausible runner-speed spread still
+trips the gate instead of being mistaken for a slow machine. Disable
+with --no-normalize when current and baseline come from the same
+machine.
+
+Usage:
+  check_regression.py --pair current.json baseline.json \
+                      [--pair cur2.json base2.json ...] \
+                      [--threshold 1.30] [--no-normalize] \
+                      [--inject SECTION=FACTOR]
+  check_regression.py --self-test
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_entries(path):
+    """Parse one report into {key: mean_time} plus a section map."""
+    with open(path) as f:
+        data = json.load(f)
+    entries = {}
+    sections = {}
+    if isinstance(data, dict) and "benchmarks" in data:
+        # google-benchmark format; skip aggregate rows (mean/median/stddev).
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+            entries[name] = float(b["real_time"])
+            sections[name] = name.split("/")[0]
+    elif isinstance(data, list):
+        # Harness.h JsonReport format.
+        for e in data:
+            key = (e["name"], e["threads"])
+            entries[key] = float(e["mean"])
+            sections[key] = e["name"].rsplit("/", 1)[-1]
+    else:
+        raise ValueError(f"{path}: unrecognized benchmark JSON shape")
+    return entries, sections
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# Largest machine-speed shift normalization may absorb. Beyond this the
+# residual counts toward the threshold like any other slowdown.
+MAX_DRIFT = 3.0
+
+
+def compare(pairs, threshold, normalize, inject):
+    """Return (ok, report_lines) over all (current, baseline) file pairs."""
+    ratios = {}  # key -> (section, ratio)
+    for cur_path, base_path in pairs:
+        cur, cur_sec = load_entries(cur_path)
+        base, _ = load_entries(base_path)
+        common = sorted(set(cur) & set(base), key=str)
+        missing = sorted(set(base) - set(cur), key=str)
+        if missing:
+            print(f"note: {len(missing)} baseline entries missing from "
+                  f"{cur_path} (renamed or removed benchmarks)")
+        if not common:
+            print(f"error: no common entries between {cur_path} and "
+                  f"{base_path}", file=sys.stderr)
+            return False, []
+        for key in common:
+            if base[key] <= 0.0 or cur[key] <= 0.0:
+                continue
+            r = cur[key] / base[key]
+            sec = cur_sec[key]
+            if sec in inject:
+                r *= inject[sec]
+            ratios[(cur_path, key)] = (sec, r)
+
+    if not ratios:
+        print("error: nothing to compare", file=sys.stderr)
+        return False, []
+
+    all_ratios = [r for _, r in ratios.values()]
+    median = sorted(all_ratios)[len(all_ratios) // 2]
+    scale = min(max(median, 1.0 / MAX_DRIFT), MAX_DRIFT) if normalize else 1.0
+
+    by_section = {}
+    for sec, r in ratios.values():
+        by_section.setdefault(sec, []).append(r / scale)
+
+    ok = True
+    lines = []
+    lines.append(f"{len(all_ratios)} compared entries, "
+                 f"global median ratio {median:.3f}"
+                 f"{f' (normalizing by {scale:.3f})' if normalize else ''}")
+    for sec in sorted(by_section):
+        gm = geomean(by_section[sec])
+        verdict = "ok" if gm <= threshold else "REGRESSION"
+        if gm > threshold:
+            ok = False
+        lines.append(f"  {sec:24s} geomean {gm:6.3f}x  "
+                     f"({len(by_section[sec])} entries)  {verdict}")
+    return ok, lines
+
+
+def self_test():
+    """Gate sanity check run in CI before the real comparison: identical
+    data passes; a 1.5x slowdown injected into one of five sections fails;
+    a uniform 4x slowdown across every section fails despite the
+    machine-drift normalization (the clamp)."""
+    import tempfile, os
+
+    variants = ["spd3", "spd3-nocache", "spd3-nomemo", "spd3-nolabel",
+                "spd3-nobatch"]
+    base = [{"name": f"ablation/k{i}/{v}", "threads": 2,
+             "mean": 0.001 * (i + 1), "stddev": 0.0}
+            for i in range(6) for v in variants]
+    with tempfile.TemporaryDirectory() as d:
+        bp = os.path.join(d, "base.json")
+        with open(bp, "w") as f:
+            json.dump(base, f)
+        ok, _ = compare([(bp, bp)], 1.30, True, {})
+        if not ok:
+            print("self-test FAILED: identical data did not pass",
+                  file=sys.stderr)
+            return 1
+        ok, _ = compare([(bp, bp)], 1.30, True, {"spd3": 1.5})
+        if ok:
+            print("self-test FAILED: injected 1.5x slowdown passed",
+                  file=sys.stderr)
+            return 1
+        ok, _ = compare([(bp, bp)], 1.30, True,
+                        {v: 4.0 for v in variants})
+        if ok:
+            print("self-test FAILED: uniform 4x slowdown passed",
+                  file=sys.stderr)
+            return 1
+    print("self-test passed: identical data passes; one-section 1.5x and "
+          "uniform 4x slowdowns fail")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--pair", nargs=2, action="append", default=[],
+                    metavar=("CURRENT", "BASELINE"),
+                    help="compare CURRENT against BASELINE (repeatable)")
+    ap.add_argument("--threshold", type=float, default=1.30,
+                    help="max per-section geomean slowdown (default 1.30)")
+    ap.add_argument("--no-normalize", action="store_true",
+                    help="skip global-median machine-speed normalization")
+    ap.add_argument("--inject", action="append", default=[],
+                    metavar="SECTION=FACTOR",
+                    help="multiply SECTION's ratios by FACTOR (gate demo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate fails on synthetic regressions")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.pair:
+        ap.error("need --pair (or --self-test)")
+
+    inject = {}
+    for spec in args.inject:
+        sec, _, factor = spec.partition("=")
+        inject[sec] = float(factor)
+
+    ok, lines = compare(args.pair, args.threshold, not args.no_normalize,
+                        inject)
+    for line in lines:
+        print(line)
+    if not ok:
+        print(f"FAIL: at least one section regressed beyond "
+              f"{args.threshold:.2f}x", file=sys.stderr)
+        sys.exit(1)
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@
 #include "baselines/FastTrack.h"
 #include "detector/Spd3Tool.h"
 #include "kernels/Kernel.h"
+#include "obs/Obs.h"
 
 #include <cstdio>
 
@@ -39,6 +40,7 @@ kernels::KernelConfig config(bool Benign) {
 
 int main() {
   kernels::Kernel *MC = kernels::findKernel("montecarlo");
+  obs::ScopedSiteTag Site("montecarlo");
 
   std::printf("== step 1: run the original benchmark under SPD3 ==\n");
   double BuggyChecksum = 0.0;
@@ -52,7 +54,8 @@ int main() {
                 R.Verified ? "yes" : "no", R.Checksum);
     std::printf("races: %zu", Sink.raceCount());
     if (Sink.anyRace())
-      std::printf("  -> %s", Sink.races()[0].str().c_str());
+      std::printf("\n%s",
+                  detector::Spd3Tool::describeRace(Sink.races()[0]).c_str());
     std::printf("\n\n");
   }
 
@@ -97,5 +100,8 @@ int main() {
     MC->execute(RT, config(/*Benign=*/true));
     std::printf("fasttrack: %zu racy location(s)\n", Sink.raceCount());
   }
+  // With SPD3_TRACE=<path> set, export the session's trace now (rather
+  // than at exit) so the four runs above land in one Perfetto file.
+  obs::writeTraceIfRequested();
   return 0;
 }

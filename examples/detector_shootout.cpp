@@ -19,6 +19,7 @@
 #include "baselines/FastTrack.h"
 #include "detector/Spd3Tool.h"
 #include "detector/Tracked.h"
+#include "obs/Obs.h"
 #include "runtime/Runtime.h"
 
 #include <cstdio>
@@ -111,5 +112,6 @@ int main() {
   std::printf("\nprecise detectors separate the buggy from the fixed "
               "program; Eraser\ncannot, because end-finish ordering is not "
               "a lock.\n");
+  obs::writeTraceIfRequested();
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "baselines/FastTrack.h"
 #include "detector/Spd3Tool.h"
 #include "detector/Tracked.h"
+#include "obs/Obs.h"
 #include "runtime/Runtime.h"
 #include "trace/Trace.h"
 
@@ -164,14 +165,19 @@ int demoMode() {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  int Ret;
   if (Argc == 3 && std::strcmp(Argv[1], "--audit") == 0)
-    return auditMode(Argv[2]);
-  if (Argc == 3 && std::strcmp(Argv[1], "--record") == 0)
-    return recordMode(Argv[2]);
-  if (Argc != 1) {
+    Ret = auditMode(Argv[2]);
+  else if (Argc == 3 && std::strcmp(Argv[1], "--record") == 0)
+    Ret = recordMode(Argv[2]);
+  else if (Argc != 1) {
     std::fprintf(stderr,
                  "usage: %s [--record <trace> | --audit <trace>]\n", Argv[0]);
     return 2;
-  }
-  return demoMode();
+  } else
+    Ret = demoMode();
+  // On-demand Perfetto export (SPD3_TRACE=<path>): write before exiting so
+  // failures surface in the exit code rather than in an atexit hook.
+  obs::writeTraceIfRequested();
+  return Ret;
 }

@@ -107,7 +107,7 @@ void VcOracleTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
     Sink.report(detector::Race{
         detector::RaceKind::WriteRead, Addr,
         (static_cast<uint64_t>(Tid) << 32) | C.Writes.get(Tid),
-        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name()});
+        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name(), nullptr});
   }
   C.Reads.set(TS->Tid, TS->C.get(TS->Tid));
 }
@@ -124,7 +124,7 @@ void VcOracleTool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
     Sink.report(detector::Race{
         detector::RaceKind::ReadWrite, Addr,
         (static_cast<uint64_t>(Tid) << 32) | C.Reads.get(Tid),
-        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name()});
+        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name(), nullptr});
   }
   int64_t RacingWrite = C.Writes.firstExceeding(TS->C);
   if (RacingWrite >= 0) {
@@ -132,7 +132,7 @@ void VcOracleTool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
     Sink.report(detector::Race{
         detector::RaceKind::WriteWrite, Addr,
         (static_cast<uint64_t>(Tid) << 32) | C.Writes.get(Tid),
-        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name()});
+        (static_cast<uint64_t>(TS->Tid) << 32) | TS->C.get(TS->Tid), name(), nullptr});
   }
   C.Writes.set(TS->Tid, TS->C.get(TS->Tid));
 }

@@ -17,6 +17,11 @@ bool LockSet::contains(const void *L) const {
 
 LockSetTable::LockSetTable() { Empty = intern({}); }
 
+LockSetTable::~LockSetTable() {
+  for (auto &[Key, LS] : Table)
+    delete LS;
+}
+
 const LockSet *LockSetTable::intern(std::vector<const void *> Locks) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Table.find(Locks);
@@ -143,7 +148,7 @@ void EraserTool::access(rt::Task &T, const void *Addr, bool IsWrite) {
   if (C.St == State::SharedModified && C.CS->Locks.empty())
     Sink.report(detector::Race{IsWrite ? RaceKind::WriteWrite
                                        : RaceKind::WriteRead,
-                               Addr, C.Owner, TS->Tid, name()});
+                               Addr, C.Owner, TS->Tid, name(), nullptr});
 }
 
 void EraserTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {

@@ -52,6 +52,7 @@ struct LockSet {
 class LockSetTable {
 public:
   LockSetTable();
+  ~LockSetTable();
 
   /// The canonical empty set.
   const LockSet *empty() const { return Empty; }

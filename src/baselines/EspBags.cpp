@@ -60,7 +60,7 @@ size_t EspBagsTool::memoryBytes() const {
 
 void EspBagsTool::report(RaceKind K, const void *Addr, uint32_t Prior,
                          uint32_t Cur) {
-  Sink.report(detector::Race{K, Addr, Prior, Cur, name()});
+  Sink.report(detector::Race{K, Addr, Prior, Cur, name(), nullptr});
 }
 
 void EspBagsTool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {

@@ -46,7 +46,7 @@ std::mutex &FastTrackTool::lockFor(const Cell &C) {
 
 void FastTrackTool::report(RaceKind K, const void *Addr, uint64_t Prior,
                            uint64_t Cur) {
-  Sink.report(detector::Race{K, Addr, Prior, Cur, name()});
+  Sink.report(detector::Race{K, Addr, Prior, Cur, name(), nullptr});
 }
 
 static uint64_t epochWord(const Epoch &E) {

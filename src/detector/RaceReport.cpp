@@ -18,6 +18,39 @@ const char *raceKindName(RaceKind K) {
   return "unknown";
 }
 
+namespace {
+void appendPath(std::ostringstream &OS, const char *Role,
+                const std::vector<RaceProvenance::PathStep> &Path) {
+  OS << "\n    " << Role << ": ";
+  if (Path.empty()) {
+    OS << "<at LCA>";
+    return;
+  }
+  for (size_t I = 0; I < Path.size(); ++I) {
+    const RaceProvenance::PathStep &S = Path[I];
+    OS << (S.Kind == 'F'   ? "finish"
+           : S.Kind == 'A' ? "async"
+                           : "step")
+       << '#' << S.SeqNo << "(d" << S.Depth << ')';
+    if (I + 1 < Path.size())
+      OS << '/';
+  }
+}
+} // namespace
+
+std::string RaceProvenance::str() const {
+  std::ostringstream OS;
+  OS << "  provenance (" << (FromLabels ? "labels" : "tree walk") << "):";
+  if (!Site.empty())
+    OS << "\n    site: " << Site;
+  OS << "\n    LCA depth: " << LcaDepth;
+  appendPath(OS, "prior path below LCA", Prior);
+  appendPath(OS, "current path below LCA", Current);
+  OS << "\n    shadow triple: w=" << TripleW << " r1=" << TripleR1
+     << " r2=" << TripleR2;
+  return OS.str();
+}
+
 std::string Race::str() const {
   std::ostringstream OS;
   OS << Detector << ": " << raceKindName(Kind) << " race on " << Addr

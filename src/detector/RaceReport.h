@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -37,6 +38,33 @@ enum class RaceKind : uint8_t {
 
 const char *raceKindName(RaceKind K);
 
+/// Where a race came from: the structural context of the two conflicting
+/// steps, captured at report time. SPD3 fills this from the DPST (paths are
+/// schedule-stable by Section 3.2's path invariance); detectors with no
+/// structure tree leave it null. Everything here is plain rendered data so
+/// reports outlive the detector that produced them.
+struct RaceProvenance {
+  /// One DPST node on the path from the conflicting steps' LCA down to a
+  /// step. Kind is 'F' (finish), 'A' (async) or 'S' (step).
+  struct PathStep {
+    uint32_t Depth;
+    uint32_t SeqNo;
+    char Kind;
+  };
+
+  int32_t LcaDepth = -1;   ///< Depth of LCA(prior, current) in the DPST.
+  bool FromLabels = false; ///< Paths decoded from path labels, no tree walk.
+  std::vector<PathStep> Prior;   ///< child-of-LCA .. prior step.
+  std::vector<PathStep> Current; ///< child-of-LCA .. current step.
+  std::string TripleW;  ///< Shadow writer's path at report time ("<none>").
+  std::string TripleR1; ///< Shadow reader r1's path.
+  std::string TripleR2; ///< Shadow reader r2's path.
+  std::string Site;     ///< Originating kernel/site tag; "" when untagged.
+
+  /// Multi-line human-readable rendering (indented two spaces).
+  std::string str() const;
+};
+
 /// One detected race. Prior/Current identify the conflicting accesses in a
 /// detector-specific way (SPD3: DPST step addresses; ESP-bags: task ids;
 /// FastTrack: epoch words; Eraser: task ids).
@@ -46,6 +74,8 @@ struct Race {
   uint64_t Prior;
   uint64_t Current;
   const char *Detector;
+  /// Structural provenance, when the detector can supply it.
+  std::shared_ptr<const RaceProvenance> Prov;
 
   std::string str() const;
 };

@@ -73,6 +73,7 @@ public:
   void registerRange(const void *Base, size_t Count, uint32_t ElemSize) {
     RangeTable::Range *Slot = Ranges.claimSlot();
     Ranges.publish(Slot, Base, Count, ElemSize, new Cell[Count]());
+    obs::noteRangeCells(Count);
   }
 
   /// Tombstone the range at \p Base. Cells remain allocated (stale step

@@ -38,6 +38,7 @@
 #ifndef SPD3_DETECTOR_SHADOWTABLE_H
 #define SPD3_DETECTOR_SHADOWTABLE_H
 
+#include "obs/Obs.h"
 #include "support/Compiler.h"
 
 #include <atomic>
@@ -74,6 +75,7 @@ public:
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire)) {
           NumCells.fetch_add(1, std::memory_order_relaxed);
+          obs::noteShadowCell();
           return &S.Value;
         }
         if (Expected == Key)
@@ -131,7 +133,8 @@ private:
     if (Entry.compare_exchange_strong(Expected, Fresh,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
-      NumChunks.fetch_add(1, std::memory_order_relaxed);
+      obs::noteShadowChunk(NumChunks.fetch_add(1, std::memory_order_relaxed) +
+                           1);
       return Fresh->Slots[I & (ChunkSize - 1)];
     }
     delete Fresh;

@@ -2,6 +2,7 @@
 
 #include "detector/Spd3Tool.h"
 
+#include "obs/Obs.h"
 #include "runtime/Task.h"
 #include "support/Stats.h"
 
@@ -214,6 +215,10 @@ std::string Spd3Tool::describeRace(const Race &R) {
   Out += Dpst::pathString(reinterpret_cast<const Node *>(R.Prior));
   Out += "\n  current access step: ";
   Out += Dpst::pathString(reinterpret_cast<const Node *>(R.Current));
+  if (R.Prov) {
+    Out += '\n';
+    Out += R.Prov->str();
+  }
   return Out;
 }
 
@@ -306,9 +311,35 @@ uint32_t Spd3Tool::lcaDepth(Node *A, Node *B) const {
 }
 
 void Spd3Tool::report(RaceKind K, const void *Addr, const Node *Prior,
-                      const Node *Cur) {
+                      const Node *Cur, const Node *W, const Node *R1,
+                      const Node *R2) {
+  obs::emit(obs::EventKind::RaceFound, reinterpret_cast<uint64_t>(Addr), 0,
+            static_cast<uint16_t>(K));
+  auto Prov = std::make_shared<RaceProvenance>();
+  Dpst::ProvenancePaths P = Dpst::provenance(Prior, Cur);
+  Prov->LcaDepth = P.LcaDepth;
+  Prov->FromLabels = P.FromLabels;
+  auto Convert = [](const std::vector<Dpst::PathEntry> &In,
+                    std::vector<RaceProvenance::PathStep> &Out) {
+    Out.reserve(In.size());
+    for (const Dpst::PathEntry &E : In)
+      Out.push_back({E.Depth, E.SeqNo,
+                     E.Kind == dpst::NodeKind::Finish  ? 'F'
+                     : E.Kind == dpst::NodeKind::Async ? 'A'
+                                                       : 'S'});
+  };
+  Convert(P.A, Prov->Prior);
+  Convert(P.B, Prov->Current);
+  // The snapshot triple the race was computed from, not a fresh cell
+  // read: only snapshot nodes carry the happens-before edge that makes
+  // walking their paths safe while other workers grow the tree.
+  Prov->TripleW = Dpst::pathString(W);
+  Prov->TripleR1 = Dpst::pathString(R1);
+  Prov->TripleR2 = Dpst::pathString(R2);
+  Prov->Site = obs::siteTag();
   Sink.report(Race{K, Addr, reinterpret_cast<uint64_t>(Prior),
-                   reinterpret_cast<uint64_t>(Cur), name()});
+                   reinterpret_cast<uint64_t>(Cur), name(),
+                   std::move(Prov)});
 }
 
 void Spd3Tool::computeWrite(TaskState *TS, Node *W, Node *R1, Node *R2,
@@ -371,9 +402,10 @@ void Spd3Tool::computeRead(TaskState *TS, Node *W, Node *R1, Node *R2,
 }
 
 void Spd3Tool::flushRaces(const ActionOutcome &Out, const void *Addr,
-                          const Node *S) {
+                          const Node *S, const Node *W, const Node *R1,
+                          const Node *R2) {
   for (uint8_t I = 0; I < Out.NumRaces; ++I)
-    report(Out.Races[I].K, Addr, Out.Races[I].Prior, S);
+    report(Out.Races[I].K, Addr, Out.Races[I].Prior, S, W, R1, R2);
 }
 
 bool Spd3Tool::applyUpdate(Cell &C, uint32_t X, bool IsWrite,
@@ -383,6 +415,7 @@ bool Spd3Tool::applyUpdate(Cell &C, uint32_t X, bool IsWrite,
                                             std::memory_order_acq_rel,
                                             std::memory_order_relaxed)) {
     ++NumCasRetries;
+    obs::emit(obs::EventKind::CasRetry, reinterpret_cast<uint64_t>(&C));
     return false; // Someone updated since the snapshot; retry the action.
   }
   if (IsWrite) {
@@ -411,7 +444,7 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
       computeWrite(TS, W, R1, R2, Step, Out);
     else
       computeRead(TS, W, R1, R2, Step, Out);
-    flushRaces(Out, Addr, Step);
+    flushRaces(Out, Addr, Step, W, R1, R2);
     if (Out.Update) {
       if (IsWrite) {
         C.W.store(Out.NewW, std::memory_order_relaxed);
@@ -420,6 +453,11 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
         C.R2.store(Out.NewR2, std::memory_order_relaxed);
       }
     }
+    obs::emit(obs::EventKind::MutexAction, reinterpret_cast<uint64_t>(Addr),
+              0,
+              Out.NumRaces       ? obs::OutcomeRace
+              : Out.Update       ? obs::OutcomeUpdate
+                                 : obs::OutcomeNoUpdate);
     return;
   }
 
@@ -437,6 +475,8 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
     uint32_t Y = C.EndVersion.load(std::memory_order_relaxed);
     if (X != Y) {
       ++NumSnapshotRetries;
+      obs::emit(obs::EventKind::SnapshotRetry,
+                reinterpret_cast<uint64_t>(Addr));
       continue;
     }
 
@@ -450,7 +490,11 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
       // The common case (e.g. reads inside the LCA(r1,r2) subtree)
       // completes with no serialization whatsoever.
       ++NumUpdatesSkipped;
-      flushRaces(Out, Addr, Step);
+      flushRaces(Out, Addr, Step, W, R1, R2);
+      obs::emit(IsWrite ? obs::EventKind::CheckWrite
+                        : obs::EventKind::CheckRead,
+                reinterpret_cast<uint64_t>(Addr), 0,
+                Out.NumRaces ? obs::OutcomeRace : obs::OutcomeNoUpdate);
       return;
     }
 
@@ -458,7 +502,10 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
     // startVersion last.
     if (!applyUpdate(C, X, IsWrite, Out))
       continue; // Someone updated since our snapshot; restart the action.
-    flushRaces(Out, Addr, Step);
+    flushRaces(Out, Addr, Step, W, R1, R2);
+    obs::emit(IsWrite ? obs::EventKind::CheckWrite : obs::EventKind::CheckRead,
+              reinterpret_cast<uint64_t>(Addr), 0,
+              Out.NumRaces ? obs::OutcomeRace : obs::OutcomeUpdate);
     return;
   }
 }
@@ -501,7 +548,7 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
       } else {
         ++NumRangeComputeReuse;
       }
-      flushRaces(Memo, EA, Step);
+      flushRaces(Memo, EA, Step, W, R1, R2);
       if (Memo.Update) {
         if (IsWrite) {
           C.W.store(Memo.NewW, std::memory_order_relaxed);
@@ -548,7 +595,7 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
     }
     if (!Memo.Update) {
       ++NumUpdatesSkipped;
-      flushRaces(Memo, EA, Step);
+      flushRaces(Memo, EA, Step, W, R1, R2);
       continue;
     }
     if (!applyUpdate(C, X, IsWrite, Memo)) {
@@ -556,7 +603,7 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
       memoryAction(TS, C, EA, IsWrite);
       continue;
     }
-    flushRaces(Memo, EA, Step);
+    flushRaces(Memo, EA, Step, W, R1, R2);
   }
 }
 
@@ -619,6 +666,8 @@ void Spd3Tool::onReadRange(rt::Task &T, const void *Addr, size_t Count,
   }
   ++NumRangeEvents;
   NumRangeElems += Count;
+  obs::emit(obs::EventKind::RangeRead, reinterpret_cast<uint64_t>(Addr),
+            static_cast<uint32_t>(Count));
   rangeAction(TS, Cells, Addr, Count, ElemSize, /*IsWrite=*/false);
 }
 
@@ -648,6 +697,8 @@ void Spd3Tool::onWriteRange(rt::Task &T, const void *Addr, size_t Count,
   }
   ++NumRangeEvents;
   NumRangeElems += Count;
+  obs::emit(obs::EventKind::RangeWrite, reinterpret_cast<uint64_t>(Addr),
+            static_cast<uint32_t>(Count));
   rangeAction(TS, Cells, Addr, Count, ElemSize, /*IsWrite=*/true);
 }
 

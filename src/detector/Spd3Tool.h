@@ -117,7 +117,9 @@ public:
 
   /// Render one of this tool's races with the DPST paths of both steps —
   /// schedule-stable coordinates a user can map back to async/finish
-  /// structure (Section 3.2's path-invariance property).
+  /// structure (Section 3.2's path-invariance property). The tool that
+  /// reported \p R must still be alive: the step coordinates are walked
+  /// from DPST nodes owned by its arena.
   static std::string describeRace(const Race &R);
 
   /// Relaxed snapshot of the Section 4.1 triple for \p Addr. For the
@@ -176,9 +178,15 @@ private:
   void computeRead(TaskState *TS, dpst::Node *W, dpst::Node *R1,
                    dpst::Node *R2, dpst::Node *S, ActionOutcome &Out);
 
-  /// Report the races recorded in \p Out against \p Addr.
+  /// Report the races recorded in \p Out against \p Addr. \p W, \p R1 and
+  /// \p R2 are the validated snapshot triple the outcome was computed
+  /// from — provenance must use it, not a fresh unversioned cell read: a
+  /// concurrent updater's nodes would lack a happens-before edge with
+  /// this thread, so walking them is a data race (and the mid-update
+  /// triple may be torn).
   void flushRaces(const ActionOutcome &Out, const void *Addr,
-                  const dpst::Node *S);
+                  const dpst::Node *S, const dpst::Node *W,
+                  const dpst::Node *R1, const dpst::Node *R2);
 
   /// Publish \p Out's update to \p C, whose snapshot version was \p X.
   /// False when another updater won the CAS (caller retries the action).
@@ -194,7 +202,8 @@ private:
   uint32_t lcaDepth(dpst::Node *A, dpst::Node *B) const;
 
   void report(RaceKind K, const void *Addr, const dpst::Node *Prior,
-              const dpst::Node *Cur);
+              const dpst::Node *Cur, const dpst::Node *W,
+              const dpst::Node *R1, const dpst::Node *R2);
 
   RaceSink &Sink;
   Spd3Options Opts;

@@ -6,6 +6,7 @@
 #include "support/Compiler.h"
 #include "support/Stats.h"
 
+#include <algorithm>
 #include <sstream>
 #include <vector>
 
@@ -196,6 +197,55 @@ bool Dpst::dmhpFast(const Node *S1, const Node *S2) {
   }
   ++NumLabelDmhpFallbacks;
   return dmhp(S1, S2);
+}
+
+namespace {
+
+/// Decode node \p N's label into path entries for depths LcaDepth+1 ..
+/// N->Depth. Interior nodes on a step's path are async or finish (steps
+/// are leaves), so the component's async bit plus the node's own Kind at
+/// the last level recover every kind exactly.
+void decodeLabelPath(const Node *N, int32_t LcaDepth,
+                     std::vector<Dpst::PathEntry> &Out) {
+  for (uint32_t D = static_cast<uint32_t>(LcaDepth) + 1; D <= N->Depth; ++D) {
+    uint32_t C = N->Label.component(D - 1);
+    NodeKind K = D == N->Depth ? N->Kind
+                 : (C & 1)     ? NodeKind::Async
+                               : NodeKind::Finish;
+    Out.push_back({D, C >> 1, K});
+  }
+}
+
+/// Collect the child-of-\p Lca .. \p N path by walking Parent pointers.
+void walkPath(const Node *N, const Node *Lca,
+              std::vector<Dpst::PathEntry> &Out) {
+  for (; N && N != Lca; N = N->Parent)
+    Out.push_back({N->Depth, N->SeqNo, N->Kind});
+  std::reverse(Out.begin(), Out.end());
+}
+
+} // namespace
+
+Dpst::ProvenancePaths Dpst::provenance(const Node *A, const Node *B) {
+  ProvenancePaths P;
+  if (!A || !B)
+    return P;
+  // Label fast path: with exact (non-truncated, non-saturated) labels every
+  // level of both paths sits inside the window, so a decisive LCA depth
+  // means the full paths can be decoded without touching the tree.
+  int32_t D = labelLcaDepth(A, B);
+  if (D >= 0 && !A->Label.Truncated && !B->Label.Truncated) {
+    P.LcaDepth = D;
+    P.FromLabels = true;
+    decodeLabelPath(A, D, P.A);
+    decodeLabelPath(B, D, P.B);
+    return P;
+  }
+  const Node *L = lca(A, B);
+  P.LcaDepth = static_cast<int32_t>(L->Depth);
+  walkPath(A, L, P.A);
+  walkPath(B, L, P.B);
+  return P;
 }
 
 bool Dpst::validate(std::string *Err) const {

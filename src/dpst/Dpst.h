@@ -36,6 +36,7 @@
 #include <bit>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace spd3::dpst {
 
@@ -239,6 +240,29 @@ public:
   /// contract as dmhp (null / identical arguments yield false).
   static bool dmhpFast(const Node *S1, const Node *S2);
   /// @}
+
+  /// One level of a reconstructed LCA-to-node path (see provenance()).
+  struct PathEntry {
+    uint32_t Depth;
+    uint32_t SeqNo;
+    NodeKind Kind;
+  };
+
+  /// Race provenance: the depth of LCA(A, B) and the two paths from the
+  /// LCA down to A and B.
+  struct ProvenancePaths {
+    int32_t LcaDepth = -1;    ///< Depth of LCA(A, B); -1 only on null input.
+    bool FromLabels = false;  ///< Decoded from PathLabels, no tree walk.
+    std::vector<PathEntry> A; ///< child-of-LCA .. A; empty if A is the LCA.
+    std::vector<PathEntry> B; ///< child-of-LCA .. B.
+  };
+
+  /// Reconstruct the LCA depth and both LCA-to-node paths. Decodes the
+  /// constant-size PathLabels when they are exact and decisive (the usual
+  /// case for steps within the label window) and falls back to the
+  /// Parent-pointer walk otherwise; both routes agree (tested against
+  /// lca()).
+  static ProvenancePaths provenance(const Node *A, const Node *B);
 
   /// Total number of nodes (the paper's 3*(a+f)-1 size bound is checked
   /// against this in tests).

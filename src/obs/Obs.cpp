@@ -1,0 +1,336 @@
+//===- obs/Obs.cpp - Always-on observability layer -------------------------===//
+
+#include "obs/Obs.h"
+
+#include "obs/PerfettoExporter.h"
+#include "obs/Ring.h"
+#include "support/Env.h"
+#include "support/Stats.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spd3::obs {
+
+namespace detail {
+std::atomic<bool> GEnabled{false};
+} // namespace detail
+
+namespace {
+
+Statistic NumShadowChunks("shadow", "chunks");
+Statistic NumShadowCells("shadow", "fallbackCells");
+Statistic NumRangeCells("shadow", "rangeCells");
+Statistic NumEventsEmitted("obs", "eventsEmitted");
+
+/// One registered per-thread ring. Owned by the registry (never freed
+/// while the process lives) so a ring outlives its writer thread and can
+/// be drained at shutdown.
+struct ThreadRing {
+  explicit ThreadRing(size_t Cap, uint64_t Tid) : Ring(Cap), Tid(Tid) {}
+  EventRing Ring;
+  uint64_t Tid;
+  std::string Name;
+};
+
+/// Registry of rings, samples, and the sampler thread. All mutation of
+/// the containers is under Mutex; the hot path only touches its cached
+/// ThreadRing.
+struct Registry {
+  std::mutex Mutex;
+  std::vector<std::unique_ptr<ThreadRing>> Rings;
+  uint64_t NextTid = 1;
+  /// Bumped by resetForTesting() to invalidate thread-local caches.
+  std::atomic<uint64_t> Generation{1};
+  size_t RingCapacity = 1 << 14;
+
+  /// Counter timeline. Names are fixed at the first sample.
+  std::vector<std::string> CounterNames;
+  std::vector<CounterSample> Samples;
+  static constexpr size_t MaxSamples = 1 << 16;
+
+  /// Sampler thread state.
+  std::thread Sampler;
+  std::condition_variable SamplerCv;
+  bool SamplerStop = false;
+  int64_t SampleIntervalUs = 1000;
+
+  /// SPD3_TRACE wiring.
+  std::string TracePath;
+  bool EnvParsed = false;
+  std::atomic<bool> Written{false};
+};
+
+Registry &registry() {
+  static Registry *R = new Registry(); // immortal: drained at atexit
+  return *R;
+}
+
+std::atomic<const char *> GSiteTag{nullptr};
+
+thread_local struct {
+  ThreadRing *TR = nullptr;
+  uint64_t Gen = 0;
+} Cached;
+
+/// The calling thread's ring, registering one on first use (or after a
+/// reset). Registration takes the registry mutex; every later emit is
+/// lock-free.
+ThreadRing *myRing() {
+  Registry &R = registry();
+  uint64_t Gen = R.Generation.load(std::memory_order_acquire);
+  if (Cached.TR && Cached.Gen == Gen)
+    return Cached.TR;
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto TR = std::make_unique<ThreadRing>(R.RingCapacity, R.NextTid++);
+  TR->Name = "thread-" + std::to_string(TR->Tid);
+  Cached.TR = TR.get();
+  Cached.Gen = R.Generation.load(std::memory_order_relaxed);
+  R.Rings.push_back(std::move(TR));
+  return Cached.TR;
+}
+
+void takeSampleLocked(Registry &R) {
+  const std::vector<Statistic *> &All = stats::all();
+  if (R.CounterNames.empty()) {
+    R.CounterNames.reserve(All.size());
+    for (Statistic *S : All)
+      R.CounterNames.push_back(std::string(S->group()) + "." + S->name());
+  }
+  if (R.Samples.size() >= Registry::MaxSamples)
+    return; // Bounded timeline; the tail of a very long run is dropped.
+  CounterSample Sample;
+  Sample.TimeNs = monotonicNanos();
+  Sample.Values.reserve(R.CounterNames.size());
+  for (size_t I = 0; I < R.CounterNames.size() && I < All.size(); ++I)
+    Sample.Values.push_back(All[I]->value());
+  R.Samples.push_back(std::move(Sample));
+}
+
+void samplerLoop() {
+  Registry &R = registry();
+  std::unique_lock<std::mutex> Lock(R.Mutex);
+  while (!R.SamplerStop) {
+    takeSampleLocked(R);
+    R.SamplerCv.wait_for(Lock,
+                         std::chrono::microseconds(R.SampleIntervalUs),
+                         [&R] { return R.SamplerStop; });
+  }
+  takeSampleLocked(R); // final sample so counters reach their end values
+}
+
+void stopSampler(Registry &R) {
+  std::thread ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    if (!R.Sampler.joinable())
+      return;
+    R.SamplerStop = true;
+    ToJoin = std::move(R.Sampler);
+  }
+  R.SamplerCv.notify_all();
+  ToJoin.join();
+}
+
+void shutdownExport() {
+  Registry &R = registry();
+  if (R.TracePath.empty() || R.Written.load(std::memory_order_acquire))
+    return;
+  writeTrace(R.TracePath);
+}
+
+} // namespace
+
+namespace detail {
+
+void emitSlow(EventKind K, uint64_t Arg, uint32_t Arg2, uint16_t Aux) {
+  ThreadRing *TR = myRing();
+  TR->Ring.push(Event{monotonicNanos(), Arg, Arg2, Aux, K});
+  ++NumEventsEmitted;
+}
+
+} // namespace detail
+
+const char *eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::TaskSpawn:
+    return "spawn";
+  case EventKind::TaskStart:
+    return "task";
+  case EventKind::TaskEnd:
+    return "task";
+  case EventKind::FinishEnter:
+    return "finish";
+  case EventKind::FinishExit:
+    return "finish";
+  case EventKind::Steal:
+    return "steal";
+  case EventKind::CheckRead:
+    return "check.read";
+  case EventKind::CheckWrite:
+    return "check.write";
+  case EventKind::RangeRead:
+    return "range.read";
+  case EventKind::RangeWrite:
+    return "range.write";
+  case EventKind::SnapshotRetry:
+    return "seqlock.retry";
+  case EventKind::CasRetry:
+    return "cas.retry";
+  case EventKind::MutexAction:
+    return "mutex.action";
+  case EventKind::ShadowChunk:
+    return "shadow.chunk";
+  case EventKind::RaceFound:
+    return "race";
+  }
+  return "?";
+}
+
+void setEnabled(bool On) {
+  detail::GEnabled.store(On, std::memory_order_relaxed);
+}
+
+void nameCurrentThread(const std::string &Name) {
+  ThreadRing *TR = myRing();
+  std::lock_guard<std::mutex> Lock(registry().Mutex);
+  TR->Name = Name;
+}
+
+void ensureStarted() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  if (R.EnvParsed) {
+    // Restart the sampler if a prior writeTrace stopped it and tracing
+    // was re-requested by a later run in the same process.
+    if (!R.TracePath.empty() && !R.Sampler.joinable() && !R.SamplerStop)
+      R.Sampler = std::thread(samplerLoop);
+    return;
+  }
+  R.EnvParsed = true;
+  R.TracePath = envString("SPD3_TRACE", "");
+  if (R.TracePath.empty())
+    return;
+  R.RingCapacity =
+      static_cast<size_t>(envInt("SPD3_TRACE_RING", R.RingCapacity));
+  R.SampleIntervalUs = envInt("SPD3_TRACE_SAMPLE_US", R.SampleIntervalUs);
+  setEnabled(true);
+  R.Sampler = std::thread(samplerLoop);
+  std::atexit(shutdownExport);
+}
+
+const std::string &requestedPath() { return registry().TracePath; }
+
+bool writeTrace(const std::string &Path) {
+  Registry &R = registry();
+  stopSampler(R);
+  std::vector<ThreadTrack> Tracks;
+  std::vector<std::string> Names;
+  std::vector<CounterSample> Samples;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    takeSampleLocked(R);
+    for (const auto &TR : R.Rings) {
+      ThreadTrack T;
+      T.Name = TR->Name;
+      T.Tid = TR->Tid;
+      T.Dropped = TR->Ring.dropped();
+      T.Events = TR->Ring.drain();
+      Tracks.push_back(std::move(T));
+    }
+    Names = R.CounterNames;
+    Samples = R.Samples;
+  }
+  bool Ok = writePerfettoJson(Path, Tracks, Names, Samples);
+  if (Ok) {
+    R.Written.store(true, std::memory_order_release);
+    size_t Kept = 0, Dropped = 0;
+    for (const ThreadTrack &T : Tracks) {
+      Kept += T.Events.size();
+      Dropped += T.Dropped;
+    }
+    std::fprintf(stderr, "spd3: wrote trace %s (%zu events, %zu dropped)\n",
+                 Path.c_str(), Kept, Dropped);
+  }
+  return Ok;
+}
+
+bool writeTraceIfRequested() {
+  Registry &R = registry();
+  if (R.TracePath.empty())
+    return true;
+  return writeTrace(R.TracePath);
+}
+
+void sampleCountersNow() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  takeSampleLocked(R);
+}
+
+size_t sampleCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  return R.Samples.size();
+}
+
+void setSiteTag(const char *Tag) {
+  GSiteTag.store(Tag, std::memory_order_relaxed);
+}
+
+const char *siteTag() {
+  const char *Tag = GSiteTag.load(std::memory_order_relaxed);
+  return Tag ? Tag : "";
+}
+
+void noteShadowChunk(size_t ResidentChunks) {
+  ++NumShadowChunks;
+  emit(EventKind::ShadowChunk, ResidentChunks);
+}
+
+void noteShadowCell() { ++NumShadowCells; }
+
+void noteRangeCells(size_t Count) { NumRangeCells += Count; }
+
+size_t retainedEvents() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  size_t N = 0;
+  for (const auto &TR : R.Rings)
+    N += TR->Ring.size();
+  return N;
+}
+
+size_t droppedEvents() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  size_t N = 0;
+  for (const auto &TR : R.Rings)
+    N += TR->Ring.dropped();
+  return N;
+}
+
+void setRingCapacityForTesting(size_t Events) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.RingCapacity = Events;
+}
+
+void resetForTesting() {
+  Registry &R = registry();
+  setEnabled(false);
+  stopSampler(R);
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Rings.clear();
+  R.Samples.clear();
+  R.CounterNames.clear();
+  R.SamplerStop = false;
+  R.Generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+} // namespace spd3::obs

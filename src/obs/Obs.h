@@ -1,0 +1,157 @@
+//===- obs/Obs.h - Always-on observability layer ----------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing front end: a process-wide enable flag, per-thread lock-free
+/// event rings, a periodic sampler over the Statistic registry, and a
+/// Perfetto/Chrome trace-event exporter (obs/PerfettoExporter.h).
+///
+/// Design constraints (DESIGN.md §8):
+///  - Hooks are compiled into runtime and detector unconditionally but
+///    cost one relaxed load of a global flag plus a predictable branch
+///    when tracing is off — within noise of the un-instrumented hot path
+///    (verified by bench/ablation_optimizations against the committed
+///    baselines).
+///  - When tracing is on, an emit is a timestamp read plus three stores
+///    into a thread-local ring. No locks, no allocation; full rings
+///    overwrite their oldest events.
+///
+/// Activation: set `SPD3_TRACE=<path>` and the first Runtime::run enables
+/// recording, starts the counter sampler, and registers an atexit hook
+/// that writes a chrome://tracing / Perfetto-loadable JSON file to
+/// <path>. Programs can also drive the layer explicitly (setEnabled /
+/// writeTrace) — see examples/record_replay.cpp and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_OBS_OBS_H
+#define SPD3_OBS_OBS_H
+
+#include "obs/TraceEvent.h"
+#include "support/MonotonicClock.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spd3::obs {
+
+namespace detail {
+extern std::atomic<bool> GEnabled;
+void emitSlow(EventKind K, uint64_t Arg, uint32_t Arg2, uint16_t Aux);
+} // namespace detail
+
+/// Is tracing recording right now? One relaxed load — this is the entire
+/// disabled-path cost of every hook.
+inline bool enabled() {
+  return detail::GEnabled.load(std::memory_order_relaxed);
+}
+
+/// Record one event into the calling thread's ring (no-op when disabled).
+inline void emit(EventKind K, uint64_t Arg = 0, uint32_t Arg2 = 0,
+                 uint16_t Aux = 0) {
+  if (__builtin_expect(!enabled(), 1))
+    return;
+  detail::emitSlow(K, Arg, Arg2, Aux);
+}
+
+/// Start/stop recording. Enabling registers nothing by itself — pair with
+/// writeTrace(), or use SPD3_TRACE for the automatic shutdown export.
+void setEnabled(bool On);
+
+/// Label the calling thread's track in the exported trace ("worker-3").
+/// Safe to call before or after the thread's first emit.
+void nameCurrentThread(const std::string &Name);
+
+/// \name SPD3_TRACE wiring
+/// @{
+
+/// Called by Runtime::run: on first call reads SPD3_TRACE (and the tuning
+/// knobs SPD3_TRACE_RING / SPD3_TRACE_SAMPLE_US); if a path was given,
+/// enables recording, starts the counter sampler, and arranges an atexit
+/// export. Cheap after the first call.
+void ensureStarted();
+
+/// The SPD3_TRACE destination, or empty when tracing was not requested.
+const std::string &requestedPath();
+
+/// Write the trace to \p Path now: stops the sampler, drains every ring,
+/// and emits Perfetto JSON. Returns false on I/O error. The shutdown hook
+/// skips its export once a trace has been written explicitly.
+bool writeTrace(const std::string &Path);
+
+/// writeTrace(requestedPath()) when SPD3_TRACE is set — the on-demand
+/// export used by the examples; no-op (true) otherwise.
+bool writeTraceIfRequested();
+/// @}
+
+/// \name Counter sampling
+/// @{
+
+/// Take one sample of the Statistic registry onto the counter timeline
+/// (the sampler thread does this periodically; tests call it directly).
+void sampleCountersNow();
+
+/// Number of samples currently buffered.
+size_t sampleCount();
+/// @}
+
+/// \name Site tags (race provenance)
+/// @{
+
+/// Tag subsequent race reports with an originating kernel/site name. The
+/// pointer must outlive its use (string literals / kernel names). Set to
+/// null to clear.
+void setSiteTag(const char *Tag);
+
+/// Current tag, or "" when none is set.
+const char *siteTag();
+
+/// RAII site tag for a scope (the bench harness tags each kernel run).
+class ScopedSiteTag {
+public:
+  explicit ScopedSiteTag(const char *Tag) : Prev(siteTag()) {
+    setSiteTag(Tag);
+  }
+  ~ScopedSiteTag() { setSiteTag(Prev); }
+  ScopedSiteTag(const ScopedSiteTag &) = delete;
+  ScopedSiteTag &operator=(const ScopedSiteTag &) = delete;
+
+private:
+  const char *Prev;
+};
+/// @}
+
+/// \name Shadow-memory growth hooks
+/// Free functions so the ShadowTable/ShadowSpace templates can report
+/// growth without instantiating per-template statistics.
+/// @{
+void noteShadowChunk(size_t ResidentChunks);
+void noteShadowCell();
+void noteRangeCells(size_t Count);
+/// @}
+
+/// \name Introspection / test support
+/// @{
+
+/// Total events retained across all rings (post-quiesce only).
+size_t retainedEvents();
+
+/// Total events lost to ring wraparound.
+size_t droppedEvents();
+
+/// Ring capacity (events) used for rings created after this call.
+/// Power-of-two rounded. Test-only: existing rings keep their size.
+void setRingCapacityForTesting(size_t Events);
+
+/// Drop every ring and sample, disable recording, and invalidate the
+/// thread-local ring caches. Only safe when no traced thread is running.
+void resetForTesting();
+/// @}
+
+} // namespace spd3::obs
+
+#endif // SPD3_OBS_OBS_H

@@ -1,0 +1,167 @@
+//===- obs/PerfettoExporter.cpp - Chrome trace-event JSON export -----------===//
+
+#include "obs/PerfettoExporter.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace spd3::obs {
+
+namespace {
+
+constexpr int Pid = 1;
+
+double micros(uint64_t Ns) { return static_cast<double>(Ns) / 1e3; }
+
+/// Emit one complete JSON event object (with leading separator handling
+/// owned by the caller via \p First).
+class EventWriter {
+public:
+  explicit EventWriter(std::FILE *F) : F(F) {}
+
+  void begin() { std::fprintf(F, "{\"traceEvents\": [\n"); }
+
+  void end() { std::fprintf(F, "\n]}\n"); }
+
+  void meta(uint64_t Tid, const std::string &Name) {
+    sep();
+    std::fprintf(F,
+                 "  {\"ph\": \"M\", \"pid\": %d, \"tid\": %" PRIu64
+                 ", \"name\": \"thread_name\", \"args\": {\"name\": "
+                 "\"%s\"}}",
+                 Pid, Tid, Name.c_str());
+  }
+
+  void slice(char Ph, uint64_t Tid, double Ts, const char *Name,
+             uint64_t Id) {
+    sep();
+    std::fprintf(F,
+                 "  {\"ph\": \"%c\", \"pid\": %d, \"tid\": %" PRIu64
+                 ", \"ts\": %.3f, \"name\": \"%s\", \"args\": {\"id\": "
+                 "%" PRIu64 "}}",
+                 Ph, Pid, Tid, Ts, Name, Id);
+  }
+
+  void instant(uint64_t Tid, double Ts, const char *Name, const Event &E) {
+    sep();
+    std::fprintf(F,
+                 "  {\"ph\": \"i\", \"pid\": %d, \"tid\": %" PRIu64
+                 ", \"ts\": %.3f, \"name\": \"%s\", \"s\": \"t\", "
+                 "\"args\": {\"arg\": %" PRIu64
+                 ", \"arg2\": %u, \"aux\": %u}}",
+                 Pid, Tid, Ts, Name, E.Arg, E.Arg2, E.Aux);
+  }
+
+  void counter(double Ts, const std::string &Name, uint64_t Value) {
+    sep();
+    std::fprintf(F,
+                 "  {\"ph\": \"C\", \"pid\": %d, \"tid\": 0, \"ts\": "
+                 "%.3f, \"name\": \"%s\", \"args\": {\"value\": %" PRIu64
+                 "}}",
+                 Pid, Ts, Name.c_str(), Value);
+  }
+
+private:
+  void sep() {
+    if (!First)
+      std::fprintf(F, ",\n");
+    First = false;
+  }
+
+  std::FILE *F;
+  bool First = true;
+};
+
+bool isBegin(EventKind K) {
+  return K == EventKind::TaskStart || K == EventKind::FinishEnter;
+}
+
+bool isEnd(EventKind K) {
+  return K == EventKind::TaskEnd || K == EventKind::FinishExit;
+}
+
+/// Write one ring's events, balancing B/E pairs around wraparound: end
+/// events whose begin was overwritten are dropped, and slices still open
+/// at the last timestamp are closed there.
+void writeTrack(EventWriter &W, const ThreadTrack &T) {
+  W.meta(T.Tid, T.Name + (T.Dropped ? " (ring wrapped)" : ""));
+  // First pass: how many end events arrive before any matching begin?
+  // Those are orphans of wraparound. Track stack depth going forward.
+  int Depth = 0, Orphans = 0;
+  for (const Event &E : T.Events) {
+    if (isBegin(E.Kind))
+      ++Depth;
+    else if (isEnd(E.Kind)) {
+      if (Depth > 0)
+        --Depth;
+      else
+        ++Orphans;
+    }
+  }
+  int SkipEnds = Orphans;
+  double LastTs = T.Events.empty() ? 0.0 : micros(T.Events.back().TimeNs);
+  // Second pass: emit. `Open` counts unclosed begins to close at the end.
+  struct OpenSlice {
+    const char *Name;
+    uint64_t Id;
+  };
+  std::vector<OpenSlice> Open;
+  for (const Event &E : T.Events) {
+    double Ts = micros(E.TimeNs);
+    const char *Name = eventKindName(E.Kind);
+    if (isBegin(E.Kind)) {
+      W.slice('B', T.Tid, Ts, Name, E.Arg);
+      Open.push_back(OpenSlice{Name, E.Arg});
+    } else if (isEnd(E.Kind)) {
+      if (SkipEnds > 0) {
+        --SkipEnds;
+        continue;
+      }
+      W.slice('E', T.Tid, Ts, Name, E.Arg);
+      if (!Open.empty())
+        Open.pop_back();
+    } else {
+      W.instant(T.Tid, Ts, Name, E);
+    }
+  }
+  while (!Open.empty()) {
+    W.slice('E', T.Tid, LastTs, Open.back().Name, Open.back().Id);
+    Open.pop_back();
+  }
+}
+
+} // namespace
+
+bool writePerfettoJson(const std::string &Path,
+                       const std::vector<ThreadTrack> &Tracks,
+                       const std::vector<std::string> &CounterNames,
+                       const std::vector<CounterSample> &Samples) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  EventWriter W(F);
+  W.begin();
+  for (const ThreadTrack &T : Tracks)
+    writeTrack(W, T);
+  // Counter tracks: only counters that are ever nonzero during the
+  // capture, to keep the file navigable.
+  for (size_t C = 0; C < CounterNames.size(); ++C) {
+    bool Moved = false;
+    for (const CounterSample &S : Samples)
+      if (C < S.Values.size() && S.Values[C] != 0) {
+        Moved = true;
+        break;
+      }
+    if (!Moved)
+      continue;
+    for (const CounterSample &S : Samples)
+      if (C < S.Values.size())
+        W.counter(micros(S.TimeNs), CounterNames[C], S.Values[C]);
+  }
+  W.end();
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+} // namespace spd3::obs

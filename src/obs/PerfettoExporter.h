@@ -1,0 +1,63 @@
+//===- obs/PerfettoExporter.h - Chrome trace-event JSON export --*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes drained event rings and counter samples into the Chrome
+/// trace-event JSON format (the `{"traceEvents": [...]}` envelope), which
+/// both chrome://tracing and https://ui.perfetto.dev load directly.
+///
+/// Mapping:
+///  - one trace *thread* (tid) per recorded ring, named via thread_name
+///    metadata events;
+///  - TaskStart/TaskEnd and FinishEnter/FinishExit become nested B/E
+///    duration slices (task execution is properly nested per worker:
+///    help-first joins run victims' tasks inside the joining slice);
+///  - Steal / Check* / retries / RaceFound become instant events with
+///    their payloads as args;
+///  - Statistic samples become counter ("C") tracks, one per counter that
+///    moved during the capture.
+///
+/// Ring wraparound can orphan B/E pairs; the exporter drops end events
+/// whose begin was overwritten and closes still-open slices at the last
+/// timestamp, so the file always validates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_OBS_PERFETTOEXPORTER_H
+#define SPD3_OBS_PERFETTOEXPORTER_H
+
+#include "obs/TraceEvent.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spd3::obs {
+
+/// One ring's worth of events, ready for export.
+struct ThreadTrack {
+  std::string Name; ///< track label ("worker-0", "sampler", ...)
+  uint64_t Tid = 0; ///< stable per-ring id
+  uint64_t Dropped = 0;
+  std::vector<Event> Events; ///< record order (oldest first)
+};
+
+/// One epoch sample of the Statistic registry.
+struct CounterSample {
+  uint64_t TimeNs = 0;
+  std::vector<uint64_t> Values; ///< parallel to the counter-name list
+};
+
+/// Write the trace to \p Path. \p CounterNames holds "group.name" labels
+/// parallel to each sample's Values. Returns false on I/O failure.
+bool writePerfettoJson(const std::string &Path,
+                       const std::vector<ThreadTrack> &Tracks,
+                       const std::vector<std::string> &CounterNames,
+                       const std::vector<CounterSample> &Samples);
+
+} // namespace spd3::obs
+
+#endif // SPD3_OBS_PERFETTOEXPORTER_H

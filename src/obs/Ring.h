@@ -1,0 +1,94 @@
+//===- obs/Ring.h - Single-writer event ring buffer -------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-worker event store: a fixed-capacity power-of-two ring written
+/// by exactly one thread with no synchronization on the slots. When the
+/// ring is full the oldest events are overwritten — tracing never blocks
+/// and never allocates on the hot path; the exporter reports how many
+/// events were dropped.
+///
+/// Concurrency contract: push() is owner-thread-only. size()/dropped()
+/// (reading the atomic head) are safe from any thread; drain() reads the
+/// slots themselves and must only run after the owner has quiesced (the
+/// exporter drains at shutdown, or a test after joining its writers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_OBS_RING_H
+#define SPD3_OBS_RING_H
+
+#include "obs/TraceEvent.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace spd3::obs {
+
+class EventRing {
+public:
+  explicit EventRing(size_t Capacity) : Slots(roundPow2(Capacity)) {
+    SPD3_CHECK(!Slots.empty(), "event ring needs nonzero capacity");
+  }
+
+  EventRing(const EventRing &) = delete;
+  EventRing &operator=(const EventRing &) = delete;
+
+  /// Owner-thread-only: record one event, overwriting the oldest when
+  /// full. The head store is release so a post-join reader sees every
+  /// slot the count covers.
+  void push(const Event &E) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    Slots[H & (Slots.size() - 1)] = E;
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Total events ever pushed (not capped by capacity).
+  uint64_t pushed() const { return Head.load(std::memory_order_acquire); }
+
+  /// Events currently retained.
+  uint64_t size() const {
+    uint64_t H = pushed();
+    return H < Slots.size() ? H : Slots.size();
+  }
+
+  /// Events lost to wraparound.
+  uint64_t dropped() const {
+    uint64_t H = pushed();
+    return H < Slots.size() ? 0 : H - Slots.size();
+  }
+
+  size_t capacity() const { return Slots.size(); }
+
+  /// Copy the retained events in record order (oldest first). Only valid
+  /// once the owner thread has quiesced (see file comment).
+  std::vector<Event> drain() const {
+    uint64_t H = pushed();
+    uint64_t N = H < Slots.size() ? H : Slots.size();
+    std::vector<Event> Out;
+    Out.reserve(N);
+    for (uint64_t I = H - N; I < H; ++I)
+      Out.push_back(Slots[I & (Slots.size() - 1)]);
+    return Out;
+  }
+
+private:
+  static size_t roundPow2(size_t N) {
+    size_t P = 1;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  std::vector<Event> Slots;
+  std::atomic<uint64_t> Head{0};
+};
+
+} // namespace spd3::obs
+
+#endif // SPD3_OBS_RING_H

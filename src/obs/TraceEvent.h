@@ -1,0 +1,89 @@
+//===- obs/TraceEvent.h - Trace event schema --------------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed-size event record written into the per-worker rings (see
+/// obs/Ring.h) and the closed set of event kinds the runtime and detector
+/// emit. The schema is deliberately tiny — 24 bytes, no strings, no
+/// allocation — so recording an event is a timestamp read plus three
+/// stores into thread-local memory.
+///
+/// Field use per kind (unused fields are zero):
+///
+///   kind          Arg (u64)         Arg2 (u32)     Aux (u16)
+///   ------------- ----------------- -------------- -------------------
+///   TaskSpawn     child task id     -              -
+///   TaskStart     task id           -              -          (slice B)
+///   TaskEnd       task id           -              -          (slice E)
+///   FinishEnter   scope id          -              -          (slice B)
+///   FinishExit    scope id          -              -          (slice E)
+///   Steal         victim worker     -              -
+///   CheckRead     address           -              outcome class
+///   CheckWrite    address           -              outcome class
+///   RangeRead     base address      element count  -
+///   RangeWrite    base address      element count  -
+///   SnapshotRetry address           -              -
+///   CasRetry      address           -              -
+///   MutexAction   address           -              -
+///   ShadowChunk   resident chunks   -              -
+///   RaceFound     address           -              RaceKind
+///
+/// Task and scope ids are the runtime object addresses: unique while live,
+/// stable across the B/E pair, and meaningless afterwards — exactly what a
+/// trace track needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_OBS_TRACEEVENT_H
+#define SPD3_OBS_TRACEEVENT_H
+
+#include <cstdint>
+
+namespace spd3::obs {
+
+enum class EventKind : uint16_t {
+  TaskSpawn,
+  TaskStart,
+  TaskEnd,
+  FinishEnter,
+  FinishExit,
+  Steal,
+  CheckRead,
+  CheckWrite,
+  RangeRead,
+  RangeWrite,
+  SnapshotRetry,
+  CasRetry,
+  MutexAction,
+  ShadowChunk,
+  RaceFound,
+};
+
+/// Outcome classes for Check*/Range* events (the Aux field): how the
+/// Algorithm 1/2 memory action resolved.
+enum : uint16_t {
+  OutcomeNoUpdate = 0, ///< fully parallel fast path, no shadow update
+  OutcomeUpdate = 1,   ///< triple updated under the protocol
+  OutcomeRace = 2,     ///< at least one race reported
+};
+
+/// One recorded event. Plain data; written by exactly one thread (the
+/// ring owner) and read only after that thread has quiesced.
+struct Event {
+  uint64_t TimeNs; ///< monotonicNanos() at the emit site
+  uint64_t Arg;    ///< kind-specific payload (see table above)
+  uint32_t Arg2;   ///< kind-specific payload
+  uint16_t Aux;    ///< kind-specific payload
+  EventKind Kind;
+};
+
+static_assert(sizeof(Event) == 24, "event records are packed into rings");
+
+const char *eventKindName(EventKind K);
+
+} // namespace spd3::obs
+
+#endif // SPD3_OBS_TRACEEVENT_H

@@ -3,12 +3,14 @@
 #include "runtime/Runtime.h"
 
 #include "detector/Tool.h"
+#include "obs/Obs.h"
 #include "runtime/Context.h"
 #include "runtime/WsDeque.h"
 #include "support/Compiler.h"
 #include "support/Prng.h"
 #include "support/Stats.h"
 
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -55,6 +57,7 @@ struct Runtime::Impl {
   void execute(Runtime *RT, Task *T) {
     Task *Saved = Ctx.Cur;
     Ctx.Cur = T;
+    obs::emit(obs::EventKind::TaskStart, reinterpret_cast<uint64_t>(T));
     if (detector::Tool *Tool = Ctx.Tool)
       Tool->onTaskStart(*T);
     T->Fn();
@@ -63,6 +66,7 @@ struct Runtime::Impl {
       cilk::sync();
     if (detector::Tool *Tool = Ctx.Tool)
       Tool->onTaskEnd(*T);
+    obs::emit(obs::EventKind::TaskEnd, reinterpret_cast<uint64_t>(T));
     Ctx.Cur = Saved;
     // Release ordering publishes the task's effects to whoever observes
     // Pending reach zero at end-finish.
@@ -86,6 +90,7 @@ struct Runtime::Impl {
         continue;
       if (Task *T = Victim->Deque.steal()) {
         ++NumSteals;
+        obs::emit(obs::EventKind::Steal, Victim->Index);
         return T;
       }
     }
@@ -107,6 +112,8 @@ struct Runtime::Impl {
   /// Body for the auxiliary worker threads (workers 1..N-1).
   void workerLoop(Runtime *RT, unsigned Index) {
     Ctx = detail::ExecContext{RT, Workers[Index], nullptr, RT->tool()};
+    if (obs::enabled())
+      obs::nameCurrentThread("worker-" + std::to_string(Index));
     Prng Rng(0x51ed270bu + Index);
     while (true) {
       if (Task *T = findWork(Rng)) {
@@ -140,9 +147,12 @@ Runtime *Runtime::current() { return Ctx.RT; }
 void Runtime::run(TaskFn Main) {
   SPD3_CHECK(!Ctx.RT, "nested Runtime::run on the same thread");
   I->Done.store(false, std::memory_order_relaxed);
+  obs::ensureStarted();
 
   // The calling thread is worker 0.
   Ctx = detail::ExecContext{this, I->Workers[0], nullptr, Opts.Tool};
+  if (obs::enabled())
+    obs::nameCurrentThread("worker-0");
 
   // Implicit finish enclosing main() (the future DPST root). The root task
   // itself is not counted in Pending; it runs synchronously here.
@@ -159,6 +169,7 @@ void Runtime::run(TaskFn Main) {
       Threads.emplace_back([this, W] { I->workerLoop(this, W); });
 
   Ctx.Cur = Root;
+  obs::emit(obs::EventKind::TaskStart, reinterpret_cast<uint64_t>(Root));
   if (Opts.Tool)
     Opts.Tool->onTaskStart(*Root);
   Root->Fn();
@@ -169,6 +180,7 @@ void Runtime::run(TaskFn Main) {
     Opts.Tool->onTaskEnd(*Root);
     Opts.Tool->onRunEnd(*Root);
   }
+  obs::emit(obs::EventKind::TaskEnd, reinterpret_cast<uint64_t>(Root));
   Ctx.Cur = nullptr;
 
   I->Done.store(true, std::memory_order_release);
@@ -184,6 +196,7 @@ void async(TaskFn Fn) {
   SPD3_CHECK(RT && Ctx.Cur, "async() called outside Runtime::run");
   ++NumTasksSpawned;
   Task *Child = new Task(std::move(Fn));
+  obs::emit(obs::EventKind::TaskSpawn, reinterpret_cast<uint64_t>(Child));
   Child->Ief = Ctx.Cur->Ief;
   Child->Ief->Pending.fetch_add(1, std::memory_order_acq_rel);
   if (detector::Tool *Tool = Ctx.Tool)
@@ -204,12 +217,14 @@ void finish(TaskFn Body) {
   FinishRecord F;
   F.Parent = T->Ief;
   T->Ief = &F;
+  obs::emit(obs::EventKind::FinishEnter, reinterpret_cast<uint64_t>(&F));
   if (detector::Tool *Tool = Ctx.Tool)
     Tool->onFinishStart(*T, F);
   Body();
   RT->I->helpUntil(RT, F);
   if (detector::Tool *Tool = Ctx.Tool)
     Tool->onFinishEnd(*T, F);
+  obs::emit(obs::EventKind::FinishExit, reinterpret_cast<uint64_t>(&F));
   T->Ief = F.Parent;
 }
 
@@ -226,6 +241,7 @@ void spawn(TaskFn Fn) {
     // sync() (or implicitly when the task returns).
     auto *F = new FinishRecord();
     F->Parent = T->Ief;
+    obs::emit(obs::EventKind::FinishEnter, reinterpret_cast<uint64_t>(F));
     if (detector::Tool *Tool = Ctx.Tool)
       Tool->onFinishStart(*T, *F);
     T->Ief = F;
@@ -244,6 +260,7 @@ void sync() {
   RT->I->helpUntil(RT, *F);
   if (detector::Tool *Tool = Ctx.Tool)
     Tool->onFinishEnd(*T, *F);
+  obs::emit(obs::EventKind::FinishExit, reinterpret_cast<uint64_t>(F));
   T->Ief = F->Parent;
   T->CilkScope = nullptr;
   delete F;

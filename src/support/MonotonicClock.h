@@ -1,0 +1,47 @@
+//===- support/MonotonicClock.h - Process-relative monotonic time -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cheap monotonic timestamp shared by the observability layer and the
+/// benchmark harness: nanoseconds since the first call in this process, so
+/// every trace event and counter sample lands on one comparable timeline
+/// regardless of which thread recorded it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_MONOTONICCLOCK_H
+#define SPD3_SUPPORT_MONOTONICCLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace spd3 {
+
+namespace detail {
+inline std::chrono::steady_clock::time_point monotonicOrigin() {
+  static const std::chrono::steady_clock::time_point Origin =
+      std::chrono::steady_clock::now();
+  return Origin;
+}
+} // namespace detail
+
+/// Nanoseconds since the process-wide origin (established on first use).
+/// Monotonic, comparable across threads.
+inline uint64_t monotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::monotonicOrigin())
+          .count());
+}
+
+/// Microseconds (as a double) for exporters that want trace-viewer units.
+inline double monotonicMicros() {
+  return static_cast<double>(monotonicNanos()) / 1e3;
+}
+
+} // namespace spd3
+
+#endif // SPD3_SUPPORT_MONOTONICCLOCK_H

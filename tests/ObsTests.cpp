@@ -1,0 +1,473 @@
+//===- tests/ObsTests.cpp - Observability layer tests ---------------------===//
+//
+// The obs layer must never change what the detector reports and must
+// produce traces a viewer can actually load. These tests cover the event
+// ring (wraparound accounting, concurrent writers — the TSan CI leg
+// exercises the emit path under real contention), the Perfetto exporter
+// (valid JSON, balanced B/E slices, named threads, counter tracks), race
+// provenance (reported LCA paths must match an independent Parent-pointer
+// walk, in both the label-decoded and deep-tree fallback regimes), and the
+// invariance property: a traced run renders races byte-identically to an
+// untraced one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/Spd3Tool.h"
+#include "detector/Tracked.h"
+#include "dpst/Dpst.h"
+#include "obs/Obs.h"
+#include "obs/PerfettoExporter.h"
+#include "obs/Ring.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace spd3;
+using detector::RaceSink;
+using detector::Spd3Tool;
+using detector::TrackedVar;
+using dpst::Dpst;
+using dpst::Node;
+
+/// RAII guard: every test in this file leaves the process-global obs state
+/// exactly as it found it (disabled, empty).
+struct ObsReset {
+  ObsReset() { obs::resetForTesting(); }
+  ~ObsReset() { obs::resetForTesting(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Ring buffer
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRing, KeepsNewestEventsAcrossWraparound) {
+  obs::EventRing Ring(8);
+  EXPECT_EQ(Ring.capacity(), 8u);
+  for (uint64_t I = 0; I < 20; ++I)
+    Ring.push(obs::Event{I, I, 0, 0, obs::EventKind::TaskStart});
+  EXPECT_EQ(Ring.pushed(), 20u);
+  EXPECT_EQ(Ring.size(), 8u);
+  EXPECT_EQ(Ring.dropped(), 12u);
+  std::vector<obs::Event> Out = Ring.drain();
+  ASSERT_EQ(Out.size(), 8u);
+  // Oldest-first and exactly the newest 8 (12..19).
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I].Arg, 12 + I);
+}
+
+TEST(ObsRing, CapacityRoundsUpToPowerOfTwo) {
+  obs::EventRing Ring(10);
+  EXPECT_EQ(Ring.capacity(), 16u);
+}
+
+TEST(ObsRing, ConcurrentWritersEachOwnARing) {
+  ObsReset Guard;
+  obs::setRingCapacityForTesting(1 << 12);
+  obs::setEnabled(true);
+  constexpr unsigned NumThreads = 4;
+  constexpr uint64_t PerThread = 1000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T] {
+      obs::nameCurrentThread("writer-" + std::to_string(T));
+      for (uint64_t I = 0; I < PerThread; ++I)
+        obs::emit(obs::EventKind::CheckRead, I, T, 0);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  obs::setEnabled(false);
+  // Rings are private per thread and large enough: nothing dropped.
+  EXPECT_EQ(obs::retainedEvents(), NumThreads * PerThread);
+  EXPECT_EQ(obs::droppedEvents(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON parser — enough to round-trip the exporter's output and
+// prove it is well-formed without an external dependency.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+
+  const JsonValue &at(const std::string &Key) const {
+    static const JsonValue Missing;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? Missing : It->second;
+  }
+  bool has(const std::string &Key) const { return Obj.count(Key) != 0; }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &S) : S(S) {}
+
+  bool parse(JsonValue &Out) {
+    bool Ok = value(Out);
+    skipWs();
+    return Ok && Pos == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool consume(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool value(JsonValue &V) {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == '{')
+      return object(V);
+    if (C == '[')
+      return array(V);
+    if (C == '"') {
+      V.K = JsonValue::String;
+      return string(V.Str);
+    }
+    if (S.compare(Pos, 4, "true") == 0) {
+      V.K = JsonValue::Bool;
+      V.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      V.K = JsonValue::Bool;
+      Pos += 5;
+      return true;
+    }
+    if (S.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      return true;
+    }
+    return number(V);
+  }
+  bool string(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        if (++Pos >= S.size())
+          return false;
+        switch (S[Pos]) {
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u':
+          Pos += 4; // Good enough for validation; exporter never emits \u.
+          break;
+        default:
+          Out += S[Pos];
+        }
+      } else {
+        Out += S[Pos];
+      }
+      ++Pos;
+    }
+    return Pos < S.size() && S[Pos++] == '"';
+  }
+  bool number(JsonValue &V) {
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '-' || S[Pos] == '+' || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    V.K = JsonValue::Number;
+    V.Num = std::stod(S.substr(Start, Pos - Start));
+    return true;
+  }
+  bool array(JsonValue &V) {
+    if (!consume('['))
+      return false;
+    V.K = JsonValue::Array;
+    skipWs();
+    if (consume(']'))
+      return true;
+    do {
+      JsonValue E;
+      if (!value(E))
+        return false;
+      V.Arr.push_back(std::move(E));
+    } while (consume(','));
+    return consume(']');
+  }
+  bool object(JsonValue &V) {
+    if (!consume('{'))
+      return false;
+    V.K = JsonValue::Object;
+    skipWs();
+    if (consume('}'))
+      return true;
+    do {
+      std::string Key;
+      skipWs();
+      if (!string(Key) || !consume(':'))
+        return false;
+      JsonValue E;
+      if (!value(E))
+        return false;
+      V.Obj.emplace(std::move(Key), std::move(E));
+    } while (consume(','));
+    return consume('}');
+  }
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Exporter
+//===----------------------------------------------------------------------===//
+
+TEST(ObsExport, TraceJsonRoundTripsAndSlicesBalance) {
+  ObsReset Guard;
+  obs::setRingCapacityForTesting(1 << 12);
+  obs::setEnabled(true);
+  obs::nameCurrentThread("main-thread");
+  obs::emit(obs::EventKind::TaskStart, 1);
+  obs::emit(obs::EventKind::CheckWrite, 0xdead, 0, obs::OutcomeUpdate);
+  obs::emit(obs::EventKind::TaskEnd, 1);
+  // An unclosed slice: the exporter must close it at the last timestamp.
+  obs::emit(obs::EventKind::FinishEnter, 2);
+  std::thread([&] {
+    obs::nameCurrentThread("second-thread");
+    obs::emit(obs::EventKind::Steal, 0);
+  }).join();
+  obs::sampleCountersNow();
+  obs::sampleCountersNow();
+  EXPECT_EQ(obs::sampleCount(), 2u);
+
+  std::string Path = ::testing::TempDir() + "obs_roundtrip.json";
+  ASSERT_TRUE(obs::writeTrace(Path));
+
+  JsonValue Root;
+  std::string Text = slurp(Path);
+  ASSERT_TRUE(JsonParser(Text).parse(Root)) << Text;
+  ASSERT_EQ(Root.K, JsonValue::Object);
+  const JsonValue &Events = Root.at("traceEvents");
+  ASSERT_EQ(Events.K, JsonValue::Array);
+  ASSERT_FALSE(Events.Arr.empty());
+
+  std::map<double, int> OpenPerTid;
+  std::vector<std::string> ThreadNames;
+  bool SawCounter = false, SawInstant = false;
+  for (const JsonValue &E : Events.Arr) {
+    ASSERT_EQ(E.K, JsonValue::Object);
+    ASSERT_TRUE(E.has("ph"));
+    const std::string &Ph = E.at("ph").Str;
+    if (Ph == "M") {
+      EXPECT_EQ(E.at("name").Str, "thread_name");
+      ThreadNames.push_back(E.at("args").at("name").Str);
+      continue;
+    }
+    ASSERT_TRUE(E.has("ts"));
+    if (Ph == "B")
+      ++OpenPerTid[E.at("tid").Num];
+    else if (Ph == "E")
+      --OpenPerTid[E.at("tid").Num];
+    else if (Ph == "C")
+      SawCounter = true;
+    else if (Ph == "i")
+      SawInstant = true;
+  }
+  for (const auto &[Tid, Open] : OpenPerTid)
+    EXPECT_EQ(Open, 0) << "unbalanced B/E on tid " << Tid;
+  EXPECT_TRUE(SawCounter);
+  EXPECT_TRUE(SawInstant);
+  EXPECT_NE(std::find(ThreadNames.begin(), ThreadNames.end(), "main-thread"),
+            ThreadNames.end());
+  EXPECT_NE(std::find(ThreadNames.begin(), ThreadNames.end(),
+                      "second-thread"),
+            ThreadNames.end());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing must not perturb detection
+//===----------------------------------------------------------------------===//
+
+/// Deterministic racy program (sequential depth-first schedule) whose
+/// races are rendered with full provenance.
+std::vector<std::string> describeRacesOnce() {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([] {
+    static TrackedVar<int> X(0);
+    rt::finish([] {
+      rt::async([] { X.set(1); });
+      rt::async([] { X.set(2); });
+      rt::async([] { (void)X.get(); });
+    });
+  });
+  std::vector<std::string> Out;
+  for (const detector::Race &R : Sink.races()) {
+    std::string D = Spd3Tool::describeRace(R);
+    // Drop the first line: it holds the (run-specific) raw addresses. The
+    // structural remainder must be schedule- and configuration-stable.
+    Out.push_back(D.substr(D.find('\n')));
+  }
+  return Out;
+}
+
+TEST(ObsInvariance, TracedRunRendersRacesIdentically) {
+  ObsReset Guard;
+  std::vector<std::string> Untraced = describeRacesOnce();
+  ASSERT_FALSE(Untraced.empty());
+  obs::setRingCapacityForTesting(1 << 12);
+  obs::setEnabled(true);
+  std::vector<std::string> Traced = describeRacesOnce();
+  obs::setEnabled(false);
+  EXPECT_EQ(Untraced, Traced);
+  EXPECT_GT(obs::retainedEvents(), 0u); // The traced run really recorded.
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance
+//===----------------------------------------------------------------------===//
+
+/// Independent reconstruction: walk Parent pointers to LCA(A, B) computed
+/// by Dpst::lca, never consulting labels.
+std::vector<detector::RaceProvenance::PathStep>
+walkToLca(const Node *N, const Node *Lca) {
+  std::vector<detector::RaceProvenance::PathStep> Path;
+  for (; N && N != Lca; N = N->Parent)
+    Path.push_back({N->Depth, N->SeqNo,
+                    N->isFinish()  ? 'F'
+                    : N->isAsync() ? 'A'
+                                   : 'S'});
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+void expectPathEq(const std::vector<detector::RaceProvenance::PathStep> &Got,
+                  const std::vector<detector::RaceProvenance::PathStep> &Want) {
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Got.size(); ++I) {
+    EXPECT_EQ(Got[I].Depth, Want[I].Depth);
+    EXPECT_EQ(Got[I].SeqNo, Want[I].SeqNo);
+    EXPECT_EQ(Got[I].Kind, Want[I].Kind);
+  }
+}
+
+void checkProvenanceAgainstTree(const detector::Race &R) {
+  ASSERT_NE(R.Prov, nullptr);
+  const Node *Prior = reinterpret_cast<const Node *>(R.Prior);
+  const Node *Cur = reinterpret_cast<const Node *>(R.Current);
+  const Node *Lca = Dpst::lca(Prior, Cur);
+  EXPECT_EQ(R.Prov->LcaDepth, static_cast<int32_t>(Lca->Depth));
+  expectPathEq(R.Prov->Prior, walkToLca(Prior, Lca));
+  expectPathEq(R.Prov->Current, walkToLca(Cur, Lca));
+}
+
+TEST(ObsProvenance, LabelDecodedPathsMatchTreeWalk) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([] {
+    static TrackedVar<int> X(0);
+    rt::finish([] {
+      rt::async([] {
+        rt::finish([] { rt::async([] { X.set(1); }); });
+      });
+      rt::async([] { X.set(2); });
+    });
+  });
+  ASSERT_TRUE(Sink.anyRace());
+  for (const detector::Race &R : Sink.races()) {
+    EXPECT_TRUE(R.Prov->FromLabels); // Shallow tree: labels are decisive.
+    checkProvenanceAgainstTree(R);
+  }
+}
+
+TEST(ObsProvenance, DeepTreeFallsBackToTreeWalk) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([] {
+    static TrackedVar<int> X(0);
+    // Nest finishes past PathLabel::kMaxLevels so the racing steps'
+    // labels are truncated and provenance must take the walk path.
+    std::function<void(int)> Nest = [&](int Depth) {
+      if (Depth == 0) {
+        rt::async([] { X.set(1); });
+        rt::async([] { X.set(2); });
+        return;
+      }
+      rt::finish([&] { Nest(Depth - 1); });
+    };
+    rt::finish([&] { Nest(static_cast<int>(dpst::PathLabel::kMaxLevels)); });
+  });
+  ASSERT_TRUE(Sink.anyRace());
+  for (const detector::Race &R : Sink.races()) {
+    EXPECT_FALSE(R.Prov->FromLabels);
+    checkProvenanceAgainstTree(R);
+  }
+}
+
+TEST(ObsProvenance, SiteTagAndTripleAppearInRendering) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  obs::ScopedSiteTag Site("obs-test-kernel");
+  Spd3Tool Tool(Sink);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([] {
+    static TrackedVar<int> X(0);
+    rt::finish([] {
+      rt::async([] { X.set(1); });
+      rt::async([] { X.set(2); });
+    });
+  });
+  ASSERT_TRUE(Sink.anyRace());
+  const std::vector<detector::Race> Races = Sink.races(); // returns by value
+  const detector::Race &R = Races[0];
+  ASSERT_NE(R.Prov, nullptr);
+  EXPECT_EQ(R.Prov->Site, "obs-test-kernel");
+  // Describe while Tool is alive: describeRace walks the races' step
+  // nodes, which live in the tool's DPST arena.
+  std::string D = Spd3Tool::describeRace(R);
+  EXPECT_NE(D.find("site: obs-test-kernel"), std::string::npos);
+  EXPECT_NE(D.find("shadow triple:"), std::string::npos);
+  EXPECT_NE(D.find("LCA depth:"), std::string::npos);
+}
+
+} // namespace

@@ -11,7 +11,7 @@ namespace {
 using namespace spd3::detector;
 
 Race makeRace(const void *Addr, RaceKind K = RaceKind::WriteWrite) {
-  return Race{K, Addr, 1, 2, "test"};
+  return Race{K, Addr, 1, 2, "test", nullptr};
 }
 
 TEST(RaceSink, FirstRaceModeRecordsOnlyOne) {

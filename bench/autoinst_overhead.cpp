@@ -1,0 +1,135 @@
+//===- bench/autoinst_overhead.cpp - auto vs hand instrumentation cost -----===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// Measures the cost of build-time auto-instrumentation against the
+// hand-instrumented kernels: the hand versions go through registered
+// ranges (RangeTable direct indexing), the auto twins through the
+// memcheck-style primary map, and the front-end's static check-elision
+// decides how many accesses pay anything at all.
+//
+// Three sections land in the JSON report, all gated by
+// check_regression.py:
+//
+//   autoinst/<kernel>/hand   wall time, hand-instrumented, SPD3
+//   autoinst/<kernel>/auto   wall time, auto-instrumented twin, SPD3
+//   elision/<kernel>/autoinst-elision
+//                            *headroom* = 100 - elision%, so a front-end
+//                            change that stops discharging checks shows
+//                            up as a growing "time" and trips the gate
+//                            (elision 96% -> headroom 4; dropping to 80%
+//                            elision -> headroom 20 -> 5x "regression").
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "AutoKernels.h"
+#include "autoinst_stats/crypt_auto_stats.h"
+#include "autoinst_stats/matmul_auto_stats.h"
+
+#include <cstdio>
+
+using namespace spd3;
+using namespace spd3::bench;
+
+namespace {
+
+using AutoKernelFn = kernels::KernelResult (*)(rt::Runtime &,
+                                               const kernels::KernelConfig &);
+
+struct TwinRow {
+  const char *Name;
+  AutoKernelFn AutoFn;
+  const autoinst_stats::TuCounters &TU;
+};
+
+/// Best-of-reps wall time for an auto twin under SPD3 (the hand side goes
+/// through bench::timedRun, which speaks kernels::Kernel).
+TimedRun timedAutoRun(AutoKernelFn Fn, kernels::KernelConfig Cfg,
+                      unsigned Threads, int Reps) {
+  Cfg.Verify = false;
+  TimedRun Best;
+  Best.Seconds = 1e100;
+  std::vector<double> Times;
+  for (int R = 0; R < Reps; ++R) {
+    detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+    detector::Spd3Tool Tool(Sink);
+    rt::Runtime RT({Threads, rt::SchedulerKind::Parallel, &Tool});
+    StopWatch W;
+    kernels::KernelResult Res = Fn(RT, Cfg);
+    double Sec = W.seconds();
+    Times.push_back(Sec);
+    if (Sec < Best.Seconds) {
+      Best.Seconds = Sec;
+      Best.Checksum = Res.Checksum;
+      Best.PeakToolBytes = Tool.peakMemoryBytes();
+      Best.Races = Sink.raceCount();
+    }
+  }
+  double Sum = 0.0;
+  for (double T : Times)
+    Sum += T;
+  Best.Mean = Sum / static_cast<double>(Times.size());
+  double Var = 0.0;
+  for (double T : Times)
+    Var += (T - Best.Mean) * (T - Best.Mean);
+  Best.Stddev = std::sqrt(Var / static_cast<double>(Times.size()));
+  return Best;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchEnv E = benchEnv();
+  JsonReport Report;
+  Report.parseArgs(argc, argv);
+  printHeader("Auto-instrumentation overhead: spd3-instrument twins vs "
+              "hand-instrumented kernels",
+              E);
+
+  const TwinRow Twins[] = {
+      {"crypt", &autokernels::cryptAuto, autoinst_stats::crypt_auto},
+      {"matmul", &autokernels::matmulAuto, autoinst_stats::matmul_auto},
+  };
+
+  std::printf("%-8s %-28s %10s %6s\n", "kernel", "front-end", "elision%",
+              "ooSub");
+  for (const TwinRow &T : Twins) {
+    std::printf("%-8s %3u cand / %2u instr / %2u rng %9.1f%% %6u\n", T.Name,
+                T.TU.Candidates, T.TU.Instrumented, T.TU.RangeCalls,
+                T.TU.elisionRate(), T.TU.OutOfSubset);
+    // Headroom, not rate: regressions must point upward for the gate.
+    Report.add(std::string("elision/") + T.Name + "/autoinst-elision", 0,
+               100.0 - T.TU.elisionRate(), 0.0);
+  }
+
+  std::printf("\n%-8s %8s %12s %12s %9s\n", "kernel", "threads", "hand(s)",
+              "auto(s)", "auto/hand");
+  for (const TwinRow &T : Twins) {
+    kernels::Kernel *Hand = kernels::findKernel(T.Name);
+    if (!Hand) {
+      std::fprintf(stderr, "no hand kernel named %s\n", T.Name);
+      return 1;
+    }
+    for (int Threads : E.Threads) {
+      kernels::KernelConfig Cfg;
+      Cfg.Size = E.Size;
+      TimedRun H = timedRun(Detector::Spd3, *Hand, Cfg,
+                            static_cast<unsigned>(Threads), E.Reps);
+      TimedRun A = timedAutoRun(T.AutoFn, Cfg, static_cast<unsigned>(Threads),
+                                E.Reps);
+      std::printf("%-8s %8d %12.4f %12.4f %8.2fx\n", T.Name, Threads,
+                  H.Seconds, A.Seconds,
+                  H.Seconds > 0 ? A.Seconds / H.Seconds : 0.0);
+      Report.add(std::string("autoinst/") + T.Name + "/hand", Threads, H);
+      Report.add(std::string("autoinst/") + T.Name + "/auto", Threads, A);
+      if (H.Races != A.Races)
+        std::printf("  !! race-count mismatch: hand=%zu auto=%zu\n", H.Races,
+                    A.Races);
+    }
+  }
+
+  Report.write();
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- examples/autoinst/AutoKernels.h - Auto-instrumented twins -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry points of the auto-instrumented kernel twins. The implementations
+/// live in crypt_plain.cpp / matmul_plain.cpp — *uninstrumented* C++
+/// (plain vectors, raw loops, no mem:: or Tracked calls) that replicates
+/// the hand-instrumented kernels' computation and spawn structure. The
+/// build runs `spd3-instrument` over those sources and compiles the
+/// rewritten output into the spd3_autokernels library, so linking against
+/// these symbols means linking against machine-inserted instrumentation.
+///
+/// The equivalence tests (tests/AutoInstrumentTests.cpp) run each twin and
+/// its hand-instrumented counterpart under the same detector and assert
+/// identical race sets — the end-to-end proof that the front-end's
+/// rewrites and its static check-elision preserve detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_EXAMPLES_AUTOINST_AUTOKERNELS_H
+#define SPD3_EXAMPLES_AUTOINST_AUTOKERNELS_H
+
+#include "kernels/Kernel.h"
+
+namespace spd3::autokernels {
+
+/// Twin of the "crypt" kernel (JGF IDEA round trip): parallel over 8-byte
+/// blocks, two passes (encrypt, decrypt), optional seeded write-write race
+/// from blocks 0 and Blocks-1.
+kernels::KernelResult cryptAuto(rt::Runtime &RT,
+                                const kernels::KernelConfig &Cfg);
+
+/// Twin of the "matmul" kernel (EC2 dense C = A * B): parallel over rows,
+/// optional seeded race from rows 0 and N-1.
+kernels::KernelResult matmulAuto(rt::Runtime &RT,
+                                 const kernels::KernelConfig &Cfg);
+
+} // namespace spd3::autokernels
+
+#endif // SPD3_EXAMPLES_AUTOINST_AUTOKERNELS_H

@@ -1,0 +1,107 @@
+//===- examples/autoinst/crypt_plain.cpp - Uninstrumented crypt twin -------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// The crypt kernel written the way an application author would write it:
+// plain std::vector buffers, raw element accesses, no mem:: calls and no
+// Tracked wrappers. `spd3-instrument` rewrites this file at build time;
+// the rewritten output must report exactly the races the hand-instrumented
+// src/kernels/Crypt.cpp reports (tests/AutoInstrumentTests.cpp).
+//
+// The spawn structure deliberately mirrors the hand kernel (same
+// detail::forAll phases in the same order) so the two versions build
+// identical DPSTs and race provenance can be compared path-for-path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AutoKernels.h"
+
+#include "kernels/Idea.h"
+#include "support/Prng.h"
+
+namespace spd3::autokernels {
+namespace {
+
+size_t cryptBytesFor(kernels::SizeClass S) {
+  switch (S) {
+  case kernels::SizeClass::Test:
+    return 2048;
+  case kernels::SizeClass::Small:
+    return 32 * 1024;
+  case kernels::SizeClass::Default:
+    return 192 * 1024;
+  }
+  return 192 * 1024;
+}
+
+} // namespace
+
+kernels::KernelResult cryptAuto(rt::Runtime &RT,
+                                const kernels::KernelConfig &Cfg) {
+  size_t Bytes = cryptBytesFor(Cfg.Size);
+  size_t Blocks = Bytes / 8;
+  Prng Rng(Cfg.Seed);
+  std::vector<uint8_t> Plain(Bytes);
+  for (size_t I = 0; I < Bytes; ++I)
+    Plain[I] = static_cast<uint8_t>(Rng.next() & 0xff);
+  uint16_t UserKey[8];
+  for (int K = 0; K < 8; ++K)
+    UserKey[K] = static_cast<uint16_t>(Rng.next() & 0xffff);
+  uint16_t EK[kernels::idea::KeyLen];
+  uint16_t DK[kernels::idea::KeyLen];
+  kernels::idea::expandKey(UserKey, EK);
+  kernels::idea::invertKey(EK, DK);
+
+  std::vector<uint8_t> RoundTrip(Bytes);
+  double Checksum = 0.0;
+  RT.run([&] {
+    std::vector<uint8_t> Text(Bytes);
+    std::vector<uint8_t> Crypt1(Bytes);
+    std::vector<uint8_t> Crypt2(Bytes);
+    double RaceCell = 0.0;
+    for (size_t I = 0; I < Bytes; ++I)
+      Text[I] = Plain[I];
+
+    auto Pass = [&](std::vector<uint8_t> &Src, std::vector<uint8_t> &Dst,
+                    const uint16_t *Key) {
+      kernels::detail::forAll(Cfg, Blocks, [&](size_t Blk) {
+        size_t Off = Blk * 8;
+        uint8_t BlockIn[8];
+        for (int J = 0; J < 8; ++J)
+          BlockIn[J] = Src[Off + J];
+        uint16_t In[4];
+        uint16_t Out[4];
+        for (int W = 0; W < 4; ++W)
+          In[W] = static_cast<uint16_t>((BlockIn[2 * W] << 8) |
+                                        BlockIn[2 * W + 1]);
+        kernels::idea::cipherBlock(In, Out, Key);
+        uint8_t BlockOut[8];
+        for (int W = 0; W < 4; ++W) {
+          BlockOut[2 * W] = static_cast<uint8_t>(Out[W] >> 8);
+          BlockOut[2 * W + 1] = static_cast<uint8_t>(Out[W] & 0xff);
+        }
+        for (int J = 0; J < 8; ++J)
+          Dst[Off + J] = BlockOut[J]; // spd3-lint: ok (spd3-instrument adds stRange)
+        if (Cfg.SeedRace && (Blk == 0 || Blk == Blocks - 1))
+          RaceCell = static_cast<double>(Blk);
+      });
+    };
+    Pass(Text, Crypt1, EK);   // encrypt
+    Pass(Crypt1, Crypt2, DK); // decrypt
+
+    for (size_t I = 0; I < Bytes; ++I) {
+      RoundTrip[I] = Crypt2[I];
+      Checksum += RoundTrip[I];
+    }
+  });
+
+  if (!Cfg.Verify)
+    return kernels::KernelResult::ok(Checksum);
+  for (size_t I = 0; I < Bytes; ++I)
+    if (RoundTrip[I] != Plain[I])
+      return kernels::KernelResult::fail("cryptAuto: round trip mismatch",
+                                         Checksum);
+  return kernels::KernelResult::ok(Checksum);
+}
+
+} // namespace spd3::autokernels

@@ -1,0 +1,90 @@
+//===- examples/autoinst/matmul_plain.cpp - Uninstrumented matmul twin -----===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// The matmul kernel as an application author would write it: plain
+// vectors, raw triple loop, no instrumentation. `spd3-instrument` rewrites
+// this file at build time and the output must match the hand-instrumented
+// src/kernels/MatMul.cpp race-for-race (tests/AutoInstrumentTests.cpp).
+//
+// Same spawn structure as the hand kernel (one detail::forAll over rows)
+// so both versions build identical DPSTs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AutoKernels.h"
+
+#include "support/Prng.h"
+
+namespace spd3::autokernels {
+namespace {
+
+size_t matmulSideFor(kernels::SizeClass S) {
+  switch (S) {
+  case kernels::SizeClass::Test:
+    return 24;
+  case kernels::SizeClass::Small:
+    return 48;
+  case kernels::SizeClass::Default:
+    return 96;
+  }
+  return 96;
+}
+
+} // namespace
+
+kernels::KernelResult matmulAuto(rt::Runtime &RT,
+                                 const kernels::KernelConfig &Cfg) {
+  size_t N = matmulSideFor(Cfg.Size);
+  std::vector<double> RefA(N * N);
+  std::vector<double> RefB(N * N);
+  std::vector<double> Out(N * N);
+  Prng Rng(Cfg.Seed);
+  for (size_t I = 0; I < N * N; ++I)
+    RefA[I] = Rng.nextDouble(-1.0, 1.0);
+  for (size_t I = 0; I < N * N; ++I)
+    RefB[I] = Rng.nextDouble(-1.0, 1.0);
+
+  double Checksum = 0.0;
+  RT.run([&] {
+    std::vector<double> A(N * N);
+    std::vector<double> B(N * N);
+    std::vector<double> C(N * N);
+    double RaceCell = 0.0;
+    for (size_t I = 0; I < N * N; ++I) {
+      A[I] = RefA[I];
+      B[I] = RefB[I];
+    }
+
+    kernels::detail::forAll(Cfg, N, [&](size_t Row) {
+      for (size_t Col = 0; Col < N; ++Col) {
+        double Sum = 0.0;
+        for (size_t K = 0; K < N; ++K)
+          Sum += A[Row * N + K] * B[K * N + Col];
+        C[Row * N + Col] = Sum; // spd3-lint: ok (spd3-instrument wraps this store)
+      }
+      if (Cfg.SeedRace && (Row == 0 || Row == N - 1))
+        RaceCell = static_cast<double>(Row);
+    });
+
+    for (size_t I = 0; I < N * N; ++I) {
+      Out[I] = C[I];
+      Checksum += Out[I];
+    }
+  });
+
+  if (!Cfg.Verify)
+    return kernels::KernelResult::ok(Checksum);
+  for (size_t Row = 0; Row < N; ++Row)
+    for (size_t Col = 0; Col < N; ++Col) {
+      double Sum = 0.0;
+      for (size_t K = 0; K < N; ++K)
+        Sum += RefA[Row * N + K] * RefB[K * N + Col];
+      if (!kernels::detail::closeEnough(Out[Row * N + Col], Sum))
+        return kernels::KernelResult::fail("matmulAuto: element mismatch",
+                                           Checksum);
+    }
+  return kernels::KernelResult::ok(Checksum);
+}
+
+} // namespace spd3::autokernels

@@ -1,0 +1,267 @@
+//===- detector/PrimaryMap.h - Two-level page-granular shadow map -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memcheck-style two-level primary map for unregistered addresses — the
+/// front door of ShadowSpace's fallback path.
+///
+/// Registered dense ranges (TrackedArray) still resolve by direct indexing
+/// in RangeTable. Everything else used to go straight to the open-addressed
+/// hash table (ShadowTable); that is fine for a handful of TrackedVar
+/// scalars but wrong for auto-instrumented programs, whose entire heap is
+/// "unregistered": every access pays a probe chain over a shared table, and
+/// the table's fixed virtual capacity (1M cells) is a real ceiling for a
+/// multi-megabyte heap.
+///
+/// This map borrows Valgrind/memcheck's shadow-translation shape instead:
+///
+///   address ──► superpage directory ──► page table ──► granule slot
+///              (open-addressed, 2 MiB   (dense array    (dense Cell[],
+///               regions, claim by CAS)   of 4 KiB page   8-byte granules,
+///                                        pointers)       exact-key check)
+///
+/// - A *superpage* covers 2 MiB of address space. Real programs touch a
+///   handful of superpages (heap, stacks, globals), so the fixed directory
+///   is effectively a one-probe lookup; directory slots are claimed once by
+///   CAS and never freed.
+/// - A *page* shadows 4 KiB of address space at 8-byte granularity: 512
+///   slots, each an exact address key plus a shadow cell. Pages are
+///   allocated lazily on first touch and published by CAS, so shadow memory
+///   grows with the *touched* address space, never the table capacity —
+///   the property the raw-address flood test pins down.
+/// - Each granule slot is claimed by the exact address that first touches
+///   it. Detection semantics are therefore identical to the hash fallback:
+///   one cell per distinct monitored address. A *different* address landing
+///   in a claimed granule (packed sub-8-byte scalars, misaligned fields) is
+///   a sub-granule collision; cell() returns null and ShadowSpace routes
+///   the access to the surviving ShadowTable, which is demoted from front
+///   door to overflow store.
+/// - Like every shadow structure here, the map is grow-only: cells are
+///   never reclaimed mid-run and cell pointers are stable for the map's
+///   lifetime (ShadowSpace's pointer-stability contract).
+///
+/// The payoff for auto-instrumented heaps is dense-table-like lookup — a
+/// tag probe plus two dependent loads, no probe chain that lengthens as the
+/// heap grows — and runCells() support so batched range events over raw
+/// 8-byte-element buffers take the same amortized path as registered
+/// TrackedArray runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_PRIMARYMAP_H
+#define SPD3_DETECTOR_PRIMARYMAP_H
+
+#include "obs/Obs.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace spd3::detector {
+
+template <typename Cell> class PrimaryMap {
+public:
+  PrimaryMap() = default;
+
+  ~PrimaryMap() {
+    for (DirSlot &D : Dir) {
+      Super *S = D.Sec.load(std::memory_order_relaxed);
+      if (!S)
+        continue;
+      for (auto &Entry : S->Pages)
+        delete Entry.load(std::memory_order_relaxed);
+      delete S;
+    }
+  }
+
+  PrimaryMap(const PrimaryMap &) = delete;
+  PrimaryMap &operator=(const PrimaryMap &) = delete;
+
+  /// The granule cell for \p Addr, claiming directory slots, pages and the
+  /// granule key on first touch. Null on a sub-granule collision (the
+  /// granule is owned by a different address) or directory exhaustion —
+  /// the caller falls back to the overflow hash table. Returned pointers
+  /// are stable for the map's lifetime.
+  Cell *cell(const void *Addr) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    Page *P = page(A);
+    if (SPD3_UNLIKELY(!P))
+      return nullptr;
+    size_t Slot = (A >> GranuleShift) & (SlotsPerPage - 1);
+    return claimGranule(*P, Slot, A);
+  }
+
+  /// The cells for \p Count contiguous elements of \p ElemSize bytes at
+  /// \p Addr as one dense run (&run[i] shadows element i), or null when the
+  /// run does not map densely here: element size != granule size,
+  /// misaligned base, run crossing a page boundary, or any granule owned
+  /// by a foreign address. Callers fall back to per-element cell() lookups,
+  /// so a null is never a correctness event.
+  Cell *runCells(const void *Addr, size_t Count, uint32_t ElemSize) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    if (ElemSize != GranuleBytes || (A & (GranuleBytes - 1)) != 0 ||
+        Count == 0)
+      return nullptr;
+    uintptr_t Last = A + (Count - 1) * GranuleBytes;
+    if ((A >> PageShift) != (Last >> PageShift))
+      return nullptr; // Run straddles a page; segment-free fallback.
+    Page *P = page(A);
+    if (SPD3_UNLIKELY(!P))
+      return nullptr;
+    size_t First = (A >> GranuleShift) & (SlotsPerPage - 1);
+    for (size_t I = 0; I < Count; ++I)
+      if (!claimGranule(*P, First + I, A + I * GranuleBytes))
+        return nullptr;
+    return &P->Cells[First];
+  }
+
+  /// Number of claimed granule cells.
+  size_t cellCount() const {
+    return NumGranules.load(std::memory_order_relaxed);
+  }
+
+  /// Honest footprint: the directory plus every resident superpage table
+  /// and shadow page (claimed and unclaimed granules alike).
+  size_t memoryBytes() const {
+    return sizeof(Dir) +
+           NumSupers.load(std::memory_order_relaxed) * sizeof(Super) +
+           NumPages.load(std::memory_order_relaxed) * sizeof(Page);
+  }
+
+  /// Resident shadow pages (the obs counter tracks the same number).
+  size_t pageCount() const { return NumPages.load(std::memory_order_relaxed); }
+
+  /// Claimed superpage directory slots.
+  size_t superCount() const {
+    return NumSupers.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// Geometry. 8-byte granules at 4 KiB pages give a 5x expansion for a
+  /// 32-byte cell (20 KiB shadow per touched 4 KiB of address space) —
+  /// the same order as memcheck's V-bit secondaries.
+  static constexpr size_t GranuleShift = 3;
+  static constexpr size_t GranuleBytes = size_t(1) << GranuleShift;
+  static constexpr size_t PageShift = 12;
+  static constexpr size_t SlotsPerPage =
+      size_t(1) << (PageShift - GranuleShift); // 512
+  static constexpr size_t SuperShift = 21;     // 2 MiB regions
+  static constexpr size_t PagesPerSuper =
+      size_t(1) << (SuperShift - PageShift); // 512
+  /// Directory capacity: 1024 distinct 2 MiB regions (2 GiB of touched
+  /// address space in arbitrary positions). Exhaustion degrades to the
+  /// overflow table instead of aborting.
+  static constexpr size_t MaxSupers = 1024;
+
+  struct Page {
+    /// Exact address that claimed each granule; 0 = unclaimed.
+    std::atomic<uintptr_t> Keys[SlotsPerPage] = {};
+    Cell Cells[SlotsPerPage] = {};
+  };
+
+  struct Super {
+    std::atomic<Page *> Pages[PagesPerSuper] = {};
+  };
+
+  /// Tag 0 means "free"; stored tags are (Addr >> SuperShift) + 1 so the
+  /// zero superpage is representable.
+  struct DirSlot {
+    std::atomic<uintptr_t> Tag{0};
+    std::atomic<Super *> Sec{nullptr};
+  };
+
+  static size_t hashTag(uintptr_t Tag) {
+    return static_cast<size_t>((Tag * 0x9e3779b97f4a7c15ull) >> 32);
+  }
+
+  Super *superFor(uintptr_t A) {
+    uintptr_t Tag = (A >> SuperShift) + 1;
+    size_t H = hashTag(Tag);
+    for (size_t I = 0; I < MaxSupers; ++I) {
+      DirSlot &D = Dir[(H + I) & (MaxSupers - 1)];
+      uintptr_t T = D.Tag.load(std::memory_order_acquire);
+      if (T == 0) {
+        uintptr_t Expected = 0;
+        if (D.Tag.compare_exchange_strong(Expected, Tag,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          auto *Fresh = new Super();
+          D.Sec.store(Fresh, std::memory_order_release);
+          obs::noteShadowSuper(
+              NumSupers.fetch_add(1, std::memory_order_relaxed) + 1);
+          return Fresh;
+        }
+        T = Expected; // Lost the claim; re-inspect the published tag.
+      }
+      if (T == Tag) {
+        // The claimer stores Sec right after winning the tag CAS; spin the
+        // (rare, bounded) window between the two stores.
+        Super *S;
+        while (!(S = D.Sec.load(std::memory_order_acquire)))
+          ;
+        return S;
+      }
+      // Foreign tag: keep probing.
+    }
+    return nullptr; // Directory full: overflow table territory.
+  }
+
+  Page *page(uintptr_t A) {
+    Super *S = superFor(A);
+    if (SPD3_UNLIKELY(!S))
+      return nullptr;
+    std::atomic<Page *> &Entry = S->Pages[(A >> PageShift) &
+                                          (PagesPerSuper - 1)];
+    Page *P = Entry.load(std::memory_order_acquire);
+    if (SPD3_LIKELY(P != nullptr))
+      return P;
+    // Allocate and race to publish; the loser frees its copy. new Page()
+    // value-initializes keys and cells, and the release CAS publishes that
+    // initialization to every acquiring thread.
+    auto *Fresh = new Page();
+    Page *Expected = nullptr;
+    if (Entry.compare_exchange_strong(Expected, Fresh,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      obs::noteShadowPage(NumPages.fetch_add(1, std::memory_order_relaxed) +
+                          1);
+      return Fresh;
+    }
+    delete Fresh;
+    return Expected;
+  }
+
+  /// Claim granule \p Slot of \p P for exact address \p A; null if a
+  /// different address owns it.
+  Cell *claimGranule(Page &P, size_t Slot, uintptr_t A) {
+    uintptr_t K = P.Keys[Slot].load(std::memory_order_acquire);
+    if (SPD3_LIKELY(K == A))
+      return &P.Cells[Slot];
+    if (K == 0) {
+      uintptr_t Expected = 0;
+      if (P.Keys[Slot].compare_exchange_strong(Expected, A,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+        NumGranules.fetch_add(1, std::memory_order_relaxed);
+        obs::noteShadowGranule();
+        return &P.Cells[Slot];
+      }
+      if (Expected == A)
+        return &P.Cells[Slot]; // Lost the race to ourselves-by-address.
+    }
+    return nullptr; // Sub-granule collision: overflow table.
+  }
+
+  DirSlot Dir[MaxSupers] = {};
+  std::atomic<size_t> NumGranules{0};
+  std::atomic<size_t> NumPages{0};
+  std::atomic<size_t> NumSupers{0};
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_PRIMARYMAP_H

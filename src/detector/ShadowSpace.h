@@ -7,9 +7,12 @@
 /// \file
 /// ShadowSpace<Cell> maps monitored addresses to detector-specific shadow
 /// cells. Registered dense ranges (TrackedArray) resolve by direct
-/// indexing; everything else (TrackedVar scalars) falls back to a lock-free
-/// open-addressed table (ShadowTable) whose cells are stable, so a cell
-/// pointer stays valid for the lifetime of the space.
+/// indexing; everything else resolves through a memcheck-style two-level
+/// primary map (PrimaryMap) at 8-byte granularity, with an open-addressed
+/// lock-free hash table (ShadowTable) as the overflow store for
+/// sub-granule collisions — distinct addresses sharing one 8-byte granule,
+/// e.g. packed ints. Cells everywhere are stable, so a cell pointer stays
+/// valid for the lifetime of the space.
 ///
 /// Every detector in this repository keeps *per-location* state in one of
 /// these — what differs is the Cell type, which is the heart of the paper's
@@ -22,6 +25,7 @@
 #ifndef SPD3_DETECTOR_SHADOWSPACE_H
 #define SPD3_DETECTOR_SHADOWSPACE_H
 
+#include "detector/PrimaryMap.h"
 #include "detector/ShadowRanges.h"
 #include "detector/ShadowTable.h"
 #include "support/Compiler.h"
@@ -47,17 +51,23 @@ public:
     if (RangeTable::Range *R = Ranges.find(Addr))
       return static_cast<Cell *>(R->Cells) +
              R->indexOf(reinterpret_cast<uintptr_t>(Addr));
+    if (Cell *C = Primary.cell(Addr))
+      return C;
     return Fallback.cell(Addr);
   }
 
   /// The cells for \p Count contiguous elements of \p ElemSize bytes
   /// starting at \p Addr, as one dense run: &run[i] shadows element i. Null
   /// unless the whole run lies inside a single registered range whose
-  /// element size matches and \p Addr is element-aligned within it —
-  /// callers fall back to per-element cell() lookups otherwise.
+  /// element size matches and \p Addr is element-aligned within it, or —
+  /// for unregistered memory — maps densely in the primary map (8-byte
+  /// elements within one shadow page). Callers fall back to per-element
+  /// cell() lookups otherwise.
   Cell *runCells(const void *Addr, size_t Count, uint32_t ElemSize) {
     RangeTable::Range *R = Ranges.find(Addr);
-    if (!R || R->ElemSize != ElemSize)
+    if (!R)
+      return Primary.runCells(Addr, Count, ElemSize);
+    if (R->ElemSize != ElemSize)
       return nullptr;
     uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
     uintptr_t B = R->Base.load(std::memory_order_relaxed);
@@ -81,23 +91,29 @@ public:
   /// paper's peak-memory methodology).
   void unregisterRange(const void *Base) { Ranges.unregister(Base); }
 
-  /// Total shadow cells allocated (dense + fallback).
+  /// Total shadow cells allocated (dense + primary map + overflow).
   size_t cellCount() const {
-    size_t N = Fallback.cellCount();
+    size_t N = Primary.cellCount() + Fallback.cellCount();
     Ranges.forEach([&](const RangeTable::Range &R) { N += R.Count; });
     return N;
   }
 
   /// Shadow storage footprint in bytes: dense range cells plus the
-  /// fallback table's resident chunks and directory.
+  /// primary map's resident pages and the overflow table's resident
+  /// chunks and directory.
   size_t memoryBytes() const {
     size_t RangeCells = 0;
     Ranges.forEach([&](const RangeTable::Range &R) { RangeCells += R.Count; });
-    return RangeCells * sizeof(Cell) + Fallback.memoryBytes();
+    return RangeCells * sizeof(Cell) + Primary.memoryBytes() +
+           Fallback.memoryBytes();
   }
+
+  /// The primary map, for growth/footprint introspection in tests.
+  const PrimaryMap<Cell> &primaryMap() const { return Primary; }
 
 private:
   RangeTable Ranges;
+  PrimaryMap<Cell> Primary;
   ShadowTable<Cell> Fallback;
 };
 

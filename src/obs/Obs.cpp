@@ -26,6 +26,9 @@ namespace {
 Statistic NumShadowChunks("shadow", "chunks");
 Statistic NumShadowCells("shadow", "fallbackCells");
 Statistic NumRangeCells("shadow", "rangeCells");
+Statistic NumShadowPages("shadow", "primaryPages");
+Statistic NumShadowSupers("shadow", "primarySupers");
+Statistic NumShadowGranules("shadow", "primaryCells");
 Statistic NumEventsEmitted("obs", "eventsEmitted");
 
 /// One registered per-thread ring. Owned by the registry (never freed
@@ -186,6 +189,10 @@ const char *eventKindName(EventKind K) {
     return "mutex.action";
   case EventKind::ShadowChunk:
     return "shadow.chunk";
+  case EventKind::ShadowPage:
+    return "shadow.page";
+  case EventKind::ShadowSuper:
+    return "shadow.super";
   case EventKind::RaceFound:
     return "race";
   }
@@ -296,6 +303,18 @@ void noteShadowChunk(size_t ResidentChunks) {
 void noteShadowCell() { ++NumShadowCells; }
 
 void noteRangeCells(size_t Count) { NumRangeCells += Count; }
+
+void noteShadowPage(size_t ResidentPages) {
+  ++NumShadowPages;
+  emit(EventKind::ShadowPage, ResidentPages);
+}
+
+void noteShadowSuper(size_t ResidentSupers) {
+  ++NumShadowSupers;
+  emit(EventKind::ShadowSuper, ResidentSupers);
+}
+
+void noteShadowGranule() { ++NumShadowGranules; }
 
 size_t retainedEvents() {
   Registry &R = registry();

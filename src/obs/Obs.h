@@ -132,6 +132,11 @@ private:
 void noteShadowChunk(size_t ResidentChunks);
 void noteShadowCell();
 void noteRangeCells(size_t Count);
+/// Primary-map growth (detector/PrimaryMap.h): a new 4 KiB shadow page, a
+/// new 2 MiB superpage directory entry, a newly claimed granule cell.
+void noteShadowPage(size_t ResidentPages);
+void noteShadowSuper(size_t ResidentSupers);
+void noteShadowGranule();
 /// @}
 
 /// \name Introspection / test support

@@ -29,6 +29,8 @@
 ///   CasRetry      address           -              -
 ///   MutexAction   address           -              -
 ///   ShadowChunk   resident chunks   -              -
+///   ShadowPage    resident pages    -              -
+///   ShadowSuper   resident supers   -              -
 ///   RaceFound     address           -              RaceKind
 ///
 /// Task and scope ids are the runtime object addresses: unique while live,
@@ -59,6 +61,8 @@ enum class EventKind : uint16_t {
   CasRetry,
   MutexAction,
   ShadowChunk,
+  ShadowPage,
+  ShadowSuper,
   RaceFound,
 };
 

@@ -1,0 +1,86 @@
+//===- runtime/AutoInstrument.h - spd3-instrument runtime shim --*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The header-only target of `tools/spd3-instrument`: every load/store the
+/// front-end rewrites lands on one of these wrappers, which report the
+/// access through the mem:: hooks (runtime/Instrument.h) and then perform
+/// it. Instrumented output is plain C++ against this header — building it
+/// needs no LLVM, no Clang, nothing beyond the spd3 library itself.
+///
+/// The wrappers preserve the hand-instrumentation event contract that the
+/// detectors (and the auto-vs-hand equivalence tests) rely on:
+///
+///   ld(l)        mem::read(&l)  then load          — Tracked::get
+///   st(l, v)     mem::write(&l) then store         — Tracked::set
+///   upd(l)       mem::read(&l), mem::write(&l),    — Tracked::add
+///                then the caller's compound update
+///   ldRange(p,n) one batched read of n elements    — Tracked::readRun
+///   stRange(p,n) one batched write of n elements   — Tracked::writeRun
+///
+/// upd() returns the lvalue so a compound assignment rewrites in place:
+/// `acc += x` becomes `spd3::autoinst::upd(acc) += x` — the read and write
+/// are reported before the update executes, exactly like TrackedArray::add
+/// (report read, report write, apply).
+///
+/// Addresses flowing through these wrappers are *unregistered*: no
+/// registerRange precedes them, so every detector resolves them through
+/// ShadowSpace's primary map (detector/PrimaryMap.h). That is the
+/// load-bearing design point — auto-instrumented programs need no
+/// allocation-site cooperation to get dense-table-like shadow lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RUNTIME_AUTOINSTRUMENT_H
+#define SPD3_RUNTIME_AUTOINSTRUMENT_H
+
+#include "runtime/Instrument.h"
+#include "support/TsanAnnotations.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace spd3::autoinst {
+
+/// Instrumented load: report, then read. The raw access is TSan-exempt
+/// for the same reason TrackedArray's is: racy monitored accesses are the
+/// detector's subject, not harness bugs.
+template <typename T> SPD3_NO_SANITIZE_THREAD inline T ld(const T &L) {
+  mem::read(&L, sizeof(T));
+  return L;
+}
+
+/// Instrumented store: report, then write. Returns the stored value so a
+/// rewritten assignment keeps its expression value.
+template <typename T, typename V>
+SPD3_NO_SANITIZE_THREAD inline T st(T &L, V &&Val) {
+  mem::write(&L, sizeof(T));
+  L = static_cast<T>(std::forward<V>(Val));
+  return L;
+}
+
+/// Instrumented read-modify-write: report the read and the write, then
+/// hand the lvalue back for the caller's compound operator.
+template <typename T> inline T &upd(T &L) {
+  mem::read(&L, sizeof(T));
+  mem::write(&L, sizeof(T));
+  return L;
+}
+
+/// Batched read of \p Count contiguous elements at \p P (one range event,
+/// equivalent to Count ld()s of P[0..Count)).
+template <typename T> inline void ldRange(const T *P, size_t Count) {
+  mem::readRange(P, Count, sizeof(T));
+}
+
+/// Batched write of \p Count contiguous elements at \p P.
+template <typename T> inline void stRange(T *P, size_t Count) {
+  mem::writeRange(P, Count, sizeof(T));
+}
+
+} // namespace spd3::autoinst
+
+#endif // SPD3_RUNTIME_AUTOINSTRUMENT_H

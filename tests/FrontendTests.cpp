@@ -1,0 +1,274 @@
+//===- tests/FrontendTests.cpp - spd3-instrument micro engine tests --------===//
+//
+// Unit tests of the micro front-end (tools/spd3-instrument) on small
+// snippets: wrapper emission for reads/writes/updates, each of the three
+// elision classes, the async poison, stride-1 loop coalescing, and
+// out-of-subset accounting. The end-to-end guarantee (auto == hand race
+// sets) lives in AutoInstrumentTests.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Frontend.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace spd3::instrument;
+
+FrontendResult run(const std::string &Src, Options Opts = {}) {
+  FrontendResult R = instrumentSource(Src, Opts, "snippet.cpp");
+  EXPECT_TRUE(R.Ok);
+  return R;
+}
+
+bool contains(const std::string &Hay, const std::string &Needle) {
+  return Hay.find(Needle) != std::string::npos;
+}
+
+TEST(Frontend, WrapsSharedWriteAndUpdateInTask) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f() {
+  std::vector<int> V(100);
+  int Total = 0;
+  parallelFor(0, 100, [&](size_t I) {
+    V[I] = 1;
+    Total += 2;
+  });
+}
+)");
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(V[I]"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::upd(Total)"));
+  EXPECT_TRUE(contains(R.Output, "#include \"runtime/AutoInstrument.h\""));
+  EXPECT_EQ(R.Stats.Instrumented, 2u);
+  EXPECT_EQ(R.Stats.OutOfSubset, 0u);
+}
+
+TEST(Frontend, StepLocalsElided) {
+  FrontendResult R = run(R"(
+void f() {
+  parallelFor(0, 100, [&](size_t I) {
+    int T = 0;
+    T = 5;
+    int U = T + 1;
+    U += T;
+  });
+}
+)");
+  // T and U live and die inside one task: no wrapper anywhere.
+  EXPECT_FALSE(contains(R.Output, "autoinst::st"));
+  EXPECT_FALSE(contains(R.Output, "autoinst::upd"));
+  EXPECT_GE(R.Stats.ElidedLocal, 3u);
+  EXPECT_EQ(R.Stats.Instrumented, 0u);
+}
+
+TEST(Frontend, AddressTakenLocalIsNotElided) {
+  FrontendResult R = run(R"(
+void g(int *P);
+void f() {
+  parallelFor(0, 100, [&](size_t I) {
+    int T = 0;
+    g(&T);
+    T = 5;
+  });
+}
+)");
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(T"));
+}
+
+TEST(Frontend, SerialAccessesElided) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f() {
+  std::vector<int> V(100);
+  int Sum = 0;
+  for (size_t I = 0; I < 100; ++I)
+    Sum += V[I];
+}
+)");
+  EXPECT_EQ(R.Stats.Instrumented, 0u);
+  EXPECT_GE(R.Stats.ElidedSerial, 2u);
+  EXPECT_EQ(R.Output.find("autoinst"), std::string::npos);
+}
+
+TEST(Frontend, AsyncDisablesSerialAndReadOnlyElision) {
+  const char *Src = R"(
+void f() {
+  int X = 1;
+  int Y = 0;
+  async([&] {
+    Y = X;
+  });
+  X = 2;
+}
+)";
+  FrontendResult R = run(Src);
+  // `async` does not self-join: the serial X = 2 can race with the task's
+  // read of X, and X is written after publication.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(X ,  2)"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(X)"));
+  EXPECT_EQ(R.Stats.ElidedSerial, 0u);
+  EXPECT_EQ(R.Stats.ElidedReadOnly, 0u);
+}
+
+TEST(Frontend, ReadOnlyAfterPublicationElided) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f() {
+  std::vector<int> V(100);
+  std::vector<int> W(100);
+  int N = 100;
+  for (int I = 0; I < N; ++I)
+    V[I] = I;
+  parallelFor(0, 100, [&](size_t I) {
+    W[I] = V[I] + N;
+  });
+}
+)");
+  // V and N are only written serially before the spawn: reads elide. W is
+  // written inside the task: its store is instrumented.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(W[I]"));
+  EXPECT_FALSE(contains(R.Output, "ld(V[I]"));
+  EXPECT_FALSE(contains(R.Output, "ld(N"));
+  EXPECT_GE(R.Stats.ElidedReadOnly, 2u);
+}
+
+TEST(Frontend, TaskWrittenVarReadsAreInstrumented) {
+  FrontendResult R = run(R"(
+void f() {
+  int X = 0;
+  parallelFor(0, 100, [&](size_t I) {
+    X = 1;
+  });
+  parallelFor(0, 100, [&](size_t I) {
+    int T = X;
+  });
+}
+)");
+  // X is written inside a task: later task reads cannot use class 2.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(X"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(X)"));
+}
+
+TEST(Frontend, CoalescesStrideOneLoops) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f(std::vector<int> &Src, std::vector<int> &Dst, size_t Off) {
+  parallelFor(0, 4, [&](size_t B) {
+    for (int J = 0; J < 16; ++J)
+      Dst[Off + J] = Src[J];
+  });
+}
+)");
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ldRange(&Src[0], 16);"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::stRange(&Dst[Off], 16);"));
+  EXPECT_EQ(R.Stats.RangeCalls, 2u);
+  EXPECT_EQ(R.Stats.Coalesced, 2u);
+  EXPECT_EQ(R.Stats.Instrumented, 0u);
+  // The per-element statement itself is left untouched.
+  EXPECT_TRUE(contains(R.Output, "Dst[Off + J] = Src[J];"));
+}
+
+TEST(Frontend, ConditionalLoopBodyIsNotCoalesced) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f(std::vector<int> &Dst) {
+  parallelFor(0, 4, [&](size_t B) {
+    for (int J = 0; J < 16; ++J)
+      if (J != 3)
+        Dst[J] = 1;
+  });
+}
+)");
+  // Conditional execution: the loop's footprint is not provably covered.
+  EXPECT_EQ(R.Stats.RangeCalls, 0u);
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(Dst[J]"));
+}
+
+TEST(Frontend, EmbeddedAssignmentCountsOutOfSubset) {
+  FrontendResult R = run(R"(
+void g(int);
+void f(int &X) {
+  parallelFor(0, 4, [&](size_t B) {
+    g(X = 1);
+  });
+}
+)");
+  // Non-statement assignment: conservatively instrumented as an update
+  // (read+write reported) and counted out-of-subset.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::upd(X"));
+  EXPECT_GE(R.Stats.OutOfSubset, 1u);
+}
+
+TEST(Frontend, VarHeldLambdaCalledFromTaskIsTaskCode) {
+  FrontendResult R = run(R"(
+void f() {
+  int X = 0;
+  auto Helper = [&] {
+    X = 1;
+  };
+  parallelFor(0, 4, [&](size_t B) {
+    Helper();
+  });
+}
+)");
+  // Helper's body runs inside tasks (taint fixpoint): its write to the
+  // captured X must be instrumented, not serial-elided.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(X"));
+}
+
+TEST(Frontend, VarHeldLambdaCalledSeriallyStaysSerial) {
+  FrontendResult R = run(R"(
+void f() {
+  int X = 0;
+  auto Helper = [&] {
+    X = 1;
+  };
+  Helper();
+}
+)");
+  EXPECT_EQ(R.Stats.Instrumented, 0u);
+  EXPECT_GE(R.Stats.ElidedSerial, 1u);
+}
+
+TEST(Frontend, NoElideInstrumentsEverything) {
+  Options Opts;
+  Opts.ElideLocals = Opts.ElideReadOnly = Opts.ElideSerial = false;
+  Opts.Coalesce = false;
+  FrontendResult R = run(R"(
+void f() {
+  int X = 0;
+  int T = X;
+}
+)",
+                         Opts);
+  EXPECT_EQ(R.Stats.elided(), 0u);
+  EXPECT_EQ(R.Stats.Instrumented, R.Stats.Candidates);
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(X)"));
+}
+
+TEST(Frontend, StatsHeaderIsWellFormed) {
+  TuStats S;
+  S.Candidates = 10;
+  S.Instrumented = 2;
+  S.ElidedLocal = 3;
+  S.ElidedSerial = 5;
+  std::string H = S.statsHeader("my_tu", "my_tu.cpp");
+  EXPECT_TRUE(contains(H, "inline constexpr TuCounters my_tu = {10, 2, 0, "
+                          "3, 0, 5, 0, 0};"));
+  EXPECT_TRUE(contains(H, "namespace spd3::autoinst_stats"));
+  EXPECT_TRUE(contains(H, "#pragma once"));
+}
+
+TEST(Frontend, ClangEngineGatedGracefully) {
+  // The container build compiles the stub: the clang engine must report
+  // itself absent and fail without side effects.
+  if (hasClangFrontend())
+    GTEST_SKIP() << "clang engine compiled in";
+  FrontendResult R = instrumentSourceClang("int x;", {}, "t.cpp", {});
+  EXPECT_FALSE(R.Ok);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tools/spd3-instrument/Frontend.h - Instrumentation pass --*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spd3-instrument source-to-source pass: rewrite every shared-memory
+/// load/store in a translation unit into spd3::autoinst wrapper calls
+/// (runtime/AutoInstrument.h), eliding accesses a static analysis proves
+/// cannot participate in a race. Two interchangeable engines implement
+/// this interface:
+///
+///  - The *micro front-end* (MicroFrontend.cpp): a dependency-free
+///    tokenizer + scope/escape analyzer + textual rewriter for the
+///    documented C++ subset below. Always built, so the build-time twin
+///    generation and the auto-vs-hand equivalence tests run everywhere.
+///  - The *Clang front-end* (ClangFrontend.cpp): the same pass as a
+///    LibTooling RecursiveASTVisitor + Rewriter over real C++, compiled
+///    only when CMake is configured with -DSPD3_BUILD_FRONTEND=ON and
+///    find_package(Clang) succeeds.
+///
+/// ## Static check-elision
+///
+/// Three access classes are skipped, each with a happens-before argument
+/// (DESIGN.md §9 gives the full soundness case):
+///
+///  1. *Step-local* (ElideLocals): variables declared inside a task body
+///     whose address is never taken with `&` and that no nested task
+///     lambda captures. No other step can reach the location, so it can
+///     never be one side of a race.
+///  2. *Read-only after publication* (ElideReadOnly): reads of owning
+///     locals (by-value scalars, locally declared arrays/vectors) that are
+///     never written inside any task body and never passed by reference.
+///     Every write is a serial-step write, happens-before all tasks, so a
+///     read can never be the second side of a racing pair.
+///  3. *Serial-step* (ElideSerial): accesses executed outside every task
+///     body. When all spawn constructs in the TU are self-joining
+///     (parallelFor / parallelForChunked / forAll), serial code is
+///     happens-before- or happens-after-ordered with every task, so its
+///     accesses cannot race. Any appearance of a bare `async` disables
+///     this class (and class 2) for the whole TU.
+///
+/// Additionally, stride-1 accesses in innermost counted loops are
+/// *coalesced*: the per-element checks are replaced by one hoisted
+/// ldRange/stRange covering exactly the loop's footprint, matching the
+/// batched range events hand instrumentation uses.
+///
+/// ## The micro subset
+///
+/// The micro engine understands LLVM-style-formatted C++ restricted to:
+/// block scopes, declarations `[const] Type [*|&] Name {= init | (args) |
+/// [N]}`, statement-level assignments / compound assignments /
+/// increments, counted `for` loops, `[&]` lambdas, and calls. Spawn
+/// constructs are recognized by callee name (async, parallelFor,
+/// parallelForChunked, forAll); `RT.run(...)`'s lambda is the root task.
+/// Constructs outside the subset are left untouched and counted in
+/// Stats.OutOfSubset (never silently mis-instrumented: unrecognized
+/// *assignment shapes* are conservatively wrapped read+write). It assumes
+/// synchronous callees do not retain argument pointers and const
+/// references are not mutated through other aliases during parallel
+/// phases — assumptions the twin sources honor and DESIGN.md §9 states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_TOOLS_INSTRUMENT_FRONTEND_H
+#define SPD3_TOOLS_INSTRUMENT_FRONTEND_H
+
+#include <string>
+#include <vector>
+
+namespace spd3::instrument {
+
+struct Options {
+  bool ElideLocals = true;
+  bool ElideReadOnly = true;
+  bool ElideSerial = true;
+  bool Coalesce = true;
+
+  bool anyElision() const { return ElideLocals || ElideReadOnly || ElideSerial; }
+};
+
+/// Per-TU instrumentation statistics. "Candidates" is every scalar memory
+/// access the analyzer resolved to a declared variable — the denominator
+/// of the elision rate.
+struct TuStats {
+  unsigned Candidates = 0;    ///< accesses considered
+  unsigned Instrumented = 0;  ///< per-element ld/st/upd rewrites emitted
+  unsigned RangeCalls = 0;    ///< hoisted ldRange/stRange calls emitted
+  unsigned ElidedLocal = 0;   ///< class 1: step-local
+  unsigned ElidedReadOnly = 0;///< class 2: read-only after publication
+  unsigned ElidedSerial = 0;  ///< class 3: serial-step
+  unsigned Coalesced = 0;     ///< per-element checks folded into ranges
+  unsigned OutOfSubset = 0;   ///< constructs the engine refused to touch
+
+  unsigned elided() const {
+    return ElidedLocal + ElidedReadOnly + ElidedSerial;
+  }
+  /// Percentage of candidate accesses statically discharged (elided
+  /// outright; coalesced accesses still emit a check, amortized).
+  double elisionRate() const {
+    return Candidates ? 100.0 * elided() / Candidates : 0.0;
+  }
+  /// One-line human-readable summary ("N candidates, ...").
+  std::string str() const;
+  /// Render as a generated constexpr-struct header exposing the counters
+  /// under `spd3::autoinst_stats::<Name>` (consumed by the tests).
+  std::string statsHeader(const std::string &Name,
+                          const std::string &InputName) const;
+};
+
+struct FrontendResult {
+  bool Ok = false;
+  std::string Output; ///< rewritten TU (valid only when Ok)
+  TuStats Stats;
+  std::vector<std::string> Warnings;
+};
+
+/// Run the micro engine over \p Src (\p FileName for diagnostics only).
+FrontendResult instrumentSource(const std::string &Src, const Options &Opts,
+                                const std::string &FileName);
+
+/// True when the Clang LibTooling engine was compiled in
+/// (SPD3_BUILD_FRONTEND).
+bool hasClangFrontend();
+
+/// Run the Clang engine (ClangFrontend.cpp). \p IncludeDirs are -I paths
+/// for the invocation. Fails (Ok = false, warning appended) when the
+/// engine is not compiled in.
+FrontendResult instrumentSourceClang(const std::string &Src,
+                                     const Options &Opts,
+                                     const std::string &FileName,
+                                     const std::vector<std::string> &IncludeDirs);
+
+} // namespace spd3::instrument
+
+#endif // SPD3_TOOLS_INSTRUMENT_FRONTEND_H

@@ -1,0 +1,124 @@
+//===- tools/spd3-instrument/Lexer.cpp - C++ token scanner -----------------===//
+
+#include "Lexer.h"
+
+#include <cctype>
+
+namespace spd3::instrument {
+
+namespace {
+
+bool identStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool identCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Multi-character punctuators, longest first within each leading char.
+/// `>>` and `<<` are lexed as one token; template scanners treat a `>>`
+/// as two closers.
+const char *const Puncts[] = {
+    "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",
+};
+
+} // namespace
+
+std::vector<Token> lex(const std::string &Src) {
+  std::vector<Token> Out;
+  size_t N = Src.size();
+  size_t I = 0;
+  while (I < N) {
+    char C = Src[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/'))
+        ++I;
+      I = I + 1 < N ? I + 2 : N;
+      continue;
+    }
+    // Preprocessor directive: one token to end of logical line.
+    if (C == '#') {
+      size_t B = I;
+      while (I < N && Src[I] != '\n') {
+        if (Src[I] == '\\' && I + 1 < N && Src[I + 1] == '\n')
+          ++I; // line continuation
+        ++I;
+      }
+      Out.push_back({Token::Directive, static_cast<uint32_t>(B),
+                     static_cast<uint32_t>(I)});
+      continue;
+    }
+    if (identStart(C)) {
+      size_t B = I;
+      while (I < N && identCont(Src[I]))
+        ++I;
+      Out.push_back(
+          {Token::Ident, static_cast<uint32_t>(B), static_cast<uint32_t>(I)});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Src[I + 1])))) {
+      size_t B = I;
+      // pp-number: digits, dots, identifier chars, exponent signs.
+      while (I < N && (identCont(Src[I]) || Src[I] == '.' ||
+                       ((Src[I] == '+' || Src[I] == '-') && I > B &&
+                        (Src[I - 1] == 'e' || Src[I - 1] == 'E' ||
+                         Src[I - 1] == 'p' || Src[I - 1] == 'P'))))
+        ++I;
+      Out.push_back(
+          {Token::Number, static_cast<uint32_t>(B), static_cast<uint32_t>(I)});
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      size_t B = I++;
+      while (I < N && Src[I] != C) {
+        if (Src[I] == '\\' && I + 1 < N)
+          ++I;
+        ++I;
+      }
+      I = I < N ? I + 1 : N;
+      Out.push_back({C == '"' ? Token::String : Token::CharLit,
+                     static_cast<uint32_t>(B), static_cast<uint32_t>(I)});
+      continue;
+    }
+    // Punctuation: longest match.
+    size_t Len = 1;
+    for (const char *P : Puncts) {
+      size_t L = std::char_traits<char>::length(P);
+      if (L > Len && I + L <= N && Src.compare(I, L, P) == 0)
+        Len = L;
+    }
+    Out.push_back({Token::Punct, static_cast<uint32_t>(I),
+                   static_cast<uint32_t>(I + Len)});
+    I += Len;
+  }
+  Out.push_back(
+      {Token::Eof, static_cast<uint32_t>(N), static_cast<uint32_t>(N)});
+  return Out;
+}
+
+unsigned lineOf(const std::string &Src, uint32_t Off) {
+  unsigned Line = 1;
+  for (uint32_t I = 0; I < Off && I < Src.size(); ++I)
+    if (Src[I] == '\n')
+      ++Line;
+  return Line;
+}
+
+} // namespace spd3::instrument
+

@@ -1,0 +1,60 @@
+//===- tools/spd3-instrument/Lexer.h - C++ token scanner --------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offset-preserving C++ tokenizer for the spd3-instrument micro front-end.
+/// Tokens carry [Begin, End) byte offsets into the original source so the
+/// rewriter can splice instrumentation around exact extents; whitespace and
+/// comments are skipped (never tokens), preprocessor directives become one
+/// Directive token spanning the logical line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_TOOLS_INSTRUMENT_LEXER_H
+#define SPD3_TOOLS_INSTRUMENT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spd3::instrument {
+
+struct Token {
+  enum Kind : uint8_t {
+    Ident,     ///< identifier or keyword
+    Number,    ///< integer / floating literal
+    String,    ///< "..." literal
+    CharLit,   ///< '...' literal
+    Punct,     ///< operator / punctuation (longest-match, e.g. "<<=")
+    Directive, ///< whole preprocessor line, continuations included
+    Eof,       ///< one past the last real token
+  };
+
+  Kind K;
+  uint32_t Begin;
+  uint32_t End;
+
+  std::string_view text(const std::string &Src) const {
+    return std::string_view(Src).substr(Begin, End - Begin);
+  }
+
+  bool is(const std::string &Src, std::string_view S) const {
+    return text(Src) == S;
+  }
+};
+
+/// Tokenize \p Src. Always ends with one End token (Begin == End ==
+/// Src.size()). Unterminated comments/literals are truncated at EOF rather
+/// than reported — the analyzer's structure checks catch broken input.
+std::vector<Token> lex(const std::string &Src);
+
+/// 1-based line number of byte offset \p Off (for diagnostics).
+unsigned lineOf(const std::string &Src, uint32_t Off);
+
+} // namespace spd3::instrument
+
+#endif // SPD3_TOOLS_INSTRUMENT_LEXER_H

@@ -1,0 +1,1067 @@
+//===- tools/spd3-instrument/MicroFrontend.cpp - micro engine --------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependency-free instrumentation engine: tokenizer-driven scope /
+/// escape analysis plus a textual rewriter for the documented C++ subset
+/// (Frontend.h). Phases, in order:
+///
+///   1. lex + bracket matching
+///   2. region discovery      — [&] lambda bodies, classified by callee
+///   3. scope & declaration walk — variables, parameters, flags
+///   4. counted-loop discovery — coalescing candidates
+///   5. access walk           — every resolved scalar read/write/update
+///   6. lambda taint fixpoint — var-held lambdas invoked from task code
+///   7. classification        — the three elision classes
+///   8. coalescing            — stride-1 loops fold into ld/stRange
+///   9. rewrite emission      — offset-sorted splices
+///
+//===----------------------------------------------------------------------===//
+
+#include "Frontend.h"
+#include "Lexer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace spd3::instrument {
+
+namespace {
+
+bool isKw(std::string_view S) {
+  static const std::set<std::string_view, std::less<>> Kw = {
+      "if",       "else",     "for",          "while",
+      "do",       "switch",   "case",         "default",
+      "return",   "break",    "continue",     "goto",
+      "using",    "namespace","struct",       "class",
+      "enum",     "template", "typename",     "public",
+      "private",  "protected","new",          "delete",
+      "sizeof",   "operator", "throw",        "try",
+      "catch",    "true",     "false",        "nullptr",
+      "this",     "static_cast",              "reinterpret_cast",
+      "const_cast",           "dynamic_cast",
+  };
+  return Kw.count(S) != 0;
+}
+
+bool isTypeMod(std::string_view S) {
+  return S == "unsigned" || S == "signed" || S == "long" || S == "short";
+}
+
+/// Self-joining spawn constructs: the lambda is a task body, and the call
+/// does not return until every spawned task joined.
+bool isSpawnName(std::string_view S) {
+  return S == "parallelFor" || S == "parallelForChunked" || S == "forAll";
+}
+
+/// Root-executing constructs: the lambda runs synchronously on the calling
+/// step (rt::Runtime::run / finish scopes) — serial context, not a task.
+bool isRootName(std::string_view S) { return S == "run" || S == "finish"; }
+
+struct Var {
+  std::string Name;
+  uint32_t DeclTok = 0;  ///< token index of the declared name
+  uint32_t ScopeEnd = 0; ///< last token index at which the name resolves
+  int DeclRegion = -2;   ///< innermost region containing the decl (-2 lazy)
+  int LambdaRegion = -1; ///< for IsLambda vars: the region of its body
+  uint32_t IntroTok = 0; ///< for IsLambda vars: token index of the `[`
+  bool IsRef = false, IsPtr = false, IsConst = false;
+  bool IsArray = false, IsContainer = false, IsLambda = false;
+  bool AddressTaken = false; ///< `&v` observed anywhere
+  bool PassedBare = false;   ///< aggregate passed undecorated to a call
+  bool MethodCalled = false; ///< `v.m(...)` — may mutate through v
+  bool WrittenInTask = false;
+  bool EscapesRegion = false; ///< used in a region other than its decl's
+};
+
+struct Region {
+  uint32_t IntroTok; ///< the `[` of the lambda introducer
+  uint32_t BodyL, BodyR; ///< token indices of the body braces
+  bool Task;    ///< spawn-construct argument (or conservative unknown)
+  bool Tainted; ///< plain lambda reached from task code (fixpoint)
+  int VarId;    ///< for `auto F = [&]...`: the holding variable
+  int Parent;   ///< innermost strictly-enclosing region
+};
+
+struct Access {
+  uint32_t Tok;     ///< token index of the base identifier
+  uint32_t ExtEnd;  ///< byte offset one past the access extent
+  int VarId;
+  enum Direction : uint8_t { Read, Write, Upd } Dir;
+  uint32_t AssignTok = 0; ///< Write: token index of the `=`
+  uint32_t SemiTok = 0;   ///< Write: token index of the closing `;`
+  int RegionIdx;          ///< innermost enclosing region, -1 none
+  int LoopIdx = -1;       ///< innermost counted loop containing it
+  std::string CoalBase;   ///< loop-invariant additive base ("" if none)
+  bool CoalShape = false; ///< subscript is V / Base+V / V+Base
+  enum Act : uint8_t {
+    Pending,
+    Instrument,
+    ElLocal,
+    ElReadOnly,
+    ElSerial,
+    Coalesced
+  } Action = Pending;
+};
+
+struct Loop {
+  uint32_t ForTok, BodyB, BodyE; ///< token indices (body inclusive range)
+  std::string V, Init, Bound;
+  bool Hoistable; ///< counted, innermost, simple body, stmt-position for
+};
+
+struct Edit {
+  uint32_t Pos;     ///< byte offset
+  uint32_t Del;     ///< bytes deleted
+  std::string Text; ///< bytes inserted
+  int Seq;          ///< emission order tiebreak at equal Pos
+};
+
+class Micro {
+public:
+  Micro(const std::string &Src, const Options &Opts, const std::string &File)
+      : Src(Src), Opts(Opts), File(File) {}
+
+  FrontendResult run();
+
+private:
+  const std::string &Src;
+  Options Opts;
+  std::string File;
+  std::vector<Token> Toks;
+  std::vector<int> Match;      ///< bracket partner token index, -1
+  std::vector<uint8_t> Skip;   ///< tokens the access walk must ignore
+  std::vector<Var> Vars;
+  std::vector<Region> Regions;
+  std::vector<Loop> Loops;
+  std::vector<Access> Accesses;
+  std::vector<std::pair<int, int>> LambdaUses; ///< (VarId, RegionIdx)
+  std::vector<Edit> Edits;
+  TuStats Stats;
+  std::vector<std::string> Warnings;
+  bool HasAsync = false;
+  int Seq = 0;
+
+  std::string_view txt(size_t I) const { return Toks[I].text(Src); }
+  bool is(size_t I, std::string_view S) const { return txt(I) == S; }
+  void warn(uint32_t Off, const std::string &Msg) {
+    Warnings.push_back(File + ":" + std::to_string(lineOf(Src, Off)) + ": " +
+                       Msg);
+  }
+  std::string slice(uint32_t TokB, uint32_t TokE) const { // [TokB, TokE)
+    if (TokB >= TokE)
+      return "";
+    return Src.substr(Toks[TokB].Begin, Toks[TokE - 1].End - Toks[TokB].Begin);
+  }
+
+  void buildMatch();
+  int scanAngles(size_t I) const; ///< I at '<'; token index after '>'
+  void findRegions();
+  void registerParams(size_t LParen, uint32_t ScopeEnd, int DeclRegion);
+  void findDecls();
+  bool tryDecl(size_t I, uint32_t ScopeEnd);
+  void findLoops();
+  uint32_t scopeEndFor(size_t I) const;
+  int innermostRegion(size_t TokIdx) const;
+  int effectiveTask(int RegionIdx) const;
+  int resolve(size_t TokIdx) const;
+  void collectAccesses();
+  void taintFixpoint();
+  void classify();
+  void coalesce();
+  void emitRewrites();
+  std::string apply();
+};
+
+void Micro::buildMatch() {
+  Match.assign(Toks.size(), -1);
+  std::vector<size_t> Stack;
+  for (size_t I = 0; I < Toks.size(); ++I) {
+    if (Toks[I].K != Token::Punct)
+      continue;
+    std::string_view T = txt(I);
+    if (T == "(" || T == "[" || T == "{") {
+      Stack.push_back(I);
+    } else if (T == ")" || T == "]" || T == "}") {
+      if (Stack.empty())
+        continue;
+      size_t O = Stack.back();
+      std::string_view OT = txt(O);
+      bool OkPair = (T == ")" && OT == "(") || (T == "]" && OT == "[") ||
+                    (T == "}" && OT == "{");
+      if (OkPair) {
+        Stack.pop_back();
+        Match[O] = static_cast<int>(I);
+        Match[I] = static_cast<int>(O);
+      }
+    }
+  }
+}
+
+int Micro::scanAngles(size_t I) const {
+  // I is at '<'. Returns token index just past the matching '>', or -1.
+  // The lexer emits `>>` as one token; it counts as two closers.
+  int Depth = 0;
+  for (size_t J = I; J < Toks.size(); ++J) {
+    std::string_view T = txt(J);
+    if (T == "<")
+      ++Depth;
+    else if (T == ">")
+      --Depth;
+    else if (T == ">>")
+      Depth -= 2;
+    else if (T == ";" || T == "{" || Toks[J].K == Token::Eof)
+      return -1;
+    if (Depth <= 0)
+      return static_cast<int>(J) + 1;
+  }
+  return -1;
+}
+
+/// Register the parameters of a function definition or lambda whose
+/// parameter list opens at token \p LParen. Parameters resolve through
+/// \p ScopeEnd (the body's closing brace).
+void Micro::registerParams(size_t LParen, uint32_t ScopeEnd, int DeclRegion) {
+  int R = Match[LParen];
+  if (R < 0)
+    return;
+  size_t I = LParen + 1;
+  while (I < static_cast<size_t>(R)) {
+    // One parameter: [const] type-tokens [*|&] Name, then ',' or ')'.
+    Var V;
+    size_t NameTok = 0;
+    int Depth = 0;
+    for (size_t J = I; J <= static_cast<size_t>(R); ++J) {
+      std::string_view T = txt(J);
+      if (T == "(" || T == "[")
+        ++Depth;
+      else if (T == ")" || T == "]") {
+        if (J == static_cast<size_t>(R) && Depth == 0) {
+          I = J + 1;
+          break;
+        }
+        --Depth;
+      } else if (T == "<") {
+        int A = scanAngles(J);
+        if (A > 0)
+          J = static_cast<size_t>(A) - 1;
+      } else if (Depth == 0 && T == ",") {
+        I = J + 1;
+        break;
+      } else if (Depth == 0) {
+        if (T == "const")
+          V.IsConst = true;
+        else if (T == "&")
+          V.IsRef = true;
+        else if (T == "*")
+          V.IsPtr = true;
+        else if (Toks[J].K == Token::Ident && !isKw(T))
+          NameTok = static_cast<uint32_t>(J); // last ident wins
+        if (T == "vector" || T == "array")
+          V.IsContainer = true;
+      }
+      if (J == static_cast<size_t>(R))
+        I = J + 1;
+    }
+    if (NameTok) {
+      V.Name = std::string(txt(NameTok));
+      V.DeclTok = NameTok;
+      V.ScopeEnd = ScopeEnd;
+      V.DeclRegion = DeclRegion;
+      Skip[NameTok] = 1;
+      Vars.push_back(V);
+    }
+    if (I <= LParen) // safety against no progress
+      break;
+  }
+  // The whole parameter list is declaration syntax, not accesses.
+  for (size_t J = LParen; J <= static_cast<size_t>(R); ++J)
+    Skip[J] = 1;
+}
+
+void Micro::findRegions() {
+  for (size_t I = 0; I + 2 < Toks.size(); ++I) {
+    if (!(is(I, "[") && is(I + 1, "&") && is(I + 2, "]")))
+      continue;
+    size_t J = I + 3;
+    size_t LParen = 0;
+    if (J < Toks.size() && is(J, "(")) {
+      LParen = J;
+      if (Match[J] < 0)
+        continue;
+      J = static_cast<size_t>(Match[J]) + 1;
+    }
+    if (J >= Toks.size() || !is(J, "{") || Match[J] < 0)
+      continue;
+    Region R;
+    R.IntroTok = static_cast<uint32_t>(I);
+    R.BodyL = static_cast<uint32_t>(J);
+    R.BodyR = static_cast<uint32_t>(Match[J]);
+    R.Task = false;
+    R.Tainted = false;
+    R.VarId = -1;
+    R.Parent = -1;
+    // Classify by what introduces the lambda.
+    bool Recognized = false;
+    if (I > 0 && (is(I - 1, "(") || is(I - 1, ","))) {
+      // Argument position: walk back to the unmatched '(' of the call.
+      int Depth = 0;
+      for (size_t K = I - 1; K + 1 > 0; --K) {
+        std::string_view T = txt(K);
+        if (T == ")" || T == "]")
+          ++Depth;
+        else if (T == "(" || T == "[") {
+          if (Depth == 0 && T == "(") {
+            if (K > 0 && Toks[K - 1].K == Token::Ident) {
+              std::string_view Callee = txt(K - 1);
+              if (isSpawnName(Callee)) {
+                R.Task = true;
+                Recognized = true;
+              } else if (Callee == "async") {
+                R.Task = true;
+                Recognized = true;
+                HasAsync = true;
+              } else if (isRootName(Callee)) {
+                R.Task = false; // runs synchronously on the calling step
+                Recognized = true;
+              }
+            }
+            break;
+          }
+          --Depth;
+        } else if (T == ";" || T == "{" || T == "}") {
+          break;
+        }
+        if (K == 0)
+          break;
+      }
+    } else if (I > 0 && is(I - 1, "=")) {
+      Recognized = true; // var-held lambda; taint fixpoint decides
+    }
+    if (!Recognized) {
+      // Unknown introducer: conservatively a task body (never under-check).
+      R.Task = true;
+      ++Stats.OutOfSubset;
+      warn(Toks[I].Begin, "lambda with unrecognized introducer treated as "
+                          "task body (out of subset)");
+    }
+    // Lambda intro + params are declaration syntax.
+    Skip[I] = Skip[I + 1] = Skip[I + 2] = 1;
+    Regions.push_back(R);
+    int Idx = static_cast<int>(Regions.size()) - 1;
+    if (LParen)
+      registerParams(LParen, Regions[Idx].BodyR, Idx);
+  }
+  // Parent chains by containment (innermost strictly-enclosing region).
+  for (size_t A = 0; A < Regions.size(); ++A) {
+    int Best = -1;
+    for (size_t B = 0; B < Regions.size(); ++B) {
+      if (A == B)
+        continue;
+      if (Regions[B].BodyL < Regions[A].BodyL &&
+          Regions[B].BodyR > Regions[A].BodyR &&
+          (Best < 0 || Regions[B].BodyL > Regions[Best].BodyL))
+        Best = static_cast<int>(B);
+    }
+    Regions[A].Parent = Best;
+  }
+  // Bare async calls anywhere (even without a lambda literal) disable the
+  // serial / read-only classes for the whole TU.
+  for (size_t I = 0; I + 1 < Toks.size(); ++I)
+    if (Toks[I].K == Token::Ident && is(I, "async") && is(I + 1, "("))
+      HasAsync = true;
+}
+
+uint32_t Micro::scopeEndFor(size_t I) const {
+  // Innermost enclosing '}' for a declaration at token I: scan forward
+  // balancing braces. For for-init declarations the caller passes the
+  // loop-body end instead.
+  int Depth = 0;
+  for (size_t J = I; J < Toks.size(); ++J) {
+    if (is(J, "{"))
+      ++Depth;
+    else if (is(J, "}")) {
+      if (Depth == 0)
+        return static_cast<uint32_t>(J);
+      --Depth;
+    }
+  }
+  return static_cast<uint32_t>(Toks.size() - 1);
+}
+
+bool Micro::tryDecl(size_t I, uint32_t ScopeEnd) {
+  size_t J = I;
+  Var V;
+  bool SawMods = false;
+  while (J < Toks.size() &&
+         (is(J, "const") || is(J, "static") || is(J, "constexpr"))) {
+    if (is(J, "const"))
+      V.IsConst = true;
+    ++J;
+  }
+  while (J < Toks.size() && Toks[J].K == Token::Ident && isTypeMod(txt(J)) &&
+         !(Toks[J + 1].K == Token::Punct &&
+           (is(J + 1, "=") || is(J + 1, ";") || is(J + 1, "[")))) {
+    SawMods = true;
+    ++J;
+  }
+  // Main type chain: Ident (:: Ident)* (< ... >)?
+  size_t ChainB = J;
+  bool Chain = false, PlainChain = true;
+  if (J < Toks.size() && Toks[J].K == Token::Ident && !isKw(txt(J))) {
+    Chain = true;
+    if (is(J, "vector") || is(J, "array"))
+      V.IsContainer = true;
+    ++J;
+    while (J + 1 < Toks.size()) {
+      if (is(J, "::") && Toks[J + 1].K == Token::Ident) {
+        if (is(J + 1, "vector") || is(J + 1, "array"))
+          V.IsContainer = true;
+        J += 2;
+        PlainChain = false;
+        continue;
+      }
+      if (is(J, "<")) {
+        int A = scanAngles(J);
+        if (A < 0)
+          return false;
+        J = static_cast<size_t>(A);
+        PlainChain = false;
+        V.IsContainer = V.IsContainer || true; // templated owner type
+        continue;
+      }
+      break;
+    }
+  }
+  if (!Chain && !SawMods)
+    return false;
+  if (is(J, "*")) {
+    V.IsPtr = true;
+    ++J;
+  } else if (is(J, "&")) {
+    V.IsRef = true;
+    ++J;
+  }
+  size_t NameTok;
+  if (J < Toks.size() && Toks[J].K == Token::Ident && !isKw(txt(J))) {
+    NameTok = J;
+  } else if (SawMods && Chain && PlainChain && !V.IsPtr && !V.IsRef) {
+    NameTok = ChainB; // `unsigned I = 0` — the chain head was the name
+  } else {
+    return false;
+  }
+  std::string_view F = txt(NameTok + 1);
+  if (!(F == "=" || F == ";" || F == "," || F == "(" || F == "[" || F == "{"))
+    return false;
+  // Function definition: Name(params) { ... } — register parameters only.
+  if (F == "(" && Match[NameTok + 1] > 0) {
+    size_t After = static_cast<size_t>(Match[NameTok + 1]) + 1;
+    if (After < Toks.size() && is(After, "{") && Match[After] > 0) {
+      for (size_t K = I; K <= NameTok; ++K)
+        Skip[K] = 1;
+      registerParams(NameTok + 1, static_cast<uint32_t>(Match[After]),
+                     innermostRegion(NameTok));
+      return true;
+    }
+  }
+  if (F == "[")
+    V.IsArray = true;
+  if (F == "=" && is(NameTok + 2, "[") && is(NameTok + 3, "&") &&
+      is(NameTok + 4, "]")) {
+    V.IsLambda = true;
+    V.IntroTok = static_cast<uint32_t>(NameTok + 2);
+  }
+  V.Name = std::string(txt(NameTok));
+  V.DeclTok = static_cast<uint32_t>(NameTok);
+  V.ScopeEnd = ScopeEnd;
+  V.DeclRegion = innermostRegion(NameTok);
+  for (size_t K = I; K <= NameTok; ++K)
+    Skip[K] = 1;
+  Vars.push_back(V);
+  // Additional declarators: `int a = 1, b = 2;` (same flags).
+  int Depth = 0;
+  for (size_t K = NameTok + 1; K < Toks.size(); ++K) {
+    std::string_view T = txt(K);
+    if (T == "(" || T == "[" || T == "{")
+      ++Depth;
+    else if (T == ")" || T == "]" || T == "}") {
+      if (Depth == 0)
+        break;
+      --Depth;
+    } else if (Depth == 0 && T == ";") {
+      break;
+    } else if (Depth == 0 && T == "," && Toks[K + 1].K == Token::Ident &&
+               !isKw(txt(K + 1))) {
+      std::string_view G = txt(K + 2);
+      if (!(G == "=" || G == ";" || G == "," || G == "["))
+        break;
+      Var W = V;
+      W.Name = std::string(txt(K + 1));
+      W.DeclTok = static_cast<uint32_t>(K + 1);
+      Skip[K + 1] = 1;
+      Vars.push_back(W);
+      ++K;
+    }
+  }
+  return true;
+}
+
+void Micro::findDecls() {
+  for (size_t I = 0; I < Toks.size(); ++I) {
+    if (Toks[I].K != Token::Ident)
+      continue;
+    if (is(I, "for") && is(I + 1, "(") && Match[I + 1] > 0) {
+      // for-init declaration, scoped through the end of the loop body.
+      size_t HdrR = static_cast<size_t>(Match[I + 1]);
+      uint32_t End;
+      if (HdrR + 1 < Toks.size() && is(HdrR + 1, "{") && Match[HdrR + 1] > 0) {
+        End = static_cast<uint32_t>(Match[HdrR + 1]);
+      } else {
+        size_t K = HdrR + 1;
+        int D = 0;
+        while (K < Toks.size() &&
+               !(D == 0 && is(K, ";")) && !(D == 0 && is(K, "}"))) {
+          std::string_view T = txt(K);
+          if (T == "(" || T == "[" || T == "{")
+            ++D;
+          else if (T == ")" || T == "]" || T == "}")
+            --D;
+          ++K;
+        }
+        End = static_cast<uint32_t>(K < Toks.size() ? K : Toks.size() - 1);
+      }
+      tryDecl(I + 2, End);
+      continue;
+    }
+    if (isKw(txt(I)) || Skip[I])
+      continue;
+    bool Start = I == 0;
+    if (!Start) {
+      const Token &P = Toks[I - 1];
+      Start = P.K == Token::Directive ||
+              (P.K == Token::Punct &&
+               (is(I - 1, ";") || is(I - 1, "{") || is(I - 1, "}")));
+    }
+    if (Start)
+      tryDecl(I, scopeEndFor(I));
+  }
+}
+
+void Micro::findLoops() {
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (!(Toks[I].K == Token::Ident && is(I, "for") && is(I + 1, "(") &&
+          Match[I + 1] > 0))
+      continue;
+    Loop L;
+    L.ForTok = static_cast<uint32_t>(I);
+    size_t HdrL = I + 1, HdrR = static_cast<size_t>(Match[I + 1]);
+    size_t Semi1 = 0, Semi2 = 0;
+    int D = 0;
+    for (size_t J = HdrL + 1; J < HdrR; ++J) {
+      std::string_view T = txt(J);
+      if (T == "(" || T == "[")
+        ++D;
+      else if (T == ")" || T == "]")
+        --D;
+      else if (D == 0 && T == ";") {
+        if (!Semi1)
+          Semi1 = J;
+        else if (!Semi2)
+          Semi2 = J;
+        else {
+          Semi1 = 0; // three semicolons: not a plain for
+          break;
+        }
+      }
+    }
+    bool Counted = false;
+    if (Semi1 && Semi2) {
+      // init: ... V = Init ;
+      size_t Assign = 0;
+      D = 0;
+      for (size_t J = HdrL + 1; J < Semi1; ++J) {
+        std::string_view T = txt(J);
+        if (T == "(" || T == "[")
+          ++D;
+        else if (T == ")" || T == "]")
+          --D;
+        else if (D == 0 && T == "=")
+          Assign = J;
+      }
+      if (Assign && Toks[Assign - 1].K == Token::Ident) {
+        L.V = std::string(txt(Assign - 1));
+        L.Init = slice(static_cast<uint32_t>(Assign + 1),
+                       static_cast<uint32_t>(Semi1));
+        // cond: V < Bound
+        if (Toks[Semi1 + 1].K == Token::Ident && is(Semi1 + 1, L.V) &&
+            is(Semi1 + 2, "<") && Semi1 + 3 < Semi2) {
+          L.Bound = slice(static_cast<uint32_t>(Semi1 + 3),
+                          static_cast<uint32_t>(Semi2));
+          // inc: ++V or V++
+          if (HdrR == Semi2 + 3 &&
+              ((is(Semi2 + 1, "++") && is(Semi2 + 2, L.V)) ||
+               (is(Semi2 + 1, L.V) && is(Semi2 + 2, "++"))))
+            Counted = true;
+        }
+      }
+    }
+    // Body token range (inclusive, braces excluded).
+    if (HdrR + 1 < Toks.size() && is(HdrR + 1, "{") && Match[HdrR + 1] > 0) {
+      L.BodyB = static_cast<uint32_t>(HdrR + 2);
+      L.BodyE = static_cast<uint32_t>(Match[HdrR + 1] - 1);
+    } else {
+      L.BodyB = static_cast<uint32_t>(HdrR + 1);
+      size_t K = HdrR + 1;
+      D = 0;
+      while (K < Toks.size() && !(D == 0 && is(K, ";"))) {
+        std::string_view T = txt(K);
+        if (T == "(" || T == "[" || T == "{")
+          ++D;
+        else if (T == ")" || T == "]" || T == "}")
+          --D;
+        ++K;
+      }
+      L.BodyE = static_cast<uint32_t>(K < Toks.size() ? K : Toks.size() - 1);
+    }
+    bool Simple = true;
+    for (uint32_t J = L.BodyB; J <= L.BodyE && Simple; ++J) {
+      if (Toks[J].K == Token::Ident &&
+          (is(J, "for") || is(J, "while") || is(J, "if") || is(J, "do") ||
+           is(J, "switch")))
+        Simple = false;
+      if (Toks[J].K == Token::Punct && is(J, "?"))
+        Simple = false;
+    }
+    bool StmtPos =
+        I == 0 || is(I - 1, ";") || is(I - 1, "{") || is(I - 1, "}");
+    L.Hoistable = Counted && Simple && StmtPos;
+    Loops.push_back(L);
+  }
+}
+
+int Micro::innermostRegion(size_t TokIdx) const {
+  int Best = -1;
+  for (size_t R = 0; R < Regions.size(); ++R)
+    if (Regions[R].BodyL < TokIdx && TokIdx < Regions[R].BodyR &&
+        (Best < 0 || Regions[R].BodyL > Regions[Best].BodyL))
+      Best = static_cast<int>(R);
+  return Best;
+}
+
+int Micro::effectiveTask(int RegionIdx) const {
+  while (RegionIdx >= 0) {
+    if (Regions[RegionIdx].Task || Regions[RegionIdx].Tainted)
+      return RegionIdx;
+    RegionIdx = Regions[RegionIdx].Parent;
+  }
+  return -1;
+}
+
+int Micro::resolve(size_t TokIdx) const {
+  std::string_view Name = txt(TokIdx);
+  int Best = -1;
+  for (size_t V = 0; V < Vars.size(); ++V)
+    if (Vars[V].DeclTok < TokIdx && TokIdx <= Vars[V].ScopeEnd &&
+        Vars[V].Name == Name &&
+        (Best < 0 || Vars[V].DeclTok > Vars[Best].DeclTok))
+      Best = static_cast<int>(V);
+  return Best;
+}
+
+void Micro::collectAccesses() {
+  for (size_t I = 0; I < Toks.size(); ++I) {
+    if (Toks[I].K != Token::Ident || Skip[I] || isKw(txt(I)))
+      continue;
+    if (I > 0 && (is(I - 1, ".") || is(I - 1, "->") || is(I - 1, "::")))
+      continue; // member / qualified name — handled via the base extent
+    int VI = resolve(I);
+    if (VI < 0)
+      continue;
+    Var &V = Vars[VI];
+    int Reg = innermostRegion(I);
+    if (I > 0 && is(I - 1, "&")) {
+      std::string_view B = I >= 2 ? txt(I - 2) : std::string_view(";");
+      bool Binary = (I >= 2 && (Toks[I - 2].K == Token::Ident ||
+                                Toks[I - 2].K == Token::Number)) ||
+                    B == ")" || B == "]";
+      if (!Binary) {
+        V.AddressTaken = true; // unary &v: the extent escapes
+        continue;
+      }
+    }
+    if (V.IsLambda) {
+      LambdaUses.push_back({VI, Reg});
+      continue;
+    }
+    // Extent: ident ( [sub] | .member | ->member )*
+    size_t E = I;
+    bool HasSub = false, HasMember = false, Method = false;
+    uint32_t SubL = 0, SubR = 0;
+    unsigned Subs = 0;
+    for (;;) {
+      if (E + 1 < Toks.size() && is(E + 1, "[") && Match[E + 1] > 0) {
+        if (++Subs == 1) {
+          SubL = static_cast<uint32_t>(E + 1);
+          SubR = static_cast<uint32_t>(Match[E + 1]);
+        }
+        HasSub = true;
+        E = static_cast<size_t>(Match[E + 1]);
+        continue;
+      }
+      if (E + 2 < Toks.size() && (is(E + 1, ".") || is(E + 1, "->")) &&
+          Toks[E + 2].K == Token::Ident) {
+        if (is(E + 3, "(")) {
+          Method = true; // v.m(...): may mutate v; not a memory access
+          break;
+        }
+        HasMember = true;
+        E = E + 2;
+        continue;
+      }
+      break;
+    }
+    if (Method) {
+      V.MethodCalled = true;
+      continue;
+    }
+    if (!HasSub && !HasMember && (V.IsContainer || V.IsArray)) {
+      V.PassedBare = true; // undecorated aggregate use: escapes
+      continue;
+    }
+    Access A;
+    A.Tok = static_cast<uint32_t>(I);
+    A.ExtEnd = Toks[E].End;
+    A.VarId = VI;
+    A.RegionIdx = Reg;
+    // Direction.
+    std::string_view N = E + 1 < Toks.size() ? txt(E + 1) : std::string_view();
+    static const std::set<std::string_view, std::less<>> Compound = {
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+        "++", "--"};
+    if (N == "=") {
+      A.Dir = Access::Write;
+      A.AssignTok = static_cast<uint32_t>(E + 1);
+      bool StmtForm =
+          I == 0 || Toks[I - 1].K == Token::Directive ||
+          (Toks[I - 1].K == Token::Punct &&
+           (is(I - 1, ";") || is(I - 1, "{") || is(I - 1, "}") ||
+            is(I - 1, ")")));
+      size_t Semi = 0;
+      int D = 0;
+      for (size_t K = E + 2; K < Toks.size(); ++K) {
+        std::string_view T = txt(K);
+        if (T == "(" || T == "[" || T == "{")
+          ++D;
+        else if (T == ")" || T == "]" || T == "}") {
+          if (D == 0)
+            break;
+          --D;
+        } else if (D == 0 && T == ";") {
+          Semi = K;
+          break;
+        }
+      }
+      if (StmtForm && Semi) {
+        A.SemiTok = static_cast<uint32_t>(Semi);
+      } else {
+        A.Dir = Access::Upd; // embedded assignment: wrap upd(lhs) = rhs
+        ++Stats.OutOfSubset;
+        warn(Toks[I].Begin,
+             "non-statement assignment instrumented as update");
+      }
+    } else if (Compound.count(N) ||
+               (I > 0 && (is(I - 1, "++") || is(I - 1, "--")))) {
+      A.Dir = Access::Upd;
+    } else {
+      A.Dir = Access::Read;
+    }
+    // Coalescing shape: X[V], X[Base + V], X[V + Base] in a counted loop.
+    int LoopIdx = -1;
+    for (size_t L = 0; L < Loops.size(); ++L)
+      if (Loops[L].Hoistable && Loops[L].BodyB <= I && I <= Loops[L].BodyE &&
+          (LoopIdx < 0 || Loops[L].BodyB > Loops[LoopIdx].BodyB))
+        LoopIdx = static_cast<int>(L);
+    A.LoopIdx = LoopIdx;
+    if (LoopIdx >= 0 && HasSub && Subs == 1 && !HasMember &&
+        A.Dir != Access::Upd) {
+      const Loop &L = Loops[LoopIdx];
+      uint32_t SB = SubL + 1, SE = SubR; // [SB, SE) inner tokens
+      if (SE - SB == 1 && Toks[SB].K == Token::Ident && is(SB, L.V)) {
+        A.CoalShape = true;
+      } else if (SE - SB == 3 && is(SB + 1, "+")) {
+        bool AV = Toks[SB].K == Token::Ident && is(SB, L.V);
+        bool BV = Toks[SB + 2].K == Token::Ident && is(SB + 2, L.V);
+        auto Operand = [&](uint32_t T) {
+          return Toks[T].K == Token::Ident || Toks[T].K == Token::Number;
+        };
+        if (AV && !BV && Operand(SB + 2)) {
+          A.CoalShape = true;
+          A.CoalBase = std::string(txt(SB + 2));
+        } else if (BV && !AV && Operand(SB)) {
+          A.CoalShape = true;
+          A.CoalBase = std::string(txt(SB));
+        }
+      }
+    }
+    Accesses.push_back(A);
+  }
+}
+
+void Micro::taintFixpoint() {
+  for (size_t V = 0; V < Vars.size(); ++V)
+    if (Vars[V].IsLambda)
+      for (size_t R = 0; R < Regions.size(); ++R)
+        if (Regions[R].IntroTok == Vars[V].IntroTok) {
+          Vars[V].LambdaRegion = static_cast<int>(R);
+          Regions[R].VarId = static_cast<int>(V);
+        }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &U : LambdaUses) {
+      if (effectiveTask(U.second) < 0)
+        continue;
+      int LR = Vars[U.first].LambdaRegion;
+      if (LR >= 0 && !Regions[LR].Tainted && !Regions[LR].Task) {
+        Regions[LR].Tainted = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void Micro::classify() {
+  // Var-level facts that depend on the final region taskness.
+  std::vector<int> FirstEff(Vars.size(), -2);
+  for (const Access &A : Accesses) {
+    int Eff = effectiveTask(A.RegionIdx);
+    Var &V = Vars[A.VarId];
+    if (FirstEff[A.VarId] == -2)
+      FirstEff[A.VarId] = Eff;
+    else if (FirstEff[A.VarId] != Eff)
+      V.EscapesRegion = true;
+    if (A.Dir != Access::Read && Eff >= 0)
+      V.WrittenInTask = true;
+  }
+  for (Access &A : Accesses) {
+    ++Stats.Candidates;
+    const Var &V = Vars[A.VarId];
+    int Eff = effectiveTask(A.RegionIdx);
+    if (Eff < 0) {
+      if (Opts.ElideSerial && !HasAsync) {
+        A.Action = Access::ElSerial;
+        ++Stats.ElidedSerial;
+      } else {
+        A.Action = Access::Instrument;
+      }
+      continue;
+    }
+    if (Opts.ElideLocals && effectiveTask(V.DeclRegion) == Eff &&
+        !V.AddressTaken && !V.EscapesRegion) {
+      A.Action = Access::ElLocal;
+      ++Stats.ElidedLocal;
+      continue;
+    }
+    if (A.Dir == Access::Read && Opts.ElideReadOnly && !HasAsync &&
+        (V.IsConst ||
+         (!V.IsRef && !V.IsPtr && !V.AddressTaken && !V.PassedBare &&
+          !V.MethodCalled && !V.WrittenInTask))) {
+      A.Action = Access::ElReadOnly;
+      ++Stats.ElidedReadOnly;
+      continue;
+    }
+    A.Action = Access::Instrument;
+  }
+}
+
+void Micro::coalesce() {
+  if (!Opts.Coalesce)
+    return;
+  // Group pending per-element checks by (loop, array, direction, base).
+  std::vector<std::vector<size_t>> Groups;
+  std::vector<std::string> Keys;
+  for (size_t AI = 0; AI < Accesses.size(); ++AI) {
+    const Access &A = Accesses[AI];
+    if (A.Action != Access::Instrument || A.LoopIdx < 0 || !A.CoalShape)
+      continue;
+    std::string Key = std::to_string(A.LoopIdx) + "|" +
+                      std::to_string(A.VarId) + "|" +
+                      (A.Dir == Access::Read ? "r" : "w") + "|" + A.CoalBase;
+    size_t G = 0;
+    for (; G < Keys.size(); ++G)
+      if (Keys[G] == Key)
+        break;
+    if (G == Keys.size()) {
+      Keys.push_back(Key);
+      Groups.emplace_back();
+    }
+    Groups[G].push_back(AI);
+  }
+  for (const auto &G : Groups) {
+    const Access &A0 = Accesses[G.front()];
+    const Loop &L = Loops[A0.LoopIdx];
+    const std::string &Base = A0.CoalBase;
+    std::string Idx = Base.empty()
+                          ? L.Init
+                          : (L.Init == "0" ? Base
+                                           : "(" + Base + ") + (" + L.Init +
+                                                 ")");
+    std::string Count =
+        L.Init == "0" ? L.Bound : "(" + L.Bound + ") - (" + L.Init + ")";
+    std::string Fn = A0.Dir == Access::Read ? "ldRange" : "stRange";
+    Edits.push_back({Toks[L.ForTok].Begin, 0,
+                     "::spd3::autoinst::" + Fn + "(&" + Vars[A0.VarId].Name +
+                         "[" + Idx + "], " + Count + "); ",
+                     Seq++});
+    ++Stats.RangeCalls;
+    for (size_t AI : G) {
+      Accesses[AI].Action = Access::Coalesced;
+      ++Stats.Coalesced;
+    }
+  }
+}
+
+void Micro::emitRewrites() {
+  for (const Access &A : Accesses) {
+    if (A.Action != Access::Instrument)
+      continue;
+    ++Stats.Instrumented;
+    uint32_t B = Toks[A.Tok].Begin;
+    switch (A.Dir) {
+    case Access::Read:
+      Edits.push_back({B, 0, "::spd3::autoinst::ld(", Seq++});
+      Edits.push_back({A.ExtEnd, 0, ")", Seq++});
+      break;
+    case Access::Upd:
+      Edits.push_back({B, 0, "::spd3::autoinst::upd(", Seq++});
+      Edits.push_back({A.ExtEnd, 0, ")", Seq++});
+      break;
+    case Access::Write:
+      Edits.push_back({B, 0, "::spd3::autoinst::st(", Seq++});
+      Edits.push_back({Toks[A.AssignTok].Begin, 1, ", ", Seq++});
+      Edits.push_back({Toks[A.SemiTok].Begin, 0, ")", Seq++});
+      break;
+    }
+  }
+  if (Edits.empty())
+    return;
+  // Make the rewritten TU self-sufficient: pull in the shim after the last
+  // #include the author wrote.
+  uint32_t Pos = 0;
+  bool Found = false;
+  for (const Token &T : Toks)
+    if (T.K == Token::Directive &&
+        std::string_view(Src).substr(T.Begin, 8) == "#include") {
+      Pos = T.End;
+      Found = true;
+    }
+  std::string Inc =
+      "#include \"runtime/AutoInstrument.h\" // inserted by spd3-instrument";
+  Edits.push_back({Pos, 0, Found ? "\n" + Inc : Inc + "\n", Seq++});
+}
+
+std::string Micro::apply() {
+  std::sort(Edits.begin(), Edits.end(), [](const Edit &A, const Edit &B) {
+    if (A.Pos != B.Pos)
+      return A.Pos < B.Pos;
+    bool AC = A.Text == ")", BC = B.Text == ")";
+    if (AC != BC)
+      return AC; // closers first, innermost (higher Seq) leading
+    if (AC)
+      return A.Seq > B.Seq;
+    return A.Seq < B.Seq;
+  });
+  std::string Out;
+  Out.reserve(Src.size() + Edits.size() * 24);
+  uint32_t Cursor = 0;
+  for (const Edit &E : Edits) {
+    if (E.Pos < Cursor)
+      continue; // overlapping delete — cannot happen for well-formed input
+    Out.append(Src, Cursor, E.Pos - Cursor);
+    Out += E.Text;
+    Cursor = E.Pos + E.Del;
+  }
+  Out.append(Src, Cursor, Src.size() - Cursor);
+  return Out;
+}
+
+FrontendResult Micro::run() {
+  Toks = lex(Src);
+  Skip.assign(Toks.size(), 0);
+  buildMatch();
+  findRegions();
+  findDecls();
+  findLoops();
+  collectAccesses();
+  taintFixpoint();
+  classify();
+  coalesce();
+  emitRewrites();
+  FrontendResult R;
+  R.Ok = true;
+  R.Output = apply();
+  R.Stats = Stats;
+  R.Warnings = Warnings;
+  return R;
+}
+
+} // namespace
+
+std::string TuStats::str() const {
+  char Rate[32];
+  std::snprintf(Rate, sizeof(Rate), "%.1f", elisionRate());
+  std::ostringstream O;
+  O << Candidates << " candidates: " << Instrumented << " instrumented, "
+    << Coalesced << " coalesced into " << RangeCalls << " range calls, "
+    << elided() << " elided (" << ElidedLocal << " local, " << ElidedReadOnly
+    << " read-only, " << ElidedSerial << " serial) = " << Rate << "%, "
+    << OutOfSubset << " out-of-subset";
+  return O.str();
+}
+
+std::string TuStats::statsHeader(const std::string &Name,
+                                 const std::string &InputName) const {
+  std::string Id = Name;
+  for (char &C : Id)
+    if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_'))
+      C = '_';
+  std::ostringstream O;
+  O << "// Elision statistics for " << InputName
+    << " — generated by spd3-instrument; do not edit.\n"
+    << "#pragma once\n\n"
+    << "#ifndef SPD3_AUTOINST_TUCOUNTERS\n"
+    << "#define SPD3_AUTOINST_TUCOUNTERS\n"
+    << "namespace spd3::autoinst_stats {\n"
+    << "struct TuCounters {\n"
+    << "  unsigned Candidates, Instrumented, RangeCalls, ElidedLocal,\n"
+    << "      ElidedReadOnly, ElidedSerial, Coalesced, OutOfSubset;\n"
+    << "  constexpr unsigned elided() const {\n"
+    << "    return ElidedLocal + ElidedReadOnly + ElidedSerial;\n"
+    << "  }\n"
+    << "  constexpr double elisionRate() const {\n"
+    << "    return Candidates ? 100.0 * elided() / Candidates : 0.0;\n"
+    << "  }\n"
+    << "};\n"
+    << "} // namespace spd3::autoinst_stats\n"
+    << "#endif // SPD3_AUTOINST_TUCOUNTERS\n\n"
+    << "namespace spd3::autoinst_stats {\n"
+    << "inline constexpr TuCounters " << Id << " = {" << Candidates << ", "
+    << Instrumented << ", " << RangeCalls << ", " << ElidedLocal << ", "
+    << ElidedReadOnly << ", " << ElidedSerial << ", " << Coalesced << ", "
+    << OutOfSubset << "};\n"
+    << "} // namespace spd3::autoinst_stats\n";
+  return O.str();
+}
+
+FrontendResult instrumentSource(const std::string &Src, const Options &Opts,
+                                const std::string &FileName) {
+  return Micro(Src, Opts, FileName).run();
+}
+
+} // namespace spd3::instrument

@@ -1,0 +1,29 @@
+//===- tools/spd3-instrument/NoClangFrontend.cpp - engine stub -------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// Built instead of ClangFrontend.cpp when SPD3_BUILD_FRONTEND is OFF or
+// Clang development headers are unavailable: the clang engine reports
+// itself absent and fails gracefully, so the CLI and tests can probe for
+// it without link errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Frontend.h"
+
+namespace spd3::instrument {
+
+bool hasClangFrontend() { return false; }
+
+FrontendResult instrumentSourceClang(const std::string &, const Options &,
+                                     const std::string &FileName,
+                                     const std::vector<std::string> &) {
+  FrontendResult R;
+  R.Ok = false;
+  R.Warnings.push_back(FileName +
+                       ": clang engine not compiled in "
+                       "(configure with -DSPD3_BUILD_FRONTEND=ON)");
+  return R;
+}
+
+} // namespace spd3::instrument

@@ -1,0 +1,193 @@
+//===- tools/spd3-instrument/main.cpp - CLI driver -------------------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// Usage:
+//   spd3-instrument INPUT -o OUTPUT [options]
+//
+//   --stats-header PATH   also emit a constexpr counters header
+//   --stats-name NAME     symbol name inside the stats header
+//   --engine micro|clang  rewriting engine (default micro)
+//   -I DIR                include dir (clang engine only, repeatable)
+//   --no-elide-locals / --no-elide-readonly / --no-elide-serial
+//   --no-coalesce / --no-elide (all four off)
+//   --quiet               suppress the per-TU stats line on stderr
+//
+// Exit status: 0 on success, 1 on usage/IO errors, 2 when the requested
+// engine is unavailable or failed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Frontend.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace spd3::instrument;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s INPUT -o OUTPUT [--stats-header PATH] "
+               "[--stats-name NAME] [--engine micro|clang] [-I DIR]... "
+               "[--no-elide-locals] [--no-elide-readonly] "
+               "[--no-elide-serial] [--no-coalesce] [--no-elide] [--quiet]\n",
+               Argv0);
+  return 1;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Data;
+  return Out.good();
+}
+
+/// Default stats symbol: input basename without extension, sanitized.
+std::string defaultStatsName(const std::string &Input) {
+  size_t Slash = Input.find_last_of("/\\");
+  std::string Base =
+      Slash == std::string::npos ? Input : Input.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  if (Dot != std::string::npos)
+    Base = Base.substr(0, Dot);
+  return Base.empty() ? "tu" : Base;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Input, Output, StatsHeader, StatsName, Engine = "micro";
+  std::vector<std::string> IncludeDirs;
+  Options Opts;
+  bool Quiet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "spd3-instrument: %s needs an argument\n", Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (A == "-o") {
+      const char *V = next("-o");
+      if (!V)
+        return 1;
+      Output = V;
+    } else if (A == "--stats-header") {
+      const char *V = next("--stats-header");
+      if (!V)
+        return 1;
+      StatsHeader = V;
+    } else if (A == "--stats-name") {
+      const char *V = next("--stats-name");
+      if (!V)
+        return 1;
+      StatsName = V;
+    } else if (A == "--engine") {
+      const char *V = next("--engine");
+      if (!V)
+        return 1;
+      Engine = V;
+    } else if (A == "-I") {
+      const char *V = next("-I");
+      if (!V)
+        return 1;
+      IncludeDirs.push_back(V);
+    } else if (A.rfind("-I", 0) == 0 && A.size() > 2) {
+      IncludeDirs.push_back(A.substr(2));
+    } else if (A == "--no-elide-locals") {
+      Opts.ElideLocals = false;
+    } else if (A == "--no-elide-readonly") {
+      Opts.ElideReadOnly = false;
+    } else if (A == "--no-elide-serial") {
+      Opts.ElideSerial = false;
+    } else if (A == "--no-coalesce") {
+      Opts.Coalesce = false;
+    } else if (A == "--no-elide") {
+      Opts.ElideLocals = Opts.ElideReadOnly = Opts.ElideSerial = false;
+      Opts.Coalesce = false;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else if (A == "-h" || A == "--help") {
+      usage(Argv[0]);
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "spd3-instrument: unknown option %s\n", A.c_str());
+      return usage(Argv[0]);
+    } else if (Input.empty()) {
+      Input = A;
+    } else {
+      std::fprintf(stderr, "spd3-instrument: multiple inputs\n");
+      return usage(Argv[0]);
+    }
+  }
+  if (Input.empty() || Output.empty())
+    return usage(Argv[0]);
+  if (Engine != "micro" && Engine != "clang") {
+    std::fprintf(stderr, "spd3-instrument: unknown engine '%s'\n",
+                 Engine.c_str());
+    return 1;
+  }
+
+  std::string Src;
+  if (!readFile(Input, Src)) {
+    std::fprintf(stderr, "spd3-instrument: cannot read %s\n", Input.c_str());
+    return 1;
+  }
+
+  FrontendResult R;
+  if (Engine == "clang") {
+    if (!hasClangFrontend()) {
+      std::fprintf(stderr,
+                   "spd3-instrument: clang engine not compiled in "
+                   "(reconfigure with -DSPD3_BUILD_FRONTEND=ON)\n");
+      return 2;
+    }
+    R = instrumentSourceClang(Src, Opts, Input, IncludeDirs);
+  } else {
+    R = instrumentSource(Src, Opts, Input);
+  }
+  for (const std::string &W : R.Warnings)
+    std::fprintf(stderr, "spd3-instrument: warning: %s\n", W.c_str());
+  if (!R.Ok) {
+    std::fprintf(stderr, "spd3-instrument: %s: instrumentation failed\n",
+                 Input.c_str());
+    return 2;
+  }
+
+  if (!writeFile(Output, R.Output)) {
+    std::fprintf(stderr, "spd3-instrument: cannot write %s\n", Output.c_str());
+    return 1;
+  }
+  if (!StatsHeader.empty()) {
+    std::string Name = StatsName.empty() ? defaultStatsName(Input) : StatsName;
+    if (!writeFile(StatsHeader, R.Stats.statsHeader(Name, Input))) {
+      std::fprintf(stderr, "spd3-instrument: cannot write %s\n",
+                   StatsHeader.c_str());
+      return 1;
+    }
+  }
+  if (!Quiet)
+    std::fprintf(stderr, "spd3-instrument: %s: %s\n", Input.c_str(),
+                 R.Stats.str().c_str());
+  return 0;
+}

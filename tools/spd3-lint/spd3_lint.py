@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""spd3-lint: instrumentation-discipline linter for kernel code.
+
+The detector only sees what kernels tell it. Hand-instrumented kernel code
+must therefore touch shared state exclusively through the Tracked wrappers
+(`TrackedArray::get/set`, `readRun`/`writeRun`) or the raw `mem::` event
+API; a plain subscript store into a captured container inside a task body
+is invisible to every detector and silently weakens the test/benchmark
+suite. The Clang front-end (tools/spd3-instrument) closes this hole for
+*auto*-instrumented code; this linter watches the hand-written kernels.
+
+Checks (all textual, tuned to this repo's idiom — this is a tripwire, not
+an analysis; `// spd3-lint: ok` on the offending line suppresses):
+
+  write-through-readrun   a pointer bound from readRun(...) is written
+                          through (`P[i] = ...`): the run was announced to
+                          the detector as a READ, so the write is
+                          unreported and the report is a lie.
+  untracked-shared-write  inside a task lambda (forAll / async /
+                          parallelFor body), a subscript store to a name
+                          that is neither a local of that lambda, nor a
+                          writeRun pointer, nor announced with mem:: on
+                          the same statement.
+  raw-escape              `.raw()` used outside the detector/test/bench
+                          layers: kernel code must not bypass the
+                          accessors.
+
+Usage:
+  spd3_lint.py FILE_OR_DIR...      lint kernel sources (exit 1 on findings)
+  spd3_lint.py --self-test         verify the rules on embedded snippets
+
+The CI leg is non-blocking (report-only): textual linting of C++ has
+false-positive modes, so findings gate review attention, not merges.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SUPPRESS = "spd3-lint: ok"
+
+# Names that open a task body; the lambda that follows runs in parallel.
+TASK_SPAWNERS = re.compile(
+    r"\b(forAll|forAllChunked|parallelFor|parallelForChunked|async)\s*\(")
+
+DECL = re.compile(
+    r"^\s*(?:const\s+)?(?:[A-Za-z_][\w:<>,\s*&]*?[\s*&])"
+    r"([A-Za-z_]\w*)\s*(?:=|\(|\{|;|\[)")
+READRUN_BIND = re.compile(r"[*&\s]([A-Za-z_]\w*)\s*=\s*[\w.]*\breadRun\s*\(")
+WRITERUN_BIND = re.compile(r"[*&\s]([A-Za-z_]\w*)\s*=\s*[\w.]*\bwriteRun\s*\(")
+SUBSCRIPT_STORE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\[[^\]]*\]\s*(?:[-+*/|&^]?=)[^=]")
+RAW_ESCAPE = re.compile(r"\.raw\s*\(\s*\)")
+
+# Layers allowed to use .raw(): the detector itself, tests asserting on
+# shadow state, and benches timing uninstrumented baselines.
+RAW_OK_PATH = re.compile(r"(^|/)(tests|bench|src/detector|src/baselines)(/|$)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, msg):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def strip_comments(line):
+    line = re.sub(r"//.*", "", line)
+    return re.sub(r"/\*.*?\*/", "", line)
+
+
+def lint_text(text, path="<snippet>"):
+    findings = []
+    readrun_ptrs = set()
+    writerun_ptrs = set()
+    # Stack of (depth_at_entry, locals) for open task lambdas.
+    task_stack = []
+    depth = 0
+    raw_ok = RAW_OK_PATH.search(path) is not None
+
+    for lineno, rawline in enumerate(text.splitlines(), 1):
+        if SUPPRESS in rawline:
+            depth += strip_comments(rawline).count("{")
+            depth -= strip_comments(rawline).count("}")
+            continue
+        line = strip_comments(rawline)
+
+        for m in READRUN_BIND.finditer(line):
+            readrun_ptrs.add(m.group(1))
+        for m in WRITERUN_BIND.finditer(line):
+            writerun_ptrs.add(m.group(1))
+
+        if not raw_ok and RAW_ESCAPE.search(line):
+            findings.append(Finding(
+                path, lineno, "raw-escape",
+                "`.raw()` bypasses instrumentation; use get/set or "
+                "readRun/writeRun (or move this code out of the kernel "
+                "layer)"))
+
+        # A spawner whose argument list contains a lambda introducer opens
+        # a task body at the current depth.
+        if TASK_SPAWNERS.search(line) and "[" in line:
+            task_stack.append((depth, set()))
+
+        in_task = bool(task_stack)
+        if in_task:
+            dm = DECL.match(line)
+            if dm and "=" not in line.split(dm.group(1))[0]:
+                task_stack[-1][1].add(dm.group(1))
+
+        for m in SUBSCRIPT_STORE.finditer(line):
+            name = m.group(1)
+            if name in readrun_ptrs:
+                findings.append(Finding(
+                    path, lineno, "write-through-readrun",
+                    f"store through `{name}`, which was announced to the "
+                    "detector as a readRun; use writeRun for the written "
+                    "span"))
+                continue
+            if not in_task:
+                continue
+            if name in writerun_ptrs:
+                continue
+            if any(name in locals_ for _, locals_ in task_stack):
+                continue
+            if "mem::" in line or ".set(" in line or "autoinst::" in line:
+                continue
+            findings.append(Finding(
+                path, lineno, "untracked-shared-write",
+                f"subscript store to captured `{name}` inside a task body "
+                "with no mem::/Tracked accessor: invisible to the "
+                "detector"))
+
+        depth += line.count("{")
+        depth -= line.count("}")
+        while task_stack and depth <= task_stack[-1][0]:
+            task_stack.pop()
+
+    return findings
+
+
+def lint_path(path):
+    findings = []
+    if os.path.isdir(path):
+        for root, _, files in os.walk(path):
+            for f in sorted(files):
+                if f.endswith((".cpp", ".h")):
+                    findings += lint_path(os.path.join(root, f))
+        return findings
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            return lint_text(fh.read(), path)
+    except OSError as e:
+        print(f"spd3-lint: cannot read {path}: {e.strerror}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def self_test():
+    bad_readrun = """
+void k(TrackedArray<int> &D) {
+  const int *In = D.readRun(0, 8);
+  In[3] = 5;
+}
+"""
+    bad_shared = """
+void k(Cfg &C) {
+  std::vector<int> V(8);
+  detail::forAll(C, 8, [&](size_t I) {
+    V[I] = 1;
+  });
+}
+"""
+    ok_patterns = """
+void k(Cfg &C, TrackedArray<int> &D) {
+  detail::forAll(C, 8, [&](size_t I) {
+    int *Out = D.writeRun(I, 1);
+    Out[0] = 1;
+    int Local[4];
+    Local[2] = 9;
+    D.set(I, 3);
+  });
+}
+"""
+    suppressed = """
+void k(Cfg &C) {
+  std::vector<int> V(8);
+  detail::forAll(C, 8, [&](size_t I) {
+    V[I] = 1; // spd3-lint: ok -- benign race demo, reported on purpose
+  });
+}
+"""
+    raw_in_kernel = "void k(TrackedArray<int> &D) { use(D.raw()); }\n"
+
+    checks = [
+        ("write-through-readrun", bad_readrun, "src/kernels/K.cpp", 1),
+        ("untracked-shared-write", bad_shared, "src/kernels/K.cpp", 1),
+        ("clean accessor idiom", ok_patterns, "src/kernels/K.cpp", 0),
+        ("suppression comment", suppressed, "src/kernels/K.cpp", 0),
+        ("raw-escape in kernels", raw_in_kernel, "src/kernels/K.cpp", 1),
+        ("raw ok in tests", raw_in_kernel, "tests/K.cpp", 0),
+    ]
+    failed = 0
+    for name, snippet, path, expect in checks:
+        got = lint_text(snippet, path)
+        if len(got) != expect:
+            print(f"self-test FAILED: {name}: expected {expect} findings, "
+                  f"got {len(got)}: {[str(g) for g in got]}",
+                  file=sys.stderr)
+            failed += 1
+    if failed:
+        return 1
+    print(f"self-test passed: {len(checks)} rule snippets behave")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.paths:
+        ap.error("need paths (or --self-test)")
+
+    findings = []
+    for p in args.paths:
+        findings += lint_path(p)
+    for f in findings:
+        print(f)
+    print(f"spd3-lint: {len(findings)} finding(s)")
+    sys.exit(1 if findings else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -63,8 +63,11 @@ SPD3_NO_SANITIZE_THREAD inline T st(T &L, V &&Val) {
 }
 
 /// Instrumented read-modify-write: report the read and the write, then
-/// hand the lvalue back for the caller's compound operator.
-template <typename T> inline T &upd(T &L) {
+/// hand the lvalue back for the caller's compound operator. Exempted from
+/// TSan like ld/st — monitored racy updates are the detector's subject.
+/// (The caller-side compound op itself runs outside this function and
+/// stays unexempted; suppress at the TU level for TSan-clean builds.)
+template <typename T> SPD3_NO_SANITIZE_THREAD inline T &upd(T &L) {
   mem::read(&L, sizeof(T));
   mem::write(&L, sizeof(T));
   return L;

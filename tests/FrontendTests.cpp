@@ -261,6 +261,247 @@ TEST(Frontend, StatsHeaderIsWellFormed) {
   EXPECT_TRUE(contains(H, "#pragma once"));
 }
 
+TEST(Frontend, NonRefCaptureLambdaIsConservativelyInstrumented) {
+  FrontendResult R = run(R"(
+void f() {
+  int X = 0;
+  int Sum = 0;
+  parallelFor(0, 100, [=](size_t I) {
+    int T = 0;
+    T = 5;
+    Sum = X;
+  });
+}
+)");
+  // A [=] capture list is out of the subset: body names alias by-value
+  // copies, so nothing inside may be elided — not even the step-local T —
+  // and the region is accounted and warned about, never silent.
+  EXPECT_GE(R.Stats.OutOfSubset, 1u);
+  EXPECT_FALSE(R.Warnings.empty());
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(Sum"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(X)"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(T"));
+  EXPECT_EQ(R.Stats.ElidedLocal, 0u);
+}
+
+TEST(Frontend, NamedCaptureLambdaIsOutOfSubset) {
+  FrontendResult R = run(R"(
+void f() {
+  int X = 0;
+  parallelFor(0, 100, [&, X](size_t I) {
+    int T = X;
+  });
+}
+)");
+  EXPECT_GE(R.Stats.OutOfSubset, 1u);
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(X)"));
+}
+
+TEST(Frontend, RuntimeBoundCoalescingIsGuarded) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f(std::vector<int> &Src, std::vector<int> &Dst, int A, int B) {
+  parallelFor(0, 4, [&](size_t T) {
+    for (int J = A; J < B; ++J)
+      Dst[J] = Src[J];
+  });
+}
+)");
+  // Runtime bounds may satisfy B <= A: the hoisted count must not wrap,
+  // so the range calls are guarded.
+  EXPECT_EQ(R.Stats.RangeCalls, 2u);
+  EXPECT_TRUE(contains(
+      R.Output,
+      "if ((A) < (B)) ::spd3::autoinst::stRange(&Dst[A], (B) - (A));"));
+  EXPECT_TRUE(contains(
+      R.Output,
+      "if ((A) < (B)) ::spd3::autoinst::ldRange(&Src[A], (B) - (A));"));
+  // Literal bounds (the other tests) stay unguarded: comparison is static.
+}
+
+TEST(Frontend, BreakInBodyPreventsCoalescing) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f(std::vector<int> &Dst) {
+  parallelFor(0, 4, [&](size_t T) {
+    for (int J = 0; J < 16; ++J) {
+      Dst[J] = 1;
+      break;
+    }
+  });
+}
+)");
+  // A break means the loop's static footprint over-reports what runs.
+  EXPECT_EQ(R.Stats.RangeCalls, 0u);
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(Dst[J]"));
+}
+
+TEST(Frontend, MutatedBoundPreventsCoalescing) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f(std::vector<int> &Dst) {
+  parallelFor(0, 4, [&](size_t T) {
+    int N = 16;
+    for (int J = 0; J < N; ++J) {
+      Dst[J] = 1;
+      N -= 1;
+    }
+  });
+}
+)");
+  // Bound changes mid-loop: Bound - Init evaluated before the loop is not
+  // the runtime footprint.
+  EXPECT_EQ(R.Stats.RangeCalls, 0u);
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(Dst[J]"));
+}
+
+TEST(Frontend, ZeroTripLiteralLoopEmitsNoRangeCall) {
+  FrontendResult R = run(R"(
+#include <vector>
+void f(std::vector<int> &Dst) {
+  parallelFor(0, 4, [&](size_t T) {
+    for (int J = 8; J < 8; ++J)
+      Dst[J] = 1;
+  });
+}
+)");
+  EXPECT_EQ(R.Stats.RangeCalls, 0u);
+  EXPECT_FALSE(contains(R.Output, "stRange"));
+}
+
+// ---- Clang LibTooling engine (runs only in the CI `frontend` leg) ------
+//
+// Equivalence-by-contract with the micro engine: same elision classes,
+// same wrapper events (st for assignments, not upd), fact-driven only.
+
+TEST(ClangEngine, WritesEmitStAndSubscriptsAreInstrumented) {
+  if (!hasClangFrontend())
+    GTEST_SKIP() << "clang engine not compiled in";
+  const char *Src = R"(
+template <typename F> void parallelFor(int, int, F);
+struct Vec { int &operator[](unsigned long); };
+void f(Vec &C, Vec &A, int N) {
+  int Serial = 0;
+  Serial = N;
+  int Buf[16];
+  parallelFor(0, N, [&](int I) {
+    int Local = 0;
+    Local = 5;
+    int Sum = A[I] + N;
+    C[I] = Sum;
+    Buf[I] = Sum;
+  });
+}
+)";
+  FrontendResult R = instrumentSourceClang(Src, {}, "snippet.cpp", {});
+  ASSERT_TRUE(R.Ok);
+  // Element stores via operator[] and plain arrays are st events (the
+  // hand-instrumentation contract), not upd.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(C[I]"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(Buf[I]"));
+  EXPECT_FALSE(contains(R.Output, "::spd3::autoinst::upd(C[I]"));
+  // Reads through a reference parameter are instrumented.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(A[I])"));
+  // Step-locals and serial accesses elide; read-only N elides.
+  EXPECT_FALSE(contains(R.Output, "st(Local"));
+  EXPECT_FALSE(contains(R.Output, "st(Serial"));
+  EXPECT_FALSE(contains(R.Output, "ld(N)"));
+  EXPECT_GE(R.Stats.ElidedLocal, 1u);
+  EXPECT_GE(R.Stats.ElidedSerial, 1u);
+}
+
+TEST(ClangEngine, TaskWrittenVarReadsAreInstrumented) {
+  if (!hasClangFrontend())
+    GTEST_SKIP() << "clang engine not compiled in";
+  const char *Src = R"(
+template <typename F> void parallelFor(int, int, F);
+void f() {
+  int X = 0;
+  parallelFor(0, 100, [&](int I) {
+    X = 1;
+  });
+  parallelFor(0, 100, [&](int I) {
+    int T = X;
+  });
+}
+)";
+  FrontendResult R = instrumentSourceClang(Src, {}, "snippet.cpp", {});
+  ASSERT_TRUE(R.Ok);
+  // X is written inside a task: its reads must never be elided as
+  // read-only — this is exactly the silent miss a fact-less analysis
+  // produces.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(X"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(X)"));
+}
+
+TEST(ClangEngine, AsyncPoisonsSerialAndReadOnlyElision) {
+  if (!hasClangFrontend())
+    GTEST_SKIP() << "clang engine not compiled in";
+  const char *Src = R"(
+template <typename F> void async(F);
+void f() {
+  int X = 1;
+  int Y = 0;
+  async([&] {
+    Y = X;
+  });
+  X = 2;
+}
+)";
+  FrontendResult R = instrumentSourceClang(Src, {}, "snippet.cpp", {});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(X"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::ld(X)"));
+  EXPECT_EQ(R.Stats.ElidedSerial, 0u);
+  EXPECT_EQ(R.Stats.ElidedReadOnly, 0u);
+}
+
+TEST(ClangEngine, AddressTakenAndRefBoundLocalsAreNotElided) {
+  if (!hasClangFrontend())
+    GTEST_SKIP() << "clang engine not compiled in";
+  const char *Src = R"(
+template <typename F> void parallelFor(int, int, F);
+void g(int *);
+void h(int &);
+void f() {
+  parallelFor(0, 100, [&](int I) {
+    int T = 0;
+    g(&T);
+    T = 5;
+    int U = 0;
+    h(U);
+    U = 6;
+  });
+}
+)";
+  FrontendResult R = instrumentSourceClang(Src, {}, "snippet.cpp", {});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(T"));
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(U"));
+}
+
+TEST(ClangEngine, VarHeldLambdaCalledFromTaskIsTaskCode) {
+  if (!hasClangFrontend())
+    GTEST_SKIP() << "clang engine not compiled in";
+  const char *Src = R"(
+template <typename F> void parallelFor(int, int, F);
+void f() {
+  int X = 0;
+  auto Helper = [&] {
+    X = 1;
+  };
+  parallelFor(0, 4, [&](int I) {
+    Helper();
+  });
+}
+)";
+  FrontendResult R = instrumentSourceClang(Src, {}, "snippet.cpp", {});
+  ASSERT_TRUE(R.Ok);
+  // Taint fixpoint: Helper's body runs inside tasks, so its write to the
+  // captured X is instrumented, not serial-elided.
+  EXPECT_TRUE(contains(R.Output, "::spd3::autoinst::st(X"));
+}
+
 TEST(Frontend, ClangEngineGatedGracefully) {
   // The container build compiles the stub: the clang engine must report
   // itself absent and fail without side effects.

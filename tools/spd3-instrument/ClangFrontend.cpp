@@ -2,16 +2,26 @@
 //
 // Part of the SPD3 reproduction (PLDI 2012).
 //
-// The spd3-instrument pass over real C++: a RecursiveASTVisitor walks the
-// main file's function bodies, classifies every scalar lvalue use against
-// the same three elision classes the micro engine implements (Frontend.h),
-// and splices spd3::autoinst wrappers through clang::Rewriter. Compiled
-// only under -DSPD3_BUILD_FRONTEND=ON with Clang dev headers present; the
-// optional CI `frontend` job exercises it.
+// The spd3-instrument pass over real C++, in two passes per TU:
+//
+//  1. FactsPass gathers per-variable escape facts (address-of, reference
+//     binding, task-context writes, captures) and the set of task-body
+//     lambdas, iterated to a fixpoint so var-held lambdas used from task
+//     code taint like the micro engine's LambdaUses fixpoint. It also
+//     records whether the TU calls `async` at all (the elision poison).
+//  2. Pass classifies every resolved access — scalar DeclRefExprs plus
+//     full subscript extents (ArraySubscriptExpr and operator[]) — against
+//     the three elision classes (Frontend.h) using ONLY gathered facts,
+//     and splices spd3::autoinst wrappers through clang::Rewriter:
+//     ld for reads, st for statement assignments (event contract: the
+//     write is reported, then performed), upd for compound updates.
+//
+// Compiled only under -DSPD3_BUILD_FRONTEND=ON with Clang dev headers
+// present; the optional CI `frontend` job exercises it.
 //
 // Scope note: this engine reuses the micro engine's decisions where the
-// AST gives no extra leverage (loop coalescing stays syntactic) and leans
-// on the AST for what text analysis cannot prove: exact lvalue extents,
+// AST gives no extra leverage (it does no loop coalescing) and leans on
+// the AST for what text analysis cannot prove: exact lvalue extents,
 // reference binding, and capture lists.
 //
 //===----------------------------------------------------------------------===//
@@ -20,7 +30,9 @@
 
 #include "clang/AST/ASTConsumer.h"
 #include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
 #include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/OperatorKinds.h"
 #include "clang/Basic/SourceManager.h"
 #include "clang/Frontend/CompilerInstance.h"
 #include "clang/Frontend/FrontendAction.h"
@@ -29,119 +41,453 @@
 #include "clang/Tooling/Tooling.h"
 
 #include <map>
+#include <set>
 
 namespace spd3::instrument {
 namespace {
 
 using namespace clang;
 
-/// One declared variable's escape facts, gathered in a first pass.
+/// One declared variable's escape facts, gathered by FactsPass before any
+/// rewriting decision is made.
 struct VarFacts {
-  bool AddressTaken = false;
-  bool PassedByRef = false;
-  bool WrittenInTask = false;
-  bool DeclaredInTask = false;
-  bool CapturedByNestedTask = false;
+  bool AddressTaken = false;   ///< `&v`, or a reference/pointer bound to v
+  bool PassedByRef = false;    ///< bound to a reference/pointer parameter
+  bool WrittenInTask = false;  ///< assigned / updated in task context
+  bool DeclaredInTask = false; ///< declared inside a task body
+  bool CapturedByLambda = false; ///< appears in any lambda's capture list
 };
 
-bool isSpawnCallee(const FunctionDecl *FD) {
-  if (!FD)
-    return false;
-  StringRef N = FD->getName();
-  return N == "async" || N == "parallelFor" || N == "parallelForChunked" ||
-         N == "forAll";
+using FactsMap = std::map<const VarDecl *, VarFacts>;
+using TaskSet = std::set<const LambdaExpr *>;
+using LambdaVarMap = std::map<const VarDecl *, const LambdaExpr *>;
+
+bool namedCallee(const FunctionDecl *FD, StringRef Name) {
+  return FD && FD->getDeclName().isIdentifier() && FD->getName() == Name;
 }
 
+bool isSpawnCallee(const FunctionDecl *FD) {
+  return namedCallee(FD, "async") || namedCallee(FD, "parallelFor") ||
+         namedCallee(FD, "parallelForChunked") || namedCallee(FD, "forAll");
+}
+
+/// Bare variable reference (after parens and implicit casts, so decayed
+/// arrays qualify), or null.
+const VarDecl *varOf(const Expr *E) {
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E->IgnoreParenImpCasts()))
+    return dyn_cast<VarDecl>(DRE->getDecl());
+  return nullptr;
+}
+
+/// The declared variable at the root of an access path: peel subscripts
+/// (both array and operator[] forms) and member selections down to a
+/// DeclRefExpr. Null when the path roots anywhere else.
+const VarDecl *baseVarOf(const Expr *E) {
+  E = E->IgnoreParenImpCasts();
+  for (;;) {
+    if (const auto *ASE = dyn_cast<ArraySubscriptExpr>(E)) {
+      E = ASE->getBase()->IgnoreParenImpCasts();
+      continue;
+    }
+    if (const auto *OCE = dyn_cast<CXXOperatorCallExpr>(E)) {
+      if (OCE->getOperator() == OO_Subscript && OCE->getNumArgs() >= 1) {
+        E = OCE->getArg(0)->IgnoreParenImpCasts();
+        continue;
+      }
+    }
+    if (const auto *ME = dyn_cast<MemberExpr>(E)) {
+      E = ME->getBase()->IgnoreParenImpCasts();
+      continue;
+    }
+    break;
+  }
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+    return dyn_cast<VarDecl>(DRE->getDecl());
+  return nullptr;
+}
+
+/// Pass 1: fact gathering. Must run (to fixpoint) before Pass makes any
+/// elision decision — default-false facts would silently elide reads of
+/// variables that ARE written in tasks.
+class FactsPass : public RecursiveASTVisitor<FactsPass> {
+public:
+  FactsPass(FactsMap &Facts, TaskSet &TaskLambdas, LambdaVarMap &LambdaOfVar,
+            bool &HasAsync)
+      : Facts(Facts), TaskLambdas(TaskLambdas), LambdaOfVar(LambdaOfVar),
+        HasAsync(HasAsync) {}
+
+  bool shouldVisitImplicitCode() const { return false; }
+
+  bool TraverseLambdaExpr(LambdaExpr *LE) {
+    // Captures (explicit and implicit) disqualify a task-declared local
+    // from the step-local class: the capturing lambda is another route to
+    // the storage.
+    for (const LambdaCapture &C : LE->captures())
+      if (C.capturesVariable())
+        if (auto *VD = dyn_cast<VarDecl>(C.getCapturedVar()))
+          Facts[VD].CapturedByLambda = true;
+    bool WasTask = InTask;
+    if (TaskLambdas.count(LE))
+      InTask = true;
+    bool R = RecursiveASTVisitor<FactsPass>::TraverseLambdaExpr(LE);
+    InTask = WasTask;
+    return R;
+  }
+
+  bool VisitVarDecl(VarDecl *VD) {
+    VarFacts &F = Facts[VD];
+    if (InTask)
+      F.DeclaredInTask = true;
+    if (!VD->hasInit())
+      return true;
+    const Expr *Init = VD->getInit()->IgnoreParenImpCasts();
+    if (const auto *LE = dyn_cast<LambdaExpr>(Init)) {
+      LambdaOfVar[VD] = LE;
+    } else if (VD->getType()->isReferenceType() ||
+               VD->getType()->isPointerType()) {
+      // `int &r = x` / `int *p = arr`: another name now reaches x.
+      if (const VarDecl *Aliased = baseVarOf(VD->getInit()))
+        Facts[Aliased].AddressTaken = true;
+    }
+    return true;
+  }
+
+  bool VisitDeclRefExpr(DeclRefExpr *DRE) {
+    // Any use of a var-held lambda from task context taints its body as
+    // task code (micro engine's LambdaUses fixpoint).
+    if (!InTask)
+      return true;
+    if (const auto *VD = dyn_cast<VarDecl>(DRE->getDecl())) {
+      auto It = LambdaOfVar.find(VD);
+      if (It != LambdaOfVar.end())
+        TaskLambdas.insert(It->second);
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr *CE) {
+    if (isa<CXXOperatorCallExpr>(CE) || isa<CXXMemberCallExpr>(CE))
+      return true; // dedicated visitors; arg/param alignment differs
+    const FunctionDecl *FD = CE->getDirectCallee();
+    if (namedCallee(FD, "async"))
+      HasAsync = true;
+    if (isSpawnCallee(FD))
+      for (const Expr *Arg : CE->arguments())
+        markTaskArg(Arg);
+    noteArgBindings(CE, FD, /*ArgOffset=*/0);
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(CXXMemberCallExpr *CE) {
+    // v.m(...): a non-const method may mutate or retain v through `this`.
+    if (const VarDecl *VD = baseVarOf(CE->getImplicitObjectArgument())) {
+      const auto *MD = dyn_cast_or_null<CXXMethodDecl>(CE->getDirectCallee());
+      if (!MD || !MD->isConst()) {
+        Facts[VD].PassedByRef = true;
+        if (InTask)
+          Facts[VD].WrittenInTask = true;
+      }
+    }
+    noteArgBindings(CE, CE->getDirectCallee(), /*ArgOffset=*/0);
+    return true;
+  }
+
+  bool VisitCXXOperatorCallExpr(CXXOperatorCallExpr *CE) {
+    OverloadedOperatorKind Op = CE->getOperator();
+    if (Op == OO_Subscript || Op == OO_Call)
+      return true; // access path / invocation (taint runs off the DRE)
+    // Any other overloaded operator applied to a named object may mutate
+    // it (`v += w`, `os << v`, ...).
+    if (CE->getNumArgs() >= 1)
+      if (const VarDecl *VD = varOf(CE->getArg(0))) {
+        Facts[VD].PassedByRef = true;
+        if (InTask)
+          Facts[VD].WrittenInTask = true;
+      }
+    return true;
+  }
+
+  bool VisitBinaryOperator(BinaryOperator *BO) {
+    if (!BO->isAssignmentOp() || !InTask)
+      return true;
+    if (const VarDecl *VD = baseVarOf(BO->getLHS()))
+      Facts[VD].WrittenInTask = true;
+    return true;
+  }
+
+  bool VisitUnaryOperator(UnaryOperator *UO) {
+    if (UO->getOpcode() == UO_AddrOf) {
+      if (const VarDecl *VD = baseVarOf(UO->getSubExpr()))
+        Facts[VD].AddressTaken = true;
+    } else if (UO->isIncrementDecrementOp() && InTask) {
+      if (const VarDecl *VD = baseVarOf(UO->getSubExpr()))
+        Facts[VD].WrittenInTask = true;
+    }
+    return true;
+  }
+
+private:
+  void markTaskArg(const Expr *Arg) {
+    if (const auto *LE = dyn_cast<LambdaExpr>(Arg->IgnoreImplicit())) {
+      TaskLambdas.insert(LE);
+      return;
+    }
+    if (const VarDecl *VD = varOf(Arg)) {
+      auto It = LambdaOfVar.find(VD);
+      if (It != LambdaOfVar.end())
+        TaskLambdas.insert(It->second);
+    }
+  }
+
+  /// Record reference/pointer parameter bindings for bare variable
+  /// arguments. Unknown callees and surplus (variadic) arguments are
+  /// conservatively escapes.
+  void noteArgBindings(const CallExpr *CE, const FunctionDecl *FD,
+                       unsigned ArgOffset) {
+    for (unsigned I = ArgOffset; I < CE->getNumArgs(); ++I) {
+      const VarDecl *VD = varOf(CE->getArg(I));
+      if (!VD)
+        continue;
+      unsigned P = I - ArgOffset;
+      if (!FD || P >= FD->getNumParams()) {
+        Facts[VD].PassedByRef = true;
+        continue;
+      }
+      QualType PT = FD->getParamDecl(P)->getType();
+      if (PT->isReferenceType() || PT->isPointerType())
+        Facts[VD].PassedByRef = true;
+    }
+  }
+
+  FactsMap &Facts;
+  TaskSet &TaskLambdas;
+  LambdaVarMap &LambdaOfVar;
+  bool &HasAsync;
+  bool InTask = false;
+};
+
+/// Pass 2: classification + rewriting, consuming FactsPass output only.
 class Pass : public RecursiveASTVisitor<Pass> {
 public:
-  Pass(ASTContext &Ctx, Rewriter &RW, const Options &Opts, TuStats &Stats)
-      : Ctx(Ctx), RW(RW), Opts(Opts), Stats(Stats),
+  Pass(ASTContext &Ctx, Rewriter &RW, const Options &Opts, TuStats &Stats,
+       const FactsMap &Facts, const TaskSet &TaskLambdas, bool HasAsync)
+      : Ctx(Ctx), RW(RW), Opts(Opts), Stats(Stats), Facts(Facts),
+        TaskLambdas(TaskLambdas), HasAsync(HasAsync),
         SM(Ctx.getSourceManager()) {}
 
   bool shouldVisitImplicitCode() const { return false; }
 
   bool TraverseLambdaExpr(LambdaExpr *LE) {
     bool WasTask = InTask;
-    if (PendingTaskLambda == LE)
+    if (TaskLambdas.count(LE))
       InTask = true;
     bool R = RecursiveASTVisitor<Pass>::TraverseLambdaExpr(LE);
     InTask = WasTask;
     return R;
   }
 
-  bool VisitCallExpr(CallExpr *CE) {
-    if (isSpawnCallee(CE->getDirectCallee()))
-      for (Expr *Arg : CE->arguments())
-        if (auto *LE = dyn_cast<LambdaExpr>(Arg->IgnoreImplicit()))
-          PendingTaskLambda = LE;
-    return true;
-  }
-
   bool VisitDeclRefExpr(DeclRefExpr *DRE) {
     auto *VD = dyn_cast<VarDecl>(DRE->getDecl());
     if (!VD || !SM.isWrittenInMainFile(DRE->getBeginLoc()))
       return true;
-    if (!VD->getType()->isScalarType() &&
-        !VD->getType()->isConstantArrayType())
+    // Aggregates are reached through their subscript extents; a bare
+    // aggregate name is an escape FactsPass already recorded, not an
+    // access.
+    if (!VD->getType().getNonReferenceType()->isScalarType())
       return true;
-    ++Stats.Candidates;
-    VarFacts &F = Facts[VD];
-    bool Local = InTask && F.DeclaredInTask && !F.AddressTaken &&
-                 !F.CapturedByNestedTask;
-    if (!InTask) {
-      if (Opts.ElideSerial && !HasAsync) {
-        ++Stats.ElidedSerial;
-        return true;
-      }
-    } else if (Opts.ElideLocals && Local) {
-      ++Stats.ElidedLocal;
-      return true;
-    } else if (Opts.ElideReadOnly && !HasAsync && !isWrite(DRE) &&
-               (VD->getType().isConstQualified() ||
-                (!F.AddressTaken && !F.PassedByRef && !F.WrittenInTask))) {
-      ++Stats.ElidedReadOnly;
-      return true;
-    }
-    wrap(DRE);
+    if (isSubscriptBase(DRE))
+      return true; // the enclosing subscript is the access extent
+    handleAccess(DRE, VD);
     return true;
   }
 
-  bool HasAsync = false;
+  bool VisitArraySubscriptExpr(ArraySubscriptExpr *ASE) {
+    if (!SM.isWrittenInMainFile(ASE->getBeginLoc()) || isSubscriptBase(ASE))
+      return true;
+    if (const VarDecl *VD = baseVarOf(ASE))
+      handleAccess(ASE, VD);
+    return true;
+  }
+
+  bool VisitCXXOperatorCallExpr(CXXOperatorCallExpr *CE) {
+    if (CE->getOperator() != OO_Subscript || CE->getNumArgs() < 1)
+      return true;
+    if (!SM.isWrittenInMainFile(CE->getBeginLoc()) || isSubscriptBase(CE))
+      return true;
+    if (const VarDecl *VD = baseVarOf(CE))
+      handleAccess(CE, VD);
+    return true;
+  }
 
 private:
-  bool isWrite(const Expr *E) const {
-    DynTypedNodeList Parents = Ctx.getParents(*E);
+  enum class Dir { Read, Assign, Update };
+
+  /// Nearest enclosing statement node, climbing implicit casts and parens.
+  const Stmt *semanticParent(const Stmt *S) const {
+    DynTypedNodeList Parents = Ctx.getParents(*S);
     if (Parents.empty())
-      return false;
-    if (const auto *BO = Parents[0].get<BinaryOperator>())
-      return BO->isAssignmentOp() && BO->getLHS()->IgnoreParens() == E;
-    if (const auto *UO = Parents[0].get<UnaryOperator>())
-      return UO->isIncrementDecrementOp();
+      return nullptr;
+    const Stmt *P = Parents[0].get<Stmt>();
+    while (P && (isa<ImplicitCastExpr>(P) || isa<ParenExpr>(P))) {
+      DynTypedNodeList Up = Ctx.getParents(*P);
+      if (Up.empty())
+        return nullptr;
+      P = Up[0].get<Stmt>();
+    }
+    return P;
+  }
+
+  bool isSubscriptBase(const Expr *E) const {
+    const Stmt *P = semanticParent(E);
+    if (const auto *A = dyn_cast_or_null<ArraySubscriptExpr>(P))
+      return A->getBase()->IgnoreParenImpCasts() == E;
+    if (const auto *C = dyn_cast_or_null<CXXOperatorCallExpr>(P))
+      return C->getOperator() == OO_Subscript && C->getNumArgs() >= 1 &&
+             C->getArg(0)->IgnoreParenImpCasts() == E;
     return false;
   }
 
-  void wrap(Expr *E) {
-    SourceRange R = E->getSourceRange();
-    if (!R.isValid() || Wrapped.count(R.getBegin()))
+  /// True when \p E is an argument binding to a non-const reference
+  /// parameter: an alias formation, not a value read — wrapping it would
+  /// pass a temporary where an lvalue is required.
+  bool bindsToNonConstRef(const Expr *E, const Stmt *P) const {
+    const auto *CE = dyn_cast_or_null<CallExpr>(P);
+    if (!CE)
+      return false;
+    const FunctionDecl *FD = CE->getDirectCallee();
+    if (!FD)
+      return false;
+    unsigned Off =
+        isa<CXXOperatorCallExpr>(CE) && isa<CXXMethodDecl>(FD) ? 1 : 0;
+    for (unsigned I = Off; I < CE->getNumArgs(); ++I) {
+      if (CE->getArg(I)->IgnoreParenImpCasts() != E)
+        continue;
+      unsigned PI = I - Off;
+      if (PI >= FD->getNumParams())
+        return false;
+      QualType PT = FD->getParamDecl(PI)->getType();
+      return PT->isReferenceType() &&
+             !PT.getNonReferenceType().isConstQualified();
+    }
+    return false;
+  }
+
+  /// True when \p E initializes a reference declaration (`int &r = x`).
+  bool isRefDeclInit(const Expr *E) const {
+    DynTypedNodeList Parents = Ctx.getParents(*E);
+    while (!Parents.empty()) {
+      if (const auto *VD = Parents[0].get<VarDecl>())
+        return VD->getType()->isReferenceType();
+      const Stmt *S = Parents[0].get<Stmt>();
+      if (!S || !(isa<ImplicitCastExpr>(S) || isa<ParenExpr>(S)))
+        return false;
+      Parents = Ctx.getParents(*S);
+    }
+    return false;
+  }
+
+  Dir dirOf(const Expr *E, const Stmt *P, const BinaryOperator *&BO) const {
+    BO = nullptr;
+    if (const auto *B = dyn_cast_or_null<BinaryOperator>(P)) {
+      if (B->isAssignmentOp() && B->getLHS()->IgnoreParenImpCasts() == E) {
+        if (B->getOpcode() == BO_Assign) {
+          BO = B;
+          return Dir::Assign;
+        }
+        return Dir::Update; // compound assignment
+      }
+    } else if (const auto *U = dyn_cast_or_null<UnaryOperator>(P)) {
+      if (U->isIncrementDecrementOp())
+        return Dir::Update;
+    }
+    return Dir::Read;
+  }
+
+  void handleAccess(Expr *E, const VarDecl *VD) {
+    const Stmt *P = semanticParent(E);
+    if (const auto *U = dyn_cast_or_null<UnaryOperator>(P))
+      if (U->getOpcode() == UO_AddrOf)
+        return; // address formation; FactsPass recorded the escape
+    if (bindsToNonConstRef(E, P) || isRefDeclInit(E))
+      return; // alias formation; accesses through the alias are checked
+    ++Stats.Candidates;
+    const BinaryOperator *AssignBO = nullptr;
+    Dir D = dirOf(E, P, AssignBO);
+    // Facts default to "escapes everywhere" when the gathering pass never
+    // saw the variable: the safe failure mode is instrumentation.
+    VarFacts F;
+    auto It = Facts.find(VD);
+    if (It != Facts.end())
+      F = It->second;
+    else
+      F.AddressTaken = F.PassedByRef = F.WrittenInTask = true;
+    QualType T = VD->getType();
+    bool IsConst = T.getNonReferenceType().isConstQualified();
+    bool RefLike = T->isReferenceType() || T->isPointerType();
+    if (!InTask) {
+      if (Opts.ElideSerial && !HasAsync) {
+        ++Stats.ElidedSerial;
+        return;
+      }
+    } else if (Opts.ElideLocals && F.DeclaredInTask && !RefLike &&
+               !F.AddressTaken && !F.PassedByRef && !F.CapturedByLambda) {
+      ++Stats.ElidedLocal;
       return;
-    Wrapped.insert(R.getBegin());
+    } else if (Opts.ElideReadOnly && !HasAsync && D == Dir::Read &&
+               (IsConst || (!RefLike && !F.AddressTaken && !F.PassedByRef &&
+                            !F.WrittenInTask))) {
+      ++Stats.ElidedReadOnly;
+      return;
+    }
+    wrap(E, D, AssignBO);
+  }
+
+  void wrap(Expr *E, Dir D, const BinaryOperator *BO) {
+    SourceRange R = E->getSourceRange();
+    if (!R.isValid())
+      return;
+    // For st the wrapper must open before the full (possibly
+    // parenthesized) LHS so the replaced `=` stays inside the call.
+    SourceLocation Anchor =
+        D == Dir::Assign ? BO->getLHS()->getBeginLoc() : R.getBegin();
+    if (!Wrapped.insert(Anchor).second)
+      return;
     ++Stats.Instrumented;
-    const char *Fn = isWrite(E) ? "upd" : "ld";
-    RW.InsertTextBefore(R.getBegin(),
-                        (llvm::Twine("::spd3::autoinst::") + Fn + "(").str());
-    SourceLocation End = Lexer::getLocForEndOfToken(R.getEnd(), 0, SM,
-                                                    Ctx.getLangOpts());
-    RW.InsertTextAfter(End, ")");
+    SourceLocation End =
+        Lexer::getLocForEndOfToken(R.getEnd(), 0, SM, Ctx.getLangOpts());
+    switch (D) {
+    case Dir::Read:
+      RW.InsertTextBefore(Anchor, "::spd3::autoinst::ld(");
+      RW.InsertTextAfter(End, ")");
+      break;
+    case Dir::Update:
+      // upd returns the lvalue: `upd(x) += v`, `++upd(x)`, `upd(x)++`.
+      RW.InsertTextBefore(Anchor, "::spd3::autoinst::upd(");
+      RW.InsertTextAfter(End, ")");
+      break;
+    case Dir::Assign: {
+      // lhs = rhs → st(lhs, rhs): replace the `=` with a comma and close
+      // after the full RHS; st returns the stored value, so embedded
+      // assignment expressions keep their value.
+      RW.InsertTextBefore(Anchor, "::spd3::autoinst::st(");
+      RW.ReplaceText(BO->getOperatorLoc(), 1, ",");
+      SourceLocation RhsEnd = Lexer::getLocForEndOfToken(
+          BO->getRHS()->getEndLoc(), 0, SM, Ctx.getLangOpts());
+      RW.InsertTextAfter(RhsEnd, ")");
+      break;
+    }
+    }
   }
 
   ASTContext &Ctx;
   Rewriter &RW;
   Options Opts;
   TuStats &Stats;
+  const FactsMap &Facts;
+  const TaskSet &TaskLambdas;
+  bool HasAsync;
   const SourceManager &SM;
   bool InTask = false;
-  LambdaExpr *PendingTaskLambda = nullptr;
-  std::map<const VarDecl *, VarFacts> Facts;
   std::set<SourceLocation> Wrapped;
 };
 
@@ -151,7 +497,20 @@ public:
       : RW(RW), Opts(Opts), Stats(Stats) {}
 
   void HandleTranslationUnit(ASTContext &Ctx) override {
-    Pass P(Ctx, RW, Opts, Stats);
+    FactsMap Facts;
+    TaskSet TaskLambdas;
+    LambdaVarMap LambdaOfVar;
+    bool HasAsync = false;
+    // Fact gathering iterates to a fixpoint: tainting a var-held lambda
+    // as task code can surface new task-context writes and captures.
+    size_t Before;
+    do {
+      Before = TaskLambdas.size();
+      Facts.clear();
+      FactsPass FP(Facts, TaskLambdas, LambdaOfVar, HasAsync);
+      FP.TraverseDecl(Ctx.getTranslationUnitDecl());
+    } while (TaskLambdas.size() != Before);
+    Pass P(Ctx, RW, Opts, Stats, Facts, TaskLambdas, HasAsync);
     P.TraverseDecl(Ctx.getTranslationUnitDecl());
   }
 

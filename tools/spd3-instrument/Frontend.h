@@ -44,7 +44,12 @@
 /// Additionally, stride-1 accesses in innermost counted loops are
 /// *coalesced*: the per-element checks are replaced by one hoisted
 /// ldRange/stRange covering exactly the loop's footprint, matching the
-/// batched range events hand instrumentation uses.
+/// batched range events hand instrumentation uses. Hoisting demands the
+/// footprint be provable: bodies with control transfers (break, continue,
+/// return, goto, nested control flow) are excluded, the counter, bounds,
+/// and base names must be loop-invariant, and non-literal bounds emit the
+/// range call behind an `Init < Bound` guard so a zero-trip loop cannot
+/// wrap the count.
 ///
 /// ## The micro subset
 ///
@@ -54,9 +59,14 @@
 /// increments, counted `for` loops, `[&]` lambdas, and calls. Spawn
 /// constructs are recognized by callee name (async, parallelFor,
 /// parallelForChunked, forAll); `RT.run(...)`'s lambda is the root task.
-/// Constructs outside the subset are left untouched and counted in
-/// Stats.OutOfSubset (never silently mis-instrumented: unrecognized
-/// *assignment shapes* are conservatively wrapped read+write). It assumes
+/// Constructs outside the subset are counted in Stats.OutOfSubset and
+/// handled in the conservative direction — never silently
+/// under-instrumented: unrecognized *assignment shapes* are wrapped
+/// read+write, and lambdas with any capture list other than a bare `[&]`
+/// ([=], [x], [&, x], ...) are treated as task bodies whose accesses are
+/// always instrumented, with every elision class disabled inside them
+/// (capture-by-copy changes which location an identifier names, so no
+/// escape fact derived from the enclosing scope may be trusted). It assumes
 /// synchronous callees do not retain argument pointers and const
 /// references are not mutated through other aliases during parallel
 /// phases — assumptions the twin sources honor and DESIGN.md §9 states.

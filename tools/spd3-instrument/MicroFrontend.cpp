@@ -54,6 +54,19 @@ bool isTypeMod(std::string_view S) {
   return S == "unsigned" || S == "signed" || S == "long" || S == "short";
 }
 
+/// \p S is a plain decimal literal → its value in \p Out.
+bool decimalValue(const std::string &S, unsigned long long &Out) {
+  if (S.empty())
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<unsigned long long>(C - '0');
+  }
+  return true;
+}
+
 /// Self-joining spawn constructs: the lambda is a task body, and the call
 /// does not return until every spawned task joined.
 bool isSpawnName(std::string_view S) {
@@ -84,6 +97,7 @@ struct Region {
   uint32_t IntroTok; ///< the `[` of the lambda introducer
   uint32_t BodyL, BodyR; ///< token indices of the body braces
   bool Task;    ///< spawn-construct argument (or conservative unknown)
+  bool Oos;     ///< out of subset (non-[&] captures): never elide inside
   bool Tainted; ///< plain lambda reached from task code (fixpoint)
   int VarId;    ///< for `auto F = [&]...`: the holding variable
   int Parent;   ///< innermost strictly-enclosing region
@@ -167,6 +181,7 @@ private:
   void findDecls();
   bool tryDecl(size_t I, uint32_t ScopeEnd);
   void findLoops();
+  bool mutatesIdent(uint32_t B, uint32_t E, std::string_view Name) const;
   uint32_t scopeEndFor(size_t I) const;
   int innermostRegion(size_t TokIdx) const;
   int effectiveTask(int RegionIdx) const;
@@ -286,10 +301,18 @@ void Micro::registerParams(size_t LParen, uint32_t ScopeEnd, int DeclRegion) {
 }
 
 void Micro::findRegions() {
-  for (size_t I = 0; I + 2 < Toks.size(); ++I) {
-    if (!(is(I, "[") && is(I + 1, "&") && is(I + 2, "]")))
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (!is(I, "[") || Match[I] < 0)
       continue;
-    size_t J = I + 3;
+    // A lambda introducer cannot directly follow a value: after an
+    // identifier, number, `)` or `]` the bracket is a subscript or an
+    // array declarator, never a capture list.
+    if (I > 0 && (Toks[I - 1].K == Token::Ident ||
+                  Toks[I - 1].K == Token::Number || is(I - 1, ")") ||
+                  is(I - 1, "]")))
+      continue;
+    size_t CapR = static_cast<size_t>(Match[I]);
+    size_t J = CapR + 1;
     size_t LParen = 0;
     if (J < Toks.size() && is(J, "(")) {
       LParen = J;
@@ -299,11 +322,13 @@ void Micro::findRegions() {
     }
     if (J >= Toks.size() || !is(J, "{") || Match[J] < 0)
       continue;
+    bool RefCapture = CapR == I + 2 && is(I + 1, "&");
     Region R;
     R.IntroTok = static_cast<uint32_t>(I);
     R.BodyL = static_cast<uint32_t>(J);
     R.BodyR = static_cast<uint32_t>(Match[J]);
     R.Task = false;
+    R.Oos = false;
     R.Tainted = false;
     R.VarId = -1;
     R.Parent = -1;
@@ -344,15 +369,27 @@ void Micro::findRegions() {
     } else if (I > 0 && is(I - 1, "=")) {
       Recognized = true; // var-held lambda; taint fixpoint decides
     }
-    if (!Recognized) {
+    if (!RefCapture) {
+      // Out-of-subset capture list ([=], [x], [&, y], []): by-value
+      // captures make body names alias copies a per-name analysis cannot
+      // follow. Conservatively a task body — nothing inside it is ever
+      // elided — and loudly accounted.
+      R.Task = true;
+      R.Oos = true;
+      ++Stats.OutOfSubset;
+      warn(Toks[I].Begin, "lambda with non-[&] capture list treated as "
+                          "task body (out of subset)");
+    } else if (!Recognized) {
       // Unknown introducer: conservatively a task body (never under-check).
       R.Task = true;
+      R.Oos = true;
       ++Stats.OutOfSubset;
       warn(Toks[I].Begin, "lambda with unrecognized introducer treated as "
                           "task body (out of subset)");
     }
-    // Lambda intro + params are declaration syntax.
-    Skip[I] = Skip[I + 1] = Skip[I + 2] = 1;
+    // Lambda intro (including the capture list) is declaration syntax.
+    for (size_t K = I; K <= CapR; ++K)
+      Skip[K] = 1;
     Regions.push_back(R);
     int Idx = static_cast<int>(Regions.size()) - 1;
     if (LParen)
@@ -472,10 +509,14 @@ bool Micro::tryDecl(size_t I, uint32_t ScopeEnd) {
   }
   if (F == "[")
     V.IsArray = true;
-  if (F == "=" && is(NameTok + 2, "[") && is(NameTok + 3, "&") &&
-      is(NameTok + 4, "]")) {
-    V.IsLambda = true;
-    V.IntroTok = static_cast<uint32_t>(NameTok + 2);
+  if (F == "=" && is(NameTok + 2, "[") && Match[NameTok + 2] > 0) {
+    // `auto F = [...]...` — any capture list; findRegions classified the
+    // body (non-[&] captures are conservative task bodies).
+    size_t AfterCap = static_cast<size_t>(Match[NameTok + 2]) + 1;
+    if (AfterCap < Toks.size() && (is(AfterCap, "(") || is(AfterCap, "{"))) {
+      V.IsLambda = true;
+      V.IntroTok = static_cast<uint32_t>(NameTok + 2);
+    }
   }
   V.Name = std::string(txt(NameTok));
   V.DeclTok = static_cast<uint32_t>(NameTok);
@@ -581,9 +622,9 @@ void Micro::findLoops() {
       }
     }
     bool Counted = false;
+    size_t Assign = 0;
     if (Semi1 && Semi2) {
       // init: ... V = Init ;
-      size_t Assign = 0;
       D = 0;
       for (size_t J = HdrL + 1; J < Semi1; ++J) {
         std::string_view T = txt(J);
@@ -633,16 +674,64 @@ void Micro::findLoops() {
     for (uint32_t J = L.BodyB; J <= L.BodyE && Simple; ++J) {
       if (Toks[J].K == Token::Ident &&
           (is(J, "for") || is(J, "while") || is(J, "if") || is(J, "do") ||
-           is(J, "switch")))
-        Simple = false;
+           is(J, "switch") || is(J, "break") || is(J, "continue") ||
+           is(J, "return") || is(J, "goto")))
+        Simple = false; // body may not execute every iteration's accesses
       if (Toks[J].K == Token::Punct && is(J, "?"))
         Simple = false;
     }
     bool StmtPos =
         I == 0 || is(I - 1, ";") || is(I - 1, "{") || is(I - 1, "}");
-    L.Hoistable = Counted && Simple && StmtPos;
+    // Hoisting evaluates Init/Bound once, before the loop: the counter and
+    // every name they mention must be loop-invariant or the hoisted count
+    // is not the runtime footprint.
+    bool Invariant = true;
+    if (Counted) {
+      std::set<std::string> Hdr;
+      Hdr.insert(L.V);
+      for (size_t J = Assign + 1; J < Semi1; ++J)
+        if (Toks[J].K == Token::Ident && !isKw(txt(J)))
+          Hdr.insert(std::string(txt(J)));
+      for (size_t J = Semi1 + 3; J < Semi2; ++J)
+        if (Toks[J].K == Token::Ident && !isKw(txt(J)))
+          Hdr.insert(std::string(txt(J)));
+      for (const std::string &N : Hdr)
+        if (mutatesIdent(L.BodyB, L.BodyE, N)) {
+          Invariant = false;
+          break;
+        }
+    }
+    L.Hoistable = Counted && Simple && StmtPos && Invariant;
     Loops.push_back(L);
   }
+}
+
+/// True when any token in [\p B, \p E] can mutate the variable named
+/// \p Name: direct or compound assignment, increment/decrement (either
+/// side), or a unary address-of that lets anything mutate it.
+bool Micro::mutatesIdent(uint32_t B, uint32_t E, std::string_view Name) const {
+  static const std::set<std::string_view, std::less<>> Mut = {
+      "=",  "+=", "-=", "*=", "/=",  "%=",
+      "&=", "|=", "^=", "<<=", ">>=", "++", "--"};
+  for (uint32_t J = B; J <= E && J < Toks.size(); ++J) {
+    if (Toks[J].K != Token::Ident || txt(J) != Name)
+      continue;
+    if (J + 1 < Toks.size() && Toks[J + 1].K == Token::Punct &&
+        Mut.count(txt(J + 1)))
+      return true;
+    if (J > 0 && Toks[J - 1].K == Token::Punct &&
+        (is(J - 1, "++") || is(J - 1, "--")))
+      return true;
+    if (J > 0 && is(J - 1, "&")) {
+      std::string_view P2 = J >= 2 ? txt(J - 2) : std::string_view(";");
+      bool Binary = (J >= 2 && (Toks[J - 2].K == Token::Ident ||
+                                Toks[J - 2].K == Token::Number)) ||
+                    P2 == ")" || P2 == "]";
+      if (!Binary)
+        return true;
+    }
+  }
+  return false;
 }
 
 int Micro::innermostRegion(size_t TokIdx) const {
@@ -853,6 +942,19 @@ void Micro::classify() {
     ++Stats.Candidates;
     const Var &V = Vars[A.VarId];
     int Eff = effectiveTask(A.RegionIdx);
+    // Inside an out-of-subset region the names may alias by-value capture
+    // copies the per-name analysis cannot follow: never elide, only
+    // instrument.
+    bool InOos = false;
+    for (int R = A.RegionIdx; R >= 0; R = Regions[R].Parent)
+      if (Regions[R].Oos) {
+        InOos = true;
+        break;
+      }
+    if (InOos) {
+      A.Action = Access::Instrument;
+      continue;
+    }
     if (Eff < 0) {
       if (Opts.ElideSerial && !HasAsync) {
         A.Action = Access::ElSerial;
@@ -907,6 +1009,21 @@ void Micro::coalesce() {
     const Access &A0 = Accesses[G.front()];
     const Loop &L = Loops[A0.LoopIdx];
     const std::string &Base = A0.CoalBase;
+    const std::string &Arr = Vars[A0.VarId].Name;
+    // The hoisted call dereferences &Arr[Idx] before the loop: the array
+    // name and the additive base must be loop-invariant too (findLoops
+    // already vetted the counter and the Init/Bound names).
+    if (mutatesIdent(L.BodyB, L.BodyE, Arr) ||
+        (!Base.empty() && mutatesIdent(L.BodyB, L.BodyE, Base)))
+      continue; // keep the per-element checks for this group
+    // A runtime Bound <= Init must not wrap the size_t count: decide
+    // literal headers statically, guard everything else at runtime.
+    unsigned long long InitV = 0, BoundV = 0;
+    bool Lit = decimalValue(L.Init, InitV) && decimalValue(L.Bound, BoundV);
+    if (Lit && InitV >= BoundV)
+      continue; // provably zero-trip: nothing to report
+    std::string Guard =
+        Lit ? "" : "if ((" + L.Init + ") < (" + L.Bound + ")) ";
     std::string Idx = Base.empty()
                           ? L.Init
                           : (L.Init == "0" ? Base
@@ -916,8 +1033,8 @@ void Micro::coalesce() {
         L.Init == "0" ? L.Bound : "(" + L.Bound + ") - (" + L.Init + ")";
     std::string Fn = A0.Dir == Access::Read ? "ldRange" : "stRange";
     Edits.push_back({Toks[L.ForTok].Begin, 0,
-                     "::spd3::autoinst::" + Fn + "(&" + Vars[A0.VarId].Name +
-                         "[" + Idx + "], " + Count + "); ",
+                     Guard + "::spd3::autoinst::" + Fn + "(&" + Arr + "[" +
+                         Idx + "], " + Count + "); ",
                      Seq++});
     ++Stats.RangeCalls;
     for (size_t AI : G) {

@@ -54,6 +54,7 @@ enum class Detector {
   Spd3NoMemo,  ///< SPD3 without the DMHP memo (future-work ablation)
   Spd3NoLabel, ///< SPD3 without the path-label DMHP fast path
   Spd3NoBatch, ///< SPD3 with range events expanded element-wise
+  Spd3Reclaim, ///< SPD3 in service mode (src/reclaim/ subtree retirement)
   EspBags,   ///< sequential ESP-bags baseline
   FastTrack, ///< FastTrack baseline
   Eraser,    ///< Eraser baseline
@@ -75,6 +76,8 @@ inline const char *detectorName(Detector D) {
     return "spd3-nolabel";
   case Detector::Spd3NoBatch:
     return "spd3-nobatch";
+  case Detector::Spd3Reclaim:
+    return "spd3-reclaim";
   case Detector::EspBags:
     return "espbags";
   case Detector::FastTrack:
@@ -110,6 +113,11 @@ inline std::unique_ptr<detector::Tool> makeTool(Detector D,
   case Detector::Spd3NoBatch: {
     Spd3Options O;
     O.BatchedRanges = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3Reclaim: {
+    Spd3Options O;
+    O.Reclaim = true;
     return std::make_unique<detector::Spd3Tool>(Sink, O);
   }
   case Detector::EspBags:

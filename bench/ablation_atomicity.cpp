@@ -69,7 +69,7 @@ int main() {
   std::printf("%-12s %12s %12s %8s\n", "benchmark", "lockfree(s)",
               "mutex(s)", "ratio");
   std::vector<double> Ratios;
-  for (kernels::Kernel *K : kernels::allKernels()) {
+  for (kernels::Kernel *K : kernels::table1Kernels()) {
     kernels::KernelConfig Cfg;
     Cfg.Size = E.Size;
     Cfg.Var = kernels::Variant::FineGrained;

@@ -61,7 +61,7 @@ int main(int Argc, char **Argv) {
   std::printf("%-12s %10s %10s %10s %9s %9s\n", "benchmark", "full(s)",
               "nocache(s)", "nomemo(s)", "cache-gain", "memo-gain");
   std::vector<double> CacheGain, MemoGain;
-  for (kernels::Kernel *K : kernels::allKernels()) {
+  for (kernels::Kernel *K : kernels::table1Kernels()) {
     kernels::KernelConfig Cfg;
     Cfg.Size = E.Size;
     Cfg.Var = kernels::Variant::FineGrained;
@@ -90,7 +90,7 @@ int main(int Argc, char **Argv) {
   std::printf("%-12s %10s %11s %11s %10s %10s\n", "benchmark", "full(s)",
               "nolabel(s)", "nobatch(s)", "label-gain", "batch-gain");
   std::vector<double> LabelGain, BatchGain;
-  for (kernels::Kernel *K : kernels::allKernels()) {
+  for (kernels::Kernel *K : kernels::table1Kernels()) {
     kernels::KernelConfig Cfg;
     Cfg.Size = E.Size;
     Cfg.Var = kernels::Variant::FineGrained;

@@ -28,7 +28,7 @@ int main(int Argc, char **Argv) {
   std::printf("\n");
 
   std::vector<std::vector<double>> PerThreadSlowdowns(E.Threads.size());
-  for (kernels::Kernel *K : kernels::allKernels()) {
+  for (kernels::Kernel *K : kernels::table1Kernels()) {
     kernels::KernelConfig Cfg;
     Cfg.Size = E.Size;
     Cfg.Var = kernels::Variant::FineGrained;

@@ -25,7 +25,7 @@ int main() {
   std::printf("%-12s %12s %12s %10s\n", "benchmark", "espbags", "spd3",
               "esp/spd3");
   std::vector<double> Esp, Spd, Ratio;
-  for (kernels::Kernel *K : kernels::allKernels()) {
+  for (kernels::Kernel *K : kernels::table1Kernels()) {
     kernels::KernelConfig Cfg;
     Cfg.Size = E.Size;
     Cfg.Var = kernels::Variant::FineGrained;

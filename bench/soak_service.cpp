@@ -1,0 +1,172 @@
+//===- bench/soak_service.cpp - Service-mode bounded-memory soak -------------===//
+//
+// Beyond the paper: SPD3 as a long-lived service. A persistent runtime
+// serves a stream of short async-finish requests (the request_server
+// kernel's shape) while src/reclaim/ retires completed finish subtrees,
+// recycles task/finish records, and returns shadow cells and pages. Two
+// legs:
+//
+//  1. request_server kernel under spd3 vs spd3-reclaim at each worker
+//     count — the hot-path cost of reference accounting and pinning,
+//     gated like any other section by check_regression.py;
+//  2. a serving loop long enough for ~1M short tasks (default size) —
+//     wall time, detector footprint (plateau vs the capped un-reclaimed
+//     twin), and process RSS.
+//
+// JSON entry names end in the detector variant so the perf gate sections
+// them as "spd3" / "spd3-reclaim"; memory entries ride in the same report
+// (ratios of MB gate exactly like ratios of seconds).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "detector/Tracked.h"
+#include "reclaim/Reclaimer.h"
+
+#include <algorithm>
+
+using namespace spd3;
+using namespace spd3::bench;
+
+namespace {
+
+/// Current process resident set (bytes); 0 where /proc is unavailable.
+size_t vmRssBytes() {
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  size_t KiB = 0;
+  while (std::fgets(Line, sizeof(Line), F))
+    if (std::sscanf(Line, "VmRSS: %zu", &KiB) == 1)
+      break;
+  std::fclose(F);
+  return KiB * 1024;
+}
+
+/// One short request: per-request scratch, a finish fanning out eight
+/// single-element writer tasks, then a read-back fold into the session.
+void serveRequest(size_t Req, detector::TrackedVar<double> &Session) {
+  detector::TrackedArray<double> Scratch(8);
+  rt::finish([&] {
+    for (size_t I = 0; I < 8; ++I)
+      rt::async([&Scratch, Req, I] {
+        Scratch.set(I, static_cast<double>(Req * 8 + I + 1));
+      });
+  });
+  const double *P = Scratch.readRun(0, 8);
+  double Sum = 0;
+  for (size_t I = 0; I < 8; ++I)
+    Sum += P[I];
+  Session.set(Session.get() + Sum);
+}
+
+struct SoakResult {
+  double Seconds = 0;
+  size_t PeakToolBytes = 0;  ///< high-water detector footprint (sampled)
+  size_t FinalToolBytes = 0; ///< footprint after the last request
+  size_t RssBytes = 0;       ///< process RSS at the end of the loop
+  uint64_t Retired = 0;      ///< finish subtrees reclaimed
+};
+
+SoakResult runSoak(bool Reclaim, size_t Requests, unsigned Threads) {
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Options Opts;
+  Opts.Reclaim = Reclaim;
+  detector::Spd3Tool Tool(Sink, Opts);
+  rt::Runtime RT({Threads, rt::SchedulerKind::Parallel, &Tool});
+  SoakResult R;
+  StopWatch W;
+  RT.run([&] {
+    detector::TrackedVar<double> Session(0.0);
+    for (size_t Req = 0; Req < Requests; ++Req) {
+      serveRequest(Req, Session);
+      if ((Req & 4095) == 0)
+        R.PeakToolBytes = std::max(R.PeakToolBytes, Tool.memoryBytes());
+    }
+  });
+  R.Seconds = W.seconds();
+  if (Tool.reclaimer()) {
+    Tool.reclaimer()->drain();
+    R.Retired = Tool.reclaimer()->subtreesRetired();
+  }
+  R.FinalToolBytes = Tool.memoryBytes();
+  R.PeakToolBytes = std::max(R.PeakToolBytes, R.FinalToolBytes);
+  R.RssBytes = vmRssBytes();
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv E = benchEnv();
+  JsonReport Json;
+  Json.parseArgs(Argc, Argv);
+  printHeader("Service-mode soak: request stream under spd3 vs spd3-reclaim",
+              E);
+
+  // Leg 1: the request_server kernel, reclaim off vs on — hot-path cost.
+  kernels::Kernel *K = kernels::findKernel("request_server");
+  std::printf("%-10s %14s %14s %10s\n", "threads", "spd3", "spd3-reclaim",
+              "overhead");
+  for (int T : E.Threads) {
+    kernels::KernelConfig Cfg;
+    // Test size is over in ~150us — too noisy to gate; Small and up give
+    // the regression check a stable signal.
+    Cfg.Size = E.Size == kernels::SizeClass::Test ? kernels::SizeClass::Small
+                                                  : E.Size;
+    TimedRun Off = timedRun(Detector::Spd3, *K, Cfg,
+                            static_cast<unsigned>(T), E.Reps);
+    TimedRun On = timedRun(Detector::Spd3Reclaim, *K, Cfg,
+                           static_cast<unsigned>(T), E.Reps);
+    std::printf("%-10d %13.3fs %13.3fs %9.2fx\n", T, Off.Seconds, On.Seconds,
+                On.Seconds / Off.Seconds);
+    std::fflush(stdout);
+    Json.add("soak/request_server/spd3", T, Off);
+    Json.add("soak/request_server/spd3-reclaim", T, On);
+  }
+
+  // Leg 2: the long serving loop. Eight tasks per request, so the default
+  // size pushes >1M short tasks through one detector instance. The
+  // un-reclaimed twin is capped: its footprint grows linearly by design.
+  size_t Requests = 150000;
+  if (E.Size == kernels::SizeClass::Test)
+    Requests = 20000;
+  else if (E.Size == kernels::SizeClass::Small)
+    Requests = 50000;
+  // Below the 4096-slot range-table cap: batch mode never recycles slots.
+  size_t TwinRequests = std::min<size_t>(Requests, 3000);
+  unsigned Threads = static_cast<unsigned>(E.Threads.back());
+
+  SoakResult On = runSoak(/*Reclaim=*/true, Requests, Threads);
+  SoakResult Off = runSoak(/*Reclaim=*/false, TwinRequests, Threads);
+
+  std::printf("\nserving loop (%u workers):\n", Threads);
+  std::printf("  spd3-reclaim  %8zu requests  %8.3fs  peak %8.3fMB  "
+              "final %8.3fMB  rss %8.3fMB  retired %zu\n",
+              Requests, On.Seconds, mb(On.PeakToolBytes),
+              mb(On.FinalToolBytes), mb(On.RssBytes),
+              static_cast<size_t>(On.Retired));
+  std::printf("  spd3 (twin)   %8zu requests  %8.3fs  peak %8.3fMB  "
+              "final %8.3fMB  rss %8.3fMB\n",
+              TwinRequests, Off.Seconds, mb(Off.PeakToolBytes),
+              mb(Off.FinalToolBytes), mb(Off.RssBytes));
+  std::printf("\nshape to check: the reclaiming loop serves %.1fx the "
+              "requests in a footprint\n%.1fx smaller than the twin's — "
+              "bounded by live state, not stream length.\n",
+              static_cast<double>(Requests) /
+                  static_cast<double>(TwinRequests),
+              mb(Off.PeakToolBytes) / mb(On.PeakToolBytes));
+
+  Json.add("soak/serve-time/spd3-reclaim", static_cast<int>(Threads),
+           On.Seconds / static_cast<double>(Requests), 0.0);
+  Json.add("soak/serve-time/spd3", static_cast<int>(Threads),
+           Off.Seconds / static_cast<double>(TwinRequests), 0.0);
+  Json.add("soak/peak-mem-mb/spd3-reclaim", static_cast<int>(Threads),
+           mb(On.PeakToolBytes), 0.0);
+  Json.add("soak/peak-mem-mb/spd3", static_cast<int>(Threads),
+           mb(Off.PeakToolBytes), 0.0);
+  Json.write();
+  return 0;
+}

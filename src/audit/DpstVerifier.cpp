@@ -29,6 +29,11 @@ struct Walk {
   uint64_t Asyncs = 0;
   uint64_t Finishes = 0;
   uint64_t Reachable = 0;
+  /// Nodes absorbed into reachable summary nodes by service-mode
+  /// retirement/compaction (see reclaim::Reclaimer): they no longer exist
+  /// physically but still count toward the logical size bound.
+  uint64_t SummaryNodes = 0;
+  uint64_t SummaryInterior = 0;
   /// Steps collected for the AUD-DPST-LABEL-DMHP sampled cross-check.
   std::vector<const Node *> SampledSteps;
 
@@ -49,7 +54,8 @@ struct Walk {
 void checkChildren(Walk &W, const Node *N,
                    std::unordered_set<const Node *> &Visited,
                    std::vector<const Node *> &Stack) {
-  uint32_t Count = 0;
+  uint64_t LogicalCount = 0;
+  uint32_t ExpectedSeq = 1;
   const Node *Prev = nullptr;
   for (const Node *C = N->FirstChild; C; C = C->NextSibling) {
     if (!Visited.insert(C).second) {
@@ -59,7 +65,7 @@ void checkChildren(Walk &W, const Node *N,
              "node is reachable twice (two parents or a sibling cycle)");
       return;
     }
-    ++Count;
+    ++LogicalCount;
     if (C->Parent != N)
       W.fail(Rule::DpstParentLink, C,
              std::string("child's Parent does not point to the ") +
@@ -70,11 +76,20 @@ void checkChildren(Walk &W, const Node *N,
          << N->Depth + 1 << ")";
       W.fail(Rule::DpstDepth, C, OS.str());
     }
-    if (C->SeqNo != Count) {
+    if (C->SeqNo != ExpectedSeq) {
       std::ostringstream OS;
-      OS << "child #" << Count << " has seqNo " << C->SeqNo
-         << " (expected seqNos 1..NumChildren left to right)";
+      OS << "child with seqNo " << C->SeqNo << " where " << ExpectedSeq
+         << " was expected (seqNos run 1..NumChildren left to right, "
+            "with compacted heads covering an absorbed prefix)";
       W.fail(Rule::DpstSeqNo, C, OS.str());
+    }
+    // A compacted head step stands for the contiguous absorbed siblings
+    // seqNo+1..SummarySeqHi; the next linked sibling resumes after them.
+    if (C->isStep() && C->SummarySeqHi > C->SeqNo) {
+      LogicalCount += C->SummarySeqHi - C->SeqNo;
+      ExpectedSeq = C->SummarySeqHi + 1;
+    } else {
+      ExpectedSeq = C->SeqNo + 1;
     }
     if (Prev && Prev->SeqNo >= C->SeqNo) {
       std::ostringstream OS;
@@ -90,10 +105,10 @@ void checkChildren(Walk &W, const Node *N,
     Prev = C;
     Stack.push_back(C);
   }
-  if (Count != N->NumChildren) {
+  if (LogicalCount != N->NumChildren) {
     std::ostringstream OS;
-    OS << "NumChildren is " << N->NumChildren << " but " << Count
-       << " children are linked";
+    OS << "NumChildren is " << N->NumChildren << " but " << LogicalCount
+       << " children are linked or summarized";
     W.fail(Rule::DpstChildCount, N, OS.str());
   }
   if (N->NumChildren && N->LastChild != Prev)
@@ -108,6 +123,8 @@ void walkTree(Walk &W, const Node *Root) {
     const Node *N = Stack.back();
     Stack.pop_back();
     ++W.Reachable;
+    W.SummaryNodes += N->SummaryNodes;
+    W.SummaryInterior += N->SummaryInterior;
     switch (N->Kind) {
     case dpst::NodeKind::Step:
       ++W.Steps;
@@ -125,6 +142,12 @@ void walkTree(Walk &W, const Node *Root) {
       ++W.Finishes;
       break;
     }
+    // A retired finish is a childless summary node standing for its whole
+    // completed subtree (reclaim::Reclaimer): the interior-shape and
+    // child-count rules apply to the subtree it replaced, which its
+    // summary counters account for.
+    if (N->isFinish() && N->isSummarized() && !N->FirstChild)
+      continue;
     // Section 3.1: every interior insertion comes with an initial step
     // child (an async's child-task step, a finish's body step).
     if (!N->FirstChild)
@@ -140,7 +163,7 @@ void walkTree(Walk &W, const Node *Root) {
 
 AuditReport run(const DpstVerifierOptions &Opts, const Node *Root,
                 int64_t ExpectedNodeCount) {
-  Walk W{Opts, {}, 0, 0, 0, 0, {}};
+  Walk W{Opts};
   if (!Root) {
     W.fail(Rule::DpstRootShape, nullptr, "tree has no root");
     return std::move(W.Report);
@@ -191,13 +214,17 @@ AuditReport run(const DpstVerifierOptions &Opts, const Node *Root,
   // (async, child step, continuation step) and every finish at most 3
   // (finish, body step, continuation step), while the root finish
   // contributes 2 (itself and the initial step) — so
-  // nodes <= 3*(asyncs + finishes) - 1.
-  uint64_t Interior = W.Asyncs + W.Finishes;
-  uint64_t Total = Interior + W.Steps;
+  // nodes <= 3*(asyncs + finishes) - 1. The bound is over the *logical*
+  // tree: nodes absorbed into summary nodes by service-mode reclamation
+  // still count, via the summary counters.
+  uint64_t Interior = W.Asyncs + W.Finishes + W.SummaryInterior;
+  uint64_t Total = W.Asyncs + W.Finishes + W.Steps + W.SummaryNodes;
   if (Interior == 0 || Total > 3 * Interior - 1) {
     std::ostringstream OS;
-    OS << Total << " nodes (" << W.Asyncs << " async, " << W.Finishes
-       << " finish, " << W.Steps << " step) exceed the 3*(a+f)-1 bound of "
+    OS << Total << " logical nodes (" << W.Asyncs << " async, " << W.Finishes
+       << " finish, " << W.Steps << " step physically present, "
+       << W.SummaryNodes << " summarized of which " << W.SummaryInterior
+       << " interior) exceed the 3*(a+f)-1 bound of "
        << (Interior ? 3 * Interior - 1 : 0);
     W.fail(Rule::DpstSizeBound, Root, OS.str());
   }

@@ -39,9 +39,14 @@
 ///   a sub-granule collision; cell() returns null and ShadowSpace routes
 ///   the access to the surviving ShadowTable, which is demoted from front
 ///   door to overflow store.
-/// - Like every shadow structure here, the map is grow-only: cells are
-///   never reclaimed mid-run and cell pointers are stable for the map's
-///   lifetime (ShadowSpace's pointer-stability contract).
+/// - The map is grow-only in batch mode: cells are never reclaimed
+///   mid-run and cell pointers are stable for the map's lifetime
+///   (ShadowSpace's pointer-stability contract). Service mode narrows
+///   that contract: detachRange() unpublishes fully covered pages (new
+///   lookups allocate afresh) and, after the epoch manager's grace
+///   period, recycleDetached() resets them onto a small free list that
+///   page() drains before allocating — so a server's dead heap pages
+///   stop accumulating.
 ///
 /// The payoff for auto-instrumented heaps is dense-table-like lookup — a
 /// tag probe plus two dependent loads, no probe chain that lengthens as the
@@ -60,6 +65,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 namespace spd3::detector {
 
@@ -76,6 +83,8 @@ public:
         delete Entry.load(std::memory_order_relaxed);
       delete S;
     }
+    for (Page *P : FreePages)
+      delete P;
   }
 
   PrimaryMap(const PrimaryMap &) = delete;
@@ -119,18 +128,87 @@ public:
     return &P->Cells[First];
   }
 
+  /// Unpublish every resident page fully covered by [\p Base, \p Base +
+  /// \p Bytes): the page entries are exchanged to null, so new lookups in
+  /// that window allocate fresh pages, while readers that resolved a cell
+  /// pointer earlier keep dereferencing valid memory. Detached pages are
+  /// appended to \p Handles as opaque tokens; after a grace period the
+  /// caller feeds each one to recycleDetached(). Returns the number
+  /// detached. Partially covered pages are left alone (they may shadow
+  /// neighbouring objects).
+  size_t detachRange(const void *Base, size_t Bytes,
+                     std::vector<void *> &Handles) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Base);
+    uintptr_t End = A + Bytes;
+    uintptr_t FirstPage = (A + (size_t(1) << PageShift) - 1) &
+                          ~((size_t(1) << PageShift) - 1);
+    size_t Detached = 0;
+    for (uintptr_t PA = FirstPage; PA + (size_t(1) << PageShift) <= End;
+         PA += size_t(1) << PageShift) {
+      Super *S = findSuper(PA);
+      if (!S)
+        continue;
+      std::atomic<Page *> &Entry =
+          S->Pages[(PA >> PageShift) & (PagesPerSuper - 1)];
+      if (Page *P = Entry.exchange(nullptr, std::memory_order_acq_rel)) {
+        NumPages.fetch_sub(1, std::memory_order_relaxed);
+        Handles.push_back(P);
+        ++Detached;
+      }
+    }
+    return Detached;
+  }
+
+  /// Recycle a page previously returned by detachRange, after its grace
+  /// period: \p OnCell runs for every claimed granule (the caller drops
+  /// shadow-triple references and zeroes the cell), the keys are cleared,
+  /// and the page joins the free list that page() reuses. \p OnCell must
+  /// leave each cell fully reset — a reused page's cells must be
+  /// indistinguishable from value-initialized ones.
+  template <typename OnCellFn> void recycleDetached(void *Handle,
+                                                    OnCellFn OnCell) {
+    Page *P = static_cast<Page *>(Handle);
+    for (size_t I = 0; I < SlotsPerPage; ++I) {
+      if (P->Keys[I].load(std::memory_order_relaxed) == 0)
+        continue;
+      OnCell(P->Cells[I]);
+      P->Keys[I].store(0, std::memory_order_relaxed);
+      NumGranules.fetch_sub(1, std::memory_order_relaxed);
+    }
+    obs::noteShadowPageRecycled(NumPages.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> Lock(FreeMutex);
+    if (FreePages.size() < kMaxFreePages) {
+      FreePages.push_back(P);
+      NumFreePages.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    delete P;
+  }
+
   /// Number of claimed granule cells.
   size_t cellCount() const {
     return NumGranules.load(std::memory_order_relaxed);
   }
 
   /// Honest footprint: the directory plus every resident superpage table
-  /// and shadow page (claimed and unclaimed granules alike).
+  /// and shadow page (claimed and unclaimed granules alike), including
+  /// recycled pages parked on the free list.
   size_t memoryBytes() const {
     return sizeof(Dir) +
            NumSupers.load(std::memory_order_relaxed) * sizeof(Super) +
-           NumPages.load(std::memory_order_relaxed) * sizeof(Page);
+           (NumPages.load(std::memory_order_relaxed) +
+            NumFreePages.load(std::memory_order_relaxed)) *
+               sizeof(Page);
   }
+
+  /// Recycled pages awaiting reuse.
+  size_t freePageCount() const {
+    return NumFreePages.load(std::memory_order_relaxed);
+  }
+
+  /// Byte size of one shadow page, for epoch retire-accounting of
+  /// detached handles.
+  static size_t pageBytes() { return sizeof(Page); }
 
   /// Resident shadow pages (the obs counter tracks the same number).
   size_t pageCount() const { return NumPages.load(std::memory_order_relaxed); }
@@ -210,6 +288,22 @@ private:
     return nullptr; // Directory full: overflow table territory.
   }
 
+  /// Lookup-only superFor: never claims a directory slot (detachRange
+  /// must not materialize superpages for never-touched regions).
+  Super *findSuper(uintptr_t A) {
+    uintptr_t Tag = (A >> SuperShift) + 1;
+    size_t H = hashTag(Tag);
+    for (size_t I = 0; I < MaxSupers; ++I) {
+      DirSlot &D = Dir[(H + I) & (MaxSupers - 1)];
+      uintptr_t T = D.Tag.load(std::memory_order_acquire);
+      if (T == 0)
+        return nullptr;
+      if (T == Tag)
+        return D.Sec.load(std::memory_order_acquire);
+    }
+    return nullptr;
+  }
+
   Page *page(uintptr_t A) {
     Super *S = superFor(A);
     if (SPD3_UNLIKELY(!S))
@@ -221,8 +315,20 @@ private:
       return P;
     // Allocate and race to publish; the loser frees its copy. new Page()
     // value-initializes keys and cells, and the release CAS publishes that
-    // initialization to every acquiring thread.
-    auto *Fresh = new Page();
+    // initialization to every acquiring thread. Recycled pages come back
+    // from the free list fully reset (recycleDetached's contract), so
+    // both sources are interchangeable.
+    Page *Fresh = nullptr;
+    if (NumFreePages.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> Lock(FreeMutex);
+      if (!FreePages.empty()) {
+        Fresh = FreePages.back();
+        FreePages.pop_back();
+        NumFreePages.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (!Fresh)
+      Fresh = new Page();
     Page *Expected = nullptr;
     if (Entry.compare_exchange_strong(Expected, Fresh,
                                       std::memory_order_acq_rel,
@@ -256,10 +362,18 @@ private:
     return nullptr; // Sub-granule collision: overflow table.
   }
 
+  /// Recycled-page pool cap: enough to absorb the churn of a serving loop
+  /// (pages return as fast as requests allocate), small enough that an
+  /// adversarial detach burst cannot hoard memory.
+  static constexpr size_t kMaxFreePages = 64;
+
   DirSlot Dir[MaxSupers] = {};
   std::atomic<size_t> NumGranules{0};
   std::atomic<size_t> NumPages{0};
   std::atomic<size_t> NumSupers{0};
+  std::mutex FreeMutex;
+  std::vector<Page *> FreePages;
+  std::atomic<size_t> NumFreePages{0};
 };
 
 } // namespace spd3::detector

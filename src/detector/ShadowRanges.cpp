@@ -17,6 +17,14 @@ RangeTable::RangeTable(size_t MaxRanges)
     : Ranges(MaxRanges), Id(nextTableId()) {}
 
 RangeTable::Range *RangeTable::claimSlot() {
+  {
+    std::lock_guard<std::mutex> Lock(FreeMutex);
+    if (!FreeSlots.empty()) {
+      Range *R = FreeSlots.back();
+      FreeSlots.pop_back();
+      return R;
+    }
+  }
   uint32_t Idx = NumRanges.fetch_add(1, std::memory_order_acq_rel);
   SPD3_CHECK(Idx < Ranges.size(), "shadow range table exhausted");
   return &Ranges[Idx];
@@ -59,7 +67,7 @@ RangeTable::Range *RangeTable::findSlow(uintptr_t A) {
   return nullptr;
 }
 
-void RangeTable::unregister(const void *Base) {
+RangeTable::Range *RangeTable::unregister(const void *Base) {
   uintptr_t B = reinterpret_cast<uintptr_t>(Base);
   uint32_t N = NumRanges.load(std::memory_order_acquire);
   if (N > Ranges.size())
@@ -69,9 +77,24 @@ void RangeTable::unregister(const void *Base) {
     if (R.Base.load(std::memory_order_acquire) == B &&
         !R.Dead.load(std::memory_order_relaxed)) {
       R.Dead.store(true, std::memory_order_release);
-      return;
+      return &R;
     }
   }
+  return nullptr;
+}
+
+void RangeTable::release(Range *R) {
+  // Unpublish first: once Base reads 0, no new reader can match the slot,
+  // and the grace period already excluded readers that matched earlier.
+  R->Base.store(0, std::memory_order_release);
+  R->End = 0;
+  R->ElemSize = 0;
+  R->ElemShift = 0xff;
+  R->Cells = nullptr;
+  R->Count = 0;
+  R->Dead.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  FreeSlots.push_back(R);
 }
 
 void RangeTable::forEach(const std::function<void(Range &)> &Fn) {

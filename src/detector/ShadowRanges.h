@@ -18,6 +18,14 @@
 /// shadow state never dangle, and the bytes stay visible to the memory
 /// accounting of Table 3).
 ///
+/// Service mode additionally recycles tombstoned slots: after the epoch
+/// manager's grace period has proven no reader can still hold the Range
+/// pointer, release() unpublishes the slot (Base -> 0 first, with
+/// release) and pushes it onto a free list that claimSlot() consults
+/// before bumping the append cursor. Without recycling, a server
+/// registering one TrackedArray per request dies at the 4096-slot
+/// capacity check within seconds.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPD3_DETECTOR_SHADOWRANGES_H
@@ -27,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 namespace spd3::detector {
@@ -61,7 +70,8 @@ public:
   RangeTable(const RangeTable &) = delete;
   RangeTable &operator=(const RangeTable &) = delete;
 
-  /// Claim the next slot. Aborts if the table is full.
+  /// Claim a slot — a recycled one when available, else the next unused
+  /// one. Aborts if the table is full.
   Range *claimSlot();
 
   /// Fill and publish \p Slot. \p Cells must outlive the table entry.
@@ -85,8 +95,16 @@ public:
     return findSlow(A);
   }
 
-  /// Tombstone the live range registered at \p Base (no-op if absent).
-  void unregister(const void *Base);
+  /// Tombstone the live range registered at \p Base. Returns the slot so
+  /// a reclaiming caller can epoch-retire its cells and later release()
+  /// it; null if absent.
+  Range *unregister(const void *Base);
+
+  /// Return a tombstoned slot to the free list for reuse. Only legal
+  /// after a grace period: no thread may still hold this Range pointer
+  /// (find() results are only ever used under an epoch pin). The caller
+  /// has already freed/transferred Cells.
+  void release(Range *R);
 
   /// Visit every published range (live and dead). Not concurrency-safe
   /// against registration; used for destruction and accounting.
@@ -107,6 +125,10 @@ private:
 
   std::vector<Range> Ranges;
   std::atomic<uint32_t> NumRanges{0};
+  /// Released slots awaiting reuse. Mutex-guarded: registration and
+  /// release are cold paths.
+  std::mutex FreeMutex;
+  std::vector<Range *> FreeSlots;
   /// Unique per-table id (never reused across table lifetimes).
   const uint64_t Id;
   static thread_local HitCache LastHit;

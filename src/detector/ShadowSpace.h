@@ -86,10 +86,55 @@ public:
     obs::noteRangeCells(Count);
   }
 
-  /// Tombstone the range at \p Base. Cells remain allocated (stale step
-  /// references elsewhere stay safe; accounted bytes persist, matching the
-  /// paper's peak-memory methodology).
+  /// Tombstone the range at \p Base. Cells remain allocated until the
+  /// space is destroyed (stale step references elsewhere stay safe;
+  /// accounted bytes persist, matching the paper's peak-memory
+  /// methodology). This is the batch-mode path; a reclaiming detector
+  /// uses unregisterRangeDeferred + reclaimDeadRange instead.
   void unregisterRange(const void *Base) { Ranges.unregister(Base); }
+
+  /// \name Service-mode reclamation (src/reclaim/)
+  /// @{
+
+  /// Tombstone the range at \p Base and hand its slot to the caller, who
+  /// epoch-retires it and calls reclaimDeadRange after the grace period.
+  /// Null if no live range is registered at \p Base.
+  RangeTable::Range *unregisterRangeDeferred(const void *Base) {
+    return Ranges.unregister(Base);
+  }
+
+  /// Free a tombstoned range's cells and recycle its table slot. Only
+  /// legal after a grace period (no reader still holds the Range or any
+  /// of its cell pointers). \p OnCell runs over every cell first so the
+  /// caller can drop shadow-triple references.
+  template <typename OnCellFn>
+  void reclaimDeadRange(RangeTable::Range *R, OnCellFn OnCell) {
+    auto *Cells = static_cast<Cell *>(R->Cells);
+    size_t Count = R->Count;
+    for (size_t I = 0; I < Count; ++I)
+      OnCell(Cells[I]);
+    obs::noteRangeCellsReclaimed(Count);
+    Ranges.release(R);
+    delete[] Cells;
+  }
+
+  /// Unpublish the primary-map pages fully covered by [\p Base, \p Base +
+  /// \p Bytes) (see PrimaryMap::detachRange); handles go through the
+  /// epoch manager before recycleDetachedPage.
+  size_t detachPrimaryRange(const void *Base, size_t Bytes,
+                            std::vector<void *> &Handles) {
+    return Primary.detachRange(Base, Bytes, Handles);
+  }
+
+  /// Recycle one detached primary page after its grace period.
+  template <typename OnCellFn>
+  void recycleDetachedPage(void *Handle, OnCellFn OnCell) {
+    Primary.recycleDetached(Handle, OnCell);
+  }
+
+  /// Byte size of one detached primary page (epoch retire-accounting).
+  static size_t primaryPageBytes() { return PrimaryMap<Cell>::pageBytes(); }
+  /// @}
 
   /// Total shadow cells allocated (dense + primary map + overflow).
   size_t cellCount() const {

@@ -3,6 +3,7 @@
 #include "detector/Spd3Tool.h"
 
 #include "obs/Obs.h"
+#include "reclaim/Reclaimer.h"
 #include "runtime/Task.h"
 #include "support/Stats.h"
 
@@ -172,22 +173,25 @@ struct Spd3Tool::TaskState {
   /// Bumped whenever CurStep changes; versions the worker-cache entries
   /// written on this task's behalf.
   uint32_t StepEpoch = 1;
-
-  void moveToStep(Node *S) {
-    CurStep = S;
-    ++StepEpoch;
-  }
+  /// Innermost reclaim region the task is executing in (null when
+  /// reclamation is off). New steps of this task are tagged with it.
+  reclaim::Region *Reg = nullptr;
 };
 
 struct Spd3Tool::FinishState {
   Node *FinishNode;
   Node *PrevScopeTop;
+  /// The region opened for this finish and the one to restore at its end.
+  reclaim::Region *Region = nullptr;
+  reclaim::Region *PrevRegion = nullptr;
 };
 
 Spd3Tool::Spd3Tool(RaceSink &Sink, Spd3Options Opts)
     : Sink(Sink), Opts(Opts), Generation(nextToolGeneration()) {
   if (Opts.Proto == Spd3Options::Protocol::Mutex)
     Locks = new PaddedMutex[NumLocks];
+  if (Opts.Reclaim)
+    Rec = std::make_unique<reclaim::Reclaimer>(Tree);
 }
 
 Spd3Tool::~Spd3Tool() { delete[] Locks; }
@@ -202,7 +206,20 @@ Spd3Tool::TaskState *Spd3Tool::newTaskState(Node *Step, Node *Scope) {
   auto *TS = StateArena.create<TaskState>();
   TS->CurStep = Step;
   TS->ScopeTop = Scope;
+  if (Rec)
+    TS->StepEpoch = EpochSource.fetch_add(1, std::memory_order_relaxed);
   return TS;
+}
+
+void Spd3Tool::advanceStep(TaskState *TS, Node *S) {
+  TS->CurStep = S;
+  // Batch mode: a per-task counter suffices, since TaskState addresses are
+  // never reused within a tool generation. Service mode recycles the
+  // records, so the epoch must never repeat for a given address — draw it
+  // from the tool-global source (which also issued every earlier epoch of
+  // the previous occupant, making collision impossible).
+  TS->StepEpoch = Rec ? EpochSource.fetch_add(1, std::memory_order_relaxed)
+                      : TS->StepEpoch + 1;
 }
 
 dpst::Node *Spd3Tool::currentStep(rt::Task &T) {
@@ -225,14 +242,40 @@ std::string Spd3Tool::describeRace(const Race &R) {
 void Spd3Tool::onRunStart(rt::Task &Root) {
   // The implicit finish around main() is the DPST root; the main task has
   // no async node of its own (Section 3.1).
-  Root.ToolData = newTaskState(Tree.initialStep(), Tree.root());
+  auto *TS = newTaskState(Tree.initialStep(), Tree.root());
+  if (Rec) {
+    TS->Reg = Rec->rootRegion();
+    Tree.initialStep()->ReclaimRegion = TS->Reg;
+  }
+  Root.ToolData = TS;
 }
 
 void Spd3Tool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
   TaskState *PS = state(Parent);
   Dpst::AsyncInsertion Ins = Tree.onAsync(PS->ScopeTop);
-  Child.ToolData = newTaskState(Ins.ChildStep, Ins.AsyncNode);
-  PS->moveToStep(Ins.ContinuationStep);
+  TaskState *CS = newTaskState(Ins.ChildStep, Ins.AsyncNode);
+  if (Rec) {
+    // Both new steps belong to the parent's innermost finish scope. The
+    // tags are published to the child through the spawn's happens-before
+    // edge; no access can install a step into a triple before that step
+    // starts executing.
+    CS->Reg = PS->Reg;
+    Ins.ChildStep->ReclaimRegion = PS->Reg;
+    Ins.ContinuationStep->ReclaimRegion = PS->Reg;
+  }
+  Child.ToolData = CS;
+  advanceStep(PS, Ins.ContinuationStep);
+}
+
+void Spd3Tool::onTaskEnd(rt::Task &T) {
+  // Service mode: the runtime calls no further hook for this task, so its
+  // record can back the next spawn. Worker caches may still hold entries
+  // keyed on this address, but their epochs are never reissued (see
+  // advanceStep), so they can never validate for the new occupant.
+  if (!Rec)
+    return;
+  StateArena.recycle(state(T), sizeof(TaskState));
+  T.ToolData = nullptr;
 }
 
 void Spd3Tool::onFinishStart(rt::Task &T, rt::FinishRecord &F) {
@@ -241,16 +284,38 @@ void Spd3Tool::onFinishStart(rt::Task &T, rt::FinishRecord &F) {
   auto *FS = StateArena.create<FinishState>();
   FS->FinishNode = Ins.FinishNode;
   FS->PrevScopeTop = TS->ScopeTop;
+  if (Rec) {
+    FS->PrevRegion = TS->Reg;
+    FS->Region = Rec->openRegion(TS->Reg, Ins.FinishNode);
+    TS->Reg = FS->Region;
+    Ins.BodyStep->ReclaimRegion = FS->Region;
+  }
   F.ToolData = FS;
   TS->ScopeTop = Ins.FinishNode;
-  TS->moveToStep(Ins.BodyStep);
+  advanceStep(TS, Ins.BodyStep);
 }
 
 void Spd3Tool::onFinishEnd(rt::Task &T, rt::FinishRecord &F) {
   TaskState *TS = state(T);
   auto *FS = static_cast<FinishState *>(F.ToolData);
   TS->ScopeTop = FS->PrevScopeTop;
-  TS->moveToStep(Tree.onFinishEnd(FS->FinishNode));
+  advanceStep(TS, Tree.onFinishEnd(FS->FinishNode));
+  if (Rec) {
+    // The continuation step runs in the enclosing scope again.
+    TS->Reg = FS->PrevRegion;
+    TS->CurStep->ReclaimRegion = TS->Reg;
+    // The runtime joined every task of the scope before this callback, so
+    // the subtree is structurally quiesced: close it (it retires here if
+    // no triple references survive, or at the last dropRef otherwise),
+    // then fold the completed prefix of the surviving scope into its head
+    // step so a serving loop's scope stays O(1) wide.
+    Rec->closeRegion(FS->Region);
+    Rec->compactScope(TS->ScopeTop, TS->CurStep);
+    Rec->maybeCollect();
+    // The scope is over; nothing reads its record again.
+    StateArena.recycle(FS, sizeof(FinishState));
+    F.ToolData = nullptr;
+  }
 }
 
 Spd3Tool::TripleSnapshot Spd3Tool::shadowTriple(const void *Addr) {
@@ -269,13 +334,50 @@ void Spd3Tool::onRegisterRange(const void *Base, size_t Count,
   Shadow.registerRange(Base, Count, ElemSize);
 }
 
+void Spd3Tool::dropCellRefs(Cell &C) {
+  Rec->dropRef(C.W.load(std::memory_order_relaxed));
+  Rec->dropRef(C.R1.load(std::memory_order_relaxed));
+  Rec->dropRef(C.R2.load(std::memory_order_relaxed));
+}
+
+void Spd3Tool::dropAndResetCell(Cell &C) {
+  dropCellRefs(C);
+  C.W.store(nullptr, std::memory_order_relaxed);
+  C.R1.store(nullptr, std::memory_order_relaxed);
+  C.R2.store(nullptr, std::memory_order_relaxed);
+  C.StartVersion.store(0, std::memory_order_relaxed);
+  C.EndVersion.store(0, std::memory_order_relaxed);
+}
+
 void Spd3Tool::onUnregisterRange(const void *Base) {
-  Shadow.unregisterRange(Base);
+  if (!Rec) {
+    Shadow.unregisterRange(Base);
+    return;
+  }
+  // Service mode: tombstone now, free after the grace period. The deleters
+  // drop the triple references (the last drop of a closed scope retires
+  // its subtree) and return cells/pages/slots to their free lists.
+  RangeTable::Range *R = Shadow.unregisterRangeDeferred(Base);
+  if (!R)
+    return;
+  size_t Bytes = R->End - reinterpret_cast<uintptr_t>(Base);
+  Rec->epochs().retire(R->Count * sizeof(Cell), [this, R] {
+    Shadow.reclaimDeadRange(R, [this](Cell &C) { dropCellRefs(C); });
+  });
+  // Any primary-map pages fully covered by the range (accesses that beat
+  // the registration) are detached and recycled the same way.
+  std::vector<void *> Pages;
+  Shadow.detachPrimaryRange(Base, Bytes, Pages);
+  for (void *H : Pages)
+    Rec->epochs().retire(ShadowSpace<Cell>::primaryPageBytes(), [this, H] {
+      Shadow.recycleDetachedPage(H, [this](Cell &C) { dropAndResetCell(C); });
+    });
 }
 
 size_t Spd3Tool::memoryBytes() const {
-  return Tree.memoryBytes() + Shadow.memoryBytes() +
-         StateArena.bytesAllocated();
+  // bytesLive, not bytesAllocated: service mode recycles task/finish
+  // records, and the soak criterion is that live footprint plateaus.
+  return Tree.memoryBytes() + Shadow.memoryBytes() + StateArena.bytesLive();
 }
 
 bool Spd3Tool::dmhpFromCurrentStep(TaskState *TS, const Node *Other) {
@@ -287,7 +389,10 @@ bool Spd3Tool::dmhpFromCurrentStep(TaskState *TS, const Node *Other) {
     if (V != dpst::LabelVerdict::Unknown)
       return V == dpst::LabelVerdict::Parallel;
   }
-  if (!Opts.DmhpMemo)
+  // The memo keys on node addresses across step boundaries; reclamation
+  // may recycle an address between two actions of one step (the pin only
+  // spans a single action), so the memo is bypassed in service mode.
+  if (!Opts.DmhpMemo || Rec)
     return Dpst::dmhp(Other, TS->CurStep);
   CacheKey Key{Generation, TS, TS->StepEpoch};
   DmhpMemo &Memo = TheWorkerCaches.Memo;
@@ -418,6 +523,25 @@ bool Spd3Tool::applyUpdate(Cell &C, uint32_t X, bool IsWrite,
     obs::emit(obs::EventKind::CasRetry, reinterpret_cast<uint64_t>(&C));
     return false; // Someone updated since the snapshot; retry the action.
   }
+  // Winning the CAS makes us the exclusive updater until StartVersion is
+  // republished, so the relaxed loads below read the validated snapshot
+  // values. Reference order is inc-new-before-dec-old: a step kept across
+  // the update (e.g. Algorithm 2's keep-both case re-installing r1) never
+  // transiently reads zero, so compaction cannot absorb it. The drops run
+  // after republication to keep retirement cascades off the seqlock
+  // critical path.
+  Node *OldW = nullptr, *OldR1 = nullptr, *OldR2 = nullptr;
+  if (Rec) {
+    if (IsWrite) {
+      OldW = C.W.load(std::memory_order_relaxed);
+      reclaim::Reclaimer::addRef(Out.NewW);
+    } else {
+      OldR1 = C.R1.load(std::memory_order_relaxed);
+      OldR2 = C.R2.load(std::memory_order_relaxed);
+      reclaim::Reclaimer::addRef(Out.NewR1);
+      reclaim::Reclaimer::addRef(Out.NewR2);
+    }
+  }
   if (IsWrite) {
     C.W.store(Out.NewW, std::memory_order_release);
   } else {
@@ -425,6 +549,14 @@ bool Spd3Tool::applyUpdate(Cell &C, uint32_t X, bool IsWrite,
     C.R2.store(Out.NewR2, std::memory_order_release);
   }
   C.StartVersion.store(X + 1, std::memory_order_release);
+  if (Rec) {
+    if (IsWrite) {
+      Rec->dropRef(OldW);
+    } else {
+      Rec->dropRef(OldR1);
+      Rec->dropRef(OldR2);
+    }
+  }
   return true;
 }
 
@@ -446,11 +578,29 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
       computeRead(TS, W, R1, R2, Step, Out);
     flushRaces(Out, Addr, Step, W, R1, R2);
     if (Out.Update) {
+      if (Rec) {
+        // Same accounting as applyUpdate; the stripe lock is the
+        // exclusion, W/R1/R2 are the evicted values.
+        if (IsWrite)
+          reclaim::Reclaimer::addRef(Out.NewW);
+        else {
+          reclaim::Reclaimer::addRef(Out.NewR1);
+          reclaim::Reclaimer::addRef(Out.NewR2);
+        }
+      }
       if (IsWrite) {
         C.W.store(Out.NewW, std::memory_order_relaxed);
       } else {
         C.R1.store(Out.NewR1, std::memory_order_relaxed);
         C.R2.store(Out.NewR2, std::memory_order_relaxed);
+      }
+      if (Rec) {
+        if (IsWrite)
+          Rec->dropRef(W);
+        else {
+          Rec->dropRef(R1);
+          Rec->dropRef(R2);
+        }
       }
     }
     obs::emit(obs::EventKind::MutexAction, reinterpret_cast<uint64_t>(Addr),
@@ -550,11 +700,27 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
       }
       flushRaces(Memo, EA, Step, W, R1, R2);
       if (Memo.Update) {
+        if (Rec) {
+          if (IsWrite)
+            reclaim::Reclaimer::addRef(Memo.NewW);
+          else {
+            reclaim::Reclaimer::addRef(Memo.NewR1);
+            reclaim::Reclaimer::addRef(Memo.NewR2);
+          }
+        }
         if (IsWrite) {
           C.W.store(Memo.NewW, std::memory_order_relaxed);
         } else {
           C.R1.store(Memo.NewR1, std::memory_order_relaxed);
           C.R2.store(Memo.NewR2, std::memory_order_relaxed);
+        }
+        if (Rec) {
+          if (IsWrite)
+            Rec->dropRef(W);
+          else {
+            Rec->dropRef(R1);
+            Rec->dropRef(R2);
+          }
         }
       }
     }
@@ -620,6 +786,9 @@ void Spd3Tool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
     }
     Cache.insert(Addr, Key, /*Mode=*/1);
   }
+  // Pin spans lookup through action: the Range/cell and every node read
+  // from the triple stay allocated until we unpin.
+  reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
   memoryAction(TS, *Shadow.cell(Addr), Addr, /*IsWrite=*/false);
 }
 
@@ -636,6 +805,7 @@ void Spd3Tool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
     }
     Cache.insert(Addr, Key, /*Mode=*/2);
   }
+  reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
   memoryAction(TS, *Shadow.cell(Addr), Addr, /*IsWrite=*/true);
 }
 
@@ -658,6 +828,9 @@ void Spd3Tool::onReadRange(rt::Task &T, const void *Addr, size_t Count,
     }
     Cache.insert(Addr, Bytes, Key, /*Mode=*/1);
   }
+  // One pin for the whole run (the expansion fallback nests its own pins
+  // per element, which the guard's depth counting permits).
+  reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
   Cell *Cells = Shadow.runCells(Addr, Count, ElemSize);
   if (!Cells) {
     // Not a registered contiguous run (hash-fallback territory): expand.
@@ -690,6 +863,7 @@ void Spd3Tool::onWriteRange(rt::Task &T, const void *Addr, size_t Count,
     }
     Cache.insert(Addr, Bytes, Key, /*Mode=*/2);
   }
+  reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
   Cell *Cells = Shadow.runCells(Addr, Count, ElemSize);
   if (!Cells) {
     Tool::onWriteRange(T, Addr, Count, ElemSize);

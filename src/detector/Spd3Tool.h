@@ -44,7 +44,12 @@
 #include "support/Arena.h"
 #include "support/Compiler.h"
 
+#include <memory>
 #include <mutex>
+
+namespace spd3::reclaim {
+class Reclaimer;
+} // namespace spd3::reclaim
 
 namespace spd3::detector {
 
@@ -74,6 +79,16 @@ struct Spd3Options {
   /// triple, entering the per-element protocol only where an update is
   /// required. Off = range events are expanded element-wise.
   bool BatchedRanges = true;
+  /// Service mode (DESIGN.md §10): retire completed finish-scope subtrees
+  /// once no live shadow triple references them, collapse them into
+  /// summary nodes, and recycle DPST node storage, range-table slots, and
+  /// primary-map pages through an epoch reclaimer. Bounds detector memory
+  /// by *live* state so a request-serving process runs indefinitely.
+  /// Default off: batch benchmarks keep the grow-only fast path (no epoch
+  /// pins, no reference counting). Implies the DMHP memo is bypassed
+  /// (memo entries key on node addresses, which reclamation may reuse
+  /// across steps).
+  bool Reclaim = false;
 };
 
 class Spd3Tool : public Tool {
@@ -95,6 +110,7 @@ public:
 
   void onRunStart(rt::Task &Root) override;
   void onTaskCreate(rt::Task &Parent, rt::Task &Child) override;
+  void onTaskEnd(rt::Task &T) override;
   void onFinishStart(rt::Task &T, rt::FinishRecord &F) override;
   void onFinishEnd(rt::Task &T, rt::FinishRecord &F) override;
   void onRead(rt::Task &T, const void *Addr, uint32_t Size) override;
@@ -111,6 +127,11 @@ public:
   /// The DPST built for the current/most recent run (tests inspect it).
   const dpst::Dpst &tree() const { return Tree; }
 
+  /// The service-mode reclaimer; null when Opts.Reclaim is off. Tests and
+  /// the soak bench use it to drain pending epochs at quiescent points and
+  /// to read retirement counters.
+  reclaim::Reclaimer *reclaimer() { return Rec.get(); }
+
   /// The current step of task \p T (tests use this to relate accesses to
   /// DPST leaves).
   static dpst::Node *currentStep(rt::Task &T);
@@ -119,7 +140,9 @@ public:
   /// schedule-stable coordinates a user can map back to async/finish
   /// structure (Section 3.2's path-invariance property). The tool that
   /// reported \p R must still be alive: the step coordinates are walked
-  /// from DPST nodes owned by its arena.
+  /// from DPST nodes owned by its arena. With Reclaim on those nodes may
+  /// have been recycled since the report — rely on R.Prov instead, which
+  /// captures every path eagerly at report time.
   static std::string describeRace(const Race &R);
 
   /// Relaxed snapshot of the Section 4.1 triple for \p Addr. For the
@@ -161,6 +184,13 @@ private:
   TaskState *state(rt::Task &T) const;
   TaskState *newTaskState(dpst::Node *Step, dpst::Node *Scope);
 
+  /// Move \p TS to step \p S and refresh its cache-key epoch. In service
+  /// mode the epoch comes from a tool-global counter instead of a per-task
+  /// increment: recycled TaskState memory can revive a (state, epoch) pair
+  /// a worker cache still holds, and a never-reissued epoch keeps such
+  /// stale entries from validating.
+  void advanceStep(TaskState *TS, dpst::Node *S);
+
   /// One full memory action under the selected protocol. \p IsWrite picks
   /// Algorithm 1 vs Algorithm 2.
   void memoryAction(TaskState *TS, Cell &C, const void *Addr, bool IsWrite);
@@ -190,8 +220,18 @@ private:
 
   /// Publish \p Out's update to \p C, whose snapshot version was \p X.
   /// False when another updater won the CAS (caller retries the action).
+  /// The CAS winner also owns the reclaim reference accounting: it
+  /// increments refs for installed steps before the stores and drops the
+  /// evicted steps' refs after republishing StartVersion.
   bool applyUpdate(Cell &C, uint32_t X, bool IsWrite,
                    const ActionOutcome &Out);
+
+  /// Drop the reclaim references held by \p C's triple (the cell is about
+  /// to be freed with its range/page).
+  void dropCellRefs(Cell &C);
+  /// dropCellRefs plus a full reset of \p C, leaving it indistinguishable
+  /// from a value-initialized cell (recycled primary pages are reused).
+  void dropAndResetCell(Cell &C);
 
   /// DMHP(Other, TS->CurStep) through the label fast path and the per-task
   /// memo (or straight through when both are disabled).
@@ -213,7 +253,13 @@ private:
   dpst::Dpst Tree;
   ShadowSpace<Cell> Shadow;
   /// Arena for TaskState/FinishState records (trivially destructible).
+  /// Service mode recycles records when their task/finish completes, so
+  /// the arena holds O(live tasks), not O(tasks ever).
   ConcurrentArena StateArena;
+  /// Service-mode step-epoch source (see advanceStep). Wraps after 2^32
+  /// step transitions; entries that survive a wrap are also gated on the
+  /// TaskState address and the tool generation.
+  std::atomic<uint32_t> EpochSource{1};
   /// Striped locks for the Mutex protocol, padded so adjacent stripes never
   /// share a cache line (uncontended stripes used to false-share).
   struct alignas(SPD3_CACHELINE) PaddedMutex {
@@ -221,6 +267,10 @@ private:
   };
   static constexpr size_t NumLocks = 1024;
   PaddedMutex *Locks = nullptr;
+  /// Service-mode reclaimer; null unless Opts.Reclaim. Declared last so
+  /// it destructs first — its teardown drain runs epoch deleters that
+  /// still dereference Tree and Shadow.
+  std::unique_ptr<reclaim::Reclaimer> Rec;
 };
 
 } // namespace spd3::detector

@@ -81,6 +81,55 @@ Node *Dpst::onFinishEnd(Node *FinishNode) {
   return newNode(FinishNode->Parent, NodeKind::Step);
 }
 
+void Dpst::collectSubtree(Node *N, std::vector<Node *> &Out) {
+  for (Node *C = N->FirstChild; C; C = C->NextSibling) {
+    Out.push_back(C);
+    collectSubtree(C, Out);
+  }
+}
+
+void Dpst::markRetired(Node *F, uint32_t Nodes, uint32_t Interior) {
+  SPD3_CHECK(F && F->isFinish(), "only finish scopes are retired");
+  F->FirstChild = F->LastChild = nullptr;
+  F->SummaryNodes += Nodes;
+  F->SummaryInterior += Interior;
+  // Publish: concurrent readers (the auditor's summary-aware rules, the
+  // retirer of the enclosing scope) acquire SummaryState before trusting
+  // the plain fields above.
+  F->SummaryState.store(1, std::memory_order_release);
+}
+
+uint32_t Dpst::compactScopePrefix(Node *Scope, const Node *CurStep,
+                                  std::vector<Node *> &Recycled) {
+  Node *Head = Scope->FirstChild;
+  if (!Head || !Head->isStep())
+    return 0;
+  uint32_t Absorbed = 0;
+  for (Node *C = Head->NextSibling; C && C != Scope->LastChild;) {
+    bool DeadStep = C->isStep() && C != CurStep &&
+                    C->ShadowRefs.load(std::memory_order_relaxed) == 0;
+    bool DeadFinish = C->isFinish() && C->isSummarized() && !C->FirstChild;
+    if (!DeadStep && !DeadFinish)
+      break;
+    // The head stands for the contiguous sibling range [1, SummarySeqHi];
+    // C extends it by exactly one SeqNo, plus whatever C itself already
+    // summarizes.
+    Head->SummarySeqHi = C->SeqNo;
+    Head->SummaryNodes += 1 + C->SummaryNodes;
+    Head->SummaryInterior += C->SummaryInterior + (C->isFinish() ? 1 : 0);
+    Head->NextSibling = C->NextSibling;
+    Recycled.push_back(C);
+    ++Absorbed;
+    C = Head->NextSibling;
+  }
+  return Absorbed;
+}
+
+void Dpst::recycleNode(Node *N) {
+  NumNodes.fetch_sub(1, std::memory_order_relaxed);
+  NodeArena.recycle(N, sizeof(Node));
+}
+
 Node *Dpst::lca(Node *A, Node *B) {
   SPD3_CHECK(A && B, "lca requires two nodes");
   uint64_t Hops = 0;

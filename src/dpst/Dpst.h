@@ -38,6 +38,10 @@
 #include <string>
 #include <vector>
 
+namespace spd3::reclaim {
+class Region;
+} // namespace spd3::reclaim
+
 namespace spd3::dpst {
 
 enum class NodeKind : uint8_t { Finish, Async, Step };
@@ -154,9 +158,46 @@ public:
   Node *LastChild = nullptr;
   Node *NextSibling = nullptr;
 
+  /// \name Service-mode reclamation fields (src/reclaim/)
+  /// Dormant unless Spd3Options::Reclaim is on; a batch run never writes
+  /// them after construction.
+  /// @{
+
+  /// Live shadow-triple references to this step (how many Cell W/R1/R2
+  /// slots currently point here). Maintained by the protocol winner in
+  /// Spd3Tool; monotonically nonincreasing once the step has completed,
+  /// which is what makes the ==0 compaction test stable.
+  std::atomic<uint32_t> ShadowRefs{0};
+
+  /// 0 = live, 1 = summarized. Stored with release order *after* the
+  /// plain summary fields below are written; readers load it with acquire
+  /// before trusting them. All other reclamation-era mutations of this
+  /// node (child-link clearing) are owner/retirer-only.
+  std::atomic<uint8_t> SummaryState{0};
+
+  /// Highest sibling SeqNo absorbed into this node by prefix compaction
+  /// (0 = none). A scope whose first child has SummarySeqHi = H has
+  /// logically H children in [1, H] represented by that one node.
+  uint32_t SummarySeqHi = 0;
+  /// Nodes (and interior nodes) this summary logically stands for, not
+  /// counting the node itself. Keeps the paper's 3*(a+f)-1 size bound
+  /// auditable after physical nodes are recycled.
+  uint32_t SummaryNodes = 0;
+  uint32_t SummaryInterior = 0;
+
+  /// The reclaim region (innermost enclosing finish scope) a *step*
+  /// belongs to; null for interior nodes and whenever reclamation is off.
+  reclaim::Region *ReclaimRegion = nullptr;
+  /// @}
+
   bool isStep() const { return Kind == NodeKind::Step; }
   bool isAsync() const { return Kind == NodeKind::Async; }
   bool isFinish() const { return Kind == NodeKind::Finish; }
+
+  /// Has this node been collapsed into a summary (acquire)?
+  bool isSummarized() const {
+    return SummaryState.load(std::memory_order_acquire) != 0;
+  }
 
   /// True if this node is a proper ancestor of \p N (the paper's
   /// ">_dpst" relation, Definition 5).
@@ -264,14 +305,47 @@ public:
   /// lca()).
   static ProvenancePaths provenance(const Node *A, const Node *B);
 
+  /// \name Service-mode reclamation primitives (src/reclaim/)
+  /// Structure-mutating entry points used by reclaim::Reclaimer, which
+  /// owns the protocol (quiescence of the subtree, grace periods before
+  /// recycleNode). A batch run never calls any of these.
+  /// @{
+
+  /// Append every node strictly below \p N to \p Out. The subtree must be
+  /// structurally quiesced (its finish has ended).
+  static void collectSubtree(Node *N, std::vector<Node *> &Out);
+
+  /// Collapse completed finish \p F into a childless summary standing for
+  /// \p Nodes descendants, \p Interior of them interior. Leaves
+  /// NumChildren as the logical child count; publishes via SummaryState.
+  static void markRetired(Node *F, uint32_t Nodes, uint32_t Interior);
+
+  /// Absorb the longest absorbable prefix of \p Scope's children (beyond
+  /// the first) into the scope's first child, which becomes/extends a
+  /// rolling summary: completed steps other than \p CurStep with zero
+  /// ShadowRefs, and childless summarized finishes. Unlinked nodes are
+  /// appended to \p Recycled for the caller to epoch-retire. Returns the
+  /// number absorbed. Owner-task-only, like appendChild.
+  static uint32_t compactScopePrefix(Node *Scope, const Node *CurStep,
+                                     std::vector<Node *> &Recycled);
+
+  /// Return \p N's storage to the node arena (grace period elapsed).
+  void recycleNode(Node *N);
+  /// @}
+
   /// Total number of nodes (the paper's 3*(a+f)-1 size bound is checked
-  /// against this in tests).
+  /// against this in tests). Counts physical nodes: recycled nodes leave
+  /// the count, summarized descendants survive only in Summary* fields.
   uint64_t nodeCount() const {
     return NumNodes.load(std::memory_order_relaxed);
   }
 
-  /// Bytes of node storage handed out (detector-metadata accounting).
-  size_t memoryBytes() const { return NodeArena.bytesAllocated(); }
+  /// Bytes of node storage currently live (handed out minus recycled —
+  /// identical to the handed-out total unless reclamation ran).
+  size_t memoryBytes() const { return NodeArena.bytesLive(); }
+
+  /// Bytes of node storage parked on the recycle free lists.
+  size_t memoryBytesFree() const { return NodeArena.bytesFree(); }
 
   /// Structural self-check (run after quiescence): parent/child link
   /// consistency, depths, sequence numbers, leaf/interior kinds. Returns

@@ -34,8 +34,18 @@ const std::vector<Kernel *> &allKernels() {
       makeMandelbrot(),
       // EC2.
       makeMatMul(),
+      // Service-mode soak (not in Table 1; exercises src/reclaim/).
+      makeRequestServer(),
   };
   return *Kernels;
+}
+
+std::vector<Kernel *> table1Kernels() {
+  std::vector<Kernel *> Out;
+  for (Kernel *K : allKernels())
+    if (std::strcmp(K->source(), "Service") != 0)
+      Out.push_back(K);
+  return Out;
 }
 
 Kernel *findKernel(const std::string &Name) {

@@ -89,9 +89,14 @@ public:
   virtual KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) = 0;
 };
 
-/// All 15 kernels, in Table 1 order. Instances are created on first use
-/// (no static constructors) and live for the process lifetime.
+/// All kernels: the 15 of Table 1 in order, plus the request_server
+/// service-mode soak. Instances are created on first use (no static
+/// constructors) and live for the process lifetime.
 const std::vector<Kernel *> &allKernels();
+
+/// The 15 Table 1 kernels only — what the paper-reproduction benches
+/// (fig3, fig4, ablations) iterate. Excludes service-mode extras.
+std::vector<Kernel *> table1Kernels();
 
 /// Lookup by name(); null if unknown.
 Kernel *findKernel(const std::string &Name);

@@ -33,6 +33,7 @@ Kernel *makeStrassen();
 Kernel *makeFannkuch();
 Kernel *makeMandelbrot();
 Kernel *makeMatMul();
+Kernel *makeRequestServer();
 
 } // namespace spd3::kernels
 

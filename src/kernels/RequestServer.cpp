@@ -1,0 +1,119 @@
+//===- kernels/RequestServer.cpp - Service-mode soak workload --------------===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+// Not one of the Table 1 benchmarks: a request-serving loop that stresses
+// the service-mode reclamation subsystem (src/reclaim/, DESIGN.md §10).
+// One long Runtime::run hosts a persistent session table and a stream of
+// short requests, each of which opens a finish scope, registers a scratch
+// TrackedArray, fans out over it with asyncs, folds the result into a
+// session accumulator, and unregisters the scratch. Under a batch-mode
+// detector every request leaks two DPST nodes, one range-table slot, and
+// the scratch shadow cells forever; with Spd3Options::Reclaim the
+// footprint plateaus at the live state (sessions + one in-flight request).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernel.h"
+#include "kernels/Kernels.h"
+
+namespace spd3::kernels {
+namespace {
+
+struct Sizes {
+  size_t Requests;
+  size_t WorkItems; ///< Scratch elements (and asyncs) per request.
+  size_t Sessions;  ///< Persistent accumulator slots.
+};
+
+Sizes sizesFor(SizeClass S) {
+  switch (S) {
+  case SizeClass::Test:
+    return {48, 8, 4};
+  case SizeClass::Small:
+    return {512, 16, 8};
+  case SizeClass::Default:
+    // Capped below the 4096-slot shadow range table: batch-mode detectors
+    // never recycle the per-request scratch slots (service mode does).
+    return {3000, 64, 16};
+  }
+  return {3000, 64, 16};
+}
+
+/// Deterministic per-item "request payload" — cheap integer mixing so the
+/// kernel measures detector/runtime overhead, not arithmetic.
+double payload(size_t Req, size_t Item) {
+  uint64_t H = Req * 31 + Item * 7 + 13;
+  H ^= H >> 7;
+  return static_cast<double>(H % 97) * 1e-3;
+}
+
+class RequestServerKernel : public Kernel {
+public:
+  const char *name() const override { return "request_server"; }
+  const char *description() const override {
+    return "persistent serving loop of short async-finish requests "
+           "(service-mode reclamation soak)";
+  }
+  const char *source() const override { return "Service"; }
+
+  KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    Sizes Sz = sizesFor(Cfg.Size);
+    double Checksum = 0.0;
+    std::vector<double> ParSessions(Sz.Sessions);
+
+    RT.run([&] {
+      detector::TrackedArray<double> Sessions(Sz.Sessions);
+      detector::TrackedVar<double> RaceCell(0.0);
+      for (size_t S = 0; S < Sz.Sessions; ++S)
+        Sessions.set(S, 0.0);
+
+      for (size_t Req = 0; Req < Sz.Requests; ++Req) {
+        // Per-request scratch: registered on entry, unregistered (and in
+        // service mode, reclaimed) when it goes out of scope.
+        detector::TrackedArray<double> Scratch(Sz.WorkItems);
+        detail::forAll(Cfg, Sz.WorkItems, [&](size_t I) {
+          Scratch.set(I, payload(Req, I));
+          if (Cfg.SeedRace && Req == 0 && (I == 0 || I == Sz.WorkItems - 1))
+            detail::seedRaceWrite(RaceCell, I);
+        });
+        // The serving task's continuation step is ordered after the
+        // request's finish: folding the response is race-free.
+        const double *Resp = Scratch.readRun(0, Sz.WorkItems);
+        double Sum = 0.0;
+        for (size_t I = 0; I < Sz.WorkItems; ++I)
+          Sum += Resp[I];
+        size_t S = Req % Sz.Sessions;
+        Sessions.set(S, Sessions.get(S) + Sum);
+      }
+
+      const double *Acc = Sessions.readRun(0, Sz.Sessions);
+      for (size_t S = 0; S < Sz.Sessions; ++S) {
+        ParSessions[S] = Acc[S];
+        Checksum += Acc[S];
+      }
+    });
+
+    if (!Cfg.Verify)
+      return KernelResult::ok(Checksum);
+    std::vector<double> Ref(Sz.Sessions, 0.0);
+    for (size_t Req = 0; Req < Sz.Requests; ++Req) {
+      double Sum = 0.0;
+      for (size_t I = 0; I < Sz.WorkItems; ++I)
+        Sum += payload(Req, I);
+      Ref[Req % Sz.Sessions] += Sum;
+    }
+    for (size_t S = 0; S < Sz.Sessions; ++S)
+      if (!detail::closeEnough(ParSessions[S], Ref[S]))
+        return KernelResult::fail("request_server: session accumulator "
+                                  "mismatch",
+                                  Checksum);
+    return KernelResult::ok(Checksum);
+  }
+};
+
+} // namespace
+
+Kernel *makeRequestServer() { return new RequestServerKernel(); }
+
+} // namespace spd3::kernels

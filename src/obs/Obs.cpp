@@ -29,6 +29,8 @@ Statistic NumRangeCells("shadow", "rangeCells");
 Statistic NumShadowPages("shadow", "primaryPages");
 Statistic NumShadowSupers("shadow", "primarySupers");
 Statistic NumShadowGranules("shadow", "primaryCells");
+Statistic NumRangeCellsReclaimed("shadow", "rangeCellsReclaimed");
+Statistic NumShadowPagesRecycled("shadow", "primaryPagesRecycled");
 Statistic NumEventsEmitted("obs", "eventsEmitted");
 
 /// One registered per-thread ring. Owned by the registry (never freed
@@ -195,6 +197,14 @@ const char *eventKindName(EventKind K) {
     return "shadow.super";
   case EventKind::RaceFound:
     return "race";
+  case EventKind::EpochAdvance:
+    return "reclaim.epoch";
+  case EventKind::SubtreeRetire:
+    return "reclaim.retire";
+  case EventKind::SummaryCollapse:
+    return "reclaim.collapse";
+  case EventKind::PageRecycle:
+    return "reclaim.pageRecycle";
   }
   return "?";
 }
@@ -315,6 +325,13 @@ void noteShadowSuper(size_t ResidentSupers) {
 }
 
 void noteShadowGranule() { ++NumShadowGranules; }
+
+void noteRangeCellsReclaimed(size_t Count) { NumRangeCellsReclaimed += Count; }
+
+void noteShadowPageRecycled(size_t ResidentPages) {
+  ++NumShadowPagesRecycled;
+  emit(EventKind::PageRecycle, ResidentPages);
+}
 
 size_t retainedEvents() {
   Registry &R = registry();

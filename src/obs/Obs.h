@@ -137,6 +137,10 @@ void noteRangeCells(size_t Count);
 void noteShadowPage(size_t ResidentPages);
 void noteShadowSuper(size_t ResidentSupers);
 void noteShadowGranule();
+/// Reclamation (src/reclaim/): range cell arrays handed back through the
+/// epoch manager, primary-map pages returned to the page free list.
+void noteRangeCellsReclaimed(size_t Count);
+void noteShadowPageRecycled(size_t ResidentPages);
 /// @}
 
 /// \name Introspection / test support

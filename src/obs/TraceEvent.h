@@ -32,6 +32,10 @@
 ///   ShadowPage    resident pages    -              -
 ///   ShadowSuper   resident supers   -              -
 ///   RaceFound     address           -              RaceKind
+///   EpochAdvance  new global epoch  min pinned     -
+///   SubtreeRetire finish node id    nodes retired  -
+///   SummaryCollapse finish node id  nodes absorbed -
+///   PageRecycle   resident pages    -              -
 ///
 /// Task and scope ids are the runtime object addresses: unique while live,
 /// stable across the B/E pair, and meaningless afterwards — exactly what a
@@ -64,6 +68,10 @@ enum class EventKind : uint16_t {
   ShadowPage,
   ShadowSuper,
   RaceFound,
+  EpochAdvance,
+  SubtreeRetire,
+  SummaryCollapse,
+  PageRecycle,
 };
 
 /// Outcome classes for Check*/Range* events (the Aux field): how the

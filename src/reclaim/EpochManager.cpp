@@ -1,0 +1,175 @@
+//===- reclaim/EpochManager.cpp - Epoch-based reclamation -----------------===//
+
+#include "reclaim/EpochManager.h"
+
+#include "obs/Obs.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace spd3::reclaim {
+
+namespace {
+Statistic NumEpochAdvances("reclaim", "epochAdvances");
+Statistic NumRetired("reclaim", "retired");
+Statistic NumRetiredBytes("reclaim", "retiredBytes");
+Statistic NumFreed("reclaim", "freed");
+Statistic NumFreedBytes("reclaim", "freedBytes");
+
+uint64_t nextManagerId() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread pin state for one manager: claimed slot plus a nesting
+/// depth so inner PinGuards are free. A thread keeps a handful of these
+/// (one per live manager it touches — typically the detector's, plus a
+/// test twin's); entries are evicted only while unpinned, and the slot
+/// registry below recovers the claimed slot after an eviction.
+struct ThreadPin {
+  uint64_t ManagerId = 0;
+  uint32_t Slot = 0;
+  uint32_t Depth = 0;
+};
+
+thread_local ThreadPin TLPins[4];
+
+ThreadPin *findPin(uint64_t Id) {
+  for (ThreadPin &P : TLPins)
+    if (P.ManagerId == Id)
+      return &P;
+  return nullptr;
+}
+} // namespace
+
+EpochManager::EpochManager() : ManagerId(nextManagerId()) {
+  for (auto &S : Slots)
+    S.store(0, std::memory_order_relaxed);
+}
+
+EpochManager::~EpochManager() { drain(); }
+
+uint32_t EpochManager::slotFor() {
+  // Slow path: the thread-local entry was evicted (or never existed).
+  // Look the thread's slot up in the registry so slots stay one per
+  // (thread, manager) no matter how often the cache thrashes.
+  std::thread::id Me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> Lock(RetireMutex);
+  for (const auto &[Tid, S] : SlotOwners)
+    if (Tid == Me)
+      return S;
+  uint32_t S = NextSlot.fetch_add(1, std::memory_order_relaxed);
+  SPD3_CHECK(S < kMaxThreads, "epoch manager thread slots exhausted");
+  SlotOwners.push_back({Me, S});
+  return S;
+}
+
+void EpochManager::pin() {
+  ThreadPin *P = findPin(ManagerId);
+  if (SPD3_UNLIKELY(!P)) {
+    uint32_t S = slotFor();
+    for (ThreadPin &C : TLPins)
+      if (C.Depth == 0) {
+        C = {ManagerId, S, 0};
+        P = &C;
+        break;
+      }
+    SPD3_CHECK(P, "too many concurrently pinned epoch managers");
+  }
+  if (P->Depth++ > 0)
+    return;
+  uint64_t E = GlobalEpoch.load(std::memory_order_relaxed);
+  Slots[P->Slot].store(E, std::memory_order_relaxed);
+  // Order the slot publication before every subsequent shared read: a
+  // collector that advances the epoch after this fence must observe our
+  // pin, and we must observe any unlink that preceded its advance.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void EpochManager::unpin() {
+  ThreadPin *P = findPin(ManagerId);
+  SPD3_CHECK(P && P->Depth > 0, "unpin without matching pin");
+  if (--P->Depth > 0)
+    return;
+  Slots[P->Slot].store(0, std::memory_order_release);
+}
+
+uint64_t EpochManager::minPinnedEpoch() const {
+  uint32_t N = std::min<uint32_t>(NextSlot.load(std::memory_order_relaxed),
+                                  kMaxThreads);
+  uint64_t Min = UINT64_MAX;
+  for (uint32_t I = 0; I < N; ++I) {
+    uint64_t E = Slots[I].load(std::memory_order_relaxed);
+    if (E && E < Min)
+      Min = E;
+  }
+  return Min;
+}
+
+void EpochManager::retire(size_t Bytes, std::function<void()> Deleter) {
+  uint64_t Stamp = GlobalEpoch.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(RetireMutex);
+    RetireList.push_back({Stamp, Bytes, std::move(Deleter)});
+  }
+  PendingBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  ++NumRetired;
+  NumRetiredBytes += Bytes;
+}
+
+size_t EpochManager::collect() {
+  GlobalEpoch.fetch_add(1, std::memory_order_relaxed);
+  // Pair with the fence in pin(): after this, every reader whose pin we
+  // cannot see observed the advanced epoch (or a later one), so anything
+  // retired before the advance is invisible to it.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  ++NumEpochAdvances;
+  uint64_t Min = minPinnedEpoch();
+  obs::emit(obs::EventKind::EpochAdvance,
+            GlobalEpoch.load(std::memory_order_relaxed),
+            static_cast<uint32_t>(Min == UINT64_MAX ? 0 : Min));
+
+  std::vector<Retired> Ready;
+  {
+    std::lock_guard<std::mutex> Lock(RetireMutex);
+    auto Mid = std::partition(RetireList.begin(), RetireList.end(),
+                              [&](const Retired &R) { return R.Stamp >= Min; });
+    Ready.assign(std::make_move_iterator(Mid),
+                 std::make_move_iterator(RetireList.end()));
+    RetireList.erase(Mid, RetireList.end());
+  }
+  size_t FreedB = 0;
+  for (Retired &R : Ready) {
+    // Outside the lock: deleters may re-enter retire() (cascades).
+    R.Deleter();
+    FreedB += R.Bytes;
+  }
+  if (!Ready.empty()) {
+    PendingBytes.fetch_sub(FreedB, std::memory_order_relaxed);
+    FreedBytes.fetch_add(FreedB, std::memory_order_relaxed);
+    NumFreed += Ready.size();
+    NumFreedBytes += FreedB;
+  }
+  return Ready.size();
+}
+
+void EpochManager::drain() {
+  SPD3_CHECK(minPinnedEpoch() == UINT64_MAX,
+             "epoch drain while a thread is still pinned");
+  // Each collect() may enqueue more work (cascading retirements), so loop
+  // until a full pass frees nothing and the list is empty.
+  for (;;) {
+    size_t Freed = collect();
+    bool Empty;
+    {
+      std::lock_guard<std::mutex> Lock(RetireMutex);
+      Empty = RetireList.empty();
+    }
+    if (Empty)
+      return;
+    SPD3_CHECK(Freed > 0, "epoch drain made no progress");
+  }
+}
+
+} // namespace spd3::reclaim

@@ -1,0 +1,149 @@
+//===- reclaim/EpochManager.h - Epoch-based reclamation ---------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-based memory reclamation (EBR) for detector metadata.
+///
+/// Service mode retires DPST subtrees, shadow cell arrays, and primary-map
+/// pages while worker threads may still be traversing them through stale
+/// pointers (a seqlock snapshot that will fail validation, a DMHP walk that
+/// raced a retirement). The epoch manager provides the grace period that
+/// makes those traversals safe:
+///
+///  - Readers wrap every window in which they may dereference reclaimable
+///    memory in pin()/unpin() (see PinGuard). A pinned reader advertises
+///    the global epoch it observed on entry and never carries reclaimable
+///    pointers across an unpin.
+///  - Writers hand memory back with retire(Bytes, Deleter); the deleter is
+///    stamped with the current global epoch and runs only after every
+///    reader pinned at or before that stamp has unpinned.
+///  - collect() advances the global epoch and runs every deleter whose
+///    stamp precedes the minimum pinned epoch. Deleters run outside the
+///    manager's lock, so they may re-enter retire() (subtree retirement
+///    cascades do).
+///
+/// Safety argument: a reader that could dereference an object unlinked at
+/// stamp S must have pinned before the unlink became visible, so its
+/// advertised epoch is <= S (the pin fence orders the slot store before
+/// any subsequent shared load). collect() only frees objects with
+/// stamp < min(pinned), hence never under such a reader. Readers that pin
+/// after the unlink can no longer find the object: retire() is called only
+/// after the object is unreachable from shared structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RECLAIM_EPOCHMANAGER_H
+#define SPD3_RECLAIM_EPOCHMANAGER_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace spd3::reclaim {
+
+/// Process-wide grace-period tracker. One instance per reclaiming detector;
+/// cheap enough that a disabled detector never constructs one.
+class EpochManager {
+public:
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager &) = delete;
+  EpochManager &operator=(const EpochManager &) = delete;
+
+  /// Enter a read-side critical section. Nestable per thread (inner
+  /// pins are counted, only the outermost publishes/clears the slot).
+  void pin();
+  void unpin();
+
+  /// RAII pin for detector hot paths. Pins only when \p M is non-null so
+  /// the Reclaim-off configuration pays a single branch.
+  class PinGuard {
+  public:
+    explicit PinGuard(EpochManager *M) : M(M) {
+      if (M)
+        M->pin();
+    }
+    ~PinGuard() {
+      if (M)
+        M->unpin();
+    }
+    PinGuard(const PinGuard &) = delete;
+    PinGuard &operator=(const PinGuard &) = delete;
+
+  private:
+    EpochManager *M;
+  };
+
+  /// Defer \p Deleter until all current readers have unpinned. \p Bytes is
+  /// the payload the deleter will release, tracked for memory accounting.
+  /// May be called from inside a running deleter (retirement cascades).
+  void retire(size_t Bytes, std::function<void()> Deleter);
+
+  /// Advance the global epoch and run every deleter whose grace period has
+  /// elapsed. Returns the number of deleters run. Safe to call
+  /// concurrently; deleters run on the calling thread, outside the lock.
+  size_t collect();
+
+  /// Run collect() until the retire list is empty. Must only be called
+  /// when no thread is pinned (e.g. detector teardown after the runtime
+  /// has quiesced); checks that property and aborts if violated.
+  void drain();
+
+  /// Bytes held by deleters whose grace period has not yet elapsed.
+  size_t pendingBytes() const {
+    return PendingBytes.load(std::memory_order_relaxed);
+  }
+  /// Total bytes released by completed deleters over the manager's life.
+  size_t freedBytes() const {
+    return FreedBytes.load(std::memory_order_relaxed);
+  }
+  /// Current global epoch (starts at 1; monotonically increasing).
+  uint64_t epoch() const { return GlobalEpoch.load(std::memory_order_relaxed); }
+
+private:
+  struct Retired {
+    uint64_t Stamp;
+    size_t Bytes;
+    std::function<void()> Deleter;
+  };
+
+  static constexpr size_t kMaxThreads = 512;
+
+  uint32_t slotFor();
+  uint64_t minPinnedEpoch() const;
+
+  std::atomic<uint64_t> GlobalEpoch{1};
+  /// Per-thread advertised epochs; 0 = not pinned. Slots are claimed once
+  /// per (thread, manager) and never returned — fine for the fixed worker
+  /// pools a service runs on.
+  std::atomic<uint64_t> Slots[kMaxThreads];
+  std::atomic<uint32_t> NextSlot{0};
+
+  /// Process-unique id for thread-local slot caching (managers can be
+  /// created and destroyed repeatedly in tests; ids are never reused).
+  const uint64_t ManagerId;
+
+  mutable std::mutex RetireMutex;
+  std::vector<Retired> RetireList;
+  /// Durable (thread id -> slot) map behind the thread-local pin cache;
+  /// consulted only when a cache entry was evicted. Shares RetireMutex —
+  /// both are cold paths.
+  std::vector<std::pair<std::thread::id, uint32_t>> SlotOwners;
+  std::atomic<size_t> PendingBytes{0};
+  std::atomic<size_t> FreedBytes{0};
+};
+
+} // namespace spd3::reclaim
+
+#endif // SPD3_RECLAIM_EPOCHMANAGER_H

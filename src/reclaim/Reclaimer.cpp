@@ -1,0 +1,126 @@
+//===- reclaim/Reclaimer.cpp - DPST subtree retirement --------------------===//
+
+#include "reclaim/Reclaimer.h"
+
+#include "obs/Obs.h"
+#include "support/Stats.h"
+
+#include <utility>
+#include <vector>
+
+namespace spd3::reclaim {
+
+namespace {
+Statistic NumSubtreesRetired("reclaim", "subtreesRetired");
+Statistic NumNodesRetired("reclaim", "nodesRetired");
+Statistic NumSummaryCollapses("reclaim", "summaryCollapses");
+Statistic NumNodesCompacted("reclaim", "nodesCompacted");
+
+/// Epoch-advance cadence: one collect() per this many region closes. A
+/// request-per-finish server at 64 gives a grace window of a few dozen
+/// requests — long enough to amortize the fence sweep, short enough that
+/// pending bytes stay bounded by recent traffic.
+constexpr uint32_t kCollectEveryCloses = 64;
+} // namespace
+
+Reclaimer::Reclaimer(dpst::Dpst &Tree) : Tree(Tree) {
+  Root = new Region(nullptr, Tree.root());
+}
+
+Reclaimer::~Reclaimer() {
+  Epochs.drain();
+  delete Root;
+}
+
+Region *Reclaimer::openRegion(Region *Parent, dpst::Node *FinishNode) {
+  Parent->LiveChildren.fetch_add(1, std::memory_order_relaxed);
+  return new Region(Parent, FinishNode);
+}
+
+void Reclaimer::closeRegion(Region *R) {
+  R->St.store(Region::Closed, std::memory_order_release);
+  tryRetire(R);
+}
+
+void Reclaimer::tryRetire(Region *R) {
+  while (R) {
+    if (R->St.load(std::memory_order_acquire) != Region::Closed)
+      return;
+    if (R->LiveChildren.load(std::memory_order_acquire) != 0)
+      return;
+    if (R->LiveRefs.load(std::memory_order_acquire) != 0)
+      return;
+    // All three conditions are stable once true (refs install only for
+    // currently-executing steps; the scope has none left). The CAS picks
+    // the single retirer among racing last-droppers and the closer.
+    uint8_t Expected = Region::Closed;
+    if (!R->St.compare_exchange_strong(Expected, Region::Retiring,
+                                       std::memory_order_acq_rel))
+      return;
+    R = retireRegion(R);
+  }
+}
+
+Region *Reclaimer::retireRegion(Region *R) {
+  dpst::Node *F = R->FinishNode;
+  std::vector<dpst::Node *> Dead;
+  dpst::Dpst::collectSubtree(F, Dead);
+  // Every nested finish retired first (LiveChildren == 0), so remaining
+  // descendants are steps, asyncs, and childless summaries; fold their
+  // logical counts into F's summary.
+  uint64_t Logical = 0;
+  uint64_t Interior = 0;
+  for (dpst::Node *N : Dead) {
+    Logical += 1 + N->SummaryNodes;
+    Interior += N->SummaryInterior + (N->isStep() ? 0 : 1);
+  }
+  dpst::Dpst::markRetired(F, static_cast<uint32_t>(Logical),
+                          static_cast<uint32_t>(Interior));
+  R->St.store(Region::Retired, std::memory_order_release);
+
+  ++NumSubtreesRetired;
+  NumNodesRetired += Dead.size();
+  SubtreesRetired.fetch_add(1, std::memory_order_relaxed);
+  obs::emit(obs::EventKind::SubtreeRetire, reinterpret_cast<uint64_t>(F),
+            static_cast<uint32_t>(Dead.size()));
+
+  if (!Dead.empty())
+    Epochs.retire(Dead.size() * sizeof(dpst::Node),
+                  [this, Dead = std::move(Dead)] {
+                    for (dpst::Node *N : Dead)
+                      Tree.recycleNode(N);
+                  });
+  Region *P = R->Parent;
+  Epochs.retire(sizeof(Region), [R] { delete R; });
+  // Cascade: this was possibly the last live child of an already-closed
+  // parent whose refs are gone.
+  if (P && P->LiveChildren.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    return P;
+  return nullptr;
+}
+
+void Reclaimer::compactScope(dpst::Node *Scope, const dpst::Node *CurStep) {
+  std::vector<dpst::Node *> Dead;
+  uint32_t N = dpst::Dpst::compactScopePrefix(Scope, CurStep, Dead);
+  if (!N)
+    return;
+  ++NumSummaryCollapses;
+  NumNodesCompacted += N;
+  obs::emit(obs::EventKind::SummaryCollapse, reinterpret_cast<uint64_t>(Scope),
+            N);
+  Epochs.retire(Dead.size() * sizeof(dpst::Node),
+                [this, Dead = std::move(Dead)] {
+                  for (dpst::Node *D : Dead)
+                    Tree.recycleNode(D);
+                });
+}
+
+void Reclaimer::maybeCollect() {
+  if (ClosesSinceCollect.fetch_add(1, std::memory_order_relaxed) + 1 <
+      kCollectEveryCloses)
+    return;
+  ClosesSinceCollect.store(0, std::memory_order_relaxed);
+  Epochs.collect();
+}
+
+} // namespace spd3::reclaim

@@ -1,0 +1,153 @@
+//===- reclaim/Reclaimer.h - DPST subtree retirement ------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded-memory detection: retire completed finish-scope subtrees of the
+/// DPST once no live shadow triple references them (DESIGN.md §10).
+///
+/// One reclaim::Region exists per dynamic finish scope. The detector
+/// routes three signals into it:
+///
+///  - Reference accounting: the winner of the shadow protocol calls
+///    addRef on every step it installs into a Cell triple and dropRef on
+///    every step it evicts (new refs before old drops, so a kept step
+///    never transiently reads zero). A region's LiveRefs is the number of
+///    live triple slots pointing into its finish scope.
+///  - Scope lifecycle: openRegion at finish start, closeRegion at finish
+///    end (the runtime has already joined every task of the scope by
+///    then, so the subtree is structurally quiesced).
+///  - Child tracking: LiveChildren counts unretired child regions.
+///
+/// A region retires when Closed && LiveChildren == 0 && LiveRefs == 0;
+/// the Closed->Retiring transition is a CAS so exactly one thread (owner
+/// or the last dropRef-er) performs it. Retirement collapses the finish
+/// into a childless summary node (Dpst::markRetired), epoch-retires the
+/// physical descendants, and cascades to the parent region. Because refs
+/// are only ever installed for currently-executing steps, all three
+/// retirement conditions are stable once true.
+///
+/// Sibling-prefix compaction keeps the *surviving* scope flat: once a
+/// request's finish has collapsed to a summary node, the owner task
+/// absorbs it (and its completed, unreferenced neighbour steps) into the
+/// scope's first child, so a million-request serving loop holds O(1)
+/// nodes instead of two per request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_RECLAIM_RECLAIMER_H
+#define SPD3_RECLAIM_RECLAIMER_H
+
+#include "dpst/Dpst.h"
+#include "reclaim/EpochManager.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace spd3::reclaim {
+
+/// Per-finish-scope retirement state. Allocated by the Reclaimer, freed
+/// through the epoch manager after retirement (readers doing the last
+/// dropRef race the retirer).
+class Region {
+public:
+  enum State : uint8_t { Open, Closed, Retiring, Retired };
+
+  Region(Region *Parent, dpst::Node *FinishNode)
+      : Parent(Parent), FinishNode(FinishNode) {}
+
+  Region *const Parent;
+  /// The finish node this region governs; the tree root for the implicit
+  /// outermost region (which never retires).
+  dpst::Node *const FinishNode;
+
+  /// Live shadow-triple slots referencing steps of this scope (excluding
+  /// nested regions, which count their own).
+  std::atomic<uint64_t> LiveRefs{0};
+  /// Child regions not yet retired.
+  std::atomic<uint32_t> LiveChildren{0};
+  std::atomic<uint8_t> St{Open};
+};
+
+/// Orchestrates region lifecycle, reference accounting, and the epoch
+/// manager. One per reclaiming Spd3Tool.
+class Reclaimer {
+public:
+  explicit Reclaimer(dpst::Dpst &Tree);
+  ~Reclaimer();
+
+  Reclaimer(const Reclaimer &) = delete;
+  Reclaimer &operator=(const Reclaimer &) = delete;
+
+  /// The implicit region around the whole run (root finish).
+  Region *rootRegion() { return Root; }
+
+  /// A finish started under \p Parent with DPST node \p FinishNode.
+  Region *openRegion(Region *Parent, dpst::Node *FinishNode);
+
+  /// The finish of \p R ended (its tasks are joined). Marks the region
+  /// Closed and retires it if no references survive.
+  void closeRegion(Region *R);
+
+  /// A triple slot now points at \p Step. Hot path: two relaxed RMWs when
+  /// the step carries a region, nothing otherwise.
+  static void addRef(dpst::Node *Step) {
+    if (!Step)
+      return;
+    if (Region *R = Step->ReclaimRegion) {
+      Step->ShadowRefs.fetch_add(1, std::memory_order_relaxed);
+      R->LiveRefs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// A triple slot no longer points at \p Step. The last drop of a closed
+  /// scope triggers retirement on the calling thread.
+  void dropRef(dpst::Node *Step) {
+    if (!Step)
+      return;
+    Region *R = Step->ReclaimRegion;
+    if (!R)
+      return;
+    Step->ShadowRefs.fetch_sub(1, std::memory_order_relaxed);
+    if (R->LiveRefs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      tryRetire(R);
+  }
+
+  /// Absorb the retired/completed prefix of \p Scope's children into its
+  /// first child (owner-task-only; \p CurStep is the owner's current
+  /// step, never absorbed).
+  void compactScope(dpst::Node *Scope, const dpst::Node *CurStep);
+
+  /// Periodic epoch advance: every few region closes, collect() so
+  /// retired memory actually returns to the arenas.
+  void maybeCollect();
+
+  /// Advance epochs until nothing is pending. Requires quiescence (no
+  /// pinned threads) — detector teardown or test checkpoints.
+  void drain() { Epochs.drain(); }
+
+  EpochManager &epochs() { return Epochs; }
+
+  /// Subtrees retired so far (test/diagnostic).
+  uint64_t subtreesRetired() const {
+    return SubtreesRetired.load(std::memory_order_relaxed);
+  }
+
+private:
+  void tryRetire(Region *R);
+  /// Retire \p R (state already CASed to Retiring). Returns the parent
+  /// region when the cascade should re-examine it, else null.
+  Region *retireRegion(Region *R);
+
+  dpst::Dpst &Tree;
+  EpochManager Epochs;
+  Region *Root;
+  std::atomic<uint32_t> ClosesSinceCollect{0};
+  std::atomic<uint64_t> SubtreesRetired{0};
+};
+
+} // namespace spd3::reclaim
+
+#endif // SPD3_RECLAIM_RECLAIMER_H

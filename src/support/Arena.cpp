@@ -82,7 +82,50 @@ size_t ConcurrentArena::bytesReserved() const {
   return N;
 }
 
+void ConcurrentArena::recycle(void *P, size_t Bytes) {
+  if (!P || Bytes < sizeof(FreeBlock))
+    return;
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  FreeBin *Bin = nullptr;
+  for (FreeBin &B : FreeBins) {
+    if (B.Bytes == Bytes || (B.Bytes == 0 && B.Head == nullptr)) {
+      Bin = &B;
+      break;
+    }
+  }
+  if (!Bin)
+    return; // More distinct sizes than bins: drop (stays reserved).
+  Bin->Bytes = Bytes;
+  auto *Block = static_cast<FreeBlock *>(P);
+  Block->Next = Bin->Head;
+  Bin->Head = Block;
+  FreeBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void *ConcurrentArena::popFree(size_t Bytes, size_t Align) {
+  std::lock_guard<std::mutex> Lock(FreeMutex);
+  for (FreeBin &B : FreeBins) {
+    if (B.Bytes != Bytes || !B.Head)
+      continue;
+    FreeBlock *Block = B.Head;
+    // Bump allocation aligned every block at handout; verify that reuse
+    // under a different alignment request cannot hand back a misfit.
+    if (reinterpret_cast<uintptr_t>(Block) & (Align - 1))
+      return nullptr;
+    B.Head = Block->Next;
+    FreeBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+    return Block;
+  }
+  return nullptr;
+}
+
 void ConcurrentArena::reset() {
+  {
+    std::lock_guard<std::mutex> Lock(FreeMutex);
+    for (FreeBin &B : FreeBins)
+      B = FreeBin{};
+    FreeBytes.store(0, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> Lock(ShardsMutex);
   for (auto &[Tid, S] : Shards)
     delete S;

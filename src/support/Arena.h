@@ -14,6 +14,13 @@
 /// without synchronization, matching the paper's claim that nodes "can be
 /// added to the DPST in parallel without any synchronization in O(1) time".
 ///
+/// Service mode (src/reclaim/) breaks the grow-only assumption: retired
+/// DPST subtrees hand their fixed-size node blocks back through
+/// ConcurrentArena::recycle, and later allocations of the same size are
+/// served from that free list before any bump pointer moves. Batch runs
+/// never call recycle, so their allocation fast path keeps exactly one
+/// extra relaxed load (the empty-free-list check).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPD3_SUPPORT_ARENA_H
@@ -96,23 +103,62 @@ public:
   ConcurrentArena &operator=(const ConcurrentArena &) = delete;
 
   void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t)) {
+    if (SPD3_UNLIKELY(FreeBytes.load(std::memory_order_relaxed) > 0))
+      if (void *P = popFree(Bytes, Align))
+        return P;
     return localShard().allocate(Bytes, Align);
   }
 
   template <typename T, typename... Args> T *create(Args &&...As) {
-    return localShard().create<T>(std::forward<Args>(As)...);
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(As)...);
   }
+
+  /// Return a block previously obtained from allocate()/create() to the
+  /// arena. Blocks are binned by exact size and handed back verbatim from
+  /// later same-size allocations, so the caller must only recycle blocks
+  /// whose contents may be overwritten (the epoch manager guarantees no
+  /// reader still holds the pointer). Thread-safe against allocate().
+  void recycle(void *P, size_t Bytes);
 
   /// Sum of payload bytes over all shards. Approximate while threads are
   /// still allocating; exact once the run has quiesced.
   size_t bytesAllocated() const;
   size_t bytesReserved() const;
 
+  /// Bytes sitting on the recycle free lists, awaiting reuse.
+  size_t bytesFree() const { return FreeBytes.load(std::memory_order_relaxed); }
+
+  /// Payload bytes currently reachable: everything handed out minus what
+  /// has been recycled and not yet re-issued.
+  size_t bytesLive() const {
+    size_t Alloc = bytesAllocated();
+    size_t Free = bytesFree();
+    return Alloc > Free ? Alloc - Free : 0;
+  }
+
   /// Free all shards. Must not race with allocation.
   void reset();
 
 private:
+  /// Intrusive free-list link, stored in the first word of a recycled
+  /// block. Blocks below sizeof(FreeBlock) are dropped (still counted as
+  /// reserved, just never reused) — all real clients recycle DPST nodes,
+  /// which are far larger.
+  struct FreeBlock {
+    FreeBlock *Next;
+  };
+
+  /// A size-class bucket: exact byte size -> singly-linked free blocks.
+  struct FreeBin {
+    size_t Bytes = 0;
+    FreeBlock *Head = nullptr;
+  };
+  static constexpr size_t kFreeBins = 4;
+
   Arena &localShard();
+  void *popFree(size_t Bytes, size_t Align);
 
   size_t ChunkBytes;
   mutable std::mutex ShardsMutex;
@@ -121,6 +167,13 @@ private:
   /// across instances, so a stale thread-local cache entry can never
   /// validate against a different arena that reuses this address.
   std::atomic<uint64_t> Generation;
+
+  /// Recycled-block bins, guarded by FreeMutex. FreeBytes doubles as the
+  /// relaxed fast-path gate in allocate(): batch runs never recycle, so
+  /// they never take the mutex.
+  mutable std::mutex FreeMutex;
+  FreeBin FreeBins[kFreeBins];
+  std::atomic<size_t> FreeBytes{0};
 };
 
 } // namespace spd3

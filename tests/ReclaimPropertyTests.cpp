@@ -1,0 +1,134 @@
+//===- tests/ReclaimPropertyTests.cpp - Reclaim-vs-twin equivalence --------===//
+//
+// Property tests for service-mode reclamation (src/reclaim/): on random
+// structured programs, a reclaiming SPD3 detector must be observationally
+// identical to the un-reclaimed twin — same race verdicts, same racy
+// locations, byte-identical provenance in deterministic schedules — while
+// its surviving DPST passes the summary-aware structural audit and the
+// logical size bound. Retirement points are randomized implicitly: every
+// finish end is a retirement site, and the programs vary nesting and
+// access patterns per seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "audit/DpstVerifier.h"
+#include "reclaim/Reclaimer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace {
+
+using namespace spd3;
+using namespace spd3::tests;
+
+detector::Spd3Options reclaimOpts() {
+  detector::Spd3Options Opts;
+  Opts.Reclaim = true;
+  return Opts;
+}
+
+/// Racy variable indices from a sink's recorded races.
+std::set<uint32_t> racyVarSet(const detector::RaceSink &Sink,
+                              const ExecutionTrace &Trace) {
+  std::set<uint32_t> Vars;
+  auto Base = reinterpret_cast<uintptr_t>(Trace.VarsBase);
+  for (const detector::Race &R : Sink.races())
+    Vars.insert(static_cast<uint32_t>(
+        (reinterpret_cast<uintptr_t>(R.Addr) - Base) / Trace.VarElemSize));
+  return Vars;
+}
+
+class ReclaimProperties : public ::testing::TestWithParam<uint64_t> {
+protected:
+  Program P = generateProgram(GetParam());
+  Oracle O{P};
+};
+
+TEST_P(ReclaimProperties, SequentialVerdictAndProvenanceMatchTwin) {
+  // Twin: identical program, identical deterministic schedule, Reclaim
+  // off. Observable behaviour must be byte-identical.
+  detector::RaceSink PlainSink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Plain(PlainSink);
+  rt::Runtime PlainRT({1, rt::SchedulerKind::SequentialDepthFirst, &Plain});
+  ExecutionTrace PlainTrace = runProgram(PlainRT, P, &Plain);
+
+  detector::RaceSink RecSink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Rec(RecSink, reclaimOpts());
+  rt::Runtime RecRT({1, rt::SchedulerKind::SequentialDepthFirst, &Rec});
+  ExecutionTrace RecTrace = runProgram(RecRT, P, &Rec);
+  Rec.reclaimer()->drain();
+
+  EXPECT_EQ(RecSink.anyRace(), PlainSink.anyRace()) << "seed " << GetParam();
+  EXPECT_EQ(RecSink.anyRace(), O.hasRace()) << "seed " << GetParam();
+  EXPECT_EQ(racyVarSet(RecSink, RecTrace), racyVarSet(PlainSink, PlainTrace))
+      << "seed " << GetParam();
+
+  // Provenance is captured eagerly at report time, so retirement of the
+  // involved scopes afterwards must not change a byte of it.
+  std::vector<detector::Race> PlainRaces = PlainSink.races();
+  std::vector<detector::Race> RecRaces = RecSink.races();
+  ASSERT_EQ(RecRaces.size(), PlainRaces.size()) << "seed " << GetParam();
+  for (size_t I = 0; I < RecRaces.size(); ++I) {
+    ASSERT_TRUE(RecRaces[I].Prov && PlainRaces[I].Prov);
+    EXPECT_EQ(RecRaces[I].Prov->str(), PlainRaces[I].Prov->str())
+        << "seed " << GetParam() << " race " << I;
+  }
+}
+
+TEST_P(ReclaimProperties, SurvivingTreePassesSummaryAwareAudit) {
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Tool Tool(Sink, reclaimOpts());
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  runProgram(RT, P, &Tool);
+  Tool.reclaimer()->drain();
+
+  audit::DpstVerifier Verifier;
+  audit::AuditReport Report = Verifier.verify(Tool.tree());
+  EXPECT_TRUE(Report.ok()) << "seed " << GetParam() << "\n" << Report.str();
+}
+
+TEST_P(ReclaimProperties, ReclaimedTreeIsNoLargerThanTwin) {
+  auto NodeCount = [&](bool Reclaim) {
+    detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+    detector::Spd3Options Opts;
+    Opts.Reclaim = Reclaim;
+    detector::Spd3Tool Tool(Sink, Opts);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    runProgram(RT, P, &Tool);
+    if (Tool.reclaimer())
+      Tool.reclaimer()->drain();
+    return Tool.tree().nodeCount();
+  };
+  EXPECT_LE(NodeCount(true), NodeCount(false)) << "seed " << GetParam();
+}
+
+TEST_P(ReclaimProperties, ParallelReclaimMatchesOracle) {
+  detector::RaceSink Sink;
+  detector::Spd3Tool Tool(Sink, reclaimOpts());
+  rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
+  runProgram(RT, P, &Tool);
+  Tool.reclaimer()->drain();
+  EXPECT_EQ(Sink.anyRace(), O.hasRace()) << "seed " << GetParam();
+}
+
+TEST_P(ReclaimProperties, MutexProtocolReclaimMatchesOracle) {
+  detector::RaceSink Sink;
+  detector::Spd3Options Opts;
+  Opts.Proto = detector::Spd3Options::Protocol::Mutex;
+  Opts.Reclaim = true;
+  detector::Spd3Tool Tool(Sink, Opts);
+  rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
+  runProgram(RT, P, &Tool);
+  Tool.reclaimer()->drain();
+  EXPECT_EQ(Sink.anyRace(), O.hasRace()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, ReclaimProperties,
+                         ::testing::Range<uint64_t>(1, 60));
+
+} // namespace

@@ -34,7 +34,7 @@ void RangeTable::publish(Range *Slot, const void *Base, size_t Count,
                          uint32_t ElemSize, void *Cells) {
   SPD3_CHECK(Count > 0 && ElemSize > 0, "empty shadow range");
   uintptr_t B = reinterpret_cast<uintptr_t>(Base);
-  Slot->End = B + Count * ElemSize;
+  Slot->End.store(B + Count * ElemSize, std::memory_order_relaxed);
   Slot->ElemSize = ElemSize;
   Slot->ElemShift = 0xff;
   if ((ElemSize & (ElemSize - 1)) == 0) {
@@ -57,7 +57,7 @@ RangeTable::Range *RangeTable::findSlow(uintptr_t A) {
   for (uint32_t I = 0; I < N; ++I) {
     Range &R = Ranges[I];
     uintptr_t B = R.Base.load(std::memory_order_acquire);
-    if (!B || A < B || A >= R.End)
+    if (!B || A < B || A >= R.End.load(std::memory_order_relaxed))
       continue;
     if (R.Dead.load(std::memory_order_relaxed))
       continue;
@@ -83,11 +83,25 @@ RangeTable::Range *RangeTable::unregister(const void *Base) {
   return nullptr;
 }
 
-void RangeTable::release(Range *R) {
-  // Unpublish first: once Base reads 0, no new reader can match the slot,
-  // and the grace period already excluded readers that matched earlier.
+void RangeTable::unpublish(Range *R) {
+  // Phase 1 of recycling: clear Base only. Dead stays true and every
+  // other field is left intact, so a reader that raced the first grace
+  // period into a stale nonzero Base/End match still rejects the slot on
+  // the Dead check instead of returning cells the caller is about to
+  // free. Resetting the rest waits for release(), after a second grace
+  // period has made the Base = 0 store visible to every reader.
+  SPD3_CHECK(R->Dead.load(std::memory_order_relaxed),
+             "unpublishing a slot that was not tombstoned");
   R->Base.store(0, std::memory_order_release);
-  R->End = 0;
+}
+
+void RangeTable::release(Range *R) {
+  // Phase 2: every reader now observes Base == 0 and skips the slot
+  // before loading any other field, so the resets below cannot race.
+  // (Callers that never handed the slot to concurrent readers — batch
+  // tests, teardown — may skip unpublish() and call this directly.)
+  R->Base.store(0, std::memory_order_release);
+  R->End.store(0, std::memory_order_relaxed);
   R->ElemSize = 0;
   R->ElemShift = 0xff;
   R->Cells = nullptr;

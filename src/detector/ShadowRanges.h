@@ -18,13 +18,18 @@
 /// shadow state never dangle, and the bytes stay visible to the memory
 /// accounting of Table 3).
 ///
-/// Service mode additionally recycles tombstoned slots: after the epoch
-/// manager's grace period has proven no reader can still hold the Range
-/// pointer, release() unpublishes the slot (Base -> 0 first, with
-/// release) and pushes it onto a free list that claimSlot() consults
-/// before bumping the append cursor. Without recycling, a server
-/// registering one TrackedArray per request dies at the 4096-slot
-/// capacity check within seconds.
+/// Service mode additionally recycles tombstoned slots, in two grace
+/// periods. The first (after the tombstone) lets unpublish() clear Base
+/// while Dead stays true: a reader that pinned after the tombstone's
+/// retirement may still load the stale Base/End and match the slot, but
+/// the Dead check rejects it — the slot's cells can be freed. Only after
+/// a second grace period — when every reader is guaranteed to observe
+/// Base == 0 and therefore skips the slot before touching any other
+/// field — does release() reset the fields, clear Dead, and push the
+/// slot onto a free list that claimSlot() consults before bumping the
+/// append cursor. Without recycling, a server registering one
+/// TrackedArray per request dies at the 4096-slot capacity check within
+/// seconds.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,7 +52,10 @@ public:
   struct Range {
     /// Published last, with release; 0 means "slot not yet visible".
     std::atomic<uintptr_t> Base{0};
-    uintptr_t End = 0;
+    /// Atomic (relaxed) because a reader holding a stale nonzero Base may
+    /// load End concurrently with release()'s reset; the value is only
+    /// trusted when the Base acquire and the Dead check both pass.
+    std::atomic<uintptr_t> End{0};
     uint32_t ElemSize = 0;
     /// log2(ElemSize) when ElemSize is a power of two (the common case:
     /// 1/2/4/8-byte elements), else 0xff — lets cell indexing use a shift
@@ -87,8 +95,12 @@ public:
     if (LastHit.TableId == Id) {
       Range *Cached = LastHit.Hit;
       if (!Cached->Dead.load(std::memory_order_relaxed)) {
-        uintptr_t B = Cached->Base.load(std::memory_order_relaxed);
-        if (B && A >= B && A < Cached->End)
+        // Acquire, not relaxed: with slot recycling the cached slot may
+        // have been republished at a new base since the hit was cached,
+        // and only the acquire on Base orders the republished End/Cells
+        // fields with this thread (matching findSlow's validation).
+        uintptr_t B = Cached->Base.load(std::memory_order_acquire);
+        if (B && A >= B && A < Cached->End.load(std::memory_order_relaxed))
           return Cached;
       }
     }
@@ -100,10 +112,18 @@ public:
   /// it; null if absent.
   Range *unregister(const void *Base);
 
-  /// Return a tombstoned slot to the free list for reuse. Only legal
-  /// after a grace period: no thread may still hold this Range pointer
-  /// (find() results are only ever used under an epoch pin). The caller
-  /// has already freed/transferred Cells.
+  /// Phase 1 of recycling a tombstoned slot: clear Base so no new reader
+  /// can match it, leaving Dead set and all other fields intact for
+  /// readers that raced into a stale match. Only legal after a first
+  /// grace period (no reader that matched the slot while live survives);
+  /// the caller may free Cells once this returns.
+  void unpublish(Range *R);
+
+  /// Phase 2: reset the slot and return it to the free list for reuse.
+  /// Only legal after a second grace period following unpublish(): every
+  /// reader must be guaranteed to observe Base == 0 (find() results are
+  /// only ever used under an epoch pin), so none can be touching the
+  /// fields this resets.
   void release(Range *R);
 
   /// Visit every published range (live and dead). Not concurrency-safe

@@ -73,7 +73,7 @@ public:
     uintptr_t B = R->Base.load(std::memory_order_relaxed);
     if ((A - B) % ElemSize != 0)
       return nullptr;
-    if (A + Count * ElemSize > R->End)
+    if (A + Count * ElemSize > R->End.load(std::memory_order_relaxed))
       return nullptr;
     return static_cast<Cell *>(R->Cells) + R->indexOf(A);
   }
@@ -103,10 +103,13 @@ public:
     return Ranges.unregister(Base);
   }
 
-  /// Free a tombstoned range's cells and recycle its table slot. Only
-  /// legal after a grace period (no reader still holds the Range or any
-  /// of its cell pointers). \p OnCell runs over every cell first so the
-  /// caller can drop shadow-triple references.
+  /// Free a tombstoned range's cells and unpublish its table slot (phase
+  /// 1). Only legal after a grace period (no reader that matched the
+  /// range while live survives; late readers reject it on the Dead
+  /// flag). \p OnCell runs over every cell first so the caller can drop
+  /// shadow-triple references. The caller must epoch-retire
+  /// releaseRangeSlot(R) behind a second grace period to finish
+  /// recycling the slot.
   template <typename OnCellFn>
   void reclaimDeadRange(RangeTable::Range *R, OnCellFn OnCell) {
     auto *Cells = static_cast<Cell *>(R->Cells);
@@ -114,9 +117,16 @@ public:
     for (size_t I = 0; I < Count; ++I)
       OnCell(Cells[I]);
     obs::noteRangeCellsReclaimed(Count);
-    Ranges.release(R);
+    Ranges.unpublish(R);
+    R->Cells = nullptr;
     delete[] Cells;
   }
+
+  /// Phase 2 of range recycling: reset the slot and make it reusable.
+  /// Only legal after a second grace period following reclaimDeadRange
+  /// (every reader now observes the unpublished Base and skips the slot
+  /// before touching the fields this resets).
+  void releaseRangeSlot(RangeTable::Range *R) { Ranges.release(R); }
 
   /// Unpublish the primary-map pages fully covered by [\p Base, \p Base +
   /// \p Bytes) (see PrimaryMap::detachRange); handles go through the

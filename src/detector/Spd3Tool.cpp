@@ -36,7 +36,7 @@ Statistic NumRangeCacheHits("spd3", "rangeCacheHits");
 struct CacheKey {
   uint64_t Gen = 0;
   const void *Task = nullptr;
-  uint32_t Epoch = 0;
+  uint64_t Epoch = 0;
 
   bool operator==(const CacheKey &O) const {
     return Gen == O.Gen && Task == O.Task && Epoch == O.Epoch;
@@ -171,8 +171,9 @@ struct Spd3Tool::TaskState {
   /// split).
   Node *ScopeTop;
   /// Bumped whenever CurStep changes; versions the worker-cache entries
-  /// written on this task's behalf.
-  uint32_t StepEpoch = 1;
+  /// written on this task's behalf. 64-bit: service mode requires epochs
+  /// that are never reissued for a recycled TaskState address.
+  uint64_t StepEpoch = 1;
   /// Innermost reclaim region the task is executing in (null when
   /// reclamation is off). New steps of this task are tagged with it.
   reclaim::Region *Reg = nullptr;
@@ -360,9 +361,16 @@ void Spd3Tool::onUnregisterRange(const void *Base) {
   RangeTable::Range *R = Shadow.unregisterRangeDeferred(Base);
   if (!R)
     return;
-  size_t Bytes = R->End - reinterpret_cast<uintptr_t>(Base);
+  size_t Bytes = R->End.load(std::memory_order_relaxed) -
+                 reinterpret_cast<uintptr_t>(Base);
   Rec->epochs().retire(R->Count * sizeof(Cell), [this, R] {
+    // Phase 1 (first grace period): drop triple refs, free the cells,
+    // unpublish Base. Dead stays set so a reader that raced this grace
+    // period into a stale Base/End match still rejects the slot. The
+    // slot itself becomes reusable only after a second grace period has
+    // made the unpublish visible to every reader (phase 2).
     Shadow.reclaimDeadRange(R, [this](Cell &C) { dropCellRefs(C); });
+    Rec->epochs().retire(0, [this, R] { Shadow.releaseRangeSlot(R); });
   });
   // Any primary-map pages fully covered by the range (accesses that beat
   // the registration) are detached and recycled the same way.

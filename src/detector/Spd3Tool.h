@@ -256,10 +256,11 @@ private:
   /// Service mode recycles records when their task/finish completes, so
   /// the arena holds O(live tasks), not O(tasks ever).
   ConcurrentArena StateArena;
-  /// Service-mode step-epoch source (see advanceStep). Wraps after 2^32
-  /// step transitions; entries that survive a wrap are also gated on the
-  /// TaskState address and the tool generation.
-  std::atomic<uint32_t> EpochSource{1};
+  /// Service-mode step-epoch source (see advanceStep). 64-bit so it
+  /// never wraps in practice (a service would need centuries at 10^9
+  /// transitions/sec): a wrapped epoch could coincide with a recycled
+  /// TaskState address and revive a stale worker-cache entry.
+  std::atomic<uint64_t> EpochSource{1};
   /// Striped locks for the Mutex protocol, padded so adjacent stripes never
   /// share a cache line (uncontended stripes used to false-share).
   struct alignas(SPD3_CACHELINE) PaddedMutex {

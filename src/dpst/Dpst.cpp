@@ -88,7 +88,7 @@ void Dpst::collectSubtree(Node *N, std::vector<Node *> &Out) {
   }
 }
 
-void Dpst::markRetired(Node *F, uint32_t Nodes, uint32_t Interior) {
+void Dpst::markRetired(Node *F, uint64_t Nodes, uint64_t Interior) {
   SPD3_CHECK(F && F->isFinish(), "only finish scopes are retired");
   F->FirstChild = F->LastChild = nullptr;
   F->SummaryNodes += Nodes;

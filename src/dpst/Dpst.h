@@ -181,9 +181,11 @@ public:
   uint32_t SummarySeqHi = 0;
   /// Nodes (and interior nodes) this summary logically stands for, not
   /// counting the node itself. Keeps the paper's 3*(a+f)-1 size bound
-  /// auditable after physical nodes are recycled.
-  uint32_t SummaryNodes = 0;
-  uint32_t SummaryInterior = 0;
+  /// auditable after physical nodes are recycled. 64-bit: a rolling head
+  /// summary in a serving loop absorbs ~2 nodes per request forever, so
+  /// 32 bits would wrap within weeks and corrupt the logical accounting.
+  uint64_t SummaryNodes = 0;
+  uint64_t SummaryInterior = 0;
 
   /// The reclaim region (innermost enclosing finish scope) a *step*
   /// belongs to; null for interior nodes and whenever reclamation is off.
@@ -318,7 +320,7 @@ public:
   /// Collapse completed finish \p F into a childless summary standing for
   /// \p Nodes descendants, \p Interior of them interior. Leaves
   /// NumChildren as the logical child count; publishes via SummaryState.
-  static void markRetired(Node *F, uint32_t Nodes, uint32_t Interior);
+  static void markRetired(Node *F, uint64_t Nodes, uint64_t Interior);
 
   /// Absorb the longest absorbable prefix of \p Scope's children (beyond
   /// the first) into the scope's first child, which becomes/extends a

@@ -41,16 +41,57 @@ ThreadPin *findPin(uint64_t Id) {
       return &P;
   return nullptr;
 }
+
+/// Registry of live managers so exiting threads can hand their pin slots
+/// back (a service whose runtime keeps creating threads would otherwise
+/// exhaust the fixed slot tables). Function-local statics: constructed on
+/// first manager creation, destroyed after every thread-local releaser.
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+std::vector<EpochManager *> &liveManagers() {
+  static std::vector<EpochManager *> V;
+  return V;
+}
+
+/// One per thread that ever claimed a slot; the destructor runs at thread
+/// exit and returns the thread's slot in every still-live manager.
+struct ThreadSlotReleaser {
+  ~ThreadSlotReleaser() {
+    std::thread::id Me = std::this_thread::get_id();
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    // Holding the registry lock keeps every listed manager alive for the
+    // duration of the call: ~EpochManager unregisters under the same
+    // lock before the object dies.
+    for (EpochManager *M : liveManagers())
+      M->releaseThreadSlot(Me);
+  }
+};
 } // namespace
 
 EpochManager::EpochManager() : ManagerId(nextManagerId()) {
   for (auto &S : Slots)
     S.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  liveManagers().push_back(this);
 }
 
-EpochManager::~EpochManager() { drain(); }
+EpochManager::~EpochManager() {
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    auto &V = liveManagers();
+    V.erase(std::remove(V.begin(), V.end(), this), V.end());
+  }
+  drain();
+}
 
 uint32_t EpochManager::slotFor() {
+  // Ensure this thread returns its slots on exit (lazily constructed,
+  // destructor runs at thread teardown).
+  static thread_local ThreadSlotReleaser Releaser;
+  (void)Releaser;
   // Slow path: the thread-local entry was evicted (or never existed).
   // Look the thread's slot up in the registry so slots stay one per
   // (thread, manager) no matter how often the cache thrashes.
@@ -59,10 +100,29 @@ uint32_t EpochManager::slotFor() {
   for (const auto &[Tid, S] : SlotOwners)
     if (Tid == Me)
       return S;
-  uint32_t S = NextSlot.fetch_add(1, std::memory_order_relaxed);
-  SPD3_CHECK(S < kMaxThreads, "epoch manager thread slots exhausted");
+  uint32_t S;
+  if (!FreeSlotIds.empty()) {
+    S = FreeSlotIds.back();
+    FreeSlotIds.pop_back();
+  } else {
+    S = NextSlot.fetch_add(1, std::memory_order_relaxed);
+    SPD3_CHECK(S < kMaxThreads, "epoch manager thread slots exhausted");
+  }
   SlotOwners.push_back({Me, S});
   return S;
+}
+
+void EpochManager::releaseThreadSlot(std::thread::id Tid) {
+  std::lock_guard<std::mutex> Lock(RetireMutex);
+  for (auto It = SlotOwners.begin(); It != SlotOwners.end(); ++It) {
+    if (It->first != Tid)
+      continue;
+    // The thread is exiting, so it cannot be pinned; clear defensively.
+    Slots[It->second].store(0, std::memory_order_release);
+    FreeSlotIds.push_back(It->second);
+    SlotOwners.erase(It);
+    return;
+  }
 }
 
 void EpochManager::pin() {
@@ -100,7 +160,11 @@ uint64_t EpochManager::minPinnedEpoch() const {
                                   kMaxThreads);
   uint64_t Min = UINT64_MAX;
   for (uint32_t I = 0; I < N; ++I) {
-    uint64_t E = Slots[I].load(std::memory_order_relaxed);
+    // Acquire pairs with unpin()'s release store of 0: observing a slot
+    // as unpinned must synchronize the reader's critical-section writes
+    // (installed triple refs, claimed primary-map keys) with this thread
+    // before collect() runs deleters that read or reset that state.
+    uint64_t E = Slots[I].load(std::memory_order_acquire);
     if (E && E < Min)
       Min = E;
   }

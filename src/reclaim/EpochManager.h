@@ -100,6 +100,13 @@ public:
   /// has quiesced); checks that property and aborts if violated.
   void drain();
 
+  /// Return the pin slot claimed by thread \p Tid (if any) to the free
+  /// list. Called automatically when a thread that ever pinned this
+  /// manager exits; without it, a service whose runtime keeps creating
+  /// threads (pool resizes, thread-per-connection) would exhaust the
+  /// fixed slot table and abort.
+  void releaseThreadSlot(std::thread::id Tid);
+
   /// Bytes held by deleters whose grace period has not yet elapsed.
   size_t pendingBytes() const {
     return PendingBytes.load(std::memory_order_relaxed);
@@ -125,8 +132,9 @@ private:
 
   std::atomic<uint64_t> GlobalEpoch{1};
   /// Per-thread advertised epochs; 0 = not pinned. Slots are claimed once
-  /// per (thread, manager) and never returned — fine for the fixed worker
-  /// pools a service runs on.
+  /// per (thread, manager) and returned when the thread exits (see
+  /// releaseThreadSlot), so kMaxThreads bounds *concurrent* threads, not
+  /// threads ever created.
   std::atomic<uint64_t> Slots[kMaxThreads];
   std::atomic<uint32_t> NextSlot{0};
 
@@ -140,6 +148,9 @@ private:
   /// consulted only when a cache entry was evicted. Shares RetireMutex —
   /// both are cold paths.
   std::vector<std::pair<std::thread::id, uint32_t>> SlotOwners;
+  /// Slots returned by exited threads, reused before NextSlot advances.
+  /// Guarded by RetireMutex.
+  std::vector<uint32_t> FreeSlotIds;
   std::atomic<size_t> PendingBytes{0};
   std::atomic<size_t> FreedBytes{0};
 };

@@ -74,8 +74,7 @@ Region *Reclaimer::retireRegion(Region *R) {
     Logical += 1 + N->SummaryNodes;
     Interior += N->SummaryInterior + (N->isStep() ? 0 : 1);
   }
-  dpst::Dpst::markRetired(F, static_cast<uint32_t>(Logical),
-                          static_cast<uint32_t>(Interior));
+  dpst::Dpst::markRetired(F, Logical, Interior);
   R->St.store(Region::Retired, std::memory_order_release);
 
   ++NumSubtreesRetired;

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <thread>
 
 namespace {
 
@@ -108,6 +109,26 @@ TEST(EpochManager, NullGuardIsFree) {
   reclaim::EpochManager::PinGuard Pin(nullptr);
 }
 
+TEST(EpochManager, ExitedThreadsReturnTheirSlots) {
+  // A service whose runtime creates threads over its lifetime (pool
+  // resizes, thread-per-connection) must not exhaust the fixed pin-slot
+  // table: exiting threads hand their slots back for reuse. 600 > the
+  // 512-slot capacity, so without the hand-back this aborts.
+  reclaim::EpochManager M;
+  for (int I = 0; I < 600; ++I) {
+    std::thread T([&] {
+      M.pin();
+      M.unpin();
+    });
+    T.join();
+  }
+  // The manager still works end to end afterwards.
+  bool Freed = false;
+  M.retire(8, [&] { Freed = true; });
+  EXPECT_EQ(M.collect(), 1u);
+  EXPECT_TRUE(Freed);
+}
+
 //===----------------------------------------------------------------------===//
 // ConcurrentArena recycling
 //===----------------------------------------------------------------------===//
@@ -174,6 +195,30 @@ TEST(RangeTableRecycle, ReleasedSlotIsReused) {
   Table.publish(S2, BufB, 8, 8, Cells);
   EXPECT_EQ(Table.find(BufA), nullptr);
   EXPECT_EQ(Table.find(BufB), S2);
+  delete[] Cells;
+}
+
+TEST(RangeTableRecycle, UnpublishKeepsTombstoneUntilRelease) {
+  // Phase 1 (unpublish) must leave the Dead tombstone set so a reader
+  // that raced into a stale Base/End match still rejects the slot, and
+  // must not yet make the slot claimable; only phase 2 (release) does.
+  detector::RangeTable Table(/*MaxRanges=*/8);
+  alignas(8) static char Buf[64];
+  auto *Cells = new char[64];
+  detector::RangeTable::Range *S = Table.claimSlot();
+  Table.publish(S, Buf, 8, 8, Cells);
+  detector::RangeTable::Range *Dead = Table.unregister(Buf);
+  ASSERT_EQ(Dead, S);
+
+  Table.unpublish(Dead);
+  EXPECT_EQ(Dead->Base.load(std::memory_order_relaxed), 0u);
+  EXPECT_TRUE(Dead->Dead.load(std::memory_order_relaxed));
+  // Not yet recyclable: the next claim takes a fresh slot.
+  EXPECT_NE(Table.claimSlot(), S);
+
+  Table.release(Dead);
+  EXPECT_FALSE(Dead->Dead.load(std::memory_order_relaxed));
+  EXPECT_EQ(Table.claimSlot(), S);
   delete[] Cells;
 }
 

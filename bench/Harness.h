@@ -54,6 +54,9 @@ enum class Detector {
   Spd3NoMemo,  ///< SPD3 without the DMHP memo (future-work ablation)
   Spd3NoLabel, ///< SPD3 without the path-label DMHP fast path
   Spd3NoBatch, ///< SPD3 with range events expanded element-wise
+  Spd3Simd,    ///< SPD3 with the SIMD block range path forced on
+  Spd3NoSimd,  ///< SPD3 with the scalar per-element range loop (ablation)
+  Spd3NoNuma,  ///< SPD3 without NUMA-aware shadow placement (ablation)
   Spd3Reclaim, ///< SPD3 in service mode (src/reclaim/ subtree retirement)
   EspBags,   ///< sequential ESP-bags baseline
   FastTrack, ///< FastTrack baseline
@@ -76,6 +79,12 @@ inline const char *detectorName(Detector D) {
     return "spd3-nolabel";
   case Detector::Spd3NoBatch:
     return "spd3-nobatch";
+  case Detector::Spd3Simd:
+    return "spd3-simd";
+  case Detector::Spd3NoSimd:
+    return "spd3-nosimd";
+  case Detector::Spd3NoNuma:
+    return "spd3-nonuma";
   case Detector::Spd3Reclaim:
     return "spd3-reclaim";
   case Detector::EspBags:
@@ -113,6 +122,21 @@ inline std::unique_ptr<detector::Tool> makeTool(Detector D,
   case Detector::Spd3NoBatch: {
     Spd3Options O;
     O.BatchedRanges = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3Simd: {
+    Spd3Options O;
+    O.SimdRanges = true; // Explicit row: survives a future default flip.
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3NoSimd: {
+    Spd3Options O;
+    O.SimdRanges = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3NoNuma: {
+    Spd3Options O;
+    O.NumaShadow = false;
     return std::make_unique<detector::Spd3Tool>(Sink, O);
   }
   case Detector::Spd3Reclaim: {

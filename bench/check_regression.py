@@ -76,7 +76,17 @@ def compare(pairs, threshold, normalize, inject):
     ratios = {}  # key -> (section, ratio)
     for cur_path, base_path in pairs:
         cur, cur_sec = load_entries(cur_path)
-        base, _ = load_entries(base_path)
+        base, base_sec = load_entries(base_path)
+        # A whole baseline section absent from the current report means a
+        # benchmark silently stopped being measured — a gate that shrugs
+        # that off would pass on a report that dropped the very section it
+        # was meant to watch. Hard-fail; refreshing the committed baseline
+        # is the deliberate way to retire a section.
+        lost = sorted(set(base_sec.values()) - set(cur_sec.values()))
+        if lost:
+            print(f"error: baseline sections entirely missing from "
+                  f"{cur_path}: {', '.join(lost)}", file=sys.stderr)
+            return False, []
         common = sorted(set(cur) & set(base), key=str)
         missing = sorted(set(base) - set(cur), key=str)
         if missing:
@@ -126,7 +136,8 @@ def self_test():
     """Gate sanity check run in CI before the real comparison: identical
     data passes; a 1.5x slowdown injected into one of five sections fails;
     a uniform 4x slowdown across every section fails despite the
-    machine-drift normalization (the clamp)."""
+    machine-drift normalization (the clamp); a current report that dropped
+    one baseline section entirely fails."""
     import tempfile, os
 
     variants = ["spd3", "spd3-nocache", "spd3-nomemo", "spd3-nolabel",
@@ -154,8 +165,17 @@ def self_test():
             print("self-test FAILED: uniform 4x slowdown passed",
                   file=sys.stderr)
             return 1
-    print("self-test passed: identical data passes; one-section 1.5x and "
-          "uniform 4x slowdowns fail")
+        dp = os.path.join(d, "dropped.json")
+        with open(dp, "w") as f:
+            json.dump([e for e in base
+                       if not e["name"].endswith("/spd3-nobatch")], f)
+        ok, _ = compare([(dp, bp)], 1.30, True, {})
+        if ok:
+            print("self-test FAILED: report missing a baseline section "
+                  "passed", file=sys.stderr)
+            return 1
+    print("self-test passed: identical data passes; one-section 1.5x, "
+          "uniform 4x, and a dropped section fail")
     return 0
 
 

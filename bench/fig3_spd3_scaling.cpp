@@ -7,12 +7,78 @@
 // benchmarks (Crypt, LUFact, RayTracer, FFT) around 10x, and — the
 // scalability claim — slowdowns roughly flat in the worker count.
 //
+// A second section measures the SIMD block range path (DESIGN.md §12) as
+// an interleaved A/B — alternating spd3-simd and spd3-nosimd repetitions
+// so frequency drift and cache warmth hit both arms equally — and reports
+// the speedup plus the per-arm JSON rows the CI smoke gate checks.
+//
+// SPD3_BENCH_KERNELS=crypt,matmul restricts both sections to a comma list
+// of kernel names (default: all 15), which is what keeps the CI leg fast.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
 
 using namespace spd3;
 using namespace spd3::bench;
+
+/// Kernels selected by SPD3_BENCH_KERNELS (comma list; empty = all).
+static std::vector<kernels::Kernel *> selectedKernels() {
+  std::vector<kernels::Kernel *> All = kernels::table1Kernels();
+  std::string Filter = envString("SPD3_BENCH_KERNELS", "");
+  if (Filter.empty())
+    return All;
+  std::vector<kernels::Kernel *> Out;
+  size_t Pos = 0;
+  while (Pos <= Filter.size()) {
+    size_t Comma = Filter.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Filter.size();
+    std::string Name = Filter.substr(Pos, Comma - Pos);
+    for (kernels::Kernel *K : All)
+      if (Name == K->name())
+        Out.push_back(K);
+    Pos = Comma + 1;
+  }
+  if (Out.empty()) {
+    std::fprintf(stderr, "SPD3_BENCH_KERNELS matched no kernels: %s\n",
+                 Filter.c_str());
+    std::exit(1);
+  }
+  return Out;
+}
+
+/// One interleaved A/B pair: repetitions alternate detector A and B so
+/// both arms sample the same machine conditions; each arm keeps its own
+/// best/mean/stddev.
+static void interleavedAB(Detector A, Detector B, kernels::Kernel &K,
+                          kernels::KernelConfig Cfg, unsigned Threads,
+                          int Reps, TimedRun &OutA, TimedRun &OutB) {
+  OutA.Seconds = OutB.Seconds = 1e100;
+  std::vector<double> TA, TB;
+  for (int R = 0; R < Reps; ++R) {
+    TimedRun RA = timedRun(A, K, Cfg, Threads, 1);
+    TimedRun RB = timedRun(B, K, Cfg, Threads, 1);
+    TA.push_back(RA.Seconds);
+    TB.push_back(RB.Seconds);
+    if (RA.Seconds < OutA.Seconds)
+      OutA = RA;
+    if (RB.Seconds < OutB.Seconds)
+      OutB = RB;
+  }
+  auto Fold = [](const std::vector<double> &T, TimedRun &Out) {
+    double Sum = 0.0;
+    for (double V : T)
+      Sum += V;
+    Out.Mean = Sum / static_cast<double>(T.size());
+    double Var = 0.0;
+    for (double V : T)
+      Var += (V - Out.Mean) * (V - Out.Mean);
+    Out.Stddev = std::sqrt(Var / static_cast<double>(T.size()));
+  };
+  Fold(TA, OutA);
+  Fold(TB, OutB);
+}
 
 int main(int Argc, char **Argv) {
   JsonReport Json;
@@ -22,13 +88,15 @@ int main(int Argc, char **Argv) {
               "count",
               E);
 
+  std::vector<kernels::Kernel *> Selected = selectedKernels();
+
   std::printf("%-12s", "benchmark");
   for (int T : E.Threads)
     std::printf("  %4d-thr", T);
   std::printf("\n");
 
   std::vector<std::vector<double>> PerThreadSlowdowns(E.Threads.size());
-  for (kernels::Kernel *K : kernels::table1Kernels()) {
+  for (kernels::Kernel *K : Selected) {
     kernels::KernelConfig Cfg;
     Cfg.Size = E.Size;
     Cfg.Var = kernels::Variant::FineGrained;
@@ -55,6 +123,41 @@ int main(int Argc, char **Argv) {
   std::printf("\n\npaper: geomean 2.78x at 16 threads; Crypt/LUFact/"
               "RayTracer/FFT ~10x;\nslowdown approximately flat from 1 to "
               "16 threads (scalability).\n");
+
+  // --- SIMD A/B (interleaved): spd3-simd vs spd3-nosimd ---
+  std::printf("\nSIMD block range path A/B (interleaved; >1.00x = SIMD "
+              "faster)\n");
+  std::printf("%-12s", "benchmark");
+  for (int T : E.Threads)
+    std::printf("  %4d-thr", T);
+  std::printf("\n");
+  std::vector<std::vector<double>> PerThreadSpeedups(E.Threads.size());
+  for (kernels::Kernel *K : Selected) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    std::printf("%-12s", K->name());
+    for (size_t TI = 0; TI < E.Threads.size(); ++TI) {
+      unsigned T = static_cast<unsigned>(E.Threads[TI]);
+      TimedRun Simd, NoSimd;
+      interleavedAB(Detector::Spd3Simd, Detector::Spd3NoSimd, *K, Cfg, T,
+                    E.Reps, Simd, NoSimd);
+      double Speedup = NoSimd.Seconds / Simd.Seconds;
+      PerThreadSpeedups[TI].push_back(Speedup);
+      std::printf("  %7.2fx", Speedup);
+      std::fflush(stdout);
+      Json.add(std::string("fig3/") + K->name() + "/spd3-simd",
+               static_cast<int>(T), Simd);
+      Json.add(std::string("fig3/") + K->name() + "/spd3-nosimd",
+               static_cast<int>(T), NoSimd);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s", "GeoMean");
+  for (auto &Column : PerThreadSpeedups)
+    std::printf("  %7.2fx", geoMean(Column));
+  std::printf("\n");
+
   Json.write();
   return 0;
 }

@@ -173,6 +173,40 @@ static void BM_Spd3ReadRangeAction(benchmark::State &State) {
 }
 BENCHMARK(BM_Spd3ReadRangeAction);
 
+/// The batched range path with the per-step range cache disabled so every
+/// iteration really runs rangeAction — the SIMD block path A/B (DESIGN.md
+/// §12). The run is warm and read-shared, so the SIMD arm spends its time
+/// in the whole-block fast case this path exists for.
+template <bool Simd>
+static void BM_Spd3RangeActionSimd(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  detector::RaceSink Sink;
+  detector::Spd3Options O;
+  O.CheckCache = false;
+  O.SimdRanges = Simd;
+  detector::Spd3Tool Tool(Sink, O);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    detector::TrackedArray<double> A(N, 1.0);
+    rt::finish([&] {
+      rt::async([&] { (void)A.readRun(0, N); });
+    });
+    for (auto _ : State) {
+      const double *P = A.readRun(0, N);
+      benchmark::DoNotOptimize(P);
+    }
+    State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+  });
+}
+BENCHMARK(BM_Spd3RangeActionSimd<true>)
+    ->Name("BM_Spd3RangeAction_Simd")
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK(BM_Spd3RangeActionSimd<false>)
+    ->Name("BM_Spd3RangeAction_NoSimd")
+    ->Arg(64)
+    ->Arg(1024);
+
 /// Uninstrumented accessor cost for reference (the branch-only fast path).
 static void BM_UninstrumentedAccess(benchmark::State &State) {
   rt::Runtime RT({1, rt::SchedulerKind::Parallel, nullptr});

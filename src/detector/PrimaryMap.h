@@ -61,6 +61,7 @@
 
 #include "obs/Obs.h"
 #include "support/Compiler.h"
+#include "support/Numa.h"
 
 #include <atomic>
 #include <cstddef>
@@ -80,12 +81,16 @@ public:
       if (!S)
         continue;
       for (auto &Entry : S->Pages)
-        delete Entry.load(std::memory_order_relaxed);
+        numa::destroyLocal(Entry.load(std::memory_order_relaxed), NumaAware);
       delete S;
     }
     for (Page *P : FreePages)
-      delete P;
+      numa::destroyLocal(P, NumaAware);
   }
+
+  /// Latch NUMA-aware page placement before first use (see
+  /// ShadowSpace::setNumaAware).
+  void setNumaAware(bool On) { NumaAware = On; }
 
   PrimaryMap(const PrimaryMap &) = delete;
   PrimaryMap &operator=(const PrimaryMap &) = delete;
@@ -182,7 +187,7 @@ public:
       NumFreePages.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    delete P;
+    numa::destroyLocal(P, NumaAware);
   }
 
   /// Number of claimed granule cells.
@@ -313,11 +318,12 @@ private:
     Page *P = Entry.load(std::memory_order_acquire);
     if (SPD3_LIKELY(P != nullptr))
       return P;
-    // Allocate and race to publish; the loser frees its copy. new Page()
-    // value-initializes keys and cells, and the release CAS publishes that
-    // initialization to every acquiring thread. Recycled pages come back
-    // from the free list fully reset (recycleDetached's contract), so
-    // both sources are interchangeable.
+    // Allocate and race to publish; the loser frees its copy. The fresh
+    // page is value-initialized by this thread — the first touch that
+    // homes it on this thread's node under NUMA-aware placement — and the
+    // release CAS publishes that initialization to every acquiring thread.
+    // Recycled pages come back from the free list fully reset
+    // (recycleDetached's contract), so both sources are interchangeable.
     Page *Fresh = nullptr;
     if (NumFreePages.load(std::memory_order_relaxed) > 0) {
       std::lock_guard<std::mutex> Lock(FreeMutex);
@@ -328,7 +334,7 @@ private:
       }
     }
     if (!Fresh)
-      Fresh = new Page();
+      Fresh = numa::createLocal<Page>(NumaAware);
     Page *Expected = nullptr;
     if (Entry.compare_exchange_strong(Expected, Fresh,
                                       std::memory_order_acq_rel,
@@ -337,7 +343,7 @@ private:
                           1);
       return Fresh;
     }
-    delete Fresh;
+    numa::destroyLocal(Fresh, NumaAware);
     return Expected;
   }
 
@@ -368,6 +374,7 @@ private:
   static constexpr size_t kMaxFreePages = 64;
 
   DirSlot Dir[MaxSupers] = {};
+  bool NumaAware = true;
   std::atomic<size_t> NumGranules{0};
   std::atomic<size_t> NumPages{0};
   std::atomic<size_t> NumSupers{0};

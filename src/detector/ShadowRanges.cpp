@@ -14,7 +14,8 @@ static uint64_t nextTableId() {
 }
 
 RangeTable::RangeTable(size_t MaxRanges)
-    : Ranges(MaxRanges), Id(nextTableId()) {}
+    : Ranges(MaxRanges), Id(nextTableId()),
+      NodeHits(new NodeHitSlot[numa::nodeCount()]) {}
 
 RangeTable::Range *RangeTable::claimSlot() {
   {
@@ -62,6 +63,8 @@ RangeTable::Range *RangeTable::findSlow(uintptr_t A) {
     if (R.Dead.load(std::memory_order_relaxed))
       continue;
     LastHit = HitCache{Id, &R};
+    if (NodeCacheOn)
+      NodeHits[numa::currentNode()].Hit.store(&R, std::memory_order_relaxed);
     return &R;
   }
   return nullptr;

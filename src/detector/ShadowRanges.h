@@ -36,10 +36,14 @@
 #ifndef SPD3_DETECTOR_SHADOWRANGES_H
 #define SPD3_DETECTOR_SHADOWRANGES_H
 
+#include "support/Compiler.h"
+#include "support/Numa.h"
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -104,8 +108,29 @@ public:
           return Cached;
       }
     }
+    if (NodeCacheOn) {
+      // Second-chance cache shared by the threads of one NUMA node: under
+      // the structured model a node's workers usually stream over the same
+      // array, so a sibling's last hit is a good predictor when this
+      // thread's own cache missed (fresh thread, or it alternated tables).
+      // Validation is identical to the thread-local path — Dead, then an
+      // acquire on Base — and the slot storage itself is owned by this
+      // table, so the pointer is always dereferenceable.
+      NodeHitSlot &NS = NodeHits[numa::currentNode()];
+      Range *Cand = NS.Hit.load(std::memory_order_relaxed);
+      if (Cand && !Cand->Dead.load(std::memory_order_relaxed)) {
+        uintptr_t B = Cand->Base.load(std::memory_order_acquire);
+        if (B && A >= B && A < Cand->End.load(std::memory_order_relaxed)) {
+          LastHit = HitCache{Id, Cand};
+          return Cand;
+        }
+      }
+    }
     return findSlow(A);
   }
+
+  /// Enable/disable the per-node hit cache. Latch before concurrent use.
+  void setNodeCache(bool On) { NodeCacheOn = On; }
 
   /// Tombstone the live range registered at \p Base. Returns the slot so
   /// a reclaiming caller can epoch-retire its cells and later release()
@@ -143,6 +168,11 @@ private:
     Range *Hit = nullptr;
   };
 
+  /// One hit-cache line per NUMA node, padded so nodes never false-share.
+  struct alignas(SPD3_CACHELINE) NodeHitSlot {
+    std::atomic<Range *> Hit{nullptr};
+  };
+
   std::vector<Range> Ranges;
   std::atomic<uint32_t> NumRanges{0};
   /// Released slots awaiting reuse. Mutex-guarded: registration and
@@ -151,6 +181,10 @@ private:
   std::vector<Range *> FreeSlots;
   /// Unique per-table id (never reused across table lifetimes).
   const uint64_t Id;
+  /// Per-node second-chance hit cache (numa::nodeCount() slots; one on
+  /// single-node hosts). NodeCacheOn gates lookups and publication.
+  std::unique_ptr<NodeHitSlot[]> NodeHits;
+  bool NodeCacheOn = true;
   static thread_local HitCache LastHit;
 };
 

@@ -29,6 +29,7 @@
 #include "detector/ShadowRanges.h"
 #include "detector/ShadowTable.h"
 #include "support/Compiler.h"
+#include "support/Numa.h"
 
 namespace spd3::detector {
 
@@ -37,8 +38,9 @@ public:
   ShadowSpace() = default;
 
   ~ShadowSpace() {
-    Ranges.forEach([](RangeTable::Range &R) {
-      delete[] static_cast<Cell *>(R.Cells);
+    Ranges.forEach([this](RangeTable::Range &R) {
+      numa::destroyLocalArray(static_cast<Cell *>(R.Cells), R.Count,
+                              NumaAware);
     });
   }
 
@@ -78,11 +80,27 @@ public:
     return static_cast<Cell *>(R->Cells) + R->indexOf(A);
   }
 
+  /// NUMA-aware placement (DESIGN.md §12): latch before first use. On =
+  /// range cells, primary pages, and fallback chunks are homed on the
+  /// allocating thread's node and the range table keeps a per-node hit
+  /// cache; off = plain process-wide allocation. The flag must not change
+  /// once anything has been allocated (frees re-derive the allocator from
+  /// it).
+  void setNumaAware(bool On) {
+    NumaAware = On;
+    Primary.setNumaAware(On);
+    Fallback.setNumaAware(On);
+    Ranges.setNodeCache(On);
+  }
+
   /// Pre-size shadow storage for a dense array of \p Count elements of
-  /// \p ElemSize bytes starting at \p Base.
+  /// \p ElemSize bytes starting at \p Base. Cells are value-initialized by
+  /// the calling thread — exactly the first touch that homes their pages
+  /// on its node.
   void registerRange(const void *Base, size_t Count, uint32_t ElemSize) {
     RangeTable::Range *Slot = Ranges.claimSlot();
-    Ranges.publish(Slot, Base, Count, ElemSize, new Cell[Count]());
+    Ranges.publish(Slot, Base, Count, ElemSize,
+                   numa::createLocalArray<Cell>(Count, NumaAware));
     obs::noteRangeCells(Count);
   }
 
@@ -119,7 +137,7 @@ public:
     obs::noteRangeCellsReclaimed(Count);
     Ranges.unpublish(R);
     R->Cells = nullptr;
-    delete[] Cells;
+    numa::destroyLocalArray(Cells, Count, NumaAware);
   }
 
   /// Phase 2 of range recycling: reset the slot and make it reusable.
@@ -166,10 +184,63 @@ public:
   /// The primary map, for growth/footprint introspection in tests.
   const PrimaryMap<Cell> &primaryMap() const { return Primary; }
 
+  /// How a scalar access wider than one shadow cell decomposes into cells.
+  struct CoveredRun {
+    /// Dense cell run when the span lies in a registered range (Cells !=
+    /// null, &Cells[i] shadows Base + i*ElemSize); null for unregistered
+    /// memory, where the caller walks Count granule addresses of ElemSize
+    /// bytes starting at Base through cell().
+    Cell *Cells = nullptr;
+    const void *Base = nullptr;
+    size_t Count = 0;
+    uint32_t ElemSize = 0;
+  };
+
+  /// Resolve the cells covered by a \p Size-byte access at \p Addr. False
+  /// when the span lies inside a single cell (or Size <= 1): the ordinary
+  /// single-cell action suffices. For a registered range the run is the
+  /// covered element window, clamped to the range end; for unregistered
+  /// memory it is the covered 8-byte primary-map granules (boundaries
+  /// aligned, the first entry keyed by \p Addr itself so it aliases the
+  /// cell scalar accesses at \p Addr always used).
+  bool coveredRun(const void *Addr, uint32_t Size, CoveredRun &Out) {
+    if (Size <= 1)
+      return false;
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    if (RangeTable::Range *R = Ranges.find(Addr)) {
+      uintptr_t B = R->Base.load(std::memory_order_relaxed);
+      uintptr_t End = R->End.load(std::memory_order_relaxed);
+      uintptr_t Last = A + Size - 1;
+      if (Last >= End)
+        Last = End - 1;
+      size_t First = R->indexOf(A);
+      size_t LastIdx = R->indexOf(Last);
+      if (LastIdx == First)
+        return false;
+      Out.Cells = static_cast<Cell *>(R->Cells) + First;
+      Out.Base = reinterpret_cast<const void *>(B + First * R->ElemSize);
+      Out.Count = LastIdx - First + 1;
+      Out.ElemSize = R->ElemSize;
+      return true;
+    }
+    // Unregistered memory shadows at the primary map's 8-byte granularity.
+    constexpr uintptr_t kGranule = 8;
+    uintptr_t FirstG = A & ~(kGranule - 1);
+    uintptr_t LastG = (A + Size - 1) & ~(kGranule - 1);
+    if (FirstG == LastG)
+      return false;
+    Out.Cells = nullptr;
+    Out.Base = Addr;
+    Out.Count = ((LastG - FirstG) >> 3) + 1;
+    Out.ElemSize = kGranule;
+    return true;
+  }
+
 private:
   RangeTable Ranges;
   PrimaryMap<Cell> Primary;
   ShadowTable<Cell> Fallback;
+  bool NumaAware = true;
 };
 
 } // namespace spd3::detector

@@ -40,6 +40,7 @@
 
 #include "obs/Obs.h"
 #include "support/Compiler.h"
+#include "support/Numa.h"
 
 #include <atomic>
 #include <cstddef>
@@ -53,8 +54,12 @@ public:
 
   ~ShadowTable() {
     for (auto &Entry : Dir)
-      delete Entry.load(std::memory_order_relaxed);
+      numa::destroyLocal(Entry.load(std::memory_order_relaxed), NumaAware);
   }
+
+  /// Latch NUMA-aware chunk placement before first use (see
+  /// ShadowSpace::setNumaAware).
+  void setNumaAware(bool On) { NumaAware = On; }
 
   ShadowTable(const ShadowTable &) = delete;
   ShadowTable &operator=(const ShadowTable &) = delete;
@@ -125,10 +130,11 @@ private:
     Chunk *Ch = Entry.load(std::memory_order_acquire);
     if (SPD3_LIKELY(Ch != nullptr))
       return Ch->Slots[I & (ChunkSize - 1)];
-    // Allocate and race to publish; the loser frees its copy. new Chunk()
-    // value-initializes every slot, and the release CAS publishes that
-    // initialization to every thread that acquires the pointer.
-    auto *Fresh = new Chunk();
+    // Allocate and race to publish; the loser frees its copy. The fresh
+    // chunk is value-initialized by this thread (the first touch that
+    // homes it under NUMA-aware placement), and the release CAS publishes
+    // that initialization to every thread that acquires the pointer.
+    auto *Fresh = numa::createLocal<Chunk>(NumaAware);
     Chunk *Expected = nullptr;
     if (Entry.compare_exchange_strong(Expected, Fresh,
                                       std::memory_order_acq_rel,
@@ -137,11 +143,12 @@ private:
                            1);
       return Fresh->Slots[I & (ChunkSize - 1)];
     }
-    delete Fresh;
+    numa::destroyLocal(Fresh, NumaAware);
     return Expected->Slots[I & (ChunkSize - 1)];
   }
 
   std::atomic<Chunk *> Dir[MaxChunks] = {};
+  bool NumaAware = true;
   std::atomic<size_t> NumCells{0};
   std::atomic<size_t> NumChunks{0};
 };

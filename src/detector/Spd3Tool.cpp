@@ -5,7 +5,12 @@
 #include "obs/Obs.h"
 #include "reclaim/Reclaimer.h"
 #include "runtime/Task.h"
+#include "support/Numa.h"
+#include "support/Simd.h"
 #include "support/Stats.h"
+
+#include <algorithm>
+#include <bit>
 
 namespace spd3::detector {
 
@@ -61,6 +66,10 @@ struct CheckCache {
     const void *Addr = nullptr;
     CacheKey Key;
     uint8_t Mode = 0; // 1 = read checked, 2 = write checked
+    /// Access width the entry was checked at: a cached narrow check must
+    /// not elide a wider access at the same address, which can cover
+    /// additional shadow cells.
+    uint32_t Width = 0;
   };
   Entry Entries[Size];
 
@@ -69,18 +78,21 @@ struct CheckCache {
     return (A >> 3) & (Size - 1);
   }
 
-  /// True if a check of \p Mode on \p Addr is subsumed by an earlier check
-  /// in the same step.
-  bool covers(const void *Addr, const CacheKey &Key, uint8_t Mode) const {
+  /// True if a check of \p Mode at \p Width bytes on \p Addr is subsumed
+  /// by an earlier check in the same step.
+  bool covers(const void *Addr, const CacheKey &Key, uint8_t Mode,
+              uint32_t Width) const {
     const Entry &E = Entries[slot(Addr)];
-    return E.Addr == Addr && E.Key == Key && E.Mode >= Mode;
+    return E.Addr == Addr && E.Key == Key && E.Mode >= Mode &&
+           E.Width >= Width;
   }
 
-  void insert(const void *Addr, const CacheKey &Key, uint8_t Mode) {
+  void insert(const void *Addr, const CacheKey &Key, uint8_t Mode,
+              uint32_t Width) {
     Entry &E = Entries[slot(Addr)];
-    if (E.Addr == Addr && E.Key == Key && E.Mode > Mode)
-      return; // Keep the stronger (write) mode.
-    E = Entry{Addr, Key, Mode};
+    if (E.Addr == Addr && E.Key == Key && E.Mode >= Mode && E.Width >= Width)
+      return; // Keep the stronger (write-mode and/or wider) entry.
+    E = Entry{Addr, Key, Mode, Width};
   }
 };
 
@@ -132,11 +144,23 @@ struct RangeCheckCache {
     return (A >> 6) & (Size - 1);
   }
 
+  /// True if [\p Base, \p Base + \p Bytes) is *contained* in any cached
+  /// checked run of the same step with the same-or-stronger mode — not
+  /// just an exact-base prefix. A sub-run's base hashes to a different
+  /// direct-mapped slot than the enclosing run's, so containment needs a
+  /// scan; at 16 entries it is a handful of compares against a check that
+  /// would otherwise walk every element.
   bool covers(const void *Base, size_t Bytes, const CacheKey &Key,
               uint8_t Mode) const {
-    const Entry &E = Entries[slot(Base)];
-    return E.Base == Base && E.Bytes >= Bytes && E.Key == Key &&
-           E.Mode >= Mode;
+    uintptr_t A = reinterpret_cast<uintptr_t>(Base);
+    for (const Entry &E : Entries) {
+      if (!E.Base || !(E.Key == Key) || E.Mode < Mode)
+        continue;
+      uintptr_t B = reinterpret_cast<uintptr_t>(E.Base);
+      if (A >= B && A + Bytes <= B + E.Bytes)
+        return true;
+    }
+    return false;
   }
 
   void insert(const void *Base, size_t Bytes, const CacheKey &Key,
@@ -189,6 +213,8 @@ struct Spd3Tool::FinishState {
 
 Spd3Tool::Spd3Tool(RaceSink &Sink, Spd3Options Opts)
     : Sink(Sink), Opts(Opts), Generation(nextToolGeneration()) {
+  // Latched before any shadow allocation; a no-op on single-node hosts.
+  Shadow.setNumaAware(Opts.NumaShadow);
   if (Opts.Proto == Spd3Options::Protocol::Mutex)
     Locks = new PaddedMutex[NumLocks];
   if (Opts.Reclaim)
@@ -739,7 +765,7 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
   // memoized outcome only when the validated triple matches it exactly
   // (reusing across a torn read would be unsound). Contention on any one
   // element falls back to the full per-element action.
-  for (size_t I = 0; I < Count; ++I) {
+  auto Element = [&](size_t I) {
     Cell &C = Cells[I];
     const void *EA = Base + I * ElemSize;
     uint32_t X = C.StartVersion.load(std::memory_order_acquire);
@@ -751,7 +777,7 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
     if (X != Y) {
       ++NumSnapshotRetries;
       memoryAction(TS, C, EA, IsWrite);
-      continue;
+      return;
     }
     if (!MemoValid || W != MemoW || R1 != MemoR1 || R2 != MemoR2) {
       Memo = ActionOutcome{};
@@ -770,15 +796,143 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
     if (!Memo.Update) {
       ++NumUpdatesSkipped;
       flushRaces(Memo, EA, Step, W, R1, R2);
-      continue;
+      return;
     }
     if (!applyUpdate(C, X, IsWrite, Memo)) {
       // Lost the CAS: another updater intervened; run the full action.
       memoryAction(TS, C, EA, IsWrite);
-      continue;
+      return;
     }
     flushRaces(Memo, EA, Step, W, R1, R2);
+  };
+
+  if (!Opts.SimdRanges) {
+    for (size_t I = 0; I < Count; ++I)
+      Element(I);
+    return;
   }
+
+  // SIMD block path (DESIGN.md §12): process kBlockLanes cells at a time.
+  // Gather StartVersions (relaxed), one acquire fence, gather the triple
+  // words (relaxed), one acquire fence, gather EndVersions — the Lamport
+  // seqlock reader pattern with the per-read fences coalesced per gather
+  // stage (Boehm, MSPC'12: relaxed loads followed by one acquire fence
+  // order like per-load acquires). The vector compares then run on the
+  // local copies only: a lane is usable iff its version pair matched
+  // (untorn) AND its triple equals the memoized one, in which case the
+  // memoized outcome applies verbatim — outcomes are pure functions of
+  // (triple, step), so the result is byte-identical to the scalar loop.
+  // Every other lane falls back to the per-element path above.
+  //
+  // Reclaim note: the triple words are compared, never dereferenced. The
+  // caller's epoch pin spans the whole range action, so no node address
+  // observed in any cell during the action can be recycled before it ends
+  // (the same guarantee the scalar memo compare already leans on) — an
+  // equal word therefore really is the memoized node.
+  const simd::Backend SB = simd::backend();
+  size_t I = 0;
+  while (I < Count) {
+    if (!MemoValid) {
+      Element(I++); // Prime the memo with a reference triple.
+      continue;
+    }
+    unsigned N =
+        static_cast<unsigned>(std::min<size_t>(simd::kBlockLanes, Count - I));
+    if (N < 4) {
+      Element(I++); // Short tail: block setup outweighs the lanes.
+      continue;
+    }
+    alignas(32) uint32_t SV[simd::kBlockLanes] = {};
+    alignas(32) uint32_t EV[simd::kBlockLanes] = {};
+    alignas(32) uint64_t TW[simd::kBlockLanes] = {};
+    alignas(32) uint64_t T1[simd::kBlockLanes] = {};
+    alignas(32) uint64_t T2[simd::kBlockLanes] = {};
+    for (unsigned J = 0; J < N; ++J)
+      SV[J] = Cells[I + J].StartVersion.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (unsigned J = 0; J < N; ++J) {
+      Cell &C = Cells[I + J];
+      TW[J] = reinterpret_cast<uint64_t>(C.W.load(std::memory_order_relaxed));
+      T1[J] = reinterpret_cast<uint64_t>(C.R1.load(std::memory_order_relaxed));
+      T2[J] = reinterpret_cast<uint64_t>(C.R2.load(std::memory_order_relaxed));
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (unsigned J = 0; J < N; ++J)
+      EV[J] = Cells[I + J].EndVersion.load(std::memory_order_relaxed);
+
+    const unsigned Lanes = (1u << N) - 1;
+    const unsigned Valid = simd::equalMaskU32(SB, SV, EV, N);
+    const unsigned Match =
+        Valid &
+        simd::equalMaskU64(SB, TW, reinterpret_cast<uint64_t>(MemoW), N) &
+        simd::equalMaskU64(SB, T1, reinterpret_cast<uint64_t>(MemoR1), N) &
+        simd::equalMaskU64(SB, T2, reinterpret_cast<uint64_t>(MemoR2), N);
+    if (unsigned Torn = Lanes & ~Valid) {
+      // Per-block retry accounting: one retry per torn lane, on top of
+      // whatever the per-element fallback observes on its fresh snapshot.
+      auto NumTorn = static_cast<unsigned>(std::popcount(Torn));
+      NumSnapshotRetries += NumTorn;
+      obs::emit(obs::EventKind::SnapshotRetry,
+                reinterpret_cast<uint64_t>(Base + I * ElemSize), NumTorn);
+    }
+    // Latch the block's reference outcome: a fallback lane may re-point
+    // the memo mid-block, but the matched lanes were compared against THIS
+    // triple and must use its outcome.
+    Node *BW = MemoW, *BR1 = MemoR1, *BR2 = MemoR2;
+    const ActionOutcome BlockOut = Memo;
+    if (Match == Lanes && !BlockOut.Update && !BlockOut.NumRaces) {
+      // Whole block is the read-shared fast case: no update, no races,
+      // nothing to do per lane.
+      NumRangeComputeReuse += N;
+      NumUpdatesSkipped += N;
+      I += N;
+      continue;
+    }
+    for (unsigned J = 0; J < N; ++J) {
+      if (!(Match & (1u << J))) {
+        Element(I + J);
+        continue;
+      }
+      const void *EA = Base + (I + J) * ElemSize;
+      ++NumRangeComputeReuse;
+      if (!BlockOut.Update) {
+        ++NumUpdatesSkipped;
+        flushRaces(BlockOut, EA, Step, BW, BR1, BR2);
+        continue;
+      }
+      if (!applyUpdate(Cells[I + J], SV[J], IsWrite, BlockOut)) {
+        // Lost the CAS: another updater intervened; run the full action.
+        memoryAction(TS, Cells[I + J], EA, IsWrite);
+        continue;
+      }
+      flushRaces(BlockOut, EA, Step, BW, BR1, BR2);
+    }
+    I += N;
+  }
+}
+
+bool Spd3Tool::wideScalarAction(TaskState *TS, const void *Addr,
+                                uint32_t Size, bool IsWrite) {
+  typename ShadowSpace<Cell>::CoveredRun Run;
+  if (!Shadow.coveredRun(Addr, Size, Run))
+    return false;
+  if (Run.Cells) {
+    // Registered range: the covered element window takes the batched path.
+    rangeAction(TS, Run.Cells, Run.Base, Run.Count, Run.ElemSize, IsWrite);
+    return true;
+  }
+  // Unregistered memory: one action per covered 8-byte granule. The first
+  // lookup keys on Addr itself (aliasing the cell that earlier scalar
+  // accesses at Addr claimed); the rest key on the granule boundaries,
+  // matching any other wide access over the same bytes.
+  uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+  for (size_t G = 0; G < Run.Count; ++G) {
+    const void *GA =
+        G == 0 ? Addr
+                : reinterpret_cast<const void *>((A & ~uintptr_t(7)) + 8 * G);
+    memoryAction(TS, *Shadow.cell(GA), GA, IsWrite);
+  }
+  return true;
 }
 
 void Spd3Tool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
@@ -788,15 +942,18 @@ void Spd3Tool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
   if (Opts.CheckCache) {
     CacheKey Key{Generation, TS, TS->StepEpoch};
     CheckCache &Cache = TheWorkerCaches.Cache;
-    if (Cache.covers(Addr, Key, /*Mode=*/1)) {
+    if (Cache.covers(Addr, Key, /*Mode=*/1, Size)) {
       ++NumCacheHits;
       return;
     }
-    Cache.insert(Addr, Key, /*Mode=*/1);
+    Cache.insert(Addr, Key, /*Mode=*/1, Size);
   }
   // Pin spans lookup through action: the Range/cell and every node read
   // from the triple stay allocated until we unpin.
   reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
+  if (SPD3_UNLIKELY(Size > 1) &&
+      wideScalarAction(TS, Addr, Size, /*IsWrite=*/false))
+    return; // The access covered multiple cells; all were checked.
   memoryAction(TS, *Shadow.cell(Addr), Addr, /*IsWrite=*/false);
 }
 
@@ -807,13 +964,16 @@ void Spd3Tool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
   if (Opts.CheckCache) {
     CacheKey Key{Generation, TS, TS->StepEpoch};
     CheckCache &Cache = TheWorkerCaches.Cache;
-    if (Cache.covers(Addr, Key, /*Mode=*/2)) {
+    if (Cache.covers(Addr, Key, /*Mode=*/2, Size)) {
       ++NumCacheHits;
       return;
     }
-    Cache.insert(Addr, Key, /*Mode=*/2);
+    Cache.insert(Addr, Key, /*Mode=*/2, Size);
   }
   reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
+  if (SPD3_UNLIKELY(Size > 1) &&
+      wideScalarAction(TS, Addr, Size, /*IsWrite=*/true))
+    return;
   memoryAction(TS, *Shadow.cell(Addr), Addr, /*IsWrite=*/true);
 }
 

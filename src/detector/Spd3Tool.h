@@ -79,6 +79,21 @@ struct Spd3Options {
   /// triple, entering the per-element protocol only where an update is
   /// required. Off = range events are expanded element-wise.
   bool BatchedRanges = true;
+  /// Vectorize the batched lock-free range path (DESIGN.md §12): process
+  /// cells in blocks of simd::kBlockLanes — gather both seqlock versions
+  /// and the (W,R1,R2) triple words with one acquire fence per gather
+  /// stage, then vector-compare version pairs and triples against the
+  /// memoized snapshot. Lanes that are torn or hold a different triple
+  /// fall out to the per-element path, so race sets and provenance are
+  /// byte-identical to the scalar loop. Runtime-dispatched (AVX2 / NEON /
+  /// scalar); off = the original per-element loop.
+  bool SimdRanges = true;
+  /// NUMA-aware shadow placement: allocate RangeTable cell arrays,
+  /// primary-map pages, and fallback-table chunks on the requesting
+  /// thread's node (libnuma when available, plain first-touch otherwise)
+  /// and keep a per-node RangeTable hit cache. No-op on single-node hosts
+  /// or under SPD3_NUMA=off; off = plain process-wide allocation.
+  bool NumaShadow = true;
   /// Service mode (DESIGN.md §10): retire completed finish-scope subtrees
   /// once no live shadow triple references them, collapse them into
   /// summary nodes, and recycle DPST node storage, range-table slots, and
@@ -200,6 +215,13 @@ private:
   /// updates (and full per-element retry on contention).
   void rangeAction(TaskState *TS, Cell *Cells, const void *Addr, size_t Count,
                    uint32_t ElemSize, bool IsWrite);
+
+  /// Scalar access wider than one shadow cell: check every covered cell
+  /// (registered runs go through rangeAction; unregistered memory walks
+  /// its 8-byte granules). False when [Addr, Addr+Size) lies in a single
+  /// cell — the caller then runs the ordinary single-cell action.
+  bool wideScalarAction(TaskState *TS, const void *Addr, uint32_t Size,
+                        bool IsWrite);
 
   /// Algorithm 1 compute stage on a consistent snapshot.
   void computeWrite(TaskState *TS, dpst::Node *W, dpst::Node *R1,

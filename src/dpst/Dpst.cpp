@@ -4,6 +4,7 @@
 
 #include "audit/DpstVerifier.h"
 #include "support/Compiler.h"
+#include "support/Simd.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -185,16 +186,34 @@ bool Dpst::dmhp(const Node *S1, const Node *S2) {
   return Left->isAsync();
 }
 
+/// First label level (2 components per u64 word) where \p A and \p B
+/// differ, or -1 when the windows are identical. Word 0 is checked scalar
+/// first — the common case diverges immediately near the root and should
+/// not pay for loading both full windows — then the remaining kWords-1
+/// words go through one vector XOR+test sweep (simd::firstDiffU64).
+static int labelDivergeLevel(const PathLabel &A, const PathLabel &B) {
+  int W;
+  uint64_t X0 = A.Words[0] ^ B.Words[0];
+  if (X0 != 0) {
+    W = 0;
+  } else {
+    int D = simd::firstDiffU64(A.Words + 1, B.Words + 1, PathLabel::kWords - 1);
+    if (D < 0)
+      return -1;
+    W = D + 1;
+  }
+  uint64_t X = A.Words[W] ^ B.Words[W];
+  return 2 * W + (std::countl_zero(X) >= 32 ? 1 : 0);
+}
+
 LabelVerdict Dpst::labelDmhp(const Node *S1, const Node *S2) {
   const PathLabel &A = S1->Label;
   const PathLabel &B = S2->Label;
   if (A.Inexact || B.Inexact)
     return LabelVerdict::Unknown;
-  for (unsigned I = 0; I < PathLabel::kWords; ++I) {
-    uint64_t X = A.Words[I] ^ B.Words[I];
-    if (!X)
-      continue;
-    unsigned Level = 2 * I + (std::countl_zero(X) >= 32 ? 1 : 0);
+  int Diverge = labelDivergeLevel(A, B);
+  if (Diverge >= 0) {
+    auto Level = static_cast<unsigned>(Diverge);
     uint32_t C1 = A.component(Level);
     uint32_t C2 = B.component(Level);
     if (!C1 || !C2)
@@ -215,11 +234,9 @@ int32_t Dpst::labelLcaDepth(const Node *A, const Node *B) {
   const PathLabel &LB = B->Label;
   if (LA.Inexact || LB.Inexact)
     return -1;
-  for (unsigned I = 0; I < PathLabel::kWords; ++I) {
-    uint64_t X = LA.Words[I] ^ LB.Words[I];
-    if (!X)
-      continue;
-    unsigned Level = 2 * I + (std::countl_zero(X) >= 32 ? 1 : 0);
+  int Diverge = labelDivergeLevel(LA, LB);
+  if (Diverge >= 0) {
+    auto Level = static_cast<unsigned>(Diverge);
     uint32_t C1 = LA.component(Level);
     uint32_t C2 = LB.component(Level);
     if (C1 && C2)

@@ -1,0 +1,172 @@
+//===- support/Numa.cpp - NUMA-aware placement helpers ---------------------===//
+
+#include "support/Numa.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#if defined(SPD3_HAVE_LIBNUMA)
+#include <numa.h>
+#endif
+
+namespace spd3::numa {
+
+namespace {
+
+/// Topology snapshot, built once. /sys is authoritative on Linux; any host
+/// where it is absent (or any non-Linux host) degrades to one node.
+struct Topology {
+  unsigned Nodes = 1;
+  /// CpuToNode[cpu] = node; empty when single-node (everything is node 0).
+  std::vector<uint8_t> CpuToNode;
+  bool Active = false;
+#if defined(SPD3_HAVE_LIBNUMA)
+  bool UseLibnuma = false;
+#endif
+};
+
+#if defined(__linux__)
+/// Parse a /sys cpulist ("0-7,16-23\n") and record \p Node for each cpu.
+void parseCpuList(const char *List, uint8_t Node,
+                  std::vector<uint8_t> &CpuToNode) {
+  const char *P = List;
+  while (*P) {
+    char *End = nullptr;
+    long Lo = std::strtol(P, &End, 10);
+    if (End == P)
+      break;
+    long Hi = Lo;
+    P = End;
+    if (*P == '-') {
+      Hi = std::strtol(P + 1, &End, 10);
+      P = End;
+    }
+    for (long C = Lo; C >= 0 && C <= Hi; ++C) {
+      if (static_cast<size_t>(C) >= CpuToNode.size())
+        CpuToNode.resize(C + 1, 0);
+      CpuToNode[C] = Node;
+    }
+    if (*P == ',')
+      ++P;
+  }
+}
+#endif
+
+Topology buildTopology() {
+  Topology T;
+  if (const char *E = std::getenv("SPD3_NUMA"))
+    if (!std::strcmp(E, "off") || !std::strcmp(E, "0"))
+      return T; // Forced off: single logical node, no placement.
+#if defined(__linux__)
+  constexpr unsigned kMaxNodes = 64;
+  char Path[96];
+  unsigned N = 0;
+  for (; N < kMaxNodes; ++N) {
+    std::snprintf(Path, sizeof(Path),
+                  "/sys/devices/system/node/node%u/cpulist", N);
+    std::FILE *F = std::fopen(Path, "r");
+    if (!F)
+      break;
+    char List[4096];
+    size_t Len = std::fread(List, 1, sizeof(List) - 1, F);
+    List[Len] = '\0';
+    std::fclose(F);
+    parseCpuList(List, static_cast<uint8_t>(N), T.CpuToNode);
+  }
+  if (N > 1) {
+    T.Nodes = N;
+    T.Active = true;
+#if defined(SPD3_HAVE_LIBNUMA)
+    T.UseLibnuma = numa_available() >= 0;
+#endif
+  }
+#endif
+  return T;
+}
+
+const Topology &topology() {
+  static const Topology T = buildTopology();
+  return T;
+}
+
+} // namespace
+
+unsigned nodeCount() { return topology().Nodes; }
+
+bool placementActive() { return topology().Active; }
+
+unsigned currentNode() {
+  const Topology &T = topology();
+  if (!T.Active)
+    return 0;
+#if defined(__linux__)
+  thread_local int Cached = -1;
+  if (Cached < 0) {
+    int Cpu = sched_getcpu();
+    Cached = (Cpu >= 0 && static_cast<size_t>(Cpu) < T.CpuToNode.size())
+                 ? T.CpuToNode[Cpu]
+                 : 0;
+  }
+  return static_cast<unsigned>(Cached);
+#else
+  return 0;
+#endif
+}
+
+void *allocLocal(size_t Bytes, size_t Align) {
+#if defined(SPD3_HAVE_LIBNUMA)
+  // libnuma returns page-aligned mappings bound to the local node, which
+  // satisfies any cache-line alignment we ask for. Null only on OOM —
+  // surfaced as bad_alloc rather than silently switching allocators
+  // (freeLocal must be able to tell how a pointer was produced).
+  if (topology().UseLibnuma) {
+    void *P = numa_alloc_local(Bytes);
+    if (!P)
+      throw std::bad_alloc();
+    return P;
+  }
+#endif
+  // First-touch fallback (also the single-node / disabled path): a plain
+  // allocation whose pages the caller faults in by value-initializing the
+  // contents lands on the caller's node under Linux's default policy.
+  if (Align > alignof(max_align_t))
+    return ::operator new(Bytes, std::align_val_t(Align));
+  return ::operator new(Bytes);
+}
+
+void freeLocal(void *P, size_t Bytes, size_t Align) {
+  if (!P)
+    return;
+#if defined(SPD3_HAVE_LIBNUMA)
+  if (topology().UseLibnuma) {
+    numa_free(P, Bytes);
+    return;
+  }
+#endif
+  (void)Bytes;
+  if (Align > alignof(max_align_t))
+    ::operator delete(P, std::align_val_t(Align));
+  else
+    ::operator delete(P);
+}
+
+const char *modeString() {
+  if (!placementActive())
+    return "off";
+#if defined(SPD3_HAVE_LIBNUMA)
+  if (topology().UseLibnuma)
+    return "libnuma";
+#endif
+  return "first-touch";
+}
+
+} // namespace spd3::numa

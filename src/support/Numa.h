@@ -1,0 +1,112 @@
+//===- support/Numa.h - NUMA-aware placement helpers ------------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Socket-local placement for shadow storage (DESIGN.md §12). The check
+/// path is memory-bound; on multi-socket hosts a shadow cell homed on the
+/// wrong node costs a cross-socket hop on every access. These helpers home
+/// RangeTable cell arrays, primary-map pages, and fallback-table chunks on
+/// the node of the thread that first needs them — under the structured
+/// model that thread is almost always the one whose steps keep touching
+/// the data.
+///
+/// Mechanism, in order of preference:
+///   - libnuma (`numa_alloc_local`) when the build found it
+///     (SPD3_HAVE_LIBNUMA) and the host is multi-node;
+///   - plain allocation otherwise — Linux's default first-touch policy
+///     already places freshly mapped pages on the faulting thread's node,
+///     and every allocation below is value-initialized by the requesting
+///     thread, so the pages land correctly without libnuma;
+///   - a strict no-op on single-node hosts and under SPD3_NUMA=off|0.
+///
+/// Topology queries never fail: a host without /sys NUMA topology reports
+/// one node, and every thread maps to node 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_NUMA_H
+#define SPD3_SUPPORT_NUMA_H
+
+#include <cstddef>
+#include <new>
+
+namespace spd3::numa {
+
+/// Number of NUMA nodes on this host (>= 1). Constant after first use.
+unsigned nodeCount();
+
+/// True when node-local placement is meaningful and enabled: more than one
+/// node and SPD3_NUMA is not off. Constant after first use.
+bool placementActive();
+
+/// The node the calling thread runs on (0 <= node < nodeCount()). Cached
+/// per thread on first call; a later migration to another node is not
+/// tracked — placement is a locality hint, never a correctness input.
+unsigned currentNode();
+
+/// Allocate \p Bytes preferentially on the calling thread's node, at least
+/// \p Align-aligned. Never fails soft: falls back to plain allocation when
+/// placement is inactive or the node-local path is unavailable. Release
+/// with freeLocal(P, Bytes, Align).
+void *allocLocal(size_t Bytes, size_t Align = alignof(max_align_t));
+
+/// Release memory from allocLocal. \p Bytes and \p Align must match the
+/// allocation (libnuma frees by size).
+void freeLocal(void *P, size_t Bytes, size_t Align = alignof(max_align_t));
+
+/// Human-readable placement mode for logs/benches: "libnuma",
+/// "first-touch", or "off".
+const char *modeString();
+
+/// \name Typed placement helpers
+/// Value-initialize objects in node-local storage when \p Enabled and
+/// placement is active; plain new/delete otherwise. The same \p Enabled
+/// value must be passed to the matching destroy call — callers latch it
+/// once (before first allocation) and never flip it.
+/// @{
+template <typename T> T *createLocal(bool Enabled) {
+  if (!Enabled || !placementActive())
+    return new T();
+  return new (allocLocal(sizeof(T), alignof(T))) T();
+}
+
+template <typename T> void destroyLocal(T *P, bool Enabled) {
+  if (!P)
+    return;
+  if (!Enabled || !placementActive()) {
+    delete P;
+    return;
+  }
+  P->~T();
+  freeLocal(P, sizeof(T), alignof(T));
+}
+
+template <typename T> T *createLocalArray(size_t N, bool Enabled) {
+  if (!Enabled || !placementActive())
+    return new T[N]();
+  T *A = static_cast<T *>(allocLocal(N * sizeof(T), alignof(T)));
+  for (size_t I = 0; I < N; ++I)
+    new (A + I) T();
+  return A;
+}
+
+template <typename T>
+void destroyLocalArray(T *A, size_t N, bool Enabled) {
+  if (!A)
+    return;
+  if (!Enabled || !placementActive()) {
+    delete[] A;
+    return;
+  }
+  for (size_t I = N; I > 0; --I)
+    A[I - 1].~T();
+  freeLocal(A, N * sizeof(T), alignof(T));
+}
+/// @}
+
+} // namespace spd3::numa
+
+#endif // SPD3_SUPPORT_NUMA_H

@@ -1,0 +1,314 @@
+//===- support/Simd.h - Runtime-dispatched SIMD lane primitives -*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small vector primitives behind the batched check path (DESIGN.md §12):
+/// lane-equality masks over gathered seqlock version pairs, splat-compare
+/// of shadow-triple words against a memoized snapshot, and first-divergent-
+/// word search over PathLabel windows.
+///
+/// Dispatch is resolved once per process: AVX2 on x86-64 when the CPU
+/// reports it, NEON on AArch64, and a portable scalar fallback everywhere
+/// else (or when `SPD3_SIMD=off|scalar` forces it). The AVX2 bodies use
+/// `__attribute__((target))` so the library builds without -mavx2 and never
+/// executes vector instructions on hosts that lack them.
+///
+/// Deliberate design point: these primitives only ever operate on *local
+/// copies* — the detector loads shadow words with relaxed atomic loads into
+/// stack arrays (upgraded by one acquire fence per block, the Lamport
+/// seqlock reader pattern) and hands the arrays here. The vector lanes
+/// therefore never touch std::atomic storage directly, which keeps the
+/// batched path free of data races by construction (and TSan-clean without
+/// any suppression).
+///
+/// Array-capacity contract: the U32/U64 mask entry points may read a full
+/// kBlockLanes lanes regardless of \p N; callers pass arrays dimensioned
+/// `[kBlockLanes]` (firstDiffU64 reads exactly \p N words and has no such
+/// requirement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_SIMD_H
+#define SPD3_SUPPORT_SIMD_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SPD3_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#define SPD3_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace spd3::simd {
+
+/// Lanes processed per block by the batched check path. Eight cells per
+/// block: one AVX2 vector of u32 versions, two vectors of u64 triple words.
+constexpr unsigned kBlockLanes = 8;
+
+enum class Backend : uint8_t { Scalar, Avx2, Neon };
+
+inline const char *backendName(Backend B) {
+  switch (B) {
+  case Backend::Scalar:
+    return "scalar";
+  case Backend::Avx2:
+    return "avx2";
+  case Backend::Neon:
+    return "neon";
+  }
+  return "?";
+}
+
+/// True when this binary, on this CPU, can execute \p B's instructions.
+inline bool backendUsable(Backend B) {
+  switch (B) {
+  case Backend::Scalar:
+    return true;
+  case Backend::Avx2:
+#if defined(SPD3_SIMD_X86)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+  case Backend::Neon:
+#if defined(SPD3_SIMD_NEON)
+    return true;
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+namespace detail {
+
+inline Backend detectBackend() {
+  // SPD3_SIMD=off|0|scalar forces the portable path; avx2/neon force a
+  // vector path when usable (ignored — with a fallback, not a crash —
+  // otherwise, so a stale setting cannot take down the process).
+  if (const char *E = std::getenv("SPD3_SIMD")) {
+    if (!std::strcmp(E, "off") || !std::strcmp(E, "0") ||
+        !std::strcmp(E, "scalar"))
+      return Backend::Scalar;
+    if (!std::strcmp(E, "avx2") && backendUsable(Backend::Avx2))
+      return Backend::Avx2;
+    if (!std::strcmp(E, "neon") && backendUsable(Backend::Neon))
+      return Backend::Neon;
+  }
+  if (backendUsable(Backend::Avx2))
+    return Backend::Avx2;
+  if (backendUsable(Backend::Neon))
+    return Backend::Neon;
+  return Backend::Scalar;
+}
+
+/// Resolved once at static-initialization time; reads afterwards are one
+/// plain load (no function-local guard on the hot path).
+inline const Backend GBackend = detectBackend();
+
+inline unsigned laneMask(unsigned N) { return (1u << N) - 1; }
+
+inline unsigned equalMaskU32Scalar(const uint32_t A[], const uint32_t B[],
+                                   unsigned N) {
+  unsigned M = 0;
+  for (unsigned I = 0; I < N; ++I)
+    M |= (A[I] == B[I] ? 1u : 0u) << I;
+  return M;
+}
+
+inline unsigned equalMaskU64Scalar(const uint64_t A[], uint64_t V,
+                                   unsigned N) {
+  unsigned M = 0;
+  for (unsigned I = 0; I < N; ++I)
+    M |= (A[I] == V ? 1u : 0u) << I;
+  return M;
+}
+
+inline int firstDiffU64Scalar(const uint64_t *A, const uint64_t *B,
+                              unsigned N) {
+  for (unsigned I = 0; I < N; ++I)
+    if (A[I] != B[I])
+      return static_cast<int>(I);
+  return -1;
+}
+
+#if defined(SPD3_SIMD_X86)
+__attribute__((target("avx2"))) inline unsigned
+equalMaskU32Avx2(const uint32_t A[], const uint32_t B[], unsigned N) {
+  __m256i VA = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A));
+  __m256i VB = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B));
+  __m256i Eq = _mm256_cmpeq_epi32(VA, VB);
+  unsigned M =
+      static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(Eq)));
+  return M & laneMask(N);
+}
+
+__attribute__((target("avx2"))) inline unsigned
+equalMaskU64Avx2(const uint64_t A[], uint64_t V, unsigned N) {
+  __m256i Ref = _mm256_set1_epi64x(static_cast<long long>(V));
+  __m256i Lo = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A));
+  __m256i Hi = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + 4));
+  unsigned MLo = static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(Lo, Ref))));
+  unsigned MHi = static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(Hi, Ref))));
+  return (MLo | (MHi << 4)) & laneMask(N);
+}
+
+__attribute__((target("avx2"))) inline int
+firstDiffU64Avx2(const uint64_t *A, const uint64_t *B, unsigned N) {
+  unsigned I = 0;
+  for (; I + 4 <= N; I += 4) {
+    __m256i X = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I)));
+    if (!_mm256_testz_si256(X, X)) {
+      unsigned Eq = static_cast<unsigned>(_mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(X, _mm256_setzero_si256()))));
+      return static_cast<int>(I + __builtin_ctz(~Eq & 0xf));
+    }
+  }
+  for (; I < N; ++I)
+    if (A[I] != B[I])
+      return static_cast<int>(I);
+  return -1;
+}
+#endif // SPD3_SIMD_X86
+
+#if defined(SPD3_SIMD_NEON)
+inline unsigned equalMaskU32Neon(const uint32_t A[], const uint32_t B[],
+                                 unsigned N) {
+  uint32x4_t EqLo = vceqq_u32(vld1q_u32(A), vld1q_u32(B));
+  uint32x4_t EqHi = vceqq_u32(vld1q_u32(A + 4), vld1q_u32(B + 4));
+  // Narrow each 32-bit lane to 16 bits and read the 4 lanes as one u64;
+  // lane I's bit is then bit 16*I.
+  uint64_t Lo = vget_lane_u64(vreinterpret_u64_u16(vmovn_u32(EqLo)), 0);
+  uint64_t Hi = vget_lane_u64(vreinterpret_u64_u16(vmovn_u32(EqHi)), 0);
+  unsigned M = 0;
+  for (unsigned I = 0; I < 4; ++I) {
+    M |= ((Lo >> (16 * I)) & 1u) << I;
+    M |= ((Hi >> (16 * I)) & 1u) << (I + 4);
+  }
+  return M & laneMask(N);
+}
+
+inline unsigned equalMaskU64Neon(const uint64_t A[], uint64_t V, unsigned N) {
+  uint64x2_t Ref = vdupq_n_u64(V);
+  unsigned M = 0;
+  for (unsigned I = 0; I < kBlockLanes; I += 2) {
+    uint64x2_t Eq = vceqq_u64(vld1q_u64(A + I), Ref);
+    M |= (vgetq_lane_u64(Eq, 0) & 1u) << I;
+    M |= (vgetq_lane_u64(Eq, 1) & 1u) << (I + 1);
+  }
+  return M & laneMask(N);
+}
+
+inline int firstDiffU64Neon(const uint64_t *A, const uint64_t *B, unsigned N) {
+  unsigned I = 0;
+  for (; I + 2 <= N; I += 2) {
+    uint64x2_t X = veorq_u64(vld1q_u64(A + I), vld1q_u64(B + I));
+    if (vgetq_lane_u64(X, 0))
+      return static_cast<int>(I);
+    if (vgetq_lane_u64(X, 1))
+      return static_cast<int>(I + 1);
+  }
+  for (; I < N; ++I)
+    if (A[I] != B[I])
+      return static_cast<int>(I);
+  return -1;
+}
+#endif // SPD3_SIMD_NEON
+
+} // namespace detail
+
+/// The process-wide backend: AVX2 / NEON when the host supports it, scalar
+/// otherwise or under SPD3_SIMD=off. Constant after static initialization.
+inline Backend backend() { return detail::GBackend; }
+
+/// \name Per-backend entry points
+/// Explicit-backend overloads exist so tests can cross-check every usable
+/// implementation against the scalar reference on the same inputs. Passing
+/// a backend the host cannot execute is undefined; guard with
+/// backendUsable().
+/// @{
+
+/// Bit I (I < \p N <= kBlockLanes) set iff A[I] == B[I]. Reads a full
+/// kBlockLanes lanes from both arrays.
+inline unsigned equalMaskU32(Backend BK, const uint32_t A[], const uint32_t B[],
+                             unsigned N) {
+  switch (BK) {
+#if defined(SPD3_SIMD_X86)
+  case Backend::Avx2:
+    return detail::equalMaskU32Avx2(A, B, N);
+#endif
+#if defined(SPD3_SIMD_NEON)
+  case Backend::Neon:
+    return detail::equalMaskU32Neon(A, B, N);
+#endif
+  default:
+    return detail::equalMaskU32Scalar(A, B, N);
+  }
+}
+
+/// Bit I (I < \p N <= kBlockLanes) set iff A[I] == \p V. Reads a full
+/// kBlockLanes lanes from \p A.
+inline unsigned equalMaskU64(Backend BK, const uint64_t A[], uint64_t V,
+                             unsigned N) {
+  switch (BK) {
+#if defined(SPD3_SIMD_X86)
+  case Backend::Avx2:
+    return detail::equalMaskU64Avx2(A, V, N);
+#endif
+#if defined(SPD3_SIMD_NEON)
+  case Backend::Neon:
+    return detail::equalMaskU64Neon(A, V, N);
+#endif
+  default:
+    return detail::equalMaskU64Scalar(A, V, N);
+  }
+}
+
+/// Index of the first word where A and B differ, or -1 when the first \p N
+/// words are identical. Reads exactly \p N words (PathLabel divergence).
+inline int firstDiffU64(Backend BK, const uint64_t *A, const uint64_t *B,
+                        unsigned N) {
+  switch (BK) {
+#if defined(SPD3_SIMD_X86)
+  case Backend::Avx2:
+    return detail::firstDiffU64Avx2(A, B, N);
+#endif
+#if defined(SPD3_SIMD_NEON)
+  case Backend::Neon:
+    return detail::firstDiffU64Neon(A, B, N);
+#endif
+  default:
+    return detail::firstDiffU64Scalar(A, B, N);
+  }
+}
+/// @}
+
+/// \name Dispatching wrappers (the detector's hot-path entry points)
+/// @{
+inline unsigned equalMaskU32(const uint32_t A[], const uint32_t B[],
+                             unsigned N) {
+  return equalMaskU32(backend(), A, B, N);
+}
+inline unsigned equalMaskU64(const uint64_t A[], uint64_t V, unsigned N) {
+  return equalMaskU64(backend(), A, V, N);
+}
+inline int firstDiffU64(const uint64_t *A, const uint64_t *B, unsigned N) {
+  return firstDiffU64(backend(), A, B, N);
+}
+/// @}
+
+} // namespace spd3::simd
+
+#endif // SPD3_SUPPORT_SIMD_H

@@ -81,29 +81,35 @@ RunResult runWith(Spd3Options Opts, const Scenario &Fn) {
 }
 
 /// Run \p Fn element-wise (BatchedRanges off) and batched under every
-/// (protocol, LabelDmhp, CheckCache) combination; every batched result must
-/// equal its element-wise baseline.
+/// (protocol, LabelDmhp, CheckCache, SimdRanges) combination; every batched
+/// result must equal its element-wise baseline. SimdRanges only reshapes
+/// the batched lock-free loop, but the matrix runs it everywhere to pin
+/// down that it is inert elsewhere.
 void expectBatchedEquivalence(const Scenario &Fn) {
   for (auto Proto : {Spd3Options::Protocol::LockFree,
                      Spd3Options::Protocol::Mutex})
     for (bool Label : {true, false})
-      for (bool Cache : {true, false}) {
-        Spd3Options Base;
-        Base.Proto = Proto;
-        Base.CheckCache = Cache;
-        Base.LabelDmhp = Label;
-        Base.BatchedRanges = false;
-        Spd3Options Batched = Base;
-        Batched.BatchedRanges = true;
-        RunResult Elementwise = runWith(Base, Fn);
-        RunResult WithRuns = runWith(Batched, Fn);
-        EXPECT_EQ(Elementwise.Races, WithRuns.Races)
-            << "proto=" << (Proto == Spd3Options::Protocol::Mutex)
-            << " label=" << Label << " cache=" << Cache;
-        EXPECT_EQ(Elementwise.Triples, WithRuns.Triples)
-            << "proto=" << (Proto == Spd3Options::Protocol::Mutex)
-            << " label=" << Label << " cache=" << Cache;
-      }
+      for (bool Cache : {true, false})
+        for (bool Simd : {true, false}) {
+          Spd3Options Base;
+          Base.Proto = Proto;
+          Base.CheckCache = Cache;
+          Base.LabelDmhp = Label;
+          Base.BatchedRanges = false;
+          Spd3Options Batched = Base;
+          Batched.BatchedRanges = true;
+          Batched.SimdRanges = Simd;
+          RunResult Elementwise = runWith(Base, Fn);
+          RunResult WithRuns = runWith(Batched, Fn);
+          EXPECT_EQ(Elementwise.Races, WithRuns.Races)
+              << "proto=" << (Proto == Spd3Options::Protocol::Mutex)
+              << " label=" << Label << " cache=" << Cache
+              << " simd=" << Simd;
+          EXPECT_EQ(Elementwise.Triples, WithRuns.Triples)
+              << "proto=" << (Proto == Spd3Options::Protocol::Mutex)
+              << " label=" << Label << " cache=" << Cache
+              << " simd=" << Simd;
+        }
 }
 
 TEST(RangeEvents, RaceFreeBulkPipelineMatchesElementwise) {

@@ -58,6 +58,7 @@ enum class Detector {
   Spd3NoSimd,  ///< SPD3 with the scalar per-element range loop (ablation)
   Spd3NoNuma,  ///< SPD3 without NUMA-aware shadow placement (ablation)
   Spd3Reclaim, ///< SPD3 in service mode (src/reclaim/ subtree retirement)
+  Spd3Sample,  ///< SPD3 in sampling mode (overhead-budgeted check elision)
   EspBags,   ///< sequential ESP-bags baseline
   FastTrack, ///< FastTrack baseline
   Eraser,    ///< Eraser baseline
@@ -87,6 +88,8 @@ inline const char *detectorName(Detector D) {
     return "spd3-nonuma";
   case Detector::Spd3Reclaim:
     return "spd3-reclaim";
+  case Detector::Spd3Sample:
+    return "spd3-sample";
   case Detector::EspBags:
     return "espbags";
   case Detector::FastTrack:
@@ -105,15 +108,21 @@ inline std::unique_ptr<detector::Tool> makeTool(Detector D,
     return nullptr;
   case Detector::Spd3:
     return std::make_unique<detector::Spd3Tool>(Sink);
-  case Detector::Spd3Mutex:
-    return std::make_unique<detector::Spd3Tool>(
-        Sink, Spd3Options{Spd3Options::Protocol::Mutex, true});
-  case Detector::Spd3NoCache:
-    return std::make_unique<detector::Spd3Tool>(
-        Sink, Spd3Options{Spd3Options::Protocol::LockFree, false});
-  case Detector::Spd3NoMemo:
-    return std::make_unique<detector::Spd3Tool>(
-        Sink, Spd3Options{Spd3Options::Protocol::LockFree, true, false});
+  case Detector::Spd3Mutex: {
+    Spd3Options O;
+    O.Proto = Spd3Options::Protocol::Mutex;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3NoCache: {
+    Spd3Options O;
+    O.CheckCache = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3NoMemo: {
+    Spd3Options O;
+    O.DmhpMemo = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
   case Detector::Spd3NoLabel: {
     Spd3Options O;
     O.LabelDmhp = false;
@@ -144,6 +153,11 @@ inline std::unique_ptr<detector::Tool> makeTool(Detector D,
     O.Reclaim = true;
     return std::make_unique<detector::Spd3Tool>(Sink, O);
   }
+  case Detector::Spd3Sample: {
+    Spd3Options O;
+    O.Sampling = true; // Budget from SPD3_OVERHEAD_BUDGET (default 5%).
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
   case Detector::EspBags:
     return std::make_unique<baselines::EspBagsTool>(Sink);
   case Detector::FastTrack:
@@ -166,6 +180,7 @@ inline BenchEnv benchEnv() {
   std::string S = envString("SPD3_BENCH_SIZE", "default");
   E.Size = S == "test"    ? kernels::SizeClass::Test
            : S == "small" ? kernels::SizeClass::Small
+           : S == "large" ? kernels::SizeClass::Large
                           : kernels::SizeClass::Default;
   E.Reps = static_cast<int>(envInt("SPD3_BENCH_REPS", 3));
   return E;
@@ -303,6 +318,7 @@ inline void printHeader(const char *Title, const BenchEnv &E) {
               std::thread::hardware_concurrency(),
               E.Size == kernels::SizeClass::Test      ? "test"
               : E.Size == kernels::SizeClass::Default ? "default"
+              : E.Size == kernels::SizeClass::Large   ? "large"
                                                       : "small",
               E.Reps);
   std::printf("(relative slowdowns compare equal worker counts on this "

@@ -23,17 +23,34 @@ trips the gate instead of being mistaken for a slow machine. Disable
 with --no-normalize when current and baseline come from the same
 machine.
 
+Curve-style sections — monotone-by-construction sweeps such as the
+sampling detection/cost curves (`det-r500`, `cost-r200`, ...) — are
+recognized by shape (or added with --curve) and handled specially: they
+are excluded from the drift-normalization median, so a block of curve
+entries that all moved together cannot drag the median and mask a real
+regression in a normal section, and they are reported but not
+threshold-gated (a detection probability is not a time; ratio-gating it
+just flaps).
+
+The sampling budget assertion (`--budget-json`) reads the best-of rows
+`sampling-budget/<kernel>/base` and `sampling-budget/<kernel>/spd3-sample`
+from a fresh report and hard-fails when the geomean measured overhead
+exceeds --budget-cap × --budget-factor percent.
+
 Usage:
   check_regression.py --pair current.json baseline.json \
                       [--pair cur2.json base2.json ...] \
                       [--threshold 1.30] [--no-normalize] \
-                      [--inject SECTION=FACTOR]
+                      [--inject SECTION=FACTOR] [--curve PREFIX] \
+                      [--budget-json report.json --budget-cap 5 \
+                       --budget-factor 1.5]
   check_regression.py --self-test
 """
 
 import argparse
 import json
 import math
+import re
 import sys
 
 
@@ -70,8 +87,19 @@ def geomean(values):
 # residual counts toward the threshold like any other slowdown.
 MAX_DRIFT = 3.0
 
+# Curve-style sections recognized by shape: a sweep axis baked into the
+# section name (det-r500, cost-r20, r1000). Monotone-by-construction data
+# must not feed the drift median nor the slowdown threshold.
+CURVE_SECTION_RE = re.compile(r"^(?:det-|cost-)?r\d+$")
 
-def compare(pairs, threshold, normalize, inject):
+
+def is_curve_section(sec, extra_prefixes=()):
+    if CURVE_SECTION_RE.match(sec):
+        return True
+    return any(sec.startswith(p) for p in extra_prefixes)
+
+
+def compare(pairs, threshold, normalize, inject, curve_prefixes=()):
     """Return (ok, report_lines) over all (current, baseline) file pairs."""
     ratios = {}  # key -> (section, ratio)
     for cur_path, base_path in pairs:
@@ -109,8 +137,15 @@ def compare(pairs, threshold, normalize, inject):
         print("error: nothing to compare", file=sys.stderr)
         return False, []
 
+    # Drift estimate over NON-curve entries only: curve sections move
+    # together by construction, so letting them into the median would let
+    # a majority of curve entries re-center the scale onto their own
+    # shift and absorb an equal real regression elsewhere.
+    drift_ratios = [r for sec, r in ratios.values()
+                    if not is_curve_section(sec, curve_prefixes)]
     all_ratios = [r for _, r in ratios.values()]
-    median = sorted(all_ratios)[len(all_ratios) // 2]
+    median_pool = drift_ratios if drift_ratios else all_ratios
+    median = sorted(median_pool)[len(median_pool) // 2]
     scale = min(max(median, 1.0 / MAX_DRIFT), MAX_DRIFT) if normalize else 1.0
 
     by_section = {}
@@ -119,11 +154,17 @@ def compare(pairs, threshold, normalize, inject):
 
     ok = True
     lines = []
-    lines.append(f"{len(all_ratios)} compared entries, "
-                 f"global median ratio {median:.3f}"
+    lines.append(f"{len(all_ratios)} compared entries "
+                 f"({len(drift_ratios)} in drift pool), "
+                 f"median ratio {median:.3f}"
                  f"{f' (normalizing by {scale:.3f})' if normalize else ''}")
     for sec in sorted(by_section):
         gm = geomean(by_section[sec])
+        if is_curve_section(sec, curve_prefixes):
+            lines.append(f"  {sec:24s} geomean {gm:6.3f}x  "
+                         f"({len(by_section[sec])} entries)  curve (not "
+                         f"gated)")
+            continue
         verdict = "ok" if gm <= threshold else "REGRESSION"
         if gm > threshold:
             ok = False
@@ -132,12 +173,54 @@ def compare(pairs, threshold, normalize, inject):
     return ok, lines
 
 
+def check_budget(report_path, cap_pct, factor):
+    """Assert the measured sampling overhead against the configured cap.
+
+    Reads `sampling-budget/<kernel>/base` and `.../spd3-sample` rows (best-of
+    seconds in the mean field) and fails when the geomean overhead across
+    kernels exceeds cap_pct * factor percent. Returns (ok, lines)."""
+    entries, _ = load_entries(report_path)
+    by_kernel = {}
+    for key, mean in entries.items():
+        name = key[0] if isinstance(key, tuple) else key
+        parts = name.split("/")
+        if len(parts) != 3 or parts[0] != "sampling-budget":
+            continue
+        by_kernel.setdefault(parts[1], {})[parts[2]] = mean
+    lines = []
+    slowdowns = []
+    for kernel in sorted(by_kernel):
+        rows = by_kernel[kernel]
+        if "base" not in rows or "spd3-sample" not in rows:
+            lines.append(f"  {kernel:12s} incomplete budget rows, skipped")
+            continue
+        if rows["base"] <= 0.0:
+            continue
+        ratio = rows["spd3-sample"] / rows["base"]
+        slowdowns.append(max(ratio, 1e-9))
+        lines.append(f"  {kernel:12s} overhead {100.0 * (ratio - 1.0):+7.2f}%")
+    if not slowdowns:
+        print(f"error: {report_path} has no sampling-budget row pairs",
+              file=sys.stderr)
+        return False, lines
+    overhead_pct = (geomean(slowdowns) - 1.0) * 100.0
+    limit = cap_pct * factor
+    ok = overhead_pct <= limit
+    lines.append(f"  geomean measured overhead {overhead_pct:+.2f}% vs "
+                 f"budget cap {cap_pct:.1f}% x {factor:.2f} = {limit:.2f}%  "
+                 f"{'ok' if ok else 'OVER BUDGET'}")
+    return ok, lines
+
+
 def self_test():
     """Gate sanity check run in CI before the real comparison: identical
     data passes; a 1.5x slowdown injected into one of five sections fails;
     a uniform 4x slowdown across every section fails despite the
     machine-drift normalization (the clamp); a current report that dropped
-    one baseline section entirely fails."""
+    one baseline section entirely fails; a majority block of curve entries
+    shifted 1.5x cannot mask an equal real regression (the drift-pool
+    exclusion); and the budget assertion passes under the cap and fails
+    over it."""
     import tempfile, os
 
     variants = ["spd3", "spd3-nocache", "spd3-nomemo", "spd3-nolabel",
@@ -145,6 +228,12 @@ def self_test():
     base = [{"name": f"ablation/k{i}/{v}", "threads": 2,
              "mean": 0.001 * (i + 1), "stddev": 0.0}
             for i in range(6) for v in variants]
+    # 6 kernels x 6 rates x det+cost = 72 curve entries: a strict majority
+    # over the 30 normal ones, which is the masking scenario.
+    rates = [1000, 500, 200, 100, 50, 20]
+    curves = [{"name": f"sampling/k{i}/{kind}-r{r}", "threads": 2,
+               "mean": 0.001, "stddev": 0.0}
+              for i in range(6) for r in rates for kind in ("det", "cost")]
     with tempfile.TemporaryDirectory() as d:
         bp = os.path.join(d, "base.json")
         with open(bp, "w") as f:
@@ -174,8 +263,43 @@ def self_test():
             print("self-test FAILED: report missing a baseline section "
                   "passed", file=sys.stderr)
             return 1
+        # Curve-masking: shift every curve section AND one real section by
+        # 1.5x. With curves in the drift pool the median would land on 1.5
+        # and normalize the real regression away; the exclusion must keep
+        # the gate tripping on "spd3".
+        cp = os.path.join(d, "curves.json")
+        with open(cp, "w") as f:
+            json.dump(base + curves, f)
+        inject = {f"{kind}-r{r}": 1.5 for r in rates
+                  for kind in ("det", "cost")}
+        inject["spd3"] = 1.5
+        ok, _ = compare([(cp, cp)], 1.30, True, inject)
+        if ok:
+            print("self-test FAILED: curve-entry majority masked a real "
+                  "1.5x regression", file=sys.stderr)
+            return 1
+        # Budget assertion: 6% measured overhead passes a 5% cap at 1.5x
+        # headroom; 9% fails.
+        for overhead, expect_ok in ((0.06, True), (0.09, False)):
+            rp = os.path.join(d, f"budget{int(overhead * 100)}.json")
+            rows = []
+            for k in ("crypt", "matmul", "series"):
+                rows.append({"name": f"sampling-budget/{k}/base",
+                             "threads": 2, "mean": 0.010, "stddev": 0.0})
+                rows.append({"name": f"sampling-budget/{k}/spd3-sample",
+                             "threads": 2, "mean": 0.010 * (1 + overhead),
+                             "stddev": 0.0})
+            with open(rp, "w") as f:
+                json.dump(rows, f)
+            ok, _ = check_budget(rp, 5.0, 1.5)
+            if ok != expect_ok:
+                print(f"self-test FAILED: {overhead * 100:.0f}% overhead "
+                      f"{'passed' if ok else 'failed'} a 5% x 1.5 budget",
+                      file=sys.stderr)
+                return 1
     print("self-test passed: identical data passes; one-section 1.5x, "
-          "uniform 4x, and a dropped section fail")
+          "uniform 4x, a dropped section, and curve-masked regressions "
+          "fail; budget assertion trips only over cap x factor")
     return 0
 
 
@@ -191,27 +315,52 @@ def main():
     ap.add_argument("--inject", action="append", default=[],
                     metavar="SECTION=FACTOR",
                     help="multiply SECTION's ratios by FACTOR (gate demo)")
+    ap.add_argument("--curve", action="append", default=[],
+                    metavar="PREFIX",
+                    help="treat sections starting with PREFIX as curve-style"
+                         " (excluded from drift pool and threshold)")
+    ap.add_argument("--budget-json", metavar="REPORT",
+                    help="fresh sampling report with sampling-budget rows")
+    ap.add_argument("--budget-cap", type=float, default=5.0,
+                    help="configured overhead budget, percent (default 5)")
+    ap.add_argument("--budget-factor", type=float, default=1.5,
+                    help="allowed headroom over the cap (default 1.5)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate fails on synthetic regressions")
     args = ap.parse_args()
 
     if args.self_test:
         sys.exit(self_test())
-    if not args.pair:
-        ap.error("need --pair (or --self-test)")
+    if not args.pair and not args.budget_json:
+        ap.error("need --pair or --budget-json (or --self-test)")
 
     inject = {}
     for spec in args.inject:
         sec, _, factor = spec.partition("=")
         inject[sec] = float(factor)
 
-    ok, lines = compare(args.pair, args.threshold, not args.no_normalize,
-                        inject)
-    for line in lines:
-        print(line)
-    if not ok:
-        print(f"FAIL: at least one section regressed beyond "
-              f"{args.threshold:.2f}x", file=sys.stderr)
+    failed = False
+    if args.pair:
+        ok, lines = compare(args.pair, args.threshold,
+                            not args.no_normalize, inject,
+                            tuple(args.curve))
+        for line in lines:
+            print(line)
+        if not ok:
+            print(f"FAIL: at least one section regressed beyond "
+                  f"{args.threshold:.2f}x", file=sys.stderr)
+            failed = True
+    if args.budget_json:
+        ok, lines = check_budget(args.budget_json, args.budget_cap,
+                                 args.budget_factor)
+        print(f"sampling budget assertion ({args.budget_json}):")
+        for line in lines:
+            print(line)
+        if not ok:
+            print("FAIL: measured sampling overhead exceeds the budget "
+                  "cap x factor", file=sys.stderr)
+            failed = True
+    if failed:
         sys.exit(1)
     print("perf gate passed")
 

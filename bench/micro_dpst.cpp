@@ -130,7 +130,7 @@ BENCHMARK(BM_DpstDmhpWideTreeLabeled)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 18);
 template <detector::Spd3Options::Protocol Proto>
 static void BM_Spd3ReadAction(benchmark::State &State) {
   detector::RaceSink Sink;
-  detector::Spd3Tool Tool(Sink, detector::Spd3Options{Proto, false});
+  detector::Spd3Tool Tool(Sink, detector::Spd3Options{.Proto = Proto, .CheckCache = false});
   rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
   RT.run([&] {
     detector::TrackedArray<double> A(64, 1.0);

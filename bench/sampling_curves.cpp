@@ -1,0 +1,279 @@
+//===- bench/sampling_curves.cpp - Sampling overhead and detection curves --===//
+//
+// Two sections backing DESIGN.md §13 and the CI sampling-gate:
+//
+//  1. Overhead at the configured budget (SPD3_OVERHEAD_BUDGET, default 5%):
+//     STEADY-STATE interleaved A/B of the uninstrumented baseline vs
+//     spd3-sample in adaptive mode. Production sampling is a service-mode
+//     feature, so the gate measures a converged controller: one long-lived
+//     tool per kernel, the kernel repeated against it, timed in alternating
+//     base/sampled blocks (frequency drift and co-tenant noise hit both
+//     arms equally) with best-of-blocks per arm — one noisy block cannot
+//     flap the gate. Budget rows run the Large size class, Chunked variant
+//     (the paper's apples-to-apples decomposition; fine-grained spawn cost
+//     is DPST maintenance, which check sampling cannot elide), at
+//     min(8, hardware) workers. JSON rows `sampling-budget/<kernel>/base`
+//     and `sampling-budget/<kernel>/spd3-sample` carry the per-rep seconds
+//     the `check_regression.py --budget-json` assertion reads; the
+//     per-thread `sampling/<kernel>/...` rows are the regression-pairing
+//     view of the same feature at bench size.
+//
+//  2. Detection-probability-vs-cost curves: racy (SeedRace) kernel runs at
+//     fixed admission rates, warmup off so the curve shows the pure rate
+//     effect. Per rate r the JSON gains `sampling/<kernel>/det-r<r>` (mean
+//     = fraction of trials that caught a race) and
+//     `sampling/<kernel>/cost-r<r>` (mean = seconds per trial). These
+//     sections are monotone-by-construction in r; check_regression.py
+//     recognizes the det-r/cost-r section shape as curve-style and keeps
+//     them out of the drift estimate and the threshold gate.
+//
+// SPD3_BENCH_KERNELS overrides the kernel list (default crypt,matmul,series
+// — the CI triple); SPD3_SAMPLE_TRIALS the per-rate trial count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace spd3;
+using namespace spd3::bench;
+
+/// Kernels selected by SPD3_BENCH_KERNELS (comma list), defaulting to the
+/// CI triple rather than all 15: the sampling gate wants a fast, fixed set.
+static std::vector<kernels::Kernel *> selectedKernels() {
+  std::string Filter = envString("SPD3_BENCH_KERNELS", "crypt,matmul,series");
+  std::vector<kernels::Kernel *> Out;
+  size_t Pos = 0;
+  while (Pos <= Filter.size()) {
+    size_t Comma = Filter.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Filter.size();
+    std::string Name = Filter.substr(Pos, Comma - Pos);
+    if (kernels::Kernel *K = kernels::findKernel(Name))
+      Out.push_back(K);
+    else if (!Name.empty())
+      std::fprintf(stderr, "unknown kernel in SPD3_BENCH_KERNELS: %s\n",
+                   Name.c_str());
+    Pos = Comma + 1;
+  }
+  if (Out.empty()) {
+    std::fprintf(stderr, "SPD3_BENCH_KERNELS matched no kernels\n");
+    std::exit(1);
+  }
+  return Out;
+}
+
+/// Interleaved A/B (same policy as fig3): repetitions alternate the two
+/// detectors so frequency drift and cache warmth hit both arms equally.
+static void interleavedAB(Detector A, Detector B, kernels::Kernel &K,
+                          kernels::KernelConfig Cfg, unsigned Threads,
+                          int Reps, TimedRun &OutA, TimedRun &OutB) {
+  OutA.Seconds = OutB.Seconds = 1e100;
+  std::vector<double> TA, TB;
+  for (int R = 0; R < Reps; ++R) {
+    TimedRun RA = timedRun(A, K, Cfg, Threads, 1);
+    TimedRun RB = timedRun(B, K, Cfg, Threads, 1);
+    TA.push_back(RA.Seconds);
+    TB.push_back(RB.Seconds);
+    if (RA.Seconds < OutA.Seconds)
+      OutA = RA;
+    if (RB.Seconds < OutB.Seconds)
+      OutB = RB;
+  }
+  auto Fold = [](const std::vector<double> &T, TimedRun &Out) {
+    double Sum = 0.0;
+    for (double V : T)
+      Sum += V;
+    Out.Mean = Sum / static_cast<double>(T.size());
+    double Var = 0.0;
+    for (double V : T)
+      Var += (V - Out.Mean) * (V - Out.Mean);
+    Out.Stddev = std::sqrt(Var / static_cast<double>(T.size()));
+  };
+  Fold(TA, OutA);
+  Fold(TB, OutB);
+}
+
+/// Steady-state budget measurement: one persistent uninstrumented runtime
+/// and one persistent sampled runtime (the controller keeps its estimates,
+/// warmup table, and converged rate across repetitions), timed in
+/// alternating blocks of \p Reps kernel executions, best block per arm.
+struct BudgetResult {
+  double BaseSec = 0.0;   ///< best per-rep seconds, uninstrumented
+  double SampleSec = 0.0; ///< best per-rep seconds, sampled
+  double RatePermille = 0.0;
+  double EstimatedPct = 0.0;
+};
+
+static BudgetResult steadyBudget(kernels::Kernel &K,
+                                 kernels::KernelConfig Cfg, unsigned Threads,
+                                 int Blocks) {
+  obs::ScopedSiteTag Site(K.name());
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Options O;
+  O.Sampling = true; // Budget from SPD3_OVERHEAD_BUDGET (default 5%).
+  detector::Spd3Tool Tool(Sink, O);
+  rt::Runtime Base({Threads, rt::SchedulerKind::Parallel, nullptr});
+  rt::Runtime Sampled({Threads, rt::SchedulerKind::Parallel, &Tool});
+  // Warm both stacks and let the controller bootstrap, then size the
+  // blocks so each is ~60ms of work: long enough that a block mean is not
+  // scheduler noise, short enough to interleave many blocks.
+  K.execute(Base, Cfg);
+  StopWatch W0;
+  K.execute(Base, Cfg);
+  double T0 = W0.seconds();
+  int Reps = static_cast<int>(std::clamp(0.06 / std::max(T0, 1e-6), 1.0, 8.0));
+  for (int R = 0; R < 2 * Reps; ++R)
+    K.execute(Sampled, Cfg);
+  BudgetResult Out;
+  Out.BaseSec = Out.SampleSec = 1e100;
+  for (int B = 0; B < Blocks; ++B) {
+    StopWatch WB;
+    for (int R = 0; R < Reps; ++R)
+      K.execute(Base, Cfg);
+    Out.BaseSec = std::min(Out.BaseSec, WB.seconds() / Reps);
+    StopWatch WS;
+    for (int R = 0; R < Reps; ++R)
+      K.execute(Sampled, Cfg);
+    Out.SampleSec = std::min(Out.SampleSec, WS.seconds() / Reps);
+  }
+  if (const detector::SamplingController *Sam = Tool.sampler()) {
+    Out.RatePermille = Sam->ratePermille();
+    Out.EstimatedPct = Sam->estimatedOverheadPct();
+  }
+  return Out;
+}
+
+/// One racy sampled run at a fixed admission rate. Returns (seconds,
+/// caught-a-race). Warmup is off so the curve isolates the rate effect.
+static std::pair<double, bool> racySampledRun(kernels::Kernel &K,
+                                              kernels::KernelConfig Cfg,
+                                              unsigned Threads, int RatePermille,
+                                              uint64_t Seed) {
+  obs::ScopedSiteTag Site(K.name());
+  detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+  detector::Spd3Options O;
+  O.Sampling = true;
+  O.Sample.FixedRatePermille = RatePermille;
+  O.Sample.WarmupSamples = 0;
+  O.Sample.WindowEvents = 64; // Finer windows: test-size runs are short.
+  O.Sample.Seed = Seed;
+  detector::Spd3Tool Tool(Sink, O);
+  rt::Runtime RT({Threads, rt::SchedulerKind::Parallel, &Tool});
+  StopWatch W;
+  K.execute(RT, Cfg);
+  return {W.seconds(), Sink.anyRace()};
+}
+
+int main(int Argc, char **Argv) {
+  JsonReport Json;
+  Json.parseArgs(Argc, Argv);
+  BenchEnv E = benchEnv();
+  printHeader("Sampling mode: overhead at budget + detection/cost curves", E);
+  double Budget = envDouble("SPD3_OVERHEAD_BUDGET", 5.0);
+  std::vector<kernels::Kernel *> Selected = selectedKernels();
+  unsigned TopThreads = static_cast<unsigned>(E.Threads.back());
+
+  // --- Section 1: overhead at the configured budget (adaptive mode) ---
+  std::printf("\noverhead at budget %.1f%% (uninstrumented vs spd3-sample, "
+              "interleaved)\n",
+              Budget);
+  std::printf("%-12s", "benchmark");
+  for (int T : E.Threads)
+    std::printf("  %7d-thr", T);
+  std::printf("\n");
+  for (kernels::Kernel *K : Selected) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    std::printf("%-12s", K->name());
+    for (size_t TI = 0; TI < E.Threads.size(); ++TI) {
+      unsigned T = static_cast<unsigned>(E.Threads[TI]);
+      TimedRun Base, Sample;
+      interleavedAB(Detector::None, Detector::Spd3Sample, *K, Cfg, T, E.Reps,
+                    Base, Sample);
+      double OverheadPct = (Sample.Seconds / Base.Seconds - 1.0) * 100.0;
+      std::printf("  %+9.2f%%", OverheadPct);
+      std::fflush(stdout);
+      Json.add(std::string("sampling/") + K->name() + "/base",
+               static_cast<int>(T), Base);
+      Json.add(std::string("sampling/") + K->name() + "/spd3-sample",
+               static_cast<int>(T), Sample);
+    }
+    std::printf("\n");
+  }
+
+  // --- Section 1b: the budget gate rows (steady state, Large, Chunked) ---
+  unsigned HW = std::thread::hardware_concurrency();
+  unsigned GateThreads = std::min(8u, HW ? HW : 1u);
+  int GateBlocks = static_cast<int>(envInt("SPD3_BUDGET_BLOCKS", 6));
+  std::printf("\nbudget gate (steady state, large/chunked, %u workers, "
+              "best of %d interleaved blocks)\n",
+              GateThreads, GateBlocks);
+  std::printf("%-12s %12s %12s %10s %6s %8s\n", "benchmark", "base",
+              "spd3-sample", "overhead", "rate", "est");
+  for (kernels::Kernel *K : Selected) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = kernels::SizeClass::Large;
+    Cfg.Var = kernels::Variant::Chunked;
+    Cfg.Chunks = 8 * GateThreads;
+    Cfg.Verify = false;
+    BudgetResult R = steadyBudget(*K, Cfg, GateThreads, GateBlocks);
+    double OverheadPct = (R.SampleSec / R.BaseSec - 1.0) * 100.0;
+    std::printf("%-12s %10.2fms %10.2fms %+9.2f%% %5.0f‰ %+6.2f%%\n",
+                K->name(), R.BaseSec * 1e3, R.SampleSec * 1e3, OverheadPct,
+                R.RatePermille, R.EstimatedPct);
+    std::fflush(stdout);
+    Json.add(std::string("sampling-budget/") + K->name() + "/base",
+             static_cast<int>(GateThreads), R.BaseSec, 0.0);
+    Json.add(std::string("sampling-budget/") + K->name() + "/spd3-sample",
+             static_cast<int>(GateThreads), R.SampleSec, 0.0);
+  }
+
+  // --- Section 2: detection probability vs cost at fixed rates ---
+  const int Rates[] = {1000, 500, 200, 100, 50, 20};
+  int Trials = static_cast<int>(envInt("SPD3_SAMPLE_TRIALS", 16));
+  std::printf("\ndetection probability / cost per admission rate "
+              "(seeded race, %d trials, %u threads, warmup off)\n",
+              Trials, TopThreads);
+  std::printf("%-12s", "benchmark");
+  for (int R : Rates)
+    std::printf("    r%-4d   ", R);
+  std::printf("\n");
+  for (kernels::Kernel *K : Selected) {
+    kernels::KernelConfig Cfg;
+    Cfg.Size = E.Size;
+    Cfg.Var = kernels::Variant::FineGrained;
+    Cfg.Verify = false;
+    Cfg.SeedRace = true;
+    std::printf("%-12s", K->name());
+    for (int R : Rates) {
+      int Hits = 0;
+      double Sum = 0.0;
+      for (int Trial = 0; Trial < Trials; ++Trial) {
+        auto [Sec, Caught] =
+            racySampledRun(*K, Cfg, TopThreads, R,
+                           0x5eed0000ULL + static_cast<uint64_t>(Trial) *
+                                               0x9e3779b97f4a7c15ULL);
+        Sum += Sec;
+        Hits += Caught ? 1 : 0;
+      }
+      double P = static_cast<double>(Hits) / Trials;
+      double MeanSec = Sum / Trials;
+      std::printf("  %4.2f/%5.1fms", P, MeanSec * 1e3);
+      std::fflush(stdout);
+      Json.add(std::string("sampling/") + K->name() + "/det-r" +
+                   std::to_string(R),
+               static_cast<int>(TopThreads), P, 0.0);
+      Json.add(std::string("sampling/") + K->name() + "/cost-r" +
+                   std::to_string(R),
+               static_cast<int>(TopThreads), MeanSec, 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(det = fraction of trials catching the seeded race; a "
+              "sampled detector\n never reports a false race, so det trades "
+              "only recall for cost)\n");
+
+  Json.write();
+  return 0;
+}

@@ -30,6 +30,8 @@ size_t cryptBytesFor(kernels::SizeClass S) {
     return 32 * 1024;
   case kernels::SizeClass::Default:
     return 192 * 1024;
+  case kernels::SizeClass::Large:
+    return 768 * 1024;
   }
   return 192 * 1024;
 }

@@ -27,6 +27,8 @@ size_t matmulSideFor(kernels::SizeClass S) {
     return 48;
   case kernels::SizeClass::Default:
     return 96;
+  case kernels::SizeClass::Large:
+    return 256;
   }
   return 96;
 }

@@ -24,7 +24,7 @@ constexpr size_t kMaxSampledPairs = 1024;
 /// Walk state shared by the rule checks.
 struct Walk {
   const DpstVerifierOptions &Opts;
-  AuditReport Report;
+  AuditReport Report = {};
   uint64_t Steps = 0;
   uint64_t Asyncs = 0;
   uint64_t Finishes = 0;
@@ -35,7 +35,7 @@ struct Walk {
   uint64_t SummaryNodes = 0;
   uint64_t SummaryInterior = 0;
   /// Steps collected for the AUD-DPST-LABEL-DMHP sampled cross-check.
-  std::vector<const Node *> SampledSteps;
+  std::vector<const Node *> SampledSteps = {};
 
   bool full() const { return Report.findings().size() >= Opts.MaxFindings; }
 
@@ -163,7 +163,7 @@ void walkTree(Walk &W, const Node *Root) {
 
 AuditReport run(const DpstVerifierOptions &Opts, const Node *Root,
                 int64_t ExpectedNodeCount) {
-  Walk W{Opts};
+  Walk W{.Opts = Opts};
   if (!Root) {
     W.fail(Rule::DpstRootShape, nullptr, "tree has no root");
     return std::move(W.Report);

@@ -79,6 +79,9 @@ public:
     State St = State::Virgin;
     uint32_t Owner = 0;
     const LockSet *CS = nullptr; // null until the location leaves Exclusive
+    /// Virgin/0/null is all-zero bytes: dense cell arrays may use
+    /// lazy-zero pages (numa::kZeroFillArray).
+    static constexpr bool kZeroFillable = true;
   };
 
   explicit EraserTool(detector::RaceSink &Sink);

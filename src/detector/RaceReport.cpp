@@ -2,6 +2,7 @@
 
 #include "detector/RaceReport.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace spd3::detector {
@@ -58,6 +59,55 @@ std::string Race::str() const {
   return OS.str();
 }
 
+namespace {
+uint64_t fnv1a(const std::string &S, uint64_t H = 0xcbf29ce484222325ULL) {
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+} // namespace
+
+uint64_t Race::stableKey() const {
+  if (!Prov || Prov->PriorPath.empty() || Prov->CurrentPath.empty()) {
+    // No structural identity available — key on what we have. Addresses
+    // are only stable within one process run.
+    uint64_t H = fnv1a(Detector ? Detector : "");
+    H = mix64(H ^ reinterpret_cast<uintptr_t>(Addr));
+    return mix64(H ^ static_cast<uint64_t>(Kind));
+  }
+  uint64_t Site = fnv1a(Prov->Site);
+  uint64_t HP = fnv1a(Prov->PriorPath);
+  uint64_t HC = fnv1a(Prov->CurrentPath);
+  // Normalize direction: the same conflicting pair may be observed in
+  // either order depending on the schedule. Write-write combines the two
+  // paths commutatively; for mixed races key on (writer path, reader
+  // path) — ReadWrite means the *prior* access was the read.
+  uint64_t H = mix64(Site ^ 0x5bd1e995u);
+  if (Kind == RaceKind::WriteWrite) {
+    H = mix64(H ^ 0x57u);
+    H = mix64(H ^ std::min(HP, HC));
+    H = mix64(H ^ std::max(HP, HC));
+  } else {
+    uint64_t HWrite = Kind == RaceKind::ReadWrite ? HC : HP;
+    uint64_t HRead = Kind == RaceKind::ReadWrite ? HP : HC;
+    H = mix64(H ^ 0x52u);
+    H = mix64(H ^ HWrite);
+    H = mix64(H ^ HRead);
+  }
+  return H;
+}
+
 void RaceSink::report(const Race &R) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (M == Mode::FirstRace) {
@@ -67,11 +117,15 @@ void RaceSink::report(const Race &R) {
     Flag.store(true, std::memory_order_release);
     return;
   }
-  // CollectPerLocation: first race per distinct address, bounded.
+  // Collect modes: first race per distinct address / stable key, bounded.
   if (Races.size() >= MaxRaces)
     return;
-  if (!SeenAddrs.insert(R.Addr).second)
+  if (M == Mode::CollectPerKey) {
+    if (!SeenKeys.insert(R.stableKey()).second)
+      return;
+  } else if (!SeenAddrs.insert(R.Addr).second) {
     return;
+  }
   Races.push_back(R);
   Flag.store(true, std::memory_order_release);
 }
@@ -86,10 +140,22 @@ std::vector<Race> RaceSink::races() const {
   return Races;
 }
 
+std::vector<uint64_t> RaceSink::stableKeys() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<uint64_t> Keys;
+  Keys.reserve(Races.size());
+  for (const Race &R : Races)
+    Keys.push_back(R.stableKey());
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+  return Keys;
+}
+
 void RaceSink::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Races.clear();
   SeenAddrs.clear();
+  SeenKeys.clear();
   Flag.store(false, std::memory_order_release);
 }
 

@@ -60,6 +60,12 @@ struct RaceProvenance {
   std::string TripleR1; ///< Shadow reader r1's path.
   std::string TripleR2; ///< Shadow reader r2's path.
   std::string Site;     ///< Originating kernel/site tag; "" when untagged.
+  /// Root-anchored path strings of the two conflicting steps. These are
+  /// the stable-key inputs: by Section 3.2 path invariance they identify
+  /// the same pair of steps in every schedule, so sampled runs that catch
+  /// a race at different times still key it identically.
+  std::string PriorPath;
+  std::string CurrentPath;
 
   /// Multi-line human-readable rendering (indented two spaces).
   std::string str() const;
@@ -78,6 +84,13 @@ struct Race {
   std::shared_ptr<const RaceProvenance> Prov;
 
   std::string str() const;
+
+  /// Schedule-stable identity of this race: a hash of the two steps'
+  /// root-anchored DPST paths plus the site tag, direction-normalized (a
+  /// write-read race observed read-first in another schedule keys the
+  /// same). Falls back to (detector, address, kind) when the detector
+  /// supplied no path provenance — stable within a run only.
+  uint64_t stableKey() const;
 };
 
 /// Thread-safe race sink shared by a detector's memory actions.
@@ -88,6 +101,11 @@ public:
     FirstRace,
     /// Record the first race per distinct address and keep checking.
     CollectPerLocation,
+    /// Record the first race per distinct stableKey() and keep checking.
+    /// The sampling convergence tests accumulate races across repeated
+    /// sampled runs in this mode; unlike per-address dedup it survives
+    /// allocators handing the same buffer different addresses per run.
+    CollectPerKey,
   };
 
   explicit RaceSink(Mode M = Mode::FirstRace, size_t MaxRaces = 1024)
@@ -107,6 +125,10 @@ public:
   size_t raceCount() const;
   std::vector<Race> races() const;
 
+  /// Sorted stable keys of every recorded race (set-comparison helper for
+  /// the convergence tests).
+  std::vector<uint64_t> stableKeys() const;
+
   /// Forget everything (between test cases / bench repetitions).
   void clear();
 
@@ -117,6 +139,7 @@ private:
   mutable std::mutex Mutex;
   std::vector<Race> Races;
   std::unordered_set<const void *> SeenAddrs;
+  std::unordered_set<uint64_t> SeenKeys;
 };
 
 } // namespace spd3::detector

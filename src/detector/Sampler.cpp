@@ -1,0 +1,410 @@
+//===- detector/Sampler.cpp - Overhead-budgeted check sampling -------------===//
+
+#include "detector/Sampler.h"
+
+#include "obs/Obs.h"
+#include "runtime/Context.h"
+#include "support/Compiler.h"
+#include "support/MonotonicClock.h"
+#include "support/Prng.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace spd3::detector {
+
+namespace {
+Statistic NumSampleAdmitted("sampling", "admittedElems");
+Statistic NumSampleElided("sampling", "elidedElems");
+Statistic NumSampleWarmup("sampling", "warmupElems");
+Statistic NumSampleWindows("sampling", "windows");
+/// Gauge, not a counter: the current admission probability in permille.
+/// The obs counter sampler turns this into the sampling-rate track.
+Statistic SampleRateGauge("sampling", "ratePermille");
+} // namespace
+
+namespace sampler_detail {
+
+/// The calling thread's window state. One slot per thread, revalidated
+/// against (controller, generation) like the detector's worker caches: a
+/// new tool (or a recycled address) never trusts a predecessor's state.
+struct ThreadState {
+  const void *Owner = nullptr;
+  uint64_t Gen = 0;
+  /// Remaining element weight in the current window; signed so one heavy
+  /// range event may overrun the boundary (the roll accounts the true
+  /// weight via WindowWeight).
+  int64_t Countdown = 0;
+  /// Element weight actually consumed by the current window.
+  uint64_t WindowWeight = 0;
+  /// Of which actually checked (admitted prefixes + warmup admits); the
+  /// cost estimator nets per-checked-element cost out of the window time.
+  uint64_t WindowChecked = 0;
+  /// Of which admitted through the warmup tier.
+  uint64_t WarmupWeightLocal = 0;
+  uint32_t WindowsSinceProbe = 0;
+  bool Instrumented = true;
+  uint64_t WindowStartNs = 0;
+  /// Per-element cost of the last ACCEPTED elided window on this thread.
+  /// Instrumented windows net their baseline against this rather than the
+  /// global EWMA: adjacent windows on one thread are usually in the same
+  /// program phase, while the global average mixes phases with very
+  /// different baseline costs (which can push the net below zero).
+  double LastElidedPer = 0.0;
+  /// Element weight handed to the inline hook skip (ExecContext::
+  /// SampleSkip) for the remainder of an elided window; what the hooks
+  /// did not consume is reconciled at the next admit() entry.
+  uint64_t ArmedSkip = 0;
+  Prng Rng{0};
+};
+
+thread_local ThreadState TheThreadState;
+
+} // namespace sampler_detail
+
+using sampler_detail::ThreadState;
+
+SamplingController::SamplingController(const SamplingConfig &Cfg,
+                                       uint64_t Generation)
+    : Cfg(Cfg), Generation(Generation),
+      // Adaptive mode starts at the FLOOR, not the ceiling: the bootstrap
+      // forcing in rollWindow measures both arms regardless, and starting
+      // high would buy a full-rate burst on every short-lived phase
+      // before the first retarget could pull it down.
+      RatePermille(Cfg.FixedRatePermille >= 0
+                       ? static_cast<uint32_t>(Cfg.FixedRatePermille)
+                       : Cfg.MinRatePermille),
+      ProbeEvery(Cfg.ProbeEveryWindows),
+      LocTable(Cfg.WarmupSamples
+                   ? std::make_unique<std::atomic<uint8_t>[]>(kLocTableSize)
+                   : nullptr) {
+  SampleRateGauge.set(RatePermille.load(std::memory_order_relaxed));
+}
+
+SamplingController::~SamplingController() = default;
+
+ThreadState &SamplingController::threadState() {
+  ThreadState &S = sampler_detail::TheThreadState;
+  if (SPD3_UNLIKELY(S.Owner != this || S.Gen != Generation)) {
+    S.Owner = this;
+    S.Gen = Generation;
+    // Deterministic per (seed, generation, thread arrival order): in a
+    // sequential schedule the one worker always draws the same windows,
+    // which is what makes the convergence property tests reproducible.
+    uint64_t Ordinal =
+        NextThreadOrdinal.fetch_add(1, std::memory_order_relaxed);
+    S.Rng = Prng(Cfg.Seed ^ (Generation * 0x9e3779b97f4a7c15ULL) ^
+                 (Ordinal * 0xda942042e4dd58b5ULL));
+    S.Countdown = Cfg.WindowEvents;
+    S.WindowWeight = 0;
+    S.WindowChecked = 0;
+    S.WarmupWeightLocal = 0;
+    S.WindowsSinceProbe = 0;
+    // Fixed-rate mode keeps the deterministic "first window probes"
+    // seeding. Adaptive threads start elided: early detection is carried
+    // by the warmup tier, and the bootstrap in rollWindow forces the
+    // measurement windows in the order the estimator needs them (baseline
+    // u first, then net check cost k).
+    S.Instrumented = Cfg.FixedRatePermille >= 0;
+    S.WindowStartNs = monotonicNanos();
+    // A predecessor controller may have died with an inline skip armed on
+    // this thread; a fresh controller must not inherit it.
+    S.ArmedSkip = 0;
+    rt::detail::Ctx.SampleSkip = 0;
+  }
+  return S;
+}
+
+bool SamplingController::warmupAllowed() const {
+  // Fixed-rate mode (the deterministic test configuration) leaves the
+  // quota unconditional: admission must be a pure function of the event
+  // order and seed, and the cap would couple it to the budget math.
+  if (Cfg.FixedRatePermille >= 0)
+    return true;
+  // Adaptive mode: warmup may spend at most a quarter of the overhead
+  // target (probes get another quarter, the steady rate the rest), so a
+  // touch-once workload (every event is some location's first) cannot
+  // ride the warmup tier into unbounded admission.
+  uint64_t Total = TotalWeight.load(std::memory_order_relaxed);
+  uint64_t Warm = WarmupWeight.load(std::memory_order_relaxed);
+  uint64_t Target = TargetPermille.load(std::memory_order_relaxed);
+  return Warm * 4000 <= Target * Total;
+}
+
+size_t SamplingController::admitRange(const void *Addr, size_t Count) {
+  ThreadState &S = threadState();
+  if (SPD3_UNLIKELY(S.ArmedSkip != 0)) {
+    // Account the weight the inline hook skip consumed since we armed it
+    // (the hooks only decrement the thread-local counter; window weight,
+    // statistics, and the elide trace event all settle here).
+    uint64_t Consumed = S.ArmedSkip - rt::detail::Ctx.SampleSkip;
+    rt::detail::Ctx.SampleSkip = 0;
+    S.ArmedSkip = 0;
+    if (Consumed) {
+      S.Countdown -= static_cast<int64_t>(Consumed);
+      S.WindowWeight += Consumed;
+      NumSampleElided += Consumed;
+      obs::emit(obs::EventKind::SampleElide, 0,
+                static_cast<uint32_t>(std::min<uint64_t>(Consumed,
+                                                         UINT32_MAX)));
+    }
+  }
+  if (SPD3_UNLIKELY(S.Countdown <= 0))
+    rollWindow(S);
+  size_t Take = 0;
+  if (S.Instrumented) {
+    // Admit up to the window remainder (at least one element, so a probe
+    // window can never starve): a range heavier than the window checks a
+    // prefix and elides the suffix, keeping the admitted weight per
+    // window bounded no matter how coarse the caller batches.
+    Take = std::min<size_t>(
+        Count, static_cast<size_t>(std::max<int64_t>(S.Countdown, 1)));
+    S.WindowChecked += Take;
+    NumSampleAdmitted += Take;
+  } else if (LocTable) {
+    // Elided window: the per-location warmup quota still admits (the
+    // O(1) samples per location that carry the detection-probability
+    // guarantee), capped at the slot's remaining quota.
+    std::atomic<uint8_t> &C = LocTable[locSlot(Addr)];
+    uint8_t V = C.load(std::memory_order_relaxed);
+    if (V < Cfg.WarmupSamples && warmupAllowed()) {
+      Take = std::min<size_t>(Count, Cfg.WarmupSamples - V);
+      // Racy increments can lose counts, which only means a location gets
+      // a sample or two extra — never fewer than the quota.
+      C.store(static_cast<uint8_t>(std::min<size_t>(V + Take, 255)),
+              std::memory_order_relaxed);
+      S.WarmupWeightLocal += Take;
+      S.WindowChecked += Take;
+      NumSampleWarmup += Take;
+      NumSampleAdmitted += Take;
+    }
+  }
+  S.Countdown -= static_cast<int64_t>(Count);
+  S.WindowWeight += Count;
+  if (size_t Rest = Count - Take) {
+    NumSampleElided += Rest;
+    obs::emit(obs::EventKind::SampleElide, reinterpret_cast<uint64_t>(Addr),
+              static_cast<uint32_t>(std::min<size_t>(Rest, UINT32_MAX)));
+  }
+  // Once this window elides and the warmup tier can admit nothing more,
+  // the rest of the window needs no per-event decisions at all: hand the
+  // remaining weight to the inline hook skip so each elided access costs
+  // one thread-local compare-and-subtract instead of a call into the
+  // tool. (With warmup still open we stay on the slow path — new
+  // locations must keep reaching the table probe above.)
+  if (!S.Instrumented && S.Countdown > 0 &&
+      (!LocTable || !warmupAllowed())) {
+    S.ArmedSkip = static_cast<uint64_t>(S.Countdown);
+    rt::detail::Ctx.SampleSkip = S.ArmedSkip;
+  }
+  return Take;
+}
+
+void SamplingController::rollWindow(ThreadState &S) {
+  uint64_t Now = monotonicNanos();
+  TotalWeight.fetch_add(S.WindowWeight, std::memory_order_relaxed);
+  if (S.WarmupWeightLocal)
+    WarmupWeight.fetch_add(S.WarmupWeightLocal, std::memory_order_relaxed);
+  double Fed = noteWindow(S.Instrumented, Now - S.WindowStartNs,
+                          S.WindowWeight, S.WindowChecked, S.LastElidedPer);
+  if (!S.Instrumented && Fed > 0.0)
+    S.LastElidedPer = Fed;
+  ++NumSampleWindows;
+  uint32_t Rate = RatePermille.load(std::memory_order_relaxed);
+  bool Probe =
+      ++S.WindowsSinceProbe >= ProbeEvery.load(std::memory_order_relaxed);
+  // Probes serve whichever arm the steady rate starves (see below).
+  bool ProbeArmInstrumented = Rate < 500;
+  if (Cfg.FixedRatePermille < 0 && loadEwma(ElidedNs) <= 0.0) {
+    // Bootstrap: the feedback loop needs both arms measured before it can
+    // steer, and the baseline u must come first — the net check cost k is
+    // only interpretable once u is known. Until then every window elides
+    // (detection rides the warmup tier).
+    S.Instrumented = false;
+  } else if (Cfg.FixedRatePermille < 0 && loadEwma(CheckedNs) <= 0.0) {
+    S.Instrumented = true;
+  } else if (Probe) {
+    // At a low rate the starved arm is the instrumented one; at a high
+    // rate it is the elided arm — without forced elided windows a rate
+    // that reached the ceiling would never refresh the baseline u again,
+    // and a stale u that drifted high keeps the net check cost pinned at
+    // its noise clamp: the ceiling would be an absorbing state.
+    S.Instrumented = ProbeArmInstrumented;
+  } else {
+    S.Instrumented = S.Rng.nextBool(static_cast<double>(Rate) / 1000.0);
+  }
+  // The probe countdown restarts only when the starved arm actually got a
+  // window (a natural draw of that arm counts), never merely because a
+  // majority-arm window ran.
+  if (S.Instrumented == ProbeArmInstrumented)
+    S.WindowsSinceProbe = 0;
+  S.Countdown = Cfg.WindowEvents;
+  S.WindowWeight = 0;
+  S.WindowChecked = 0;
+  S.WarmupWeightLocal = 0;
+  S.WindowStartNs = Now;
+}
+
+/// Decayed-minimum outlier gate. Returns false when \p V is so far above
+/// the cheapest recent accepted value that the window must have absorbed a
+/// stall (steal, join wait, preemption) rather than real per-element cost;
+/// the floor decays upward on every feed so a genuine sustained cost
+/// increase is accepted again within a few windows. Lossy under races —
+/// fine for an estimator, and the accesses stay atomic for TSan.
+static bool passesFloor(std::atomic<uint64_t> &Floor, double V) {
+  double F = std::bit_cast<double>(Floor.load(std::memory_order_relaxed));
+  if (F <= 0.0 || V < F) {
+    Floor.store(std::bit_cast<uint64_t>(V), std::memory_order_relaxed);
+    return true;
+  }
+  Floor.store(std::bit_cast<uint64_t>(std::min(V, F * 1.05)),
+              std::memory_order_relaxed);
+  return V <= 8.0 * F;
+}
+
+/// One cold-start discard per arm: the first windows measured span
+/// whole-array initialization events, shadow page faults, and icache
+/// misses, and as the EWMA seed they would anchor the estimate arbitrarily
+/// far from the true cost.
+static bool consumeColdFeed(std::atomic<uint32_t> &Cold) {
+  uint32_t C = Cold.load(std::memory_order_relaxed);
+  return C > 0 &&
+         Cold.compare_exchange_strong(C, C - 1, std::memory_order_relaxed);
+}
+
+double SamplingController::noteWindow(bool Instrumented, uint64_t Ns,
+                                      uint64_t Weight, uint64_t Checked,
+                                      double LocalU) {
+  if (Weight == 0)
+    return 0.0;
+  // Windows well short of the nominal weight closed because the thread
+  // ran out of events (end of a loop, task boundary), and their duration
+  // is dominated by whatever stalled the thread, not by per-event cost.
+  if (Weight * 4 < Cfg.WindowEvents)
+    return 0.0;
+  if (Instrumented) {
+    if (Checked == 0)
+      return 0.0;
+    // Prefer the caller-thread's phase-local baseline over the global
+    // average: adjacent windows share a phase, the EWMA mixes phases.
+    double U = LocalU > 0.0 ? LocalU : loadEwma(ElidedNs);
+    if (U <= 0.0)
+      return 0.0; // Baseline must seed before net cost is interpretable.
+    if (Cfg.FixedRatePermille < 0 && consumeColdFeed(ColdFeeds))
+      return 0.0;
+    // Net cost of one CHECKED element: window time minus the baseline the
+    // weight would have cost anyway, over the elements actually checked.
+    // Independent of how much unchecked weight prefix-admission left in
+    // the window, which is what makes heavy range events measurable at
+    // all. Clamped to a twentieth of the baseline so measurement noise
+    // cannot drive the solved target to infinity.
+    double Net =
+        (static_cast<double>(Ns) - static_cast<double>(Weight) * U) /
+        static_cast<double>(Checked);
+    Net = std::max(Net, 0.05 * U);
+    if (!passesFloor(FloorCheck, Net))
+      return 0.0;
+    double Frac = static_cast<double>(Checked) / static_cast<double>(Weight);
+    double OldQ = loadEwma(InstrFrac);
+    storeEwma(InstrFrac, OldQ <= 0.0 ? Frac : OldQ + (Frac - OldQ) * 0.125);
+    double Old = loadEwma(CheckedNs);
+    storeEwma(CheckedNs, Old <= 0.0 ? Net : Old + (Net - Old) * 0.125);
+    // Re-solving the rate only on instrumented feeds keeps the elided
+    // fast path cheap: elided windows vastly outnumber probes, and a
+    // baseline drift only matters once the next probe prices against it.
+    retarget();
+    return Net;
+  }
+  if (Cfg.FixedRatePermille < 0 && consumeColdFeed(ColdOffFeeds))
+    return 0.0;
+  double Per = static_cast<double>(Ns) / static_cast<double>(Weight);
+  if (!passesFloor(FloorElide, Per))
+    return 0.0;
+  double Old = loadEwma(ElidedNs);
+  storeEwma(ElidedNs, Old <= 0.0 ? Per : Old + (Per - Old) * 0.125);
+  return Per;
+}
+
+void SamplingController::retarget() {
+  if (Cfg.FixedRatePermille >= 0)
+    return;
+  double K = loadEwma(CheckedNs);
+  double U = loadEwma(ElidedNs);
+  double Q = loadEwma(InstrFrac);
+  if (K <= 0.0 || U <= 0.0 || Q <= 0.0)
+    return; // Need both arms (and the prefix fraction) measured.
+  double Budget = Cfg.BudgetPct / 100.0;
+  double Lo = static_cast<double>(Cfg.MinRatePermille) / 1000.0;
+  double Hi = static_cast<double>(Cfg.MaxRatePermille) / 1000.0;
+  // Checking a weight-fraction f of the stream costs f * k / u of the
+  // baseline run time; solve for the f that lands on the budget. The
+  // spend is then split across the admission tiers — the steady rate
+  // draws get half, probe windows and warmup admits a quarter each — so
+  // the three tiers together stay on budget instead of each consuming it
+  // in full.
+  double FStar = std::clamp(Budget * U / K, 0.0, 1.0);
+  TargetPermille.store(static_cast<uint32_t>(std::lround(FStar * 1000)),
+                       std::memory_order_relaxed);
+  // Stretch the probe cadence until probing costs at most Budget/4: one
+  // window in ProbeEvery is instrumented, and it checks a fraction q of
+  // its weight at net cost k per element.
+  double Windows = std::clamp(4.0 * Q * K / (U * Budget), 1.0, 1e6);
+  ProbeEvery.store(std::max(Cfg.ProbeEveryWindows,
+                            static_cast<uint32_t>(std::lround(Windows))),
+                   std::memory_order_relaxed);
+  // A window admitted at rate r only checks a fraction q of its weight
+  // (prefix admission), so the rate that makes the CHECKED fraction land
+  // on its half-budget share is f*/2q, not f*/2.
+  double P = std::clamp(0.5 * FStar / Q, Lo, Hi);
+  // Global governor. Costs that contaminate both arms equally — shadow
+  // traffic evicting the data cache, check-cache capacity misses — are
+  // invisible to per-window netting: every window, checked or not, just
+  // gets uniformly slower. They do show up as the baseline u inflating
+  // above its own decayed floor (the cheapest recent elided window). When
+  // the whole run measures more than a budget's worth above that floor,
+  // assume the inflation scales with the admission rate and throttle to
+  // the share the budget can pay for.
+  double UMin = loadEwma(FloorElide);
+  if (UMin > 0.0 && U > UMin * (1.0 + Budget)) {
+    double Cur =
+        static_cast<double>(RatePermille.load(std::memory_order_relaxed)) /
+        1000.0;
+    double Governed = Cur * Budget / (U / UMin - 1.0);
+    P = std::clamp(std::min(P, Governed), Lo, Hi);
+  }
+  auto Permille = static_cast<uint32_t>(std::lround(P * 1000.0));
+  RatePermille.store(Permille, std::memory_order_relaxed);
+  SampleRateGauge.set(Permille);
+}
+
+double SamplingController::estimatedOverheadPct() const {
+  double K = loadEwma(CheckedNs);
+  double U = loadEwma(ElidedNs);
+  double Q = loadEwma(InstrFrac);
+  if (K <= 0.0 || U <= 0.0 || Q <= 0.0)
+    return 0.0;
+  uint64_t Total = TotalWeight.load(std::memory_order_relaxed);
+  double WarmupFrac =
+      Total ? static_cast<double>(
+                  WarmupWeight.load(std::memory_order_relaxed)) /
+                  static_cast<double>(Total)
+            : 0.0;
+  // Checked-weight fraction: rate draws and probes check q of their
+  // windows' weight; warmup admits are checked elements directly.
+  double F = (static_cast<double>(
+                  RatePermille.load(std::memory_order_relaxed)) /
+                  1000.0 +
+              1.0 / static_cast<double>(
+                        ProbeEvery.load(std::memory_order_relaxed))) *
+                 Q +
+             WarmupFrac;
+  return 100.0 * std::min(F, 1.0) * (K / U);
+}
+
+size_t SamplingController::memoryBytes() const {
+  return LocTable ? kLocTableSize * sizeof(std::atomic<uint8_t>) : 0;
+}
+
+} // namespace spd3::detector

@@ -1,0 +1,250 @@
+//===- detector/Sampler.h - Overhead-budgeted check sampling ----*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Production sampling mode (DESIGN.md §13): a controller that
+/// probabilistically elides memory-action checks so the detector's measured
+/// overhead converges on a user-settable budget (SPD3_OVERHEAD_BUDGET,
+/// percent of uninstrumented run time), while the paper's precision
+/// guarantee is preserved — every check that does run sees only accesses
+/// that really happened, so a sampled SPD3 never reports a false race.
+///
+/// The design grounds in *Dynamic Race Detection With O(1) Samples*
+/// (PAPERS.md): a constant number of samples per monitored location already
+/// yields constant detection probability for each racy location, so the
+/// controller spends its budget in two tiers:
+///
+///  - Per-location warmup (the O(1) samples): the first WarmupSamples
+///    events on each shadow location/range base are always admitted, via a
+///    fixed-size table of saturating counters. Short-lived and rarely
+///    touched locations — where a single elision could hide the only
+///    conflicting pair — are therefore always checked; the quota is O(1)
+///    per location, so the total warmup cost is bounded by the footprint,
+///    not the event count.
+///
+///  - Adaptive micro-windows: past warmup, events are admitted in
+///    windows of WindowEvents element weight per thread. Each window is
+///    either *instrumented* (checked, up to a window-bounded prefix per
+///    range event) or *elided* (warmup admits only), drawn per window with
+///    the current admission probability. Window boundaries timestamp the
+///    monotonic clock, and three online estimates close the loop:
+///
+///      u = ns per element with checks off (elided windows; this includes
+///          the caller's own work between events, so it is the baseline),
+///      k = net ns per CHECKED element ((Ns - Weight*u) / Checked over
+///          instrumented windows — netting out the baseline makes the
+///          figure independent of how much unchecked weight the window
+///          happened to carry),
+///      q = checked/weight fraction of instrumented windows.
+///
+///    The overhead of checking a weight-fraction f of the stream is
+///    f * k / u, so the controller solves f* = budget * u / k and sets the
+///    window admission probability to r = f* / q, the rate that makes the
+///    *checked* fraction land on f* no matter how much each instrumented
+///    window's weight gets prefix-elided. Stall-contaminated windows (a
+///    steal or join absorbed into the measurement) are rejected by a
+///    decayed-minimum floor per arm: real per-element cost cannot be
+///    faked cheap, so anything far above the cheapest recent window is
+///    scheduler noise, not cost. Both arms keep being sampled (a probe
+///    window is forced at least every ProbeEveryWindows windows) so the
+///    estimates track phase changes.
+///
+/// Window admission and not per-event admission keeps the elided-path cost
+/// to a countdown decrement plus one hash probe, and makes sampled runs
+/// reproducible: with a fixed rate (FixedRatePermille >= 0) the admission
+/// sequence is a pure function of the controller seed and the event order,
+/// which the convergence property tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_DETECTOR_SAMPLER_H
+#define SPD3_DETECTOR_SAMPLER_H
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace spd3::detector {
+
+namespace sampler_detail {
+struct ThreadState;
+} // namespace sampler_detail
+
+struct SamplingConfig {
+  /// Hard overhead target, percent of uninstrumented run time. Overridden
+  /// by SPD3_OVERHEAD_BUDGET when the tool is constructed.
+  double BudgetPct = 5.0;
+  /// Element-weight per measurement micro-window: a range event of N
+  /// elements consumes N window slots, so range-batched workloads (few
+  /// gate calls, huge weight each) still close windows often enough for
+  /// the feedback loop to converge. Windows closing under a quarter of
+  /// this weight are presumed stall-dominated and do not feed the cost
+  /// estimator.
+  uint32_t WindowEvents = 2048;
+  /// Always-admitted element samples per shadow location/range base (the
+  /// O(1) samples tier); a range admit of N elements counts N samples.
+  /// 0 disables warmup (pure rate sampling). In adaptive mode the total
+  /// warmup spend is additionally capped at half the overhead target, so
+  /// a workload that touches every location only once cannot ride the
+  /// warmup tier into unbounded overhead.
+  uint32_t WarmupSamples = 4;
+  /// Bounds for the adaptive admission probability, in permille. The
+  /// floor defaults to 0: on workloads where checking costs tens of times
+  /// more than eliding, ANY fixed rate floor would blow the budget, and
+  /// detection is carried by the warmup tier and probe windows (which
+  /// never stop sampling) rather than the steady rate.
+  uint32_t MinRatePermille = 0;
+  uint32_t MaxRatePermille = 1000;
+  /// Force one instrumented probe window at least this often per thread,
+  /// so cOn keeps being measured even at the rate floor. This is the
+  /// FASTEST the probe cadence gets; the controller stretches the
+  /// effective interval so that probe spend stays within a quarter of
+  /// the overhead budget at the measured cost ratio.
+  uint32_t ProbeEveryWindows = 64;
+  /// Fixed admission probability in permille; negative = adaptive. Fixed
+  /// rates make sampled runs deterministic for a given schedule and seed.
+  int32_t FixedRatePermille = -1;
+  /// Seed for the per-thread window draws.
+  uint64_t Seed = 0x5eed5a3bULL;
+};
+
+/// The sampling controller. One instance per Spd3Tool; admit() is the
+/// hot-path gate, everything else is measurement plumbing.
+class SamplingController {
+public:
+  SamplingController(const SamplingConfig &Cfg, uint64_t Generation);
+  ~SamplingController();
+
+  SamplingController(const SamplingController &) = delete;
+  SamplingController &operator=(const SamplingController &) = delete;
+
+  /// Front-door gate for a scalar memory event: should its check run?
+  bool admit(const void *Addr) { return admitRange(Addr, 1) != 0; }
+
+  /// Front-door gate for a range event of \p Count elements based at
+  /// \p Addr. Returns how many LEADING elements the caller should check
+  /// (0 = fully elided): the admission unit is the element, so a range
+  /// far heavier than one micro-window admits only a window-bounded
+  /// prefix instead of blowing the budget on a single event. Checking a
+  /// prefix is ordinary elision — precision is untouched, the skipped
+  /// suffix only costs detection probability.
+  size_t admitRange(const void *Addr, size_t Count);
+
+  /// Current admission probability in permille.
+  uint32_t ratePermille() const {
+    return RatePermille.load(std::memory_order_relaxed);
+  }
+
+  /// Online cost estimates; 0 until first measured. checkedNsPerEvent is
+  /// the NET cost of one checked element (baseline netted out);
+  /// elidedNsPerEvent is the per-element baseline u, which includes the
+  /// caller's own work between events.
+  double checkedNsPerEvent() const { return loadEwma(CheckedNs); }
+  double elidedNsPerEvent() const { return loadEwma(ElidedNs); }
+
+  /// Overhead the controller believes it is currently paying, percent:
+  /// (checked weight fraction) * k / u. Meaningful once both arms have
+  /// been measured.
+  double estimatedOverheadPct() const;
+
+  const SamplingConfig &config() const { return Cfg; }
+
+  /// Feed one synthetic window measurement into the feedback loop
+  /// (tests drive convergence deterministically through this). For an
+  /// instrumented window \p Checked is how much of the weight was
+  /// actually checked (defaults to all of it).
+  void noteWindowForTesting(bool Instrumented, uint64_t Ns, uint64_t Weight,
+                            uint64_t Checked = UINT64_MAX) {
+    noteWindow(Instrumented, Ns, Weight,
+               Checked == UINT64_MAX ? (Instrumented ? Weight : 0) : Checked,
+               0.0);
+  }
+
+  size_t memoryBytes() const;
+
+private:
+  using ThreadState = sampler_detail::ThreadState;
+
+  ThreadState &threadState();
+  /// Close the current window (measure + feed back) and draw the next.
+  void rollWindow(ThreadState &S);
+  /// Feed one window measurement. \p LocalU, when positive, is the
+  /// caller-thread's phase-local baseline estimate (the last accepted
+  /// elided window on the same thread), preferred over the global EWMA
+  /// when netting an instrumented window. Returns the per-element value
+  /// accepted into the estimate, or 0 when the window was rejected.
+  double noteWindow(bool Instrumented, uint64_t Ns, uint64_t Weight,
+                    uint64_t Checked, double LocalU);
+  void retarget();
+  /// May the warmup tier still admit? True while warmup spend stays under
+  /// half the overhead target (always true at a fixed rate, where the
+  /// convergence tests want the quota deterministic and unconditional).
+  bool warmupAllowed() const;
+
+  static void storeEwma(std::atomic<uint64_t> &A, double V) {
+    A.store(std::bit_cast<uint64_t>(V), std::memory_order_relaxed);
+  }
+  static double loadEwma(const std::atomic<uint64_t> &A) {
+    return std::bit_cast<double>(A.load(std::memory_order_relaxed));
+  }
+
+  /// Per-location saturating sample counters (the O(1) warmup tier).
+  /// Direct-mapped: collisions only make a location warm up early, which
+  /// costs detection probability, never soundness of a reported race.
+  static constexpr size_t kLocTableSize = 1u << 16; // 64 KiB
+  static size_t locSlot(const void *Addr) {
+    auto A = reinterpret_cast<uintptr_t>(Addr);
+    A ^= A >> 33;
+    A *= 0xff51afd7ed558ccdULL;
+    A ^= A >> 29;
+    return static_cast<size_t>(A) & (kLocTableSize - 1);
+  }
+
+  const SamplingConfig Cfg;
+  const uint64_t Generation;
+  std::atomic<uint64_t> NextThreadOrdinal{0};
+  std::atomic<uint32_t> RatePermille;
+  /// Effective probe interval in windows: starts at Cfg.ProbeEveryWindows
+  /// and is stretched by retarget() so probe spend stays within a quarter
+  /// of the budget at the measured cost ratio.
+  std::atomic<uint32_t> ProbeEvery;
+  /// Target checked-weight fraction f* the feedback loop solved for, in
+  /// permille (rate draws get what warmup spend leaves of it). Starts
+  /// near zero so warmup cannot front-load a large spend before the
+  /// first real retarget computes the measured value.
+  std::atomic<uint32_t> TargetPermille{10};
+  /// EWMA net cost per checked element (k) / per-element baseline (u),
+  /// double bits.
+  std::atomic<uint64_t> CheckedNs{0};
+  std::atomic<uint64_t> ElidedNs{0};
+  /// EWMA checked/weight fraction of instrumented windows (q): how much
+  /// of an instrumented window's weight prefix-admission actually checks.
+  /// Maps the target checked fraction back to a window admission rate.
+  std::atomic<uint64_t> InstrFrac{0};
+  /// Decayed-minimum cost floors per arm (double bits): the cheapest
+  /// recent per-element figure. Real cost cannot be faked cheap, so a
+  /// window measuring far above the floor was stalled (steal, join,
+  /// preemption), not expensive — it is rejected, and the floor decays
+  /// upward so genuine phase-change cost increases are re-learned.
+  std::atomic<uint64_t> FloorCheck{0};
+  std::atomic<uint64_t> FloorElide{0};
+  /// Cold-start measurements left to discard per arm before the EWMAs
+  /// seed (the first windows span initialization events, shadow page
+  /// faults, and icache misses; adaptive mode only).
+  std::atomic<uint32_t> ColdFeeds{1};
+  std::atomic<uint32_t> ColdOffFeeds{1};
+  /// Element weight seen / admitted through warmup, flushed from the
+  /// per-thread window state at each roll (no per-event atomics).
+  std::atomic<uint64_t> TotalWeight{0};
+  std::atomic<uint64_t> WarmupWeight{0};
+  std::unique_ptr<std::atomic<uint8_t>[]> LocTable;
+};
+
+} // namespace spd3::detector
+
+#endif // SPD3_DETECTOR_SAMPLER_H

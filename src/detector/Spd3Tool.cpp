@@ -5,6 +5,7 @@
 #include "obs/Obs.h"
 #include "reclaim/Reclaimer.h"
 #include "runtime/Task.h"
+#include "support/Env.h"
 #include "support/Numa.h"
 #include "support/Simd.h"
 #include "support/Stats.h"
@@ -219,6 +220,18 @@ Spd3Tool::Spd3Tool(RaceSink &Sink, Spd3Options Opts)
     Locks = new PaddedMutex[NumLocks];
   if (Opts.Reclaim)
     Rec = std::make_unique<reclaim::Reclaimer>(Tree);
+  // SPD3_SAMPLING force-overrides the option either way; the budget knob
+  // only tunes a sampler that is on.
+  std::string SEnv = envString("SPD3_SAMPLING", "");
+  if (SEnv == "on" || SEnv == "1")
+    this->Opts.Sampling = true;
+  else if (SEnv == "off" || SEnv == "0")
+    this->Opts.Sampling = false;
+  if (this->Opts.Sampling) {
+    SamplingConfig SC = this->Opts.Sample;
+    SC.BudgetPct = envDouble("SPD3_OVERHEAD_BUDGET", SC.BudgetPct);
+    Sam = std::make_unique<SamplingController>(SC, Generation);
+  }
 }
 
 Spd3Tool::~Spd3Tool() { delete[] Locks; }
@@ -411,7 +424,8 @@ void Spd3Tool::onUnregisterRange(const void *Base) {
 size_t Spd3Tool::memoryBytes() const {
   // bytesLive, not bytesAllocated: service mode recycles task/finish
   // records, and the soak criterion is that live footprint plateaus.
-  return Tree.memoryBytes() + Shadow.memoryBytes() + StateArena.bytesLive();
+  return Tree.memoryBytes() + Shadow.memoryBytes() + StateArena.bytesLive() +
+         (Sam ? Sam->memoryBytes() : 0);
 }
 
 bool Spd3Tool::dmhpFromCurrentStep(TaskState *TS, const Node *Other) {
@@ -476,6 +490,11 @@ void Spd3Tool::report(RaceKind K, const void *Addr, const Node *Prior,
   Prov->TripleR1 = Dpst::pathString(R1);
   Prov->TripleR2 = Dpst::pathString(R2);
   Prov->Site = obs::siteTag();
+  // Root-anchored step paths feed Race::stableKey(): path invariance
+  // makes them the same in every schedule, so sampled runs that hit this
+  // race pair at different points dedup to one identity.
+  Prov->PriorPath = Dpst::pathString(Prior);
+  Prov->CurrentPath = Dpst::pathString(Cur);
   Sink.report(Race{K, Addr, reinterpret_cast<uint64_t>(Prior),
                    reinterpret_cast<uint64_t>(Cur), name(),
                    std::move(Prov)});
@@ -938,6 +957,10 @@ bool Spd3Tool::wideScalarAction(TaskState *TS, const void *Addr,
 void Spd3Tool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
   if (!Sink.shouldCheck())
     return; // Paper semantics: halt checking after the first race.
+  // Sampling front door: before caches and pins, so an elided event costs
+  // a countdown decrement and (in elided windows) one warmup-table probe.
+  if (Sam && !Sam->admit(Addr))
+    return;
   TaskState *TS = state(T);
   if (Opts.CheckCache) {
     CacheKey Key{Generation, TS, TS->StepEpoch};
@@ -960,6 +983,8 @@ void Spd3Tool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
 void Spd3Tool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
   if (!Sink.shouldCheck())
     return;
+  if (Sam && !Sam->admit(Addr))
+    return;
   TaskState *TS = state(T);
   if (Opts.CheckCache) {
     CacheKey Key{Generation, TS, TS->StepEpoch};
@@ -981,6 +1006,15 @@ void Spd3Tool::onReadRange(rt::Task &T, const void *Addr, size_t Count,
                            uint32_t ElemSize) {
   if (!Sink.shouldCheck())
     return;
+  // Sampling front door: the controller may admit only a leading prefix
+  // of the range (windows are element-weighted, so a monster range can't
+  // blow the budget in one event); the batched action below then checks
+  // just that prefix, which is ordinary elision of the suffix.
+  if (Sam) {
+    Count = Sam->admitRange(Addr, Count);
+    if (Count == 0)
+      return;
+  }
   if (!Opts.BatchedRanges || Count == 0) {
     Tool::onReadRange(T, Addr, Count, ElemSize);
     return;
@@ -1016,6 +1050,11 @@ void Spd3Tool::onWriteRange(rt::Task &T, const void *Addr, size_t Count,
                             uint32_t ElemSize) {
   if (!Sink.shouldCheck())
     return;
+  if (Sam) {
+    Count = Sam->admitRange(Addr, Count);
+    if (Count == 0)
+      return;
+  }
   if (!Opts.BatchedRanges || Count == 0) {
     Tool::onWriteRange(T, Addr, Count, ElemSize);
     return;

@@ -38,6 +38,7 @@
 #define SPD3_DETECTOR_SPD3TOOL_H
 
 #include "detector/RaceReport.h"
+#include "detector/Sampler.h"
 #include "detector/ShadowSpace.h"
 #include "detector/Tool.h"
 #include "dpst/Dpst.h"
@@ -104,6 +105,18 @@ struct Spd3Options {
   /// (memo entries key on node addresses, which reclamation may reuse
   /// across steps).
   bool Reclaim = false;
+  /// Production sampling mode (DESIGN.md §13): a front-door gate on every
+  /// memory event probabilistically elides checks so measured overhead
+  /// converges on Sample.BudgetPct, while per-location warmup quotas keep
+  /// O(1) always-checked samples per location (detection probability per
+  /// racy location stays constant — see detector/Sampler.h). Elision
+  /// never creates a false positive: shadow triples only ever hold real
+  /// accesses, so every reported race is still a true race. Default off;
+  /// SPD3_SAMPLING=on|off force-overrides at tool construction.
+  bool Sampling = false;
+  /// Sampling controller tuning; Sample.BudgetPct is overridden by
+  /// SPD3_OVERHEAD_BUDGET (percent) when that variable is set.
+  SamplingConfig Sample = {};
 };
 
 class Spd3Tool : public Tool {
@@ -116,6 +129,11 @@ public:
     std::atomic<dpst::Node *> W{nullptr};
     std::atomic<dpst::Node *> R1{nullptr};
     std::atomic<dpst::Node *> R2{nullptr};
+    /// The empty triple is all-zero bytes, so dense cell arrays can live on
+    /// lazy-zero pages (numa::kZeroFillArray): registration costs O(1)
+    /// instead of an eager O(footprint) zeroing pass, and shadow becomes
+    /// resident only where checks actually look.
+    static constexpr bool kZeroFillable = true;
   };
 
   explicit Spd3Tool(RaceSink &Sink, Spd3Options Opts = {});
@@ -146,6 +164,10 @@ public:
   /// the soak bench use it to drain pending epochs at quiescent points and
   /// to read retirement counters.
   reclaim::Reclaimer *reclaimer() { return Rec.get(); }
+
+  /// The sampling controller; null when sampling is off. Benches read its
+  /// rate/cost telemetry for the probability-vs-cost curves.
+  SamplingController *sampler() { return Sam.get(); }
 
   /// The current step of task \p T (tests use this to relate accesses to
   /// DPST leaves).
@@ -290,6 +312,9 @@ private:
   };
   static constexpr size_t NumLocks = 1024;
   PaddedMutex *Locks = nullptr;
+  /// Sampling controller; null unless sampling is on. The hot-path gates
+  /// test the pointer, so the fully-off cost is one predictable branch.
+  std::unique_ptr<SamplingController> Sam;
   /// Service-mode reclaimer; null unless Opts.Reclaim. Declared last so
   /// it destructs first — its teardown drain runs epoch deleters that
   /// still dereference Tree and Shadow.

@@ -28,6 +28,8 @@ size_t bytesFor(SizeClass S) {
     return 32 * 1024;
   case SizeClass::Default:
     return 192 * 1024;
+  case SizeClass::Large:
+    return 768 * 1024;
   }
   return 192 * 1024;
 }

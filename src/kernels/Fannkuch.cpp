@@ -29,6 +29,8 @@ int sizeFor(SizeClass S) {
     return 8;
   case SizeClass::Default:
     return 9;
+  case SizeClass::Large:
+    return 10;
   }
   return 9;
 }

@@ -30,6 +30,8 @@ size_t pointsFor(SizeClass S) {
     return 2048;
   case SizeClass::Default:
     return 16384;
+  case SizeClass::Large:
+    return 65536;
   }
   return 16384;
 }

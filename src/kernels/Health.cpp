@@ -34,6 +34,8 @@ Sizes sizesFor(SizeClass S) {
     return {3, 8};
   case SizeClass::Default:
     return {4, 20};
+  case SizeClass::Large:
+    return {5, 24};
   }
   return {4, 20};
 }

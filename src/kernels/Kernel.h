@@ -37,8 +37,11 @@
 namespace spd3::kernels {
 
 /// Workload size classes. Test sizes keep unit tests fast (and small
-/// enough for brute-force verification); Default sizes drive the benches.
-enum class SizeClass { Test, Small, Default };
+/// enough for brute-force verification); Default sizes drive the benches;
+/// Large sizes give run times big enough for overhead measurements (the
+/// sampling budget gate) to resolve single-digit percentages above
+/// scheduler and allocator noise.
+enum class SizeClass { Test, Small, Default, Large };
 
 /// Loop decomposition (Section 6 methodology).
 enum class Variant { FineGrained, Chunked };

@@ -28,6 +28,8 @@ size_t sideFor(SizeClass S) {
     return 64;
   case SizeClass::Default:
     return 160;
+  case SizeClass::Large:
+    return 320;
   }
   return 160;
 }

@@ -27,6 +27,8 @@ Sizes sizesFor(SizeClass S) {
     return {128, 100};
   case SizeClass::Default:
     return {400, 150};
+  case SizeClass::Large:
+    return {800, 250};
   }
   return {400, 150};
 }

@@ -26,6 +26,8 @@ size_t sideFor(SizeClass S) {
     return 48;
   case SizeClass::Default:
     return 96;
+  case SizeClass::Large:
+    return 256;
   }
   return 96;
 }

@@ -33,6 +33,8 @@ Sizes sizesFor(SizeClass S) {
     return {96, 3};
   case SizeClass::Default:
     return {256, 4};
+  case SizeClass::Large:
+    return {500, 4};
   }
   return {256, 4};
 }

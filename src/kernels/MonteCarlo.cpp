@@ -39,6 +39,8 @@ Sizes sizesFor(SizeClass S) {
     return {512, 32};
   case SizeClass::Default:
     return {2048, 64};
+  case SizeClass::Large:
+    return {8192, 64};
   }
   return {2048, 64};
 }

@@ -32,6 +32,8 @@ Sizes sizesFor(SizeClass S, Variant V) {
     return {9, V == Variant::FineGrained ? 3 : 1};
   case SizeClass::Default:
     return {10, V == Variant::FineGrained ? 3 : 1};
+  case SizeClass::Large:
+    return {12, V == Variant::FineGrained ? 3 : 1};
   }
   return {10, 3};
 }

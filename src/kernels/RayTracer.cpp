@@ -34,6 +34,8 @@ Sizes sizesFor(SizeClass S) {
     return {48, 6};
   case SizeClass::Default:
     return {96, 8};
+  case SizeClass::Large:
+    return {192, 8};
   }
   return {96, 8};
 }

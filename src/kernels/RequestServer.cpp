@@ -36,6 +36,8 @@ Sizes sizesFor(SizeClass S) {
     // Capped below the 4096-slot shadow range table: batch-mode detectors
     // never recycle the per-request scratch slots (service mode does).
     return {3000, 64, 16};
+  case SizeClass::Large:
+    return {3000, 128, 32};
   }
   return {3000, 64, 16};
 }

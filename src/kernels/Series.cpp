@@ -31,6 +31,8 @@ Sizes sizesFor(SizeClass S) {
     return {128, 400};
   case SizeClass::Default:
     return {512, 1000};
+  case SizeClass::Large:
+    return {2048, 1000};
   }
   return {512, 1000};
 }

@@ -32,6 +32,8 @@ Sizes sizesFor(SizeClass S) {
     return {64, 6};
   case SizeClass::Default:
     return {192, 10};
+  case SizeClass::Large:
+    return {384, 12};
   }
   return {192, 10};
 }

@@ -31,6 +31,8 @@ Sizes sizesFor(SizeClass S) {
     return {512, 5, 4};
   case SizeClass::Default:
     return {4096, 5, 8};
+  case SizeClass::Large:
+    return {16384, 5, 8};
   }
   return {4096, 5, 8};
 }

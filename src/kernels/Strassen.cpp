@@ -33,6 +33,8 @@ Sizes sizesFor(SizeClass S) {
     return {64, 32};
   case SizeClass::Default:
     return {128, 32};
+  case SizeClass::Large:
+    return {256, 32};
   }
   return {128, 32};
 }

@@ -205,6 +205,8 @@ const char *eventKindName(EventKind K) {
     return "reclaim.collapse";
   case EventKind::PageRecycle:
     return "reclaim.pageRecycle";
+  case EventKind::SampleElide:
+    return "sample.elide";
   }
   return "?";
 }

@@ -36,6 +36,7 @@
 ///   SubtreeRetire finish node id    nodes retired  -
 ///   SummaryCollapse finish node id  nodes absorbed -
 ///   PageRecycle   resident pages    -              -
+///   SampleElide   address           elided elems   -
 ///
 /// Task and scope ids are the runtime object addresses: unique while live,
 /// stable across the B/E pair, and meaningless afterwards — exactly what a
@@ -72,6 +73,7 @@ enum class EventKind : uint16_t {
   SubtreeRetire,
   SummaryCollapse,
   PageRecycle,
+  SampleElide,
 };
 
 /// Outcome classes for Check*/Range* events (the Aux field): how the

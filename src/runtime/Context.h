@@ -34,6 +34,14 @@ struct ExecContext {
   WorkerState *Worker = nullptr;
   Task *Cur = nullptr;
   detector::Tool *Tool = nullptr;
+  /// Element weight the sampling controller has pre-elided for this thread
+  /// (detector/Sampler.cpp arms it for the remainder of an elided window
+  /// once the warmup tier is closed). While nonzero, the memory hooks
+  /// consume it inline and skip the tool call entirely, so an elided
+  /// access costs one thread-local compare-and-subtract. Always zero when
+  /// no sampling detector is installed; reset with the rest of the
+  /// context whenever a worker binds to a runtime.
+  size_t SampleSkip = 0;
 };
 
 extern thread_local ExecContext Ctx;

@@ -30,6 +30,13 @@ inline void read(const void *Addr, uint32_t Size) {
   auto &C = rt::detail::Ctx;
   if (SPD3_LIKELY(!C.Tool))
     return;
+  // Pre-elided by the sampling controller: consume one element of the
+  // armed skip and never enter the tool (see ExecContext::SampleSkip).
+  // Likely: at converged sampling rates nearly every event is elided.
+  if (SPD3_LIKELY(C.SampleSkip)) {
+    --C.SampleSkip;
+    return;
+  }
   C.Tool->onRead(*C.Cur, Addr, Size);
 }
 
@@ -38,6 +45,10 @@ inline void write(const void *Addr, uint32_t Size) {
   auto &C = rt::detail::Ctx;
   if (SPD3_LIKELY(!C.Tool))
     return;
+  if (SPD3_LIKELY(C.SampleSkip)) {
+    --C.SampleSkip;
+    return;
+  }
   C.Tool->onWrite(*C.Cur, Addr, Size);
 }
 
@@ -48,6 +59,12 @@ inline void readRange(const void *Addr, size_t Count, uint32_t ElemSize) {
   auto &C = rt::detail::Ctx;
   if (SPD3_LIKELY(!C.Tool))
     return;
+  // A range event only rides the armed skip when it fits entirely; a
+  // partial fit falls through so the controller reconciles the remainder.
+  if (SPD3_LIKELY(C.SampleSkip >= Count)) {
+    C.SampleSkip -= Count;
+    return;
+  }
   C.Tool->onReadRange(*C.Cur, Addr, Count, ElemSize);
 }
 
@@ -57,6 +74,10 @@ inline void writeRange(const void *Addr, size_t Count, uint32_t ElemSize) {
   auto &C = rt::detail::Ctx;
   if (SPD3_LIKELY(!C.Tool))
     return;
+  if (SPD3_LIKELY(C.SampleSkip >= Count)) {
+    C.SampleSkip -= Count;
+    return;
+  }
   C.Tool->onWriteRange(*C.Cur, Addr, Count, ElemSize);
 }
 

@@ -31,9 +31,26 @@
 #define SPD3_SUPPORT_NUMA_H
 
 #include <cstddef>
+#include <cstdlib>
 #include <new>
+#include <type_traits>
 
 namespace spd3::numa {
+
+/// Opt-in marker for cell types whose value-initialized state is all-zero
+/// bytes and whose destruction is trivial (`static constexpr bool
+/// kZeroFillable = true;` on the type). Arrays of such cells can be backed
+/// by calloc'd lazy-zero pages: the kernel materializes a physical page
+/// only when a cell on it is first touched, so a detector that checks a
+/// fraction of the accesses (sampling mode) faults in only that fraction
+/// of its shadow — and even full-rate runs stop paying an eager
+/// O(footprint) zeroing pass at registration time.
+template <typename T, typename = void>
+inline constexpr bool kZeroFillArray = false;
+template <typename T>
+inline constexpr bool
+    kZeroFillArray<T, std::enable_if_t<T::kZeroFillable>> =
+        std::is_trivially_destructible_v<T>;
 
 /// Number of NUMA nodes on this host (>= 1). Constant after first use.
 unsigned nodeCount();
@@ -85,8 +102,18 @@ template <typename T> void destroyLocal(T *P, bool Enabled) {
 }
 
 template <typename T> T *createLocalArray(size_t N, bool Enabled) {
-  if (!Enabled || !placementActive())
+  if (!Enabled || !placementActive()) {
+    // Zero-fillable cells ride lazy-zero pages: no eager O(N) write pass,
+    // and untouched shadow never becomes resident. (The libnuma path below
+    // keeps explicit first-touch construction — there the eager touch IS
+    // the placement mechanism.)
+    if constexpr (kZeroFillArray<T>) {
+      if (T *A = static_cast<T *>(std::calloc(N ? N : 1, sizeof(T))))
+        return A;
+      throw std::bad_alloc();
+    }
     return new T[N]();
+  }
   T *A = static_cast<T *>(allocLocal(N * sizeof(T), alignof(T)));
   for (size_t I = 0; I < N; ++I)
     new (A + I) T();
@@ -98,7 +125,10 @@ void destroyLocalArray(T *A, size_t N, bool Enabled) {
   if (!A)
     return;
   if (!Enabled || !placementActive()) {
-    delete[] A;
+    if constexpr (kZeroFillArray<T>)
+      std::free(A);
+    else
+      delete[] A;
     return;
   }
   for (size_t I = N; I > 0; --I)

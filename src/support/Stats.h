@@ -32,6 +32,9 @@ public:
   void operator++(int) { *this += 1; }
 
   uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  /// Gauge-style overwrite (e.g. the sampling controller's current rate);
+  /// the counter tracks in trace exports then plot the level, not a sum.
+  void set(uint64_t N) { Value.store(N, std::memory_order_relaxed); }
   void reset() { Value.store(0, std::memory_order_relaxed); }
 
   const char *group() const { return Group; }

@@ -73,8 +73,8 @@ TEST_P(DetectorProperties, Spd3ParallelMatchesOracle) {
 TEST_P(DetectorProperties, Spd3MutexProtocolMatchesOracle) {
   detector::RaceSink Sink;
   detector::Spd3Tool Tool(
-      Sink, detector::Spd3Options{detector::Spd3Options::Protocol::Mutex,
-                                  true});
+      Sink, detector::Spd3Options{
+                .Proto = detector::Spd3Options::Protocol::Mutex});
   rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
   runProgram(RT, P, &Tool);
   EXPECT_EQ(Sink.anyRace(), O.hasRace()) << "seed " << GetParam();
@@ -83,8 +83,9 @@ TEST_P(DetectorProperties, Spd3MutexProtocolMatchesOracle) {
 TEST_P(DetectorProperties, Spd3WithoutCheckCacheMatchesOracle) {
   detector::RaceSink Sink;
   detector::Spd3Tool Tool(
-      Sink, detector::Spd3Options{detector::Spd3Options::Protocol::LockFree,
-                                  false});
+      Sink, detector::Spd3Options{
+                .Proto = detector::Spd3Options::Protocol::LockFree,
+                .CheckCache = false});
   rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Tool});
   runProgram(RT, P, &Tool);
   EXPECT_EQ(Sink.anyRace(), O.hasRace()) << "seed " << GetParam();
@@ -93,8 +94,9 @@ TEST_P(DetectorProperties, Spd3WithoutCheckCacheMatchesOracle) {
 TEST_P(DetectorProperties, Spd3WithoutDmhpMemoMatchesOracle) {
   detector::RaceSink Sink;
   detector::Spd3Tool Tool(
-      Sink, detector::Spd3Options{detector::Spd3Options::Protocol::LockFree,
-                                  true, /*DmhpMemo=*/false});
+      Sink, detector::Spd3Options{
+                .Proto = detector::Spd3Options::Protocol::LockFree,
+                .DmhpMemo = false});
   rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Tool});
   runProgram(RT, P, &Tool);
   EXPECT_EQ(Sink.anyRace(), O.hasRace()) << "seed " << GetParam();

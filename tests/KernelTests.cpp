@@ -125,8 +125,8 @@ TEST_P(KernelSuite, FastTrackCatchesSeededRace) {
 TEST_P(KernelSuite, Spd3MutexProtocolAgrees) {
   detector::RaceSink Sink;
   detector::Spd3Tool Tool(
-      Sink, detector::Spd3Options{detector::Spd3Options::Protocol::Mutex,
-                                  true});
+      Sink, detector::Spd3Options{
+                .Proto = detector::Spd3Options::Protocol::Mutex});
   rt::Runtime RT({2, rt::SchedulerKind::Parallel, &Tool});
   KernelResult R = kernel().execute(RT, config());
   EXPECT_TRUE(R.Verified) << R.Error;

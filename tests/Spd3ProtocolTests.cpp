@@ -26,7 +26,7 @@ class Spd3Protocol
 
 TEST_P(Spd3Protocol, ParallelReadSharingProducesNoFalseRaces) {
   RaceSink Sink;
-  Spd3Tool Tool(Sink, Spd3Options{GetParam(), true});
+  Spd3Tool Tool(Sink, Spd3Options{.Proto = GetParam(), .CheckCache = true});
   rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
   RT.run([&] {
     detector::TrackedArray<double> Shared(8, 1.0);
@@ -44,7 +44,7 @@ TEST_P(Spd3Protocol, ParallelReadSharingProducesNoFalseRaces) {
 
 TEST_P(Spd3Protocol, ParallelPhasedWritersProduceNoFalseRaces) {
   RaceSink Sink;
-  Spd3Tool Tool(Sink, Spd3Options{GetParam(), true});
+  Spd3Tool Tool(Sink, Spd3Options{.Proto = GetParam(), .CheckCache = true});
   rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
   RT.run([&] {
     detector::TrackedArray<int> Data(64, 0);
@@ -58,7 +58,7 @@ TEST_P(Spd3Protocol, ParallelPhasedWritersProduceNoFalseRaces) {
 TEST_P(Spd3Protocol, RealRaceFoundUnderContention) {
   // One writer hidden among hundreds of readers of the same location.
   RaceSink Sink;
-  Spd3Tool Tool(Sink, Spd3Options{GetParam(), true});
+  Spd3Tool Tool(Sink, Spd3Options{.Proto = GetParam(), .CheckCache = true});
   rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
   RT.run([&] {
     detector::TrackedVar<int> X(0);
@@ -75,7 +75,7 @@ TEST_P(Spd3Protocol, RealRaceFoundUnderContention) {
 
 TEST_P(Spd3Protocol, MixedHotColdLocations) {
   RaceSink Sink;
-  Spd3Tool Tool(Sink, Spd3Options{GetParam(), true});
+  Spd3Tool Tool(Sink, Spd3Options{.Proto = GetParam(), .CheckCache = true});
   rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
   RT.run([&] {
     detector::TrackedArray<int> Own(256, 0);

@@ -284,9 +284,9 @@ TEST(Spd3, CheckCacheDoesNotChangeVerdicts) {
       });
     };
     runSpd3(Prog, WithCache, rt::SchedulerKind::SequentialDepthFirst,
-            Spd3Options{Spd3Options::Protocol::LockFree, true});
+            Spd3Options{.Proto = Spd3Options::Protocol::LockFree, .CheckCache = true});
     runSpd3(Prog, WithoutCache, rt::SchedulerKind::SequentialDepthFirst,
-            Spd3Options{Spd3Options::Protocol::LockFree, false});
+            Spd3Options{.Proto = Spd3Options::Protocol::LockFree, .CheckCache = false});
     EXPECT_EQ(WithCache.anyRace(), Race);
     EXPECT_EQ(WithoutCache.anyRace(), Race);
   }
@@ -329,9 +329,9 @@ TEST(Spd3, MutexProtocolSameVerdictAsLockFree) {
       });
     };
     runSpd3(Prog, LockFree, rt::SchedulerKind::SequentialDepthFirst,
-            Spd3Options{Spd3Options::Protocol::LockFree, true});
+            Spd3Options{.Proto = Spd3Options::Protocol::LockFree, .CheckCache = true});
     runSpd3(Prog, Mutex, rt::SchedulerKind::SequentialDepthFirst,
-            Spd3Options{Spd3Options::Protocol::Mutex, true});
+            Spd3Options{.Proto = Spd3Options::Protocol::Mutex, .CheckCache = true});
     EXPECT_EQ(LockFree.anyRace(), Race);
     EXPECT_EQ(Mutex.anyRace(), Race);
   }

@@ -35,6 +35,7 @@
 #include "obs/Obs.h"
 #include "runtime/Runtime.h"
 #include "support/Env.h"
+#include "support/PhaseProbe.h"
 #include "support/StopWatch.h"
 
 #include <cmath>
@@ -57,6 +58,8 @@ enum class Detector {
   Spd3Simd,    ///< SPD3 with the SIMD block range path forced on
   Spd3NoSimd,  ///< SPD3 with the scalar per-element range loop (ablation)
   Spd3NoNuma,  ///< SPD3 without NUMA-aware shadow placement (ablation)
+  Spd3NoSplit, ///< SPD3 with sub-granule splitting off (overflow table)
+  Spd3NoFilter, ///< SPD3 without the per-step redundant-check filter
   Spd3Reclaim, ///< SPD3 in service mode (src/reclaim/ subtree retirement)
   Spd3Sample,  ///< SPD3 in sampling mode (overhead-budgeted check elision)
   EspBags,   ///< sequential ESP-bags baseline
@@ -86,6 +89,10 @@ inline const char *detectorName(Detector D) {
     return "spd3-nosimd";
   case Detector::Spd3NoNuma:
     return "spd3-nonuma";
+  case Detector::Spd3NoSplit:
+    return "spd3-nosplit";
+  case Detector::Spd3NoFilter:
+    return "spd3-nofilter";
   case Detector::Spd3Reclaim:
     return "spd3-reclaim";
   case Detector::Spd3Sample:
@@ -148,6 +155,16 @@ inline std::unique_ptr<detector::Tool> makeTool(Detector D,
     O.NumaShadow = false;
     return std::make_unique<detector::Spd3Tool>(Sink, O);
   }
+  case Detector::Spd3NoSplit: {
+    Spd3Options O;
+    O.SplitGranules = false; // sub-granule collisions -> overflow table
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
+  case Detector::Spd3NoFilter: {
+    Spd3Options O;
+    O.StepFilter = false;
+    return std::make_unique<detector::Spd3Tool>(Sink, O);
+  }
   case Detector::Spd3Reclaim: {
     Spd3Options O;
     O.Reclaim = true;
@@ -193,6 +210,11 @@ struct TimedRun {
   double Checksum = 0.0;
   size_t PeakToolBytes = 0;
   size_t Races = 0;
+  /// Phase spans of the best repetition, from the kernel's phase probe
+  /// (support/PhaseProbe.h). Only meaningful for kernels that call the
+  /// probe (crypt, matmul, and their auto twins); zero/stale otherwise.
+  double SetupSeconds = 0.0;
+  double ComputeSeconds = 0.0;
 };
 
 /// One measured execution of \p K under detector \p D on \p Threads
@@ -225,6 +247,51 @@ inline TimedRun timedRun(Detector D, kernels::Kernel &K,
       Best.Checksum = Res.Checksum;
       Best.PeakToolBytes = Tool ? Tool->peakMemoryBytes() : 0;
       Best.Races = Sink.raceCount();
+      Best.SetupSeconds = phase::setupSeconds();
+      Best.ComputeSeconds = phase::computeSeconds();
+    }
+  }
+  double Sum = 0.0;
+  for (double T : Times)
+    Sum += T;
+  Best.Mean = Sum / static_cast<double>(Times.size());
+  double Var = 0.0;
+  for (double T : Times)
+    Var += (T - Best.Mean) * (T - Best.Mean);
+  Best.Stddev = std::sqrt(Var / static_cast<double>(Times.size()));
+  return Best;
+}
+
+/// timedRun for callable workloads — the auto-instrumented twins, which
+/// are free functions rather than kernels::Kernel instances. Same
+/// best-of-reps policy and detector construction as timedRun.
+template <class Body>
+inline TimedRun timedBodyRun(Detector D, Body &&Fn,
+                             kernels::KernelConfig Cfg, unsigned Threads,
+                             int Reps) {
+  Cfg.Verify = false;
+  TimedRun Best;
+  Best.Seconds = 1e100;
+  std::vector<double> Times;
+  for (int R = 0; R < Reps; ++R) {
+    detector::RaceSink Sink(detector::RaceSink::Mode::CollectPerLocation);
+    std::unique_ptr<detector::Tool> Tool = makeTool(D, Sink);
+    rt::SchedulerKind Kind = (Tool && Tool->requiresSequential())
+                                 ? rt::SchedulerKind::SequentialDepthFirst
+                                 : rt::SchedulerKind::Parallel;
+    rt::Runtime RT({Kind == rt::SchedulerKind::Parallel ? Threads : 1u,
+                    Kind, Tool.get()});
+    StopWatch W;
+    kernels::KernelResult Res = Fn(RT, Cfg);
+    double Sec = W.seconds();
+    Times.push_back(Sec);
+    if (Sec < Best.Seconds) {
+      Best.Seconds = Sec;
+      Best.Checksum = Res.Checksum;
+      Best.PeakToolBytes = Tool ? Tool->peakMemoryBytes() : 0;
+      Best.Races = Sink.raceCount();
+      Best.SetupSeconds = phase::setupSeconds();
+      Best.ComputeSeconds = phase::computeSeconds();
     }
   }
   double Sum = 0.0;

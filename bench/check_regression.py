@@ -24,13 +24,23 @@ with --no-normalize when current and baseline come from the same
 machine.
 
 Curve-style sections — monotone-by-construction sweeps such as the
-sampling detection/cost curves (`det-r500`, `cost-r200`, ...) — are
+sampling detection/cost curves (`det-r500`, `cost-r200`, ...) and the
+autoinst per-phase breakdown rows (`phase-setup-hand`, ...) — are
 recognized by shape (or added with --curve) and handled specially: they
 are excluded from the drift-normalization median, so a block of curve
 entries that all moved together cannot drag the median and mask a real
 regression in a normal section, and they are reported but not
-threshold-gated (a detection probability is not a time; ratio-gating it
-just flaps).
+threshold-gated (a detection probability is not a time, and a
+sub-millisecond setup span is allocator noise; ratio-gating either just
+flaps).
+
+The byte-workload tax assertion (`--autoinst-json`) reads the
+`autoinst/<kernel>/hand` and `autoinst/<kernel>/auto` rows from a fresh
+report and hard-fails when any kernel's geomean auto/hand wall-time
+ratio exceeds --autoinst-cap. This is the gate on the sub-word
+granularity work: with granule splitting regressed (or disabled), the
+auto-instrumented crypt twin degrades to the overflow table and its
+ratio jumps from ~1x back to the historical 4.5-6.8x.
 
 The sampling budget assertion (`--budget-json`) reads the best-of rows
 `sampling-budget/<kernel>/base` and `sampling-budget/<kernel>/spd3-sample`
@@ -43,7 +53,8 @@ Usage:
                       [--threshold 1.30] [--no-normalize] \
                       [--inject SECTION=FACTOR] [--curve PREFIX] \
                       [--budget-json report.json --budget-cap 5 \
-                       --budget-factor 1.5]
+                       --budget-factor 1.5] \
+                      [--autoinst-json report.json --autoinst-cap 1.5]
   check_regression.py --self-test
 """
 
@@ -92,9 +103,16 @@ MAX_DRIFT = 3.0
 # must not feed the drift median nor the slowdown threshold.
 CURVE_SECTION_RE = re.compile(r"^(?:det-|cost-)?r\d+$")
 
+# The autoinst per-phase breakdown rows (phase-setup-hand, phase-compute-
+# auto, ...) are curve-style by the same logic: they decompose wall times
+# that are already gated whole, and the setup spans are allocator noise.
+PHASE_SECTION_PREFIX = "phase-"
+
 
 def is_curve_section(sec, extra_prefixes=()):
     if CURVE_SECTION_RE.match(sec):
+        return True
+    if sec.startswith(PHASE_SECTION_PREFIX):
         return True
     return any(sec.startswith(p) for p in extra_prefixes)
 
@@ -212,6 +230,53 @@ def check_budget(report_path, cap_pct, factor):
     return ok, lines
 
 
+def check_autoinst(report_path, cap):
+    """Assert the byte-workload tax stays killed.
+
+    Reads `autoinst/<kernel>/hand` and `autoinst/<kernel>/auto` rows (wall
+    seconds in the mean field, one pair per worker count) and fails when
+    any kernel's geomean auto/hand ratio exceeds cap. Absolute, not
+    baseline-relative: a machine-speed shift cancels in the ratio, so no
+    normalization applies. Returns (ok, lines)."""
+    entries, _ = load_entries(report_path)
+    by_kernel = {}
+    for key, mean in entries.items():
+        name, threads = key if isinstance(key, tuple) else (key, 0)
+        parts = name.split("/")
+        if len(parts) != 3 or parts[0] != "autoinst":
+            continue
+        if parts[2] not in ("hand", "auto"):
+            continue
+        by_kernel.setdefault(parts[1], {}).setdefault(threads, {})[
+            parts[2]] = mean
+    lines = []
+    ok = True
+    found = False
+    for kernel in sorted(by_kernel):
+        ratios = []
+        for threads in sorted(by_kernel[kernel]):
+            rows = by_kernel[kernel][threads]
+            if "hand" not in rows or "auto" not in rows or rows["hand"] <= 0:
+                continue
+            ratios.append(max(rows["auto"] / rows["hand"], 1e-9))
+        if not ratios:
+            lines.append(f"  {kernel:12s} incomplete hand/auto rows, skipped")
+            continue
+        found = True
+        gm = geomean(ratios)
+        verdict = "ok" if gm <= cap else "OVER CAP"
+        if gm > cap:
+            ok = False
+        lines.append(f"  {kernel:12s} auto/hand geomean {gm:6.3f}x "
+                     f"(cap {cap:.2f}x, {len(ratios)} thread counts)  "
+                     f"{verdict}")
+    if not found:
+        print(f"error: {report_path} has no autoinst hand/auto row pairs",
+              file=sys.stderr)
+        return False, lines
+    return ok, lines
+
+
 def self_test():
     """Gate sanity check run in CI before the real comparison: identical
     data passes; a 1.5x slowdown injected into one of five sections fails;
@@ -219,8 +284,11 @@ def self_test():
     machine-drift normalization (the clamp); a current report that dropped
     one baseline section entirely fails; a majority block of curve entries
     shifted 1.5x cannot mask an equal real regression (the drift-pool
-    exclusion); and the budget assertion passes under the cap and fails
-    over it."""
+    exclusion, also exercised for the phase-* breakdown rows); the budget
+    assertion passes under the cap and fails over it; and the autoinst
+    assertion passes at a healthy auto/hand ratio but fails on an injected
+    split-granule regression (auto degraded to the overflow table's
+    historical 5.3x tax)."""
     import tempfile, os
 
     variants = ["spd3", "spd3-nocache", "spd3-nomemo", "spd3-nolabel",
@@ -278,6 +346,24 @@ def self_test():
             print("self-test FAILED: curve-entry majority masked a real "
                   "1.5x regression", file=sys.stderr)
             return 1
+        # Phase-row exclusion: a majority block of phase-* entries shifted
+        # 1.5x together must not re-center the drift median and absorb a
+        # real regression in a normal section.
+        phases = [{"name": f"autoinst/k{i}/phase-{ph}-{side}", "threads": t,
+                   "mean": 0.001, "stddev": 0.0}
+                  for i in range(6) for t in (1, 2)
+                  for ph in ("setup", "compute") for side in ("hand", "auto")]
+        pp = os.path.join(d, "phases.json")
+        with open(pp, "w") as f:
+            json.dump(base + phases, f)
+        inject = {f"phase-{ph}-{side}": 1.5
+                  for ph in ("setup", "compute") for side in ("hand", "auto")}
+        inject["spd3"] = 1.5
+        ok, _ = compare([(pp, pp)], 1.30, True, inject)
+        if ok:
+            print("self-test FAILED: phase-row majority masked a real 1.5x "
+                  "regression", file=sys.stderr)
+            return 1
         # Budget assertion: 6% measured overhead passes a 5% cap at 1.5x
         # headroom; 9% fails.
         for overhead, expect_ok in ((0.06, True), (0.09, False)):
@@ -297,9 +383,32 @@ def self_test():
                       f"{'passed' if ok else 'failed'} a 5% x 1.5 budget",
                       file=sys.stderr)
                 return 1
+        # Autoinst (byte-workload tax) assertion: a healthy split-granule
+        # detector keeps the auto twin near the hand kernel (1.2x passes a
+        # 1.5x cap); injecting the split-granule regression — the auto twin
+        # back on the overflow table at its measured 5.3x — must fail.
+        for ratio, expect_ok in ((1.2, True), (5.3, False)):
+            rp = os.path.join(d, f"autoinst{int(ratio * 10)}.json")
+            rows = []
+            for k in ("crypt", "matmul"):
+                for t in (1, 2):
+                    rows.append({"name": f"autoinst/{k}/hand", "threads": t,
+                                 "mean": 0.010, "stddev": 0.0})
+                    rows.append({"name": f"autoinst/{k}/auto", "threads": t,
+                                 "mean": 0.010 * ratio, "stddev": 0.0})
+            with open(rp, "w") as f:
+                json.dump(rows, f)
+            ok, _ = check_autoinst(rp, 1.5)
+            if ok != expect_ok:
+                print(f"self-test FAILED: {ratio:.1f}x auto/hand "
+                      f"{'passed' if ok else 'failed'} a 1.5x cap",
+                      file=sys.stderr)
+                return 1
     print("self-test passed: identical data passes; one-section 1.5x, "
-          "uniform 4x, a dropped section, and curve-masked regressions "
-          "fail; budget assertion trips only over cap x factor")
+          "uniform 4x, a dropped section, and curve- or phase-masked "
+          "regressions fail; budget assertion trips only over cap x "
+          "factor; autoinst assertion trips on the injected split-granule "
+          "regression")
     return 0
 
 
@@ -325,14 +434,19 @@ def main():
                     help="configured overhead budget, percent (default 5)")
     ap.add_argument("--budget-factor", type=float, default=1.5,
                     help="allowed headroom over the cap (default 1.5)")
+    ap.add_argument("--autoinst-json", metavar="REPORT",
+                    help="fresh autoinst report with hand/auto row pairs")
+    ap.add_argument("--autoinst-cap", type=float, default=1.5,
+                    help="max auto/hand wall-time ratio (default 1.5)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate fails on synthetic regressions")
     args = ap.parse_args()
 
     if args.self_test:
         sys.exit(self_test())
-    if not args.pair and not args.budget_json:
-        ap.error("need --pair or --budget-json (or --self-test)")
+    if not args.pair and not args.budget_json and not args.autoinst_json:
+        ap.error("need --pair, --budget-json, or --autoinst-json "
+                 "(or --self-test)")
 
     inject = {}
     for spec in args.inject:
@@ -359,6 +473,15 @@ def main():
         if not ok:
             print("FAIL: measured sampling overhead exceeds the budget "
                   "cap x factor", file=sys.stderr)
+            failed = True
+    if args.autoinst_json:
+        ok, lines = check_autoinst(args.autoinst_json, args.autoinst_cap)
+        print(f"byte-workload tax assertion ({args.autoinst_json}):")
+        for line in lines:
+            print(line)
+        if not ok:
+            print("FAIL: auto-instrumented overhead exceeds the auto/hand "
+                  "cap (split-granule path regressed?)", file=sys.stderr)
             failed = True
     if failed:
         sys.exit(1)

@@ -13,9 +13,13 @@
 #include "detector/Spd3Tool.h"
 #include "detector/Tracked.h"
 #include "dpst/Dpst.h"
+#include "runtime/Instrument.h"
 #include "runtime/Runtime.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
 
 using namespace spd3;
 using dpst::Dpst;
@@ -206,6 +210,76 @@ BENCHMARK(BM_Spd3RangeActionSimd<false>)
     ->Name("BM_Spd3RangeAction_NoSimd")
     ->Arg(64)
     ->Arg(1024);
+
+/// Per-byte scalar checks over RAW (never registered) heap memory, so
+/// shadow resolution takes the primary-map path with every granule in
+/// sub-word state: byte 0 of each 8-byte granule claims the slot, bytes
+/// 1-7 collide. Split=true resolves the collisions in place through the
+/// per-byte descriptors; Split=false routes every collided byte through
+/// the overflow hash table — the 4.5-6.8x byte-workload tax this pair
+/// quantifies. CheckCache and the step filter are off so every iteration
+/// really performs the shadow lookup.
+template <bool Split>
+static void BM_ByteGranule(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  detector::RaceSink Sink;
+  detector::Spd3Options O;
+  O.CheckCache = false;
+  O.StepFilter = false;
+  O.SplitGranules = Split;
+  detector::Spd3Tool Tool(Sink, O);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    std::vector<uint8_t> Buf(N + 8, 0);
+    // Warm the shadow with a prior reader of every byte: all granules end
+    // in sub-word state before timing starts.
+    rt::finish([&] {
+      rt::async([&] {
+        for (size_t I = 0; I < N; ++I)
+          mem::read(Buf.data() + I, 1);
+      });
+    });
+    for (auto _ : State)
+      for (size_t I = 0; I < N; ++I)
+        mem::read(Buf.data() + I, 1);
+    State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+  });
+}
+BENCHMARK(BM_ByteGranule<true>)->Name("BM_ByteGranule_Split")->Arg(4096);
+BENCHMARK(BM_ByteGranule<false>)->Name("BM_ByteGranule_Overflow")->Arg(4096);
+
+/// The same sub-word shadow state driven by one byte-stride range event
+/// per run: the batched gather path (whole granules resolved 8 cells at a
+/// time) vs the per-element fallback the overflow table forces.
+template <bool Split>
+static void BM_ByteGranuleRange(benchmark::State &State) {
+  auto N = static_cast<size_t>(State.range(0));
+  detector::RaceSink Sink;
+  detector::Spd3Options O;
+  O.CheckCache = false;
+  O.StepFilter = false;
+  O.SplitGranules = Split;
+  detector::Spd3Tool Tool(Sink, O);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  RT.run([&] {
+    std::vector<uint8_t> Buf(N + 8, 0);
+    rt::finish([&] {
+      rt::async([&] {
+        for (size_t I = 0; I < N; ++I)
+          mem::read(Buf.data() + I, 1);
+      });
+    });
+    for (auto _ : State)
+      mem::readRange(Buf.data(), N, 1);
+    State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+  });
+}
+BENCHMARK(BM_ByteGranuleRange<true>)
+    ->Name("BM_ByteGranuleRange_Split")
+    ->Arg(4096);
+BENCHMARK(BM_ByteGranuleRange<false>)
+    ->Name("BM_ByteGranuleRange_Overflow")
+    ->Arg(4096);
 
 /// Uninstrumented accessor cost for reference (the branch-only fast path).
 static void BM_UninstrumentedAccess(benchmark::State &State) {

@@ -17,6 +17,7 @@
 #include "AutoKernels.h"
 
 #include "kernels/Idea.h"
+#include "support/PhaseProbe.h"
 #include "support/Prng.h"
 
 namespace spd3::autokernels {
@@ -40,6 +41,7 @@ size_t cryptBytesFor(kernels::SizeClass S) {
 
 kernels::KernelResult cryptAuto(rt::Runtime &RT,
                                 const kernels::KernelConfig &Cfg) {
+  phase::begin();
   size_t Bytes = cryptBytesFor(Cfg.Size);
   size_t Blocks = Bytes / 8;
   Prng Rng(Cfg.Seed);
@@ -63,6 +65,7 @@ kernels::KernelResult cryptAuto(rt::Runtime &RT,
     double RaceCell = 0.0;
     for (size_t I = 0; I < Bytes; ++I)
       Text[I] = Plain[I];
+    phase::markSetup();
 
     auto Pass = [&](std::vector<uint8_t> &Src, std::vector<uint8_t> &Dst,
                     const uint16_t *Key) {
@@ -90,6 +93,7 @@ kernels::KernelResult cryptAuto(rt::Runtime &RT,
     };
     Pass(Text, Crypt1, EK);   // encrypt
     Pass(Crypt1, Crypt2, DK); // decrypt
+    phase::markCompute();
 
     for (size_t I = 0; I < Bytes; ++I) {
       RoundTrip[I] = Crypt2[I];

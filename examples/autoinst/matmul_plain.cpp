@@ -14,6 +14,7 @@
 
 #include "AutoKernels.h"
 
+#include "support/PhaseProbe.h"
 #include "support/Prng.h"
 
 namespace spd3::autokernels {
@@ -37,6 +38,7 @@ size_t matmulSideFor(kernels::SizeClass S) {
 
 kernels::KernelResult matmulAuto(rt::Runtime &RT,
                                  const kernels::KernelConfig &Cfg) {
+  phase::begin();
   size_t N = matmulSideFor(Cfg.Size);
   std::vector<double> RefA(N * N);
   std::vector<double> RefB(N * N);
@@ -57,6 +59,7 @@ kernels::KernelResult matmulAuto(rt::Runtime &RT,
       A[I] = RefA[I];
       B[I] = RefB[I];
     }
+    phase::markSetup();
 
     kernels::detail::forAll(Cfg, N, [&](size_t Row) {
       for (size_t Col = 0; Col < N; ++Col) {
@@ -68,6 +71,7 @@ kernels::KernelResult matmulAuto(rt::Runtime &RT,
       if (Cfg.SeedRace && (Row == 0 || Row == N - 1))
         RaceCell = static_cast<double>(Row);
     });
+    phase::markCompute();
 
     for (size_t I = 0; I < N * N; ++I) {
       Out[I] = C[I];

@@ -36,9 +36,18 @@
 ///   it. Detection semantics are therefore identical to the hash fallback:
 ///   one cell per distinct monitored address. A *different* address landing
 ///   in a claimed granule (packed sub-8-byte scalars, misaligned fields) is
-///   a sub-granule collision; cell() returns null and ShadowSpace routes
-///   the access to the surviving ShadowTable, which is demoted from front
-///   door to overflow store.
+///   a sub-granule collision. By default cell() returns null and
+///   ShadowSpace routes the access to the surviving ShadowTable, demoted
+///   from front door to overflow store. With setSplitGranules(true) the
+///   slot instead *splits*: a per-granule descriptor (SplitSlot) holding up
+///   to GranuleBytes narrow cells — one per byte offset, claimed by an
+///   ownership bitmap — is CAS-published next to the slot, and every
+///   colliding address resolves to its own sub-cell with no probe chain.
+///   The low bits of the address are a perfect hash within the granule, so
+///   split lookups stay two dependent loads. The original claimer keeps the
+///   page cell (pointer stability; no slot is ever replaced or retired
+///   mid-run), which keeps verdicts byte-identical to the overflow build:
+///   both key exactly one fresh cell per distinct monitored address.
 /// - The map is grow-only in batch mode: cells are never reclaimed
 ///   mid-run and cell pointers are stable for the map's lifetime
 ///   (ShadowSpace's pointer-stability contract). Service mode narrows
@@ -71,6 +80,17 @@
 
 namespace spd3::detector {
 
+/// How a primary-map lookup resolved. A null cell used to conflate two
+/// very different situations; callers that care (ShadowSpace) now get the
+/// distinction:
+enum class CellOutcome : uint8_t {
+  Hit,       ///< A cell was returned.
+  Collision, ///< Granule owned by a different address and splitting is off
+             ///< — overflow-table territory, the expected degradation.
+  Exhausted, ///< Superpage directory full; no page could be materialized.
+             ///< A capacity event worth counting, not a collision.
+};
+
 template <typename Cell> class PrimaryMap {
 public:
   PrimaryMap() = default;
@@ -81,32 +101,95 @@ public:
       if (!S)
         continue;
       for (auto &Entry : S->Pages)
-        numa::destroyLocal(Entry.load(std::memory_order_relaxed), NumaAware);
+        destroyPage(Entry.load(std::memory_order_relaxed));
       delete S;
     }
     for (Page *P : FreePages)
-      numa::destroyLocal(P, NumaAware);
+      destroyPage(P);
   }
 
   /// Latch NUMA-aware page placement before first use (see
   /// ShadowSpace::setNumaAware).
   void setNumaAware(bool On) { NumaAware = On; }
 
+  /// Latch sub-granule splitting before first use. Off (the default, which
+  /// every raw-map test pins down): a collision returns null and the
+  /// caller's overflow table serves the address. On: the colliding address
+  /// gets its own sub-cell from a CAS-published SplitSlot descriptor.
+  void setSplitGranules(bool On) { SplitEnabled = On; }
+
   PrimaryMap(const PrimaryMap &) = delete;
   PrimaryMap &operator=(const PrimaryMap &) = delete;
 
   /// The granule cell for \p Addr, claiming directory slots, pages and the
-  /// granule key on first touch. Null on a sub-granule collision (the
-  /// granule is owned by a different address) or directory exhaustion —
-  /// the caller falls back to the overflow hash table. Returned pointers
-  /// are stable for the map's lifetime.
-  Cell *cell(const void *Addr) {
+  /// granule key on first touch; \p Out tells a null apart (collision vs
+  /// directory exhaustion). With splitting enabled a collision resolves to
+  /// a sub-cell instead of null. Returned pointers are stable for the
+  /// map's lifetime.
+  Cell *cell(const void *Addr, CellOutcome &Out) {
     uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
     Page *P = page(A);
-    if (SPD3_UNLIKELY(!P))
+    if (SPD3_UNLIKELY(!P)) {
+      Out = CellOutcome::Exhausted;
       return nullptr;
+    }
     size_t Slot = (A >> GranuleShift) & (SlotsPerPage - 1);
-    return claimGranule(*P, Slot, A);
+    if (Cell *C = claimGranule(*P, Slot, A)) {
+      Out = CellOutcome::Hit;
+      return C;
+    }
+    if (SplitEnabled) {
+      Out = CellOutcome::Hit;
+      return splitCell(*P, Slot, A);
+    }
+    Out = CellOutcome::Collision;
+    return nullptr;
+  }
+
+  /// cell() for callers that treat both null causes alike.
+  Cell *cell(const void *Addr) {
+    CellOutcome Out;
+    return cell(Addr, Out);
+  }
+
+  /// Resolve shadow cells for a *prefix* of \p Count contiguous elements
+  /// of \p ElemSize bytes at \p Addr into \p Out (exact-address keying,
+  /// like per-element cell() calls, in the same first-touch order), and
+  /// return the prefix length. Unlike runCells() the elements need not be
+  /// granule-sized or confined to one page: sub-granule elements resolve
+  /// through split descriptors, and page boundaries just re-probe the
+  /// directory. The prefix ends early at a collision with splitting off,
+  /// or on directory exhaustion — the caller checks the remainder
+  /// element-wise. Requires ElemSize in {1,2,4,8} and \p Addr aligned to
+  /// ElemSize (so no element straddles a granule); returns 0 otherwise.
+  size_t gatherCells(const void *Addr, size_t Count, uint32_t ElemSize,
+                     Cell **Out) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    if (ElemSize == 0 || ElemSize > GranuleBytes ||
+        (ElemSize & (ElemSize - 1)) != 0 || (A & (ElemSize - 1)) != 0)
+      return 0;
+    constexpr uintptr_t PageMask = (uintptr_t(1) << PageShift) - 1;
+    size_t N = 0;
+    Page *P = nullptr;
+    uintptr_t PageBase = ~uintptr_t(0);
+    while (N < Count) {
+      uintptr_t E = A + N * ElemSize;
+      if (SPD3_UNLIKELY((E & ~PageMask) != PageBase)) {
+        P = page(E);
+        if (SPD3_UNLIKELY(!P))
+          return N; // Directory exhausted; remainder is overflow territory.
+        PageBase = E & ~PageMask;
+      }
+      size_t Slot = (E >> GranuleShift) & (SlotsPerPage - 1);
+      Cell *C = claimGranule(*P, Slot, E);
+      if (SPD3_UNLIKELY(!C)) {
+        if (!SplitEnabled)
+          return N; // Foreign-owned granule; caller falls back per element.
+        C = splitCell(*P, Slot, E);
+      }
+      Out[N++] = C;
+    }
+    return N;
   }
 
   /// The cells for \p Count contiguous elements of \p ElemSize bytes at
@@ -165,15 +248,27 @@ public:
   }
 
   /// Recycle a page previously returned by detachRange, after its grace
-  /// period: \p OnCell runs for every claimed granule (the caller drops
-  /// shadow-triple references and zeroes the cell), the keys are cleared,
-  /// and the page joins the free list that page() reuses. \p OnCell must
-  /// leave each cell fully reset — a reused page's cells must be
-  /// indistinguishable from value-initialized ones.
+  /// period: \p OnCell runs for every claimed granule and claimed split
+  /// sub-cell (the caller drops shadow-triple references and zeroes the
+  /// cell), the keys and ownership bitmaps are cleared, and the page joins
+  /// the free list that page() reuses. Split descriptors stay attached —
+  /// their cells are reset, so a reused page with empty descriptors is
+  /// semantically indistinguishable from a fresh one (descriptors are only
+  /// reachable after a new collision, which reuses them in place).
+  /// \p OnCell must leave each cell fully reset.
   template <typename OnCellFn> void recycleDetached(void *Handle,
                                                     OnCellFn OnCell) {
     Page *P = static_cast<Page *>(Handle);
     for (size_t I = 0; I < SlotsPerPage; ++I) {
+      if (SplitSlot *S = P->Subs[I].load(std::memory_order_relaxed)) {
+        uint8_t Owned = S->Owned.load(std::memory_order_relaxed);
+        for (size_t Off = 0; Off < GranuleBytes; ++Off)
+          if (Owned & (1u << Off)) {
+            OnCell(S->Cells[Off]);
+            NumGranules.fetch_sub(1, std::memory_order_relaxed);
+          }
+        S->Owned.store(0, std::memory_order_relaxed);
+      }
       if (P->Keys[I].load(std::memory_order_relaxed) == 0)
         continue;
       OnCell(P->Cells[I]);
@@ -187,7 +282,7 @@ public:
       NumFreePages.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    numa::destroyLocal(P, NumaAware);
+    destroyPage(P);
   }
 
   /// Number of claimed granule cells.
@@ -195,15 +290,21 @@ public:
     return NumGranules.load(std::memory_order_relaxed);
   }
 
-  /// Honest footprint: the directory plus every resident superpage table
-  /// and shadow page (claimed and unclaimed granules alike), including
-  /// recycled pages parked on the free list.
+  /// Honest footprint: the directory plus every resident superpage table,
+  /// shadow page (claimed and unclaimed granules alike, including recycled
+  /// pages parked on the free list), and split descriptor.
   size_t memoryBytes() const {
     return sizeof(Dir) +
            NumSupers.load(std::memory_order_relaxed) * sizeof(Super) +
            (NumPages.load(std::memory_order_relaxed) +
             NumFreePages.load(std::memory_order_relaxed)) *
-               sizeof(Page);
+               sizeof(Page) +
+           NumSplits.load(std::memory_order_relaxed) * sizeof(SplitSlot);
+  }
+
+  /// Resident split-granule descriptors (growth introspection in tests).
+  size_t splitCount() const {
+    return NumSplits.load(std::memory_order_relaxed);
   }
 
   /// Recycled pages awaiting reuse.
@@ -240,10 +341,29 @@ private:
   /// overflow table instead of aborting.
   static constexpr size_t MaxSupers = 1024;
 
+  /// Split-granule descriptor: one narrow cell per byte offset of the
+  /// granule, claimed lazily via the ownership bitmap. The byte offset is
+  /// a perfect hash — two distinct addresses in one granule always differ
+  /// in their low GranuleShift bits — so a split lookup is an index, not a
+  /// probe. Value-initialized before CAS publication, and only ever reset
+  /// (never replaced or freed mid-run), so readers see either no
+  /// descriptor or a fully initialized one; sub-cell pointers are as
+  /// stable as page cells.
+  struct SplitSlot {
+    /// Bit i set = the cell for byte offset i has been claimed. Accounting
+    /// and recycle-iteration state only: cell initialization is published
+    /// by the descriptor CAS, not by this bitmap.
+    std::atomic<uint8_t> Owned{0};
+    Cell Cells[GranuleBytes] = {};
+  };
+
   struct Page {
     /// Exact address that claimed each granule; 0 = unclaimed.
     std::atomic<uintptr_t> Keys[SlotsPerPage] = {};
     Cell Cells[SlotsPerPage] = {};
+    /// Split descriptor per granule slot; null until the first sub-granule
+    /// collision with splitting enabled.
+    std::atomic<SplitSlot *> Subs[SlotsPerPage] = {};
   };
 
   struct Super {
@@ -365,7 +485,58 @@ private:
       if (Expected == A)
         return &P.Cells[Slot]; // Lost the race to ourselves-by-address.
     }
-    return nullptr; // Sub-granule collision: overflow table.
+    return nullptr; // Sub-granule collision: split or overflow table.
+  }
+
+  /// The sub-cell for \p A in granule \p Slot of \p P, publishing the
+  /// split descriptor on first collision. Only called with SplitEnabled.
+  Cell *splitCell(Page &P, size_t Slot, uintptr_t A) {
+    SplitSlot *S = P.Subs[Slot].load(std::memory_order_acquire);
+    if (SPD3_UNLIKELY(!S))
+      S = publishSplit(P, Slot);
+    auto Off = static_cast<unsigned>(A & (GranuleBytes - 1));
+    auto M = static_cast<uint8_t>(1u << Off);
+    // Claim the ownership bit on first use; the load-then-RMW keeps the
+    // steady state to one relaxed load. Relaxed is enough: the bit is
+    // accounting, the cell's zero-initialization was already published by
+    // the descriptor CAS (or by recycleDetached's grace period).
+    if (SPD3_UNLIKELY(!(S->Owned.load(std::memory_order_relaxed) & M)))
+      if (!(S->Owned.fetch_or(M, std::memory_order_relaxed) & M)) {
+        NumGranules.fetch_add(1, std::memory_order_relaxed);
+        obs::noteShadowGranule();
+      }
+    return &S->Cells[Off];
+  }
+
+  /// Allocate and race to publish the split descriptor for \p Slot; the
+  /// loser frees its copy. The release CAS publishes the winner's
+  /// value-initialization to every acquiring reader — no torn state is
+  /// observable.
+  SplitSlot *publishSplit(Page &P, size_t Slot) {
+    auto *Fresh = numa::createLocal<SplitSlot>(NumaAware);
+    SplitSlot *Expected = nullptr;
+    if (P.Subs[Slot].compare_exchange_strong(Expected, Fresh,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      obs::noteGranuleSplit(NumSplits.fetch_add(1,
+                                                std::memory_order_relaxed) +
+                            1);
+      return Fresh;
+    }
+    numa::destroyLocal(Fresh, NumaAware);
+    return Expected;
+  }
+
+  /// Free \p P and any split descriptors hanging off it.
+  void destroyPage(Page *P) {
+    if (!P)
+      return;
+    for (auto &Sub : P->Subs)
+      if (SplitSlot *S = Sub.load(std::memory_order_relaxed)) {
+        numa::destroyLocal(S, NumaAware);
+        NumSplits.fetch_sub(1, std::memory_order_relaxed);
+      }
+    numa::destroyLocal(P, NumaAware);
   }
 
   /// Recycled-page pool cap: enough to absorb the churn of a serving loop
@@ -375,7 +546,12 @@ private:
 
   DirSlot Dir[MaxSupers] = {};
   bool NumaAware = true;
+  /// Sub-granule collisions split instead of degrading to the overflow
+  /// table. Latched before first use (Spd3Tool construction); default off
+  /// so raw maps keep the documented collision→null contract.
+  bool SplitEnabled = false;
   std::atomic<size_t> NumGranules{0};
+  std::atomic<size_t> NumSplits{0};
   std::atomic<size_t> NumPages{0};
   std::atomic<size_t> NumSupers{0};
   std::mutex FreeMutex;

@@ -70,6 +70,22 @@ RangeTable::Range *RangeTable::findSlow(uintptr_t A) {
   return nullptr;
 }
 
+bool RangeTable::overlapsLive(uintptr_t Lo, uintptr_t Hi) {
+  uint32_t N = NumRanges.load(std::memory_order_acquire);
+  if (N > Ranges.size())
+    N = Ranges.size();
+  for (uint32_t I = 0; I < N; ++I) {
+    Range &R = Ranges[I];
+    uintptr_t B = R.Base.load(std::memory_order_acquire);
+    if (!B || Hi <= B || Lo >= R.End.load(std::memory_order_relaxed))
+      continue;
+    if (R.Dead.load(std::memory_order_relaxed))
+      continue;
+    return true;
+  }
+  return false;
+}
+
 RangeTable::Range *RangeTable::unregister(const void *Base) {
   uintptr_t B = reinterpret_cast<uintptr_t>(Base);
   uint32_t N = NumRanges.load(std::memory_order_acquire);

@@ -132,6 +132,13 @@ public:
   /// Enable/disable the per-node hit cache. Latch before concurrent use.
   void setNodeCache(bool On) { NodeCacheOn = On; }
 
+  /// Does any live range intersect [\p Lo, \p Hi)? One linear scan over
+  /// the published slots — the gather path calls this once per range
+  /// event (not per element) to prove a run lies wholly in unregistered
+  /// memory, so a small registered array embedded inside the run can
+  /// never be shadowed by freshly claimed primary-map granules.
+  bool overlapsLive(uintptr_t Lo, uintptr_t Hi);
+
   /// Tombstone the live range registered at \p Base. Returns the slot so
   /// a reclaiming caller can epoch-retire its cells and later release()
   /// it; null if absent.

@@ -48,13 +48,20 @@ public:
   ShadowSpace &operator=(const ShadowSpace &) = delete;
 
   /// The shadow cell for \p Addr, creating fallback cells on demand.
-  /// The returned pointer is stable for the space's lifetime.
+  /// The returned pointer is stable for the space's lifetime. Directory
+  /// exhaustion is counted distinctly from sub-granule collisions
+  /// (spd3/primaryExhausted + a trace event) — the overflow table absorbs
+  /// both, but a full directory is a capacity condition operators should
+  /// see, not silent degradation.
   Cell *cell(const void *Addr) {
     if (RangeTable::Range *R = Ranges.find(Addr))
       return static_cast<Cell *>(R->Cells) +
              R->indexOf(reinterpret_cast<uintptr_t>(Addr));
-    if (Cell *C = Primary.cell(Addr))
+    CellOutcome Out;
+    if (Cell *C = Primary.cell(Addr, Out))
       return C;
+    if (SPD3_UNLIKELY(Out == CellOutcome::Exhausted))
+      obs::notePrimaryExhausted();
     return Fallback.cell(Addr);
   }
 
@@ -79,6 +86,33 @@ public:
       return nullptr;
     return static_cast<Cell *>(R->Cells) + R->indexOf(A);
   }
+
+  /// Gather the cells for a prefix of \p Count contiguous elements of
+  /// \p ElemSize bytes at \p Addr into \p Out, claiming primary-map
+  /// granules (and split sub-cells) with the same exact-address keying as
+  /// per-element cell() calls; returns the prefix length. This is the
+  /// batched resolution path for runs that are not dense — sub-granule
+  /// element sizes, runs crossing shadow pages — so byte workloads keep
+  /// the amortized range path instead of degrading to per-element events.
+  /// Returns 0 when the run intersects ANY live registered range (not
+  /// just at its endpoints — a small array strictly inside the run must
+  /// still resolve per element onto its range cells, never onto freshly
+  /// claimed granules); the overlap proof is one scan of the range table
+  /// per call, amortized over the whole gathered prefix.
+  size_t gatherRunCells(const void *Addr, size_t Count, uint32_t ElemSize,
+                        Cell **Out) {
+    if (Count == 0)
+      return 0;
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    if (Ranges.overlapsLive(A, A + Count * ElemSize))
+      return 0;
+    return Primary.gatherCells(Addr, Count, ElemSize, Out);
+  }
+
+  /// Latch sub-granule splitting before first use (Spd3Options::
+  /// SplitGranules): collisions in the primary map split the granule into
+  /// per-byte sub-cells instead of degrading to the overflow table.
+  void setSplitGranules(bool On) { Primary.setSplitGranules(On); }
 
   /// NUMA-aware placement (DESIGN.md §12): latch before first use. On =
   /// range cells, primary pages, and fallback chunks are homed on the

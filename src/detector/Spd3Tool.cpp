@@ -4,6 +4,7 @@
 
 #include "obs/Obs.h"
 #include "reclaim/Reclaimer.h"
+#include "runtime/Context.h"
 #include "runtime/Task.h"
 #include "support/Env.h"
 #include "support/Numa.h"
@@ -29,6 +30,8 @@ Statistic NumRangeEvents("spd3", "rangeEvents");
 Statistic NumRangeElems("spd3", "rangeElems");
 Statistic NumRangeComputeReuse("spd3", "rangeComputeReuse");
 Statistic NumRangeCacheHits("spd3", "rangeCacheHits");
+Statistic NumRangeGathers("spd3", "rangeGathers");
+Statistic NumStepFilterHits("spd3", "stepFilterHits");
 } // namespace
 
 /// Cache-entry validity tag: entries are only trusted when they were
@@ -137,6 +140,14 @@ struct RangeCheckCache {
     size_t Bytes = 0;
     CacheKey Key;
     uint8_t Mode = 0;
+    /// Element size of the cached run. Byte containment alone is NOT a
+    /// subsumption proof: an 8-byte-element run over unregistered memory
+    /// checks one granule cell per element, while a 1-byte-element sub-run
+    /// over the same bytes checks a distinct (split or overflow) cell per
+    /// byte — different shadow locations entirely. Containment only elides
+    /// when the element grids coincide: same element size and an
+    /// element-aligned offset into the cached run.
+    uint32_t Elem = 0;
   };
   Entry Entries[Size];
 
@@ -145,31 +156,33 @@ struct RangeCheckCache {
     return (A >> 6) & (Size - 1);
   }
 
-  /// True if [\p Base, \p Base + \p Bytes) is *contained* in any cached
-  /// checked run of the same step with the same-or-stronger mode — not
-  /// just an exact-base prefix. A sub-run's base hashes to a different
+  /// True if [\p Base, \p Base + \p Bytes) at element size \p ElemSize is
+  /// *contained* in any cached checked run of the same step with the
+  /// same-or-stronger mode and the same element grid — not just an
+  /// exact-base prefix. A sub-run's base hashes to a different
   /// direct-mapped slot than the enclosing run's, so containment needs a
   /// scan; at 16 entries it is a handful of compares against a check that
   /// would otherwise walk every element.
-  bool covers(const void *Base, size_t Bytes, const CacheKey &Key,
-              uint8_t Mode) const {
+  bool covers(const void *Base, size_t Bytes, uint32_t ElemSize,
+              const CacheKey &Key, uint8_t Mode) const {
     uintptr_t A = reinterpret_cast<uintptr_t>(Base);
     for (const Entry &E : Entries) {
-      if (!E.Base || !(E.Key == Key) || E.Mode < Mode)
+      if (!E.Base || !(E.Key == Key) || E.Mode < Mode || E.Elem != ElemSize)
         continue;
       uintptr_t B = reinterpret_cast<uintptr_t>(E.Base);
-      if (A >= B && A + Bytes <= B + E.Bytes)
+      if (A >= B && (A - B) % E.Elem == 0 && A + Bytes <= B + E.Bytes)
         return true;
     }
     return false;
   }
 
-  void insert(const void *Base, size_t Bytes, const CacheKey &Key,
-              uint8_t Mode) {
+  void insert(const void *Base, size_t Bytes, uint32_t ElemSize,
+              const CacheKey &Key, uint8_t Mode) {
     Entry &E = Entries[slot(Base)];
-    if (E.Base == Base && E.Key == Key && E.Mode > Mode && E.Bytes >= Bytes)
+    if (E.Base == Base && E.Key == Key && E.Mode > Mode &&
+        E.Bytes >= Bytes && E.Elem == ElemSize)
       return; // Keep the stronger (write) mode.
-    E = Entry{Base, Bytes, Key, Mode};
+    E = Entry{Base, Bytes, Key, Mode, ElemSize};
   }
 };
 
@@ -220,6 +233,19 @@ Spd3Tool::Spd3Tool(RaceSink &Sink, Spd3Options Opts)
     Locks = new PaddedMutex[NumLocks];
   if (Opts.Reclaim)
     Rec = std::make_unique<reclaim::Reclaimer>(Tree);
+  // Granule splitting and the step filter are on by default; the env
+  // knobs force-override either way (ablation legs, field kill switches).
+  std::string GEnv = envString("SPD3_SPLIT_GRANULES", "");
+  if (GEnv == "on" || GEnv == "1")
+    this->Opts.SplitGranules = true;
+  else if (GEnv == "off" || GEnv == "0")
+    this->Opts.SplitGranules = false;
+  Shadow.setSplitGranules(this->Opts.SplitGranules);
+  std::string FEnv = envString("SPD3_STEP_FILTER", "");
+  if (FEnv == "on" || FEnv == "1")
+    this->Opts.StepFilter = true;
+  else if (FEnv == "off" || FEnv == "0")
+    this->Opts.StepFilter = false;
   // SPD3_SAMPLING force-overrides the option either way; the budget knob
   // only tunes a sampler that is on.
   std::string SEnv = envString("SPD3_SAMPLING", "");
@@ -260,6 +286,15 @@ void Spd3Tool::advanceStep(TaskState *TS, Node *S) {
   // the previous occupant, making collision impossible).
   TS->StepEpoch = Rec ? EpochSource.fetch_add(1, std::memory_order_relaxed)
                       : TS->StepEpoch + 1;
+  // Step boundary on the executing thread: invalidate its hook-level
+  // filter (the Runtime bumps it again on task switches) and bank the
+  // elisions it earned during the step that just ended.
+  auto &Filter = rt::detail::Ctx.Filter;
+  Filter.advance();
+  if (Filter.Hits) {
+    NumStepFilterHits += Filter.Hits;
+    Filter.Hits = 0;
+  }
 }
 
 dpst::Node *Spd3Tool::currentStep(rt::Task &T) {
@@ -308,6 +343,14 @@ void Spd3Tool::onTaskCreate(rt::Task &Parent, rt::Task &Child) {
 }
 
 void Spd3Tool::onTaskEnd(rt::Task &T) {
+  // Bank the final step's hook-level elisions: advanceStep only runs on
+  // transitions *within* a task, so the hits of its last step would
+  // otherwise sit unflushed in the worker's context.
+  auto &Filter = rt::detail::Ctx.Filter;
+  if (Filter.Hits) {
+    NumStepFilterHits += Filter.Hits;
+    Filter.Hits = 0;
+  }
   // Service mode: the runtime calls no further hook for this task, so its
   // record can back the next spawn. Worker caches may still hold entries
   // keyed on this address, but their epochs are never reissued (see
@@ -713,8 +756,9 @@ void Spd3Tool::memoryAction(TaskState *TS, Cell &C, const void *Addr,
   }
 }
 
-void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
-                           size_t Count, uint32_t ElemSize, bool IsWrite) {
+template <typename CellAt>
+void Spd3Tool::rangeActionImpl(TaskState *TS, CellAt At, const void *Addr,
+                               size_t Count, uint32_t ElemSize, bool IsWrite) {
   Node *Step = TS->CurStep;
   const char *Base = static_cast<const char *>(Addr);
 
@@ -730,7 +774,7 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
 
   if (Opts.Proto == Spd3Options::Protocol::Mutex) {
     for (size_t I = 0; I < Count; ++I) {
-      Cell &C = Cells[I];
+      Cell &C = At(I);
       const void *EA = Base + I * ElemSize;
       size_t Idx = (reinterpret_cast<uintptr_t>(&C) >> 4) & (NumLocks - 1);
       std::lock_guard<std::mutex> Lock(Locks[Idx].M);
@@ -785,7 +829,7 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
   // (reusing across a torn read would be unsound). Contention on any one
   // element falls back to the full per-element action.
   auto Element = [&](size_t I) {
-    Cell &C = Cells[I];
+    Cell &C = At(I);
     const void *EA = Base + I * ElemSize;
     uint32_t X = C.StartVersion.load(std::memory_order_acquire);
     Node *W = C.W.load(std::memory_order_relaxed);
@@ -867,17 +911,17 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
     alignas(32) uint64_t T1[simd::kBlockLanes] = {};
     alignas(32) uint64_t T2[simd::kBlockLanes] = {};
     for (unsigned J = 0; J < N; ++J)
-      SV[J] = Cells[I + J].StartVersion.load(std::memory_order_relaxed);
+      SV[J] = At(I + J).StartVersion.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     for (unsigned J = 0; J < N; ++J) {
-      Cell &C = Cells[I + J];
+      Cell &C = At(I + J);
       TW[J] = reinterpret_cast<uint64_t>(C.W.load(std::memory_order_relaxed));
       T1[J] = reinterpret_cast<uint64_t>(C.R1.load(std::memory_order_relaxed));
       T2[J] = reinterpret_cast<uint64_t>(C.R2.load(std::memory_order_relaxed));
     }
     std::atomic_thread_fence(std::memory_order_acquire);
     for (unsigned J = 0; J < N; ++J)
-      EV[J] = Cells[I + J].EndVersion.load(std::memory_order_relaxed);
+      EV[J] = At(I + J).EndVersion.load(std::memory_order_relaxed);
 
     const unsigned Lanes = (1u << N) - 1;
     const unsigned Valid = simd::equalMaskU32(SB, SV, EV, N);
@@ -919,15 +963,68 @@ void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
         flushRaces(BlockOut, EA, Step, BW, BR1, BR2);
         continue;
       }
-      if (!applyUpdate(Cells[I + J], SV[J], IsWrite, BlockOut)) {
+      if (!applyUpdate(At(I + J), SV[J], IsWrite, BlockOut)) {
         // Lost the CAS: another updater intervened; run the full action.
-        memoryAction(TS, Cells[I + J], EA, IsWrite);
+        memoryAction(TS, At(I + J), EA, IsWrite);
         continue;
       }
       flushRaces(BlockOut, EA, Step, BW, BR1, BR2);
     }
     I += N;
   }
+}
+
+void Spd3Tool::rangeAction(TaskState *TS, Cell *Cells, const void *Addr,
+                           size_t Count, uint32_t ElemSize, bool IsWrite) {
+  rangeActionImpl(TS, [Cells](size_t I) -> Cell & { return Cells[I]; }, Addr,
+                  Count, ElemSize, IsWrite);
+}
+
+void Spd3Tool::rangeActionPtrs(TaskState *TS, Cell *const *Ptrs,
+                               const void *Addr, size_t Count,
+                               uint32_t ElemSize, bool IsWrite) {
+  rangeActionImpl(TS, [Ptrs](size_t I) -> Cell & { return *Ptrs[I]; }, Addr,
+                  Count, ElemSize, IsWrite);
+}
+
+bool Spd3Tool::gatherRangeAction(rt::Task &T, TaskState *TS, const void *Addr,
+                                 size_t Count, uint32_t ElemSize,
+                                 bool IsWrite) {
+  // Chunked gather: resolve up to kChunk per-element cells at a time
+  // (split sub-cells included) and run the batched block path over the
+  // pointer run. The chunk bounds the stack frame, not the range — a
+  // page-crossing or million-element run just iterates.
+  constexpr size_t kChunk = 256;
+  Cell *Ptrs[kChunk];
+  const char *Base = static_cast<const char *>(Addr);
+  size_t Done = 0;
+  while (Done < Count) {
+    size_t Want = std::min(kChunk, Count - Done);
+    size_t Got = Shadow.gatherRunCells(Base + Done * ElemSize, Want, ElemSize,
+                                       Ptrs);
+    if (Got == 0)
+      break;
+    ++NumRangeGathers;
+    rangeActionPtrs(TS, Ptrs, Base + Done * ElemSize, Got, ElemSize, IsWrite);
+    Done += Got;
+    if (Got < Want)
+      break; // Collision/exhaustion tail: overflow-table territory.
+  }
+  if (Done == 0)
+    return false;
+  ++NumRangeEvents;
+  NumRangeElems += Done;
+  obs::emit(IsWrite ? obs::EventKind::RangeWrite : obs::EventKind::RangeRead,
+            reinterpret_cast<uint64_t>(Addr), static_cast<uint32_t>(Done));
+  if (Done < Count) {
+    // Ungatherable tail: expand it element-wise through the base-class
+    // path, which keys the overflow table exactly as scalar hooks would.
+    if (IsWrite)
+      Tool::onWriteRange(T, Base + Done * ElemSize, Count - Done, ElemSize);
+    else
+      Tool::onReadRange(T, Base + Done * ElemSize, Count - Done, ElemSize);
+  }
+  return true;
 }
 
 bool Spd3Tool::wideScalarAction(TaskState *TS, const void *Addr,
@@ -962,6 +1059,13 @@ void Spd3Tool::onRead(rt::Task &T, const void *Addr, uint32_t Size) {
   if (Sam && !Sam->admit(Addr))
     return;
   TaskState *TS = state(T);
+  // Hook-level filter: once this (admitted) check runs — or is proven
+  // subsumed by the CheckCache below — any repeat with same-or-weaker
+  // mode and width in the same step is elided in mem::read before the
+  // tool is even entered. Inserting before the CheckCache early return is
+  // sound: a covered access is itself proof the stronger check ran.
+  if (Opts.StepFilter)
+    rt::detail::Ctx.Filter.insert(Addr, Size, /*Mode=*/1);
   if (Opts.CheckCache) {
     CacheKey Key{Generation, TS, TS->StepEpoch};
     CheckCache &Cache = TheWorkerCaches.Cache;
@@ -986,6 +1090,8 @@ void Spd3Tool::onWrite(rt::Task &T, const void *Addr, uint32_t Size) {
   if (Sam && !Sam->admit(Addr))
     return;
   TaskState *TS = state(T);
+  if (Opts.StepFilter)
+    rt::detail::Ctx.Filter.insert(Addr, Size, /*Mode=*/2);
   if (Opts.CheckCache) {
     CacheKey Key{Generation, TS, TS->StepEpoch};
     CheckCache &Cache = TheWorkerCaches.Cache;
@@ -1024,18 +1130,22 @@ void Spd3Tool::onReadRange(rt::Task &T, const void *Addr, size_t Count,
   size_t Bytes = Count * ElemSize;
   if (Opts.CheckCache) {
     RangeCheckCache &Cache = TheWorkerCaches.Ranges;
-    if (Cache.covers(Addr, Bytes, Key, /*Mode=*/1)) {
+    if (Cache.covers(Addr, Bytes, ElemSize, Key, /*Mode=*/1)) {
       ++NumRangeCacheHits;
       return;
     }
-    Cache.insert(Addr, Bytes, Key, /*Mode=*/1);
+    Cache.insert(Addr, Bytes, ElemSize, Key, /*Mode=*/1);
   }
   // One pin for the whole run (the expansion fallback nests its own pins
   // per element, which the guard's depth counting permits).
   reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
   Cell *Cells = Shadow.runCells(Addr, Count, ElemSize);
   if (!Cells) {
-    // Not a registered contiguous run (hash-fallback territory): expand.
+    // Not a dense registered run. Gather per-element cells (splitting
+    // granules for sub-word strides) and keep the batched path; only an
+    // ungatherable run degrades to element-wise expansion.
+    if (gatherRangeAction(T, TS, Addr, Count, ElemSize, /*IsWrite=*/false))
+      return;
     Tool::onReadRange(T, Addr, Count, ElemSize);
     return;
   }
@@ -1064,15 +1174,17 @@ void Spd3Tool::onWriteRange(rt::Task &T, const void *Addr, size_t Count,
   size_t Bytes = Count * ElemSize;
   if (Opts.CheckCache) {
     RangeCheckCache &Cache = TheWorkerCaches.Ranges;
-    if (Cache.covers(Addr, Bytes, Key, /*Mode=*/2)) {
+    if (Cache.covers(Addr, Bytes, ElemSize, Key, /*Mode=*/2)) {
       ++NumRangeCacheHits;
       return;
     }
-    Cache.insert(Addr, Bytes, Key, /*Mode=*/2);
+    Cache.insert(Addr, Bytes, ElemSize, Key, /*Mode=*/2);
   }
   reclaim::EpochManager::PinGuard Pin(Rec ? &Rec->epochs() : nullptr);
   Cell *Cells = Shadow.runCells(Addr, Count, ElemSize);
   if (!Cells) {
+    if (gatherRangeAction(T, TS, Addr, Count, ElemSize, /*IsWrite=*/true))
+      return;
     Tool::onWriteRange(T, Addr, Count, ElemSize);
     return;
   }

@@ -95,6 +95,26 @@ struct Spd3Options {
   /// and keep a per-node RangeTable hit cache. No-op on single-node hosts
   /// or under SPD3_NUMA=off; off = plain process-wide allocation.
   bool NumaShadow = true;
+  /// Variable-granularity shadow (DESIGN.md §14): on the first sub-granule
+  /// collision in an 8-byte primary-map granule, split the granule into a
+  /// CAS-published per-byte descriptor instead of degrading every collided
+  /// address to the open-addressed overflow table. Byte/short workloads
+  /// over unregistered memory then stay on the O(1) primary path (and the
+  /// batched gather path below), which is where the 4.5–6.8× byte-workload
+  /// tax came from. Verdict-preserving: both stores key one fresh zero
+  /// cell per distinct monitored address. SPD3_SPLIT_GRANULES=on|off
+  /// force-overrides at tool construction.
+  bool SplitGranules = true;
+  /// Per-step redundant-check filter (runtime/Context.h): a tiny direct-
+  /// mapped table on the thread's ExecContext that the inline hooks
+  /// consult BEFORE the tool call and before the sampling gate, eliding
+  /// repeats of a same-or-stronger check within one step for the cost of
+  /// a thread-local compare. Subsumes the CheckCache's early return on the
+  /// hot half of its hits without entering the tool at all, and keeps free
+  /// re-checks out of the sampling controller's cost estimator. Verdict-
+  /// preserving for the same Section 5.5 reasons as CheckCache.
+  /// SPD3_STEP_FILTER=on|off force-overrides at tool construction.
+  bool StepFilter = true;
   /// Service mode (DESIGN.md §10): retire completed finish-scope subtrees
   /// once no live shadow triple references them, collapse them into
   /// summary nodes, and recycle DPST node storage, range-table slots, and
@@ -232,11 +252,31 @@ private:
   /// Algorithm 1 vs Algorithm 2.
   void memoryAction(TaskState *TS, Cell &C, const void *Addr, bool IsWrite);
 
-  /// Batched memory action over \p Count contiguous cells: one compute
-  /// stage per distinct shadow triple, per-element protocol entry only for
-  /// updates (and full per-element retry on contention).
+  /// Batched memory action over \p Count cells addressed by \p At
+  /// (index -> Cell&): one compute stage per distinct shadow triple,
+  /// per-element protocol entry only for updates (and full per-element
+  /// retry on contention). Instantiated for dense runs (rangeAction) and
+  /// gathered pointer runs (rangeActionPtrs).
+  template <typename CellAt>
+  void rangeActionImpl(TaskState *TS, CellAt At, const void *Addr,
+                       size_t Count, uint32_t ElemSize, bool IsWrite);
+
+  /// rangeActionImpl over a dense cell run (registered ranges).
   void rangeAction(TaskState *TS, Cell *Cells, const void *Addr, size_t Count,
                    uint32_t ElemSize, bool IsWrite);
+
+  /// rangeActionImpl over a gathered array of cell pointers (split /
+  /// primary-map granules resolved by ShadowSpace::gatherRunCells).
+  void rangeActionPtrs(TaskState *TS, Cell *const *Ptrs, const void *Addr,
+                       size_t Count, uint32_t ElemSize, bool IsWrite);
+
+  /// Batched range over unregistered memory: gather per-element cells
+  /// (splitting granules on demand) in bounded chunks and run the block
+  /// path over them; any ungatherable tail is expanded element-wise.
+  /// False when nothing could be gathered — the caller falls back to full
+  /// element-wise expansion.
+  bool gatherRangeAction(rt::Task &T, TaskState *TS, const void *Addr,
+                         size_t Count, uint32_t ElemSize, bool IsWrite);
 
   /// Scalar access wider than one shadow cell: check every covered cell
   /// (registered runs go through rangeAction; unregistered memory walks

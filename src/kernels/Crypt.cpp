@@ -15,6 +15,7 @@
 #include "kernels/Kernels.h"
 
 #include "kernels/Idea.h"
+#include "support/PhaseProbe.h"
 #include "support/Prng.h"
 
 namespace spd3::kernels {
@@ -43,6 +44,7 @@ public:
   const char *source() const override { return "JGF"; }
 
   KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    phase::begin();
     size_t Bytes = bytesFor(Cfg.Size);
     size_t Blocks = Bytes / 8;
     Prng Rng(Cfg.Seed);
@@ -66,6 +68,7 @@ public:
       uint8_t *Init = Text.writeRun(0, Bytes);
       for (size_t I = 0; I < Bytes; ++I)
         Init[I] = Plain[I];
+      phase::markSetup();
 
       auto Pass = [&](detector::TrackedArray<uint8_t> &Src,
                       detector::TrackedArray<uint8_t> &Dst,
@@ -89,6 +92,7 @@ public:
       };
       Pass(Text, Crypt1, EK);   // encrypt
       Pass(Crypt1, Crypt2, DK); // decrypt
+      phase::markCompute();
 
       const uint8_t *Result = Crypt2.readRun(0, Bytes);
       for (size_t I = 0; I < Bytes; ++I) {

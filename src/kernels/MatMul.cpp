@@ -13,6 +13,7 @@
 #include "kernels/Kernel.h"
 #include "kernels/Kernels.h"
 
+#include "support/PhaseProbe.h"
 #include "support/Prng.h"
 
 namespace spd3::kernels {
@@ -41,6 +42,7 @@ public:
   const char *source() const override { return "EC2"; }
 
   KernelResult execute(rt::Runtime &RT, const KernelConfig &Cfg) override {
+    phase::begin();
     size_t N = sideFor(Cfg.Size);
     std::vector<double> RefA(N * N), RefB(N * N), Out(N * N);
     Prng Rng(Cfg.Seed);
@@ -61,6 +63,7 @@ public:
         InitA[I] = RefA[I];
         InitB[I] = RefB[I];
       }
+      phase::markSetup();
 
       detail::forAll(Cfg, N, [&](size_t Row) {
         // The row task reads its row of A and (over the column loop) every
@@ -77,6 +80,7 @@ public:
         if (Cfg.SeedRace && (Row == 0 || Row == N - 1))
           detail::seedRaceWrite(RaceCell, Row);
       });
+      phase::markCompute();
 
       const double *Cres = C.readRun(0, N * N);
       for (size_t I = 0; I < N * N; ++I) {

@@ -31,6 +31,8 @@ Statistic NumShadowSupers("shadow", "primarySupers");
 Statistic NumShadowGranules("shadow", "primaryCells");
 Statistic NumRangeCellsReclaimed("shadow", "rangeCellsReclaimed");
 Statistic NumShadowPagesRecycled("shadow", "primaryPagesRecycled");
+Statistic NumGranuleSplits("shadow", "splitGranules");
+Statistic NumPrimaryExhausted("spd3", "primaryExhausted");
 Statistic NumEventsEmitted("obs", "eventsEmitted");
 
 /// One registered per-thread ring. Owned by the registry (never freed
@@ -207,6 +209,10 @@ const char *eventKindName(EventKind K) {
     return "reclaim.pageRecycle";
   case EventKind::SampleElide:
     return "sample.elide";
+  case EventKind::GranuleSplit:
+    return "shadow.split";
+  case EventKind::PrimaryExhausted:
+    return "shadow.exhausted";
   }
   return "?";
 }
@@ -333,6 +339,16 @@ void noteRangeCellsReclaimed(size_t Count) { NumRangeCellsReclaimed += Count; }
 void noteShadowPageRecycled(size_t ResidentPages) {
   ++NumShadowPagesRecycled;
   emit(EventKind::PageRecycle, ResidentPages);
+}
+
+void noteGranuleSplit(size_t ResidentSplits) {
+  ++NumGranuleSplits;
+  emit(EventKind::GranuleSplit, ResidentSplits);
+}
+
+void notePrimaryExhausted() {
+  ++NumPrimaryExhausted;
+  emit(EventKind::PrimaryExhausted);
 }
 
 size_t retainedEvents() {

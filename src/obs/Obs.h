@@ -141,6 +141,11 @@ void noteShadowGranule();
 /// epoch manager, primary-map pages returned to the page free list.
 void noteRangeCellsReclaimed(size_t Count);
 void noteShadowPageRecycled(size_t ResidentPages);
+/// Variable granularity (DESIGN.md §14): a granule slot split into
+/// per-byte sub-cells, and the superpage directory refusing a lookup
+/// because its fixed capacity is exhausted.
+void noteGranuleSplit(size_t ResidentSplits);
+void notePrimaryExhausted();
 /// @}
 
 /// \name Introspection / test support

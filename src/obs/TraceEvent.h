@@ -37,6 +37,8 @@
 ///   SummaryCollapse finish node id  nodes absorbed -
 ///   PageRecycle   resident pages    -              -
 ///   SampleElide   address           elided elems   -
+///   GranuleSplit  resident splits   -              -
+///   PrimaryExhausted -              -              -
 ///
 /// Task and scope ids are the runtime object addresses: unique while live,
 /// stable across the B/E pair, and meaningless afterwards — exactly what a
@@ -74,6 +76,8 @@ enum class EventKind : uint16_t {
   SummaryCollapse,
   PageRecycle,
   SampleElide,
+  GranuleSplit,
+  PrimaryExhausted,
 };
 
 /// Outcome classes for Check*/Range* events (the Aux field): how the

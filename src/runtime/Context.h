@@ -13,6 +13,9 @@
 #ifndef SPD3_RUNTIME_CONTEXT_H
 #define SPD3_RUNTIME_CONTEXT_H
 
+#include <cstddef>
+#include <cstdint>
+
 namespace spd3::detector {
 class Tool;
 } // namespace spd3::detector
@@ -25,6 +28,70 @@ class Task;
 namespace detail {
 
 struct WorkerState;
+
+/// Per-step redundant-check filter (DESIGN.md §14). A step is sequential,
+/// so the second and later checks of the same location with the same or
+/// weaker access mode and width cannot add new DMHP facts beyond the
+/// strongest first check — exactly the within-step elimination the paper's
+/// static pass performs (Section 5.5), done dynamically at the hook. The
+/// inline hooks consult it *before* the tool call and before the sampling
+/// skip, so elided re-checks never reach the sampling controller's cost
+/// estimator (a free re-check would otherwise dilute its per-check cost
+/// signal). Only the installed tool inserts (Spd3Tool, after the sampler
+/// admits and the access is checked or known-subsumed); a tool whose
+/// checks are not idempotent per step — e.g. a lockset detector observing
+/// acquires mid-step — simply never inserts and nothing is elided.
+///
+/// Entries validate against the thread's current epoch, which advances on
+/// every step transition and every task switch on this worker (Spd3Tool::
+/// advanceStep and Runtime's execute()); stale entries die by comparison,
+/// no clearing pass.
+struct StepFilter {
+  static constexpr size_t Size = 64; // power of two, ~1.5 KiB per thread
+  struct Entry {
+    const void *Addr = nullptr;
+    uint64_t Epoch = 0;
+    uint32_t Width = 0;
+    uint8_t Mode = 0; // 1 = read checked, 2 = write checked
+  };
+  Entry Entries[Size];
+  /// Current step stamp. Starts at 1 so value-initialized entries
+  /// (Epoch 0) can never validate.
+  uint64_t Epoch = 1;
+  /// Checks elided this thread (flushed into spd3/stepFilterHits at step
+  /// boundaries by the inserting tool).
+  uint64_t Hits = 0;
+
+  static size_t slot(const void *Addr) {
+    auto A = reinterpret_cast<uintptr_t>(Addr);
+    // Mix so both byte-strided and word-strided access patterns spread
+    // over the table instead of fighting over a few slots.
+    return (A ^ (A >> 6)) & (Size - 1);
+  }
+
+  /// Is a check of \p Mode at \p Width bytes on \p Addr subsumed by an
+  /// earlier check recorded in this step?
+  bool covers(const void *Addr, uint32_t Width, uint8_t Mode) const {
+    const Entry &E = Entries[slot(Addr)];
+    return E.Addr == Addr && E.Epoch == Epoch && E.Mode >= Mode &&
+           E.Width >= Width;
+  }
+
+  /// Record a performed (or provably subsumed) check. Write dominates
+  /// read: an existing same-or-stronger entry is kept, so a read after a
+  /// write never downgrades the slot.
+  void insert(const void *Addr, uint32_t Width, uint8_t Mode) {
+    Entry &E = Entries[slot(Addr)];
+    if (E.Addr == Addr && E.Epoch == Epoch && E.Mode >= Mode &&
+        E.Width >= Width)
+      return;
+    E = Entry{Addr, Epoch, Width, Mode};
+  }
+
+  /// Invalidate every entry (step boundary / task switch): bump the epoch
+  /// instead of touching the table.
+  void advance() { ++Epoch; }
+};
 
 /// Per-OS-thread execution state. Tool is cached here so the memory-access
 /// fast path is a single thread-local load plus a null test when running
@@ -42,6 +109,9 @@ struct ExecContext {
   /// no sampling detector is installed; reset with the rest of the
   /// context whenever a worker binds to a runtime.
   size_t SampleSkip = 0;
+  /// Per-step redundant-check filter; reset (entries and epoch) with the
+  /// rest of the context whenever a worker binds to a runtime.
+  StepFilter Filter;
 };
 
 extern thread_local ExecContext Ctx;

@@ -30,6 +30,13 @@ inline void read(const void *Addr, uint32_t Size) {
   auto &C = rt::detail::Ctx;
   if (SPD3_LIKELY(!C.Tool))
     return;
+  // Per-step redundant-check filter: a repeat of a same-or-stronger check
+  // already recorded for this step is elided here, before the sampling
+  // skip, so free re-checks never reach the controller's cost estimator.
+  if (C.Filter.covers(Addr, Size, /*Mode=*/1)) {
+    ++C.Filter.Hits;
+    return;
+  }
   // Pre-elided by the sampling controller: consume one element of the
   // armed skip and never enter the tool (see ExecContext::SampleSkip).
   // Likely: at converged sampling rates nearly every event is elided.
@@ -45,6 +52,10 @@ inline void write(const void *Addr, uint32_t Size) {
   auto &C = rt::detail::Ctx;
   if (SPD3_LIKELY(!C.Tool))
     return;
+  if (C.Filter.covers(Addr, Size, /*Mode=*/2)) {
+    ++C.Filter.Hits;
+    return;
+  }
   if (SPD3_LIKELY(C.SampleSkip)) {
     --C.SampleSkip;
     return;

@@ -57,6 +57,10 @@ struct Runtime::Impl {
   void execute(Runtime *RT, Task *T) {
     Task *Saved = Ctx.Cur;
     Ctx.Cur = T;
+    // Task switch on this worker: entries the outgoing task's step
+    // recorded in the per-step check filter must not validate for the
+    // incoming one (and vice versa on restore).
+    Ctx.Filter.advance();
     obs::emit(obs::EventKind::TaskStart, reinterpret_cast<uint64_t>(T));
     if (detector::Tool *Tool = Ctx.Tool)
       Tool->onTaskStart(*T);
@@ -68,6 +72,7 @@ struct Runtime::Impl {
       Tool->onTaskEnd(*T);
     obs::emit(obs::EventKind::TaskEnd, reinterpret_cast<uint64_t>(T));
     Ctx.Cur = Saved;
+    Ctx.Filter.advance();
     // Release ordering publishes the task's effects to whoever observes
     // Pending reach zero at end-finish.
     T->Ief->Pending.fetch_sub(1, std::memory_order_acq_rel);

@@ -1,0 +1,54 @@
+//===- support/PhaseProbe.cpp - Setup/compute phase timing -----------------===//
+
+#include "support/PhaseProbe.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spd3::phase {
+namespace {
+
+int64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<int64_t> SpanStart{0};
+std::atomic<int64_t> SetupNanos{0};
+std::atomic<int64_t> ComputeNanos{0};
+
+} // namespace
+
+void begin() {
+  SetupNanos.store(0, std::memory_order_relaxed);
+  ComputeNanos.store(0, std::memory_order_relaxed);
+  SpanStart.store(nowNanos(), std::memory_order_relaxed);
+}
+
+void markSetup() {
+  int64_t Now = nowNanos();
+  SetupNanos.store(Now - SpanStart.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  SpanStart.store(Now, std::memory_order_relaxed);
+}
+
+void markCompute() {
+  int64_t Now = nowNanos();
+  ComputeNanos.store(Now - SpanStart.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  SpanStart.store(Now, std::memory_order_relaxed);
+}
+
+double setupSeconds() {
+  return static_cast<double>(SetupNanos.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double computeSeconds() {
+  return static_cast<double>(ComputeNanos.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+} // namespace spd3::phase

@@ -1,0 +1,46 @@
+//===- support/PhaseProbe.h - Setup/compute phase timing --------*- C++ -*-===//
+//
+// Part of the SPD3 reproduction (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock phase accumulators behind the per-phase rows of the
+/// auto-instrumentation overhead bench. A kernel (hand-instrumented or
+/// auto-instrumented twin) calls begin() on entry, markSetup() once
+/// allocation + serial initialization is done, and markCompute() when its
+/// parallel passes finish; bench/autoinst_overhead.cpp reads the two spans
+/// after the run. Whole-run ratios fold allocator and init noise into the
+/// denominator, which masks shadow-path wins that live entirely in the
+/// compute phase — the breakdown rows exist so those wins are visible and
+/// so drift normalization can exclude them (check_regression.py treats
+/// `phase-*` sections like curve rows).
+///
+/// One probe, one run at a time: the accumulators are process-wide, and
+/// the marks may fire on a runtime worker thread while begin() and the
+/// readers run on the caller's thread, so everything is relaxed atomics
+/// (the runtime's run()/join supplies the cross-thread ordering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPD3_SUPPORT_PHASEPROBE_H
+#define SPD3_SUPPORT_PHASEPROBE_H
+
+namespace spd3::phase {
+
+/// Reset the accumulators and start the setup span.
+void begin();
+
+/// End the setup span (allocation + serial init) and start compute.
+void markSetup();
+
+/// End the compute span (the instrumented parallel passes).
+void markCompute();
+
+/// Spans recorded by the most recent begin()/mark sequence, in seconds.
+double setupSeconds();
+double computeSeconds();
+
+} // namespace spd3::phase
+
+#endif // SPD3_SUPPORT_PHASEPROBE_H

@@ -1,0 +1,521 @@
+//===- tests/PrimaryMapSplitTests.cpp - Variable-granularity shadow tests --===//
+//
+// The split-granule primary map (detector/PrimaryMap.h with
+// setSplitGranules(true)) resolves sub-granule collisions to per-byte
+// sub-cells instead of degrading to the overflow hash table. These tests
+// pin down:
+//
+//  - the CellOutcome contract: collision and directory exhaustion are
+//    distinct null causes (and exhaustion is counted in
+//    spd3/primaryExhausted);
+//  - split semantics: one stable cell per distinct monitored address at
+//    mixed 1/2/4/8-byte widths, one descriptor per split granule,
+//    first-touch races between concurrent splitters converge on the same
+//    cells;
+//  - gatherCells(): per-element resolution of byte-stride runs, page
+//    crossing, prefix truncation at collisions when splitting is off, and
+//    refusal of runs overlapping registered ranges (even ranges strictly
+//    inside the run);
+//  - split-under-reclaim: recycleDetached resets split sub-cells exactly
+//    once each, keeps descriptors attached for reuse, and reused pages
+//    hand out fresh zero cells;
+//  - the verdict-preservation property: on random structured programs over
+//    raw sub-word variables, the split build reports byte-identical race
+//    sets and provenance to the overflow-table build, across the Reclaim
+//    and SIMD dimensions, with Sampling admitting a subset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "detector/PrimaryMap.h"
+#include "detector/ShadowSpace.h"
+#include "detector/Spd3Tool.h"
+#include "reclaim/Reclaimer.h"
+#include "runtime/Instrument.h"
+#include "runtime/Runtime.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using namespace spd3;
+using namespace spd3::tests;
+using detector::CellOutcome;
+using detector::PrimaryMap;
+using detector::RaceKind;
+using detector::RaceSink;
+using detector::ShadowSpace;
+using detector::Spd3Options;
+using detector::Spd3Tool;
+
+struct TestCell {
+  std::atomic<uint64_t> Value{0};
+};
+
+const void *addr(uintptr_t A) { return reinterpret_cast<const void *>(A); }
+
+/// Synthetic page-aligned base far from anything the process maps (the map
+/// only uses addresses as keys; they are never dereferenced).
+constexpr uintptr_t kBase = uintptr_t(0x6100) << 32;
+
+//===----------------------------------------------------------------------===//
+// CellOutcome (satellite: exhaustion vs collision are distinct nulls)
+//===----------------------------------------------------------------------===//
+
+TEST(PrimaryMapSplit, OutcomeDistinguishesCollisionFromExhaustion) {
+  auto Map = std::make_unique<PrimaryMap<TestCell>>();
+  CellOutcome Out;
+  ASSERT_NE(Map->cell(addr(kBase), Out), nullptr);
+  EXPECT_EQ(Out, CellOutcome::Hit);
+  // Splitting off: a foreign address in the owned granule is a Collision.
+  EXPECT_EQ(Map->cell(addr(kBase + 3), Out), nullptr);
+  EXPECT_EQ(Out, CellOutcome::Collision);
+  // Flood the 1024-slot superpage directory, then one more region: the
+  // null must be reported as Exhausted, not Collision.
+  for (size_t I = 1; I < 1200; ++I)
+    Map->cell(addr(kBase + I * (uintptr_t(2) << 20)));
+  EXPECT_EQ(Map->superCount(), 1024u);
+  EXPECT_EQ(Map->cell(addr(kBase + 1300 * (uintptr_t(2) << 20)), Out),
+            nullptr);
+  EXPECT_EQ(Out, CellOutcome::Exhausted);
+}
+
+TEST(PrimaryMapSplit, ExhaustionIsCountedAndServedByOverflow) {
+  Statistic *S = stats::lookup("spd3", "primaryExhausted");
+  ASSERT_NE(S, nullptr);
+  uint64_t Before = S->value();
+  ShadowSpace<TestCell> Space;
+  for (size_t I = 0; I < 1200; ++I)
+    ASSERT_NE(Space.cell(addr(kBase + I * (uintptr_t(2) << 20))), nullptr);
+  // 1024 regions fit the directory; the rest were served by the overflow
+  // table and each counted as an exhaustion event.
+  EXPECT_EQ(S->value() - Before, 1200u - 1024u);
+  // Collisions must NOT count as exhaustion.
+  uint64_t Mid = S->value();
+  ASSERT_NE(Space.cell(addr(kBase + 5)), nullptr); // splits are off: overflow
+  EXPECT_EQ(S->value(), Mid);
+}
+
+//===----------------------------------------------------------------------===//
+// Split semantics
+//===----------------------------------------------------------------------===//
+
+TEST(PrimaryMapSplit, OneStableCellPerByteOffset) {
+  PrimaryMap<TestCell> Map;
+  Map.setSplitGranules(true);
+  TestCell *Owner = Map.cell(addr(kBase));
+  ASSERT_NE(Owner, nullptr);
+  std::vector<TestCell *> Cells{Owner};
+  for (uintptr_t Off = 1; Off < 8; ++Off) {
+    TestCell *C = Map.cell(addr(kBase + Off));
+    ASSERT_NE(C, nullptr) << Off;
+    for (TestCell *Prev : Cells)
+      EXPECT_NE(C, Prev) << Off;
+    Cells.push_back(C);
+  }
+  // Stability: re-lookups return the same cells; nothing new is claimed.
+  for (uintptr_t Off = 0; Off < 8; ++Off)
+    EXPECT_EQ(Map.cell(addr(kBase + Off)), Cells[Off]);
+  EXPECT_EQ(Map.cellCount(), 8u);
+  EXPECT_EQ(Map.splitCount(), 1u);
+}
+
+TEST(PrimaryMapSplit, MixedWidthAddressesResolveDistinctly) {
+  // The widths a scalar access would use: 4-byte halves, 2-byte quarters,
+  // byte offsets — every distinct exact address gets its own cell, exactly
+  // as the overflow table would key them.
+  PrimaryMap<TestCell> Map;
+  Map.setSplitGranules(true);
+  std::set<TestCell *> Distinct;
+  for (uintptr_t Off : {0, 4, 2, 6, 1, 3, 5, 7}) {
+    TestCell *C = Map.cell(addr(kBase + Off));
+    ASSERT_NE(C, nullptr);
+    Distinct.insert(C);
+  }
+  EXPECT_EQ(Distinct.size(), 8u);
+  EXPECT_EQ(Map.splitCount(), 1u);
+  // A second granule splits independently.
+  ASSERT_NE(Map.cell(addr(kBase + 8)), nullptr);
+  ASSERT_NE(Map.cell(addr(kBase + 8 + 2)), nullptr);
+  EXPECT_EQ(Map.splitCount(), 2u);
+}
+
+TEST(PrimaryMapSplit, ConcurrentFirstTouchSplitsConverge) {
+  // Eight threads race mixed-width first touches over the same granules.
+  // Whoever wins the granule key keeps the page cell; every other offset
+  // must converge on exactly one split sub-cell — across threads, with no
+  // torn descriptors (run under TSan in the sanitizer job).
+  constexpr size_t kGranules = 64;
+  constexpr int kThreads = 8;
+  auto Map = std::make_unique<PrimaryMap<TestCell>>();
+  Map->setSplitGranules(true);
+  std::vector<std::vector<TestCell *>> Seen(
+      kThreads, std::vector<TestCell *>(kGranules * 8, nullptr));
+  std::vector<std::thread> Ts;
+  for (int W = 0; W < kThreads; ++W)
+    Ts.emplace_back([&, W] {
+      for (size_t G = 0; G < kGranules; ++G) {
+        // Stagger the visit order per thread so different threads race
+        // different offsets first.
+        for (size_t K = 0; K < 8; ++K) {
+          size_t Off = (K + W) % 8;
+          Seen[W][G * 8 + Off] = Map->cell(addr(kBase + G * 8 + Off));
+        }
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  std::set<TestCell *> Distinct;
+  for (size_t I = 0; I < kGranules * 8; ++I) {
+    ASSERT_NE(Seen[0][I], nullptr) << I;
+    for (int W = 1; W < kThreads; ++W)
+      ASSERT_EQ(Seen[W][I], Seen[0][I]) << I;
+    Distinct.insert(Seen[0][I]);
+  }
+  EXPECT_EQ(Distinct.size(), kGranules * 8);
+  EXPECT_EQ(Map->cellCount(), kGranules * 8);
+  EXPECT_EQ(Map->splitCount(), kGranules);
+}
+
+//===----------------------------------------------------------------------===//
+// gatherCells
+//===----------------------------------------------------------------------===//
+
+TEST(PrimaryMapSplit, GatherMatchesPerElementClaims) {
+  PrimaryMap<TestCell> Map;
+  Map.setSplitGranules(true);
+  TestCell *Out[64];
+  ASSERT_EQ(Map.gatherCells(addr(kBase), 64, 1, Out), 64u);
+  for (size_t I = 0; I < 64; ++I)
+    EXPECT_EQ(Map.cell(addr(kBase + I)), Out[I]) << I;
+  EXPECT_EQ(Map.cellCount(), 64u);
+  // 64 bytes = 8 granules, each split after its first-touch owner.
+  EXPECT_EQ(Map.splitCount(), 8u);
+}
+
+TEST(PrimaryMapSplit, GatherValidatesShapeAndAlignment) {
+  PrimaryMap<TestCell> Map;
+  Map.setSplitGranules(true);
+  TestCell *Out[8];
+  EXPECT_EQ(Map.gatherCells(addr(kBase), 8, 3, Out), 0u);  // non-pow2
+  EXPECT_EQ(Map.gatherCells(addr(kBase), 8, 16, Out), 0u); // > granule
+  EXPECT_EQ(Map.gatherCells(addr(kBase + 2), 8, 4, Out), 0u); // misaligned
+  EXPECT_EQ(Map.gatherCells(addr(kBase), 8, 0, Out), 0u);
+}
+
+TEST(PrimaryMapSplit, GatherCrossesPageBoundaries) {
+  PrimaryMap<TestCell> Map;
+  Map.setSplitGranules(true);
+  TestCell *Out[6];
+  // Elements straddle the 4 KiB shadow-page boundary; runCells refuses
+  // this shape, gatherCells just re-probes the directory.
+  uintptr_t Start = kBase + 4096 - 16;
+  ASSERT_EQ(Map.gatherCells(addr(Start), 6, 8, Out), 6u);
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_EQ(Map.cell(addr(Start + I * 8)), Out[I]);
+  EXPECT_EQ(Map.pageCount(), 2u);
+}
+
+TEST(PrimaryMapSplit, GatherStopsAtCollisionWhenSplittingOff) {
+  PrimaryMap<TestCell> Map; // splitting off
+  // Granule 1 is owned by a foreign (offset) address.
+  ASSERT_NE(Map.cell(addr(kBase + 8 + 4)), nullptr);
+  TestCell *Out[4];
+  EXPECT_EQ(Map.gatherCells(addr(kBase), 4, 8, Out), 1u);
+  // With splitting on, the same run resolves fully: element 1 gets the
+  // sub-cell for byte offset 0, distinct from the foreign owner's cell.
+  Map.setSplitGranules(true);
+  ASSERT_EQ(Map.gatherCells(addr(kBase), 4, 8, Out), 4u);
+  EXPECT_NE(Out[1], Map.cell(addr(kBase + 8 + 4)));
+  EXPECT_EQ(Out[1], Map.cell(addr(kBase + 8)));
+}
+
+TEST(ShadowSpaceSplit, GatherRefusesRunsOverlappingRegisteredRanges) {
+  ShadowSpace<TestCell> S;
+  S.setSplitGranules(true);
+  // A small registered range strictly INSIDE the gather window: neither
+  // endpoint of the run hits it, but the overlap scan must still refuse —
+  // those elements belong to the range's dense cells, not to freshly
+  // claimed granules.
+  S.registerRange(addr(kBase + 64), 4, 4);
+  TestCell *Out[64];
+  EXPECT_EQ(S.gatherRunCells(addr(kBase), 32, 8, Out), 0u);
+  EXPECT_EQ(S.gatherRunCells(addr(kBase + 60), 8, 1, Out), 0u);
+  // Clear of the range, gathering works.
+  EXPECT_EQ(S.gatherRunCells(addr(kBase + 128), 8, 8, Out), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Split under reclaim (recycle + reuse)
+//===----------------------------------------------------------------------===//
+
+TEST(PrimaryMapSplit, RecycleResetsSplitCellsAndReusesDescriptors) {
+  PrimaryMap<TestCell> Map;
+  Map.setSplitGranules(true);
+  // Claim 16 granule owners and split 3 sub-cells in each: 64 cells total
+  // on the page covering [kBase, kBase + 4096).
+  for (size_t G = 0; G < 16; ++G) {
+    Map.cell(addr(kBase + G * 8))->Value = 1;
+    for (uintptr_t Off : {1, 5, 7})
+      Map.cell(addr(kBase + G * 8 + Off))->Value = 2;
+  }
+  ASSERT_EQ(Map.cellCount(), 64u);
+  ASSERT_EQ(Map.splitCount(), 16u);
+
+  std::vector<void *> Handles;
+  ASSERT_EQ(Map.detachRange(addr(kBase), 4096, Handles), 1u);
+  size_t Reset = 0;
+  Map.recycleDetached(Handles[0], [&](TestCell &C) {
+    EXPECT_NE(C.Value.load(), 0u); // every visited cell was a claimed one
+    C.Value = 0;
+    ++Reset;
+  });
+  // Exactly once per claimed cell: 16 owners + 48 split sub-cells.
+  EXPECT_EQ(Reset, 64u);
+  EXPECT_EQ(Map.cellCount(), 0u);
+  EXPECT_EQ(Map.freePageCount(), 1u);
+  // Descriptors stay attached for reuse — the split count is unchanged.
+  EXPECT_EQ(Map.splitCount(), 16u);
+
+  // Reuse: fresh claims at recycled addresses drain the free list and get
+  // fully reset cells. The granule key was cleared, so the first toucher
+  // becomes the new owner; a second address in the same granule then
+  // splits — reusing the attached descriptor, not publishing a new one.
+  TestCell *Owner2 = Map.cell(addr(kBase + 8));
+  ASSERT_NE(Owner2, nullptr);
+  EXPECT_EQ(Owner2->Value.load(), 0u);
+  EXPECT_EQ(Map.freePageCount(), 0u);
+  TestCell *C = Map.cell(addr(kBase + 8 + 5));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Value.load(), 0u);
+  EXPECT_NE(C, Owner2);
+  EXPECT_EQ(Map.splitCount(), 16u); // reused, not re-published
+  EXPECT_EQ(Map.cellCount(), 2u);   // the granule owner claim + the split
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end verdict preservation: split build vs overflow build
+//===----------------------------------------------------------------------===//
+
+Spd3Options splitOpts(bool Split) {
+  Spd3Options Opts;
+  Opts.SplitGranules = Split;
+  return Opts;
+}
+
+/// Racy variable indices from a sink's recorded races.
+std::set<uint32_t> racyVarSet(const RaceSink &Sink,
+                              const ExecutionTrace &Trace) {
+  std::set<uint32_t> Vars;
+  auto Base = reinterpret_cast<uintptr_t>(Trace.VarsBase);
+  for (const detector::Race &R : Sink.races())
+    Vars.insert(static_cast<uint32_t>(
+        (reinterpret_cast<uintptr_t>(R.Addr) - Base) / Trace.VarElemSize));
+  return Vars;
+}
+
+struct RawRun {
+  bool AnyRace = false;
+  std::set<uint32_t> RacyVars;
+  std::vector<std::string> Prov;
+};
+
+RawRun runRaw(const Program &P, uint32_t ElemSize, Spd3Options Opts) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  Spd3Tool Tool(Sink, Opts);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  ExecutionTrace Trace = runProgramRaw(RT, P, ElemSize, &Tool);
+  if (Tool.reclaimer())
+    Tool.reclaimer()->drain();
+  RawRun Out;
+  Out.AnyRace = Sink.anyRace();
+  Out.RacyVars = racyVarSet(Sink, Trace);
+  for (const detector::Race &R : Sink.races())
+    Out.Prov.push_back(R.Prov ? R.Prov->str() : std::string());
+  return Out;
+}
+
+class SplitEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {
+protected:
+  uint64_t Seed = std::get<0>(GetParam());
+  uint32_t Elem = std::get<1>(GetParam());
+  Program P = generateProgram(Seed);
+  Oracle O{P};
+};
+
+TEST_P(SplitEquivalence, VerdictAndProvenanceMatchOverflowTwin) {
+  RawRun Split = runRaw(P, Elem, splitOpts(true));
+  RawRun Overflow = runRaw(P, Elem, splitOpts(false));
+  EXPECT_EQ(Split.AnyRace, O.hasRace()) << "seed " << Seed;
+  EXPECT_EQ(Split.AnyRace, Overflow.AnyRace) << "seed " << Seed;
+  EXPECT_EQ(Split.RacyVars, Overflow.RacyVars) << "seed " << Seed;
+  ASSERT_EQ(Split.Prov.size(), Overflow.Prov.size()) << "seed " << Seed;
+  for (size_t I = 0; I < Split.Prov.size(); ++I)
+    EXPECT_EQ(Split.Prov[I], Overflow.Prov[I]) << "seed " << Seed
+                                               << " race " << I;
+}
+
+TEST_P(SplitEquivalence, ReclaimDimensionMatches) {
+  Spd3Options On = splitOpts(true);
+  On.Reclaim = true;
+  Spd3Options Off = splitOpts(false);
+  Off.Reclaim = true;
+  RawRun Split = runRaw(P, Elem, On);
+  RawRun Overflow = runRaw(P, Elem, Off);
+  EXPECT_EQ(Split.AnyRace, Overflow.AnyRace) << "seed " << Seed;
+  EXPECT_EQ(Split.RacyVars, Overflow.RacyVars) << "seed " << Seed;
+  ASSERT_EQ(Split.Prov.size(), Overflow.Prov.size()) << "seed " << Seed;
+  for (size_t I = 0; I < Split.Prov.size(); ++I)
+    EXPECT_EQ(Split.Prov[I], Overflow.Prov[I]) << "seed " << Seed;
+}
+
+TEST_P(SplitEquivalence, SimdDimensionMatches) {
+  // SIMD off on both sides must equal SIMD on on both sides (the block
+  // path and the scalar loop are verdict-identical over split cells too).
+  Spd3Options NoSimdSplit = splitOpts(true);
+  NoSimdSplit.SimdRanges = false;
+  RawRun A = runRaw(P, Elem, splitOpts(true));
+  RawRun B = runRaw(P, Elem, NoSimdSplit);
+  EXPECT_EQ(A.AnyRace, B.AnyRace) << "seed " << Seed;
+  EXPECT_EQ(A.RacyVars, B.RacyVars) << "seed " << Seed;
+  ASSERT_EQ(A.Prov.size(), B.Prov.size()) << "seed " << Seed;
+  for (size_t I = 0; I < A.Prov.size(); ++I)
+    EXPECT_EQ(A.Prov[I], B.Prov[I]) << "seed " << Seed;
+}
+
+TEST_P(SplitEquivalence, SamplingDimensionIsSubset) {
+  // Sampling elides checks, never invents them: the sampled split build's
+  // racy set is a subset of the full build's, and any sampled race implies
+  // a full-build race.
+  Spd3Options Sampled = splitOpts(true);
+  Sampled.Sampling = true;
+  RawRun Full = runRaw(P, Elem, splitOpts(true));
+  RawRun Sub = runRaw(P, Elem, Sampled);
+  if (Sub.AnyRace) {
+    EXPECT_TRUE(Full.AnyRace) << "seed " << Seed;
+  }
+  for (uint32_t V : Sub.RacyVars)
+    EXPECT_TRUE(Full.RacyVars.count(V)) << "seed " << Seed << " var " << V;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, SplitEquivalence,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 25),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+//===----------------------------------------------------------------------===//
+// Satellite regressions: width-aware containment in the check caches
+//===----------------------------------------------------------------------===//
+
+TEST(CheckCacheWidth, NarrowScalarHitNeverElidesWiderAccess) {
+  // A 1-byte read at B+4 primes the per-step cache; the 8-byte read at the
+  // same address covers a second granule whose cell carries the race. If
+  // the narrow entry satisfied the wider check, the reader at B+8 would
+  // never be installed and the write below would look race-free.
+  alignas(8) static char Buf[32];
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  {
+    Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      rt::finish([&] {
+        rt::async([&] {
+          mem::read(Buf + 4, 1);
+          mem::read(Buf + 4, 8); // covers granules [0,8) and [8,16)
+        });
+        rt::async([&] { mem::write(Buf + 8, 1); });
+      });
+    });
+  }
+  ASSERT_EQ(Sink.raceCount(), 1u);
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::ReadWrite);
+  EXPECT_EQ(Sink.races()[0].Addr, static_cast<const void *>(Buf + 8));
+}
+
+TEST(RangeCheckCacheStride, CoarseRunDoesNotElideFinerStrideSubRun) {
+  // Regression for the element-size hole: an 8-byte-element range read
+  // primes the range cache; a byte-element read over the SAME bytes is
+  // byte-contained but checks entirely different shadow cells (per-byte
+  // split cells, not per-granule cells). Eliding it would drop the reader
+  // at B+3 and miss the race against the byte write.
+  alignas(8) static char Buf2[64];
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  {
+    Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      rt::finish([&] {
+        rt::async([&] {
+          mem::readRange(Buf2, 8, 8);  // one cell per granule
+          mem::readRange(Buf2, 64, 1); // one cell per byte
+        });
+        rt::async([&] { mem::write(Buf2 + 3, 1); });
+      });
+    });
+  }
+  ASSERT_EQ(Sink.raceCount(), 1u);
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::ReadWrite);
+  EXPECT_EQ(Sink.races()[0].Addr, static_cast<const void *>(Buf2 + 3));
+}
+
+TEST(RangeCheckCacheStride, SameStrideContainmentStillElides) {
+  // The fix must not destroy the legitimate elision: a same-element-size,
+  // element-aligned sub-run of a cached run is still covered.
+  alignas(8) static uint64_t Buf3[64];
+  Statistic *Hits = stats::lookup("spd3", "rangeCacheHits");
+  ASSERT_NE(Hits, nullptr);
+  uint64_t Before = Hits->value();
+  RaceSink Sink;
+  {
+    Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      mem::readRange(Buf3, 64, 8);
+      mem::readRange(Buf3 + 16, 8, 8); // contained, same grid: elided
+    });
+  }
+  EXPECT_EQ(Hits->value() - Before, 1u);
+  EXPECT_FALSE(Sink.anyRace());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: byte-stride range events over raw memory gather, not expand
+//===----------------------------------------------------------------------===//
+
+TEST(GatherRange, ByteStrideRangesOverRawMemoryCatchRaces) {
+  // A byte-element writeRange over unregistered memory used to expand to
+  // per-element events; now it gathers split cells and runs the block
+  // path. The conflicting byte write must still be caught, at the exact
+  // address.
+  Statistic *Gathers = stats::lookup("spd3", "rangeGathers");
+  ASSERT_NE(Gathers, nullptr);
+  uint64_t Before = Gathers->value();
+  alignas(8) static char Buf4[512];
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  {
+    Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      rt::finish([&] {
+        rt::async([&] { mem::writeRange(Buf4, 512, 1); });
+        rt::async([&] { mem::write(Buf4 + 137, 1); });
+      });
+    });
+  }
+  EXPECT_GT(Gathers->value(), Before);
+  ASSERT_EQ(Sink.raceCount(), 1u);
+  EXPECT_EQ(Sink.races()[0].Kind, RaceKind::WriteWrite);
+  EXPECT_EQ(Sink.races()[0].Addr, static_cast<const void *>(Buf4 + 137));
+}
+
+} // namespace

@@ -1,0 +1,391 @@
+//===- tests/StepFilterTests.cpp - Per-step redundant-check filter ---------===//
+//
+// The hook-level step filter (runtime/Context.h) elides repeats of a
+// same-or-stronger check within one step BEFORE the tool call and before
+// the sampling gate. These tests pin:
+//
+//  - the filter table's subsumption rules (mode, width, epoch) in
+//    isolation;
+//  - end-to-end elision accounting: repeated same-step checks cost one
+//    memory action, and the elided remainder lands in
+//    spd3/stepFilterHits;
+//  - the soundness boundaries: a write after a read is still checked, a
+//    wider access is still checked, step transitions and task switches
+//    invalidate entries (the task-switch regression is exactly the race a
+//    stale filter would miss);
+//  - verdict preservation: random programs report identical races and
+//    provenance with the filter on and off, sequentially and under the
+//    parallel scheduler;
+//  - the filter fires ahead of the sampling gate (hits accrue even with
+//    sampling enabled).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "runtime/Context.h"
+#include "runtime/Instrument.h"
+#include "runtime/Runtime.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace spd3;
+using namespace spd3::tests;
+using detector::RaceSink;
+using detector::Spd3Options;
+using detector::Spd3Tool;
+using rt::detail::StepFilter;
+
+//===----------------------------------------------------------------------===//
+// Table semantics in isolation
+//===----------------------------------------------------------------------===//
+
+TEST(StepFilterUnit, CoversSameOrWeakerChecksOnly) {
+  StepFilter F;
+  int X;
+  F.insert(&X, 4, /*Mode=*/1);
+  EXPECT_TRUE(F.covers(&X, 4, 1));
+  EXPECT_TRUE(F.covers(&X, 2, 1)); // narrower read: subsumed
+  EXPECT_TRUE(F.covers(&X, 1, 1));
+  EXPECT_FALSE(F.covers(&X, 8, 1)); // wider: may cover more cells
+  EXPECT_FALSE(F.covers(&X, 4, 2)); // mode upgrade: must be checked
+  int Y;
+  EXPECT_FALSE(F.covers(&Y, 4, 1));
+}
+
+TEST(StepFilterUnit, WriteDominatesRead) {
+  StepFilter F;
+  int X;
+  F.insert(&X, 4, /*Mode=*/2);
+  // A write check subsumes a later read of the same-or-narrower width.
+  EXPECT_TRUE(F.covers(&X, 4, 1));
+  EXPECT_TRUE(F.covers(&X, 4, 2));
+  // Inserting the weaker read afterwards must not downgrade the entry.
+  F.insert(&X, 4, /*Mode=*/1);
+  EXPECT_TRUE(F.covers(&X, 4, 2));
+  // Nor may a narrower insert shrink the recorded width.
+  F.insert(&X, 1, /*Mode=*/2);
+  EXPECT_TRUE(F.covers(&X, 4, 2));
+}
+
+TEST(StepFilterUnit, AdvanceInvalidatesEverything) {
+  StepFilter F;
+  int X;
+  F.insert(&X, 8, /*Mode=*/2);
+  ASSERT_TRUE(F.covers(&X, 8, 2));
+  F.advance();
+  EXPECT_FALSE(F.covers(&X, 1, 1));
+  // Re-inserting under the new epoch works normally.
+  F.insert(&X, 4, 1);
+  EXPECT_TRUE(F.covers(&X, 4, 1));
+}
+
+TEST(StepFilterUnit, ValueInitializedEntriesNeverValidate) {
+  // Epoch starts at 1 precisely so the zero-epoch entries of a fresh
+  // (or context-reset) filter can never cover anything — including a
+  // lookup for the null address with zero width.
+  StepFilter F;
+  EXPECT_FALSE(F.covers(nullptr, 0, 0));
+  int X;
+  EXPECT_FALSE(F.covers(&X, 1, 1));
+}
+
+TEST(StepFilterUnit, DirectMappedEvictionStaysSound) {
+  StepFilter F;
+  // Two addresses that collide in the table: the second insert evicts the
+  // first, after which the first must read as not-covered (a miss is
+  // always sound; a false hit never is).
+  auto *A = reinterpret_cast<const void *>(uintptr_t(0x1000));
+  auto *B = reinterpret_cast<const void *>(
+      uintptr_t(0x1000) + StepFilter::Size * 64); // same slot under the mix
+  ASSERT_EQ(StepFilter::slot(A), StepFilter::slot(B));
+  F.insert(A, 4, 1);
+  ASSERT_TRUE(F.covers(A, 4, 1));
+  F.insert(B, 4, 1);
+  EXPECT_TRUE(F.covers(B, 4, 1));
+  EXPECT_FALSE(F.covers(A, 4, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end elision accounting
+//===----------------------------------------------------------------------===//
+
+/// CheckCache off so every admitted check reaches memoryAction: the
+/// memActions delta then measures exactly what the hook filter let through.
+Spd3Options filterOnlyOpts() {
+  Spd3Options Opts;
+  Opts.CheckCache = false;
+  return Opts;
+}
+
+TEST(StepFilter, RepeatedReadsCostOneAction) {
+  Statistic *Mem = stats::lookup("spd3", "memActions");
+  Statistic *Hits = stats::lookup("spd3", "stepFilterHits");
+  ASSERT_NE(Mem, nullptr);
+  ASSERT_NE(Hits, nullptr);
+  alignas(8) static int X = 0;
+  RaceSink Sink;
+  Spd3Tool Tool(Sink, filterOnlyOpts());
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  uint64_t M0 = Mem->value(), H0 = Hits->value();
+  RT.run([&] {
+    rt::finish([&] {
+      rt::async([&] {
+        for (int I = 0; I < 100; ++I)
+          mem::read(&X, 4);
+      });
+    });
+  });
+  EXPECT_EQ(Mem->value() - M0, 1u);
+  EXPECT_EQ(Hits->value() - H0, 99u);
+}
+
+TEST(StepFilter, ReadAfterWriteElidedButWriteAfterReadChecked) {
+  Statistic *Mem = stats::lookup("spd3", "memActions");
+  alignas(8) static int X = 0;
+  alignas(8) static int Y = 0;
+  RaceSink Sink;
+  Spd3Tool Tool(Sink, filterOnlyOpts());
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  uint64_t M0 = Mem->value();
+  RT.run([&] {
+    rt::finish([&] {
+      rt::async([&] {
+        // Write then read: the step is already the recorded writer, the
+        // read is provably redundant (1 action).
+        mem::write(&X, 4);
+        mem::read(&X, 4);
+        // Read then write: mode upgrade, both must be checked (2 actions).
+        mem::read(&Y, 4);
+        mem::write(&Y, 4);
+      });
+    });
+  });
+  EXPECT_EQ(Mem->value() - M0, 3u);
+}
+
+TEST(StepFilter, WiderRepeatIsStillChecked) {
+  Statistic *Mem = stats::lookup("spd3", "memActions");
+  alignas(8) static int64_t X = 0;
+  RaceSink Sink;
+  Spd3Tool Tool(Sink, filterOnlyOpts());
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  uint64_t M0 = Mem->value();
+  RT.run([&] {
+    rt::finish([&] {
+      rt::async([&] {
+        mem::read(&X, 4); // narrow first
+        mem::read(&X, 8); // wider: not subsumed, checked again
+        mem::read(&X, 8); // exact repeat: elided
+        mem::read(&X, 2); // narrower: elided
+      });
+    });
+  });
+  EXPECT_EQ(Mem->value() - M0, 2u);
+}
+
+TEST(StepFilter, StepBoundaryInvalidatesEntries) {
+  Statistic *Mem = stats::lookup("spd3", "memActions");
+  alignas(8) static int X = 0;
+  RaceSink Sink;
+  Spd3Tool Tool(Sink, filterOnlyOpts());
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  uint64_t M0 = Mem->value();
+  RT.run([&] {
+    mem::read(&X, 4);
+    // The finish creates new DPST steps around its body; the re-read in
+    // the continuation step is a distinct check and must run.
+    rt::finish([&] { rt::async([] {}); });
+    mem::read(&X, 4);
+  });
+  EXPECT_EQ(Mem->value() - M0, 2u);
+}
+
+TEST(StepFilter, DisabledFilterInsertsNothing) {
+  Statistic *Hits = stats::lookup("spd3", "stepFilterHits");
+  alignas(8) static int X = 0;
+  RaceSink Sink;
+  Spd3Options Opts = filterOnlyOpts();
+  Opts.StepFilter = false;
+  Spd3Tool Tool(Sink, Opts);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  uint64_t H0 = Hits->value();
+  RT.run([&] {
+    rt::finish([&] {
+      rt::async([&] {
+        for (int I = 0; I < 50; ++I)
+          mem::read(&X, 4);
+      });
+    });
+  });
+  EXPECT_EQ(Hits->value() - H0, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness: task switches invalidate, races survive the filter
+//===----------------------------------------------------------------------===//
+
+TEST(StepFilter, TaskSwitchInvalidatesEntriesOrTheRaceIsMissed) {
+  // Both tasks run on the SAME worker under the sequential scheduler. If
+  // the filter survived the task switch, the second task's write would be
+  // elided as a "repeat" of the first task's and the race never checked.
+  alignas(8) static int Y = 0;
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  {
+    Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      rt::finish([&] {
+        rt::async([&] { mem::write(&Y, 4); });
+        rt::async([&] { mem::write(&Y, 4); });
+      });
+    });
+  }
+  ASSERT_EQ(Sink.raceCount(), 1u);
+  EXPECT_EQ(Sink.races()[0].Kind, detector::RaceKind::WriteWrite);
+  EXPECT_EQ(Sink.races()[0].Addr, static_cast<const void *>(&Y));
+}
+
+TEST(StepFilter, RacesDetectedDespiteHeavyElision) {
+  // Each task hammers the location; the filter elides everything after
+  // each task's first access, and the first accesses alone carry the race.
+  Statistic *Hits = stats::lookup("spd3", "stepFilterHits");
+  alignas(8) static int Y = 0;
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  uint64_t H0 = Hits->value();
+  {
+    Spd3Tool Tool(Sink);
+    rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+    RT.run([&] {
+      rt::finish([&] {
+        rt::async([&] {
+          for (int I = 0; I < 64; ++I)
+            mem::write(&Y, 4);
+        });
+        rt::async([&] {
+          for (int I = 0; I < 64; ++I)
+            mem::write(&Y, 4);
+        });
+      });
+    });
+  }
+  EXPECT_GE(Hits->value() - H0, 126u);
+  ASSERT_GE(Sink.raceCount(), 1u);
+  EXPECT_EQ(Sink.races()[0].Addr, static_cast<const void *>(&Y));
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling interaction: the filter sits AHEAD of the sampling gate
+//===----------------------------------------------------------------------===//
+
+TEST(StepFilter, FilterElidesBeforeSamplingGate) {
+  // With sampling on, repeats of a checked access are absorbed by the
+  // filter (hits accrue) instead of draining the controller's armed skip
+  // or re-entering the admission path — the elided re-checks never reach
+  // the sampler's cost estimator.
+  Statistic *Hits = stats::lookup("spd3", "stepFilterHits");
+  alignas(8) static int X = 0;
+  RaceSink Sink;
+  Spd3Options Opts;
+  Opts.Sampling = true;
+  Spd3Tool Tool(Sink, Opts);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  uint64_t H0 = Hits->value();
+  RT.run([&] {
+    rt::finish([&] {
+      rt::async([&] {
+        for (int I = 0; I < 100; ++I)
+          mem::read(&X, 4);
+      });
+    });
+  });
+  EXPECT_EQ(Hits->value() - H0, 99u);
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict preservation: filter on == filter off
+//===----------------------------------------------------------------------===//
+
+struct RunResult {
+  bool AnyRace = false;
+  std::set<uint32_t> RacyVars;
+  /// Race-identifying provenance per race, in report order: the
+  /// root-anchored DPST path of the CURRENT (reporting) step. Deliberately
+  /// NOT the full Prov->str(), not the RaceKind, and not the prior step's
+  /// path either — each can legitimately differ under within-step elision,
+  /// exactly as under the paper's static check elimination:
+  ///  - the "shadow triple" line renders internal memo state (which
+  ///    reader happens to sit in r1); the filter's table geometry differs
+  ///    from the CheckCache's, so eviction-driven re-runs install
+  ///    ordered-equivalent readers at different times;
+  ///  - a read covered by a same-step write may be elided entirely, so a
+  ///    parallel writer races against the recorded WRITE (write-write)
+  ///    instead of the redundant read (read-write) — same location, same
+  ///    step pair, stronger access named;
+  ///  - the prior access named in the report is whichever conflicting
+  ///    access the triple retained, and Section 4's invariant only pins
+  ///    it up to ordered-equivalence — an eviction-driven re-run in one
+  ///    twin can leave a different (equally racing) step of the same
+  ///    subtree in the triple, so the prior path may differ.
+  /// The current access is never elided-then-reported, so the verdict is
+  /// the set of racy (location, current-step) coordinates; that must be
+  /// byte-identical, on top of racy-var-set equality and oracle agreement.
+  std::vector<std::string> Races;
+};
+
+RunResult runWithFilter(const Program &P, bool Filter) {
+  RaceSink Sink(RaceSink::Mode::CollectPerLocation);
+  Spd3Options Opts;
+  Opts.StepFilter = Filter;
+  Spd3Tool Tool(Sink, Opts);
+  rt::Runtime RT({1, rt::SchedulerKind::SequentialDepthFirst, &Tool});
+  ExecutionTrace Trace = runProgram(RT, P, &Tool);
+  RunResult Out;
+  Out.AnyRace = Sink.anyRace();
+  auto Base = reinterpret_cast<uintptr_t>(Trace.VarsBase);
+  for (const detector::Race &R : Sink.races()) {
+    Out.RacyVars.insert(static_cast<uint32_t>(
+        (reinterpret_cast<uintptr_t>(R.Addr) - Base) / Trace.VarElemSize));
+    Out.Races.push_back(R.Prov ? R.Prov->CurrentPath : std::string());
+  }
+  return Out;
+}
+
+class StepFilterEquivalence : public ::testing::TestWithParam<uint64_t> {
+protected:
+  Program P = generateProgram(GetParam());
+  Oracle O{P};
+};
+
+TEST_P(StepFilterEquivalence, SequentialVerdictAndProvenanceMatchTwin) {
+  RunResult On = runWithFilter(P, true);
+  RunResult Off = runWithFilter(P, false);
+  EXPECT_EQ(On.AnyRace, O.hasRace()) << "seed " << GetParam();
+  EXPECT_EQ(On.AnyRace, Off.AnyRace) << "seed " << GetParam();
+  EXPECT_EQ(On.RacyVars, Off.RacyVars) << "seed " << GetParam();
+  ASSERT_EQ(On.Races.size(), Off.Races.size()) << "seed " << GetParam();
+  for (size_t I = 0; I < On.Races.size(); ++I)
+    EXPECT_EQ(On.Races[I], Off.Races[I]) << "seed " << GetParam() << " race "
+                                         << I;
+}
+
+TEST_P(StepFilterEquivalence, ParallelVerdictMatchesOracle) {
+  // Work stealing moves tasks across workers mid-run: every steal is a
+  // task switch whose filter-epoch bump this test leans on (a stale entry
+  // on the stealing worker would elide a first check and miss a race).
+  RaceSink Sink;
+  Spd3Tool Tool(Sink);
+  rt::Runtime RT({4, rt::SchedulerKind::Parallel, &Tool});
+  runProgram(RT, P, &Tool);
+  EXPECT_EQ(Sink.anyRace(), O.hasRace()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, StepFilterEquivalence,
+                         ::testing::Range<uint64_t>(1, 40));
+
+} // namespace

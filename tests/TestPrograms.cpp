@@ -2,6 +2,7 @@
 
 #include "TestPrograms.h"
 
+#include "runtime/Instrument.h"
 #include "support/Compiler.h"
 
 namespace spd3::tests {
@@ -209,6 +210,70 @@ ExecutionTrace runProgram(rt::Runtime &RT, const Program &P,
     // joins before Vars (and these lambdas) go out of scope. The extra
     // enclosing finish does not change any MHP relation among the
     // program's own events.
+    rt::finish([&] { Exec(Exec, P.Body); });
+  });
+  return Trace;
+}
+
+ExecutionTrace runProgramRaw(rt::Runtime &RT, const Program &P,
+                             uint32_t ElemSize, detector::Spd3Tool *Spd3) {
+  SPD3_CHECK(ElemSize == 1 || ElemSize == 2 || ElemSize == 4 || ElemSize == 8,
+             "runProgramRaw element sizes mirror real scalar widths");
+  int MaxId = -1;
+  auto Scan = [&](auto &&Self, const ProgramBody &Body) -> void {
+    for (const ProgramItem &Item : Body) {
+      if (Item.K == ProgramItem::Kind::Step) {
+        SPD3_CHECK(Item.EventId >= 0,
+                   "runProgramRaw requires Oracle-assigned event ids");
+        if (Item.EventId > MaxId)
+          MaxId = Item.EventId;
+      } else {
+        Self(Self, Item.Body);
+      }
+    }
+  };
+  Scan(Scan, P.Body);
+
+  ExecutionTrace Trace;
+  Trace.StepOf.assign(MaxId + 1, nullptr);
+
+  // Raw heap bytes, base rounded up to a granule boundary so sub-granule
+  // element sizes deterministically pack variables into shared granules.
+  size_t NumVars = P.NumVars > 0 ? P.NumVars : 1;
+  std::vector<char> Buf(NumVars * ElemSize + 8, 0);
+  char *Base = reinterpret_cast<char *>(
+      (reinterpret_cast<uintptr_t>(Buf.data()) + 7) & ~uintptr_t(7));
+  Trace.VarsBase = Base;
+  Trace.VarElemSize = ElemSize;
+
+  RT.run([&] {
+    auto Exec = [&](auto &&Self, const ProgramBody &Body) -> void {
+      for (const ProgramItem &Item : Body) {
+        switch (Item.K) {
+        case ProgramItem::Kind::Step:
+          if (Spd3)
+            Trace.StepOf[Item.EventId] = detector::Spd3Tool::currentStep(
+                *rt::Runtime::currentTask());
+          // Only the hooks fire; the bytes themselves are never touched.
+          // The detector consumes the event stream, and skipping the real
+          // accesses keeps deliberately racy programs clean under TSan.
+          for (const Access &A : Item.Accesses) {
+            const char *Addr = Base + size_t(A.Var) * ElemSize;
+            if (A.IsWrite)
+              mem::write(Addr, ElemSize);
+            else
+              mem::read(Addr, ElemSize);
+          }
+          break;
+        case ProgramItem::Kind::Async:
+          rt::async([&Self, &Item] { Self(Self, Item.Body); });
+          break;
+        case ProgramItem::Kind::Finish:
+          rt::finish([&Self, &Item] { Self(Self, Item.Body); });
+          break;
+        }
+      }
+    };
     rt::finish([&] { Exec(Exec, P.Body); });
   });
   return Trace;

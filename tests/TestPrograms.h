@@ -122,6 +122,18 @@ struct ExecutionTrace {
 ExecutionTrace runProgram(rt::Runtime &RT, const Program &P,
                           detector::Spd3Tool *Spd3 = nullptr);
 
+/// Like runProgram, but over RAW (never registered) heap bytes: variable V
+/// lives at an 8-byte-aligned base + V * \p ElemSize and every access goes
+/// through mem::read / mem::write at \p ElemSize (1, 2, 4, or 8). Shadow
+/// resolution therefore takes the primary-map path the dense TrackedArray
+/// harness never exercises — sub-granule ElemSize packs several variables
+/// into one 8-byte granule, forcing splits (or overflow-table degradation
+/// when splitting is off). The per-step access ordering is identical to
+/// runProgram, so verdicts are comparable across shadow configurations.
+ExecutionTrace runProgramRaw(rt::Runtime &RT, const Program &P,
+                             uint32_t ElemSize,
+                             detector::Spd3Tool *Spd3 = nullptr);
+
 } // namespace spd3::tests
 
 #endif // SPD3_TESTS_TESTPROGRAMS_H
